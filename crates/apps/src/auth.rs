@@ -1,0 +1,338 @@
+//! Authentication of outsourced skyline queries — the paper's second
+//! application, mirroring how Voronoi diagrams authenticate outsourced kNN.
+//!
+//! The data owner builds the skyline diagram, hashes every cell's
+//! `(cell index, result ids, result coordinates)` into a Merkle tree, and
+//! publishes the 32-byte root. An untrusted server answers queries with the
+//! cell's result plus a Merkle path; the client recomputes the leaf hash
+//! and folds the path to the root. A server cannot forge, truncate, or
+//! substitute a result without breaking SHA-256.
+//!
+//! SHA-256 is implemented here from the FIPS 180-4 specification (no
+//! external dependency is in the approved set); it is validated against the
+//! standard test vectors below.
+
+use skyline_core::diagram::CellDiagram;
+use skyline_core::geometry::{Dataset, Point, PointId};
+
+/// A 32-byte digest.
+pub type Digest = [u8; 32];
+
+// --- SHA-256 (FIPS 180-4) ---------------------------------------------------
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2,
+];
+
+/// Computes SHA-256 of a byte string.
+pub fn sha256(data: &[u8]) -> Digest {
+    let mut h: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+
+    // Padding: 0x80, zeros, 64-bit big-endian bit length.
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 64];
+    for block in msg.chunks_exact(64) {
+        for (i, word) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (hi, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
+            *hi = hi.wrapping_add(v);
+        }
+    }
+
+    let mut out = [0u8; 32];
+    for (chunk, word) in out.chunks_exact_mut(4).zip(h) {
+        chunk.copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+// --- Merkle tree over diagram cells -----------------------------------------
+
+/// Authenticated wrapper around a cell diagram, held by the (untrusted)
+/// server. The client needs only [`AuthenticatedDiagram::root`] and the
+/// diagram's grid lines (public metadata).
+#[derive(Clone, Debug)]
+pub struct AuthenticatedDiagram {
+    diagram: CellDiagram,
+    /// `levels[0]` = leaf hashes (padded to a power of two); `levels.last()`
+    /// = `[root]`.
+    levels: Vec<Vec<Digest>>,
+    /// Serialized leaf payloads, regenerated lazily would cost; kept simple.
+    n_leaves: usize,
+}
+
+/// A query answer with its Merkle authentication path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuthenticatedAnswer {
+    /// Linear cell index the query resolved to.
+    pub cell: usize,
+    /// The skyline result ids.
+    pub result: Vec<PointId>,
+    /// The result points' coordinates (the client typically wants them).
+    pub coordinates: Vec<Point>,
+    /// Sibling hashes from leaf to root.
+    pub path: Vec<Digest>,
+}
+
+fn leaf_payload(cell: usize, result: &[PointId], coords: &[Point]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(8 + result.len() * 20);
+    payload.extend_from_slice(&(cell as u64).to_le_bytes());
+    for (id, p) in result.iter().zip(coords) {
+        payload.extend_from_slice(&id.0.to_le_bytes());
+        payload.extend_from_slice(&p.x.to_le_bytes());
+        payload.extend_from_slice(&p.y.to_le_bytes());
+    }
+    payload
+}
+
+fn node_hash(left: &Digest, right: &Digest) -> Digest {
+    let mut buf = [0u8; 65];
+    buf[0] = 0x01; // domain separation from leaves
+    buf[1..33].copy_from_slice(left);
+    buf[33..].copy_from_slice(right);
+    sha256(&buf)
+}
+
+fn leaf_hash(payload: &[u8]) -> Digest {
+    let mut buf = Vec::with_capacity(payload.len() + 1);
+    buf.push(0x00);
+    buf.extend_from_slice(payload);
+    sha256(&buf)
+}
+
+impl AuthenticatedDiagram {
+    /// Builds the Merkle tree over every cell of the diagram.
+    pub fn new(dataset: &Dataset, diagram: CellDiagram) -> Self {
+        let n_leaves = diagram.grid().cell_count();
+        let mut leaves: Vec<Digest> = (0..n_leaves)
+            .map(|idx| {
+                let cell = diagram.grid().cell_from_linear(idx);
+                let result = diagram.result(cell);
+                let coords: Vec<Point> =
+                    result.iter().map(|&id| dataset.point(id)).collect();
+                leaf_hash(&leaf_payload(idx, result, &coords))
+            })
+            .collect();
+        // Pad to a power of two with a fixed filler.
+        let filler = leaf_hash(b"skyline-diagram-merkle-filler");
+        let width = n_leaves.next_power_of_two();
+        leaves.resize(width, filler);
+
+        let mut levels = vec![leaves];
+        while levels.last().expect("nonempty").len() > 1 {
+            let prev = levels.last().expect("nonempty");
+            let next: Vec<Digest> =
+                prev.chunks_exact(2).map(|pair| node_hash(&pair[0], &pair[1])).collect();
+            levels.push(next);
+        }
+        AuthenticatedDiagram { diagram, levels, n_leaves }
+    }
+
+    /// The published Merkle root.
+    pub fn root(&self) -> Digest {
+        self.levels.last().expect("nonempty")[0]
+    }
+
+    /// The wrapped diagram (server side).
+    pub fn diagram(&self) -> &CellDiagram {
+        &self.diagram
+    }
+
+    /// Answers a query with an authentication path.
+    pub fn query(&self, dataset: &Dataset, q: Point) -> AuthenticatedAnswer {
+        let cell = self.diagram.grid().cell_of(q);
+        let idx = self.diagram.grid().linear_index(cell);
+        let result = self.diagram.result(cell).to_vec();
+        let coordinates: Vec<Point> = result.iter().map(|&id| dataset.point(id)).collect();
+
+        let mut path = Vec::with_capacity(self.levels.len() - 1);
+        let mut pos = idx;
+        for level in &self.levels[..self.levels.len() - 1] {
+            path.push(level[pos ^ 1]);
+            pos >>= 1;
+        }
+        AuthenticatedAnswer { cell: idx, result, coordinates, path }
+    }
+
+    /// Number of real (unpadded) leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.n_leaves
+    }
+}
+
+/// Client-side verification: recomputes the leaf hash from the claimed
+/// answer and folds the path up to the published root.
+pub fn verify(answer: &AuthenticatedAnswer, root: &Digest) -> bool {
+    if answer.result.len() != answer.coordinates.len() {
+        return false;
+    }
+    let mut hash = leaf_hash(&leaf_payload(answer.cell, &answer.result, &answer.coordinates));
+    let mut pos = answer.cell;
+    for sibling in &answer.path {
+        hash = if pos & 1 == 0 {
+            node_hash(&hash, sibling)
+        } else {
+            node_hash(sibling, &hash)
+        };
+        pos >>= 1;
+    }
+    hash == *root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_core::quadrant::QuadrantEngine;
+
+    fn hex(d: &Digest) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn sha256_test_vectors() {
+        // FIPS / de-facto standard vectors.
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // Exercise multi-block padding boundaries (55, 56, 64 bytes).
+        assert_eq!(
+            hex(&sha256(&[0x61u8; 56])),
+            "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a"
+        );
+    }
+
+    fn build() -> (Dataset, AuthenticatedDiagram) {
+        let ds = skyline_core::geometry::Dataset::from_coords([
+            (1, 92), (3, 96), (12, 86), (5, 94), (15, 85), (8, 78),
+            (16, 83), (13, 83), (6, 93), (21, 82), (11, 9),
+        ])
+        .unwrap();
+        let d = QuadrantEngine::Sweeping.build(&ds);
+        let auth = AuthenticatedDiagram::new(&ds, d);
+        (ds, auth)
+    }
+
+    #[test]
+    fn honest_answers_verify() {
+        let (ds, auth) = build();
+        let root = auth.root();
+        for qx in (0..25).step_by(4) {
+            for qy in (0..100).step_by(11) {
+                let answer = auth.query(&ds, Point::new(qx, qy));
+                assert!(verify(&answer, &root), "({qx}, {qy})");
+                assert_eq!(answer.result.as_slice(), auth.diagram().query(Point::new(qx, qy)));
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_result_fails() {
+        let (ds, auth) = build();
+        let root = auth.root();
+        let mut answer = auth.query(&ds, Point::new(14, 81));
+        assert!(verify(&answer, &root));
+        // Drop one skyline point — the classic outsourcing attack.
+        answer.result.pop();
+        answer.coordinates.pop();
+        assert!(!verify(&answer, &root));
+    }
+
+    #[test]
+    fn substituted_coordinates_fail() {
+        let (ds, auth) = build();
+        let root = auth.root();
+        let mut answer = auth.query(&ds, Point::new(14, 81));
+        answer.coordinates[0] = Point::new(0, 0);
+        assert!(!verify(&answer, &root));
+    }
+
+    #[test]
+    fn wrong_cell_fails() {
+        let (ds, auth) = build();
+        let root = auth.root();
+        let mut answer = auth.query(&ds, Point::new(14, 81));
+        answer.cell += 1;
+        assert!(!verify(&answer, &root));
+    }
+
+    #[test]
+    fn mismatched_lengths_fail() {
+        let (ds, auth) = build();
+        let root = auth.root();
+        let mut answer = auth.query(&ds, Point::new(14, 81));
+        answer.coordinates.push(Point::new(1, 1));
+        assert!(!verify(&answer, &root));
+    }
+
+    #[test]
+    fn roots_commit_to_content() {
+        let (ds, auth) = build();
+        // A diagram over slightly different data must yield another root.
+        let ds2 = skyline_core::geometry::Dataset::from_coords(
+            ds.points().iter().map(|p| (p.x, p.y + 1)),
+        )
+        .unwrap();
+        let auth2 =
+            AuthenticatedDiagram::new(&ds2, QuadrantEngine::Sweeping.build(&ds2));
+        assert_ne!(auth.root(), auth2.root());
+        assert_eq!(auth.leaf_count(), auth2.leaf_count());
+    }
+}

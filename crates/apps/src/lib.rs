@@ -1,0 +1,20 @@
+//! # skyline-apps
+//!
+//! The four applications the ICDE'18 paper motivates for skyline diagrams,
+//! each mirroring a classic use of Voronoi diagrams:
+//!
+//! | Module | Application | Voronoi analogue |
+//! |---|---|---|
+//! | [`reverse`] | reverse skyline queries | reverse kNN |
+//! | [`continuous`] | safe zones & moving-query itineraries | safe regions for moving kNN |
+//! | [`auth`] | Merkle authentication of outsourced results | authenticated kNN |
+//! | [`pir`] | two-server XOR-PIR private queries | PIR-based kNN |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auth;
+pub mod continuous;
+pub mod pir;
+pub mod reverse;
+pub mod reverse_diagram;

@@ -1,0 +1,242 @@
+//! Private Information Retrieval (PIR) based skyline queries — the paper's
+//! third application: because the skyline diagram makes every query a *cell
+//! lookup by index*, any index-addressable PIR protocol turns skyline
+//! queries private, exactly as Voronoi diagrams enable PIR-based kNN.
+//!
+//! This module implements the classic information-theoretic **two-server
+//! XOR PIR** (Chor–Goldreich–Kushilevitz–Sudan): the database is the
+//! diagram's per-cell results serialized into equal-length records; the
+//! client sends each non-colluding server a random-looking subset of
+//! indices; each server XOR-folds the selected records; the XOR of the two
+//! replies is the requested record. Each individual query vector is a
+//! uniformly random subset, so a single server learns *nothing* about which
+//! cell — hence which query location — the client is interested in.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use skyline_core::diagram::CellDiagram;
+use skyline_core::geometry::{Point, PointId};
+
+/// Server-side database: fixed-size records, one per diagram cell.
+#[derive(Clone, Debug)]
+pub struct PirServer {
+    records: Vec<Vec<u8>>,
+    record_len: usize,
+}
+
+/// The public parameters a client needs: grid lines for local point
+/// location (these reveal nothing about any individual query) and the
+/// record geometry.
+#[derive(Clone, Debug)]
+pub struct PirClientParams {
+    /// Vertical grid lines of the diagram.
+    pub x_lines: Vec<i64>,
+    /// Horizontal grid lines of the diagram.
+    pub y_lines: Vec<i64>,
+    /// Number of records (cells).
+    pub n_records: usize,
+    /// Bytes per record.
+    pub record_len: usize,
+}
+
+/// Serializes a result as `count ‖ ids…`, padded to the database-wide
+/// maximum: `4 + 4·max_len` bytes.
+fn encode_record(result: &[PointId], record_len: usize) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(record_len);
+    rec.extend_from_slice(&(result.len() as u32).to_le_bytes());
+    for id in result {
+        rec.extend_from_slice(&id.0.to_le_bytes());
+    }
+    debug_assert!(rec.len() <= record_len, "record exceeds fixed size");
+    rec.resize(record_len, 0);
+    rec
+}
+
+/// Decodes a record back into point ids.
+pub fn decode_record(record: &[u8]) -> Vec<PointId> {
+    let count = u32::from_le_bytes(record[..4].try_into().expect("length checked")) as usize;
+    (0..count)
+        .map(|i| {
+            let off = 4 + 4 * i;
+            PointId(u32::from_le_bytes(
+                record[off..off + 4].try_into().expect("length checked"),
+            ))
+        })
+        .collect()
+}
+
+impl PirServer {
+    /// Builds the record database from a diagram. Both (non-colluding)
+    /// servers hold an identical copy.
+    pub fn new(diagram: &CellDiagram) -> Self {
+        let max_len = diagram
+            .cell_results()
+            .iter()
+            .map(|&rid| diagram.results().get(rid).len())
+            .max()
+            .unwrap_or(0);
+        let record_len = 4 + 4 * max_len;
+        let records = diagram
+            .cell_results()
+            .iter()
+            .map(|&rid| encode_record(diagram.results().get(rid), record_len))
+            .collect();
+        PirServer { records, record_len }
+    }
+
+    /// Public client parameters for this database.
+    pub fn client_params(&self, diagram: &CellDiagram) -> PirClientParams {
+        PirClientParams {
+            x_lines: diagram.grid().x_lines().to_vec(),
+            y_lines: diagram.grid().y_lines().to_vec(),
+            n_records: self.records.len(),
+            record_len: self.record_len,
+        }
+    }
+
+    /// Answers a query bit-vector: XOR of the selected records. The server
+    /// sees only a uniformly random subset selection.
+    pub fn answer(&self, selection: &[bool]) -> Vec<u8> {
+        assert_eq!(selection.len(), self.records.len(), "selection length mismatch");
+        let mut acc = vec![0u8; self.record_len];
+        for (rec, &selected) in self.records.iter().zip(selection) {
+            if selected {
+                for (a, b) in acc.iter_mut().zip(rec) {
+                    *a ^= b;
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// A client query: one selection vector per server.
+#[derive(Clone, Debug)]
+pub struct PirQuery {
+    /// Selection for server 1: a uniformly random subset.
+    pub to_server1: Vec<bool>,
+    /// Selection for server 2: the same subset with the target flipped.
+    pub to_server2: Vec<bool>,
+}
+
+/// Client-side query generation for the cell containing `q`.
+pub fn make_query(params: &PirClientParams, q: Point, rng: &mut StdRng) -> (usize, PirQuery) {
+    // Local point location — performed entirely on the client.
+    let i = params.x_lines.partition_point(|&x| x <= q.x);
+    let j = params.y_lines.partition_point(|&y| y <= q.y);
+    let target = j * (params.x_lines.len() + 1) + i;
+
+    let mut to_server1: Vec<bool> = (0..params.n_records).map(|_| rng.gen()).collect();
+    let mut to_server2 = to_server1.clone();
+    to_server2[target] = !to_server2[target];
+    // Randomize which server gets the flipped vector so even the *pair*
+    // assignment carries no information.
+    if rng.gen() {
+        std::mem::swap(&mut to_server1, &mut to_server2);
+    }
+    (target, PirQuery { to_server1, to_server2 })
+}
+
+/// Client-side reconstruction: XOR of the two answers, decoded.
+pub fn reconstruct(answer1: &[u8], answer2: &[u8]) -> Vec<PointId> {
+    assert_eq!(answer1.len(), answer2.len(), "answer length mismatch");
+    let record: Vec<u8> = answer1.iter().zip(answer2).map(|(a, b)| a ^ b).collect();
+    decode_record(&record)
+}
+
+/// End-to-end private skyline query against two non-colluding servers.
+pub fn private_skyline_query(
+    server1: &PirServer,
+    server2: &PirServer,
+    params: &PirClientParams,
+    q: Point,
+    rng: &mut StdRng,
+) -> Vec<PointId> {
+    let (_, query) = make_query(params, q, rng);
+    let a1 = server1.answer(&query.to_server1);
+    let a2 = server2.answer(&query.to_server2);
+    reconstruct(&a1, &a2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use skyline_core::geometry::Dataset;
+    use skyline_core::quadrant::QuadrantEngine;
+
+    fn setup() -> (Dataset, CellDiagram, PirServer, PirServer, PirClientParams) {
+        let ds = Dataset::from_coords([
+            (1, 92), (3, 96), (12, 86), (5, 94), (15, 85), (8, 78),
+            (16, 83), (13, 83), (6, 93), (21, 82), (11, 9),
+        ])
+        .unwrap();
+        let diagram = QuadrantEngine::Sweeping.build(&ds);
+        let server = PirServer::new(&diagram);
+        let params = server.client_params(&diagram);
+        (ds, diagram, server.clone(), server, params)
+    }
+
+    #[test]
+    fn retrieval_matches_direct_lookup() {
+        let (_, diagram, s1, s2, params) = setup();
+        let mut rng = StdRng::seed_from_u64(7);
+        for qx in (0..25).step_by(3) {
+            for qy in (0..100).step_by(9) {
+                let q = Point::new(qx, qy);
+                let got = private_skyline_query(&s1, &s2, &params, q, &mut rng);
+                assert_eq!(got.as_slice(), diagram.query(q), "({qx}, {qy})");
+            }
+        }
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let ids = vec![PointId(3), PointId(8), PointId(1000)];
+        let rec = encode_record(&ids, 4 + 4 * 5);
+        assert_eq!(rec.len(), 24);
+        assert_eq!(decode_record(&rec), ids);
+        assert!(decode_record(&encode_record(&[], 12)).is_empty());
+    }
+
+    #[test]
+    fn single_server_view_is_balanced() {
+        // Each selection bit should be ~uniform regardless of the target:
+        // run many queries for one fixed q and check the target index is
+        // selected about half the time on server 1.
+        let (_, _, _, _, params) = setup();
+        let mut rng = StdRng::seed_from_u64(42);
+        let q = Point::new(14, 81);
+        let mut selected = 0usize;
+        let trials = 2000;
+        let mut target_idx = 0;
+        for _ in 0..trials {
+            let (target, query) = make_query(&params, q, &mut rng);
+            target_idx = target;
+            if query.to_server1[target] {
+                selected += 1;
+            }
+        }
+        let frac = selected as f64 / trials as f64;
+        assert!((frac - 0.5).abs() < 0.05, "target bit biased: {frac}");
+        assert!(target_idx < params.n_records);
+    }
+
+    #[test]
+    fn queries_differ_in_exactly_one_position() {
+        let (_, _, _, _, params) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (target, query) = make_query(&params, Point::new(5, 5), &mut rng);
+        let diffs: Vec<usize> = (0..params.n_records)
+            .filter(|&k| query.to_server1[k] != query.to_server2[k])
+            .collect();
+        assert_eq!(diffs, vec![target]);
+    }
+
+    #[test]
+    #[should_panic(expected = "selection length mismatch")]
+    fn wrong_selection_length_panics() {
+        let (_, _, s1, _, _) = setup();
+        let _ = s1.answer(&[true, false]);
+    }
+}

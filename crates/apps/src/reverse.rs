@@ -1,0 +1,308 @@
+//! Reverse skyline queries, the first application the paper lists for
+//! skyline diagrams (mirroring how Voronoi diagrams serve reverse-kNN).
+//!
+//! A point `p` is in the **reverse skyline** of a query `q` (Dellis &
+//! Seeger's monochromatic definition) iff `q` appears in the dynamic skyline
+//! centered at `p` — equivalently, iff no other data point `p'` satisfies
+//! `|p' - p| ⪯ |q - p|` componentwise with one strict inequality.
+//!
+//! [`ReverseSkylineIndex`] precomputes, for every `p`, the dynamic skyline
+//! `DSL(p)` of the other points around `p` (exactly the per-point answers a
+//! dynamic skyline diagram encodes); since any dominator of `|q - p|` is
+//! itself dominated by a `DSL(p)` member, checking `q` against the `DSL(p)`
+//! staircase is enough. Queries drop from the naive `O(n²)` to
+//! `O(n·|DSL|)` with `|DSL| = O(log n)` on average.
+
+use skyline_core::geometry::{Coord, Dataset, Point, PointId};
+use skyline_core::skyline::sort_sweep::minima_xy;
+
+/// Naive `O(n²)` reverse skyline, the oracle the index is validated against.
+pub fn reverse_skyline_naive(dataset: &Dataset, q: Point) -> Vec<PointId> {
+    let mut out: Vec<PointId> = dataset
+        .iter()
+        .filter(|&(id, p)| {
+            let qd = ((q.x - p.x).abs(), (q.y - p.y).abs());
+            !dataset.iter().any(|(other, o)| {
+                if other == id {
+                    return false;
+                }
+                let od = ((o.x - p.x).abs(), (o.y - p.y).abs());
+                od.0 <= qd.0 && od.1 <= qd.1 && (od.0 < qd.0 || od.1 < qd.1)
+            })
+        })
+        .map(|(id, _)| id)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Precomputed per-point dynamic skylines for fast reverse skyline queries.
+#[derive(Clone, Debug)]
+pub struct ReverseSkylineIndex {
+    points: Vec<Point>,
+    /// `staircases[i]`: the mapped coordinates `(|p' - p_i|)` of `DSL(p_i)`,
+    /// sorted by x — a minimization staircase.
+    staircases: Vec<Vec<(Coord, Coord)>>,
+}
+
+impl ReverseSkylineIndex {
+    /// Builds the index: `O(n² log n)` total.
+    pub fn new(dataset: &Dataset) -> Self {
+        let points: Vec<Point> = dataset.points().to_vec();
+        let staircases = dataset
+            .iter()
+            .map(|(id, p)| {
+                let mut mapped: Vec<(Coord, Coord, PointId)> = dataset
+                    .iter()
+                    .filter(|&(other, _)| other != id)
+                    .map(|(other, o)| ((o.x - p.x).abs(), (o.y - p.y).abs(), other))
+                    .collect();
+                let dsl = minima_xy(&mut mapped);
+                let mut stairs: Vec<(Coord, Coord)> = dsl
+                    .into_iter()
+                    .map(|other| {
+                        let o = dataset.point(other);
+                        ((o.x - p.x).abs(), (o.y - p.y).abs())
+                    })
+                    .collect();
+                stairs.sort_unstable();
+                stairs
+            })
+            .collect();
+        ReverseSkylineIndex { points, staircases }
+    }
+
+    /// The reverse skyline of `q`.
+    pub fn query(&self, q: Point) -> Vec<PointId> {
+        (0..self.points.len() as u32)
+            .map(PointId)
+            .filter(|&id| self.contains(id, q))
+            .collect()
+    }
+
+    /// True iff `p_id` belongs to the reverse skyline of `q`: `|q - p|` must
+    /// not be dominated by any staircase entry of `DSL(p)`.
+    pub fn contains(&self, id: PointId, q: Point) -> bool {
+        let p = self.points[id.index()];
+        let qd = ((q.x - p.x).abs(), (q.y - p.y).abs());
+        // Staircase entries are the minima of the mapped neighbors; `q` is
+        // dominated by some neighbor iff it is dominated by a minimum.
+        !self.staircases[id.index()].iter().any(|&(x, y)| {
+            x <= qd.0 && y <= qd.1 && (x < qd.0 || y < qd.1)
+        })
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Never empty for a valid dataset.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Bichromatic reverse skyline (Dellis & Seeger): given *products* `P` and
+/// *customers* `C`, the customers for whom a (new) product `q` would enter
+/// their dynamic skyline over `P ∪ {q}` — i.e. customers `c` such that no
+/// existing product `p` satisfies `|p - c| ⪯ |q - c|`.
+///
+/// This is the market-impact primitive: "which customers would even look
+/// at a product placed at `q`?"
+pub fn bichromatic_reverse_skyline(
+    products: &Dataset,
+    customers: &Dataset,
+    q: Point,
+) -> Vec<PointId> {
+    customers
+        .iter()
+        .filter(|&(_, c)| {
+            let qd = ((q.x - c.x).abs(), (q.y - c.y).abs());
+            !products.iter().any(|(_, p)| {
+                let pd = ((p.x - c.x).abs(), (p.y - c.y).abs());
+                pd.0 <= qd.0 && pd.1 <= qd.1 && (pd.0 < qd.0 || pd.1 < qd.1)
+            })
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Per-customer index for repeated bichromatic queries: stores each
+/// customer's dynamic-skyline staircase over the product set, so one query
+/// is `O(|C| · log)` staircase checks instead of `O(|C| · |P|)`.
+#[derive(Clone, Debug)]
+pub struct BichromaticIndex {
+    customers: Vec<Point>,
+    /// Mapped staircase `(|p - c|)` of each customer's product skyline.
+    staircases: Vec<Vec<(Coord, Coord)>>,
+}
+
+impl BichromaticIndex {
+    /// Builds the index: `O(|C| · |P| log |P|)`.
+    pub fn new(products: &Dataset, customers: &Dataset) -> Self {
+        let staircases = customers
+            .iter()
+            .map(|(_, c)| {
+                let mut mapped: Vec<(Coord, Coord, PointId)> = products
+                    .iter()
+                    .map(|(id, p)| ((p.x - c.x).abs(), (p.y - c.y).abs(), id))
+                    .collect();
+                let dsl = minima_xy(&mut mapped);
+                let mut stairs: Vec<(Coord, Coord)> = dsl
+                    .into_iter()
+                    .map(|id| {
+                        let p = products.point(id);
+                        ((p.x - c.x).abs(), (p.y - c.y).abs())
+                    })
+                    .collect();
+                stairs.sort_unstable();
+                stairs
+            })
+            .collect();
+        BichromaticIndex { customers: customers.points().to_vec(), staircases }
+    }
+
+    /// Customers that would see a product at `q` in their dynamic skyline.
+    pub fn query(&self, q: Point) -> Vec<PointId> {
+        (0..self.customers.len() as u32)
+            .map(PointId)
+            .filter(|id| {
+                let c = self.customers[id.index()];
+                let qd = ((q.x - c.x).abs(), (q.y - c.y).abs());
+                !self.staircases[id.index()]
+                    .iter()
+                    .any(|&(x, y)| x <= qd.0 && y <= qd.1 && (x < qd.0 || y < qd.1))
+            })
+            .collect()
+    }
+
+    /// Number of indexed customers.
+    pub fn len(&self) -> usize {
+        self.customers.len()
+    }
+
+    /// Never empty for a valid customer dataset.
+    pub fn is_empty(&self) -> bool {
+        self.customers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_dataset(n: usize, domain: i64, seed: u64) -> Dataset {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % domain as u64) as i64
+        };
+        Dataset::from_coords((0..n).map(|_| (next(), next()))).unwrap()
+    }
+
+    #[test]
+    fn index_matches_naive() {
+        let ds = lcg_dataset(40, 100, 3);
+        let index = ReverseSkylineIndex::new(&ds);
+        for qx in (0..100).step_by(17) {
+            for qy in (0..100).step_by(13) {
+                let q = Point::new(qx, qy);
+                assert_eq!(index.query(q), reverse_skyline_naive(&ds, q), "{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn index_matches_naive_under_ties() {
+        let ds = lcg_dataset(30, 6, 8);
+        let index = ReverseSkylineIndex::new(&ds);
+        for qx in 0..6 {
+            for qy in 0..6 {
+                let q = Point::new(qx, qy);
+                assert_eq!(index.query(q), reverse_skyline_naive(&ds, q), "{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_at_a_data_point_contains_it() {
+        // q exactly at p: |q - p| = (0, 0) can only be dominated by an
+        // exact duplicate of p... which never dominates (0,0) strictly.
+        let ds = lcg_dataset(25, 50, 1);
+        let index = ReverseSkylineIndex::new(&ds);
+        for (id, p) in ds.iter() {
+            assert!(index.contains(id, p), "{id}");
+        }
+        assert_eq!(index.len(), 25);
+        assert!(!index.is_empty());
+    }
+
+    #[test]
+    fn single_point_is_always_reverse_skyline() {
+        let ds = Dataset::from_coords([(5, 5)]).unwrap();
+        let index = ReverseSkylineIndex::new(&ds);
+        assert_eq!(index.query(Point::new(100, -100)), vec![PointId(0)]);
+    }
+
+    #[test]
+    fn bichromatic_index_matches_naive() {
+        let products = lcg_dataset(25, 80, 2);
+        let customers = lcg_dataset(30, 80, 5);
+        let index = BichromaticIndex::new(&products, &customers);
+        assert_eq!(index.len(), 30);
+        assert!(!index.is_empty());
+        for qx in (0..80).step_by(13) {
+            for qy in (0..80).step_by(11) {
+                let q = Point::new(qx, qy);
+                assert_eq!(
+                    index.query(q),
+                    bichromatic_reverse_skyline(&products, &customers, q),
+                    "{q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn product_placed_on_a_customer_always_wins_that_customer() {
+        // |q - c| = (0, 0) can only be dominated strictly — impossible.
+        let products = lcg_dataset(15, 40, 3);
+        let customers = lcg_dataset(10, 40, 9);
+        let index = BichromaticIndex::new(&products, &customers);
+        for (id, c) in customers.iter() {
+            assert!(index.query(c).contains(&id), "{id}");
+        }
+    }
+
+    #[test]
+    fn monochromatic_is_bichromatic_with_self_excluded() {
+        // For q not in the dataset, RSL over P equals the bichromatic
+        // query with customers = P and products = P minus the customer —
+        // checked pointwise via the definitions.
+        let ds = lcg_dataset(12, 30, 7);
+        let q = Point::new(13, 17);
+        let mono = reverse_skyline_naive(&ds, q);
+        for (id, _) in ds.iter() {
+            let others = Dataset::from_coords(
+                ds.iter().filter(|&(o, _)| o != id).map(|(_, p)| (p.x, p.y)),
+            )
+            .unwrap();
+            let single =
+                Dataset::from_coords([(ds.point(id).x, ds.point(id).y)]).unwrap();
+            let bi = bichromatic_reverse_skyline(&others, &single, q);
+            assert_eq!(mono.contains(&id), !bi.is_empty(), "{id}");
+        }
+    }
+
+    #[test]
+    fn far_query_keeps_only_outer_points() {
+        // Points on a line; a far-right query's reverse skyline cannot
+        // contain an interior point (its neighbor dominates toward q).
+        let ds = Dataset::from_coords([(0, 0), (10, 0), (20, 0)]).unwrap();
+        let rsl = reverse_skyline_naive(&ds, Point::new(1000, 0));
+        assert!(!rsl.contains(&PointId(0)));
+        let index = ReverseSkylineIndex::new(&ds);
+        assert_eq!(index.query(Point::new(1000, 0)), rsl);
+    }
+}

@@ -1,0 +1,26 @@
+//! E2 (Criterion form): effect of the per-dimension domain size on
+//! quadrant diagram construction (cell count saturates at `min(s², n²)`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_bench::domain_dataset;
+use skyline_core::quadrant::QuadrantEngine;
+use skyline_data::Distribution;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("domain_size");
+    group.sample_size(10);
+    for s in [16i64, 256, 4096] {
+        let ds = domain_dataset(200, s, Distribution::Independent);
+        for engine in QuadrantEngine::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), s),
+                &ds,
+                |b, ds| b.iter(|| engine.build(ds)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

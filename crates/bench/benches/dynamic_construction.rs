@@ -1,0 +1,29 @@
+//! E3 (Criterion form): dynamic diagram construction across the three
+//! engines. Subcell grids are O(n⁴); sizes stay small by design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_bench::sweep_dataset;
+use skyline_core::dynamic::DynamicEngine;
+use skyline_data::Distribution;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_construction");
+    group.sample_size(10);
+    for n in [10usize, 20, 30] {
+        let ds = sweep_dataset(n, Distribution::Independent);
+        for engine in DynamicEngine::ALL {
+            if engine == DynamicEngine::Baseline && n > 20 {
+                continue; // O(n⁵): keep the suite fast
+            }
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), n),
+                &ds,
+                |b, ds| b.iter(|| engine.build(ds)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E7 (Criterion form): global diagram construction (four reflected
+//! quadrant runs plus per-cell union) vs a single quadrant run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_bench::sweep_dataset;
+use skyline_core::global;
+use skyline_core::quadrant::QuadrantEngine;
+use skyline_data::Distribution;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("global_construction");
+    group.sample_size(10);
+    for n in [100usize, 200, 400] {
+        let ds = sweep_dataset(n, Distribution::Independent);
+        group.bench_with_input(BenchmarkId::new("quadrant", n), &ds, |b, ds| {
+            b.iter(|| QuadrantEngine::Sweeping.build(ds))
+        });
+        group.bench_with_input(BenchmarkId::new("global", n), &ds, |b, ds| {
+            b.iter(|| global::build(ds, QuadrantEngine::Sweeping))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

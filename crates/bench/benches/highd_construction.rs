@@ -1,0 +1,26 @@
+//! E4 (Criterion form): high-dimensional quadrant diagrams across d and
+//! engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_bench::highd_dataset;
+use skyline_core::highd::HighDEngine;
+use skyline_data::Distribution;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("highd_construction");
+    group.sample_size(10);
+    for d in [2usize, 3, 4] {
+        let ds = highd_dataset(15, d, Distribution::Independent);
+        for engine in HighDEngine::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), d),
+                &ds,
+                |b, ds| b.iter(|| engine.build(ds)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

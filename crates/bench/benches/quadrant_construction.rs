@@ -1,0 +1,28 @@
+//! E1 (Criterion form): quadrant diagram construction across engines,
+//! dataset sizes, and distributions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skyline_bench::sweep_dataset;
+use skyline_core::quadrant::QuadrantEngine;
+use skyline_data::Distribution;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quadrant_construction");
+    group.sample_size(10);
+    for dist in Distribution::ALL {
+        for n in [100usize, 200, 400] {
+            let ds = sweep_dataset(n, dist);
+            for engine in QuadrantEngine::ALL {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}/{}", dist.name(), engine.name()), n),
+                    &ds,
+                    |b, ds| b.iter(|| engine.build(ds)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E6 (Criterion form): per-query latency — precomputed diagram lookup vs
+//! from-scratch skyline computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skyline_bench::sweep_dataset;
+use skyline_core::geometry::Point;
+use skyline_core::quadrant::QuadrantEngine;
+use skyline_core::query;
+use skyline_data::Distribution;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_time");
+    let mut rng = StdRng::seed_from_u64(99);
+    for n in [100usize, 400, 1600] {
+        let ds = sweep_dataset(n, Distribution::Independent);
+        let diagram = QuadrantEngine::Sweeping.build(&ds);
+        let lim = 10 * n as i64;
+        let queries: Vec<Point> = (0..1024)
+            .map(|_| Point::new(rng.gen_range(0..lim), rng.gen_range(0..lim)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("diagram_lookup", n), &queries, |b, qs| {
+            b.iter(|| qs.iter().map(|&q| diagram.query(q).len()).sum::<usize>())
+        });
+        group.bench_with_input(BenchmarkId::new("from_scratch", n), &queries, |b, qs| {
+            b.iter(|| qs.iter().map(|&q| query::quadrant_skyline(&ds, q).len()).sum::<usize>())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Differential fuzzing harness: generates random datasets across all
+//! distributions, domain regimes (general position through heavy ties),
+//! and sizes, and checks that every engine family agrees — forever, or for
+//! `--seconds N` (default 10).
+//!
+//! ```text
+//! cargo run -p skyline-bench --release --bin fuzz_diff -- --seconds 30
+//! ```
+//!
+//! On a mismatch it prints the offending seed/spec (fully reproducible)
+//! and exits nonzero. This is the long-running companion to the bounded
+//! proptest suites.
+
+use std::time::{Duration, Instant};
+
+use skyline_core::dynamic::DynamicEngine;
+use skyline_core::geometry::Dataset;
+use skyline_core::global;
+use skyline_core::highd::HighDEngine;
+use skyline_core::quadrant::QuadrantEngine;
+use skyline_data::{DatasetSpec, Distribution};
+
+fn main() {
+    let mut seconds = 10u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--seconds" {
+            seconds = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--seconds needs an integer");
+                    std::process::exit(2);
+                });
+        } else {
+            eprintln!("unknown argument {arg:?}; usage: fuzz_diff [--seconds N]");
+            std::process::exit(2);
+        }
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(seconds);
+    let mut rounds = 0u64;
+    let mut seed = 0xF00D_u64;
+
+    while Instant::now() < deadline {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let pick = |m: u64, options: &[i64]| options[(seed >> (m * 7)) as usize % options.len()];
+
+        let distribution = Distribution::ALL[(seed >> 3) as usize % 3];
+        let n = pick(1, &[3, 8, 17, 33, 50]) as usize;
+        let domain = pick(2, &[3, 7, 30, 1000]);
+        let spec = DatasetSpec { n, dims: 2, domain, distribution, seed };
+
+        let ds = spec.build_2d();
+        check_quadrant(&spec, &ds);
+        check_global(&spec, &ds);
+        if n <= 12 {
+            check_dynamic(&spec, &ds);
+        }
+        if rounds % 4 == 0 {
+            let dims = 3 + (seed >> 11) as usize % 2;
+            let spec3 = DatasetSpec { n: n.min(11), dims, domain, distribution, seed };
+            check_highd(&spec3);
+        }
+        rounds += 1;
+    }
+    println!("fuzz_diff: {rounds} rounds, all engine families agreed");
+}
+
+fn fail(what: &str, spec: &DatasetSpec) -> ! {
+    eprintln!("MISMATCH in {what} for {spec:?}");
+    std::process::exit(1);
+}
+
+fn check_quadrant(spec: &DatasetSpec, ds: &Dataset) {
+    let reference = QuadrantEngine::Baseline.build(ds);
+    for engine in QuadrantEngine::ALL {
+        if !engine.build(ds).same_results(&reference) {
+            fail(engine.name(), spec);
+        }
+    }
+    // k-skyband engines, k = 2.
+    let band_ref = skyline_core::skyband::build_baseline(ds, 2);
+    if !skyline_core::skyband::build_incremental(ds, 2).same_results(&band_ref) {
+        fail("skyband-incremental", spec);
+    }
+    // Serialization roundtrip.
+    let bytes = skyline_core::serialize::encode_cell_diagram(&reference);
+    match skyline_core::serialize::decode_cell_diagram(&bytes) {
+        Ok(decoded) if decoded.same_results(&reference) => {}
+        _ => fail("serialize-roundtrip", spec),
+    }
+    // Literal Algorithm 4 vs corner-key polyomino count (general position
+    // only; bounded-domain rounds are skipped by the tie check inside).
+    if let Ok(walks) = skyline_core::quadrant::algorithm4::build(ds) {
+        let swept = skyline_core::quadrant::sweeping::build(ds);
+        let nonempty = swept
+            .merged
+            .polyominoes
+            .iter()
+            .filter(|p| !swept.cell_diagram.results().get(p.result).is_empty())
+            .count();
+        if walks.len() != nonempty {
+            fail("algorithm4-count", spec);
+        }
+    }
+}
+
+fn check_global(spec: &DatasetSpec, ds: &Dataset) {
+    let reference = global::build(ds, QuadrantEngine::Baseline);
+    if !global::build(ds, QuadrantEngine::Sweeping).same_results(&reference) {
+        fail("global-sweeping", spec);
+    }
+}
+
+fn check_dynamic(spec: &DatasetSpec, ds: &Dataset) {
+    let reference = DynamicEngine::Baseline.build(ds);
+    for engine in DynamicEngine::ALL {
+        if !engine.build(ds).same_results(&reference) {
+            fail(engine.name(), spec);
+        }
+    }
+}
+
+fn check_highd(spec: &DatasetSpec) {
+    let ds = spec.build_d();
+    let reference = HighDEngine::Baseline.build(&ds);
+    for engine in HighDEngine::ALL {
+        if !engine.build(&ds).same_results(&reference) {
+            fail(engine.name(), spec);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Shared infrastructure for the benchmark suite and the `experiments`
+//! binary: dataset construction for every sweep in DESIGN.md's experiment
+//! index, plus a small wall-clock measurement helper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use skyline_core::geometry::{Dataset, DatasetD};
+use skyline_data::{DatasetSpec, Distribution};
+
+/// Fixed base seed: every experiment is reproducible bit-for-bit.
+pub const BASE_SEED: u64 = 20180417; // ICDE 2018 main-conference week
+
+/// Planar dataset for an (n, distribution) sweep point. The domain scales
+/// with `n` (10 values per point) so general position dominates, matching
+/// the unbounded-domain analyses; E2 varies the domain explicitly.
+pub fn sweep_dataset(n: usize, distribution: Distribution) -> Dataset {
+    DatasetSpec { n, dims: 2, domain: 10 * n as i64, distribution, seed: BASE_SEED }
+        .build_2d()
+}
+
+/// Planar dataset with an explicit domain size (experiment E2).
+pub fn domain_dataset(n: usize, domain: i64, distribution: Distribution) -> Dataset {
+    DatasetSpec { n, dims: 2, domain, distribution, seed: BASE_SEED }.build_2d()
+}
+
+/// d-dimensional dataset for the high-dimensional sweeps (experiment E4).
+pub fn highd_dataset(n: usize, dims: usize, distribution: Distribution) -> DatasetD {
+    DatasetSpec { n, dims, domain: 10 * n as i64, distribution, seed: BASE_SEED }.build_d()
+}
+
+/// Milliseconds for one run of `f`, minimized over `reps` runs (reduces
+/// scheduler noise without criterion's sampling overhead — the experiments
+/// binary sweeps configurations too large to criterion-sample).
+pub fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(reps > 0);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(out);
+        best = best.min(elapsed);
+    }
+    best
+}
+
+/// Formats a milliseconds figure compactly for the experiment tables.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 1000.0 {
+        format!("{:.2}s", ms / 1e3)
+    } else if ms >= 1.0 {
+        format!("{ms:.1}ms")
+    } else {
+        format!("{:.0}µs", ms * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_are_reproducible() {
+        assert_eq!(
+            sweep_dataset(50, Distribution::Independent),
+            sweep_dataset(50, Distribution::Independent)
+        );
+        assert_eq!(highd_dataset(20, 3, Distribution::Correlated).dims(), 3);
+        assert_eq!(domain_dataset(50, 16, Distribution::Anticorrelated).len(), 50);
+    }
+
+    #[test]
+    fn timing_returns_positive_values() {
+        let ms = time_ms(3, || (0..1000).sum::<u64>());
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ms(2500.0), "2.50s");
+        assert_eq!(fmt_ms(12.34), "12.3ms");
+        assert_eq!(fmt_ms(0.5), "500µs");
+    }
+}

@@ -1,0 +1,188 @@
+//! Tiny flag parser for the CLI: `--flag value` pairs plus positional
+//! arguments, with typed accessors and unknown-flag detection. Hand-rolled
+//! so the workspace stays within its approved dependency set.
+
+use std::collections::HashMap;
+
+/// Parsed arguments: positionals in order, flags as string pairs.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    positionals: Vec<String>,
+    flags: HashMap<String, String>,
+    consumed: std::cell::RefCell<std::collections::HashSet<String>>,
+}
+
+/// Argument errors, rendered for the user by `main`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A `--flag` had no following value.
+    MissingValue(String),
+    /// A flag value failed to parse; `(flag, value, expected)`.
+    BadValue(String, String, &'static str),
+    /// A required flag or positional was absent.
+    Required(&'static str),
+    /// Flags that no accessor asked for.
+    Unknown(Vec<String>),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "--{flag} needs a value"),
+            ArgError::BadValue(flag, value, expected) => {
+                write!(f, "--{flag}: {value:?} is not a valid {expected}")
+            }
+            ArgError::Required(what) => write!(f, "missing required {what}"),
+            ArgError::Unknown(flags) => {
+                write!(f, "unknown flags: ")?;
+                for (i, flag) in flags.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "--{flag}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (without the program/subcommand names).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {
+        let mut positionals = Vec::new();
+        let mut flags = HashMap::new();
+        let mut iter = raw.into_iter();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value =
+                    iter.next().ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+                flags.insert(name.to_string(), value);
+            } else {
+                positionals.push(arg);
+            }
+        }
+        Ok(Args { positionals, flags, consumed: Default::default() })
+    }
+
+    /// Positional argument `idx`, required.
+    pub fn positional(&self, idx: usize, what: &'static str) -> Result<&str, ArgError> {
+        self.positionals.get(idx).map(String::as_str).ok_or(ArgError::Required(what))
+    }
+
+    /// Number of positionals.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn positional_count(&self) -> usize {
+        self.positionals.len()
+    }
+
+    /// Optional string flag.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.consumed.borrow_mut().insert(flag.to_string());
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// String flag with a default.
+    pub fn get_or<'a>(&'a self, flag: &str, default: &'a str) -> &'a str {
+        self.get(flag).unwrap_or(default)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, flag: &'static str) -> Result<&str, ArgError> {
+        self.get(flag).ok_or(ArgError::Required(flag))
+    }
+
+    /// Integer flag with a default.
+    pub fn get_i64(&self, flag: &str, default: i64) -> Result<i64, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                ArgError::BadValue(flag.to_string(), v.to_string(), "integer")
+            }),
+        }
+    }
+
+    /// Unsigned flag with a default.
+    pub fn get_usize(&self, flag: &str, default: usize) -> Result<usize, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                ArgError::BadValue(flag.to_string(), v.to_string(), "unsigned integer")
+            }),
+        }
+    }
+
+    /// Errors if any provided flag was never consumed by an accessor.
+    pub fn reject_unknown(&self) -> Result<(), ArgError> {
+        let consumed = self.consumed.borrow();
+        let mut unknown: Vec<String> =
+            self.flags.keys().filter(|k| !consumed.contains(*k)).cloned().collect();
+        if unknown.is_empty() {
+            Ok(())
+        } else {
+            unknown.sort_unstable();
+            Err(ArgError::Unknown(unknown))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Args {
+        Args::parse(parts.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_flags() {
+        let args = parse(&["input.csv", "--n", "100", "out.bin", "--seed", "7"]);
+        assert_eq!(args.positional(0, "input").unwrap(), "input.csv");
+        assert_eq!(args.positional(1, "output").unwrap(), "out.bin");
+        assert_eq!(args.positional_count(), 2);
+        assert_eq!(args.get_usize("n", 0).unwrap(), 100);
+        assert_eq!(args.get_i64("seed", 0).unwrap(), 7);
+        assert!(args.reject_unknown().is_ok());
+    }
+
+    #[test]
+    fn defaults() {
+        let args = parse(&[]);
+        assert_eq!(args.get_or("engine", "sweeping"), "sweeping");
+        assert_eq!(args.get_usize("n", 42).unwrap(), 42);
+        assert_eq!(args.positional(0, "input"), Err(ArgError::Required("input")));
+    }
+
+    #[test]
+    fn missing_value() {
+        let err = Args::parse(["--n".to_string()]).unwrap_err();
+        assert_eq!(err, ArgError::MissingValue("n".into()));
+    }
+
+    #[test]
+    fn bad_value() {
+        let args = parse(&["--n", "xyz"]);
+        assert!(matches!(args.get_usize("n", 0), Err(ArgError::BadValue(..))));
+    }
+
+    #[test]
+    fn unknown_flags_detected() {
+        let args = parse(&["--bogus", "1", "--n", "5"]);
+        let _ = args.get_usize("n", 0);
+        assert_eq!(args.reject_unknown(), Err(ArgError::Unknown(vec!["bogus".into()])));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ArgError::MissingValue("x".into()).to_string().contains("--x"));
+        assert!(ArgError::Required("input").to_string().contains("input"));
+        assert!(ArgError::Unknown(vec!["a".into(), "b".into()])
+            .to_string()
+            .contains("--a, --b"));
+        assert!(ArgError::BadValue("n".into(), "z".into(), "integer")
+            .to_string()
+            .contains("integer"));
+    }
+}

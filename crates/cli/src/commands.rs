@@ -1,0 +1,462 @@
+//! Subcommand implementations. Each command takes parsed [`Args`] and
+//! writes to the given output stream, so tests can drive them end to end.
+
+use std::io::Write;
+
+use skyline_core::diagram::merge::merge;
+use skyline_core::dynamic::DynamicEngine;
+use skyline_core::geometry::{Dataset, Point};
+use skyline_core::quadrant::QuadrantEngine;
+use skyline_core::serialize;
+use skyline_data::{csv, generators, hotel};
+
+use crate::args::{ArgError, Args};
+
+/// Top-level CLI error.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument problems.
+    Args(ArgError),
+    /// File system problems.
+    Io(std::io::Error),
+    /// CSV parse problems.
+    Csv(csv::CsvError),
+    /// Diagram decode problems.
+    Decode(serialize::DecodeError),
+    /// Anything else, with a message.
+    Other(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Csv(e) => write!(f, "csv error: {e}"),
+            CliError::Decode(e) => write!(f, "decode error: {e}"),
+            CliError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<csv::CsvError> for CliError {
+    fn from(e: csv::CsvError) -> Self {
+        CliError::Csv(e)
+    }
+}
+
+impl From<serialize::DecodeError> for CliError {
+    fn from(e: serialize::DecodeError) -> Self {
+        CliError::Decode(e)
+    }
+}
+
+fn parse_engine(name: &str) -> Result<QuadrantEngine, CliError> {
+    QuadrantEngine::ALL
+        .into_iter()
+        .find(|e| e.name() == name)
+        .ok_or_else(|| {
+            CliError::Other(format!(
+                "unknown engine {name:?}; expected one of baseline, dsg, scanning, sweeping"
+            ))
+        })
+}
+
+fn parse_distribution(name: &str) -> Result<generators::Distribution, CliError> {
+    generators::Distribution::ALL
+        .into_iter()
+        .find(|d| d.name() == name)
+        .ok_or_else(|| {
+            CliError::Other(format!(
+                "unknown distribution {name:?}; expected corr, inde or anti"
+            ))
+        })
+}
+
+fn load_dataset(path: &str) -> Result<Dataset, CliError> {
+    if path == "hotel" {
+        return Ok(hotel::dataset());
+    }
+    Ok(csv::parse_dataset_2d(&std::fs::read_to_string(path)?)?)
+}
+
+/// `skydiag gen --dist anti --n 100 --domain 1000 --seed 1 --out data.csv`
+pub fn cmd_gen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let spec = generators::DatasetSpec {
+        n: args.get_usize("n", 100)?,
+        dims: 2,
+        domain: args.get_i64("domain", 1000)?,
+        distribution: parse_distribution(args.get_or("dist", "inde"))?,
+        seed: args.get_i64("seed", 1)? as u64,
+    };
+    let out_path = args.get("out").map(str::to_string);
+    args.reject_unknown()?;
+    let text = csv::to_csv_2d(&spec.build_2d());
+    match out_path {
+        Some(path) => std::fs::write(path, text)?,
+        None => out.write_all(text.as_bytes())?,
+    }
+    Ok(())
+}
+
+/// `skydiag build data.csv --engine sweeping --kind quadrant --out d.skyd`
+pub fn cmd_build(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let input = args.positional(0, "input csv path (or 'hotel')")?;
+    let dataset = load_dataset(input)?;
+    let engine = parse_engine(args.get_or("engine", "sweeping"))?;
+    let kind = args.get_or("kind", "quadrant").to_string();
+    let out_path = args.require("out")?.to_string();
+    let k = args.get_usize("k", 2)?;
+    args.reject_unknown()?;
+
+    let bytes = match kind.as_str() {
+        "quadrant" => serialize::encode_cell_diagram(&engine.build(&dataset)),
+        "skyband" => serialize::encode_cell_diagram(
+            &skyline_core::skyband::build_incremental(&dataset, k as u32),
+        ),
+        "global" => {
+            serialize::encode_cell_diagram(&skyline_core::global::build(&dataset, engine))
+        }
+        "dynamic" => serialize::encode_subcell_diagram(
+            &DynamicEngine::Scanning.build(&dataset),
+        ),
+        other => {
+            return Err(CliError::Other(format!(
+                "unknown kind {other:?}; expected quadrant, global, dynamic or skyband"
+            )))
+        }
+    };
+    std::fs::write(&out_path, &bytes)?;
+    writeln!(out, "wrote {} bytes to {}", bytes.len(), out_path)?;
+    Ok(())
+}
+
+/// `skydiag query d.skyd --at 10,80 [--kind quadrant]`
+pub fn cmd_query(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let path = args.positional(0, "diagram path")?;
+    let at = args.require("at")?;
+    let kind = args.get_or("kind", "quadrant").to_string();
+    args.reject_unknown()?;
+
+    let q = parse_point(at)?;
+    let bytes = std::fs::read(path)?;
+    let result: Vec<u32> = match kind.as_str() {
+        "quadrant" | "global" => serialize::decode_cell_diagram(&bytes)?
+            .query(q)
+            .iter()
+            .map(|id| id.0)
+            .collect(),
+        "dynamic" => serialize::decode_subcell_diagram(&bytes)?
+            .query(q)
+            .iter()
+            .map(|id| id.0)
+            .collect(),
+        other => {
+            return Err(CliError::Other(format!(
+                "unknown kind {other:?}; expected quadrant, global or dynamic"
+            )))
+        }
+    };
+    let names: Vec<String> = result.iter().map(|id| format!("p{id}")).collect();
+    writeln!(out, "skyline at {q}: {{{}}}", names.join(", "))?;
+    Ok(())
+}
+
+fn parse_point(text: &str) -> Result<Point, CliError> {
+    let parts: Vec<&str> = text.split(',').collect();
+    if parts.len() != 2 {
+        return Err(CliError::Other(format!("expected x,y but found {text:?}")));
+    }
+    let x = parts[0].trim().parse().map_err(|_| {
+        CliError::Other(format!("bad x coordinate {:?}", parts[0].trim()))
+    })?;
+    let y = parts[1].trim().parse().map_err(|_| {
+        CliError::Other(format!("bad y coordinate {:?}", parts[1].trim()))
+    })?;
+    Ok(Point::new(x, y))
+}
+
+/// `skydiag stats data.csv [--engine sweeping]`
+pub fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let input = args.positional(0, "input csv path (or 'hotel')")?;
+    let dataset = load_dataset(input)?;
+    let engine = parse_engine(args.get_or("engine", "sweeping"))?;
+    args.reject_unknown()?;
+
+    let diagram = engine.build(&dataset);
+    let merged = merge(&diagram);
+    let stats = diagram.stats();
+    writeln!(out, "points:            {}", dataset.len())?;
+    writeln!(out, "grid:              {} x {} lines", diagram.grid().nx(), diagram.grid().ny())?;
+    writeln!(out, "cells:             {}", stats.cell_count)?;
+    writeln!(out, "polyominoes:       {}", merged.len())?;
+    writeln!(out, "distinct results:  {}", stats.distinct_results)?;
+    writeln!(out, "avg skyline size:  {:.2}", stats.avg_result_len)?;
+    writeln!(out, "max skyline size:  {}", stats.max_result_len)?;
+    writeln!(out, "interned ids:      {}", stats.interned_ids)?;
+    Ok(())
+}
+
+/// `skydiag render data.csv --out diagram.svg [--engine sweeping]`
+pub fn cmd_render(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let input = args.positional(0, "input csv path (or 'hotel')")?;
+    let dataset = load_dataset(input)?;
+    let engine = parse_engine(args.get_or("engine", "sweeping"))?;
+    let out_path = args.require("out")?.to_string();
+    args.reject_unknown()?;
+
+    let diagram = engine.build(&dataset);
+    let merged = merge(&diagram);
+    let svg = skyline_viz::svg::render_merged_diagram(
+        &dataset,
+        &diagram,
+        &merged,
+        &skyline_viz::svg::SvgOptions::default(),
+    );
+    std::fs::write(&out_path, &svg)?;
+    writeln!(out, "wrote {} to {}", human_bytes(svg.len()), out_path)?;
+    Ok(())
+}
+
+/// `skydiag ascii data.csv [--engine sweeping]`
+pub fn cmd_ascii(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let input = args.positional(0, "input csv path (or 'hotel')")?;
+    let dataset = load_dataset(input)?;
+    let engine = parse_engine(args.get_or("engine", "sweeping"))?;
+    args.reject_unknown()?;
+    let diagram = engine.build(&dataset);
+    out.write_all(skyline_viz::ascii::render_cells(&diagram).as_bytes())?;
+    writeln!(out, "\nlegend:\n{}", skyline_viz::ascii::legend(&diagram))?;
+    Ok(())
+}
+
+/// `skydiag report data.csv --out report.html [--engine sweeping] [--title T]`
+pub fn cmd_report(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let input = args.positional(0, "input csv path (or 'hotel')")?;
+    let dataset = load_dataset(input)?;
+    let engine = parse_engine(args.get_or("engine", "sweeping"))?;
+    let title = args.get_or("title", "Skyline diagram report").to_string();
+    let out_path = args.require("out")?.to_string();
+    args.reject_unknown()?;
+
+    let html = skyline_viz::report::html_report(&title, &dataset, engine);
+    std::fs::write(&out_path, &html)?;
+    writeln!(out, "wrote {} to {}", human_bytes(html.len()), out_path)?;
+    Ok(())
+}
+
+/// `skydiag trace data.csv --from 0,0 --to 25,100 [--engine sweeping]`
+pub fn cmd_trace(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let input = args.positional(0, "input csv path (or 'hotel')")?;
+    let dataset = load_dataset(input)?;
+    let engine = parse_engine(args.get_or("engine", "sweeping"))?;
+    let from = parse_point(args.require("from")?)?;
+    let to = parse_point(args.require("to")?)?;
+    args.reject_unknown()?;
+
+    let diagram = engine.build(&dataset);
+    let steps = skyline_apps::continuous::trace_segment(&diagram, from, to);
+    writeln!(out, "route {from} -> {to}: {} result changes", steps.len() - 1)?;
+    for step in steps {
+        let names: Vec<String> =
+            step.result.iter().map(|id| format!("p{}", id.0)).collect();
+        writeln!(
+            out,
+            "  t in [{:.4}, {:.4}]  {{{}}}",
+            step.t_start,
+            step.t_end,
+            names.join(", ")
+        )?;
+    }
+    Ok(())
+}
+
+fn human_bytes(n: usize) -> String {
+    if n >= 1 << 20 {
+        format!("{:.1} MiB", n as f64 / (1 << 20) as f64)
+    } else if n >= 1 << 10 {
+        format!("{:.1} KiB", n as f64 / (1 << 10) as f64)
+    } else {
+        format!("{n} B")
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "skydiag — skyline diagrams on the command line
+
+USAGE:
+  skydiag gen    [--dist corr|inde|anti] [--n N] [--domain S] [--seed K] [--out data.csv]
+  skydiag build  <data.csv|hotel> --out d.skyd [--engine baseline|dsg|scanning|sweeping]
+                 [--kind quadrant|global|dynamic|skyband] [--k K]
+  skydiag query  <d.skyd> --at X,Y [--kind quadrant|global|dynamic]
+  skydiag stats  <data.csv|hotel> [--engine ...]
+  skydiag render <data.csv|hotel> --out d.svg [--engine ...]
+  skydiag ascii  <data.csv|hotel> [--engine ...]
+  skydiag trace  <data.csv|hotel> --from X,Y --to X,Y [--engine ...]
+  skydiag report <data.csv|hotel> --out report.html [--engine ...] [--title T]
+
+Input CSV: one `x,y` integer row per point; `#` comments allowed.
+The literal input 'hotel' loads the paper's 11-hotel running example.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(
+        cmd: fn(&Args, &mut dyn Write) -> Result<(), CliError>,
+        parts: &[&str],
+    ) -> Result<String, CliError> {
+        let args = Args::parse(parts.iter().map(|s| s.to_string()))?;
+        let mut out = Vec::new();
+        cmd(&args, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    #[test]
+    fn gen_with_out_flag_writes_the_file() {
+        // Regression: --out must be consumed before unknown-flag rejection.
+        let dir = std::env::temp_dir().join("skydiag-test-gen");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.csv");
+        run(cmd_gen, &["--n", "5", "--out", path.to_str().unwrap()]).unwrap();
+        let ds = csv::parse_dataset_2d(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(ds.len(), 5);
+    }
+
+    #[test]
+    fn gen_to_stdout_is_valid_csv() {
+        let text = run(cmd_gen, &["--n", "25", "--dist", "anti", "--seed", "3"]).unwrap();
+        let ds = csv::parse_dataset_2d(&text).unwrap();
+        assert_eq!(ds.len(), 25);
+    }
+
+    #[test]
+    fn build_query_roundtrip() {
+        let dir = std::env::temp_dir().join("skydiag-test-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let diagram_path = dir.join("hotel.skyd");
+        let diagram_str = diagram_path.to_str().unwrap();
+
+        let msg =
+            run(cmd_build, &["hotel", "--out", diagram_str, "--engine", "scanning"]).unwrap();
+        assert!(msg.contains("wrote"));
+
+        let answer = run(cmd_query, &[diagram_str, "--at", "12,81"]).unwrap();
+        // Point ids are 0-based: the paper's {p8, p10} prints as {p7, p9}.
+        assert!(answer.contains("{p7, p9}"), "{answer}");
+    }
+
+    #[test]
+    fn build_skyband_and_query() {
+        let dir = std::env::temp_dir().join("skydiag-test-skyband");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hotel-band.skyd");
+        let path_str = path.to_str().unwrap();
+        run(cmd_build, &["hotel", "--out", path_str, "--kind", "skyband", "--k", "2"])
+            .unwrap();
+        // Serialized skyband diagrams answer like any cell diagram; the
+        // 2-band at (12, 81) adds p5 and p7 to the skyline {p8, p10}
+        // (0-based: p4, p6, p7, p9).
+        let answer = run(cmd_query, &[path_str, "--at", "12,81"]).unwrap();
+        assert!(answer.contains("{p4, p6, p7, p9}"), "{answer}");
+    }
+
+    #[test]
+    fn build_dynamic_and_query() {
+        let dir = std::env::temp_dir().join("skydiag-test-dynamic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hotel-dyn.skyd");
+        let path_str = path.to_str().unwrap();
+        run(cmd_build, &["hotel", "--out", path_str, "--kind", "dynamic"]).unwrap();
+        // (19, 50) lies strictly inside a subcell; its dynamic skyline in
+        // the reconstruction is {p6, p10} (0-based: p5, p9).
+        let answer =
+            run(cmd_query, &[path_str, "--at", "19,50", "--kind", "dynamic"]).unwrap();
+        assert!(answer.contains("{p5, p9}"), "{answer}");
+    }
+
+    #[test]
+    fn stats_output() {
+        let text = run(cmd_stats, &["hotel"]).unwrap();
+        assert!(text.contains("points:            11"));
+        assert!(text.contains("polyominoes"));
+    }
+
+    #[test]
+    fn ascii_output() {
+        let text = run(cmd_ascii, &["hotel"]).unwrap();
+        assert!(text.contains("legend"));
+        assert!(text.lines().next().unwrap().contains('.'));
+    }
+
+    #[test]
+    fn report_writes_html() {
+        let dir = std::env::temp_dir().join("skydiag-test-report");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hotel.html");
+        run(cmd_report, &["hotel", "--out", path.to_str().unwrap()]).unwrap();
+        let html = std::fs::read_to_string(&path).unwrap();
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("polyominoes"));
+    }
+
+    #[test]
+    fn trace_produces_tiling_itinerary() {
+        let text = run(
+            cmd_trace,
+            &["hotel", "--from", "0,0", "--to", "25,100"],
+        )
+        .unwrap();
+        assert!(text.contains("result changes"));
+        assert!(text.contains("t in [0.0000"));
+        assert!(text.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn render_svg() {
+        let dir = std::env::temp_dir().join("skydiag-test-render");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hotel.svg");
+        run(cmd_render, &["hotel", "--out", path.to_str().unwrap()]).unwrap();
+        let svg = std::fs::read_to_string(&path).unwrap();
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn bad_inputs_error_cleanly() {
+        assert!(matches!(
+            run(cmd_build, &["hotel", "--out", "/tmp/x.skyd", "--engine", "warp"]),
+            Err(CliError::Other(_))
+        ));
+        assert!(matches!(
+            run(cmd_query, &["/nonexistent.skyd", "--at", "1,2"]),
+            Err(CliError::Io(_))
+        ));
+        assert!(matches!(
+            run(cmd_gen, &["--dist", "weird"]),
+            Err(CliError::Other(_))
+        ));
+        assert!(matches!(parse_point("1;2"), Err(CliError::Other(_))));
+        assert!(matches!(parse_point("a,2"), Err(CliError::Other(_))));
+    }
+
+    #[test]
+    fn human_bytes_formatting() {
+        assert_eq!(human_bytes(10), "10 B");
+        assert_eq!(human_bytes(2048), "2.0 KiB");
+        assert_eq!(human_bytes(3 << 20), "3.0 MiB");
+    }
+}

@@ -1,0 +1,187 @@
+//! Analytics over a finished diagram: exact region areas and the induced
+//! *result distribution* — for a query drawn uniformly from a box, the
+//! probability of observing each skyline result is its region's area
+//! share. The Voronoi analogy again: cell areas are load estimates.
+//!
+//! Areas are exact integers (cells are axis-aligned boxes clipped to the
+//! query window), so the distribution sums to the window area exactly.
+
+use std::collections::HashMap;
+
+use crate::diagram::{CellDiagram, ClipBox};
+use crate::geometry::{CellIndex, Coord, PointId};
+use crate::result_set::ResultId;
+
+/// One entry of the result distribution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResultShare {
+    /// The interned result id in the source diagram.
+    pub result: ResultId,
+    /// The skyline point ids.
+    pub ids: Vec<PointId>,
+    /// Total clipped area of all cells carrying this result.
+    pub area: i64,
+}
+
+/// Exact area of one cell clipped to the window; 0 if disjoint.
+fn clipped_cell_area(diagram: &CellDiagram, (i, j): CellIndex, window: ClipBox) -> i64 {
+    let xs = diagram.grid().x_lines();
+    let ys = diagram.grid().y_lines();
+    let lo = |lines: &[Coord], k: u32, min: Coord| -> Coord {
+        if k == 0 {
+            min
+        } else {
+            lines[k as usize - 1].max(min)
+        }
+    };
+    let hi = |lines: &[Coord], k: u32, max: Coord| -> Coord {
+        if k as usize == lines.len() {
+            max
+        } else {
+            lines[k as usize].min(max)
+        }
+    };
+    let w = hi(xs, i, window.x_max) - lo(xs, i, window.x_min);
+    let h = hi(ys, j, window.y_max) - lo(ys, j, window.y_min);
+    if w <= 0 || h <= 0 {
+        0
+    } else {
+        w * h
+    }
+}
+
+/// The exact result distribution of a diagram over a query window:
+/// one entry per distinct result with positive clipped area, sorted by
+/// decreasing area (ties by result id). The areas sum to the window area.
+pub fn result_distribution(diagram: &CellDiagram, window: ClipBox) -> Vec<ResultShare> {
+    assert!(
+        window.x_max > window.x_min && window.y_max > window.y_min,
+        "query window must have positive area"
+    );
+    let mut areas: HashMap<ResultId, i64> = HashMap::new();
+    for cell in diagram.grid().cells() {
+        let area = clipped_cell_area(diagram, cell, window);
+        if area > 0 {
+            *areas.entry(diagram.result_id(cell)).or_default() += area;
+        }
+    }
+    let mut out: Vec<ResultShare> = areas
+        .into_iter()
+        .map(|(result, area)| ResultShare {
+            result,
+            ids: diagram.results().get(result).to_vec(),
+            area,
+        })
+        .collect();
+    out.sort_unstable_by(|a, b| b.area.cmp(&a.area).then(a.result.cmp(&b.result)));
+    out
+}
+
+/// Probability that a uniform query in `window` has point `p` in its
+/// quadrant skyline: the area share of regions whose result contains `p`.
+pub fn containment_probability(
+    diagram: &CellDiagram,
+    window: ClipBox,
+    p: PointId,
+) -> f64 {
+    let total = (window.x_max - window.x_min) * (window.y_max - window.y_min);
+    let hit: i64 = result_distribution(diagram, window)
+        .into_iter()
+        .filter(|share| share.ids.binary_search(&p).is_ok())
+        .map(|share| share.area)
+        .sum();
+    hit as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Dataset;
+    use crate::quadrant::QuadrantEngine;
+
+    fn window(ds: &Dataset, pad: i64) -> ClipBox {
+        let xs: Vec<i64> = ds.points().iter().map(|p| p.x).collect();
+        let ys: Vec<i64> = ds.points().iter().map(|p| p.y).collect();
+        ClipBox {
+            x_min: xs.iter().min().unwrap() - pad,
+            x_max: xs.iter().max().unwrap() + pad,
+            y_min: ys.iter().min().unwrap() - pad,
+            y_max: ys.iter().max().unwrap() + pad,
+        }
+    }
+
+    #[test]
+    fn areas_sum_to_the_window() {
+        let ds = crate::test_data::hotel_dataset();
+        let d = QuadrantEngine::Sweeping.build(&ds);
+        let w = window(&ds, 3);
+        let dist = result_distribution(&d, w);
+        let total: i64 = dist.iter().map(|s| s.area).sum();
+        assert_eq!(total, (w.x_max - w.x_min) * (w.y_max - w.y_min));
+        // Sorted by decreasing area.
+        for pair in dist.windows(2) {
+            assert!(pair[0].area >= pair[1].area);
+        }
+    }
+
+    #[test]
+    fn two_point_distribution_is_exact() {
+        // Points (0,0), (10,10); window [-2,12]²  (area 196).
+        let ds = Dataset::from_coords([(0, 0), (10, 10)]).unwrap();
+        let d = QuadrantEngine::Baseline.build(&ds);
+        let w = ClipBox { x_min: -2, x_max: 12, y_min: -2, y_max: 12 };
+        let dist = result_distribution(&d, w);
+        let lookup = |ids: &[u32]| -> i64 {
+            dist.iter()
+                .find(|s| s.ids.iter().map(|id| id.0).collect::<Vec<_>>() == ids)
+                .map(|s| s.area)
+                .unwrap_or(0)
+        };
+        // {p0}: x < 0, y < 0 clipped to [-2,0]² = 4.
+        assert_eq!(lookup(&[0]), 4);
+        // {p1}: (x<10, y<10) minus {p0}'s cell = 12*12 - 4 = 140.
+        assert_eq!(lookup(&[1]), 140);
+        // {}: the remaining L = 196 - 144 = 52.
+        assert_eq!(lookup(&[]), 52);
+    }
+
+    #[test]
+    fn containment_probability_matches_distribution() {
+        let ds = crate::test_data::hotel_dataset();
+        let d = QuadrantEngine::Scanning.build(&ds);
+        let w = window(&ds, 2);
+        for (id, _) in ds.iter() {
+            let p = containment_probability(&d, w, id);
+            assert!((0.0..=1.0).contains(&p), "{id}: {p}");
+        }
+        // p11 = (11, 9) is undominated, so it appears exactly for queries
+        // below-left of it: area (11 - x_min) * (9 - y_min) of the window.
+        let expected = ((11 - w.x_min) * (9 - w.y_min)) as f64
+            / ((w.x_max - w.x_min) * (w.y_max - w.y_min)) as f64;
+        let got = containment_probability(&d, w, crate::geometry::PointId(10));
+        assert!((got - expected).abs() < 1e-12, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn disjoint_window_has_single_region() {
+        let ds = Dataset::from_coords([(0, 0), (5, 5)]).unwrap();
+        let d = QuadrantEngine::Baseline.build(&ds);
+        // Entirely beyond all points: only the empty result.
+        let w = ClipBox { x_min: 100, x_max: 110, y_min: 100, y_max: 110 };
+        let dist = result_distribution(&d, w);
+        assert_eq!(dist.len(), 1);
+        assert!(dist[0].ids.is_empty());
+        assert_eq!(dist[0].area, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive area")]
+    fn empty_window_rejected() {
+        let ds = Dataset::from_coords([(0, 0)]).unwrap();
+        let d = QuadrantEngine::Baseline.build(&ds);
+        let _ = result_distribution(
+            &d,
+            ClipBox { x_min: 5, x_max: 5, y_min: 0, y_max: 1 },
+        );
+    }
+}

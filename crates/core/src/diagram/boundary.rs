@@ -1,0 +1,293 @@
+//! Boundary extraction for skyline polyominoes: the vertex walks of the
+//! paper's Algorithm 4 ("the sequence of vertices for the skymino
+//! corresponding to g1 is g1, g2, g3, g4, g5, g6", Example 5), generalized
+//! to arbitrary cell sets.
+//!
+//! A polyomino is a union of grid cells; its boundary is a set of closed
+//! rectilinear loops on the grid-line lattice — one outer loop, plus one
+//! loop per hole (holes cannot arise from the merge of a *valid* skyline
+//! diagram, but the tracer is total so it can serve any cell set).
+//! Unbounded polyominoes (touching the outermost slabs) are clipped to a
+//! caller-supplied bounding box, defaulting to one unit beyond the data's
+//! grid lines.
+//!
+//! Loops are returned with collinear vertices elided, oriented so that the
+//! polyomino interior lies on the *left* of the walk direction (outer
+//! loops counterclockwise in standard orientation, holes clockwise).
+
+use std::collections::HashMap;
+
+use crate::geometry::{CellGrid, CellIndex, Coord, Point};
+
+/// Clip window for unbounded polyominoes, in data coordinates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClipBox {
+    /// Left edge of the clip window.
+    pub x_min: Coord,
+    /// Right edge.
+    pub x_max: Coord,
+    /// Bottom edge.
+    pub y_min: Coord,
+    /// Top edge.
+    pub y_max: Coord,
+}
+
+impl ClipBox {
+    /// One unit beyond the grid's extreme lines — the default window.
+    pub fn around(grid: &CellGrid) -> Self {
+        let xs = grid.x_lines();
+        let ys = grid.y_lines();
+        ClipBox {
+            x_min: xs[0] - 1,
+            x_max: xs[xs.len() - 1] + 1,
+            y_min: ys[0] - 1,
+            y_max: ys[ys.len() - 1] + 1,
+        }
+    }
+}
+
+/// Walk direction on the vertex lattice.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Dir {
+    East,
+    North,
+    West,
+    South,
+}
+
+impl Dir {
+    fn step(self, (i, j): (i64, i64)) -> (i64, i64) {
+        match self {
+            Dir::East => (i + 1, j),
+            Dir::North => (i, j + 1),
+            Dir::West => (i - 1, j),
+            Dir::South => (i, j - 1),
+        }
+    }
+
+    /// Candidate outgoing directions after arriving with heading `self`,
+    /// preferring the tightest left turn — this resolves checkerboard
+    /// vertices so each loop hugs its own region.
+    fn turn_preference(self) -> [Dir; 3] {
+        match self {
+            Dir::East => [Dir::North, Dir::East, Dir::South],
+            Dir::North => [Dir::West, Dir::North, Dir::East],
+            Dir::West => [Dir::South, Dir::West, Dir::North],
+            Dir::South => [Dir::East, Dir::South, Dir::West],
+        }
+    }
+}
+
+/// Extracts the boundary loops of a set of cells, as closed vertex chains
+/// in data coordinates (the first vertex is not repeated at the end).
+pub fn boundary_loops(grid: &CellGrid, cells: &[CellIndex], clip: ClipBox) -> Vec<Vec<Point>> {
+    let in_set: std::collections::HashSet<CellIndex> = cells.iter().copied().collect();
+    let occupied = |i: i64, j: i64| -> bool {
+        if i < 0 || j < 0 {
+            return false;
+        }
+        in_set.contains(&(i as u32, j as u32))
+    };
+
+    // Directed boundary edges, interior on the left, keyed by start vertex.
+    // Cell (i, j) spans lattice vertices (i, j)..(i+1, j+1).
+    let mut edges: HashMap<(i64, i64), Vec<Dir>> = HashMap::new();
+    let mut push = |from: (i64, i64), dir: Dir| edges.entry(from).or_default().push(dir);
+    for &(ci, cj) in cells.iter() {
+        let (i, j) = (ci as i64, cj as i64);
+        if !occupied(i, j - 1) {
+            push((i, j), Dir::East); // bottom edge, interior above
+        }
+        if !occupied(i, j + 1) {
+            push((i + 1, j + 1), Dir::West); // top edge, interior below
+        }
+        if !occupied(i - 1, j) {
+            push((i, j + 1), Dir::South); // left edge, interior right
+        }
+        if !occupied(i + 1, j) {
+            push((i + 1, j), Dir::North); // right edge, interior left
+        }
+    }
+
+    let mut loops = Vec::new();
+    // Deterministic order: iterate starts sorted.
+    let mut starts: Vec<(i64, i64)> = edges.keys().copied().collect();
+    starts.sort_unstable();
+    for start in starts {
+        while let Some(first_dir) = edges.get_mut(&start).and_then(Vec::pop) {
+            let mut walk: Vec<((i64, i64), Dir)> = vec![(start, first_dir)];
+            let mut at = first_dir.step(start);
+            let mut heading = first_dir;
+            while at != start {
+                let out = edges.get_mut(&at).expect("boundary edges form closed loops");
+                let dir = *heading
+                    .turn_preference()
+                    .iter()
+                    .find(|d| out.contains(d))
+                    .expect("boundary edges form closed loops");
+                out.retain(|&d| d != dir);
+                walk.push((at, dir));
+                at = dir.step(at);
+                heading = dir;
+            }
+            loops.push(simplify(grid, walk, clip));
+        }
+    }
+    loops
+}
+
+/// Drops collinear intermediate vertices and maps lattice indices to data
+/// coordinates (clipping boundary slabs).
+fn simplify(grid: &CellGrid, walk: Vec<((i64, i64), Dir)>, clip: ClipBox) -> Vec<Point> {
+    let xs = grid.x_lines();
+    let ys = grid.y_lines();
+    let coord_x = |i: i64| -> Coord {
+        if i <= 0 {
+            clip.x_min
+        } else if i as usize > xs.len() {
+            clip.x_max
+        } else {
+            xs[i as usize - 1]
+        }
+    };
+    let coord_y = |j: i64| -> Coord {
+        if j <= 0 {
+            clip.y_min
+        } else if j as usize > ys.len() {
+            clip.y_max
+        } else {
+            ys[j as usize - 1]
+        }
+    };
+    let n = walk.len();
+    let mut out = Vec::new();
+    for k in 0..n {
+        let prev_dir = walk[(k + n - 1) % n].1;
+        let (vertex, dir) = walk[k];
+        if dir != prev_dir {
+            out.push(Point::new(coord_x(vertex.0), coord_y(vertex.1)));
+        }
+    }
+    out
+}
+
+/// Signed area (shoelace, doubled) of a loop; positive for counterclockwise.
+pub fn signed_area_doubled(vertices: &[Point]) -> i64 {
+    let n = vertices.len();
+    (0..n)
+        .map(|k| {
+            let a = vertices[k];
+            let b = vertices[(k + 1) % n];
+            a.x * b.y - b.x * a.y
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Dataset;
+
+    /// 3x3 cell grid from two points at (10, 10) and (20, 20).
+    fn grid() -> CellGrid {
+        CellGrid::new(&Dataset::from_coords([(10, 10), (20, 20)]).unwrap())
+    }
+
+    #[test]
+    fn single_bounded_cell() {
+        let g = grid();
+        let clip = ClipBox::around(&g);
+        let loops = boundary_loops(&g, &[(1, 1)], clip);
+        assert_eq!(loops.len(), 1);
+        let mut loop0 = loops[0].clone();
+        // Cell (1,1) spans x in (10, 20), y in (10, 20).
+        loop0.sort_unstable();
+        assert_eq!(
+            loop0,
+            vec![
+                Point::new(10, 10),
+                Point::new(10, 20),
+                Point::new(20, 10),
+                Point::new(20, 20)
+            ]
+        );
+        assert!(signed_area_doubled(&loops[0]) > 0, "outer loop is CCW");
+    }
+
+    #[test]
+    fn l_shape_has_six_vertices() {
+        let g = grid();
+        let clip = ClipBox::around(&g);
+        // L-shape: the staircase polyomino of the paper's Example 5.
+        let loops = boundary_loops(&g, &[(0, 0), (1, 0), (0, 1)], clip);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].len(), 6);
+        // Areas: (0,0) clips to 1x1, (1,0) to 10x1, (0,1) to 1x10 -> 21.
+        assert_eq!(signed_area_doubled(&loops[0]), 2 * 21);
+    }
+
+    #[test]
+    fn unbounded_region_is_clipped() {
+        let g = grid();
+        let clip = ClipBox::around(&g);
+        // Top-right cell extends to infinity; clip at +1 beyond lines.
+        let loops = boundary_loops(&g, &[(2, 2)], clip);
+        assert_eq!(loops.len(), 1);
+        let mut v = loops[0].clone();
+        v.sort_unstable();
+        assert_eq!(
+            v,
+            vec![
+                Point::new(20, 20),
+                Point::new(20, 21),
+                Point::new(21, 20),
+                Point::new(21, 21)
+            ]
+        );
+    }
+
+    #[test]
+    fn donut_yields_outer_and_hole_loops() {
+        // A 3x3 ring of cells around a hole needs a larger grid: use 4
+        // points -> 5x5 cells.
+        let ds =
+            Dataset::from_coords([(10, 10), (20, 20), (30, 30), (40, 40)]).unwrap();
+        let g = CellGrid::new(&ds);
+        let ring: Vec<CellIndex> = vec![
+            (1, 1), (2, 1), (3, 1),
+            (1, 2),         (3, 2),
+            (1, 3), (2, 3), (3, 3),
+        ];
+        let loops = boundary_loops(&g, &ring, ClipBox::around(&g));
+        assert_eq!(loops.len(), 2);
+        let outer = loops.iter().find(|l| signed_area_doubled(l) > 0).unwrap();
+        let hole = loops.iter().find(|l| signed_area_doubled(l) < 0).unwrap();
+        assert_eq!(outer.len(), 4);
+        assert_eq!(hole.len(), 4);
+    }
+
+    #[test]
+    fn checkerboard_touch_produces_two_separate_loops() {
+        // Two cells sharing only a corner: each gets its own loop, and the
+        // left-turn preference keeps them disjoint.
+        let g = grid();
+        let loops = boundary_loops(&g, &[(0, 0), (1, 1)], ClipBox::around(&g));
+        assert_eq!(loops.len(), 2);
+        for l in &loops {
+            assert_eq!(l.len(), 4);
+            assert!(signed_area_doubled(l) > 0);
+        }
+    }
+
+    #[test]
+    fn total_boundary_area_matches_cells() {
+        // Signed areas of all loops of a polyomino sum to its cell area.
+        let g = grid();
+        let cells = vec![(0, 0), (1, 0), (0, 1), (1, 1)];
+        let loops = boundary_loops(&g, &cells, ClipBox::around(&g));
+        assert_eq!(loops.len(), 1);
+        // Cells (0,0),(1,0),(0,1),(1,1) clip to [9,20]x[9,20] = 11x11... the
+        // boundary cells span clip to the first line: x in [9, 20].
+        assert_eq!(signed_area_doubled(&loops[0]), 2 * 11 * 11);
+    }
+}

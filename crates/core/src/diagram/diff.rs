@@ -1,0 +1,144 @@
+//! Structured diagram comparison: where `same_results` answers yes/no,
+//! [`diff`] explains *where* and *how* two diagrams disagree — the
+//! debugging companion to the cross-validation suites and the
+//! `fuzz_diff` harness.
+
+use crate::diagram::CellDiagram;
+use crate::geometry::{CellIndex, PointId};
+
+/// One differing cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellDifference {
+    /// The cell index.
+    pub cell: CellIndex,
+    /// Ids present in the left diagram only.
+    pub only_left: Vec<PointId>,
+    /// Ids present in the right diagram only.
+    pub only_right: Vec<PointId>,
+}
+
+/// Outcome of a diagram comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DiagramDiff {
+    /// Same grid, same result in every cell.
+    Identical,
+    /// The grids themselves differ (different line sets); per-cell
+    /// comparison is meaningless.
+    GridMismatch,
+    /// Same grid, differing results; at most `limit` differences listed.
+    Differs {
+        /// Total number of differing cells.
+        total: usize,
+        /// The first differences, in row-major order.
+        samples: Vec<CellDifference>,
+    },
+}
+
+/// Compares two diagrams cell by cell, collecting up to `limit` samples.
+pub fn diff(left: &CellDiagram, right: &CellDiagram, limit: usize) -> DiagramDiff {
+    if left.grid().x_lines() != right.grid().x_lines()
+        || left.grid().y_lines() != right.grid().y_lines()
+    {
+        return DiagramDiff::GridMismatch;
+    }
+    let mut total = 0usize;
+    let mut samples = Vec::new();
+    for cell in left.grid().cells() {
+        let a = left.result(cell);
+        let b = right.result(cell);
+        if a == b {
+            continue;
+        }
+        total += 1;
+        if samples.len() < limit {
+            samples.push(CellDifference {
+                cell,
+                only_left: a.iter().filter(|id| !b.contains(id)).copied().collect(),
+                only_right: b.iter().filter(|id| !a.contains(id)).copied().collect(),
+            });
+        }
+    }
+    if total == 0 {
+        DiagramDiff::Identical
+    } else {
+        DiagramDiff::Differs { total, samples }
+    }
+}
+
+impl std::fmt::Display for DiagramDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiagramDiff::Identical => write!(f, "diagrams are identical"),
+            DiagramDiff::GridMismatch => write!(f, "grids differ"),
+            DiagramDiff::Differs { total, samples } => {
+                writeln!(f, "{total} differing cells; first {}:", samples.len())?;
+                for s in samples {
+                    writeln!(
+                        f,
+                        "  cell {:?}: left-only {:?}, right-only {:?}",
+                        s.cell, s.only_left, s.only_right
+                    )?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrant::QuadrantEngine;
+    use crate::skyband;
+
+    #[test]
+    fn identical_diagrams() {
+        let ds = crate::test_data::hotel_dataset();
+        let a = QuadrantEngine::Baseline.build(&ds);
+        let b = QuadrantEngine::Sweeping.build(&ds);
+        assert_eq!(diff(&a, &b, 5), DiagramDiff::Identical);
+        assert_eq!(diff(&a, &b, 5).to_string(), "diagrams are identical");
+    }
+
+    #[test]
+    fn different_semantics_differ_meaningfully() {
+        // Skyline diagram vs 2-skyband diagram of the same data: the
+        // skyband is a superset everywhere, so only_left is always empty.
+        let ds = crate::test_data::lcg_dataset(15, 40, 3);
+        let skyline = QuadrantEngine::Baseline.build(&ds);
+        let band = skyband::build_baseline(&ds, 2);
+        match diff(&skyline, &band, 10) {
+            DiagramDiff::Differs { total, samples } => {
+                assert!(total > 0);
+                for s in &samples {
+                    assert!(s.only_left.is_empty(), "skyline ⊆ skyband at {:?}", s.cell);
+                    assert!(!s.only_right.is_empty());
+                }
+            }
+            other => panic!("expected differences, found {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grid_mismatch_detected() {
+        let a = QuadrantEngine::Baseline.build(&crate::test_data::hotel_dataset());
+        let b = QuadrantEngine::Baseline.build(&crate::test_data::lcg_dataset(5, 10, 1));
+        assert_eq!(diff(&a, &b, 5), DiagramDiff::GridMismatch);
+        assert_eq!(diff(&a, &b, 5).to_string(), "grids differ");
+    }
+
+    #[test]
+    fn sample_limit_respected() {
+        let ds = crate::test_data::lcg_dataset(15, 40, 3);
+        let skyline = QuadrantEngine::Baseline.build(&ds);
+        let band = skyband::build_baseline(&ds, 3);
+        if let DiagramDiff::Differs { total, samples } = diff(&skyline, &band, 2) {
+            assert!(total >= samples.len());
+            assert!(samples.len() <= 2);
+            let rendered = diff(&skyline, &band, 2).to_string();
+            assert!(rendered.contains("differing cells"));
+        } else {
+            panic!("expected differences");
+        }
+    }
+}

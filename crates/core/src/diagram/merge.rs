@@ -1,0 +1,274 @@
+//! Merging skyline cells into skyline polyominoes.
+//!
+//! The paper merges neighboring cells that share a skyline result
+//! ("for each skyline cell, we search its upper and right cells and combine
+//! those cells if they share the same skyline", `O(n²)` total). With interned
+//! results the comparison is a `u32` equality; connected components are
+//! extracted with a union–find over the grid's 4-adjacency, and a flood-fill
+//! alternative is kept for the E8d merging ablation.
+
+use crate::diagram::cell_diagram::CellDiagram;
+use crate::diagram::polyomino::{MergedDiagram, Polyomino};
+
+/// Union–find over linear cell indices.
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect() }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            // Path halving.
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb as usize] = ra;
+        }
+    }
+}
+
+/// Merges a cell diagram into its polyomino partition using union–find.
+pub fn merge(diagram: &CellDiagram) -> MergedDiagram {
+    let grid = diagram.grid();
+    let width = grid.nx() as usize + 1;
+    merge_grid(width, diagram.cell_results(), |idx| {
+        ((idx % width) as u32, (idx / width) as u32)
+    })
+}
+
+/// Merges a dynamic subcell diagram into its polyomino partition (the
+/// paper's Section-V merging step). Subcell indices play the role of cell
+/// indices in the output.
+pub fn merge_subcells(diagram: &crate::dynamic::SubcellDiagram) -> MergedDiagram {
+    let width = diagram.grid().mx() as usize + 1;
+    merge_grid(width, diagram.cell_results(), |idx| {
+        ((idx % width) as u32, (idx / width) as u32)
+    })
+}
+
+/// Shared union–find merge over any row-major result grid.
+fn merge_grid(
+    width: usize,
+    cells: &[crate::result_set::ResultId],
+    index_of: impl Fn(usize) -> (u32, u32),
+) -> MergedDiagram {
+    let height = cells.len() / width;
+    debug_assert_eq!(width * height, cells.len());
+
+    let mut uf = UnionFind::new(cells.len());
+    for j in 0..height {
+        for i in 0..width {
+            let idx = j * width + i;
+            // Union with the right and upper neighbor when results match —
+            // exactly the paper's merging rule.
+            if i + 1 < width && cells[idx] == cells[idx + 1] {
+                uf.union(idx as u32, (idx + 1) as u32);
+            }
+            if j + 1 < height && cells[idx] == cells[idx + width] {
+                uf.union(idx as u32, (idx + width) as u32);
+            }
+        }
+    }
+
+    collect_components_grid(cells, index_of, |idx| uf.find(idx as u32))
+}
+
+/// Flood-fill merging, kept as the ablation/back-to-back check for
+/// [`merge`]. Produces identical polyominoes (up to ordering, which both
+/// functions normalize to first-cell row-major order).
+pub fn merge_flood_fill(diagram: &CellDiagram) -> MergedDiagram {
+    let grid = diagram.grid();
+    let width = grid.nx() as usize + 1;
+    let height = grid.ny() as usize + 1;
+    let cells = diagram.cell_results();
+
+    let mut label = vec![u32::MAX; cells.len()];
+    let mut next = 0u32;
+    let mut stack = Vec::new();
+    for start in 0..cells.len() {
+        if label[start] != u32::MAX {
+            continue;
+        }
+        let lab = next;
+        next += 1;
+        label[start] = lab;
+        stack.push(start);
+        while let Some(idx) = stack.pop() {
+            let (i, j) = (idx % width, idx / width);
+            let mut visit = |nb: usize| {
+                if label[nb] == u32::MAX && cells[nb] == cells[idx] {
+                    label[nb] = lab;
+                    stack.push(nb);
+                }
+            };
+            if i + 1 < width {
+                visit(idx + 1);
+            }
+            if i > 0 {
+                visit(idx - 1);
+            }
+            if j + 1 < height {
+                visit(idx + width);
+            }
+            if j > 0 {
+                visit(idx - width);
+            }
+        }
+    }
+
+    collect_components(diagram, |idx| label[idx])
+}
+
+/// Groups cells by component representative into polyominoes ordered by
+/// their first (row-major) cell.
+fn collect_components(
+    diagram: &CellDiagram,
+    component_of: impl FnMut(usize) -> u32,
+) -> MergedDiagram {
+    let grid = diagram.grid();
+    collect_components_grid(
+        diagram.cell_results(),
+        |idx| grid.cell_from_linear(idx),
+        component_of,
+    )
+}
+
+fn collect_components_grid(
+    cells: &[crate::result_set::ResultId],
+    index_of: impl Fn(usize) -> (u32, u32),
+    mut component_of: impl FnMut(usize) -> u32,
+) -> MergedDiagram {
+    let mut poly_index: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let mut polyominoes: Vec<Polyomino> = Vec::new();
+    let mut cell_to_polyomino = vec![0u32; cells.len()];
+
+    for idx in 0..cells.len() {
+        let rep = component_of(idx);
+        let poly = *poly_index.entry(rep).or_insert_with(|| {
+            polyominoes.push(Polyomino { result: cells[idx], cells: Vec::new() });
+            (polyominoes.len() - 1) as u32
+        });
+        polyominoes[poly as usize].cells.push(index_of(idx));
+        cell_to_polyomino[idx] = poly;
+    }
+
+    MergedDiagram { polyominoes, cell_to_polyomino }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{CellGrid, Dataset, PointId};
+    use crate::result_set::ResultInterner;
+
+    /// 3x3 cell diagram with an L-shaped region, a separate singleton with
+    /// the same result (must NOT merge: not adjacent), and empties.
+    fn fixture() -> CellDiagram {
+        let ds = Dataset::from_coords([(0, 0), (10, 10)]).unwrap();
+        let grid = CellGrid::new(&ds);
+        let mut results = ResultInterner::new();
+        let a = results.intern_sorted(vec![PointId(0)]);
+        let b = results.intern_sorted(vec![PointId(1)]);
+        let e = results.empty();
+        // Layout (rows bottom to top):
+        //   a a e
+        //   a b e
+        //   b e e
+        let cells = vec![a, a, e, a, b, e, b, e, e];
+        CellDiagram::from_parts(grid, results, cells)
+    }
+
+    #[test]
+    fn union_find_merging() {
+        let d = fixture();
+        let merged = merge(&d);
+        // Components: L-shaped a (3 cells), center b, top-left b, and the
+        // e-region (right column + top row, connected around the corner).
+        assert_eq!(merged.len(), 4);
+        let l_shape = merged
+            .polyominoes
+            .iter()
+            .find(|p| p.area() == 3 && d.results().get(p.result) == [PointId(0)])
+            .expect("L-shaped polyomino");
+        assert!(l_shape.is_connected());
+        assert_eq!(l_shape.cells, vec![(0, 0), (1, 0), (0, 1)]);
+        // The two b-cells are diagonal, hence distinct polyominoes.
+        let b_polys: Vec<_> = merged
+            .polyominoes
+            .iter()
+            .filter(|p| d.results().get(p.result) == [PointId(1)])
+            .collect();
+        assert_eq!(b_polys.len(), 2);
+        assert!(!merged.is_empty());
+    }
+
+    #[test]
+    fn flood_fill_agrees_with_union_find() {
+        let d = fixture();
+        let a = merge(&d);
+        let b = merge_flood_fill(&d);
+        assert_eq!(a.polyominoes, b.polyominoes);
+        assert_eq!(a.cell_to_polyomino, b.cell_to_polyomino);
+    }
+
+    #[test]
+    fn cell_to_polyomino_is_consistent() {
+        let d = fixture();
+        let merged = merge(&d);
+        for (idx, &p) in merged.cell_to_polyomino.iter().enumerate() {
+            let poly = &merged.polyominoes[p as usize];
+            assert!(poly.cells.contains(&d.grid().cell_from_linear(idx)));
+            assert_eq!(poly.result, d.cell_results()[idx]);
+            assert_eq!(merged.polyomino_of_cell(idx).result, d.cell_results()[idx]);
+        }
+    }
+
+    #[test]
+    fn subcell_merging_produces_connected_equal_result_regions() {
+        let ds = Dataset::from_coords([(0, 0), (6, 10), (12, 4)]).unwrap();
+        let d = crate::dynamic::DynamicEngine::Scanning.build(&ds);
+        let merged = merge_subcells(&d);
+        let total: usize = merged.polyominoes.iter().map(Polyomino::area).sum();
+        assert_eq!(total, d.grid().subcell_count());
+        assert!(merged.len() > 1);
+        assert!(merged.len() <= d.grid().subcell_count());
+        for poly in &merged.polyominoes {
+            assert!(poly.is_connected());
+            for &sc in &poly.cells {
+                assert_eq!(d.result_id(sc), poly.result);
+            }
+        }
+        // Maximality across subcell boundaries.
+        let width = d.grid().mx() as usize + 1;
+        for (idx, &p) in merged.cell_to_polyomino.iter().enumerate() {
+            if idx % width + 1 < width {
+                let right = merged.cell_to_polyomino[idx + 1];
+                if p != right {
+                    assert_ne!(d.cell_results()[idx], d.cell_results()[idx + 1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_polyomino_is_connected_and_cells_partition() {
+        let d = fixture();
+        let merged = merge(&d);
+        let total: usize = merged.polyominoes.iter().map(Polyomino::area).sum();
+        assert_eq!(total, d.grid().cell_count());
+        for p in &merged.polyominoes {
+            assert!(p.is_connected());
+        }
+    }
+}

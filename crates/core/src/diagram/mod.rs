@@ -1,0 +1,13 @@
+//! Skyline diagram structures: cell-level diagrams, polyominoes, and the
+//! merge step that turns the former into the latter.
+
+pub mod boundary;
+mod cell_diagram;
+pub mod diff;
+pub mod merge;
+mod polyomino;
+
+pub use boundary::{boundary_loops, ClipBox};
+pub use cell_diagram::{CellDiagram, DiagramStats};
+pub use diff::{diff, DiagramDiff};
+pub use polyomino::{LabelledPolyomino, MergedDiagram, Polyomino};

@@ -1,0 +1,177 @@
+//! Skyline polyominoes (Definition 4): maximal connected unions of cells
+//! sharing one skyline result.
+
+use crate::geometry::{CellIndex, PointId};
+use crate::result_set::ResultId;
+
+/// One skyline polyomino of a merged diagram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Polyomino {
+    /// The interned skyline result shared by every query point inside.
+    pub result: ResultId,
+    /// The member cells, sorted row-major (by `(j, i)`).
+    pub cells: Vec<CellIndex>,
+}
+
+impl Polyomino {
+    /// Number of member cells — the polyomino's area in cell units.
+    #[inline]
+    pub fn area(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Bounding box over cell indices: `(min_i, min_j, max_i, max_j)`.
+    pub fn bounding_box(&self) -> (u32, u32, u32, u32) {
+        let mut it = self.cells.iter();
+        let &(i0, j0) = it.next().expect("polyomino has at least one cell");
+        it.fold((i0, j0, i0, j0), |(a, b, c, d), &(i, j)| {
+            (a.min(i), b.min(j), c.max(i), d.max(j))
+        })
+    }
+
+    /// True iff the polyomino's cells form one 4-connected component —
+    /// sanity predicate used by property tests.
+    pub fn is_connected(&self) -> bool {
+        if self.cells.is_empty() {
+            return false;
+        }
+        let set: std::collections::HashSet<CellIndex> = self.cells.iter().copied().collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![self.cells[0]];
+        seen.insert(self.cells[0]);
+        while let Some((i, j)) = stack.pop() {
+            let neighbors = [
+                (i.wrapping_add(1), j),
+                (i.wrapping_sub(1), j),
+                (i, j.wrapping_add(1)),
+                (i, j.wrapping_sub(1)),
+            ];
+            for nb in neighbors {
+                if set.contains(&nb) && seen.insert(nb) {
+                    stack.push(nb);
+                }
+            }
+        }
+        seen.len() == set.len()
+    }
+}
+
+/// A fully merged skyline diagram: the polyomino partition of the plane plus
+/// a cell → polyomino index for point location.
+#[derive(Clone, Debug)]
+pub struct MergedDiagram {
+    /// All polyominoes.
+    pub polyominoes: Vec<Polyomino>,
+    /// For each cell (row-major, same layout as the source
+    /// [`CellDiagram`](crate::diagram::CellDiagram)): index into
+    /// `polyominoes`.
+    pub cell_to_polyomino: Vec<u32>,
+}
+
+impl MergedDiagram {
+    /// Number of polyominoes — the diagram's complexity measure reported in
+    /// the E5 statistics.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.polyominoes.len()
+    }
+
+    /// True iff there are no polyominoes (never, for a valid diagram).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.polyominoes.is_empty()
+    }
+
+    /// The polyomino containing a cell.
+    #[inline]
+    pub fn polyomino_of_cell(&self, linear_cell: usize) -> &Polyomino {
+        &self.polyominoes[self.cell_to_polyomino[linear_cell] as usize]
+    }
+
+    /// All polyominoes whose result contains the given point — the
+    /// *influence region* of `p`: the set of query locations for which `p`
+    /// is a skyline answer. Resolution goes through the owning diagram's
+    /// interner, supplied as `resolve`.
+    pub fn regions_containing<'a>(
+        &'a self,
+        p: crate::geometry::PointId,
+        resolve: impl Fn(crate::result_set::ResultId) -> &'a [crate::geometry::PointId] + 'a,
+    ) -> impl Iterator<Item = &'a Polyomino> + 'a {
+        self.polyominoes
+            .iter()
+            .filter(move |poly| resolve(poly.result).binary_search(&p).is_ok())
+    }
+}
+
+/// A labelled result set for display: pairs the polyomino with the actual
+/// skyline point ids (resolved through the diagram's interner).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LabelledPolyomino<'a> {
+    /// The polyomino geometry.
+    pub polyomino: &'a Polyomino,
+    /// The shared skyline result.
+    pub skyline: &'a [PointId],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_bbox() {
+        let p = Polyomino { result: ResultId(1), cells: vec![(1, 1), (2, 1), (2, 2)] };
+        assert_eq!(p.area(), 3);
+        assert_eq!(p.bounding_box(), (1, 1, 2, 2));
+        assert!(p.is_connected());
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let p = Polyomino { result: ResultId(1), cells: vec![(0, 0), (2, 2)] };
+        assert!(!p.is_connected());
+        // Diagonal adjacency does not count as connected.
+        let q = Polyomino { result: ResultId(1), cells: vec![(0, 0), (1, 1)] };
+        assert!(!q.is_connected());
+    }
+
+    #[test]
+    fn empty_polyomino_is_not_connected() {
+        let p = Polyomino { result: ResultId(0), cells: vec![] };
+        assert!(!p.is_connected());
+    }
+
+    #[test]
+    fn influence_regions_cover_exactly_the_containing_results() {
+        use crate::diagram::merge::merge;
+        use crate::geometry::{Dataset, PointId};
+        use crate::quadrant::QuadrantEngine;
+
+        let ds = Dataset::from_coords([(2, 9), (5, 4), (9, 1)]).unwrap();
+        let d = QuadrantEngine::Sweeping.build(&ds);
+        let merged = merge(&d);
+        for (id, _) in ds.iter() {
+            let regions: Vec<_> =
+                merged.regions_containing(id, |rid| d.results().get(rid)).collect();
+            // Every region's result actually contains the point; total
+            // cell coverage equals a direct scan over all cells.
+            let covered: usize = regions.iter().map(|p| p.area()).sum();
+            let expected = d
+                .cell_results()
+                .iter()
+                .filter(|&&rid| d.results().get(rid).binary_search(&id).is_ok())
+                .count();
+            assert_eq!(covered, expected, "{id}");
+            assert!(
+                !regions.is_empty(),
+                "every point is skyline somewhere (e.g. just below-left of it)"
+            );
+        }
+        // A bogus id is in no region.
+        assert_eq!(
+            merged
+                .regions_containing(PointId(99), |rid| d.results().get(rid))
+                .count(),
+            0
+        );
+    }
+}

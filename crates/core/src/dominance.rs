@@ -1,0 +1,216 @@
+//! Dominance relations for the three skyline query semantics.
+//!
+//! All skylines in this crate are *minimization* skylines: smaller is better
+//! in every dimension, matching the paper's hotel example (lower price,
+//! shorter distance). `p` dominates `p'` when `p[i] <= p'[i]` for all `i` and
+//! `p[i] < p'[i]` for at least one `i` (Definition 1).
+//!
+//! For query-relative semantics:
+//! - **dynamic** dominance (Definition 2) compares `|p[i] - q[i]|`,
+//! - **global/quadrant** dominance (Definition 3) is dynamic dominance
+//!   restricted to points in the same open quadrant of `q`; points exactly on
+//!   one of `q`'s axes are in no quadrant under this crate's strict
+//!   convention (a measure-zero choice, documented in [`crate::query`]).
+
+use crate::geometry::{Coord, Point, PointD};
+
+/// Ordinary minimization dominance in the plane (Definition 1).
+#[inline]
+pub fn dominates(p: Point, q: Point) -> bool {
+    p.x <= q.x && p.y <= q.y && (p.x < q.x || p.y < q.y)
+}
+
+/// Ordinary minimization dominance in d dimensions (Definition 1).
+pub fn dominates_d(p: &PointD, q: &PointD) -> bool {
+    debug_assert_eq!(p.dims(), q.dims());
+    let mut strict = false;
+    for (a, b) in p.coords().iter().zip(q.coords()) {
+        if a > b {
+            return false;
+        }
+        strict |= a < b;
+    }
+    strict
+}
+
+/// Dominance on coordinate slices; used where points live in scratch buffers.
+pub fn dominates_coords(p: &[Coord], q: &[Coord]) -> bool {
+    debug_assert_eq!(p.len(), q.len());
+    let mut strict = false;
+    for (a, b) in p.iter().zip(q) {
+        if a > b {
+            return false;
+        }
+        strict |= a < b;
+    }
+    strict
+}
+
+/// Dynamic dominance with respect to a query point (Definition 2):
+/// `p` dominates `p'` iff `|p - q|` dominates `|p' - q|` componentwise.
+#[inline]
+pub fn dominates_dynamic(p: Point, other: Point, q: Point) -> bool {
+    let pd = (
+        (p.x - q.x).abs(),
+        (p.y - q.y).abs(),
+    );
+    let od = (
+        (other.x - q.x).abs(),
+        (other.y - q.y).abs(),
+    );
+    pd.0 <= od.0 && pd.1 <= od.1 && (pd.0 < od.0 || pd.1 < od.1)
+}
+
+/// Dynamic dominance in d dimensions (Definition 2).
+pub fn dominates_dynamic_d(p: &PointD, other: &PointD, q: &PointD) -> bool {
+    debug_assert_eq!(p.dims(), q.dims());
+    let mut strict = false;
+    for i in 0..p.dims() {
+        let a = (p.coord(i) - q.coord(i)).abs();
+        let b = (other.coord(i) - q.coord(i)).abs();
+        if a > b {
+            return false;
+        }
+        strict |= a < b;
+    }
+    strict
+}
+
+/// The open quadrant of `q` that `p` lies in, numbered as in the paper:
+/// 1 = upper-right (`p.x > q.x`, `p.y > q.y`), 2 = upper-left, 3 = lower-left,
+/// 4 = lower-right. Returns `None` when `p` lies on one of `q`'s axes.
+pub fn quadrant_of(p: Point, q: Point) -> Option<u8> {
+    if p.x == q.x || p.y == q.y {
+        return None;
+    }
+    Some(match (p.x > q.x, p.y > q.y) {
+        (true, true) => 1,
+        (false, true) => 2,
+        (false, false) => 3,
+        (true, false) => 4,
+    })
+}
+
+/// The open orthant of `q` that `p` lies in, as a bitmask over dimensions
+/// (bit `i` set ⟺ `p[i] > q[i]`). Returns `None` when `p` lies on an axis
+/// hyperplane of `q`. The first orthant of the paper is mask `(1 << d) - 1`.
+pub fn orthant_of(p: &PointD, q: &PointD) -> Option<u32> {
+    debug_assert_eq!(p.dims(), q.dims());
+    let mut mask = 0u32;
+    for i in 0..p.dims() {
+        if p.coord(i) == q.coord(i) {
+            return None;
+        }
+        if p.coord(i) > q.coord(i) {
+            mask |= 1 << i;
+        }
+    }
+    Some(mask)
+}
+
+/// Global dominance (Definition 3): dynamic dominance restricted to points in
+/// the same open quadrant of the query point. Returns `false` when the two
+/// points are in different quadrants or either lies on an axis of `q`.
+pub fn dominates_global(p: Point, other: Point, q: Point) -> bool {
+    match (quadrant_of(p, q), quadrant_of(other, q)) {
+        (Some(a), Some(b)) if a == b => dominates_dynamic(p, other, q),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_dominance() {
+        assert!(dominates(Point::new(1, 1), Point::new(2, 2)));
+        assert!(dominates(Point::new(1, 2), Point::new(1, 3)));
+        assert!(!dominates(Point::new(1, 3), Point::new(2, 2)));
+        // Equal points do not dominate each other.
+        assert!(!dominates(Point::new(1, 1), Point::new(1, 1)));
+    }
+
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric() {
+        let pts = [Point::new(0, 0), Point::new(1, 0), Point::new(0, 1), Point::new(1, 1)];
+        for &a in &pts {
+            assert!(!dominates(a, a));
+            for &b in &pts {
+                assert!(!(dominates(a, b) && dominates(b, a)));
+            }
+        }
+    }
+
+    #[test]
+    fn d_dimensional_matches_planar() {
+        let cases = [((1, 1), (2, 2)), ((1, 3), (2, 2)), ((5, 5), (5, 5)), ((0, 7), (0, 9))];
+        for ((ax, ay), (bx, by)) in cases {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            assert_eq!(dominates(a, b), dominates_d(&a.into(), &b.into()));
+            assert_eq!(dominates(a, b), dominates_coords(&[ax, ay], &[bx, by]));
+        }
+    }
+
+    #[test]
+    fn dynamic_dominance_example_from_paper() {
+        // Figure 1: q = (10, 80); p6 = (9, 78) maps near the origin and
+        // dominates p1 = (1, 90) whose mapped point is (9, 10) vs (1, 2).
+        let q = Point::new(10, 80);
+        let p6 = Point::new(9, 78);
+        let p1 = Point::new(1, 90);
+        assert!(dominates_dynamic(p6, p1, q));
+        assert!(!dominates_dynamic(p1, p6, q));
+    }
+
+    #[test]
+    fn dynamic_dominance_crosses_quadrants() {
+        let q = Point::new(0, 0);
+        // (1, 1) in Q1 dominates (-2, -2) in Q3 dynamically.
+        assert!(dominates_dynamic(Point::new(1, 1), Point::new(-2, -2), q));
+        // ... but not globally (different quadrants).
+        assert!(!dominates_global(Point::new(1, 1), Point::new(-2, -2), q));
+    }
+
+    #[test]
+    fn dynamic_d_matches_planar_dynamic() {
+        let q = Point::new(3, -4);
+        let a = Point::new(5, -1);
+        let b = Point::new(0, -9);
+        assert_eq!(
+            dominates_dynamic(a, b, q),
+            dominates_dynamic_d(&a.into(), &b.into(), &q.into())
+        );
+    }
+
+    #[test]
+    fn quadrants() {
+        let q = Point::new(10, 10);
+        assert_eq!(quadrant_of(Point::new(11, 11), q), Some(1));
+        assert_eq!(quadrant_of(Point::new(9, 11), q), Some(2));
+        assert_eq!(quadrant_of(Point::new(9, 9), q), Some(3));
+        assert_eq!(quadrant_of(Point::new(11, 9), q), Some(4));
+        assert_eq!(quadrant_of(Point::new(10, 11), q), None);
+        assert_eq!(quadrant_of(Point::new(11, 10), q), None);
+    }
+
+    #[test]
+    fn orthants() {
+        let q = PointD::new(vec![0, 0, 0]);
+        assert_eq!(orthant_of(&PointD::new(vec![1, 1, 1]), &q), Some(0b111));
+        assert_eq!(orthant_of(&PointD::new(vec![-1, 1, -1]), &q), Some(0b010));
+        assert_eq!(orthant_of(&PointD::new(vec![0, 1, 1]), &q), None);
+    }
+
+    #[test]
+    fn global_dominance_within_quadrant() {
+        let q = Point::new(0, 0);
+        // Both in Q1; (1, 1) dominates (2, 2) with respect to q.
+        assert!(dominates_global(Point::new(1, 1), Point::new(2, 2), q));
+        // Q2: (-1, 1) dominates (-2, 2).
+        assert!(dominates_global(Point::new(-1, 1), Point::new(-2, 2), q));
+        // Axis points participate in no quadrant.
+        assert!(!dominates_global(Point::new(0, 1), Point::new(0, 2), q));
+    }
+}

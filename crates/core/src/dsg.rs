@@ -1,0 +1,330 @@
+//! The directed skyline graph (DSG), adapted from [15] as the paper
+//! describes: only *direct* dominance links are kept.
+//!
+//! Nodes are the dataset's points; there is an edge `p → c` iff `p` dominates
+//! `c` and no third point `q` satisfies `p ≻ q ≻ c` — i.e. the graph is the
+//! transitive reduction of the dominance DAG. A point's direct parents are
+//! exactly the maximal elements of its dominator set, which in the plane is a
+//! maxima (upper-right staircase) computation per point.
+//!
+//! The incremental diagram algorithm (Section IV-B) relies on one property,
+//! proved here and asserted by tests: after deleting any *dominator-closed*
+//! set `R` (if `r ∈ R` and `a ≻ r` then `a ∈ R` — which holds for the sets of
+//! points left behind by a rightward/upward grid-line crossing), a surviving
+//! point is undominated among survivors iff all of its direct parents were
+//! deleted. (If a surviving ancestor `a ≻ c` exists, walk a transitive-
+//! reduction path from `a` to `c`; the last hop's parent `w` satisfies
+//! `a ≻ w` or `a = w`, so `w ∈ R` would force `a ∈ R` — hence `w` survives
+//! and `c` has a surviving direct parent.)
+
+use crate::dominance::{dominates, dominates_d};
+use crate::geometry::{Coord, Dataset, DatasetD, PointId};
+use crate::skyline::layers;
+use crate::skyline::sort_sweep::maxima_xy;
+
+/// The directed skyline graph of a dataset.
+#[derive(Clone, Debug)]
+pub struct DirectedSkylineGraph {
+    /// Direct parents (dominators with no interposed dominator) per point.
+    parents: Vec<Vec<PointId>>,
+    /// Direct children per point — the reverse adjacency of `parents`.
+    children: Vec<Vec<PointId>>,
+    /// Skyline layers; `layers[0]` is the dataset's skyline.
+    layers: Vec<Vec<PointId>>,
+}
+
+impl DirectedSkylineGraph {
+    /// Builds the DSG of a planar dataset.
+    ///
+    /// Direct parents of each point are the maxima of its dominator set,
+    /// computed with a sort-and-scan per point: `O(n² log n)` total, with the
+    /// `O(n²)` total link bound of the paper.
+    pub fn new_2d(dataset: &Dataset) -> Self {
+        let n = dataset.len();
+        let layers = layers::layers_2d(dataset);
+        let mut parents: Vec<Vec<PointId>> = vec![Vec::new(); n];
+        let mut children: Vec<Vec<PointId>> = vec![Vec::new(); n];
+
+        let mut dominators: Vec<(Coord, Coord, PointId)> = Vec::new();
+        for (c, pc) in dataset.iter() {
+            dominators.clear();
+            for (p, pp) in dataset.iter() {
+                if dominates(pp, pc) {
+                    dominators.push((pp.x, pp.y, p));
+                }
+            }
+            let direct = maxima_xy(&mut dominators);
+            for &p in &direct {
+                children[p.index()].push(c);
+            }
+            parents[c.index()] = direct;
+        }
+        for ch in &mut children {
+            ch.sort_unstable();
+        }
+        DirectedSkylineGraph { parents, children, layers }
+    }
+
+    /// Builds the DSG of a d-dimensional dataset. Direct parents are the
+    /// dominators not dominated by another dominator, found with BNL-style
+    /// maxima per point.
+    pub fn new_d(dataset: &DatasetD) -> Self {
+        let n = dataset.len();
+        let layers = layers::layers_d(dataset);
+        let mut parents: Vec<Vec<PointId>> = vec![Vec::new(); n];
+        let mut children: Vec<Vec<PointId>> = vec![Vec::new(); n];
+
+        for (c, pc) in dataset.iter() {
+            let doms: Vec<PointId> = dataset
+                .iter()
+                .filter(|(_, pp)| dominates_d(pp, pc))
+                .map(|(p, _)| p)
+                .collect();
+            let direct: Vec<PointId> = doms
+                .iter()
+                .copied()
+                .filter(|&p| {
+                    !doms
+                        .iter()
+                        .any(|&q| dominates_d(dataset.point(p), dataset.point(q)))
+                })
+                .collect();
+            for &p in &direct {
+                children[p.index()].push(c);
+            }
+            parents[c.index()] = direct;
+        }
+        for ch in &mut children {
+            ch.sort_unstable();
+        }
+        DirectedSkylineGraph { parents, children, layers }
+    }
+
+    /// Number of points (nodes).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// True iff the graph has no nodes (never, for a valid dataset).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// Direct parents of a point (its maximal dominators).
+    #[inline]
+    pub fn parents(&self, id: PointId) -> &[PointId] {
+        &self.parents[id.index()]
+    }
+
+    /// Direct children of a point.
+    #[inline]
+    pub fn children(&self, id: PointId) -> &[PointId] {
+        &self.children[id.index()]
+    }
+
+    /// Skyline layers; `layers()[0]` is the dataset's skyline.
+    #[inline]
+    pub fn layers(&self) -> &[Vec<PointId>] {
+        &self.layers
+    }
+
+    /// Total number of direct links, `O(n²)` worst case.
+    pub fn link_count(&self) -> usize {
+        self.parents.iter().map(Vec::len).sum()
+    }
+
+    /// Per-point direct-parent counts — the seed state for the incremental
+    /// deletion pass of the diagram algorithm.
+    pub fn parent_counts(&self) -> Vec<u32> {
+        self.parents.iter().map(|p| p.len() as u32).collect()
+    }
+}
+
+/// Incremental deletion state over a [`DirectedSkylineGraph`]: which points
+/// are still present, how many direct parents each retains, and the current
+/// skyline membership. This is the engine room of the DSG diagram algorithms
+/// (planar and high-dimensional): grid-line crossings delete
+/// dominator-closed sets, and a child whose last parent is deleted is
+/// promoted into the skyline (see module docs for why parent-counting is
+/// sound under dominator-closed deletion).
+#[derive(Clone, Debug)]
+pub struct DeletionSweep {
+    present: Vec<bool>,
+    parents_left: Vec<u32>,
+    in_skyline: Vec<bool>,
+    skyline_size: usize,
+}
+
+impl DeletionSweep {
+    /// Initial state: everything present, skyline = first layer.
+    pub fn new(dsg: &DirectedSkylineGraph) -> Self {
+        let n = dsg.len();
+        let mut in_skyline = vec![false; n];
+        for &id in &dsg.layers()[0] {
+            in_skyline[id.index()] = true;
+        }
+        DeletionSweep {
+            present: vec![true; n],
+            parents_left: dsg.parent_counts(),
+            in_skyline,
+            skyline_size: dsg.layers()[0].len(),
+        }
+    }
+
+    /// Deletes every listed point that is still present and promotes
+    /// children left with no surviving parent, exactly as in the paper's
+    /// Algorithm 2. The caller must only delete dominator-closed sets over
+    /// the whole deletion history (grid-line crossings guarantee this).
+    pub fn remove_points(&mut self, dsg: &DirectedSkylineGraph, points: &[PointId]) {
+        for &p in points {
+            if !self.present[p.index()] {
+                continue;
+            }
+            self.present[p.index()] = false;
+            if self.in_skyline[p.index()] {
+                self.in_skyline[p.index()] = false;
+                self.skyline_size -= 1;
+            }
+            for &c in dsg.children(p) {
+                let left = &mut self.parents_left[c.index()];
+                *left -= 1;
+                if *left == 0 && self.present[c.index()] && !self.in_skyline[c.index()] {
+                    self.in_skyline[c.index()] = true;
+                    self.skyline_size += 1;
+                }
+            }
+        }
+    }
+
+    /// Current skyline as sorted ids.
+    pub fn skyline_ids(&self) -> Vec<PointId> {
+        let mut ids = Vec::with_capacity(self.skyline_size);
+        for (idx, &is_sky) in self.in_skyline.iter().enumerate() {
+            if is_sky {
+                ids.push(PointId(idx as u32));
+            }
+        }
+        ids
+    }
+
+    /// Current skyline size, maintained incrementally.
+    #[inline]
+    pub fn skyline_size(&self) -> usize {
+        self.skyline_size
+    }
+}
+
+/// Naive transitive-reduction construction, retained as the test oracle for
+/// both DSG constructors: `p` is a direct parent of `c` iff `p ≻ c` and no
+/// `q` has `p ≻ q ≻ c`.
+#[cfg(test)]
+pub(crate) fn direct_parents_naive(dataset: &Dataset, c: PointId) -> Vec<PointId> {
+    let pc = dataset.point(c);
+    let mut out: Vec<PointId> = dataset
+        .iter()
+        .filter(|&(p, pp)| {
+            p != c
+                && dominates(pp, pc)
+                && !dataset
+                    .iter()
+                    .any(|(_, pq)| dominates(pp, pq) && dominates(pq, pc))
+        })
+        .map(|(p, _)| p)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hotel() -> Dataset {
+        Dataset::from_coords([
+            (1, 92),
+            (3, 96),
+            (12, 86),
+            (5, 94),
+            (15, 85),
+            (8, 78),
+            (16, 83),
+            (13, 83),
+            (6, 93),
+            (21, 82),
+            (11, 9),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_naive_transitive_reduction() {
+        let ds = hotel();
+        let dsg = DirectedSkylineGraph::new_2d(&ds);
+        for id in ds.ids() {
+            let mut got = dsg.parents(id).to_vec();
+            got.sort_unstable();
+            assert_eq!(got, direct_parents_naive(&ds, id), "parents of {id}");
+        }
+    }
+
+    #[test]
+    fn d_dimensional_matches_planar() {
+        let ds = hotel();
+        let dsg2 = DirectedSkylineGraph::new_2d(&ds);
+        let dsgd = DirectedSkylineGraph::new_d(&ds.to_dataset_d());
+        for id in ds.ids() {
+            let mut a = dsg2.parents(id).to_vec();
+            a.sort_unstable();
+            let mut b = dsgd.parents(id).to_vec();
+            b.sort_unstable();
+            assert_eq!(a, b);
+            assert_eq!(dsg2.children(id), dsgd.children(id));
+        }
+        assert_eq!(dsg2.link_count(), dsgd.link_count());
+    }
+
+    #[test]
+    fn skyline_points_have_no_parents() {
+        let ds = hotel();
+        let dsg = DirectedSkylineGraph::new_2d(&ds);
+        for &id in &dsg.layers()[0] {
+            assert!(dsg.parents(id).is_empty());
+        }
+        assert!(!dsg.is_empty());
+        assert_eq!(dsg.len(), ds.len());
+    }
+
+    #[test]
+    fn children_are_reverse_of_parents() {
+        let ds = hotel();
+        let dsg = DirectedSkylineGraph::new_2d(&ds);
+        for c in ds.ids() {
+            for &p in dsg.parents(c) {
+                assert!(dsg.children(p).contains(&c));
+            }
+        }
+        let forward: usize = (0..ds.len() as u32).map(|i| dsg.parents(PointId(i)).len()).sum();
+        assert_eq!(forward, dsg.link_count());
+    }
+
+    #[test]
+    fn duplicate_points_share_parents_without_linking_to_each_other() {
+        let ds = Dataset::from_coords([(0, 0), (5, 5), (5, 5)]).unwrap();
+        let dsg = DirectedSkylineGraph::new_2d(&ds);
+        // Equal points do not dominate each other; both hang off (0, 0).
+        assert_eq!(dsg.parents(PointId(1)), &[PointId(0)]);
+        assert_eq!(dsg.parents(PointId(2)), &[PointId(0)]);
+        assert_eq!(dsg.children(PointId(0)), &[PointId(1), PointId(2)]);
+    }
+
+    #[test]
+    fn chain_has_single_links() {
+        let ds = Dataset::from_coords([(0, 0), (1, 1), (2, 2), (3, 3)]).unwrap();
+        let dsg = DirectedSkylineGraph::new_2d(&ds);
+        assert_eq!(dsg.link_count(), 3);
+        assert_eq!(dsg.parents(PointId(3)), &[PointId(2)]);
+        assert_eq!(dsg.layers().len(), 4);
+    }
+}

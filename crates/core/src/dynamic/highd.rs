@@ -1,0 +1,330 @@
+//! High-dimensional dynamic skyline diagrams — Section V's algorithms
+//! "can be extended to high dimensions similar to the skyline diagram of
+//! quadrant/global skyline"; this module is that extension for the
+//! baseline and subset engines.
+//!
+//! Per dimension, the subcell hyperplanes are the pairwise midpoints and
+//! the point coordinates (`O(n²)` values, stored doubled for exactness),
+//! giving `O(n^{2d})` hyper-subcells with constant dynamic skyline. The
+//! subset engine draws its per-subcell candidates from the *d-dimensional
+//! global skyline* of the enclosing hyper-cell, built by running a
+//! high-dimensional quadrant engine on all `2^d` reflections — the same
+//! subset relation as in the plane, dimension-free.
+//!
+//! Feasible scale: `d = 3` up to roughly a dozen points (the structure is
+//! `O(n⁶)` cells); the value is completeness and cross-validation, not
+//! throughput.
+
+use std::collections::BTreeMap;
+
+use crate::dominance::dominates_coords;
+use crate::geometry::{Coord, DatasetD, PointD, PointId};
+use crate::highd::HighDEngine;
+use crate::result_set::{ResultId, ResultInterner};
+
+/// The subcell hyper-grid for d-dimensional dynamic skylines.
+#[derive(Clone, Debug)]
+pub struct SubcellGridD {
+    /// Per dimension: sorted distinct line positions (doubled coordinates).
+    lines: Vec<Vec<Coord>>,
+    widths: Vec<usize>,
+}
+
+impl SubcellGridD {
+    /// Builds the grid: `O(d·n² log n)`.
+    pub fn new(dataset: &DatasetD) -> Self {
+        let dims = dataset.dims();
+        let mut lines = Vec::with_capacity(dims);
+        for k in 0..dims {
+            let vals: Vec<Coord> = dataset.points().iter().map(|p| p.coord(k)).collect();
+            let mut set = BTreeMap::new();
+            for (i, &a) in vals.iter().enumerate() {
+                for &b in &vals[i..] {
+                    set.insert(a + b, ());
+                }
+            }
+            lines.push(set.into_keys().collect());
+        }
+        let widths = lines.iter().map(|l: &Vec<Coord>| l.len() + 1).collect();
+        SubcellGridD { lines, widths }
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Subcell count per dimension.
+    pub fn widths(&self) -> &[usize] {
+        &self.widths
+    }
+
+    /// Total hyper-subcells.
+    pub fn subcell_count(&self) -> usize {
+        self.widths.iter().product()
+    }
+
+    /// Line positions of one dimension (doubled coordinates).
+    pub fn lines(&self, dim: usize) -> &[Coord] {
+        &self.lines[dim]
+    }
+
+    /// Interior sample of a subcell, in quadrupled coordinates.
+    pub fn sample_x4(&self, subcell: &[u32]) -> PointD {
+        PointD::new(
+            (0..self.dims())
+                .map(|k| crate::geometry::slab_sample_doubled(&self.lines[k], subcell[k]))
+                .collect(),
+        )
+    }
+
+    /// The subcell containing a query (original coordinates); on-line
+    /// queries resolve to the greater side.
+    pub fn subcell_of(&self, q: &PointD) -> Vec<u32> {
+        (0..self.dims())
+            .map(|k| self.lines[k].partition_point(|&v| v <= 2 * q.coord(k)) as u32)
+            .collect()
+    }
+
+    fn linear_index(&self, subcell: &[u32]) -> usize {
+        let mut idx = 0usize;
+        let mut stride = 1usize;
+        for (&c, &w) in subcell.iter().zip(&self.widths) {
+            idx += c as usize * stride;
+            stride *= w;
+        }
+        idx
+    }
+}
+
+/// A d-dimensional dynamic skyline diagram.
+#[derive(Clone, Debug)]
+pub struct SubcellDiagramD {
+    grid: SubcellGridD,
+    results: ResultInterner,
+    cells: Vec<ResultId>,
+}
+
+impl SubcellDiagramD {
+    /// The underlying grid.
+    pub fn grid(&self) -> &SubcellGridD {
+        &self.grid
+    }
+
+    /// The dynamic skyline of a subcell.
+    pub fn result(&self, subcell: &[u32]) -> &[PointId] {
+        self.results.get(self.cells[self.grid.linear_index(subcell)])
+    }
+
+    /// The dynamic skyline for an arbitrary query point (exact off subcell
+    /// hyperplanes, greater-side convention on them).
+    pub fn query(&self, q: &PointD) -> &[PointId] {
+        self.result(&self.grid.subcell_of(q))
+    }
+
+    /// True iff two diagrams assign the same result everywhere.
+    pub fn same_results(&self, other: &SubcellDiagramD) -> bool {
+        self.grid.widths == other.grid.widths
+            && (0..self.grid.dims()).all(|k| self.grid.lines(k) == other.grid.lines(k))
+            && self
+                .cells
+                .iter()
+                .zip(&other.cells)
+                .all(|(&a, &b)| self.results.get(a) == other.results.get(b))
+    }
+}
+
+/// Dynamic minima of `candidates` relative to a quadrupled-coordinate
+/// sample.
+fn dynamic_minima(
+    dataset: &DatasetD,
+    candidates: &[PointId],
+    sample: &PointD,
+    mapped: &mut Vec<Vec<Coord>>,
+) -> Vec<PointId> {
+    let dims = dataset.dims();
+    mapped.clear();
+    for &id in candidates {
+        let p = dataset.point(id);
+        mapped.push(
+            (0..dims)
+                .map(|k| (4 * p.coord(k) - sample.coord(k)).abs())
+                .collect(),
+        );
+    }
+    let mut out: Vec<PointId> = candidates
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| {
+            !mapped.iter().any(|other| dominates_coords(other, &mapped[i]))
+        })
+        .map(|(_, &id)| id)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Baseline: one mapped-skyline computation per hyper-subcell.
+pub fn build_baseline(dataset: &DatasetD) -> SubcellDiagramD {
+    let grid = SubcellGridD::new(dataset);
+    let all: Vec<PointId> = (0..dataset.len() as u32).map(PointId).collect();
+    build_with_candidates(dataset, grid, |_| &all)
+}
+
+/// Subset: per-subcell candidates from the d-dimensional global skyline of
+/// the enclosing hyper-cell (built once via [`crate::highd::global`]).
+pub fn build_subset(dataset: &DatasetD) -> SubcellDiagramD {
+    let grid = SubcellGridD::new(dataset);
+    let dims = dataset.dims();
+    let global = crate::highd::global::build(dataset, HighDEngine::DirectedSkylineGraph);
+
+    let global_of = move |sample: &PointD| -> Vec<PointId> {
+        // Locate the enclosing hyper-cell (sample is in quadrupled space,
+        // cell lines in raw coordinates).
+        let cell: Vec<u32> = (0..dims)
+            .map(|k| {
+                global
+                    .grid()
+                    .lines(k)
+                    .partition_point(|&v| 4 * v < sample.coord(k)) as u32
+            })
+            .collect();
+        global.result(&cell).to_vec()
+    };
+
+    build_with_candidates_owned(dataset, grid, global_of)
+}
+
+fn build_with_candidates<'a>(
+    dataset: &DatasetD,
+    grid: SubcellGridD,
+    candidates_of: impl Fn(&PointD) -> &'a [PointId],
+) -> SubcellDiagramD {
+    build_with_candidates_owned(dataset, grid, move |s| candidates_of(s).to_vec())
+}
+
+fn build_with_candidates_owned(
+    dataset: &DatasetD,
+    grid: SubcellGridD,
+    mut candidates_of: impl FnMut(&PointD) -> Vec<PointId>,
+) -> SubcellDiagramD {
+    let dims = grid.dims();
+    let total = grid.subcell_count();
+    let mut results = ResultInterner::new();
+    let mut cells = Vec::with_capacity(total);
+    let mut mapped = Vec::new();
+
+    let mut subcell = vec![0u32; dims];
+    for idx in 0..total {
+        if idx > 0 {
+            for (c, &w) in subcell.iter_mut().zip(grid.widths()) {
+                *c += 1;
+                if (*c as usize) < w {
+                    break;
+                }
+                *c = 0;
+            }
+        }
+        let sample = grid.sample_x4(&subcell);
+        let candidates = candidates_of(&sample);
+        let sky = dynamic_minima(dataset, &candidates, &sample, &mut mapped);
+        cells.push(results.intern_sorted(sky));
+    }
+
+    SubcellDiagramD { grid, results, cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::dominates_dynamic_d;
+
+    fn lcg(n: usize, d: usize, domain: i64, seed: u64) -> DatasetD {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % domain as u64) as i64
+        };
+        DatasetD::from_rows((0..n).map(|_| (0..d).map(|_| next()).collect::<Vec<_>>())).unwrap()
+    }
+
+    fn naive_dynamic(dataset: &DatasetD, q: &PointD) -> Vec<PointId> {
+        let mut out: Vec<PointId> = dataset
+            .iter()
+            .filter(|(_, p)| {
+                !dataset.iter().any(|(_, o)| dominates_dynamic_d(o, p, q))
+            })
+            .map(|(id, _)| id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn baseline_matches_naive_at_samples_3d() {
+        let ds = lcg(5, 3, 20, 1);
+        let d = build_baseline(&ds);
+        let scaled = DatasetD::new(
+            ds.points()
+                .iter()
+                .map(|p| PointD::new(p.coords().iter().map(|&c| 4 * c).collect()))
+                .collect(),
+        )
+        .unwrap();
+        // Check a sample of subcells (the full grid is large even at n=5).
+        let total = d.grid().subcell_count();
+        let mut idx = 0usize;
+        while idx < total {
+            let mut subcell = vec![0u32; 3];
+            let mut rem = idx;
+            for (c, &w) in subcell.iter_mut().zip(d.grid().widths()) {
+                *c = (rem % w) as u32;
+                rem /= w;
+            }
+            let sample = d.grid().sample_x4(&subcell);
+            assert_eq!(
+                d.result(&subcell),
+                naive_dynamic(&scaled, &sample).as_slice(),
+                "subcell {subcell:?}"
+            );
+            idx += 37; // stride through the grid
+        }
+    }
+
+    #[test]
+    fn subset_matches_baseline_3d() {
+        for seed in 0..3 {
+            let ds = lcg(5, 3, 15, seed);
+            assert!(
+                build_subset(&ds).same_results(&build_baseline(&ds)),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn subset_matches_baseline_3d_with_ties() {
+        let ds = lcg(5, 3, 3, 9);
+        assert!(build_subset(&ds).same_results(&build_baseline(&ds)));
+    }
+
+    #[test]
+    fn d2_matches_planar_dynamic_diagram() {
+        let planar = crate::test_data::lcg_dataset(6, 20, 3);
+        let lifted = planar.to_dataset_d();
+        let hd = build_baseline(&lifted);
+        let flat = crate::dynamic::DynamicEngine::Baseline.build(&planar);
+        for sc in flat.grid().subcells() {
+            assert_eq!(hd.result(&[sc.0, sc.1]), flat.result(sc), "{sc:?}");
+        }
+    }
+
+    #[test]
+    fn query_uses_greater_side_convention() {
+        let ds = lcg(4, 3, 10, 5);
+        let d = build_baseline(&ds);
+        let q = PointD::new(vec![3, 3, 3]);
+        let sc = d.grid().subcell_of(&q);
+        assert_eq!(d.query(&q), d.result(&sc));
+    }
+}

@@ -1,0 +1,125 @@
+//! The scanning dynamic-diagram algorithm (paper Algorithm 7).
+//!
+//! Crossing one subcell line can only flip dominance comparisons between
+//! points whose pair-bisector (or own grid line) lies on that line — the
+//! line's *contributors* recorded by
+//! [`SubcellGrid`](crate::dynamic::SubcellGrid). Hence the new subcell's
+//! dynamic skyline is the dynamic skyline of
+//! `previous result ∪ contributors`, evaluated at the new subcell:
+//!
+//! - a non-contributor keeps its dominator set, so it can only be in the new
+//!   skyline if it was in the old one;
+//! - a candidate dominated in the full point set is dominated by a
+//!   candidate: its dominator is either an old skyline point, or dominated
+//!   by one whose dominance carries over (the pair not being contributors
+//!   means their comparison did not flip) and transfers by transitivity.
+//!
+//! The first subcell is computed from scratch; the first column is advanced
+//! upward, and every row is then swept left to right. Per-step cost is the
+//! candidate-set size, `O(result + contributors)` — the `O(n⁴ log n)`-class
+//! bound of the paper against the baseline's `O(n⁵)`.
+
+use crate::dynamic::{dynamic_minima_at_sample, SubcellDiagram, SubcellGrid};
+use crate::geometry::{Dataset, PointId};
+use crate::result_set::ResultInterner;
+
+/// Builds the dynamic skyline diagram with the incremental scan.
+pub fn build(dataset: &Dataset) -> SubcellDiagram {
+    let grid = SubcellGrid::new(dataset);
+    let mut results = ResultInterner::new();
+    let width = grid.mx() as usize + 1;
+    let height = grid.my() as usize + 1;
+    let mut cells = vec![results.empty(); width * height];
+    let mut scratch = Vec::with_capacity(dataset.len());
+    let mut candidates: Vec<PointId> = Vec::with_capacity(dataset.len());
+
+    // Seed subcell (0, 0) from scratch.
+    let mut column0 = dynamic_minima_at_sample(
+        dataset,
+        dataset.ids(),
+        grid.sample_x4((0, 0)),
+        &mut scratch,
+    );
+    cells[0] = results.intern_sorted(column0.clone());
+
+    for j in 0..height as u32 {
+        if j > 0 {
+            // Advance the column-0 state upward across horizontal line j-1.
+            candidates.clear();
+            candidates.extend_from_slice(&column0);
+            candidates.extend_from_slice(grid.y_contributors(j - 1));
+            candidates.sort_unstable();
+            candidates.dedup();
+            column0 = dynamic_minima_at_sample(
+                dataset,
+                candidates.iter().copied(),
+                grid.sample_x4((0, j)),
+                &mut scratch,
+            );
+            cells[j as usize * width] = results.intern_sorted(column0.clone());
+        }
+
+        // Sweep the row rightward across each vertical line.
+        let mut row = column0.clone();
+        for i in 1..width as u32 {
+            candidates.clear();
+            candidates.extend_from_slice(&row);
+            candidates.extend_from_slice(grid.x_contributors(i - 1));
+            candidates.sort_unstable();
+            candidates.dedup();
+            row = dynamic_minima_at_sample(
+                dataset,
+                candidates.iter().copied(),
+                grid.sample_x4((i, j)),
+                &mut scratch,
+            );
+            cells[j as usize * width + i as usize] = results.intern_sorted(row.clone());
+        }
+    }
+
+    SubcellDiagram::from_parts(grid, results, cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::baseline;
+
+    #[test]
+    fn matches_baseline_on_random_data() {
+        for seed in 0..4 {
+            let ds = crate::test_data::lcg_dataset(10, 60, seed);
+            assert!(build(&ds).same_results(&baseline::build(&ds)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_baseline_under_heavy_ties() {
+        for seed in 0..4 {
+            let ds = crate::test_data::lcg_dataset(10, 5, 90 + seed);
+            assert!(build(&ds).same_results(&baseline::build(&ds)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_baseline_on_hotel_example() {
+        let ds = crate::test_data::hotel_dataset();
+        assert!(build(&ds).same_results(&baseline::build(&ds)));
+    }
+
+    #[test]
+    fn duplicates_and_collinear_points() {
+        let ds = Dataset::from_coords([(2, 2), (2, 2), (2, 8), (6, 2)]).unwrap();
+        assert!(build(&ds).same_results(&baseline::build(&ds)));
+    }
+
+    #[test]
+    fn single_point_has_one_region() {
+        let ds = Dataset::from_coords([(7, 7)]).unwrap();
+        let d = build(&ds);
+        // One point: every subcell's dynamic skyline is that point.
+        for sc in d.grid().subcells() {
+            assert_eq!(d.result(sc), &[PointId(0)]);
+        }
+    }
+}

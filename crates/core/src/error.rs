@@ -1,0 +1,77 @@
+//! Error type for the skyline-core crate.
+
+use std::fmt;
+
+/// Errors produced by skyline-diagram construction and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The dataset contains no points. Every diagram needs at least one seed.
+    EmptyDataset,
+    /// A point had a different number of coordinates than the dataset
+    /// dimensionality.
+    DimensionMismatch {
+        /// Dimensionality declared by the dataset.
+        expected: usize,
+        /// Dimensionality of the offending point.
+        found: usize,
+    },
+    /// Dimensionality outside the supported range (2..=6 for the
+    /// high-dimensional engines; exactly 2 for the planar engines).
+    UnsupportedDimension(usize),
+    /// A coordinate is too large in magnitude for exact bisector arithmetic
+    /// (dynamic diagrams double every coordinate, and subcell interior
+    /// samples quadruple them).
+    CoordinateOverflow(i64),
+    /// A query referenced a point id that does not exist in the dataset.
+    UnknownPoint(u32),
+    /// The algorithm requires general position (pairwise distinct
+    /// coordinates per axis), which the dataset violates.
+    RequiresGeneralPosition,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyDataset => write!(f, "dataset is empty"),
+            Error::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            Error::UnsupportedDimension(d) => write!(f, "unsupported dimensionality {d}"),
+            Error::CoordinateOverflow(c) => {
+                write!(f, "coordinate {c} too large for exact bisector arithmetic")
+            }
+            Error::UnknownPoint(id) => write!(f, "unknown point id {id}"),
+            Error::RequiresGeneralPosition => {
+                write!(f, "algorithm requires pairwise distinct coordinates per axis")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert_eq!(Error::EmptyDataset.to_string(), "dataset is empty");
+        assert_eq!(
+            Error::DimensionMismatch { expected: 2, found: 3 }.to_string(),
+            "dimension mismatch: expected 2, found 3"
+        );
+        assert!(Error::UnsupportedDimension(9).to_string().contains('9'));
+        assert!(Error::CoordinateOverflow(1 << 62).to_string().contains("too large"));
+        assert!(Error::UnknownPoint(7).to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<Error>();
+    }
+}

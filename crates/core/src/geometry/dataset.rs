@@ -1,0 +1,236 @@
+//! Datasets: validated collections of seed points.
+
+use crate::error::{Error, Result};
+use crate::geometry::point::{Coord, Point, PointD, PointId, MAX_COORD};
+
+/// A validated planar dataset: the `n` seed points the diagram is built over.
+///
+/// Construction rejects empty inputs and coordinates too large for exact
+/// bisector arithmetic. Duplicate points are allowed — the paper's bounded
+/// integer domains (`s < n`) force coordinate ties, and all engines in this
+/// crate are tie-correct (see the `ties` integration tests).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dataset {
+    points: Vec<Point>,
+}
+
+impl Dataset {
+    /// Builds a dataset from points.
+    ///
+    /// # Errors
+    /// [`Error::EmptyDataset`] if `points` is empty,
+    /// [`Error::CoordinateOverflow`] if any coordinate exceeds
+    /// [`MAX_COORD`] in magnitude.
+    pub fn new(points: Vec<Point>) -> Result<Self> {
+        if points.is_empty() {
+            return Err(Error::EmptyDataset);
+        }
+        for p in &points {
+            for c in [p.x, p.y] {
+                if c.abs() > MAX_COORD {
+                    return Err(Error::CoordinateOverflow(c));
+                }
+            }
+        }
+        Ok(Dataset { points })
+    }
+
+    /// Builds a dataset from `(x, y)` pairs.
+    pub fn from_coords<I>(coords: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (Coord, Coord)>,
+    {
+        Dataset::new(coords.into_iter().map(Point::from).collect())
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// A dataset is never empty, but clippy insists the method exist.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The point with the given id.
+    #[inline]
+    pub fn point(&self, id: PointId) -> Point {
+        self.points[id.index()]
+    }
+
+    /// The point with the given id, or an error for out-of-range ids.
+    pub fn try_point(&self, id: PointId) -> Result<Point> {
+        self.points.get(id.index()).copied().ok_or(Error::UnknownPoint(id.0))
+    }
+
+    /// All points, indexable by `PointId::index`.
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Iterator of `(id, point)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (PointId, Point)> + '_ {
+        self.points.iter().enumerate().map(|(i, &p)| (PointId(i as u32), p))
+    }
+
+    /// Ids of all points, in order.
+    pub fn ids(&self) -> impl Iterator<Item = PointId> {
+        (0..self.points.len() as u32).map(PointId)
+    }
+
+    /// Converts to a d-dimensional dataset (d = 2), for cross-validating the
+    /// high-dimensional engines against the planar ones.
+    pub fn to_dataset_d(&self) -> DatasetD {
+        DatasetD::new(self.points.iter().map(|&p| PointD::from(p)).collect())
+            .expect("planar dataset is always a valid 2-d dataset")
+    }
+}
+
+/// A validated d-dimensional dataset for the high-dimensional engines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DatasetD {
+    points: Vec<PointD>,
+    dims: usize,
+}
+
+impl DatasetD {
+    /// Builds a d-dimensional dataset, validating dimensional consistency.
+    ///
+    /// # Errors
+    /// [`Error::EmptyDataset`], [`Error::DimensionMismatch`],
+    /// [`Error::UnsupportedDimension`] (d must be in `2..=6`), or
+    /// [`Error::CoordinateOverflow`].
+    pub fn new(points: Vec<PointD>) -> Result<Self> {
+        let Some(first) = points.first() else {
+            return Err(Error::EmptyDataset);
+        };
+        let dims = first.dims();
+        if !(2..=6).contains(&dims) {
+            return Err(Error::UnsupportedDimension(dims));
+        }
+        for p in &points {
+            if p.dims() != dims {
+                return Err(Error::DimensionMismatch { expected: dims, found: p.dims() });
+            }
+            for &c in p.coords() {
+                if c.abs() > MAX_COORD {
+                    return Err(Error::CoordinateOverflow(c));
+                }
+            }
+        }
+        Ok(DatasetD { points, dims })
+    }
+
+    /// Builds a d-dimensional dataset from coordinate rows.
+    pub fn from_rows<I, R>(rows: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = R>,
+        R: AsRef<[Coord]>,
+    {
+        DatasetD::new(rows.into_iter().map(|r| PointD::new(r.as_ref().to_vec())).collect())
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// A dataset is never empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Dimensionality of every point.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The point with the given id.
+    #[inline]
+    pub fn point(&self, id: PointId) -> &PointD {
+        &self.points[id.index()]
+    }
+
+    /// All points, indexable by `PointId::index`.
+    #[inline]
+    pub fn points(&self) -> &[PointD] {
+        &self.points
+    }
+
+    /// Iterator of `(id, point)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (PointId, &PointD)> + '_ {
+        self.points.iter().enumerate().map(|(i, p)| (PointId(i as u32), p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Dataset::new(vec![]), Err(Error::EmptyDataset));
+        assert_eq!(DatasetD::new(vec![]), Err(Error::EmptyDataset));
+    }
+
+    #[test]
+    fn rejects_overflow() {
+        let res = Dataset::from_coords([(MAX_COORD + 1, 0)]);
+        assert_eq!(res, Err(Error::CoordinateOverflow(MAX_COORD + 1)));
+        let res = DatasetD::from_rows([[0, -(MAX_COORD + 1)]]);
+        assert_eq!(res, Err(Error::CoordinateOverflow(-(MAX_COORD + 1))));
+    }
+
+    #[test]
+    fn rejects_mixed_dimensions() {
+        let res = DatasetD::new(vec![PointD::new(vec![1, 2]), PointD::new(vec![1, 2, 3])]);
+        assert_eq!(res, Err(Error::DimensionMismatch { expected: 2, found: 3 }));
+    }
+
+    #[test]
+    fn rejects_unsupported_dims() {
+        assert_eq!(
+            DatasetD::new(vec![PointD::new(vec![1])]),
+            Err(Error::UnsupportedDimension(1))
+        );
+        assert_eq!(
+            DatasetD::new(vec![PointD::new(vec![0; 7])]),
+            Err(Error::UnsupportedDimension(7))
+        );
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let ds = Dataset::from_coords([(1, 2), (3, 4)]).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.point(PointId(1)), Point::new(3, 4));
+        assert_eq!(ds.try_point(PointId(2)), Err(Error::UnknownPoint(2)));
+        let collected: Vec<_> = ds.iter().collect();
+        assert_eq!(collected[0], (PointId(0), Point::new(1, 2)));
+        assert_eq!(ds.ids().count(), 2);
+    }
+
+    #[test]
+    fn planar_to_d_conversion() {
+        let ds = Dataset::from_coords([(1, 2), (3, 4)]).unwrap();
+        let dd = ds.to_dataset_d();
+        assert_eq!(dd.dims(), 2);
+        assert_eq!(dd.point(PointId(0)).coords(), &[1, 2]);
+        assert_eq!(dd.iter().count(), 2);
+        assert!(!dd.is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_allowed() {
+        let ds = Dataset::from_coords([(5, 5), (5, 5)]).unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+}

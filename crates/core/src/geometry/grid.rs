@@ -1,0 +1,331 @@
+//! The skyline-cell grid (Definition 6 of the paper).
+//!
+//! Drawing one horizontal and one vertical line through every point divides
+//! the plane into *skyline cells*; every query point inside one open cell has
+//! the same quadrant (and global) skyline result. With `nx` distinct x values
+//! and `ny` distinct y values the grid has `(nx + 1) * (ny + 1)` cells — the
+//! `O(min(s², n²))` bound the paper derives for bounded domains falls out of
+//! the distinct-value compression performed here.
+//!
+//! # Indexing conventions
+//!
+//! Cell `(i, j)` is the open region `xs[i-1] < x < xs[i]`,
+//! `ys[j-1] < y < ys[j]` with `xs[-1] = -∞` and `xs[nx] = +∞`. The points in
+//! the (closed) first quadrant of every query inside cell `(i, j)` are exactly
+//! those with `xrank >= i` and `yrank >= j`, where a point's rank is the index
+//! of its coordinate among the sorted distinct values. Queries lying exactly
+//! on a grid line are assigned to the cell on the greater side, which matches
+//! the strict inequalities used by the from-scratch query functions in
+//! [`crate::query`].
+
+use std::collections::HashMap;
+
+use crate::geometry::dataset::Dataset;
+use crate::geometry::point::{Coord, Point, PointId};
+
+/// Index of a skyline cell: `(x-slab, y-slab)`.
+pub type CellIndex = (u32, u32);
+
+/// The grid of skyline cells induced by a dataset.
+#[derive(Clone, Debug)]
+pub struct CellGrid {
+    /// Sorted distinct x coordinates (the vertical grid lines).
+    xs: Vec<Coord>,
+    /// Sorted distinct y coordinates (the horizontal grid lines).
+    ys: Vec<Coord>,
+    /// Per point: rank of its x coordinate in `xs`.
+    xrank: Vec<u32>,
+    /// Per point: rank of its y coordinate in `ys`.
+    yrank: Vec<u32>,
+    /// Points living exactly at grid-line intersections, keyed by rank pair.
+    /// Every point appears here (its own lines intersect at the point), so
+    /// this doubles as a coordinate → ids map.
+    at_corner: HashMap<(u32, u32), Vec<PointId>>,
+    /// Point ids grouped by x rank.
+    by_xrank: Vec<Vec<PointId>>,
+    /// Point ids grouped by y rank.
+    by_yrank: Vec<Vec<PointId>>,
+}
+
+fn sorted_distinct(mut values: Vec<Coord>) -> Vec<Coord> {
+    values.sort_unstable();
+    values.dedup();
+    values
+}
+
+impl CellGrid {
+    /// Builds the grid for a dataset.
+    pub fn new(dataset: &Dataset) -> Self {
+        let xs = sorted_distinct(dataset.points().iter().map(|p| p.x).collect());
+        let ys = sorted_distinct(dataset.points().iter().map(|p| p.y).collect());
+
+        let mut xrank = Vec::with_capacity(dataset.len());
+        let mut yrank = Vec::with_capacity(dataset.len());
+        let mut at_corner: HashMap<(u32, u32), Vec<PointId>> = HashMap::new();
+        let mut by_xrank = vec![Vec::new(); xs.len()];
+        let mut by_yrank = vec![Vec::new(); ys.len()];
+
+        for (id, p) in dataset.iter() {
+            let rx = xs.binary_search(&p.x).expect("every x came from the dataset") as u32;
+            let ry = ys.binary_search(&p.y).expect("every y came from the dataset") as u32;
+            xrank.push(rx);
+            yrank.push(ry);
+            at_corner.entry((rx, ry)).or_default().push(id);
+            by_xrank[rx as usize].push(id);
+            by_yrank[ry as usize].push(id);
+        }
+
+        CellGrid { xs, ys, xrank, yrank, at_corner, by_xrank, by_yrank }
+    }
+
+    /// Number of distinct x coordinates (vertical grid lines).
+    #[inline]
+    pub fn nx(&self) -> u32 {
+        self.xs.len() as u32
+    }
+
+    /// Number of distinct y coordinates (horizontal grid lines).
+    #[inline]
+    pub fn ny(&self) -> u32 {
+        self.ys.len() as u32
+    }
+
+    /// Number of cells: `(nx + 1) * (ny + 1)`.
+    #[inline]
+    pub fn cell_count(&self) -> usize {
+        (self.xs.len() + 1) * (self.ys.len() + 1)
+    }
+
+    /// The sorted distinct x coordinates.
+    #[inline]
+    pub fn x_lines(&self) -> &[Coord] {
+        &self.xs
+    }
+
+    /// The sorted distinct y coordinates.
+    #[inline]
+    pub fn y_lines(&self) -> &[Coord] {
+        &self.ys
+    }
+
+    /// x rank of a point.
+    #[inline]
+    pub fn xrank(&self, id: PointId) -> u32 {
+        self.xrank[id.index()]
+    }
+
+    /// y rank of a point.
+    #[inline]
+    pub fn yrank(&self, id: PointId) -> u32 {
+        self.yrank[id.index()]
+    }
+
+    /// Points whose x coordinate has the given rank.
+    #[inline]
+    pub fn points_with_xrank(&self, rank: u32) -> &[PointId] {
+        &self.by_xrank[rank as usize]
+    }
+
+    /// Points whose y coordinate has the given rank.
+    #[inline]
+    pub fn points_with_yrank(&self, rank: u32) -> &[PointId] {
+        &self.by_yrank[rank as usize]
+    }
+
+    /// Points located exactly at the grid intersection `(xs[i], ys[j])`.
+    ///
+    /// Used by the scanning algorithm: a cell whose upper-right corner hosts
+    /// a point has that point (or those duplicate points) as its entire
+    /// skyline. Returns an empty slice when the intersection is empty or the
+    /// ranks are out of range.
+    pub fn points_at_corner(&self, i: u32, j: u32) -> &[PointId] {
+        self.at_corner.get(&(i, j)).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The cell containing the query point. Queries exactly on a grid line
+    /// are assigned to the greater-side cell (see module docs).
+    pub fn cell_of(&self, q: Point) -> CellIndex {
+        let i = self.xs.partition_point(|&x| x <= q.x) as u32;
+        let j = self.ys.partition_point(|&y| y <= q.y) as u32;
+        (i, j)
+    }
+
+    /// Linear (row-major) index of a cell, for dense per-cell storage.
+    #[inline]
+    pub fn linear_index(&self, (i, j): CellIndex) -> usize {
+        j as usize * (self.xs.len() + 1) + i as usize
+    }
+
+    /// Inverse of [`CellGrid::linear_index`].
+    #[inline]
+    pub fn cell_from_linear(&self, idx: usize) -> CellIndex {
+        let width = self.xs.len() + 1;
+        ((idx % width) as u32, (idx / width) as u32)
+    }
+
+    /// Iterates over all cell indices in row-major order.
+    pub fn cells(&self) -> impl Iterator<Item = CellIndex> + '_ {
+        let width = self.xs.len() as u32 + 1;
+        let height = self.ys.len() as u32 + 1;
+        (0..height).flat_map(move |j| (0..width).map(move |i| (i, j)))
+    }
+
+    /// The lower-left corner `g_{i,j}` of a cell, as used by the paper's
+    /// Algorithm 1: candidates for the cell's quadrant skyline are points
+    /// strictly greater than this corner in both coordinates. Returns `None`
+    /// for cells on the lower or left boundary (whose corner is at -∞, i.e.
+    /// every point with rank ≥ 0 qualifies automatically in that dimension).
+    pub fn lower_left_corner(&self, (i, j): CellIndex) -> (Option<Coord>, Option<Coord>) {
+        let cx = i.checked_sub(1).map(|k| self.xs[k as usize]);
+        let cy = j.checked_sub(1).map(|k| self.ys[k as usize]);
+        (cx, cy)
+    }
+
+    /// A representative interior query point for a cell, useful in tests and
+    /// for cross-validating diagram lookups against from-scratch queries.
+    ///
+    /// Interior coordinates are midpoints *in doubled coordinates* so they
+    /// remain exact integers; the returned point is in doubled space and the
+    /// caller must compare against doubled data coordinates, or use
+    /// [`CellGrid::representative_unscaled`] when slabs are wide enough.
+    pub fn representative_doubled(&self, (i, j): CellIndex) -> Point {
+        Point::new(
+            slab_sample_doubled(&self.xs, i),
+            slab_sample_doubled(&self.ys, j),
+        )
+    }
+
+    /// A representative interior point in original coordinates, when one
+    /// exists (slab boundaries at least 2 apart, or unbounded slabs).
+    /// Returns `None` for unit-width slabs, where no integer interior exists.
+    pub fn representative_unscaled(&self, (i, j): CellIndex) -> Option<Point> {
+        Some(Point::new(
+            slab_sample_unscaled(&self.xs, i)?,
+            slab_sample_unscaled(&self.ys, j)?,
+        ))
+    }
+}
+
+/// Sample strictly inside slab `i` of `lines`, in doubled coordinates.
+pub(crate) fn slab_sample_doubled(lines: &[Coord], i: u32) -> Coord {
+    let i = i as usize;
+    if i == 0 {
+        2 * lines[0] - 1
+    } else if i == lines.len() {
+        2 * lines[lines.len() - 1] + 1
+    } else {
+        // Strictly between 2*lines[i-1] and 2*lines[i] because the distinct
+        // boundaries differ by at least 1 in original space.
+        lines[i - 1] + lines[i]
+    }
+}
+
+fn slab_sample_unscaled(lines: &[Coord], i: u32) -> Option<Coord> {
+    let i = i as usize;
+    if i == 0 {
+        Some(lines[0] - 1)
+    } else if i == lines.len() {
+        Some(lines[lines.len() - 1] + 1)
+    } else if lines[i] - lines[i - 1] >= 2 {
+        Some(lines[i - 1] + (lines[i] - lines[i - 1]) / 2)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> (Dataset, CellGrid) {
+        // Points with an x tie and a y tie to exercise compression.
+        let ds = Dataset::from_coords([(10, 5), (10, 20), (30, 20), (40, 1)]).unwrap();
+        let g = CellGrid::new(&ds);
+        (ds, g)
+    }
+
+    #[test]
+    fn distinct_compression() {
+        let (_, g) = grid();
+        assert_eq!(g.x_lines(), &[10, 30, 40]);
+        assert_eq!(g.y_lines(), &[1, 5, 20]);
+        assert_eq!(g.nx(), 3);
+        assert_eq!(g.ny(), 3);
+        assert_eq!(g.cell_count(), 16);
+    }
+
+    #[test]
+    fn ranks() {
+        let (_, g) = grid();
+        assert_eq!(g.xrank(PointId(0)), 0);
+        assert_eq!(g.xrank(PointId(1)), 0);
+        assert_eq!(g.xrank(PointId(3)), 2);
+        assert_eq!(g.yrank(PointId(0)), 1);
+        assert_eq!(g.yrank(PointId(3)), 0);
+        assert_eq!(g.points_with_xrank(0), &[PointId(0), PointId(1)]);
+        assert_eq!(g.points_with_yrank(2), &[PointId(1), PointId(2)]);
+    }
+
+    #[test]
+    fn corner_lookup() {
+        let (_, g) = grid();
+        // (10, 20) has ranks (0, 2).
+        assert_eq!(g.points_at_corner(0, 2), &[PointId(1)]);
+        assert!(g.points_at_corner(1, 0).is_empty());
+        assert!(g.points_at_corner(9, 9).is_empty());
+    }
+
+    #[test]
+    fn cell_of_interior_and_boundary_queries() {
+        let (_, g) = grid();
+        assert_eq!(g.cell_of(Point::new(0, 0)), (0, 0));
+        assert_eq!(g.cell_of(Point::new(15, 6)), (1, 2));
+        // On-line queries go to the greater-side cell.
+        assert_eq!(g.cell_of(Point::new(10, 5)), (1, 2));
+        assert_eq!(g.cell_of(Point::new(40, 20)), (3, 3));
+        assert_eq!(g.cell_of(Point::new(100, 100)), (3, 3));
+    }
+
+    #[test]
+    fn linear_index_roundtrip() {
+        let (_, g) = grid();
+        for (k, cell) in g.cells().enumerate() {
+            assert_eq!(g.linear_index(cell), k);
+            assert_eq!(g.cell_from_linear(k), cell);
+        }
+        assert_eq!(g.cells().count(), g.cell_count());
+    }
+
+    #[test]
+    fn lower_left_corners() {
+        let (_, g) = grid();
+        assert_eq!(g.lower_left_corner((0, 0)), (None, None));
+        assert_eq!(g.lower_left_corner((1, 2)), (Some(10), Some(5)));
+        assert_eq!(g.lower_left_corner((3, 3)), (Some(40), Some(20)));
+    }
+
+    #[test]
+    fn representatives_are_interior() {
+        let (_, g) = grid();
+        for cell in g.cells() {
+            let r = g.representative_doubled(cell);
+            // Doubling the grid check: the representative must land back in
+            // the same cell when compared against doubled lines.
+            let i = g.x_lines().partition_point(|&x| 2 * x <= r.x) as u32;
+            let j = g.y_lines().partition_point(|&y| 2 * y <= r.y) as u32;
+            assert_eq!((i, j), cell);
+            if let Some(u) = g.representative_unscaled(cell) {
+                assert_eq!(g.cell_of(u), cell);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_slab_has_no_unscaled_representative() {
+        let ds = Dataset::from_coords([(0, 0), (1, 1)]).unwrap();
+        let g = CellGrid::new(&ds);
+        assert_eq!(g.representative_unscaled((1, 1)), None);
+        assert!(g.representative_unscaled((0, 0)).is_some());
+        assert!(g.representative_unscaled((2, 2)).is_some());
+    }
+}

@@ -1,0 +1,12 @@
+//! Geometric primitives: points, datasets, and the skyline-cell grid.
+
+mod dataset;
+mod grid;
+mod point;
+pub mod transform;
+
+pub use dataset::{Dataset, DatasetD};
+pub use grid::{CellGrid, CellIndex};
+pub use point::{Coord, Point, PointD, PointId, MAX_COORD};
+
+pub(crate) use grid::slab_sample_doubled;

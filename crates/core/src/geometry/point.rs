@@ -1,0 +1,176 @@
+//! Planar and d-dimensional points in integer coordinate space.
+//!
+//! All coordinates are integers (`Coord = i64`). The paper's datasets live in
+//! bounded integer domains (domain size `s` per dimension), and integer
+//! coordinates keep every construction exact: the dynamic-skyline subcell
+//! grid needs midpoints of coordinate pairs, which stay integral once all
+//! inputs are doubled.
+
+use std::fmt;
+
+/// Scalar coordinate type used throughout the crate.
+pub type Coord = i64;
+
+/// Largest coordinate magnitude accepted by constructors that perform
+/// bisector arithmetic. Doubling then quadrupling a coordinate of this
+/// magnitude still fits comfortably in an `i64`.
+pub const MAX_COORD: Coord = i64::MAX / 16;
+
+/// Identifier of a point inside a [`Dataset`](crate::geometry::Dataset):
+/// the index of the point in insertion order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PointId(pub u32);
+
+impl PointId {
+    /// Index usable for slicing into dataset-parallel arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A point in the plane.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Point {
+    /// First attribute (e.g. distance to downtown in the paper's example).
+    pub x: Coord,
+    /// Second attribute (e.g. price).
+    pub y: Coord,
+}
+
+impl Point {
+    /// Creates a point from its two coordinates.
+    #[inline]
+    pub const fn new(x: Coord, y: Coord) -> Self {
+        Point { x, y }
+    }
+
+    /// Coordinate along dimension `dim` (0 = x, 1 = y).
+    ///
+    /// # Panics
+    /// Panics if `dim > 1`.
+    #[inline]
+    pub fn coord(&self, dim: usize) -> Coord {
+        match dim {
+            0 => self.x,
+            1 => self.y,
+            _ => panic!("planar point has no dimension {dim}"),
+        }
+    }
+}
+
+impl From<(Coord, Coord)> for Point {
+    fn from((x, y): (Coord, Coord)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// A point in d-dimensional space, used by the high-dimensional engines.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PointD {
+    coords: Vec<Coord>,
+}
+
+impl PointD {
+    /// Creates a d-dimensional point from its coordinates.
+    pub fn new(coords: Vec<Coord>) -> Self {
+        PointD { coords }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Coordinate along dimension `dim`.
+    #[inline]
+    pub fn coord(&self, dim: usize) -> Coord {
+        self.coords[dim]
+    }
+
+    /// All coordinates as a slice.
+    #[inline]
+    pub fn coords(&self) -> &[Coord] {
+        &self.coords
+    }
+}
+
+impl From<Point> for PointD {
+    fn from(p: Point) -> Self {
+        PointD::new(vec![p.x, p.y])
+    }
+}
+
+impl From<&[Coord]> for PointD {
+    fn from(coords: &[Coord]) -> Self {
+        PointD::new(coords.to_vec())
+    }
+}
+
+impl fmt::Display for PointD {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_accessors() {
+        let p = Point::new(3, -7);
+        assert_eq!(p.coord(0), 3);
+        assert_eq!(p.coord(1), -7);
+        assert_eq!(p, Point::from((3, -7)));
+        assert_eq!(p.to_string(), "(3, -7)");
+    }
+
+    #[test]
+    #[should_panic(expected = "no dimension 2")]
+    fn point_coord_out_of_range_panics() {
+        let _ = Point::new(0, 0).coord(2);
+    }
+
+    #[test]
+    fn point_ordering_is_lexicographic() {
+        assert!(Point::new(1, 9) < Point::new(2, 0));
+        assert!(Point::new(1, 1) < Point::new(1, 2));
+    }
+
+    #[test]
+    fn point_id_display_and_index() {
+        assert_eq!(PointId(4).to_string(), "p4");
+        assert_eq!(PointId(4).index(), 4);
+    }
+
+    #[test]
+    fn point_d_roundtrip() {
+        let p = PointD::new(vec![1, 2, 3]);
+        assert_eq!(p.dims(), 3);
+        assert_eq!(p.coord(2), 3);
+        assert_eq!(p.coords(), &[1, 2, 3]);
+        assert_eq!(p.to_string(), "(1, 2, 3)");
+        assert_eq!(PointD::from(Point::new(1, 2)), PointD::new(vec![1, 2]));
+    }
+}

@@ -1,0 +1,179 @@
+//! Dataset transforms for preparing real-world tables.
+//!
+//! Skylines here always minimize; a "larger is better" attribute must be
+//! inverted first, and data from arbitrary ranges may need translation or
+//! scaling. All transforms are exact integer maps, and the important ones
+//! come with the invariant that matters: **translation and positive
+//! scaling preserve skyline results id-for-id; axis inversion reverses the
+//! preference of that attribute** (asserted by tests and the
+//! translation-invariance proptest).
+
+use crate::error::{Error, Result};
+use crate::geometry::{Coord, Dataset, Point, MAX_COORD};
+
+/// Translates every point by `(dx, dy)`.
+pub fn translate(dataset: &Dataset, dx: Coord, dy: Coord) -> Result<Dataset> {
+    Dataset::from_coords(
+        dataset
+            .points()
+            .iter()
+            .map(|p| (p.x.saturating_add(dx), p.y.saturating_add(dy))),
+    )
+}
+
+/// Scales every coordinate by a positive factor.
+pub fn scale(dataset: &Dataset, factor: Coord) -> Result<Dataset> {
+    if factor <= 0 {
+        return Err(Error::CoordinateOverflow(factor));
+    }
+    Dataset::from_coords(
+        dataset
+            .points()
+            .iter()
+            .map(|p| (p.x.saturating_mul(factor), p.y.saturating_mul(factor))),
+    )
+}
+
+/// Axis selector for [`invert_axis`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Axis {
+    /// The first attribute.
+    X,
+    /// The second attribute.
+    Y,
+}
+
+/// Inverts one attribute's preference (`v ↦ max(v) - v` over that axis),
+/// turning "larger is better" into the minimization convention while
+/// keeping coordinates non-negative when they started non-negative.
+pub fn invert_axis(dataset: &Dataset, axis: Axis) -> Result<Dataset> {
+    let max = dataset
+        .points()
+        .iter()
+        .map(|p| match axis {
+            Axis::X => p.x,
+            Axis::Y => p.y,
+        })
+        .max()
+        .expect("datasets are nonempty");
+    Dataset::from_coords(dataset.points().iter().map(|p| match axis {
+        Axis::X => (max - p.x, p.y),
+        Axis::Y => (p.x, max - p.y),
+    }))
+}
+
+/// Shifts the dataset so both attributes start at 0 — the paper's
+/// non-negative domain convention, required by nothing in this workspace
+/// but convenient for rendering and CSV diffs.
+pub fn normalize_origin(dataset: &Dataset) -> Result<Dataset> {
+    let min_x = dataset.points().iter().map(|p| p.x).min().expect("nonempty");
+    let min_y = dataset.points().iter().map(|p| p.y).min().expect("nonempty");
+    translate(dataset, -min_x, -min_y)
+}
+
+/// Remaps coordinates onto `[0, domain)` per axis by rank (order-
+/// preserving): the cheapest way to bound the coordinate magnitude of a
+/// wild real-world table without changing any dominance relation —
+/// dominance depends only on per-axis order, which ranks preserve
+/// exactly (including ties).
+pub fn rank_compress(dataset: &Dataset) -> Result<Dataset> {
+    let grid = crate::geometry::CellGrid::new(dataset);
+    Dataset::new(
+        dataset
+            .ids()
+            .map(|id| Point::new(grid.xrank(id) as Coord, grid.yrank(id) as Coord))
+            .collect(),
+    )
+}
+
+/// Validates that every coordinate stays within the exact-arithmetic bound
+/// after a user-provided transform; a convenience re-export of the
+/// constructor's own check for pipelines that build points manually.
+pub fn check_bounds(points: &[Point]) -> Result<()> {
+    for p in points {
+        for c in [p.x, p.y] {
+            if c.abs() > MAX_COORD {
+                return Err(Error::CoordinateOverflow(c));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{dynamic_skyline, quadrant_skyline};
+    use crate::skyline::sort_sweep::skyline_2d;
+
+    fn sample() -> Dataset {
+        crate::test_data::hotel_dataset()
+    }
+
+    #[test]
+    fn translation_preserves_all_query_semantics() {
+        let ds = sample();
+        let moved = translate(&ds, -37, 1009).unwrap();
+        let q = Point::new(10, 80);
+        let q_moved = Point::new(10 - 37, 80 + 1009);
+        assert_eq!(quadrant_skyline(&ds, q), quadrant_skyline(&moved, q_moved));
+        assert_eq!(dynamic_skyline(&ds, q), dynamic_skyline(&moved, q_moved));
+        assert_eq!(skyline_2d(&ds), skyline_2d(&moved));
+    }
+
+    #[test]
+    fn scaling_preserves_skylines() {
+        let ds = sample();
+        let scaled = scale(&ds, 7).unwrap();
+        assert_eq!(skyline_2d(&ds), skyline_2d(&scaled));
+        assert!(scale(&ds, 0).is_err());
+        assert!(scale(&ds, -2).is_err());
+    }
+
+    #[test]
+    fn inversion_turns_maxima_into_minima() {
+        // Under "larger x is better", the best-x point must enter the
+        // skyline after inverting X.
+        let ds = Dataset::from_coords([(1, 5), (9, 5), (5, 1)]).unwrap();
+        let inverted = invert_axis(&ds, Axis::X).unwrap();
+        let sky = skyline_2d(&inverted);
+        assert!(sky.contains(&crate::geometry::PointId(1)), "max-x point is now skyline");
+        // Double inversion is the identity up to translation: skylines match.
+        let back = invert_axis(&inverted, Axis::X).unwrap();
+        assert_eq!(skyline_2d(&back), skyline_2d(&ds));
+        // Y inversion likewise.
+        let flipped = invert_axis(&ds, Axis::Y).unwrap();
+        assert_eq!(flipped.point(crate::geometry::PointId(2)).y, 4);
+    }
+
+    #[test]
+    fn normalize_origin_zeroes_the_minima() {
+        let ds = Dataset::from_coords([(-5, 100), (3, 90)]).unwrap();
+        let n = normalize_origin(&ds).unwrap();
+        assert_eq!(n.points().iter().map(|p| p.x).min(), Some(0));
+        assert_eq!(n.points().iter().map(|p| p.y).min(), Some(0));
+        assert_eq!(skyline_2d(&ds), skyline_2d(&n));
+    }
+
+    #[test]
+    fn rank_compression_preserves_diagrams_structurally() {
+        use crate::quadrant::QuadrantEngine;
+        let ds = crate::test_data::lcg_dataset(25, 1_000_000, 3);
+        let compressed = rank_compress(&ds).unwrap();
+        // Same skyline ids, same per-cell results (cell grids are
+        // isomorphic because ranks are preserved).
+        assert_eq!(skyline_2d(&ds), skyline_2d(&compressed));
+        let a = QuadrantEngine::Baseline.build(&ds);
+        let b = QuadrantEngine::Baseline.build(&compressed);
+        assert_eq!(a.grid().nx(), b.grid().nx());
+        for cell in a.grid().cells() {
+            assert_eq!(a.result(cell), b.result(cell), "{cell:?}");
+        }
+    }
+
+    #[test]
+    fn bounds_checking() {
+        assert!(check_bounds(&[Point::new(0, MAX_COORD)]).is_ok());
+        assert!(check_bounds(&[Point::new(0, MAX_COORD + 1)]).is_err());
+    }
+}

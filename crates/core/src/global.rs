@@ -1,0 +1,117 @@
+//! Skyline diagram for **global** skyline queries.
+//!
+//! "Global skyline can be simply computed by taking a union of all quadrant
+//! skylines" (paper, Section IV): the global diagram shares the quadrant
+//! diagram's cell grid, and each cell's result is the union of the four
+//! per-quadrant results. This module runs a chosen quadrant engine on the
+//! four axis reflections of the dataset and unions the per-cell results,
+//! so every quadrant engine doubles as a global engine.
+
+use crate::diagram::CellDiagram;
+use crate::geometry::{CellGrid, Dataset, PointId};
+use crate::quadrant::QuadrantEngine;
+use crate::result_set::{union_sorted, ResultInterner};
+
+/// Builds the global skyline diagram using the given quadrant engine for
+/// each of the four reflections.
+pub fn build(dataset: &Dataset, engine: QuadrantEngine) -> CellDiagram {
+    let grid = CellGrid::new(dataset);
+    let width = grid.nx() as usize + 1;
+    let height = grid.ny() as usize + 1;
+
+    // Reflections: (flip_x, flip_y) selects the quadrant being reduced to
+    // the first: Q1 = (false, false), Q2 = (true, false), Q3 = (true, true),
+    // Q4 = (false, true).
+    let reflections = [(false, false), (true, false), (true, true), (false, true)];
+
+    let mut results = ResultInterner::new();
+    let mut union_acc: Vec<Vec<PointId>> = vec![Vec::new(); width * height];
+    let mut scratch = Vec::new();
+
+    for (flip_x, flip_y) in reflections {
+        let reflected = Dataset::from_coords(dataset.points().iter().map(|p| {
+            (
+                if flip_x { -p.x } else { p.x },
+                if flip_y { -p.y } else { p.y },
+            )
+        }))
+        .expect("reflection preserves validity");
+        let quadrant_diagram = engine.build(&reflected);
+
+        for j in 0..height as u32 {
+            for i in 0..width as u32 {
+                // Cell (i, j) of the original grid corresponds to the
+                // reflected cell with flipped slab indices.
+                let ri = if flip_x { grid.nx() - i } else { i };
+                let rj = if flip_y { grid.ny() - j } else { j };
+                let part = quadrant_diagram.result((ri, rj));
+                if part.is_empty() {
+                    continue;
+                }
+                let acc = &mut union_acc[j as usize * width + i as usize];
+                union_sorted(acc, part, &mut scratch);
+                std::mem::swap(acc, &mut scratch);
+            }
+        }
+    }
+
+    let cells = union_acc.into_iter().map(|ids| results.intern_sorted(ids)).collect();
+    CellDiagram::from_parts(grid, results, cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{global_skyline, global_skyline_naive};
+
+    #[test]
+    fn matches_from_scratch_queries_on_hotel_example() {
+        let ds = crate::test_data::hotel_dataset();
+        let d = build(&ds, QuadrantEngine::Baseline);
+        for cell in d.grid().cells() {
+            // Compare in doubled coordinates so every cell has an exact
+            // interior representative.
+            let doubled =
+                Dataset::from_coords(ds.points().iter().map(|p| (2 * p.x, 2 * p.y))).unwrap();
+            let q = d.grid().representative_doubled(cell);
+            assert_eq!(
+                d.result(cell),
+                global_skyline(&doubled, q).as_slice(),
+                "cell {cell:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_global_result() {
+        // For q = (10, 80): {p1, p3, p6, p8, p9, p10, p11}.
+        let ds = crate::test_data::hotel_dataset();
+        let d = build(&ds, QuadrantEngine::Sweeping);
+        assert_eq!(
+            d.query(crate::geometry::Point::new(10, 80)),
+            global_skyline_naive(&ds, crate::geometry::Point::new(10, 80)).as_slice()
+        );
+    }
+
+    #[test]
+    fn all_engines_agree_on_global() {
+        let ds = crate::test_data::lcg_dataset(30, 40, 11);
+        let reference = build(&ds, QuadrantEngine::Baseline);
+        for engine in QuadrantEngine::ALL {
+            assert!(build(&ds, engine).same_results(&reference), "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn global_contains_quadrant_everywhere() {
+        let ds = crate::test_data::lcg_dataset(25, 100, 3);
+        let global = build(&ds, QuadrantEngine::Baseline);
+        let quadrant = QuadrantEngine::Baseline.build(&ds);
+        for cell in global.grid().cells() {
+            let g = global.result(cell);
+            for id in quadrant.result(cell) {
+                assert!(g.contains(id), "quadrant point {id} missing at {cell:?}");
+            }
+        }
+    }
+}

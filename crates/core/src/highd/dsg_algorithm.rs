@@ -1,0 +1,107 @@
+//! The high-dimensional DSG diagram algorithm (Section IV-E.2).
+//!
+//! Identical principle to the planar version: sweeping the cell lattice in
+//! lexicographic order, every step deletes the points on one crossed axis
+//! hyperplane, and deletions remain dominator-closed, so parent-counting on
+//! the directed skyline graph maintains the skyline incrementally. The
+//! recursion keeps one [`DeletionSweep`] snapshot per dimension level — the
+//! paper's per-row `tempDSG` copies, generalized.
+
+use crate::dsg::{DeletionSweep, DirectedSkylineGraph};
+use crate::geometry::DatasetD;
+use crate::highd::{HighDDiagram, OrthantGrid};
+use crate::result_set::{ResultId, ResultInterner};
+
+/// Builds the d-dimensional quadrant diagram with the DSG deletion sweep.
+pub fn build(dataset: &DatasetD) -> HighDDiagram {
+    let grid = OrthantGrid::new(dataset);
+    let dsg = DirectedSkylineGraph::new_d(dataset);
+    let mut results = ResultInterner::new();
+    let mut cells = vec![results.empty(); grid.cell_count()];
+
+    let mut state = DeletionSweep::new(&dsg);
+    recurse(&grid, &dsg, &mut state, grid.dims(), 0, &mut results, &mut cells);
+
+    HighDDiagram::from_parts(grid, results, cells)
+}
+
+/// Sweeps dimension `level - 1` (levels count down so that dimension 0 is
+/// the innermost, matching the row-major linear layout): for each slab,
+/// recurse with a snapshot, then cross the slab's hyperplane.
+fn recurse(
+    grid: &OrthantGrid,
+    dsg: &DirectedSkylineGraph,
+    state: &mut DeletionSweep,
+    level: usize,
+    base: usize,
+    results: &mut ResultInterner,
+    cells: &mut [ResultId],
+) {
+    let dim = level - 1;
+    let width = grid.widths()[dim];
+    let stride: usize = grid.widths()[..dim].iter().product();
+    if level == 1 {
+        // Innermost dimension: record, then advance in place.
+        for c in 0..width {
+            cells[base + c] = results.intern_sorted(state.skyline_ids());
+            if c + 1 < width {
+                state.remove_points(dsg, grid.points_with_rank(dim, c as u32));
+            }
+        }
+    } else {
+        for c in 0..width {
+            let mut child = state.clone();
+            recurse(grid, dsg, &mut child, level - 1, base + c * stride, results, cells);
+            if c + 1 < width {
+                state.remove_points(dsg, grid.points_with_rank(dim, c as u32));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::highd::baseline;
+
+    fn lcg(n: usize, d: usize, domain: i64, seed: u64) -> DatasetD {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % domain as u64) as i64
+        };
+        DatasetD::from_rows((0..n).map(|_| (0..d).map(|_| next()).collect::<Vec<_>>())).unwrap()
+    }
+
+    #[test]
+    fn matches_baseline_3d() {
+        for seed in 0..3 {
+            let ds = lcg(12, 3, 20, seed);
+            assert!(build(&ds).same_results(&baseline::build(&ds)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_baseline_4d() {
+        let ds = lcg(8, 4, 10, 9);
+        assert!(build(&ds).same_results(&baseline::build(&ds)));
+    }
+
+    #[test]
+    fn matches_baseline_3d_with_ties() {
+        for seed in 0..3 {
+            let ds = lcg(12, 3, 4, 30 + seed);
+            assert!(build(&ds).same_results(&baseline::build(&ds)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_planar_dsg_at_d2() {
+        let planar = crate::test_data::hotel_dataset();
+        let hd = build(&planar.to_dataset_d());
+        let flat = crate::quadrant::dsg_algorithm::build(&planar);
+        for cell in flat.grid().cells() {
+            assert_eq!(hd.result(&[cell.0, cell.1]), flat.result(cell), "{cell:?}");
+        }
+    }
+}

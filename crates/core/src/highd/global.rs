@@ -1,0 +1,140 @@
+//! d-dimensional **global** skyline diagrams: per-cell union of the `2^d`
+//! per-orthant skylines, built by running a quadrant engine on every axis
+//! reflection of the dataset — the direct generalization of
+//! [`crate::global`] used by the high-dimensional dynamic subset engine.
+
+use crate::geometry::{DatasetD, PointD, PointId};
+use crate::highd::{HighDDiagram, HighDEngine, OrthantGrid};
+use crate::result_set::ResultInterner;
+
+/// Builds the d-dimensional global skyline diagram with the given quadrant
+/// engine for each of the `2^d` reflections.
+pub fn build(dataset: &DatasetD, engine: HighDEngine) -> HighDDiagram {
+    let dims = dataset.dims();
+    let grid = OrthantGrid::new(dataset);
+    let total = grid.cell_count();
+
+    let reflections: Vec<HighDDiagram> = (0..(1u32 << dims))
+        .map(|mask| {
+            let reflected = DatasetD::new(
+                dataset
+                    .points()
+                    .iter()
+                    .map(|p| {
+                        PointD::new(
+                            (0..dims)
+                                .map(|k| {
+                                    if mask & (1 << k) != 0 {
+                                        -p.coord(k)
+                                    } else {
+                                        p.coord(k)
+                                    }
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            )
+            .expect("reflection preserves validity");
+            engine.build(&reflected)
+        })
+        .collect();
+
+    let mut results = ResultInterner::new();
+    let mut cells = Vec::with_capacity(total);
+    let mut union: Vec<PointId> = Vec::new();
+    for idx in 0..total {
+        let cell = grid.cell_from_linear(idx);
+        union.clear();
+        for (mask, diagram) in reflections.iter().enumerate() {
+            let reflected_cell: Vec<u32> = (0..dims)
+                .map(|k| {
+                    if mask & (1 << k) != 0 {
+                        grid.lines(k).len() as u32 - cell[k]
+                    } else {
+                        cell[k]
+                    }
+                })
+                .collect();
+            union.extend_from_slice(diagram.result(&reflected_cell));
+        }
+        union.sort_unstable();
+        union.dedup();
+        cells.push(results.intern_sorted(union.clone()));
+    }
+
+    HighDDiagram::from_parts(grid, results, cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::global_skyline_d;
+
+    fn lcg(n: usize, d: usize, domain: i64, seed: u64) -> DatasetD {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % domain as u64) as i64
+        };
+        DatasetD::from_rows((0..n).map(|_| (0..d).map(|_| next()).collect::<Vec<_>>())).unwrap()
+    }
+
+    #[test]
+    fn matches_from_scratch_at_representatives_3d() {
+        let ds = lcg(10, 3, 25, 1);
+        let d = build(&ds, HighDEngine::Sweeping);
+        let doubled = DatasetD::new(
+            ds.points()
+                .iter()
+                .map(|p| PointD::new(p.coords().iter().map(|&c| 2 * c).collect()))
+                .collect(),
+        )
+        .unwrap();
+        for idx in (0..d.grid().cell_count()).step_by(5) {
+            let cell = d.grid().cell_from_linear(idx);
+            let rep = d.grid().representative_doubled(&cell);
+            assert_eq!(
+                d.result(&cell),
+                global_skyline_d(&doubled, &rep).as_slice(),
+                "cell {cell:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_choice_does_not_matter() {
+        let ds = lcg(9, 3, 15, 4);
+        let reference = build(&ds, HighDEngine::Baseline);
+        for engine in HighDEngine::ALL {
+            assert!(build(&ds, engine).same_results(&reference), "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn d2_matches_planar_global() {
+        let planar = crate::test_data::hotel_dataset();
+        let hd = build(&planar.to_dataset_d(), HighDEngine::Scanning);
+        let flat = crate::global::build(
+            &planar,
+            crate::quadrant::QuadrantEngine::Scanning,
+        );
+        for cell in flat.grid().cells() {
+            assert_eq!(hd.result(&[cell.0, cell.1]), flat.result(cell), "{cell:?}");
+        }
+    }
+
+    #[test]
+    fn global_contains_orthant_everywhere() {
+        let ds = lcg(10, 3, 20, 7);
+        let global = build(&ds, HighDEngine::DirectedSkylineGraph);
+        let orthant = HighDEngine::DirectedSkylineGraph.build(&ds);
+        for idx in 0..global.grid().cell_count() {
+            let cell = global.grid().cell_from_linear(idx);
+            let g = global.result(&cell);
+            for id in orthant.result(&cell) {
+                assert!(g.contains(id), "{id} missing at {cell:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! High-dimensional quadrant skyline diagrams (paper Section IV-E).
+//!
+//! The cell grid generalizes directly: each dimension contributes an axis
+//! hyperplane per distinct coordinate, producing `∏(len_k + 1) = O(n^d)`
+//! hyper-cells; cell `(c_1, …, c_d)`'s first orthant holds the points with
+//! `rank_k ≥ c_k` in every dimension. Three engines generalize from the
+//! plane directly: the per-cell [`baseline`], the DSG deletion sweep
+//! ([`dsg_algorithm`]), and the neighbor recurrence ([`scanning`]). The
+//! paper leaves the sweeping algorithm's extension to d > 2 as future
+//! work; [`sweeping`] resolves it via the corner-key characterization of
+//! polyominoes.
+
+pub mod baseline;
+pub mod dsg_algorithm;
+pub mod global;
+pub mod scanning;
+pub mod sweeping;
+
+use std::collections::HashMap;
+
+use crate::geometry::{Coord, DatasetD, PointD, PointId};
+use crate::result_set::{ResultId, ResultInterner};
+
+/// The grid of hyper-cells induced by a d-dimensional dataset.
+#[derive(Clone, Debug)]
+pub struct OrthantGrid {
+    /// Per dimension: sorted distinct coordinates.
+    lines: Vec<Vec<Coord>>,
+    /// `ranks[k][p]`: rank of point `p`'s k-th coordinate.
+    ranks: Vec<Vec<u32>>,
+    /// Per dimension and rank: the points with that rank.
+    by_rank: Vec<Vec<Vec<PointId>>>,
+    /// Points at exact grid corners, keyed by linear cell index of the cell
+    /// whose upper corner they form.
+    at_corner: HashMap<usize, Vec<PointId>>,
+    /// `widths[k] = lines[k].len() + 1`.
+    widths: Vec<usize>,
+    /// Row-major strides for linear indexing (dimension 0 fastest).
+    strides: Vec<usize>,
+}
+
+impl OrthantGrid {
+    /// Builds the grid for a d-dimensional dataset.
+    pub fn new(dataset: &DatasetD) -> Self {
+        let dims = dataset.dims();
+        let mut lines = Vec::with_capacity(dims);
+        let mut ranks = Vec::with_capacity(dims);
+        let mut by_rank = Vec::with_capacity(dims);
+        for k in 0..dims {
+            let mut vals: Vec<Coord> = dataset.points().iter().map(|p| p.coord(k)).collect();
+            vals.sort_unstable();
+            vals.dedup();
+            let mut rk = Vec::with_capacity(dataset.len());
+            let mut groups = vec![Vec::new(); vals.len()];
+            for (id, p) in dataset.iter() {
+                let r = vals.binary_search(&p.coord(k)).expect("coordinate present") as u32;
+                rk.push(r);
+                groups[r as usize].push(id);
+            }
+            lines.push(vals);
+            ranks.push(rk);
+            by_rank.push(groups);
+        }
+        let widths: Vec<usize> = lines.iter().map(|l| l.len() + 1).collect();
+        let mut strides = vec![1usize; dims];
+        for k in 1..dims {
+            strides[k] = strides[k - 1] * widths[k - 1];
+        }
+        let mut at_corner: HashMap<usize, Vec<PointId>> = HashMap::new();
+        for (id, _) in dataset.iter() {
+            let mut idx = 0usize;
+            for k in 0..dims {
+                idx += ranks[k][id.index()] as usize * strides[k];
+            }
+            at_corner.entry(idx).or_default().push(id);
+        }
+        OrthantGrid { lines, ranks, by_rank, at_corner, widths, strides }
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Cell-count per dimension (`len_k + 1`).
+    #[inline]
+    pub fn widths(&self) -> &[usize] {
+        &self.widths
+    }
+
+    /// Total number of hyper-cells.
+    pub fn cell_count(&self) -> usize {
+        self.widths.iter().product()
+    }
+
+    /// Sorted distinct coordinates of a dimension.
+    #[inline]
+    pub fn lines(&self, dim: usize) -> &[Coord] {
+        &self.lines[dim]
+    }
+
+    /// Rank of a point in a dimension.
+    #[inline]
+    pub fn rank(&self, dim: usize, id: PointId) -> u32 {
+        self.ranks[dim][id.index()]
+    }
+
+    /// Points with the given rank in the given dimension.
+    #[inline]
+    pub fn points_with_rank(&self, dim: usize, rank: u32) -> &[PointId] {
+        &self.by_rank[dim][rank as usize]
+    }
+
+    /// Points exactly at the upper corner of the cell with this linear
+    /// index (i.e. with `rank_k == cell_k` in every dimension).
+    pub fn points_at_corner(&self, linear: usize) -> &[PointId] {
+        self.at_corner.get(&linear).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Linear index of a multi-index cell.
+    pub fn linear_index(&self, cell: &[u32]) -> usize {
+        debug_assert_eq!(cell.len(), self.dims());
+        cell.iter()
+            .zip(&self.strides)
+            .map(|(&c, &s)| c as usize * s)
+            .sum()
+    }
+
+    /// Multi-index of a linear cell index.
+    pub fn cell_from_linear(&self, mut idx: usize) -> Vec<u32> {
+        let mut cell = vec![0u32; self.dims()];
+        for (c, &w) in cell.iter_mut().zip(&self.widths) {
+            *c = (idx % w) as u32;
+            idx /= w;
+        }
+        cell
+    }
+
+    /// The cell containing a query point; on-hyperplane queries go to the
+    /// greater side, as in the planar grid.
+    pub fn cell_of(&self, q: &PointD) -> Vec<u32> {
+        (0..self.dims())
+            .map(|k| self.lines[k].partition_point(|&v| v <= q.coord(k)) as u32)
+            .collect()
+    }
+
+    /// True iff point `id` lies in the first orthant of cell `cell`.
+    pub fn in_orthant(&self, id: PointId, cell: &[u32]) -> bool {
+        (0..self.dims()).all(|k| self.ranks[k][id.index()] >= cell[k])
+    }
+
+    /// An interior sample of a cell, in doubled coordinates.
+    pub fn representative_doubled(&self, cell: &[u32]) -> PointD {
+        PointD::new(
+            (0..self.dims())
+                .map(|k| crate::geometry::slab_sample_doubled(&self.lines[k], cell[k]))
+                .collect(),
+        )
+    }
+}
+
+/// A high-dimensional quadrant skyline diagram at cell granularity.
+#[derive(Clone, Debug)]
+pub struct HighDDiagram {
+    grid: OrthantGrid,
+    results: ResultInterner,
+    cells: Vec<ResultId>,
+}
+
+impl HighDDiagram {
+    pub(crate) fn from_parts(
+        grid: OrthantGrid,
+        results: ResultInterner,
+        cells: Vec<ResultId>,
+    ) -> Self {
+        debug_assert_eq!(cells.len(), grid.cell_count());
+        HighDDiagram { grid, results, cells }
+    }
+
+    /// The underlying grid.
+    #[inline]
+    pub fn grid(&self) -> &OrthantGrid {
+        &self.grid
+    }
+
+    /// The skyline result of a cell.
+    pub fn result(&self, cell: &[u32]) -> &[PointId] {
+        self.results.get(self.cells[self.grid.linear_index(cell)])
+    }
+
+    /// The skyline result for an arbitrary query point.
+    pub fn query(&self, q: &PointD) -> &[PointId] {
+        self.result(&self.grid.cell_of(q))
+    }
+
+    /// The interner holding the distinct results.
+    #[inline]
+    pub fn results(&self) -> &ResultInterner {
+        &self.results
+    }
+
+    /// True iff two diagrams assign the same result to every cell.
+    pub fn same_results(&self, other: &HighDDiagram) -> bool {
+        self.grid.widths == other.grid.widths
+            && (0..self.grid.dims()).all(|k| self.grid.lines(k) == other.grid.lines(k))
+            && self
+                .cells
+                .iter()
+                .zip(&other.cells)
+                .all(|(&a, &b)| self.results.get(a) == other.results.get(b))
+    }
+}
+
+/// Selector for the high-dimensional engines.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum HighDEngine {
+    /// Per-cell skyline (generalized Algorithm 1).
+    Baseline,
+    /// DSG deletion sweep (generalized Algorithm 2).
+    DirectedSkylineGraph,
+    /// Neighbor recurrence, union form (generalized Algorithm 3). Default.
+    #[default]
+    Scanning,
+    /// Neighbor recurrence, the paper's signed inclusion–exclusion form —
+    /// kept for the E8b ablation.
+    ScanningInclusionExclusion,
+    /// Corner-key sweeping — this library's resolution of the paper's
+    /// future-work item (see [`sweeping`]): `O(d·n^d)` lattice work plus
+    /// one skyline evaluation per polyomino.
+    Sweeping,
+}
+
+impl HighDEngine {
+    /// All engines, for cross-validation and benches.
+    pub const ALL: [HighDEngine; 5] = [
+        HighDEngine::Baseline,
+        HighDEngine::DirectedSkylineGraph,
+        HighDEngine::Scanning,
+        HighDEngine::ScanningInclusionExclusion,
+        HighDEngine::Sweeping,
+    ];
+
+    /// Short stable name for bench ids.
+    pub fn name(self) -> &'static str {
+        match self {
+            HighDEngine::Baseline => "baseline",
+            HighDEngine::DirectedSkylineGraph => "dsg",
+            HighDEngine::Scanning => "scanning",
+            HighDEngine::ScanningInclusionExclusion => "scanning-ie",
+            HighDEngine::Sweeping => "sweeping",
+        }
+    }
+
+    /// Builds the diagram with this engine.
+    pub fn build(self, dataset: &DatasetD) -> HighDDiagram {
+        match self {
+            HighDEngine::Baseline => baseline::build(dataset),
+            HighDEngine::DirectedSkylineGraph => dsg_algorithm::build(dataset),
+            HighDEngine::Scanning => scanning::build(dataset),
+            HighDEngine::ScanningInclusionExclusion => {
+                scanning::build_inclusion_exclusion(dataset)
+            }
+            HighDEngine::Sweeping => sweeping::build(dataset),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Dataset;
+
+    fn lcg_dataset_d(n: usize, d: usize, domain: i64, seed: u64) -> DatasetD {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % domain as u64) as i64
+        };
+        DatasetD::from_rows((0..n).map(|_| (0..d).map(|_| next()).collect::<Vec<_>>()))
+            .expect("n > 0")
+    }
+
+    #[test]
+    fn grid_roundtrips() {
+        let ds = lcg_dataset_d(8, 3, 20, 1);
+        let g = OrthantGrid::new(&ds);
+        for idx in 0..g.cell_count() {
+            let cell = g.cell_from_linear(idx);
+            assert_eq!(g.linear_index(&cell), idx);
+        }
+        assert_eq!(g.dims(), 3);
+    }
+
+    #[test]
+    fn orthant_membership_matches_ranks() {
+        let ds = lcg_dataset_d(10, 3, 10, 2);
+        let g = OrthantGrid::new(&ds);
+        let cell = vec![1u32, 2, 0];
+        for (id, p) in ds.iter() {
+            let expected = (0..3).all(|k| {
+                let boundary = cell[k].checked_sub(1).map(|r| g.lines(k)[r as usize]);
+                boundary.map_or(true, |b| p.coord(k) > b)
+            });
+            assert_eq!(g.in_orthant(id, &cell), expected, "{id}");
+        }
+    }
+
+    #[test]
+    fn all_engines_agree_3d() {
+        let ds = lcg_dataset_d(12, 3, 15, 3);
+        let reference = HighDEngine::Baseline.build(&ds);
+        for engine in HighDEngine::ALL {
+            assert!(engine.build(&ds).same_results(&reference), "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn d2_matches_planar_engines() {
+        let planar = crate::test_data::hotel_dataset();
+        let ds = planar.to_dataset_d();
+        let hd = HighDEngine::Baseline.build(&ds);
+        let flat = crate::quadrant::QuadrantEngine::Baseline.build(&planar);
+        for cell in flat.grid().cells() {
+            assert_eq!(hd.result(&[cell.0, cell.1]), flat.result(cell), "{cell:?}");
+        }
+    }
+
+    #[test]
+    fn query_matches_cell_lookup() {
+        let ds = lcg_dataset_d(9, 3, 12, 4);
+        let d = HighDEngine::Scanning.build(&ds);
+        let q = PointD::new(vec![5, 5, 5]);
+        let cell = d.grid().cell_of(&q);
+        assert_eq!(d.query(&q), d.result(&cell));
+    }
+
+    #[test]
+    fn hotel_dataset_is_reused_consistently() {
+        // Guard: the 2-d fixture and its lift agree on the dataset skyline.
+        let planar = crate::test_data::hotel_dataset();
+        let lifted = planar.to_dataset_d();
+        assert_eq!(
+            crate::skyline::sort_sweep::skyline_2d(&planar),
+            crate::skyline::bnl::skyline_d(&lifted)
+        );
+        let _ = Dataset::from_coords([(0, 0)]).unwrap();
+    }
+}

@@ -1,0 +1,179 @@
+//! The baseline quadrant-diagram algorithm (paper Algorithm 1).
+//!
+//! For each of the `O(n²)` skyline cells, the first-quadrant candidates
+//! (points at or beyond the cell's upper-right boundary in both ranks) are
+//! scanned in x order keeping the running minimum y — `O(n)` per cell after
+//! one global sort, `O(n³)` total, matching the paper's analysis. The cells
+//! are then interned into a [`CellDiagram`]; merging into polyominoes is a
+//! separate step shared by all engines ([`crate::diagram::merge`]).
+
+use crate::diagram::CellDiagram;
+use crate::geometry::{CellGrid, Dataset, PointId};
+use crate::result_set::{ResultId, ResultInterner};
+
+/// Builds the quadrant skyline diagram with the baseline per-cell scan.
+pub fn build(dataset: &Dataset) -> CellDiagram {
+    let grid = CellGrid::new(dataset);
+    let mut results = ResultInterner::new();
+
+    // Points in ascending (x, y, id) order — the "sort once" of Algorithm 1.
+    let mut order: Vec<PointId> = dataset.ids().collect();
+    order.sort_unstable_by_key(|&id| {
+        let p = dataset.point(id);
+        (p.x, p.y, id)
+    });
+    let xrank: Vec<u32> = order.iter().map(|&id| grid.xrank(id)).collect();
+    let yrank: Vec<u32> = order.iter().map(|&id| grid.yrank(id)).collect();
+
+    let width = grid.nx() as usize + 1;
+    let height = grid.ny() as usize + 1;
+    let mut cells = vec![results.empty(); width * height];
+    let mut scratch: Vec<PointId> = Vec::new();
+
+    for j in 0..height as u32 {
+        for i in 0..width as u32 {
+            let rid = cell_skyline(&order, &xrank, &yrank, i, j, &mut scratch, &mut results);
+            cells[j as usize * width + i as usize] = rid;
+        }
+    }
+
+    CellDiagram::from_parts(grid, results, cells)
+}
+
+/// Tie-correct minima scan over the candidates of one cell.
+///
+/// `order` is sorted ascending by (x, y); the candidates for cell `(i, j)`
+/// are entries with `xrank >= i` and `yrank >= j`. Within a run of equal x,
+/// the first qualifying entry has the group's minimal qualifying y, and
+/// equal-(x, y) duplicates immediately follow it.
+fn cell_skyline(
+    order: &[PointId],
+    xrank: &[u32],
+    yrank: &[u32],
+    i: u32,
+    j: u32,
+    scratch: &mut Vec<PointId>,
+    results: &mut ResultInterner,
+) -> ResultId {
+    scratch.clear();
+    let mut best_y = u32::MAX; // compare by y rank: same order as y values
+    let mut k = 0;
+    while k < order.len() {
+        // Find the run of this x rank.
+        let gx = xrank[k];
+        let mut end = k;
+        while end < order.len() && xrank[end] == gx {
+            end += 1;
+        }
+        if gx >= i {
+            // First qualifying entry in the run has minimal qualifying y.
+            if let Some(first) = (k..end).find(|&t| yrank[t] >= j) {
+                let gy = yrank[first];
+                if (gy as u64) < best_y as u64 {
+                    for t in first..end {
+                        if yrank[t] == gy {
+                            scratch.push(order[t]);
+                        } else {
+                            break;
+                        }
+                    }
+                    best_y = gy;
+                }
+            }
+        }
+        k = end;
+    }
+    results.intern_unsorted(std::mem::take(scratch))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::query::quadrant_skyline_naive;
+
+    fn hotel() -> Dataset {
+        crate::test_data::hotel_dataset()
+    }
+
+    #[test]
+    fn boundary_cells_are_empty() {
+        let ds = hotel();
+        let d = build(&ds);
+        let (nx, ny) = (d.grid().nx(), d.grid().ny());
+        for i in 0..=nx {
+            assert!(d.result((i, ny)).is_empty());
+        }
+        for j in 0..=ny {
+            assert!(d.result((nx, j)).is_empty());
+        }
+    }
+
+    #[test]
+    fn origin_cell_is_the_dataset_skyline() {
+        let ds = hotel();
+        let d = build(&ds);
+        assert_eq!(d.result((0, 0)), crate::skyline::sort_sweep::skyline_2d(&ds));
+        // Paper fact: Sky(P) of the hotel example is {p1, p6, p11}.
+        assert_eq!(d.result((0, 0)), &[PointId(0), PointId(5), PointId(10)]);
+    }
+
+    #[test]
+    fn every_cell_matches_the_naive_quadrant_query() {
+        let ds = hotel();
+        let d = build(&ds);
+        for cell in d.grid().cells() {
+            let q = d.grid().representative_doubled(cell);
+            let expected = quadrant_skyline_naive_doubled(&ds, q);
+            assert_eq!(d.result(cell), expected.as_slice(), "cell {cell:?}");
+        }
+    }
+
+    /// Naive quadrant skyline against a query in doubled coordinates.
+    fn quadrant_skyline_naive_doubled(ds: &Dataset, q2: Point) -> Vec<PointId> {
+        let doubled =
+            Dataset::from_coords(ds.points().iter().map(|p| (2 * p.x, 2 * p.y))).unwrap();
+        quadrant_skyline_naive(&doubled, q2)
+    }
+
+    #[test]
+    fn paper_shaded_region_result() {
+        // The paper's Figure 3 highlights a region whose skyline is
+        // {p8, p10}; in the reconstruction, queries just right of p3 and
+        // just below p10 see exactly that pair (p5 and p7 are dominated by
+        // p8 within the quadrant).
+        let ds = hotel();
+        let d = build(&ds);
+        assert_eq!(d.query(Point::new(12, 81)), &[PointId(7), PointId(9)]);
+    }
+
+    #[test]
+    fn tie_heavy_dataset() {
+        // 3x3 integer grid with duplicates: all engines must agree with the
+        // naive oracle even on fully tied coordinates.
+        let mut coords = Vec::new();
+        for x in 0..3 {
+            for y in 0..3 {
+                coords.push((x, y));
+            }
+        }
+        coords.push((1, 1));
+        let ds = Dataset::from_coords(coords).unwrap();
+        let d = build(&ds);
+        for cell in d.grid().cells() {
+            let q = d.grid().representative_doubled(cell);
+            let expected = quadrant_skyline_naive_doubled(&ds, q);
+            assert_eq!(d.result(cell), expected.as_slice(), "cell {cell:?}");
+        }
+    }
+
+    #[test]
+    fn single_point_diagram() {
+        let ds = Dataset::from_coords([(5, 5)]).unwrap();
+        let d = build(&ds);
+        assert_eq!(d.result((0, 0)), &[PointId(0)]);
+        assert!(d.result((1, 0)).is_empty());
+        assert!(d.result((0, 1)).is_empty());
+        assert!(d.result((1, 1)).is_empty());
+    }
+}

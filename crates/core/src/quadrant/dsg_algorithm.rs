@@ -1,0 +1,125 @@
+//! The directed-skyline-graph quadrant-diagram algorithm (paper Section
+//! IV-B, Algorithm 2).
+//!
+//! Key observation: moving from a cell to its right (upper) neighbor only
+//! removes the points on the crossed vertical (horizontal) grid line from
+//! the first quadrant, and those removals are *dominator-closed* — a point
+//! left behind by a rightward/upward move has every dominator left behind
+//! too. Hence a surviving point becomes a new skyline point exactly when its
+//! last surviving direct parent in the DSG is removed (see [`crate::dsg`]
+//! for the proof).
+//!
+//! The sweep processes cells column by column, as in the paper: each
+//! column's state is derived from the previous column's bottom cell by
+//! crossing one vertical line, then swept upward on a scratch copy (the
+//! paper's `tempDSG`) crossing one horizontal line per cell. Copying costs
+//! `O(n)` per column; link deletions cost `O(links)` per sweep, for `O(n³)`
+//! worst case and far less in practice.
+
+use crate::diagram::CellDiagram;
+use crate::dsg::{DeletionSweep, DirectedSkylineGraph};
+use crate::geometry::{CellGrid, Dataset};
+use crate::result_set::ResultInterner;
+
+/// Builds the quadrant skyline diagram with the DSG-incremental algorithm.
+pub fn build(dataset: &Dataset) -> CellDiagram {
+    let grid = CellGrid::new(dataset);
+    let dsg = DirectedSkylineGraph::new_2d(dataset);
+    build_with_dsg(grid, &dsg)
+}
+
+/// Variant taking a prebuilt DSG, for the E8a ablation (graph construction
+/// cost vs sweep cost) and for callers reusing one DSG across runs.
+pub fn build_with_dsg(grid: CellGrid, dsg: &DirectedSkylineGraph) -> CellDiagram {
+    let mut results = ResultInterner::new();
+    let width = grid.nx() as usize + 1;
+    let height = grid.ny() as usize + 1;
+    let mut cells = vec![results.empty(); width * height];
+
+    // State of the current column's bottom cell C_{i,0}.
+    let mut column_state = DeletionSweep::new(dsg);
+
+    for i in 0..width {
+        // Sweep this column bottom-to-top on a scratch copy, recording each
+        // cell's skyline. Points already removed by column advancement (x
+        // rank < i) are skipped inside `remove_points` via presence flags.
+        let mut state = column_state.clone();
+        cells[i] = results.intern_sorted(state.skyline_ids());
+        for j in 1..height {
+            state.remove_points(dsg, grid.points_with_yrank(j as u32 - 1));
+            cells[j * width + i] = results.intern_sorted(state.skyline_ids());
+        }
+
+        // Advance the bottom-row state to the next column by crossing the
+        // vertical grid line xs[i].
+        if i + 1 < width {
+            column_state.remove_points(dsg, grid.points_with_xrank(i as u32));
+        }
+    }
+
+    CellDiagram::from_parts(grid, results, cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::PointId;
+    use crate::quadrant::baseline;
+
+    #[test]
+    fn matches_baseline_on_hotel_example() {
+        let ds = crate::test_data::hotel_dataset();
+        assert!(build(&ds).same_results(&baseline::build(&ds)));
+    }
+
+    #[test]
+    fn matches_baseline_on_random_data() {
+        for seed in 0..5 {
+            let ds = crate::test_data::lcg_dataset(40, 1000, seed);
+            assert!(build(&ds).same_results(&baseline::build(&ds)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_baseline_under_heavy_ties() {
+        for seed in 0..5 {
+            let ds = crate::test_data::lcg_dataset(40, 6, 100 + seed);
+            assert!(build(&ds).same_results(&baseline::build(&ds)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn paper_example_walk() {
+        // Example 2 of the paper: Sky(C_{0,0}) is the first skyline layer;
+        // crossing the first vertical line (the reconstruction's p1) removes
+        // p1; the new skyline is {p6, p11}.
+        let ds = crate::test_data::hotel_dataset();
+        let d = build(&ds);
+        assert_eq!(d.result((0, 0)), &[PointId(0), PointId(5), PointId(10)]);
+        // Crossing the first vertical line removes p1, exposing its direct
+        // children p2, p4, p9 (no other point dominates them).
+        assert_eq!(
+            d.result((1, 0)),
+            &[PointId(1), PointId(3), PointId(5), PointId(8), PointId(10)]
+        );
+        // Two more crossings peel p2 then p4 without exposing anything new.
+        assert_eq!(d.result((2, 0)), &[PointId(3), PointId(5), PointId(8), PointId(10)]);
+        assert_eq!(d.result((3, 0)), &[PointId(5), PointId(8), PointId(10)]);
+        // Crossing the first horizontal line removes p11 (the lowest-price
+        // hotel); nothing is exposed because p6 dominates the remaining
+        // non-skyline points: Sky(C_{0,1}) = {p1, p6}.
+        assert_eq!(d.result((0, 1)), &[PointId(0), PointId(5)]);
+    }
+
+    #[test]
+    fn single_column_dataset() {
+        // All points share one x: two cells wide, vertical sweep only.
+        let ds = Dataset::from_coords([(5, 1), (5, 2), (5, 3)]).unwrap();
+        let d = build(&ds);
+        assert_eq!(d.result((0, 0)), &[PointId(0)]);
+        assert_eq!(d.result((0, 1)), &[PointId(1)]);
+        assert_eq!(d.result((0, 2)), &[PointId(2)]);
+        assert!(d.result((0, 3)).is_empty());
+        assert!(d.result((1, 0)).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! The scanning quadrant-diagram algorithm (paper Section IV-C, Theorem 1,
+//! Algorithm 3).
+//!
+//! Scans cells from the top-right corner leftward/downward and computes each
+//! cell's skyline from its three already-computed neighbors with the
+//! multiset identity
+//!
+//! ```text
+//! Sky(C_{i,j}) = Sky(C_{i+1,j}) ⊎ Sky(C_{i,j+1}) ∖ Sky(C_{i+1,j+1})
+//! ```
+//!
+//! except for cells with a data point at their upper-right corner, whose
+//! skyline is exactly the point(s) at that corner (such a point dominates
+//! the whole quadrant).
+//!
+//! # Correctness beyond the paper's statement
+//!
+//! Writing `K` for the points exactly at the corner `(xs[i], ys[j])`, `R`
+//! for the points on the corner's vertical line strictly above it, `U` for
+//! the points on its horizontal line strictly right of it, and `I` for the
+//! strict interior `Q(i+1, j+1)`, one gets (for `K = ∅`):
+//!
+//! - `Sky(C_{i,j})   = r* ⊎ u* ⊎ {p ∈ Sky(I) : p.x < min_x(U), p.y < min_y(R)}`
+//! - `Sky(C_{i+1,j}) = u* ⊎ {p ∈ Sky(I) : p.x < min_x(U)}`
+//! - `Sky(C_{i,j+1}) = r* ⊎ {p ∈ Sky(I) : p.y < min_y(R)}`
+//! - `Sky(C_{i+1,j+1}) = Sky(I)`
+//!
+//! where `r*`/`u*` are the minimal elements of `R`/`U` (nonempty only if the
+//! line carries points in the quadrant). A `Sky(I)` point failing *both*
+//! guards appears in neither neighbor but once in the diagonal, so a literal
+//! multiset difference would assign it multiplicity `-1`. The published
+//! identity implicitly assumes this configuration away (its proof notes the
+//! upper-right range `D` must be empty when range `A` is nonempty, but `D`
+//! can be nonempty when `A`, `B`, `C` are all empty). Clamping multiplicity
+//! at zero — [`scanning_combine`](crate::result_set::scanning_combine) keeps
+//! an id iff `[right] + [up] - [diag] >= 1` — drops exactly those points and
+//! makes the recurrence exact for every input, ties included. The
+//! `counterexample_to_unclamped_identity` test below pins the 3-point input
+//! that breaks the unclamped form.
+
+use crate::diagram::CellDiagram;
+use crate::geometry::{CellGrid, Dataset, PointId};
+use crate::result_set::{scanning_combine, ResultInterner};
+
+/// Builds the quadrant skyline diagram with the scanning recurrence.
+pub fn build(dataset: &Dataset) -> CellDiagram {
+    let grid = CellGrid::new(dataset);
+    let mut results = ResultInterner::new();
+    let width = grid.nx() as usize + 1;
+    let height = grid.ny() as usize + 1;
+    let mut cells = vec![results.empty(); width * height];
+    let mut scratch: Vec<PointId> = Vec::new();
+
+    // Top row (j = ny) and right column (i = nx) stay empty: their first
+    // quadrants contain no points. Scan the rest top-down, right-to-left.
+    for j in (0..height - 1).rev() {
+        for i in (0..width - 1).rev() {
+            let corner = grid.points_at_corner(i as u32, j as u32);
+            let rid = if !corner.is_empty() {
+                // A corner point dominates its entire open quadrant; only
+                // exact duplicates at the corner survive alongside it.
+                results.intern_unsorted(corner.to_vec())
+            } else {
+                let right = cells[j * width + i + 1];
+                let up = cells[(j + 1) * width + i];
+                let diag = cells[(j + 1) * width + i + 1];
+                scanning_combine(
+                    results.get(right),
+                    results.get(up),
+                    results.get(diag),
+                    &mut scratch,
+                );
+                results.intern_sorted(std::mem::take(&mut scratch))
+            };
+            cells[j * width + i] = rid;
+        }
+    }
+
+    CellDiagram::from_parts(grid, results, cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrant::baseline;
+
+    #[test]
+    fn matches_baseline_on_hotel_example() {
+        let ds = crate::test_data::hotel_dataset();
+        assert!(build(&ds).same_results(&baseline::build(&ds)));
+    }
+
+    #[test]
+    fn matches_baseline_on_random_data() {
+        for seed in 0..5 {
+            let ds = crate::test_data::lcg_dataset(40, 1000, seed);
+            assert!(build(&ds).same_results(&baseline::build(&ds)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_baseline_under_heavy_ties() {
+        for seed in 0..5 {
+            let ds = crate::test_data::lcg_dataset(40, 6, 200 + seed);
+            assert!(build(&ds).same_results(&baseline::build(&ds)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn counterexample_to_unclamped_identity() {
+        // a = (10, 0), b = (0, 10), d = (20, 20): for C_{0,0} the three
+        // upper ranges of Theorem 1's proof are empty while its range D
+        // holds d, so the unclamped multiset expression would compute
+        // {a} ⊎ {b} ∖ {d} with d at multiplicity -1. The clamped recurrence
+        // must produce exactly {a, b}.
+        let ds = Dataset::from_coords([(10, 0), (0, 10), (20, 20)]).unwrap();
+        let d = build(&ds);
+        assert_eq!(d.result((0, 0)), &[PointId(0), PointId(1)]);
+        assert_eq!(d.result((1, 0)), &[PointId(0)]);
+        assert_eq!(d.result((0, 1)), &[PointId(1)]);
+        assert_eq!(d.result((1, 1)), &[PointId(2)]);
+        assert!(build(&ds).same_results(&baseline::build(&ds)));
+    }
+
+    #[test]
+    fn corner_cells_hold_their_point() {
+        let ds = crate::test_data::hotel_dataset();
+        let d = build(&ds);
+        let grid = d.grid();
+        for (id, _) in ds.iter() {
+            let (rx, ry) = (grid.xrank(id), grid.yrank(id));
+            assert_eq!(d.result((rx, ry)), &[id], "cell cornered by {id}");
+        }
+    }
+
+    #[test]
+    fn duplicate_corner_points_survive_together() {
+        let ds = Dataset::from_coords([(5, 5), (5, 5), (9, 9)]).unwrap();
+        let d = build(&ds);
+        assert_eq!(d.result((0, 0)), &[PointId(0), PointId(1)]);
+        assert!(build(&ds).same_results(&baseline::build(&ds)));
+    }
+}

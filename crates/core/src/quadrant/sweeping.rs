@@ -1,0 +1,239 @@
+//! The sweeping quadrant-diagram algorithm (paper Section IV-D, Theorem 2,
+//! Algorithm 4) — `O(n²)`: finds the skyline polyominoes *directly*, without
+//! computing a skyline per cell and merging.
+//!
+//! Two half-open grid-line segments per point (one downward, one leftward)
+//! partition the plane; by Theorem 2 every region they bound is a skyline
+//! polyomino. Each bounded region has a unique upper-right corner — an
+//! intersection of one downward segment with one leftward segment — and that
+//! corner determines the region's result.
+//!
+//! # Implementation notes
+//!
+//! The corner of the region containing a query `q` is
+//! `g₀ = (min_x(Q), min_y(Q))` where `Q` is `q`'s first-quadrant point set:
+//! walking right from `q`, the first downward segment hit belongs to the
+//! leftmost quadrant point; walking up, the first leftward segment belongs
+//! to the lowest one. Two rank-adjacent cells are separated by a segment iff
+//! the crossed grid line carries a quadrant point, which is also exactly
+//! when their corners (and their skylines) differ — so the swept polyominoes
+//! are the connected components of cells sharing a corner, and they coincide
+//! with the merge of any per-cell diagram (asserted by tests). The corner
+//! field is computed for all cells by a single `O(n²)` dynamic program, and
+//! results are attached per distinct corner with one leftward staircase
+//! sweep per horizontal line: `O(n²)` plus the size of the output, versus
+//! the `O(n³)` of the per-cell engines.
+
+use std::collections::HashMap;
+
+use crate::diagram::{merge::merge, CellDiagram, MergedDiagram};
+use crate::geometry::{CellGrid, Coord, Dataset, PointId};
+use crate::result_set::{ResultId, ResultInterner};
+
+/// Output of the sweeping engine: the per-cell diagram (for interoperability
+/// with the other engines) plus the polyomino partition it found directly.
+#[derive(Clone, Debug)]
+pub struct SweptDiagram {
+    /// Cell-level view, identical in content to the other engines' output.
+    pub cell_diagram: CellDiagram,
+    /// The polyominoes, grouped by region corner during the sweep.
+    pub merged: MergedDiagram,
+}
+
+/// Builds the quadrant skyline diagram by sweeping.
+pub fn build(dataset: &Dataset) -> SweptDiagram {
+    let grid = CellGrid::new(dataset);
+    let width = grid.nx() as usize + 1;
+    let height = grid.ny() as usize + 1;
+
+    // Corner DP: for each cell, the (min x-rank, min y-rank) over its
+    // first-quadrant points, or RANK_INF when the quadrant is empty.
+    const RANK_INF: u32 = u32::MAX;
+    let mut corner_x = vec![RANK_INF; width * height];
+    let mut corner_y = vec![RANK_INF; width * height];
+    for j in (0..height - 1).rev() {
+        for i in (0..width - 1).rev() {
+            let idx = j * width + i;
+            let mut cx = corner_x[idx + 1].min(corner_x[idx + width]);
+            let mut cy = corner_y[idx + 1].min(corner_y[idx + width]);
+            if !grid.points_at_corner(i as u32, j as u32).is_empty() {
+                cx = cx.min(i as u32);
+                cy = cy.min(j as u32);
+            }
+            corner_x[idx] = cx;
+            corner_y[idx] = cy;
+        }
+    }
+
+    // Attach a skyline result to every distinct corner. Corners sharing a
+    // y rank are served by one rightmost-to-leftmost staircase sweep.
+    let mut anchors_by_y: HashMap<u32, Vec<u32>> = HashMap::new();
+    for idx in 0..width * height {
+        if corner_x[idx] != RANK_INF {
+            anchors_by_y.entry(corner_y[idx]).or_default().push(corner_x[idx]);
+        }
+    }
+
+    // Points sorted by descending x (then descending y) once, reused by
+    // every per-line sweep.
+    let mut by_x_desc: Vec<PointId> = dataset.ids().collect();
+    by_x_desc.sort_unstable_by_key(|&id| {
+        let p = dataset.point(id);
+        (std::cmp::Reverse(p.x), std::cmp::Reverse(p.y))
+    });
+
+    let mut results = ResultInterner::new();
+    let mut corner_result: HashMap<(u32, u32), ResultId> = HashMap::new();
+    for (&ry, anchors) in &mut anchors_by_y {
+        anchors.sort_unstable();
+        anchors.dedup();
+        sweep_line(
+            dataset,
+            &grid,
+            &by_x_desc,
+            ry,
+            anchors,
+            &mut results,
+            &mut corner_result,
+        );
+    }
+
+    // Fill the per-cell diagram from the corner results.
+    let empty = results.empty();
+    let cells: Vec<ResultId> = (0..width * height)
+        .map(|idx| {
+            if corner_x[idx] == RANK_INF {
+                empty
+            } else {
+                corner_result[&(corner_x[idx], corner_y[idx])]
+            }
+        })
+        .collect();
+    let cell_diagram = CellDiagram::from_parts(grid, results, cells);
+
+    // The polyominoes are the connected components of equal corners, which
+    // coincide with equal-result components (module docs); reuse the shared
+    // merge to produce them in the common format.
+    let merged = merge(&cell_diagram);
+    SweptDiagram { cell_diagram, merged }
+}
+
+/// One horizontal line's sweep: for every anchor x-rank on line `ry`
+/// (ascending), the result is the staircase of points with
+/// `yrank >= ry` and `xrank >= anchor`. Sweeps anchors in descending order
+/// while inserting points right-to-left.
+fn sweep_line(
+    dataset: &Dataset,
+    grid: &CellGrid,
+    by_x_desc: &[PointId],
+    ry: u32,
+    anchors: &[u32],
+    results: &mut ResultInterner,
+    corner_result: &mut HashMap<(u32, u32), ResultId>,
+) {
+    // Staircase stack: x descending insertion order; invariant x ascending /
+    // y strictly descending from bottom to top... inserted points have the
+    // smallest x so far, so the live stack is ordered by insertion time with
+    // later entries dominating earlier ones evicted on the fly. Entries are
+    // (y, id); eviction compares y only. Ties: an equal-y later point with
+    // strictly smaller x dominates, so `>=` evicts; exact duplicates are
+    // handled by keeping same-(x, y) runs together.
+    let mut stack: Vec<(Coord, PointId)> = Vec::new();
+    let mut pt = 0usize;
+    for &anchor in anchors.iter().rev() {
+        // Insert all points with xrank >= anchor (and yrank >= ry).
+        while pt < by_x_desc.len() {
+            let id = by_x_desc[pt];
+            if grid.xrank(id) < anchor {
+                break;
+            }
+            pt += 1;
+            if grid.yrank(id) < ry {
+                continue;
+            }
+            let p = dataset.point(id);
+            // Evict dominated staircase entries: same or larger y, unless it
+            // is an exact duplicate (same x and y), which must survive.
+            while let Some(&(ty, tid)) = stack.last() {
+                let tp = dataset.point(tid);
+                if ty > p.y || (ty == p.y && tp.x > p.x) {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            stack.push((p.y, id));
+        }
+        let rid = results.intern_unsorted(stack.iter().map(|&(_, id)| id).collect());
+        corner_result.insert((anchor, ry), rid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrant::baseline;
+
+    #[test]
+    fn matches_baseline_on_hotel_example() {
+        let ds = crate::test_data::hotel_dataset();
+        assert!(build(&ds).cell_diagram.same_results(&baseline::build(&ds)));
+    }
+
+    #[test]
+    fn matches_baseline_on_random_data() {
+        for seed in 0..5 {
+            let ds = crate::test_data::lcg_dataset(40, 1000, seed);
+            assert!(
+                build(&ds).cell_diagram.same_results(&baseline::build(&ds)),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_baseline_under_heavy_ties() {
+        for seed in 0..5 {
+            let ds = crate::test_data::lcg_dataset(40, 6, 300 + seed);
+            assert!(
+                build(&ds).cell_diagram.same_results(&baseline::build(&ds)),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn polyominoes_match_merged_baseline() {
+        let ds = crate::test_data::hotel_dataset();
+        let swept = build(&ds);
+        let merged_baseline = merge(&baseline::build(&ds));
+        assert_eq!(swept.merged.len(), merged_baseline.len());
+        // Same cell partition: components must contain identical cell sets.
+        let mut a: Vec<_> = swept.merged.polyominoes.iter().map(|p| p.cells.clone()).collect();
+        let mut b: Vec<_> =
+            merged_baseline.polyominoes.iter().map(|p| p.cells.clone()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exact_duplicates_stay_in_results() {
+        let ds = Dataset::from_coords([(5, 5), (5, 5), (2, 8)]).unwrap();
+        let swept = build(&ds);
+        assert!(swept.cell_diagram.same_results(&baseline::build(&ds)));
+        assert_eq!(
+            swept.cell_diagram.result((0, 0)),
+            &[PointId(0), PointId(1), PointId(2)]
+        );
+    }
+
+    #[test]
+    fn polyomino_count_is_at_most_cell_count() {
+        let ds = crate::test_data::lcg_dataset(60, 100, 9);
+        let swept = build(&ds);
+        assert!(swept.merged.len() <= swept.cell_diagram.grid().cell_count());
+        // ... and strictly smaller here: merging must achieve something.
+        assert!(swept.merged.len() < swept.cell_diagram.grid().cell_count());
+    }
+}

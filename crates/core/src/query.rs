@@ -1,0 +1,308 @@
+//! From-scratch skyline queries for arbitrary query points.
+//!
+//! These are the "no precomputation" baselines the diagram is measured
+//! against (experiment E6), and the oracles the diagrams are validated
+//! against: for any query point, the diagram lookup must equal the
+//! from-scratch answer.
+//!
+//! # Boundary convention
+//!
+//! Quadrants are *open*: a point with `p.x == q.x` or `p.y == q.y` lies on an
+//! axis of `q` and belongs to no quadrant, so it never appears in a quadrant
+//! or global skyline. This matches the diagram side, where on-line queries
+//! are assigned to the greater-side cell (see
+//! [`CellGrid::cell_of`](crate::geometry::CellGrid::cell_of)): for `q`
+//! exactly on the grid line of `p`, the first quadrant of the assigned cell
+//! starts strictly beyond `p`, so *quadrant* diagram lookups are exact even
+//! on grid lines. *Global* lookups are exact off grid lines only: exactly on
+//! a line, the from-scratch answer excludes the line's axis points entirely,
+//! while the greater-side cell counts them in the lower quadrants — the
+//! lookup then equals the from-scratch answer for `q + ε`. Dynamic skylines
+//! have no quadrant subtlety — the
+//! mapping `|p - q|` is defined everywhere — but dynamic *diagram* lookups
+//! for queries exactly on a subcell boundary may differ from the
+//! from-scratch answer on the boundary itself (a measure-zero set where
+//! bisector comparisons tie); use [`dynamic_skyline`] when exactness on
+//! boundaries matters.
+
+use crate::dominance::{dominates_dynamic, dominates_global, quadrant_of};
+use crate::geometry::{Coord, Dataset, Point, PointD, PointId};
+use crate::skyline::sort_sweep::minima_xy;
+
+/// First-quadrant skyline of `q`: minima of the points strictly greater than
+/// `q` in both coordinates. `O(n log n)`.
+pub fn quadrant_skyline(dataset: &Dataset, q: Point) -> Vec<PointId> {
+    let mut scratch: Vec<(Coord, Coord, PointId)> = dataset
+        .iter()
+        .filter(|(_, p)| p.x > q.x && p.y > q.y)
+        .map(|(id, p)| (p.x, p.y, id))
+        .collect();
+    minima_xy(&mut scratch)
+}
+
+/// Quadratic oracle for [`quadrant_skyline`].
+pub fn quadrant_skyline_naive(dataset: &Dataset, q: Point) -> Vec<PointId> {
+    let in_q1: Vec<(PointId, Point)> =
+        dataset.iter().filter(|(_, p)| p.x > q.x && p.y > q.y).collect();
+    let mut out: Vec<PointId> = in_q1
+        .iter()
+        .filter(|(_, p)| !in_q1.iter().any(|(_, o)| crate::dominance::dominates(*o, *p)))
+        .map(|&(id, _)| id)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Global skyline of `q` (Definition 3): union of the four per-quadrant
+/// skylines. Points on an axis of `q` belong to no quadrant. `O(n log n)`.
+pub fn global_skyline(dataset: &Dataset, q: Point) -> Vec<PointId> {
+    let mut out = Vec::new();
+    let mut scratch: Vec<(Coord, Coord, PointId)> = Vec::new();
+    for quadrant in 1..=4u8 {
+        scratch.clear();
+        // Reflect each quadrant onto the first so minima_xy applies:
+        // dominance within a quadrant minimizes |p - q| componentwise.
+        scratch.extend(
+            dataset
+                .iter()
+                .filter(|&(_, p)| quadrant_of(p, q) == Some(quadrant))
+                .map(|(id, p)| ((p.x - q.x).abs(), (p.y - q.y).abs(), id)),
+        );
+        out.extend(minima_xy(&mut scratch));
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Quadratic oracle for [`global_skyline`].
+pub fn global_skyline_naive(dataset: &Dataset, q: Point) -> Vec<PointId> {
+    let mut out: Vec<PointId> = dataset
+        .iter()
+        .filter(|&(_, p)| {
+            quadrant_of(p, q).is_some()
+                && !dataset.iter().any(|(_, o)| dominates_global(o, p, q))
+        })
+        .map(|(id, _)| id)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Dynamic skyline of `q` (Definition 2): skyline of the points mapped by
+/// `t[j] = |p[j] - q[j]|`. `O(n log n)`.
+pub fn dynamic_skyline(dataset: &Dataset, q: Point) -> Vec<PointId> {
+    let mut scratch: Vec<(Coord, Coord, PointId)> = dataset
+        .iter()
+        .map(|(id, p)| ((p.x - q.x).abs(), (p.y - q.y).abs(), id))
+        .collect();
+    minima_xy(&mut scratch)
+}
+
+/// Quadratic oracle for [`dynamic_skyline`].
+pub fn dynamic_skyline_naive(dataset: &Dataset, q: Point) -> Vec<PointId> {
+    let mut out: Vec<PointId> = dataset
+        .iter()
+        .filter(|&(_, p)| !dataset.iter().any(|(_, o)| dominates_dynamic(o, p, q)))
+        .map(|(id, _)| id)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+// --- d-dimensional counterparts ------------------------------------------
+
+/// First-orthant skyline of `q` in d dimensions: minima of the points
+/// strictly greater than `q` in every coordinate.
+pub fn orthant_skyline_d(dataset: &crate::geometry::DatasetD, q: &PointD) -> Vec<PointId> {
+    debug_assert_eq!(dataset.dims(), q.dims());
+    let candidates = dataset
+        .iter()
+        .filter(|(_, p)| (0..q.dims()).all(|k| p.coord(k) > q.coord(k)))
+        .map(|(id, _)| id);
+    crate::skyline::bnl::skyline_d_subset(dataset, candidates)
+}
+
+/// Global skyline of `q` in d dimensions: union of the per-orthant
+/// skylines; points on an axis hyperplane of `q` belong to no orthant.
+pub fn global_skyline_d(dataset: &crate::geometry::DatasetD, q: &PointD) -> Vec<PointId> {
+    use crate::dominance::orthant_of;
+    let mut out = Vec::new();
+    for mask in 0..(1u32 << dataset.dims()) {
+        // Mapped coordinates |p - q| reduce each orthant to minimization.
+        let members: Vec<(PointId, Vec<Coord>)> = dataset
+            .iter()
+            .filter(|(_, p)| orthant_of(p, q) == Some(mask))
+            .map(|(id, p)| {
+                let mapped =
+                    (0..q.dims()).map(|k| (p.coord(k) - q.coord(k)).abs()).collect();
+                (id, mapped)
+            })
+            .collect();
+        out.extend(
+            members
+                .iter()
+                .filter(|(_, m)| {
+                    !members
+                        .iter()
+                        .any(|(_, o)| crate::dominance::dominates_coords(o, m))
+                })
+                .map(|&(id, _)| id),
+        );
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Dynamic skyline of `q` in d dimensions.
+pub fn dynamic_skyline_d(dataset: &crate::geometry::DatasetD, q: &PointD) -> Vec<PointId> {
+    let mapped: Vec<Vec<Coord>> = dataset
+        .points()
+        .iter()
+        .map(|p| (0..q.dims()).map(|k| (p.coord(k) - q.coord(k)).abs()).collect())
+        .collect();
+    let mut out: Vec<PointId> = (0..dataset.len())
+        .filter(|&i| {
+            !mapped
+                .iter()
+                .any(|o| crate::dominance::dominates_coords(o, &mapped[i]))
+        })
+        .map(|i| PointId(i as u32))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hotel() -> Dataset {
+        crate::test_data::hotel_dataset()
+    }
+
+    /// The paper's running query.
+    const Q: Point = Point::new(10, 80);
+
+    #[test]
+    fn first_quadrant_matches_paper() {
+        let ds = hotel();
+        // {p3, p8, p10}
+        let expected = vec![PointId(2), PointId(7), PointId(9)];
+        assert_eq!(quadrant_skyline(&ds, Q), expected);
+        assert_eq!(quadrant_skyline_naive(&ds, Q), expected);
+    }
+
+    #[test]
+    fn global_is_union_of_quadrants() {
+        let ds = hotel();
+        // Q1 {p3, p8, p10} ∪ Q2 {p1, p9} ∪ Q3 {p6} ∪ Q4 {p11}.
+        let expected = vec![
+            PointId(0),
+            PointId(2),
+            PointId(5),
+            PointId(7),
+            PointId(8),
+            PointId(9),
+            PointId(10),
+        ];
+        assert_eq!(global_skyline(&ds, Q), expected);
+        assert_eq!(global_skyline_naive(&ds, Q), expected);
+    }
+
+    #[test]
+    fn dynamic_matches_paper() {
+        let ds = hotel();
+        // {p6, p11} — the paper's headline dynamic result for q = (10, 80).
+        let expected = vec![PointId(5), PointId(10)];
+        assert_eq!(dynamic_skyline(&ds, Q), expected);
+        assert_eq!(dynamic_skyline_naive(&ds, Q), expected);
+    }
+
+    #[test]
+    fn dynamic_is_subset_of_global() {
+        let ds = hotel();
+        for q in [Q, Point::new(0, 0), Point::new(7, 90), Point::new(14, 50)] {
+            let dynamic = dynamic_skyline(&ds, q);
+            let global = global_skyline(&ds, q);
+            for id in &dynamic {
+                // Points on an axis of q are excluded from the global
+                // skyline by the open-quadrant convention; skip those.
+                let p = ds.point(*id);
+                if p.x == q.x || p.y == q.y {
+                    continue;
+                }
+                assert!(global.contains(id), "dynamic {id} missing from global at {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn axis_points_are_excluded_from_quadrant_queries() {
+        let ds = Dataset::from_coords([(5, 7), (6, 8)]).unwrap();
+        // q shares x with p0: p0 is on the axis, only p1 is in Q1.
+        let q = Point::new(5, 5);
+        assert_eq!(quadrant_skyline(&ds, q), vec![PointId(1)]);
+        assert_eq!(global_skyline(&ds, q), vec![PointId(1)]);
+        // Dynamic still sees both; p0 maps to (0, 2) and dominates (1, 3).
+        assert_eq!(dynamic_skyline(&ds, q), vec![PointId(0)]);
+    }
+
+    #[test]
+    fn fast_and_naive_agree_on_many_queries() {
+        let ds = hotel();
+        for qx in (0..25).step_by(3) {
+            for qy in (0..100).step_by(7) {
+                let q = Point::new(qx, qy);
+                assert_eq!(quadrant_skyline(&ds, q), quadrant_skyline_naive(&ds, q), "{q}");
+                assert_eq!(global_skyline(&ds, q), global_skyline_naive(&ds, q), "{q}");
+                assert_eq!(dynamic_skyline(&ds, q), dynamic_skyline_naive(&ds, q), "{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_beyond_all_points_is_empty_quadrant() {
+        let ds = hotel();
+        assert!(quadrant_skyline(&ds, Point::new(1000, 1000)).is_empty());
+        // ... but its dynamic skyline is never empty.
+        assert!(!dynamic_skyline(&ds, Point::new(1000, 1000)).is_empty());
+    }
+
+    #[test]
+    fn d_dimensional_queries_match_planar_at_d2() {
+        let ds = hotel();
+        let lifted = ds.to_dataset_d();
+        for (qx, qy) in [(0, 0), (10, 80), (14, 50), (7, 93)] {
+            let q = Point::new(qx, qy);
+            let qd = PointD::from(q);
+            assert_eq!(quadrant_skyline(&ds, q), orthant_skyline_d(&lifted, &qd), "{q}");
+            assert_eq!(global_skyline(&ds, q), global_skyline_d(&lifted, &qd), "{q}");
+            assert_eq!(dynamic_skyline(&ds, q), dynamic_skyline_d(&lifted, &qd), "{q}");
+        }
+    }
+
+    #[test]
+    fn d3_queries_are_internally_consistent() {
+        let ds = crate::geometry::DatasetD::from_rows([
+            [3i64, 1, 4],
+            [1, 5, 9],
+            [2, 6, 5],
+            [5, 3, 5],
+            [4, 4, 4],
+        ])
+        .unwrap();
+        let q = PointD::new(vec![3, 3, 3]);
+        let orthant = orthant_skyline_d(&ds, &q);
+        let global = global_skyline_d(&ds, &q);
+        let dynamic = dynamic_skyline_d(&ds, &q);
+        // Orthant ⊆ global; dynamic ⊆ global (off-axis points only).
+        assert!(orthant.iter().all(|id| global.contains(id)));
+        for id in &dynamic {
+            let p = ds.point(*id);
+            if (0..3).all(|k| p.coord(k) != q.coord(k)) {
+                assert!(global.contains(id), "{id}");
+            }
+        }
+        assert!(!dynamic.is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! Interned skyline result sets.
+//!
+//! A diagram assigns a skyline result (a set of point ids) to each of up to
+//! `O(n²)` cells — or `O(n⁴)` subcells for the dynamic diagram — but the
+//! number of *distinct* results is bounded by the number of skyline
+//! polyominoes, which is far smaller in practice. Storing one `u32` result id
+//! per cell and interning the distinct sets keeps the output structure within
+//! the paper's `O(min(s², n²)·n)` space bound without a per-cell `Vec`
+//! allocation, and makes polyomino merging a cheap group-by on ids.
+
+use std::collections::HashMap;
+
+use crate::geometry::PointId;
+
+/// Identifier of an interned skyline result inside a [`ResultInterner`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ResultId(pub u32);
+
+/// FNV-1a over the id sequence; cheap and good enough for a `HashMap` key
+/// that is verified by full comparison on collision.
+fn fnv1a(ids: &[PointId]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for id in ids {
+        for b in id.0.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Deduplicating store of skyline results.
+///
+/// Every result is a strictly increasing sequence of [`PointId`]s. The empty
+/// result is always interned with id 0 so that boundary cells can be filled
+/// without a lookup.
+#[derive(Clone, Debug, Default)]
+pub struct ResultInterner {
+    sets: Vec<Vec<PointId>>,
+    lookup: HashMap<u64, Vec<ResultId>>,
+}
+
+impl ResultInterner {
+    /// Creates an interner with the empty result pre-interned as id 0.
+    pub fn new() -> Self {
+        let mut interner = ResultInterner { sets: Vec::new(), lookup: HashMap::new() };
+        let empty = interner.intern_sorted(Vec::new());
+        debug_assert_eq!(empty, ResultId(0));
+        interner
+    }
+
+    /// The id of the empty result.
+    #[inline]
+    pub fn empty(&self) -> ResultId {
+        ResultId(0)
+    }
+
+    /// Interns a result that is already sorted and duplicate-free.
+    ///
+    /// # Panics
+    /// Debug builds assert the sortedness precondition.
+    pub fn intern_sorted(&mut self, ids: Vec<PointId>) -> ResultId {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "result must be strictly sorted");
+        let h = fnv1a(&ids);
+        let bucket = self.lookup.entry(h).or_default();
+        for &rid in bucket.iter() {
+            if self.sets[rid.0 as usize] == ids {
+                return rid;
+            }
+        }
+        let rid = ResultId(self.sets.len() as u32);
+        self.sets.push(ids);
+        bucket.push(rid);
+        rid
+    }
+
+    /// Interns a result given in arbitrary order (sorts and dedups first).
+    pub fn intern_unsorted(&mut self, mut ids: Vec<PointId>) -> ResultId {
+        ids.sort_unstable();
+        ids.dedup();
+        self.intern_sorted(ids)
+    }
+
+    /// The point ids of an interned result, in increasing order.
+    #[inline]
+    pub fn get(&self, id: ResultId) -> &[PointId] {
+        &self.sets[id.0 as usize]
+    }
+
+    /// Number of distinct interned results (including the empty one).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether only the empty result has been interned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sets.len() <= 1
+    }
+
+    /// Iterates over `(id, result)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ResultId, &[PointId])> + '_ {
+        self.sets.iter().enumerate().map(|(i, s)| (ResultId(i as u32), s.as_slice()))
+    }
+
+    /// Total number of point ids stored across all distinct results — the
+    /// diagram's intrinsic output size, reported by the E5 statistics.
+    pub fn total_ids(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+/// The clamped multiset expression of the paper's Theorem 1:
+/// `Sky(C_{i,j}) = Sky(C_{i+1,j}) ⊎ Sky(C_{i,j+1}) ∖ Sky(C_{i+1,j+1})`.
+///
+/// Each input is a strictly sorted set, so per-id multiplicities are
+/// `{0, 1}`; an id belongs to the output iff
+/// `[right] + [up] - [diag] >= 1`. Clamping at zero (instead of letting the
+/// `diag` term go negative) extends the published identity to the corner
+/// configuration where the three upper ranges of the theorem's proof are
+/// empty while its upper-right range `D` is not — there `Sky(C_{i+1,j+1})`
+/// contains points that appear in neither neighbor and must simply be
+/// dropped. See `quadrant::scanning` for the full derivation and the
+/// regression test pinning this configuration.
+pub fn scanning_combine(
+    right: &[PointId],
+    up: &[PointId],
+    diag: &[PointId],
+    out: &mut Vec<PointId>,
+) {
+    out.clear();
+    let (mut a, mut b, mut c) = (0usize, 0usize, 0usize);
+    loop {
+        let next = [
+            right.get(a).copied(),
+            up.get(b).copied(),
+            diag.get(c).copied(),
+        ]
+        .into_iter()
+        .flatten()
+        .min();
+        let Some(id) = next else { break };
+        let mut count = 0i32;
+        if right.get(a) == Some(&id) {
+            count += 1;
+            a += 1;
+        }
+        if up.get(b) == Some(&id) {
+            count += 1;
+            b += 1;
+        }
+        if diag.get(c) == Some(&id) {
+            count -= 1;
+            c += 1;
+        }
+        if count >= 1 {
+            out.push(id);
+        }
+    }
+}
+
+/// Sorted-set union of two strictly sorted id slices.
+pub fn union_sorted(a: &[PointId], b: &[PointId], out: &mut Vec<PointId>) {
+    out.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                out.push(x);
+                i += 1;
+                j += 1;
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                out.push(x);
+                i += 1;
+            }
+            (Some(_), Some(&y)) => {
+                out.push(y);
+                j += 1;
+            }
+            (Some(&x), None) => {
+                out.push(x);
+                i += 1;
+            }
+            (None, Some(&y)) => {
+                out.push(y);
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<PointId> {
+        v.iter().copied().map(PointId).collect()
+    }
+
+    #[test]
+    fn empty_is_id_zero() {
+        let interner = ResultInterner::new();
+        assert_eq!(interner.empty(), ResultId(0));
+        assert!(interner.get(ResultId(0)).is_empty());
+        assert!(interner.is_empty());
+    }
+
+    #[test]
+    fn interning_dedups() {
+        let mut interner = ResultInterner::new();
+        let a = interner.intern_sorted(ids(&[1, 2, 5]));
+        let b = interner.intern_sorted(ids(&[1, 2, 5]));
+        let c = interner.intern_sorted(ids(&[1, 2, 6]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(interner.len(), 3); // empty + two distinct
+        assert_eq!(interner.get(a), ids(&[1, 2, 5]).as_slice());
+        assert_eq!(interner.total_ids(), 6);
+        assert!(!interner.is_empty());
+        assert_eq!(interner.iter().count(), 3);
+    }
+
+    #[test]
+    fn intern_unsorted_normalizes() {
+        let mut interner = ResultInterner::new();
+        let a = interner.intern_unsorted(ids(&[5, 1, 2, 2, 5]));
+        assert_eq!(interner.get(a), ids(&[1, 2, 5]).as_slice());
+    }
+
+    #[test]
+    fn scanning_combine_basic() {
+        let mut out = Vec::new();
+        // right = {1,3}, up = {2,3}, diag = {3}: 1 and 2 kept, 3 has 1+1-1=1.
+        scanning_combine(&ids(&[1, 3]), &ids(&[2, 3]), &ids(&[3]), &mut out);
+        assert_eq!(out, ids(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn scanning_combine_clamps_negative() {
+        let mut out = Vec::new();
+        // diag contains an id absent from both neighbors: dropped, not -1.
+        scanning_combine(&ids(&[1]), &ids(&[2]), &ids(&[9]), &mut out);
+        assert_eq!(out, ids(&[1, 2]));
+    }
+
+    #[test]
+    fn scanning_combine_cancellation() {
+        let mut out = Vec::new();
+        // id 4 in up and diag only: 1 - 1 = 0, dropped.
+        scanning_combine(&ids(&[]), &ids(&[4]), &ids(&[4]), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn union_sorted_merges() {
+        let mut out = Vec::new();
+        union_sorted(&ids(&[1, 3, 5]), &ids(&[2, 3, 6]), &mut out);
+        assert_eq!(out, ids(&[1, 2, 3, 5, 6]));
+        union_sorted(&ids(&[]), &ids(&[7]), &mut out);
+        assert_eq!(out, ids(&[7]));
+        union_sorted(&ids(&[7]), &ids(&[]), &mut out);
+        assert_eq!(out, ids(&[7]));
+    }
+}

@@ -1,0 +1,334 @@
+//! k-skyband diagrams — the k-th-order analog, mirroring how k-th-order
+//! Voronoi diagrams generalize Voronoi diagrams for kNN (the comparison the
+//! paper's introduction draws).
+//!
+//! The **k-skyband** of a point set contains the points dominated by fewer
+//! than `k` others (`k = 1` is the skyline). Dominance among first-quadrant
+//! points depends only on the quadrant *set*, which is constant per
+//! skyline cell — so the same cell grid carries a diagram for quadrant
+//! k-skyband queries, with the same merging step. Two engines:
+//!
+//! - [`build_baseline`]: per-cell dominator counting, `O(n³)`-class with a
+//!   `k` early exit;
+//! - [`build_incremental`]: the DSG idea transplanted — grid-line
+//!   crossings delete dominator-closed sets, so maintaining per-point
+//!   *surviving dominator counts* (decremented via precomputed dominance
+//!   lists) keeps band membership current: a survivor is in the band iff
+//!   its count is below `k`.
+//!
+//! The k-skyband is the precomputation needed for top-k skyline variants
+//! and for tolerating up to `k - 1` deletions without rebuilding.
+//!
+//! ```
+//! use skyline_core::geometry::{Dataset, Point};
+//! use skyline_core::skyband;
+//!
+//! // A chain: each point dominates the next.
+//! let ds = Dataset::from_coords([(1, 1), (2, 2), (3, 3)])?;
+//! let band2 = skyband::build_incremental(&ds, 2);
+//! // From the origin, the 2-skyband holds the two least-dominated points.
+//! assert_eq!(band2.query(Point::new(0, 0)).len(), 2);
+//! # Ok::<(), skyline_core::Error>(())
+//! ```
+
+use crate::diagram::CellDiagram;
+use crate::dominance::dominates;
+use crate::geometry::{CellGrid, Dataset, PointId};
+use crate::result_set::ResultInterner;
+
+/// From-scratch quadrant k-skyband of a query point: points strictly in
+/// the first quadrant of `q` dominated by fewer than `k` quadrant points.
+pub fn quadrant_skyband(dataset: &Dataset, q: crate::geometry::Point, k: u32) -> Vec<PointId> {
+    assert!(k >= 1, "k-skyband needs k >= 1");
+    let members: Vec<(PointId, crate::geometry::Point)> =
+        dataset.iter().filter(|(_, p)| p.x > q.x && p.y > q.y).collect();
+    let mut out: Vec<PointId> = members
+        .iter()
+        .filter(|(_, p)| {
+            let mut dominators = 0u32;
+            for (_, o) in &members {
+                if dominates(*o, *p) {
+                    dominators += 1;
+                    if dominators >= k {
+                        return false;
+                    }
+                }
+            }
+            true
+        })
+        .map(|&(id, _)| id)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Builds the quadrant k-skyband diagram with per-cell counting.
+pub fn build_baseline(dataset: &Dataset, k: u32) -> CellDiagram {
+    assert!(k >= 1, "k-skyband needs k >= 1");
+    let grid = CellGrid::new(dataset);
+    let mut results = ResultInterner::new();
+    let width = grid.nx() as usize + 1;
+    let height = grid.ny() as usize + 1;
+    let mut cells = Vec::with_capacity(width * height);
+
+    let n = dataset.len();
+    // Precompute the dominance matrix once; per cell only membership
+    // filtering and counting remain.
+    let dominance: Vec<Vec<PointId>> = dominance_lists(dataset).1;
+
+    let mut in_quadrant = vec![false; n];
+    for j in 0..height as u32 {
+        for i in 0..width as u32 {
+            for (id, _) in dataset.iter() {
+                in_quadrant[id.index()] = grid.xrank(id) >= i && grid.yrank(id) >= j;
+            }
+            let mut band = Vec::new();
+            for (id, _) in dataset.iter() {
+                if !in_quadrant[id.index()] {
+                    continue;
+                }
+                let dominators = dominance[id.index()]
+                    .iter()
+                    .filter(|d| in_quadrant[d.index()])
+                    .take(k as usize)
+                    .count() as u32;
+                if dominators < k {
+                    band.push(id);
+                }
+            }
+            cells.push(results.intern_sorted(band));
+        }
+    }
+
+    CellDiagram::from_parts(grid, results, cells)
+}
+
+/// `(dominated_by_me, my_dominators)` adjacency lists over the dataset.
+fn dominance_lists(dataset: &Dataset) -> (Vec<Vec<PointId>>, Vec<Vec<PointId>>) {
+    let n = dataset.len();
+    let mut dominated = vec![Vec::new(); n];
+    let mut dominators = vec![Vec::new(); n];
+    for (a, pa) in dataset.iter() {
+        for (b, pb) in dataset.iter() {
+            if dominates(pa, pb) {
+                dominated[a.index()].push(b);
+                dominators[b.index()].push(a);
+            }
+        }
+    }
+    (dominated, dominators)
+}
+
+#[derive(Clone)]
+struct BandSweep {
+    present: Vec<bool>,
+    /// Surviving dominator count per point.
+    dominators_left: Vec<u32>,
+}
+
+impl BandSweep {
+    fn remove_points(&mut self, dominated: &[Vec<PointId>], points: &[PointId]) {
+        for &p in points {
+            if !self.present[p.index()] {
+                continue;
+            }
+            self.present[p.index()] = false;
+            for &c in &dominated[p.index()] {
+                // Every deleted dominator was present (deletions are
+                // dominator-closed: see crate::dsg module docs).
+                self.dominators_left[c.index()] -= 1;
+            }
+        }
+    }
+
+    fn band(&self, k: u32, results: &mut ResultInterner) -> crate::result_set::ResultId {
+        let ids: Vec<PointId> = self
+            .present
+            .iter()
+            .zip(&self.dominators_left)
+            .enumerate()
+            .filter(|&(_, (&present, &left))| present && left < k)
+            .map(|(idx, _)| PointId(idx as u32))
+            .collect();
+        results.intern_sorted(ids)
+    }
+}
+
+/// Builds the quadrant k-skyband diagram with the incremental deletion
+/// sweep (the DSG algorithm's structure with dominator counts in place of
+/// direct-parent counts).
+pub fn build_incremental(dataset: &Dataset, k: u32) -> CellDiagram {
+    assert!(k >= 1, "k-skyband needs k >= 1");
+    let grid = CellGrid::new(dataset);
+    let (dominated, dominators) = dominance_lists(dataset);
+    let mut results = ResultInterner::new();
+    let width = grid.nx() as usize + 1;
+    let height = grid.ny() as usize + 1;
+    let mut cells = vec![results.empty(); width * height];
+
+    let mut column_state = BandSweep {
+        present: vec![true; dataset.len()],
+        dominators_left: dominators.iter().map(|d| d.len() as u32).collect(),
+    };
+
+    for i in 0..width {
+        let mut state = column_state.clone();
+        cells[i] = state.band(k, &mut results);
+        for j in 1..height {
+            state.remove_points(&dominated, grid.points_with_yrank(j as u32 - 1));
+            cells[j * width + i] = state.band(k, &mut results);
+        }
+        if i + 1 < width {
+            column_state.remove_points(&dominated, grid.points_with_xrank(i as u32));
+        }
+    }
+
+    CellDiagram::from_parts(grid, results, cells)
+}
+
+/// Builds the **global** k-skyband diagram: per-cell union of the four
+/// per-quadrant k-skybands, via the same reflection scheme as
+/// [`crate::global`].
+pub fn build_global(dataset: &Dataset, k: u32) -> CellDiagram {
+    assert!(k >= 1, "k-skyband needs k >= 1");
+    let grid = CellGrid::new(dataset);
+    let width = grid.nx() as usize + 1;
+    let height = grid.ny() as usize + 1;
+    let reflections = [(false, false), (true, false), (true, true), (false, true)];
+
+    let mut results = ResultInterner::new();
+    let mut union_acc: Vec<Vec<PointId>> = vec![Vec::new(); width * height];
+    let mut scratch = Vec::new();
+    for (flip_x, flip_y) in reflections {
+        let reflected = Dataset::from_coords(dataset.points().iter().map(|p| {
+            (
+                if flip_x { -p.x } else { p.x },
+                if flip_y { -p.y } else { p.y },
+            )
+        }))
+        .expect("reflection preserves validity");
+        let band = build_incremental(&reflected, k);
+        for j in 0..height as u32 {
+            for i in 0..width as u32 {
+                let ri = if flip_x { grid.nx() - i } else { i };
+                let rj = if flip_y { grid.ny() - j } else { j };
+                let part = band.result((ri, rj));
+                if part.is_empty() {
+                    continue;
+                }
+                let acc = &mut union_acc[j as usize * width + i as usize];
+                crate::result_set::union_sorted(acc, part, &mut scratch);
+                std::mem::swap(acc, &mut scratch);
+            }
+        }
+    }
+    let cells = union_acc.into_iter().map(|ids| results.intern_sorted(ids)).collect();
+    CellDiagram::from_parts(grid, results, cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::quadrant::QuadrantEngine;
+
+    #[test]
+    fn k1_equals_the_skyline_diagram() {
+        let ds = crate::test_data::hotel_dataset();
+        let band = build_baseline(&ds, 1);
+        let skyline = QuadrantEngine::Baseline.build(&ds);
+        assert!(band.same_results(&skyline));
+        let inc = build_incremental(&ds, 1);
+        assert!(inc.same_results(&skyline));
+    }
+
+    #[test]
+    fn engines_agree_for_various_k() {
+        for seed in 0..3 {
+            let ds = crate::test_data::lcg_dataset(30, 200, seed);
+            for k in [1u32, 2, 3, 5] {
+                assert!(
+                    build_incremental(&ds, k).same_results(&build_baseline(&ds, k)),
+                    "k = {k}, seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_under_ties() {
+        let ds = crate::test_data::lcg_dataset(25, 6, 9);
+        for k in [1u32, 2, 4] {
+            assert!(build_incremental(&ds, k).same_results(&build_baseline(&ds, k)), "{k}");
+        }
+    }
+
+    #[test]
+    fn diagram_matches_from_scratch_queries() {
+        let ds = crate::test_data::lcg_dataset(20, 50, 4);
+        let k = 3;
+        let d = build_incremental(&ds, k);
+        for cell in d.grid().cells() {
+            if let Some(q) = d.grid().representative_unscaled(cell) {
+                assert_eq!(
+                    d.result(cell),
+                    quadrant_skyband(&ds, q, k).as_slice(),
+                    "cell {cell:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bands_are_nested_in_k() {
+        let ds = crate::test_data::lcg_dataset(25, 80, 7);
+        let d1 = build_baseline(&ds, 1);
+        let d2 = build_baseline(&ds, 2);
+        let d4 = build_baseline(&ds, 4);
+        for cell in d1.grid().cells() {
+            let (a, b, c) = (d1.result(cell), d2.result(cell), d4.result(cell));
+            assert!(a.iter().all(|id| b.contains(id)), "1 ⊆ 2 at {cell:?}");
+            assert!(b.iter().all(|id| c.contains(id)), "2 ⊆ 4 at {cell:?}");
+        }
+    }
+
+    #[test]
+    fn large_k_keeps_the_whole_quadrant() {
+        let ds = crate::test_data::lcg_dataset(15, 40, 2);
+        let d = build_baseline(&ds, ds.len() as u32 + 1);
+        // Every quadrant point is in the band when k exceeds n.
+        assert_eq!(d.result((0, 0)).len(), ds.len());
+        assert_eq!(
+            quadrant_skyband(&ds, Point::new(-1, -1), ds.len() as u32 + 1).len(),
+            ds.len()
+        );
+    }
+
+    #[test]
+    fn global_band_at_k1_is_the_global_diagram() {
+        let ds = crate::test_data::lcg_dataset(20, 50, 6);
+        let band = build_global(&ds, 1);
+        let global = crate::global::build(&ds, QuadrantEngine::Baseline);
+        assert!(band.same_results(&global));
+    }
+
+    #[test]
+    fn global_band_contains_quadrant_band() {
+        let ds = crate::test_data::lcg_dataset(20, 50, 8);
+        let global = build_global(&ds, 3);
+        let quadrant = build_baseline(&ds, 3);
+        for cell in global.grid().cells() {
+            let g = global.result(cell);
+            for id in quadrant.result(cell) {
+                assert!(g.contains(id), "{id} missing at {cell:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_is_rejected() {
+        let ds = crate::test_data::lcg_dataset(5, 10, 1);
+        let _ = build_baseline(&ds, 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Block-nested-loop skyline (Börzsönyi et al. [1]) for d dimensions.
+//!
+//! Maintains a window of incomparable points; each incoming point either is
+//! dominated by a window point (discarded), dominates window points (they are
+//! evicted), or is incomparable (appended). Worst case `O(n²·d)`, good in
+//! practice when the skyline is small.
+
+use crate::geometry::{DatasetD, PointId};
+use crate::dominance::dominates_d;
+
+/// Skyline of a subset of a d-dimensional dataset. Returns ids sorted by id.
+pub fn skyline_d_subset(
+    dataset: &DatasetD,
+    subset: impl IntoIterator<Item = PointId>,
+) -> Vec<PointId> {
+    let mut window: Vec<PointId> = Vec::new();
+    'outer: for id in subset {
+        let p = dataset.point(id);
+        let mut k = 0;
+        while k < window.len() {
+            let w = dataset.point(window[k]);
+            if dominates_d(w, p) {
+                continue 'outer;
+            }
+            if dominates_d(p, w) {
+                window.swap_remove(k);
+            } else {
+                k += 1;
+            }
+        }
+        window.push(id);
+    }
+    window.sort_unstable();
+    window
+}
+
+/// Skyline of an entire d-dimensional dataset.
+pub fn skyline_d(dataset: &DatasetD) -> Vec<PointId> {
+    skyline_d_subset(dataset, (0..dataset.len() as u32).map(PointId))
+}
+
+/// Brute-force quadratic skyline in d dimensions; test oracle only.
+pub fn skyline_d_naive(dataset: &DatasetD, subset: &[PointId]) -> Vec<PointId> {
+    let mut result: Vec<PointId> = subset
+        .iter()
+        .copied()
+        .filter(|&id| {
+            !subset
+                .iter()
+                .any(|&other| dominates_d(dataset.point(other), dataset.point(id)))
+        })
+        .collect();
+    result.sort_unstable();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(rows: &[&[i64]]) -> DatasetD {
+        DatasetD::from_rows(rows.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn three_dimensional_skyline() {
+        let d = ds(&[
+            &[1, 9, 9],
+            &[9, 1, 9],
+            &[9, 9, 1],
+            &[5, 5, 5],
+            &[9, 9, 9], // dominated by everything else
+        ]);
+        let sky = skyline_d(&d);
+        assert_eq!(sky, vec![PointId(0), PointId(1), PointId(2), PointId(3)]);
+    }
+
+    #[test]
+    fn window_eviction() {
+        // Later point dominates several earlier window entries at once.
+        let d = ds(&[&[5, 5], &[6, 4], &[4, 6], &[3, 3]]);
+        assert_eq!(skyline_d(&d), vec![PointId(3)]);
+    }
+
+    #[test]
+    fn duplicates_survive_together() {
+        let d = ds(&[&[2, 2, 2], &[2, 2, 2], &[1, 3, 3]]);
+        assert_eq!(skyline_d(&d), vec![PointId(0), PointId(1), PointId(2)]);
+    }
+
+    #[test]
+    fn subset_restriction() {
+        let d = ds(&[&[1, 1], &[2, 2], &[3, 1]]);
+        // Without point 0, both remaining points are skyline.
+        assert_eq!(
+            skyline_d_subset(&d, [PointId(1), PointId(2)]),
+            vec![PointId(1), PointId(2)]
+        );
+    }
+
+    #[test]
+    fn matches_naive() {
+        let d = ds(&[
+            &[3, 1, 4],
+            &[1, 5, 9],
+            &[2, 6, 5],
+            &[3, 5, 8],
+            &[9, 7, 9],
+            &[3, 2, 3],
+            &[8, 4, 6],
+            &[2, 6, 4],
+            &[3, 3, 8],
+            &[3, 2, 7],
+        ]);
+        let all: Vec<PointId> = (0..10).map(PointId).collect();
+        assert_eq!(skyline_d(&d), skyline_d_naive(&d, &all));
+    }
+}

@@ -1,0 +1,122 @@
+//! Divide-and-conquer skyline for d dimensions.
+//!
+//! Splits on the median of the first coordinate, recurses into both halves,
+//! and filters the high half's skyline against the low half's (a low-half
+//! point can dominate a high-half point, never the reverse when the split is
+//! strict). This is the simple variant of Kung's scheme; the filter step is
+//! a nested loop rather than a (d-1)-dimensional recursion, which keeps the
+//! code small while preserving the divide-and-conquer shape the paper cites
+//! from computational geometry.
+
+use crate::geometry::{DatasetD, PointId};
+use crate::dominance::dominates_d;
+
+/// Skyline of a subset of a d-dimensional dataset. Returns ids sorted by id.
+pub fn skyline_d_subset(
+    dataset: &DatasetD,
+    subset: impl IntoIterator<Item = PointId>,
+) -> Vec<PointId> {
+    let mut order: Vec<PointId> = subset.into_iter().collect();
+    // Sort once by (first coordinate, full lexicographic) so every split is
+    // a strict partition of the first coordinate.
+    order.sort_unstable_by(|&a, &b| {
+        dataset.point(a).coords().cmp(dataset.point(b).coords()).then(a.cmp(&b))
+    });
+    let mut result = recurse(dataset, &order);
+    result.sort_unstable();
+    result
+}
+
+/// Skyline of an entire d-dimensional dataset.
+pub fn skyline_d(dataset: &DatasetD) -> Vec<PointId> {
+    skyline_d_subset(dataset, (0..dataset.len() as u32).map(PointId))
+}
+
+fn recurse(dataset: &DatasetD, sorted: &[PointId]) -> Vec<PointId> {
+    if sorted.len() <= 4 {
+        return small_case(dataset, sorted);
+    }
+    // Split so the first coordinate is strictly smaller on the left; slide
+    // the split point off any run of equal first coordinates.
+    let mut mid = sorted.len() / 2;
+    let split_coord = dataset.point(sorted[mid]).coord(0);
+    while mid > 0 && dataset.point(sorted[mid - 1]).coord(0) == split_coord {
+        mid -= 1;
+    }
+    if mid == 0 {
+        // Entire slice shares its first coordinate; no strict split exists.
+        return small_case(dataset, sorted);
+    }
+    let low = recurse(dataset, &sorted[..mid]);
+    let high = recurse(dataset, &sorted[mid..]);
+    let mut merged = low.clone();
+    merged.extend(high.into_iter().filter(|&h| {
+        !low.iter().any(|&l| dominates_d(dataset.point(l), dataset.point(h)))
+    }));
+    merged
+}
+
+fn small_case(dataset: &DatasetD, slice: &[PointId]) -> Vec<PointId> {
+    slice
+        .iter()
+        .copied()
+        .filter(|&id| {
+            !slice
+                .iter()
+                .any(|&other| dominates_d(dataset.point(other), dataset.point(id)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skyline::bnl;
+
+    fn ds(rows: &[&[i64]]) -> DatasetD {
+        DatasetD::from_rows(rows.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_bnl() {
+        let d = ds(&[
+            &[3, 1, 4],
+            &[1, 5, 9],
+            &[2, 6, 5],
+            &[3, 5, 8],
+            &[9, 7, 9],
+            &[3, 2, 3],
+            &[8, 4, 6],
+            &[2, 6, 4],
+            &[7, 1, 2],
+            &[6, 6, 6],
+            &[1, 9, 1],
+            &[4, 4, 4],
+        ]);
+        assert_eq!(skyline_d(&d), bnl::skyline_d(&d));
+    }
+
+    #[test]
+    fn all_points_share_first_coordinate() {
+        let d = ds(&[&[5, 1], &[5, 2], &[5, 3], &[5, 4], &[5, 5], &[5, 1]]);
+        // Minimum second coordinate wins; duplicates of it all survive.
+        assert_eq!(skyline_d(&d), vec![PointId(0), PointId(5)]);
+    }
+
+    #[test]
+    fn larger_random_like_input_agrees_with_bnl() {
+        // Deterministic pseudo-random rows from a small LCG.
+        let mut state: u64 = 0x1234_5678;
+        let mut rows = Vec::new();
+        for _ in 0..200 {
+            let mut row = [0i64; 3];
+            for r in &mut row {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *r = ((state >> 33) % 50) as i64;
+            }
+            rows.push(row.to_vec());
+        }
+        let d = DatasetD::from_rows(rows).unwrap();
+        assert_eq!(skyline_d(&d), bnl::skyline_d(&d));
+    }
+}

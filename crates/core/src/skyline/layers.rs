@@ -1,0 +1,142 @@
+//! Skyline layers (onion peeling), following the layer construction the
+//! paper adapts from [15].
+//!
+//! Layer 1 is the skyline of the whole dataset; layer `k+1` is the skyline of
+//! what remains after removing layers `1..=k`. Properties used downstream:
+//! points within a layer are mutually incomparable, and dominance only ever
+//! points from lower-numbered layers to higher-numbered ones.
+
+use crate::geometry::{Coord, Dataset, DatasetD, PointId};
+use crate::skyline::{bnl, sort_sweep};
+
+/// Skyline layers of a planar dataset. `layers[k]` lists the ids on layer
+/// `k+1`, sorted by id; every point appears in exactly one layer.
+pub fn layers_2d(dataset: &Dataset) -> Vec<Vec<PointId>> {
+    let mut remaining: Vec<(Coord, Coord, PointId)> =
+        dataset.iter().map(|(id, p)| (p.x, p.y, id)).collect();
+    let mut layers = Vec::new();
+    while !remaining.is_empty() {
+        let layer = sort_sweep::minima_xy(&mut remaining);
+        remaining.retain(|&(_, _, id)| layer.binary_search(&id).is_err());
+        layers.push(layer);
+    }
+    layers
+}
+
+/// Skyline layers of a d-dimensional dataset.
+pub fn layers_d(dataset: &DatasetD) -> Vec<Vec<PointId>> {
+    let mut remaining: Vec<PointId> = (0..dataset.len() as u32).map(PointId).collect();
+    let mut layers = Vec::new();
+    while !remaining.is_empty() {
+        let layer = bnl::skyline_d_subset(dataset, remaining.iter().copied());
+        remaining.retain(|id| layer.binary_search(id).is_err());
+        layers.push(layer);
+    }
+    layers
+}
+
+/// Per-point layer numbers (1-based), parallel to the dataset.
+pub fn layer_numbers(layers: &[Vec<PointId>], n: usize) -> Vec<u32> {
+    let mut numbers = vec![0u32; n];
+    for (k, layer) in layers.iter().enumerate() {
+        for id in layer {
+            numbers[id.index()] = k as u32 + 1;
+        }
+    }
+    debug_assert!(numbers.iter().all(|&l| l > 0), "every point belongs to a layer");
+    numbers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::dominates;
+
+    /// Reconstruction of the paper's Figure-1 hotel example: eleven hotels,
+    /// ids 0..=10 corresponding to p1..=p11. The exact coordinates of the
+    /// figure are not recoverable from the source text, but this layout
+    /// reproduces its headline facts: `Sky(P) = {p1, p6, p11}`, and for
+    /// `q = (10, 80)` the first-quadrant skyline is `{p3, p8, p10}` and the
+    /// dynamic skyline is `{p6, p11}` (the canonical copy with full
+    /// verification lives in `skyline-data::hotel`).
+    pub(crate) fn paper_points() -> Vec<(Coord, Coord)> {
+        vec![
+            (1, 92),  // p1
+            (3, 96),  // p2
+            (12, 86), // p3
+            (5, 94),  // p4
+            (15, 85), // p5
+            (8, 78),  // p6
+            (16, 83), // p7
+            (13, 83), // p8
+            (6, 93),  // p9
+            (21, 82), // p10
+            (11, 9),  // p11
+        ]
+    }
+
+    #[test]
+    fn layers_partition_the_dataset() {
+        let ds = Dataset::from_coords(paper_points()).unwrap();
+        let layers = layers_2d(&ds);
+        let total: usize = layers.iter().map(Vec::len).sum();
+        assert_eq!(total, ds.len());
+        let numbers = layer_numbers(&layers, ds.len());
+        assert!(numbers.iter().all(|&l| l >= 1));
+    }
+
+    #[test]
+    fn first_layer_is_the_skyline() {
+        let ds = Dataset::from_coords(paper_points()).unwrap();
+        let layers = layers_2d(&ds);
+        assert_eq!(layers[0], sort_sweep::skyline_2d(&ds));
+        // As in the paper's Figure 5: the first skyline layer of the hotel
+        // example is {p1, p6, p11}.
+        assert_eq!(layers[0], vec![PointId(0), PointId(5), PointId(10)]);
+    }
+
+    #[test]
+    fn dominance_never_points_to_a_lower_layer() {
+        let ds = Dataset::from_coords(paper_points()).unwrap();
+        let layers = layers_2d(&ds);
+        let numbers = layer_numbers(&layers, ds.len());
+        for (a, pa) in ds.iter() {
+            for (b, pb) in ds.iter() {
+                if dominates(pa, pb) {
+                    assert!(
+                        numbers[a.index()] < numbers[b.index()],
+                        "{a} dominates {b} but layers are {} vs {}",
+                        numbers[a.index()],
+                        numbers[b.index()]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn within_layer_incomparability() {
+        let ds = Dataset::from_coords(paper_points()).unwrap();
+        for layer in layers_2d(&ds) {
+            for &a in &layer {
+                for &b in &layer {
+                    assert!(!dominates(ds.point(a), ds.point(b)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn d_dimensional_layers_match_planar_at_d2() {
+        let ds = Dataset::from_coords(paper_points()).unwrap();
+        assert_eq!(layers_2d(&ds), layers_d(&ds.to_dataset_d()));
+    }
+
+    #[test]
+    fn totally_ordered_chain_gives_singleton_layers() {
+        let ds = Dataset::from_coords([(1, 1), (2, 2), (3, 3)]).unwrap();
+        let layers = layers_2d(&ds);
+        assert_eq!(layers.len(), 3);
+        assert!(layers.iter().all(|l| l.len() == 1));
+    }
+}

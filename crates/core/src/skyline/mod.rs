@@ -1,0 +1,83 @@
+//! Skyline computation algorithms — the substrate every diagram engine is
+//! built on.
+//!
+//! - [`sort_sweep`]: the planar `O(n log n)` sort-and-scan minima, used by
+//!   every per-cell computation;
+//! - [`bnl`]: block-nested-loop for d dimensions;
+//! - [`sfs`]: sort-filter-skyline for d dimensions;
+//! - [`dnc`]: divide-and-conquer for d dimensions;
+//! - [`layers`]: onion peeling into skyline layers.
+
+pub mod bnl;
+pub mod dnc;
+pub mod layers;
+pub mod sfs;
+pub mod sort_sweep;
+
+use crate::geometry::{DatasetD, PointId};
+
+/// Selector for the d-dimensional skyline algorithms, so callers (and the
+/// ablation benches) can switch implementations uniformly.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SkylineAlgorithm {
+    /// Block nested loop.
+    #[default]
+    Bnl,
+    /// Sort-filter-skyline.
+    Sfs,
+    /// Divide and conquer.
+    DivideAndConquer,
+}
+
+impl SkylineAlgorithm {
+    /// All selectable algorithms, for exhaustive cross-validation.
+    pub const ALL: [SkylineAlgorithm; 3] =
+        [SkylineAlgorithm::Bnl, SkylineAlgorithm::Sfs, SkylineAlgorithm::DivideAndConquer];
+
+    /// Skyline of a subset of a d-dimensional dataset; ids sorted by id.
+    pub fn skyline_subset(
+        self,
+        dataset: &DatasetD,
+        subset: impl IntoIterator<Item = PointId>,
+    ) -> Vec<PointId> {
+        match self {
+            SkylineAlgorithm::Bnl => bnl::skyline_d_subset(dataset, subset),
+            SkylineAlgorithm::Sfs => sfs::skyline_d_subset(dataset, subset),
+            SkylineAlgorithm::DivideAndConquer => dnc::skyline_d_subset(dataset, subset),
+        }
+    }
+
+    /// Skyline of an entire d-dimensional dataset.
+    pub fn skyline(self, dataset: &DatasetD) -> Vec<PointId> {
+        self.skyline_subset(dataset, (0..dataset.len() as u32).map(PointId))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_algorithms_agree() {
+        let mut state: u64 = 42;
+        let mut rows = Vec::new();
+        for _ in 0..120 {
+            let mut row = [0i64; 4];
+            for r in &mut row {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *r = ((state >> 33) % 30) as i64;
+            }
+            rows.push(row.to_vec());
+        }
+        let ds = DatasetD::from_rows(rows).unwrap();
+        let expected = SkylineAlgorithm::Bnl.skyline(&ds);
+        for alg in SkylineAlgorithm::ALL {
+            assert_eq!(alg.skyline(&ds), expected, "{alg:?} disagrees");
+        }
+    }
+
+    #[test]
+    fn default_is_bnl() {
+        assert_eq!(SkylineAlgorithm::default(), SkylineAlgorithm::Bnl);
+    }
+}

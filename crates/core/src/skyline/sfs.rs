@@ -1,0 +1,87 @@
+//! Sort-filter-skyline (Chomicki et al.) for d dimensions.
+//!
+//! Points are presorted by a monotone score (here the coordinate sum, with
+//! lexicographic tiebreak): a point can only be dominated by points that
+//! precede it in this order, so one filtering pass against the confirmed
+//! skyline suffices and no window eviction is ever needed.
+
+use crate::geometry::{DatasetD, PointId};
+use crate::dominance::dominates_d;
+
+/// Skyline of a subset of a d-dimensional dataset. Returns ids sorted by id.
+pub fn skyline_d_subset(
+    dataset: &DatasetD,
+    subset: impl IntoIterator<Item = PointId>,
+) -> Vec<PointId> {
+    let mut order: Vec<PointId> = subset.into_iter().collect();
+    // Monotone preorder: if p dominates q then sum(p) < sum(q), or the sums
+    // are equal and p equals q in every coordinate (impossible with a strict
+    // dimension). Hence dominators always sort strictly earlier.
+    order.sort_unstable_by_key(|&id| {
+        let p = dataset.point(id);
+        (p.coords().iter().sum::<i64>(), id)
+    });
+
+    let mut skyline: Vec<PointId> = Vec::new();
+    for id in order {
+        let p = dataset.point(id);
+        if !skyline.iter().any(|&s| dominates_d(dataset.point(s), p)) {
+            skyline.push(id);
+        }
+    }
+    skyline.sort_unstable();
+    skyline
+}
+
+/// Skyline of an entire d-dimensional dataset.
+pub fn skyline_d(dataset: &DatasetD) -> Vec<PointId> {
+    skyline_d_subset(dataset, (0..dataset.len() as u32).map(PointId))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skyline::bnl;
+
+    fn ds(rows: &[&[i64]]) -> DatasetD {
+        DatasetD::from_rows(rows.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_bnl_on_small_inputs() {
+        let d = ds(&[
+            &[3, 1, 4],
+            &[1, 5, 9],
+            &[2, 6, 5],
+            &[3, 5, 8],
+            &[9, 7, 9],
+            &[3, 2, 3],
+            &[8, 4, 6],
+            &[2, 6, 4],
+        ]);
+        assert_eq!(skyline_d(&d), bnl::skyline_d(&d));
+    }
+
+    #[test]
+    fn equal_sum_incomparable_points() {
+        // (0, 4) and (4, 0) have equal sums and are incomparable; (4, 4)
+        // is dominated by both.
+        let d = ds(&[&[0, 4], &[4, 0], &[4, 4]]);
+        assert_eq!(skyline_d(&d), vec![PointId(0), PointId(1)]);
+    }
+
+    #[test]
+    fn duplicates_survive() {
+        let d = ds(&[&[1, 1], &[1, 1]]);
+        assert_eq!(skyline_d(&d), vec![PointId(0), PointId(1)]);
+    }
+
+    #[test]
+    fn subset_restriction() {
+        let d = ds(&[&[1, 1], &[2, 2], &[2, 1]]);
+        assert_eq!(
+            skyline_d_subset(&d, [PointId(1), PointId(2)]),
+            vec![PointId(2)]
+        );
+    }
+}

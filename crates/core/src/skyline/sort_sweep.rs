@@ -1,0 +1,177 @@
+//! The planar `O(n log n)` sort-and-scan skyline (Kung et al. [9]),
+//! tie-correct for bounded integer domains.
+//!
+//! This is the workhorse used by every per-cell and per-subcell computation:
+//! once candidates are sorted by x, one pass keeping the running minimum y
+//! yields the minima staircase, as in Lines 5–12 of the paper's Algorithm 1.
+
+use crate::geometry::{Coord, Dataset, Point, PointId};
+
+/// Skyline (minimization minima) of labelled coordinates. Sorts the scratch
+/// buffer in place; returns ids sorted by id.
+///
+/// Tie handling: points sharing an x coordinate form a group; only the
+/// minimum-y members of the group can survive, and they do iff their y is
+/// *strictly* below the best y of every strictly-smaller x (a point with
+/// smaller x and equal y dominates: `<=` in both, `<` in x). Points with
+/// identical coordinates never dominate each other (no strict dimension), so
+/// exact duplicates are all reported.
+pub fn minima_xy(points: &mut [(Coord, Coord, PointId)]) -> Vec<PointId> {
+    let mut result = Vec::new();
+    if points.is_empty() {
+        return result;
+    }
+    points.sort_unstable();
+    let mut best_y = Coord::MAX;
+    let mut i = 0;
+    while i < points.len() {
+        let group_x = points[i].0;
+        let mut j = i;
+        while j < points.len() && points[j].0 == group_x {
+            j += 1;
+        }
+        // Sorted order puts the group's minimal y first.
+        let group_min_y = points[i].1;
+        if group_min_y < best_y {
+            for &(_, y, id) in &points[i..j] {
+                if y == group_min_y {
+                    result.push(id);
+                } else {
+                    break;
+                }
+            }
+            best_y = group_min_y;
+        }
+        i = j;
+    }
+    result.sort_unstable();
+    result
+}
+
+/// Maxima counterpart of [`minima_xy`] (used for direct-dominance parents in
+/// the directed skyline graph): points not dominated under maximization.
+pub fn maxima_xy(points: &mut [(Coord, Coord, PointId)]) -> Vec<PointId> {
+    for p in points.iter_mut() {
+        p.0 = -p.0;
+        p.1 = -p.1;
+    }
+    minima_xy(points)
+}
+
+/// Skyline of an entire planar dataset.
+pub fn skyline_2d(dataset: &Dataset) -> Vec<PointId> {
+    skyline_2d_subset(dataset, dataset.ids())
+}
+
+/// Skyline of a subset of a planar dataset.
+pub fn skyline_2d_subset(
+    dataset: &Dataset,
+    subset: impl IntoIterator<Item = PointId>,
+) -> Vec<PointId> {
+    let mut scratch: Vec<(Coord, Coord, PointId)> = subset
+        .into_iter()
+        .map(|id| {
+            let p = dataset.point(id);
+            (p.x, p.y, id)
+        })
+        .collect();
+    minima_xy(&mut scratch)
+}
+
+/// Brute-force quadratic skyline, kept as the test oracle for every other
+/// implementation in this module tree.
+pub fn skyline_2d_naive(points: &[(Point, PointId)]) -> Vec<PointId> {
+    let mut result: Vec<PointId> = points
+        .iter()
+        .filter(|(p, _)| {
+            !points.iter().any(|(q, _)| crate::dominance::dominates(*q, *p))
+        })
+        .map(|&(_, id)| id)
+        .collect();
+    result.sort_unstable();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(coords: &[(Coord, Coord)]) -> Vec<u32> {
+        let mut pts: Vec<(Coord, Coord, PointId)> =
+            coords.iter().enumerate().map(|(i, &(x, y))| (x, y, PointId(i as u32))).collect();
+        minima_xy(&mut pts).into_iter().map(|id| id.0).collect()
+    }
+
+    fn run_naive(coords: &[(Coord, Coord)]) -> Vec<u32> {
+        let pts: Vec<(Point, PointId)> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (Point::new(x, y), PointId(i as u32)))
+            .collect();
+        skyline_2d_naive(&pts).into_iter().map(|id| id.0).collect()
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(run(&[]).is_empty());
+    }
+
+    #[test]
+    fn staircase() {
+        // Classic staircase: minima are the lower-left frontier.
+        assert_eq!(run(&[(1, 5), (2, 3), (3, 4), (4, 1), (5, 2)]), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn x_ties_keep_only_min_y() {
+        assert_eq!(run(&[(1, 5), (1, 2), (1, 9)]), vec![1]);
+    }
+
+    #[test]
+    fn equal_y_with_smaller_x_dominates() {
+        // (1, 3) dominates (2, 3): <= in y, < in x.
+        assert_eq!(run(&[(1, 3), (2, 3)]), vec![0]);
+    }
+
+    #[test]
+    fn exact_duplicates_all_survive() {
+        assert_eq!(run(&[(2, 2), (2, 2), (3, 1)]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn matches_naive_on_tie_heavy_grid() {
+        // Every combination from a 3x3 coordinate grid, some repeated.
+        let mut coords = Vec::new();
+        for x in 0..3 {
+            for y in 0..3 {
+                coords.push((x, y));
+                if (x + y) % 2 == 0 {
+                    coords.push((x, y));
+                }
+            }
+        }
+        assert_eq!(run(&coords), run_naive(&coords));
+    }
+
+    #[test]
+    fn maxima_mirrors_minima() {
+        let coords = [(1, 5), (2, 3), (3, 4), (4, 1), (5, 2)];
+        let mut pts: Vec<(Coord, Coord, PointId)> =
+            coords.iter().enumerate().map(|(i, &(x, y))| (x, y, PointId(i as u32))).collect();
+        // Maxima of the staircase dataset: upper-right frontier.
+        assert_eq!(
+            maxima_xy(&mut pts).into_iter().map(|id| id.0).collect::<Vec<_>>(),
+            vec![0, 2, 4]
+        );
+    }
+
+    #[test]
+    fn dataset_wrappers() {
+        let ds = Dataset::from_coords([(1, 5), (2, 3), (3, 4), (4, 1), (5, 2)]).unwrap();
+        assert_eq!(skyline_2d(&ds), vec![PointId(0), PointId(1), PointId(3)]);
+        assert_eq!(
+            skyline_2d_subset(&ds, [PointId(2), PointId(4)]),
+            vec![PointId(2), PointId(4)]
+        );
+    }
+}

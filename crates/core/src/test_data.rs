@@ -1,0 +1,34 @@
+//! Shared fixtures for the crate's unit tests.
+
+use crate::geometry::Dataset;
+
+/// Reconstruction of the paper's Figure-1 hotel example (ids 0..=10 are
+/// p1..=p11). See `skyline-data::hotel` for the canonical documented copy;
+/// this private copy avoids a dev-dependency cycle.
+pub(crate) fn hotel_dataset() -> Dataset {
+    Dataset::from_coords([
+        (1, 92),  // p1
+        (3, 96),  // p2
+        (12, 86), // p3
+        (5, 94),  // p4
+        (15, 85), // p5
+        (8, 78),  // p6
+        (16, 83), // p7
+        (13, 83), // p8
+        (6, 93),  // p9
+        (21, 82), // p10
+        (11, 9),  // p11
+    ])
+    .expect("hotel fixture is valid")
+}
+
+/// Deterministic pseudo-random datasets for exhaustive cross-validation
+/// without pulling `rand` into unit tests.
+pub(crate) fn lcg_dataset(n: usize, domain: i64, seed: u64) -> Dataset {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) % domain as u64) as i64
+    };
+    Dataset::from_coords((0..n).map(|_| (next(), next()))).expect("n > 0")
+}

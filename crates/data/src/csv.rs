@@ -1,0 +1,148 @@
+//! Minimal CSV import/export for datasets.
+//!
+//! The format is intentionally tiny: one integer row per point, comma
+//! separators, optional `#` comment lines and blank lines, no quoting. It
+//! exists so users can feed their own tables to the examples and so
+//! experiment inputs can be checked into a repository.
+
+use std::fmt::Write as _;
+
+use skyline_core::geometry::{Coord, Dataset, DatasetD, PointD};
+
+/// Errors from CSV parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A field failed integer parsing; payload is `(line, field)`.
+    BadInteger(usize, String),
+    /// A row had a different arity than the first row; `(line, got, want)`.
+    RaggedRow(usize, usize, usize),
+    /// No data rows at all.
+    Empty,
+    /// The parsed rows violated dataset invariants.
+    Dataset(skyline_core::Error),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::BadInteger(line, field) => {
+                write!(f, "line {line}: cannot parse integer from {field:?}")
+            }
+            CsvError::RaggedRow(line, got, want) => {
+                write!(f, "line {line}: expected {want} fields, found {got}")
+            }
+            CsvError::Empty => write!(f, "no data rows"),
+            CsvError::Dataset(e) => write!(f, "invalid dataset: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses integer rows from CSV text.
+pub fn parse_rows(text: &str) -> Result<Vec<Vec<Coord>>, CsvError> {
+    let mut rows: Vec<Vec<Coord>> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let row: Result<Vec<Coord>, CsvError> = line
+            .split(',')
+            .map(|field| {
+                field
+                    .trim()
+                    .parse::<Coord>()
+                    .map_err(|_| CsvError::BadInteger(lineno + 1, field.trim().to_string()))
+            })
+            .collect();
+        let row = row?;
+        if let Some(first) = rows.first() {
+            if row.len() != first.len() {
+                return Err(CsvError::RaggedRow(lineno + 1, row.len(), first.len()));
+            }
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Ok(rows)
+}
+
+/// Parses a planar dataset from CSV text with exactly two columns.
+pub fn parse_dataset_2d(text: &str) -> Result<Dataset, CsvError> {
+    let rows = parse_rows(text)?;
+    if rows[0].len() != 2 {
+        return Err(CsvError::RaggedRow(1, rows[0].len(), 2));
+    }
+    Dataset::from_coords(rows.into_iter().map(|r| (r[0], r[1]))).map_err(CsvError::Dataset)
+}
+
+/// Parses a d-dimensional dataset from CSV text.
+pub fn parse_dataset_d(text: &str) -> Result<DatasetD, CsvError> {
+    let rows = parse_rows(text)?;
+    DatasetD::new(rows.into_iter().map(PointD::new).collect()).map_err(CsvError::Dataset)
+}
+
+/// Serializes a planar dataset to CSV text.
+pub fn to_csv_2d(dataset: &Dataset) -> String {
+    let mut out = String::new();
+    for p in dataset.points() {
+        writeln!(out, "{},{}", p.x, p.y).expect("string writes cannot fail");
+    }
+    out
+}
+
+/// Serializes a d-dimensional dataset to CSV text.
+pub fn to_csv_d(dataset: &DatasetD) -> String {
+    let mut out = String::new();
+    for p in dataset.points() {
+        let row: Vec<String> = p.coords().iter().map(|c| c.to_string()).collect();
+        writeln!(out, "{}", row.join(",")).expect("string writes cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_2d() {
+        let ds = crate::hotel::dataset();
+        let text = to_csv_2d(&ds);
+        assert_eq!(parse_dataset_2d(&text).unwrap(), ds);
+    }
+
+    #[test]
+    fn roundtrip_d() {
+        let ds = crate::nba::players_d(20, 3, 4);
+        let text = to_csv_d(&ds);
+        assert_eq!(parse_dataset_d(&text).unwrap(), ds);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let ds = parse_dataset_2d("# header\n\n1, 2\n  3 ,4\n").unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.point(skyline_core::geometry::PointId(1)).x, 3);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(parse_rows(""), Err(CsvError::Empty));
+        assert_eq!(parse_rows("# only comments\n"), Err(CsvError::Empty));
+        assert!(matches!(parse_rows("1,x"), Err(CsvError::BadInteger(1, _))));
+        assert_eq!(parse_rows("1,2\n3\n"), Err(CsvError::RaggedRow(2, 1, 2)));
+        assert!(matches!(parse_dataset_2d("1,2,3\n"), Err(CsvError::RaggedRow(1, 3, 2))));
+        assert!(matches!(parse_dataset_d("1\n"), Err(CsvError::Dataset(_))));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CsvError::BadInteger(3, "x".into()).to_string().contains("line 3"));
+        assert!(CsvError::RaggedRow(2, 1, 2).to_string().contains("expected 2"));
+        assert!(CsvError::Empty.to_string().contains("no data"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Additional dataset shapes beyond the three Börzsönyi distributions:
+//! Zipf-skewed attributes (common in web/product data) and clustered
+//! points (mixtures), used by the robustness tests and available to the
+//! CLI's `gen` command via the library API.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skyline_core::geometry::{Coord, Dataset};
+
+/// Zipf-like attribute values over `[0, domain)`: rank-frequency skew with
+/// exponent `s` (values near 0 are common, the tail is long). Sampled by
+/// inverse-CDF over precomputed weights — exact enough for benchmark data.
+pub fn zipf_2d(n: usize, domain: Coord, exponent: f64, seed: u64) -> Dataset {
+    assert!(n > 0, "need at least one point");
+    assert!(domain >= 2, "domain must have at least two values");
+    assert!(exponent > 0.0, "zipf exponent must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Cumulative weights for ranks 1..=domain.
+    let mut cumulative = Vec::with_capacity(domain as usize);
+    let mut total = 0.0f64;
+    for k in 1..=domain {
+        total += 1.0 / (k as f64).powf(exponent);
+        cumulative.push(total);
+    }
+    let draw = move |rng: &mut StdRng| -> Coord {
+        let target = rng.gen::<f64>() * total;
+        cumulative.partition_point(|&c| c < target) as Coord
+    };
+
+    Dataset::from_coords((0..n).map(|_| (draw(&mut rng), draw(&mut rng))))
+        .expect("n > 0")
+}
+
+/// A mixture of Gaussian-ish clusters inside `[0, domain)²`; cluster
+/// centers are themselves uniform. Produces diagrams with large
+/// homogeneous polyominoes between clusters.
+pub fn clustered_2d(n: usize, domain: Coord, clusters: usize, seed: u64) -> Dataset {
+    assert!(n > 0, "need at least one point");
+    assert!(clusters > 0, "need at least one cluster");
+    assert!(domain >= 2, "domain must have at least two values");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<(f64, f64)> = (0..clusters)
+        .map(|_| {
+            (
+                rng.gen::<f64>() * domain as f64,
+                rng.gen::<f64>() * domain as f64,
+            )
+        })
+        .collect();
+    let spread = domain as f64 / (clusters as f64).sqrt() / 6.0;
+    let normal = move |rng: &mut StdRng| -> f64 {
+        (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0
+    };
+
+    Dataset::from_coords((0..n).map(|_| {
+        let (cx, cy) = centers[rng.gen_range(0..clusters)];
+        let x = (cx + normal(&mut rng) * spread).round() as Coord;
+        let y = (cy + normal(&mut rng) * spread).round() as Coord;
+        (x.clamp(0, domain - 1), y.clamp(0, domain - 1))
+    }))
+    .expect("n > 0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_deterministic_and_in_domain() {
+        let a = zipf_2d(300, 100, 1.1, 7);
+        assert_eq!(a, zipf_2d(300, 100, 1.1, 7));
+        for p in a.points() {
+            assert!((0..100).contains(&p.x) && (0..100).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_small_values() {
+        let ds = zipf_2d(2000, 1000, 1.2, 3);
+        let small = ds.points().iter().filter(|p| p.x < 10).count();
+        let large = ds.points().iter().filter(|p| p.x >= 500).count();
+        assert!(small > large * 3, "small {small} vs large {large}");
+    }
+
+    #[test]
+    fn clusters_concentrate_points() {
+        let ds = clustered_2d(1000, 1000, 3, 5);
+        assert_eq!(ds.len(), 1000);
+        // Mean absolute deviation from the global mean should be well
+        // below the uniform expectation (~250 per axis for domain 1000).
+        let mean_x: f64 =
+            ds.points().iter().map(|p| p.x as f64).sum::<f64>() / ds.len() as f64;
+        let mad: f64 = ds
+            .points()
+            .iter()
+            .map(|p| (p.x as f64 - mean_x).abs())
+            .sum::<f64>()
+            / ds.len() as f64;
+        assert!(mad < 400.0);
+        for p in ds.points() {
+            assert!((0..1000).contains(&p.x) && (0..1000).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn engines_handle_extra_distributions() {
+        use skyline_core::quadrant::QuadrantEngine;
+        for ds in [zipf_2d(60, 30, 1.0, 1), clustered_2d(60, 200, 4, 2)] {
+            let reference = QuadrantEngine::Baseline.build(&ds);
+            for engine in QuadrantEngine::ALL {
+                assert!(engine.build(&ds).same_results(&reference), "{}", engine.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Synthetic dataset generators in the style of Börzsönyi et al. (the
+//! standard benchmark distributions for skyline papers, used by the ICDE'18
+//! evaluation): **independent**, **correlated**, and **anti-correlated**,
+//! over a bounded integer domain `[0, s)` per dimension.
+//!
+//! All generators are deterministic given a seed, so every experiment in
+//! EXPERIMENTS.md is exactly reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skyline_core::geometry::{Coord, Dataset, DatasetD, PointD};
+
+/// The three benchmark distributions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Distribution {
+    /// Each attribute drawn independently and uniformly.
+    Independent,
+    /// Attributes positively correlated: points cluster around the main
+    /// diagonal, producing *few* skyline points (easy instances).
+    Correlated,
+    /// Attributes negatively correlated: points cluster around the
+    /// anti-diagonal, producing *many* skyline points (hard instances).
+    Anticorrelated,
+}
+
+impl Distribution {
+    /// All distributions, in the order the experiment tables report them.
+    pub const ALL: [Distribution; 3] =
+        [Distribution::Correlated, Distribution::Independent, Distribution::Anticorrelated];
+
+    /// Short stable name used in bench ids and experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Distribution::Independent => "inde",
+            Distribution::Correlated => "corr",
+            Distribution::Anticorrelated => "anti",
+        }
+    }
+}
+
+/// Full specification of a synthetic dataset; the unit of reproducibility
+/// for every experiment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DatasetSpec {
+    /// Number of points.
+    pub n: usize,
+    /// Dimensionality (2 for the planar engines).
+    pub dims: usize,
+    /// Domain size per dimension: coordinates lie in `[0, domain)`.
+    pub domain: Coord,
+    /// Distribution family.
+    pub distribution: Distribution,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Planar dataset for this spec.
+    ///
+    /// # Panics
+    /// Panics if `dims != 2`; use [`DatasetSpec::build_d`] otherwise.
+    pub fn build_2d(&self) -> Dataset {
+        assert_eq!(self.dims, 2, "build_2d requires dims == 2");
+        let rows = generate_rows(self);
+        Dataset::from_coords(rows.into_iter().map(|r| (r[0], r[1])))
+            .expect("generator output is valid")
+    }
+
+    /// d-dimensional dataset for this spec.
+    pub fn build_d(&self) -> DatasetD {
+        let rows = generate_rows(self);
+        DatasetD::new(rows.into_iter().map(PointD::new).collect())
+            .expect("generator output is valid")
+    }
+}
+
+/// Approximate standard normal via Irwin–Hall (sum of 12 uniforms − 6);
+/// avoids a `rand_distr` dependency and is plenty for benchmark shaping.
+fn normal(rng: &mut StdRng) -> f64 {
+    (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0
+}
+
+fn clamp_to_domain(v: f64, domain: Coord) -> Coord {
+    (v.round() as Coord).clamp(0, domain - 1)
+}
+
+fn generate_rows(spec: &DatasetSpec) -> Vec<Vec<Coord>> {
+    assert!(spec.n > 0, "need at least one point");
+    assert!(spec.domain >= 2, "domain must have at least two values");
+    assert!((2..=6).contains(&spec.dims), "dims must be in 2..=6");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let s = spec.domain as f64;
+    (0..spec.n)
+        .map(|_| match spec.distribution {
+            Distribution::Independent => (0..spec.dims)
+                .map(|_| rng.gen_range(0..spec.domain))
+                .collect(),
+            Distribution::Correlated => {
+                // A common latent value plus small per-dimension noise.
+                let t = rng.gen::<f64>() * s;
+                (0..spec.dims)
+                    .map(|_| clamp_to_domain(t + normal(&mut rng) * s / 20.0, spec.domain))
+                    .collect()
+            }
+            Distribution::Anticorrelated => {
+                // Points near the hyperplane Σ coords ≈ s·d/2: draw a
+                // uniform split of the (jittered) total across dimensions.
+                let total = s * spec.dims as f64 / 2.0 + normal(&mut rng) * s / 12.0;
+                let mut weights: Vec<f64> =
+                    (0..spec.dims).map(|_| rng.gen::<f64>() + 1e-9).collect();
+                let wsum: f64 = weights.iter().sum();
+                for w in &mut weights {
+                    *w = *w / wsum * total;
+                }
+                weights
+                    .into_iter()
+                    .map(|w| clamp_to_domain(w, spec.domain))
+                    .collect()
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_core::skyline::sort_sweep::skyline_2d;
+
+    fn spec(distribution: Distribution) -> DatasetSpec {
+        DatasetSpec { n: 500, dims: 2, domain: 1000, distribution, seed: 42 }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        for dist in Distribution::ALL {
+            let a = spec(dist).build_2d();
+            let b = spec(dist).build_2d();
+            assert_eq!(a, b, "{}", dist.name());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = spec(Distribution::Independent).build_2d();
+        let mut s = spec(Distribution::Independent);
+        s.seed = 43;
+        assert_ne!(a, s.build_2d());
+    }
+
+    #[test]
+    fn coordinates_stay_in_domain() {
+        for dist in Distribution::ALL {
+            let ds = spec(dist).build_2d();
+            for p in ds.points() {
+                assert!((0..1000).contains(&p.x), "{}", dist.name());
+                assert!((0..1000).contains(&p.y), "{}", dist.name());
+            }
+        }
+    }
+
+    #[test]
+    fn skyline_size_ordering_matches_the_literature() {
+        // Correlated data has few skyline points, anti-correlated many:
+        // this ordering is the entire reason the paper sweeps all three.
+        let corr = skyline_2d(&spec(Distribution::Correlated).build_2d()).len();
+        let inde = skyline_2d(&spec(Distribution::Independent).build_2d()).len();
+        let anti = skyline_2d(&spec(Distribution::Anticorrelated).build_2d()).len();
+        assert!(corr < inde, "corr {corr} vs inde {inde}");
+        assert!(inde < anti, "inde {inde} vs anti {anti}");
+    }
+
+    #[test]
+    fn d_dimensional_generation() {
+        let s = DatasetSpec {
+            n: 100,
+            dims: 4,
+            domain: 50,
+            distribution: Distribution::Anticorrelated,
+            seed: 7,
+        };
+        let ds = s.build_d();
+        assert_eq!(ds.dims(), 4);
+        assert_eq!(ds.len(), 100);
+        for p in ds.points() {
+            assert!(p.coords().iter().all(|c| (0..50).contains(c)));
+        }
+    }
+
+    #[test]
+    fn anticorrelated_sums_concentrate() {
+        let ds = spec(Distribution::Anticorrelated).build_2d();
+        let mean_sum: f64 = ds
+            .points()
+            .iter()
+            .map(|p| (p.x + p.y) as f64)
+            .sum::<f64>()
+            / ds.len() as f64;
+        // Σ ≈ s·d/2 = 1000 for d = 2, s = 1000.
+        assert!((mean_sum - 1000.0).abs() < 100.0, "mean sum {mean_sum}");
+    }
+
+    #[test]
+    #[should_panic(expected = "build_2d requires dims == 2")]
+    fn build_2d_rejects_higher_dims() {
+        let mut s = spec(Distribution::Independent);
+        s.dims = 3;
+        let _ = s.build_2d();
+    }
+}

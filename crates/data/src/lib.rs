@@ -1,0 +1,29 @@
+//! # skyline-data
+//!
+//! Datasets for the skyline-diagram workspace:
+//!
+//! - [`generators`]: the Börzsönyi-style correlated / independent /
+//!   anti-correlated synthetic generators used by every experiment;
+//! - [`hotel`]: the paper's Figure-1 running example (a verified
+//!   reconstruction);
+//! - [`nba`]: an NBA-box-score-like synthetic stand-in for the evaluation's
+//!   real dataset (see DESIGN.md for the substitution rationale);
+//! - [`csv`]: minimal CSV import/export;
+//! - [`extra`]: Zipf-skewed and clustered generators;
+//! - [`stats`]: dataset profiling (skyline size, layers, dominance
+//!   density, correlation);
+//! - [`workloads`]: query-point generators (uniform, data-local, random
+//!   walk) for benchmarking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod extra;
+pub mod generators;
+pub mod hotel;
+pub mod nba;
+pub mod stats;
+pub mod workloads;
+
+pub use generators::{DatasetSpec, Distribution};

@@ -1,0 +1,121 @@
+//! Synthetic stand-in for the "real dataset" of the paper's evaluation.
+//!
+//! The ICDE'18 evaluation uses real datasets (this research group's papers
+//! conventionally use NBA player season statistics). No real data can be
+//! bundled here, so this module generates an **NBA-box-score-like** table
+//! with the properties that actually matter to the experiments:
+//!
+//! - small bounded integer domains (points / rebounds / assists per game,
+//!   roughly `0..40`, `0..20`, `0..15`), so the `min(s², n²)` cell-count
+//!   saturation the paper discusses is exercised;
+//! - mild positive correlation between attributes (good players are good at
+//!   several things) with heavy-tailed stars, so skylines are small but not
+//!   degenerate.
+//!
+//! Values are produced by a seeded latent-skill model: each player has a
+//! skill `z`; attributes are independent noisy monotone functions of `z`.
+//! Skylines are *minimization* skylines in this workspace, so attributes are
+//! stored inverted (`max - value`): a dominating player is one with higher
+//! raw stats, matching how skyline papers query NBA data.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skyline_core::geometry::{Coord, Dataset, DatasetD, PointD};
+
+/// Per-attribute raw maxima: points, rebounds, assists per game.
+const MAXES: [Coord; 3] = [40, 20, 15];
+
+/// Generates an NBA-like planar dataset (points & rebounds), inverted for
+/// minimization.
+pub fn players_2d(n: usize, seed: u64) -> Dataset {
+    let rows = rows(n, 2, seed);
+    Dataset::from_coords(rows.into_iter().map(|r| (r[0], r[1])))
+        .expect("generator output is valid")
+}
+
+/// Generates an NBA-like d-dimensional dataset (`2 <= dims <= 3`), inverted
+/// for minimization.
+pub fn players_d(n: usize, dims: usize, seed: u64) -> DatasetD {
+    DatasetD::new(rows(n, dims, seed).into_iter().map(PointD::new).collect())
+        .expect("generator output is valid")
+}
+
+fn rows(n: usize, dims: usize, seed: u64) -> Vec<Vec<Coord>> {
+    assert!(n > 0, "need at least one player");
+    assert!((2..=3).contains(&dims), "NBA stand-in has 3 attributes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            // Latent skill: squaring a uniform skews toward role players
+            // with a heavy star tail, like real per-game distributions.
+            let z = rng.gen::<f64>();
+            let skill = z * z;
+            (0..dims)
+                .map(|k| {
+                    let noise = rng.gen::<f64>() * 0.4 - 0.2;
+                    let frac = (skill * 0.9 + noise).clamp(0.0, 1.0);
+                    let raw = (frac * MAXES[k] as f64).round() as Coord;
+                    MAXES[k] - raw // invert: smaller = better player
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_core::skyline::sort_sweep::skyline_2d;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(players_2d(200, 1), players_2d(200, 1));
+        assert_ne!(players_2d(200, 1), players_2d(200, 2));
+    }
+
+    #[test]
+    fn values_in_domain() {
+        let ds = players_d(300, 3, 5);
+        for p in ds.points() {
+            for (k, &c) in p.coords().iter().enumerate() {
+                assert!((0..=MAXES[k]).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn small_domain_forces_ties() {
+        // With 300 players over a domain of ~41 values, distinct-value
+        // compression must kick in: far fewer grid lines than points.
+        let ds = players_2d(300, 3);
+        let grid = skyline_core::geometry::CellGrid::new(&ds);
+        assert!(grid.nx() < 300);
+        assert!(grid.ny() < 300);
+    }
+
+    #[test]
+    fn skyline_is_small_but_not_degenerate() {
+        let sky = skyline_2d(&players_2d(500, 11));
+        assert!(!sky.is_empty());
+        assert!(sky.len() <= 30, "skyline unexpectedly large: {}", sky.len());
+    }
+
+    #[test]
+    fn correlation_is_positive() {
+        let ds = players_2d(1000, 9);
+        let n = ds.len() as f64;
+        let (mx, my) = ds
+            .points()
+            .iter()
+            .fold((0.0, 0.0), |(ax, ay), p| (ax + p.x as f64 / n, ay + p.y as f64 / n));
+        let (mut cov, mut vx, mut vy) = (0.0, 0.0, 0.0);
+        for p in ds.points() {
+            let (dx, dy) = (p.x as f64 - mx, p.y as f64 - my);
+            cov += dx * dy;
+            vx += dx * dx;
+            vy += dy * dy;
+        }
+        let r = cov / (vx.sqrt() * vy.sqrt());
+        assert!(r > 0.5, "correlation {r} too weak for an NBA-like table");
+    }
+}

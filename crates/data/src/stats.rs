@@ -1,0 +1,153 @@
+//! Dataset profiling: the structural quantities that predict diagram size
+//! and construction cost (skyline size, layer count, dominance density,
+//! attribute correlation). Used by the HTML report and the experiments
+//! harness to characterize inputs next to their measurements.
+
+use skyline_core::dominance::dominates;
+use skyline_core::geometry::{CellGrid, Dataset};
+use skyline_core::skyline::layers::layers_2d;
+use skyline_core::skyline::sort_sweep::skyline_2d;
+
+/// Structural profile of a planar dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetProfile {
+    /// Number of points.
+    pub n: usize,
+    /// Distinct x values (vertical grid lines).
+    pub distinct_x: usize,
+    /// Distinct y values.
+    pub distinct_y: usize,
+    /// Skyline size (minimization minima).
+    pub skyline_size: usize,
+    /// Number of skyline layers (onion depth).
+    pub layer_count: usize,
+    /// Fraction of ordered pairs in a dominance relation, in `[0, 1]`:
+    /// ~0.25 for independent data, higher for correlated, lower for
+    /// anti-correlated.
+    pub dominance_density: f64,
+    /// Pearson correlation of the two attributes, in `[-1, 1]`.
+    pub correlation: f64,
+}
+
+impl DatasetProfile {
+    /// Computes the profile; `O(n²)` for the dominance density.
+    pub fn new(dataset: &Dataset) -> Self {
+        let n = dataset.len();
+        let grid = CellGrid::new(dataset);
+        let skyline_size = skyline_2d(dataset).len();
+        let layer_count = layers_2d(dataset).len();
+
+        let mut dominated_pairs = 0usize;
+        for (_, a) in dataset.iter() {
+            for (_, b) in dataset.iter() {
+                if dominates(a, b) {
+                    dominated_pairs += 1;
+                }
+            }
+        }
+        let ordered_pairs = n * n.saturating_sub(1);
+        let dominance_density = if ordered_pairs == 0 {
+            0.0
+        } else {
+            dominated_pairs as f64 / ordered_pairs as f64
+        };
+
+        DatasetProfile {
+            n,
+            distinct_x: grid.nx() as usize,
+            distinct_y: grid.ny() as usize,
+            skyline_size,
+            layer_count,
+            dominance_density,
+            correlation: correlation(dataset),
+        }
+    }
+}
+
+/// Pearson correlation of the two attributes; 0 for degenerate variance.
+pub fn correlation(dataset: &Dataset) -> f64 {
+    let n = dataset.len() as f64;
+    let (mx, my) = dataset
+        .points()
+        .iter()
+        .fold((0.0, 0.0), |(ax, ay), p| (ax + p.x as f64 / n, ay + p.y as f64 / n));
+    let (mut cov, mut vx, mut vy) = (0.0, 0.0, 0.0);
+    for p in dataset.points() {
+        let (dx, dy) = (p.x as f64 - mx, p.y as f64 - my);
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetSpec, Distribution};
+
+    fn spec(distribution: Distribution) -> Dataset {
+        DatasetSpec { n: 400, dims: 2, domain: 1000, distribution, seed: 11 }.build_2d()
+    }
+
+    #[test]
+    fn correlation_signs_match_distributions() {
+        let corr = DatasetProfile::new(&spec(Distribution::Correlated));
+        let inde = DatasetProfile::new(&spec(Distribution::Independent));
+        let anti = DatasetProfile::new(&spec(Distribution::Anticorrelated));
+        assert!(corr.correlation > 0.8, "{}", corr.correlation);
+        assert!(inde.correlation.abs() < 0.2, "{}", inde.correlation);
+        assert!(anti.correlation < -0.8, "{}", anti.correlation);
+    }
+
+    #[test]
+    fn dominance_density_ordering() {
+        let corr = DatasetProfile::new(&spec(Distribution::Correlated));
+        let inde = DatasetProfile::new(&spec(Distribution::Independent));
+        let anti = DatasetProfile::new(&spec(Distribution::Anticorrelated));
+        assert!(corr.dominance_density > inde.dominance_density);
+        assert!(inde.dominance_density > anti.dominance_density);
+        // Independent data: a point dominates another with probability 1/4
+        // (both coordinates smaller), modulo ties.
+        assert!((inde.dominance_density - 0.25).abs() < 0.05);
+    }
+
+    #[test]
+    fn skyline_and_layers_are_consistent() {
+        let p = DatasetProfile::new(&spec(Distribution::Independent));
+        assert!(p.skyline_size >= 1);
+        assert!(p.layer_count >= p.skyline_size.min(2));
+        assert!(p.layer_count <= p.n);
+        assert_eq!(p.n, 400);
+        assert!(p.distinct_x <= 400);
+    }
+
+    #[test]
+    fn degenerate_datasets() {
+        let single = Dataset::from_coords([(5, 5)]).unwrap();
+        let p = DatasetProfile::new(&single);
+        assert_eq!(p.dominance_density, 0.0);
+        assert_eq!(p.correlation, 0.0);
+        assert_eq!(p.skyline_size, 1);
+        assert_eq!(p.layer_count, 1);
+
+        let identical = Dataset::from_coords(vec![(3, 3); 4]).unwrap();
+        let p = DatasetProfile::new(&identical);
+        assert_eq!(p.dominance_density, 0.0);
+        assert_eq!(p.skyline_size, 4);
+        assert_eq!(p.layer_count, 1);
+    }
+
+    #[test]
+    fn chain_has_full_density() {
+        let chain = Dataset::from_coords([(0, 0), (1, 1), (2, 2)]).unwrap();
+        let p = DatasetProfile::new(&chain);
+        // 3 of 6 ordered pairs dominate.
+        assert!((p.dominance_density - 0.5).abs() < 1e-12);
+        assert_eq!(p.layer_count, 3);
+    }
+}

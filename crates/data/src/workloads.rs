@@ -1,0 +1,126 @@
+//! Query-workload generators for benchmarking: where the *data*
+//! generators shape the seeds, these shape the **query points**. Query
+//! locality matters for diagrams — uniform queries mostly land in large
+//! boring polyominoes, while data-correlated queries exercise the dense
+//! regions near the staircases.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skyline_core::geometry::{Coord, Dataset, Point};
+
+/// Uniform queries over `[lo, hi)²`.
+pub fn uniform(n: usize, lo: Coord, hi: Coord, seed: u64) -> Vec<Point> {
+    assert!(hi > lo, "empty query window");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(lo..hi), rng.gen_range(lo..hi)))
+        .collect()
+}
+
+/// Queries clustered around the dataset's points (each query = a random
+/// seed point plus bounded integer jitter) — the "customers shop near
+/// real products" workload that stresses small polyominoes.
+pub fn near_data(dataset: &Dataset, n: usize, jitter: Coord, seed: u64) -> Vec<Point> {
+    assert!(jitter >= 0, "jitter must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let base = dataset.points()[rng.gen_range(0..dataset.len())];
+            Point::new(
+                base.x + rng.gen_range(-jitter..=jitter),
+                base.y + rng.gen_range(-jitter..=jitter),
+            )
+        })
+        .collect()
+}
+
+/// Queries along a random walk (each step bounded) — the moving-client
+/// workload behind the safe-zone application: consecutive queries usually
+/// stay within one polyomino.
+pub fn random_walk(
+    start: Point,
+    n: usize,
+    step: Coord,
+    seed: u64,
+) -> Vec<Point> {
+    assert!(step > 0, "walk needs a positive step bound");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut at = start;
+    (0..n)
+        .map(|_| {
+            at = Point::new(
+                at.x + rng.gen_range(-step..=step),
+                at.y + rng.gen_range(-step..=step),
+            );
+            at
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_core::quadrant::QuadrantEngine;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(uniform(50, 0, 100, 1), uniform(50, 0, 100, 1));
+        let ds = crate::hotel::dataset();
+        assert_eq!(near_data(&ds, 50, 3, 2), near_data(&ds, 50, 3, 2));
+        assert_eq!(
+            random_walk(Point::new(0, 0), 50, 5, 3),
+            random_walk(Point::new(0, 0), 50, 5, 3)
+        );
+    }
+
+    #[test]
+    fn bounds_hold() {
+        for q in uniform(200, -5, 7, 9) {
+            assert!((-5..7).contains(&q.x) && (-5..7).contains(&q.y));
+        }
+        let ds = crate::hotel::dataset();
+        for q in near_data(&ds, 200, 2, 4) {
+            assert!(ds
+                .points()
+                .iter()
+                .any(|p| (p.x - q.x).abs() <= 2 && (p.y - q.y).abs() <= 2));
+        }
+        let walk = random_walk(Point::new(10, 10), 100, 3, 5);
+        for w in walk.windows(2) {
+            assert!((w[0].x - w[1].x).abs() <= 3 && (w[0].y - w[1].y).abs() <= 3);
+        }
+    }
+
+    #[test]
+    fn locality_shows_in_polyomino_hits() {
+        // A random walk revisits the same polyomino far more often than
+        // uniform queries do — the effect safe zones exploit.
+        let ds = crate::generators::DatasetSpec {
+            n: 100,
+            dims: 2,
+            domain: 1000,
+            distribution: crate::Distribution::Independent,
+            seed: 6,
+        }
+        .build_2d();
+        let diagram = QuadrantEngine::Sweeping.build(&ds);
+        let merged = skyline_core::diagram::merge::merge(&diagram);
+        let region_of = |q: Point| {
+            let cell = diagram.grid().cell_of(q);
+            merged.cell_to_polyomino[diagram.grid().linear_index(cell)]
+        };
+        let changes = |qs: &[Point]| {
+            qs.windows(2)
+                .filter(|w| region_of(w[0]) != region_of(w[1]))
+                .count()
+        };
+        let walk = random_walk(Point::new(500, 500), 400, 4, 7);
+        let scatter = uniform(400, 0, 1000, 8);
+        assert!(
+            changes(&walk) * 2 < changes(&scatter),
+            "walk changes {} vs scatter {}",
+            changes(&walk),
+            changes(&scatter)
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Terminal rendering: one character per skyline cell, letters keyed by
+//! distinct result, so polyominoes are visible as same-letter blobs.
+
+use skyline_core::diagram::CellDiagram;
+use skyline_core::dynamic::SubcellDiagram;
+use skyline_core::result_set::ResultId;
+
+const GLYPHS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+fn glyph_for(rid: ResultId, empty: ResultId) -> char {
+    if rid == empty {
+        '.'
+    } else {
+        GLYPHS[(rid.0 as usize - 1) % GLYPHS.len()] as char
+    }
+}
+
+/// Renders a cell diagram as rows of glyphs, topmost row first (matching the
+/// usual plot orientation). Empty results render as `.`; distinct results
+/// cycle through letters and digits, so two cells sharing a glyph *usually*
+/// share a result (always, when there are at most 62 distinct results).
+///
+/// ```
+/// use skyline_core::geometry::Dataset;
+/// use skyline_core::quadrant::QuadrantEngine;
+///
+/// let ds = Dataset::from_coords([(0, 0), (10, 10)]).unwrap();
+/// let diagram = QuadrantEngine::Baseline.build(&ds);
+/// let art = skyline_viz::ascii::render_cells(&diagram);
+/// // Top row empty; the {p1} region ('b') wraps around p1's cell; the
+/// // bottom-left cell sees the skyline {p0} ('a').
+/// assert_eq!(art, "...\nbb.\nab.\n");
+/// ```
+pub fn render_cells(diagram: &CellDiagram) -> String {
+    let width = diagram.grid().nx() as usize + 1;
+    let height = diagram.grid().ny() as usize + 1;
+    let empty = diagram.results().empty();
+    let mut out = String::with_capacity((width + 1) * height);
+    for j in (0..height as u32).rev() {
+        for i in 0..width as u32 {
+            out.push(glyph_for(diagram.result_id((i, j)), empty));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a dynamic subcell diagram the same way. Subcell grids grow as
+/// `O(n²)` per axis — prefer small datasets for terminal output.
+pub fn render_subcells(diagram: &SubcellDiagram) -> String {
+    let width = diagram.grid().mx() as usize + 1;
+    let height = diagram.grid().my() as usize + 1;
+    let empty = diagram.results().empty();
+    let mut out = String::with_capacity((width + 1) * height);
+    for j in (0..height as u32).rev() {
+        for i in 0..width as u32 {
+            out.push(glyph_for(diagram.result_id((i, j)), empty));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A legend mapping each glyph to its skyline result, in first-appearance
+/// (scanning) order, for the cell diagram produced by [`render_cells`].
+pub fn legend(diagram: &CellDiagram) -> String {
+    use std::fmt::Write as _;
+    let empty = diagram.results().empty();
+    let mut seen = std::collections::HashSet::new();
+    let mut out = String::new();
+    for &rid in diagram.cell_results() {
+        if rid == empty || !seen.insert(rid) {
+            continue;
+        }
+        let ids: Vec<String> =
+            diagram.results().get(rid).iter().map(|id| id.to_string()).collect();
+        writeln!(out, "{} = {{{}}}", glyph_for(rid, empty), ids.join(", "))
+            .expect("string writes cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_core::geometry::Dataset;
+    use skyline_core::quadrant::QuadrantEngine;
+
+    #[test]
+    fn dimensions_and_orientation() {
+        let ds = Dataset::from_coords([(0, 0), (10, 10)]).unwrap();
+        let d = QuadrantEngine::Baseline.build(&ds);
+        let art = render_cells(&d);
+        let rows: Vec<&str> = art.lines().collect();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.len() == 3));
+        // Top row (beyond both points) is all empty.
+        assert_eq!(rows[0], "...");
+        // Bottom-left cell sees the whole skyline — not empty.
+        assert_ne!(&rows[2][0..1], ".");
+    }
+
+    #[test]
+    fn equal_results_share_glyphs() {
+        let ds = Dataset::from_coords([(0, 0), (10, 10), (20, 20)]).unwrap();
+        let d = QuadrantEngine::Scanning.build(&ds);
+        let art = render_cells(&d);
+        let rows: Vec<&str> = art.lines().collect();
+        let empty = d.results().empty();
+        for j in 0..=d.grid().ny() {
+            for i in 0..=d.grid().nx() {
+                let ch = rows[(d.grid().ny() - j) as usize].as_bytes()[i as usize] as char;
+                let rid = d.result_id((i, j));
+                if rid == empty {
+                    assert_eq!(ch, '.');
+                } else {
+                    assert_eq!(ch, super::glyph_for(rid, empty));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn legend_lists_every_distinct_nonempty_result() {
+        let ds = Dataset::from_coords([(0, 0), (10, 10)]).unwrap();
+        let d = QuadrantEngine::Baseline.build(&ds);
+        let legend = legend(&d);
+        let distinct = d.stats().distinct_results - 1; // minus empty
+        assert_eq!(legend.lines().count(), distinct);
+        assert!(legend.contains("p0"));
+    }
+
+    #[test]
+    fn subcell_rendering_has_subcell_dimensions() {
+        let ds = Dataset::from_coords([(0, 0), (4, 4)]).unwrap();
+        let d = skyline_core::dynamic::DynamicEngine::Scanning.build(&ds);
+        let art = render_subcells(&d);
+        assert_eq!(art.lines().count(), d.grid().my() as usize + 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! # skyline-viz
+//!
+//! Rendering for skyline diagrams: [`svg`] produces figures comparable to
+//! the paper's Figures 3/8/9 (cells shaded by result, polyomino boundaries,
+//! seed points); [`ascii`] gives a quick terminal view for the examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod outlines;
+pub mod report;
+pub mod svg;

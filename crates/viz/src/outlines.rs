@@ -1,0 +1,88 @@
+//! Polyomino outline rendering: closed `<path>` loops from the core's
+//! boundary tracer — the publication-quality version of the edge-by-edge
+//! overlay in [`crate::svg::render_merged_diagram`].
+
+use std::fmt::Write as _;
+
+use skyline_core::diagram::boundary::{boundary_loops, ClipBox};
+use skyline_core::diagram::{CellDiagram, MergedDiagram};
+use skyline_core::geometry::Dataset;
+
+use crate::svg::SvgOptions;
+
+/// Renders the diagram with polyomino outlines as closed SVG paths (and the
+/// usual shaded cells underneath).
+pub fn render_outlined_diagram(
+    dataset: &Dataset,
+    diagram: &CellDiagram,
+    merged: &MergedDiagram,
+    options: &SvgOptions,
+) -> String {
+    let base = crate::svg::render_cell_diagram(dataset, diagram, options);
+
+    let grid = diagram.grid();
+    let clip = ClipBox::around(grid);
+    let m = options.margin as f64;
+    let xs = grid.x_lines();
+    let ys = grid.y_lines();
+    let (x0, x1) = (xs[0] as f64 - m, xs[xs.len() - 1] as f64 + m);
+    let (_y0, y1) = (ys[0] as f64 - m, ys[ys.len() - 1] as f64 + m);
+    let scale = options.width_px / (x1 - x0);
+    let px = |x: i64| (x as f64 - x0) * scale;
+    let py = |y: i64| (y1 - y as f64) * scale;
+
+    let mut overlay = String::new();
+    for poly in &merged.polyominoes {
+        for walk in boundary_loops(grid, &poly.cells, clip) {
+            let mut d = String::new();
+            for (k, v) in walk.iter().enumerate() {
+                let cmd = if k == 0 { 'M' } else { 'L' };
+                write!(d, "{cmd}{:.2} {:.2} ", px(v.x), py(v.y))
+                    .expect("string writes cannot fail");
+            }
+            d.push('Z');
+            writeln!(
+                overlay,
+                r##"<path d="{d}" fill="none" stroke="#000" stroke-width="1.6"/>"##
+            )
+            .expect("string writes cannot fail");
+        }
+    }
+    base.replace("</svg>", &format!("{overlay}</svg>"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_core::diagram::merge::merge;
+    use skyline_core::quadrant::QuadrantEngine;
+
+    #[test]
+    fn outlines_produce_one_path_per_loop() {
+        let ds = Dataset::from_coords([
+            (1, 92), (3, 96), (12, 86), (5, 94), (15, 85), (8, 78),
+            (16, 83), (13, 83), (6, 93), (21, 82), (11, 9),
+        ])
+        .unwrap();
+        let diagram = QuadrantEngine::Sweeping.build(&ds);
+        let merged = merge(&diagram);
+        let svg = render_outlined_diagram(&ds, &diagram, &merged, &SvgOptions::default());
+        // At least one closed path per polyomino.
+        assert!(svg.matches("<path").count() >= merged.len());
+        assert!(svg.contains('Z'));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn paths_are_well_formed() {
+        let ds = Dataset::from_coords([(0, 0), (10, 10)]).unwrap();
+        let diagram = QuadrantEngine::Baseline.build(&ds);
+        let merged = merge(&diagram);
+        let svg = render_outlined_diagram(&ds, &diagram, &merged, &SvgOptions::default());
+        for path in svg.split("<path").skip(1) {
+            let d_attr = path.split("d=\"").nth(1).unwrap().split('"').next().unwrap();
+            assert!(d_attr.starts_with('M'));
+            assert!(d_attr.ends_with('Z'));
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Self-contained HTML reports: one page per dataset with its profile, the
+//! diagram statistics, and the embedded SVG figures — the artifact a user
+//! shares after running an analysis (`skydiag report`).
+
+use std::fmt::Write as _;
+
+use skyline_core::diagram::merge::merge;
+use skyline_core::geometry::Dataset;
+use skyline_core::quadrant::QuadrantEngine;
+use skyline_data::stats::DatasetProfile;
+
+use crate::outlines::render_outlined_diagram;
+use crate::svg::SvgOptions;
+
+fn esc(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders a full HTML report for a dataset: profile table, diagram
+/// statistics, and the outlined quadrant diagram inline.
+pub fn html_report(title: &str, dataset: &Dataset, engine: QuadrantEngine) -> String {
+    let profile = DatasetProfile::new(dataset);
+    let diagram = engine.build(dataset);
+    let merged = merge(&diagram);
+    let stats = diagram.stats();
+    let svg = render_outlined_diagram(dataset, &diagram, &merged, &SvgOptions::default());
+
+    let mut html = String::new();
+    html.push_str("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n");
+    let _ = writeln!(html, "<title>{}</title>", esc(title));
+    html.push_str(
+        "<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 64rem; }
+table { border-collapse: collapse; margin: 1rem 0; }
+td, th { border: 1px solid #ccc; padding: 0.3rem 0.8rem; text-align: right; }
+th { background: #f2f2f2; }
+figure { margin: 1.5rem 0; }
+</style></head><body>\n",
+    );
+    let _ = writeln!(html, "<h1>{}</h1>", esc(title));
+
+    html.push_str("<h2>Dataset profile</h2>\n<table><tr><th>metric</th><th>value</th></tr>\n");
+    let profile_rows = [
+        ("points", profile.n.to_string()),
+        ("distinct x / y", format!("{} / {}", profile.distinct_x, profile.distinct_y)),
+        ("skyline size", profile.skyline_size.to_string()),
+        ("skyline layers", profile.layer_count.to_string()),
+        ("dominance density", format!("{:.3}", profile.dominance_density)),
+        ("attribute correlation", format!("{:+.3}", profile.correlation)),
+    ];
+    for (k, v) in profile_rows {
+        let _ = writeln!(html, "<tr><td>{}</td><td>{}</td></tr>", esc(k), esc(&v));
+    }
+    html.push_str("</table>\n");
+
+    html.push_str(
+        "<h2>Skyline diagram</h2>\n<table><tr><th>metric</th><th>value</th></tr>\n",
+    );
+    let diagram_rows = [
+        ("engine", engine.name().to_string()),
+        ("cells", stats.cell_count.to_string()),
+        ("polyominoes", merged.len().to_string()),
+        (
+            "compression (polyominoes / cells)",
+            format!("{:.3}", merged.len() as f64 / stats.cell_count as f64),
+        ),
+        ("avg skyline size per cell", format!("{:.2}", stats.avg_result_len)),
+        ("max skyline size", stats.max_result_len.to_string()),
+        ("interned ids", stats.interned_ids.to_string()),
+    ];
+    for (k, v) in diagram_rows {
+        let _ = writeln!(html, "<tr><td>{}</td><td>{}</td></tr>", esc(k), esc(&v));
+    }
+    html.push_str("</table>\n");
+
+    html.push_str("<h2>Diagram</h2>\n<figure>\n");
+    html.push_str(&svg);
+    html.push_str("</figure>\n</body></html>\n");
+    html
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hotel() -> Dataset {
+        Dataset::from_coords([
+            (1, 92), (3, 96), (12, 86), (5, 94), (15, 85), (8, 78),
+            (16, 83), (13, 83), (6, 93), (21, 82), (11, 9),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn report_is_complete_html() {
+        let html = html_report("Hotels <test>", &hotel(), QuadrantEngine::Sweeping);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.trim_end().ends_with("</html>"));
+        // Title is escaped.
+        assert!(html.contains("Hotels &lt;test&gt;"));
+        assert!(!html.contains("Hotels <test>"));
+        // Contains both tables and the inline SVG.
+        assert!(html.contains("dominance density"));
+        assert!(html.contains("polyominoes"));
+        assert!(html.contains("<svg"));
+    }
+
+    #[test]
+    fn report_numbers_match_direct_computation() {
+        let ds = hotel();
+        let html = html_report("x", &ds, QuadrantEngine::Baseline);
+        let diagram = QuadrantEngine::Baseline.build(&ds);
+        let merged = merge(&diagram);
+        assert!(html.contains(&format!("<td>{}</td>", diagram.stats().cell_count)));
+        assert!(html.contains(&format!("<td>{}</td>", merged.len())));
+        assert!(html.contains("<td>11</td>")); // point count
+    }
+}

@@ -1,0 +1,325 @@
+//! SVG rendering of skyline diagrams: cells shaded by result, polyomino
+//! boundaries emphasized, seed points drawn on top — the library's
+//! counterpart of the paper's Figures 3, 8 and 9.
+
+use std::fmt::Write as _;
+
+use skyline_core::diagram::{CellDiagram, MergedDiagram};
+use skyline_core::dynamic::SubcellDiagram;
+use skyline_core::geometry::{Coord, Dataset};
+use skyline_core::result_set::ResultId;
+
+/// Rendering options.
+#[derive(Clone, Debug)]
+pub struct SvgOptions {
+    /// Canvas width in pixels (height follows the data aspect ratio).
+    pub width_px: f64,
+    /// Margin around the data bounding box, in data units.
+    pub margin: Coord,
+    /// Draw the seed points.
+    pub draw_points: bool,
+    /// Point radius in pixels.
+    pub point_radius: f64,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions { width_px: 640.0, margin: 2, draw_points: true, point_radius: 3.5 }
+    }
+}
+
+/// A muted qualitative palette; results cycle through it by interner id, so
+/// equal results always share a color.
+const PALETTE: [&str; 12] = [
+    "#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3", "#fdb462", "#b3de69", "#fccde5",
+    "#d9d9d9", "#bc80bd", "#ccebc5", "#ffed6f",
+];
+
+fn fill_for(rid: ResultId, empty: ResultId) -> &'static str {
+    if rid == empty {
+        "#f7f7f7"
+    } else {
+        PALETTE[(rid.0 as usize - 1) % PALETTE.len()]
+    }
+}
+
+struct Mapper {
+    x0: f64,
+    y1: f64,
+    scale: f64,
+}
+
+impl Mapper {
+    fn x(&self, v: f64) -> f64 {
+        (v - self.x0) * self.scale
+    }
+
+    fn y(&self, v: f64) -> f64 {
+        (self.y1 - v) * self.scale // flip: SVG y grows downward
+    }
+}
+
+/// Boundaries of the slabs, clipped to the padded bounding box.
+fn slab_edges(lines: &[Coord], lo: f64, hi: f64) -> Vec<f64> {
+    let mut edges = Vec::with_capacity(lines.len() + 2);
+    edges.push(lo);
+    edges.extend(lines.iter().map(|&v| v as f64));
+    edges.push(hi);
+    edges
+}
+
+fn render_grid_diagram(
+    x_lines_raw: &[Coord],
+    y_lines_raw: &[Coord],
+    line_scale: f64,
+    result_of: impl Fn(u32, u32) -> ResultId,
+    empty: ResultId,
+    points: Option<&Dataset>,
+    options: &SvgOptions,
+) -> String {
+    let xs: Vec<Coord> = x_lines_raw.to_vec();
+    let ys: Vec<Coord> = y_lines_raw.to_vec();
+    let to_data = |v: Coord| v as f64 / line_scale;
+
+    let (xmin, xmax) = (to_data(xs[0]), to_data(xs[xs.len() - 1]));
+    let (ymin, ymax) = (to_data(ys[0]), to_data(ys[ys.len() - 1]));
+    let m = options.margin as f64;
+    let (x0, x1) = (xmin - m, xmax + m);
+    let (y0, y1) = (ymin - m, ymax + m);
+    let scale = options.width_px / (x1 - x0);
+    let height_px = (y1 - y0) * scale;
+    let map = Mapper { x0, y1, scale };
+
+    let xe: Vec<f64> = {
+        let mut e = vec![x0];
+        e.extend(xs.iter().map(|&v| to_data(v)));
+        e.push(x1);
+        e
+    };
+    let ye: Vec<f64> = {
+        let mut e = vec![y0];
+        e.extend(ys.iter().map(|&v| to_data(v)));
+        e.push(y1);
+        e
+    };
+
+    let mut svg = String::new();
+    writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.2} {:.2}">"#,
+        options.width_px, height_px, options.width_px, height_px
+    )
+    .expect("string writes cannot fail");
+
+    // Cells.
+    for j in 0..ye.len() - 1 {
+        for i in 0..xe.len() - 1 {
+            let rid = result_of(i as u32, j as u32);
+            writeln!(
+                svg,
+                r##"<rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" fill="{}" stroke="#999" stroke-width="0.5"/>"##,
+                map.x(xe[i]),
+                map.y(ye[j + 1]),
+                (xe[i + 1] - xe[i]) * scale,
+                (ye[j + 1] - ye[j]) * scale,
+                fill_for(rid, empty),
+            )
+            .expect("string writes cannot fail");
+        }
+    }
+
+    // Seed points.
+    if let (Some(ds), true) = (points, options.draw_points) {
+        for (id, p) in ds.iter() {
+            writeln!(
+                svg,
+                r##"<circle cx="{:.2}" cy="{:.2}" r="{}" fill="#222"/><text x="{:.2}" y="{:.2}" font-size="10" fill="#222">{}</text>"##,
+                map.x(p.x as f64),
+                map.y(p.y as f64),
+                options.point_radius,
+                map.x(p.x as f64) + 5.0,
+                map.y(p.y as f64) - 4.0,
+                id,
+            )
+            .expect("string writes cannot fail");
+        }
+    }
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Renders an arbitrary result grid — the escape hatch for diagram-like
+/// structures outside `skyline-core` (e.g. the reverse-skyline diagram in
+/// `skyline-apps`). `line_scale` divides raw line positions back into data
+/// coordinates (1 for raw, 2 for doubled).
+#[allow(clippy::too_many_arguments)]
+pub fn render_result_grid(
+    x_lines: &[Coord],
+    y_lines: &[Coord],
+    line_scale: f64,
+    result_of: impl Fn(u32, u32) -> ResultId,
+    empty: ResultId,
+    points: Option<&Dataset>,
+    options: &SvgOptions,
+) -> String {
+    render_grid_diagram(x_lines, y_lines, line_scale, result_of, empty, points, options)
+}
+
+/// Renders a quadrant/global cell diagram.
+pub fn render_cell_diagram(
+    dataset: &Dataset,
+    diagram: &CellDiagram,
+    options: &SvgOptions,
+) -> String {
+    render_grid_diagram(
+        diagram.grid().x_lines(),
+        diagram.grid().y_lines(),
+        1.0,
+        |i, j| diagram.result_id((i, j)),
+        diagram.results().empty(),
+        Some(dataset),
+        options,
+    )
+}
+
+/// Renders a dynamic subcell diagram (lines live in doubled coordinates;
+/// they are scaled back for display).
+pub fn render_subcell_diagram(
+    dataset: &Dataset,
+    diagram: &SubcellDiagram,
+    options: &SvgOptions,
+) -> String {
+    render_grid_diagram(
+        diagram.grid().x_lines(),
+        diagram.grid().y_lines(),
+        2.0,
+        |i, j| diagram.result_id((i, j)),
+        diagram.results().empty(),
+        Some(dataset),
+        options,
+    )
+}
+
+/// Renders polyomino boundaries on top of a cell diagram: edges between
+/// cells of different polyominoes are stroked heavily, reproducing the
+/// staircase outlines of the paper's Figure 8.
+pub fn render_merged_diagram(
+    dataset: &Dataset,
+    diagram: &CellDiagram,
+    merged: &MergedDiagram,
+    options: &SvgOptions,
+) -> String {
+    let base = render_cell_diagram(dataset, diagram, options);
+    // Recompute the mapping exactly as render_grid_diagram does.
+    let xs = diagram.grid().x_lines();
+    let ys = diagram.grid().y_lines();
+    let m = options.margin as f64;
+    let (x0, x1) = (xs[0] as f64 - m, xs[xs.len() - 1] as f64 + m);
+    let (y0v, y1) = (ys[0] as f64 - m, ys[ys.len() - 1] as f64 + m);
+    let scale = options.width_px / (x1 - x0);
+    let map = Mapper { x0, y1, scale };
+    let xe = slab_edges(xs, x0, x1);
+    let ye = slab_edges(ys, y0v, y1);
+
+    let width = diagram.grid().nx() as usize + 1;
+    let height = diagram.grid().ny() as usize + 1;
+    let poly = &merged.cell_to_polyomino;
+    let mut overlay = String::new();
+    for j in 0..height {
+        for i in 0..width {
+            let idx = j * width + i;
+            // Right edge.
+            if i + 1 < width && poly[idx] != poly[idx + 1] {
+                writeln!(
+                    overlay,
+                    r##"<line x1="{0:.2}" y1="{1:.2}" x2="{0:.2}" y2="{2:.2}" stroke="#000" stroke-width="1.6"/>"##,
+                    map.x(xe[i + 1]),
+                    map.y(ye[j]),
+                    map.y(ye[j + 1]),
+                )
+                .expect("string writes cannot fail");
+            }
+            // Top edge.
+            if j + 1 < height && poly[idx] != poly[idx + width] {
+                writeln!(
+                    overlay,
+                    r##"<line x1="{0:.2}" y1="{2:.2}" x2="{1:.2}" y2="{2:.2}" stroke="#000" stroke-width="1.6"/>"##,
+                    map.x(xe[i]),
+                    map.x(xe[i + 1]),
+                    map.y(ye[j + 1]),
+                )
+                .expect("string writes cannot fail");
+            }
+        }
+    }
+    // Splice the overlay before the closing tag.
+    base.replace("</svg>", &format!("{overlay}</svg>"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_core::diagram::merge::merge;
+    use skyline_core::dynamic::DynamicEngine;
+    use skyline_core::quadrant::QuadrantEngine;
+
+    fn hotel() -> Dataset {
+        Dataset::from_coords([
+            (1, 92), (3, 96), (12, 86), (5, 94), (15, 85), (8, 78),
+            (16, 83), (13, 83), (6, 93), (21, 82), (11, 9),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn cell_svg_is_well_formed_and_complete() {
+        let ds = hotel();
+        let d = QuadrantEngine::Sweeping.build(&ds);
+        let svg = render_cell_diagram(&ds, &d, &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        let rects = svg.matches("<rect").count();
+        assert_eq!(rects, d.grid().cell_count());
+        let circles = svg.matches("<circle").count();
+        assert_eq!(circles, ds.len());
+    }
+
+    #[test]
+    fn merged_overlay_adds_boundary_lines() {
+        let ds = hotel();
+        let d = QuadrantEngine::Sweeping.build(&ds);
+        let merged = merge(&d);
+        let svg = render_merged_diagram(&ds, &d, &merged, &SvgOptions::default());
+        assert!(svg.matches("<line").count() > 0);
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn subcell_svg_renders_all_subcells() {
+        let ds = Dataset::from_coords([(0, 0), (6, 10), (12, 4)]).unwrap();
+        let d = DynamicEngine::Scanning.build(&ds);
+        let svg = render_subcell_diagram(&ds, &d, &SvgOptions::default());
+        assert_eq!(svg.matches("<rect").count(), d.grid().subcell_count());
+    }
+
+    #[test]
+    fn options_control_points() {
+        let ds = hotel();
+        let d = QuadrantEngine::Sweeping.build(&ds);
+        let options = SvgOptions { draw_points: false, ..SvgOptions::default() };
+        let svg = render_cell_diagram(&ds, &d, &options);
+        assert_eq!(svg.matches("<circle").count(), 0);
+    }
+
+    #[test]
+    fn equal_results_share_fill_colors() {
+        let ds = hotel();
+        let d = QuadrantEngine::Scanning.build(&ds);
+        // Two cells with the same ResultId must produce the same fill.
+        let empty = d.results().empty();
+        let a = d.result_id((0, 0));
+        assert_ne!(fill_for(a, empty), fill_for(empty, empty));
+        assert_eq!(fill_for(a, empty), fill_for(a, empty));
+    }
+}

@@ -1,0 +1,86 @@
+//! Renders a gallery of SVG figures into `target/gallery/`: the quadrant
+//! diagram with polyomino boundaries (paper Figure 3/8), the dynamic
+//! subcell diagram (Figure 9), and one diagram per data distribution.
+//!
+//! ```text
+//! cargo run -p skyline-examples --bin diagram_gallery
+//! ```
+
+use skyline_core::diagram::merge::merge;
+use skyline_core::dynamic::DynamicEngine;
+use skyline_core::quadrant::QuadrantEngine;
+use skyline_data::{hotel, DatasetSpec, Distribution};
+use skyline_viz::svg::{render_merged_diagram, render_subcell_diagram, SvgOptions};
+
+fn main() -> std::io::Result<()> {
+    let out_dir = std::path::Path::new("target/gallery");
+    std::fs::create_dir_all(out_dir)?;
+    let options = SvgOptions::default();
+
+    // The paper's running example, with polyomino boundaries.
+    let hotels = hotel::dataset();
+    let quadrant = QuadrantEngine::Sweeping.build(&hotels);
+    let merged = merge(&quadrant);
+    std::fs::write(
+        out_dir.join("hotel_quadrant.svg"),
+        render_merged_diagram(&hotels, &quadrant, &merged, &options),
+    )?;
+    println!(
+        "hotel_quadrant.svg: {} cells in {} polyominoes",
+        quadrant.grid().cell_count(),
+        merged.len()
+    );
+
+    // Its dynamic counterpart (subcell granularity).
+    let dynamic = DynamicEngine::Scanning.build(&hotels);
+    std::fs::write(
+        out_dir.join("hotel_dynamic.svg"),
+        render_subcell_diagram(&hotels, &dynamic, &options),
+    )?;
+    println!(
+        "hotel_dynamic.svg: {} subcells, {} distinct results",
+        dynamic.grid().subcell_count(),
+        dynamic.distinct_results()
+    );
+
+    // The reverse-skyline diagram over the reflection grid (regions where
+    // a new competitor would impact the same set of hotels).
+    let reverse = skyline_apps::reverse_diagram::ReverseSkylineDiagram::build(&hotels);
+    std::fs::write(
+        out_dir.join("hotel_reverse.svg"),
+        skyline_viz::svg::render_result_grid(
+            reverse.x_lines(),
+            reverse.y_lines(),
+            1.0,
+            |i, j| reverse.result_id(i, j),
+            reverse.empty_result(),
+            Some(&hotels),
+            &options,
+        ),
+    )?;
+    println!(
+        "hotel_reverse.svg: {} cells, {} distinct reverse skylines",
+        reverse.cell_count(),
+        reverse.distinct_results()
+    );
+
+    // One quadrant diagram per benchmark distribution.
+    for dist in Distribution::ALL {
+        let ds = DatasetSpec {
+            n: 30,
+            dims: 2,
+            domain: 100,
+            distribution: dist,
+            seed: 5,
+        }
+        .build_2d();
+        let d = QuadrantEngine::Sweeping.build(&ds);
+        let m = merge(&d);
+        let name = format!("{}_quadrant.svg", dist.name());
+        std::fs::write(out_dir.join(&name), render_merged_diagram(&ds, &d, &m, &options))?;
+        println!("{name}: {} polyominoes over {} cells", m.len(), d.grid().cell_count());
+    }
+
+    println!("\ngallery written to {}", out_dir.display());
+    Ok(())
+}

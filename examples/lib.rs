@@ -1,0 +1,11 @@
+//! Runnable examples for the skyline-diagram workspace. See the individual
+//! binaries: `quickstart`, `hotel_finder`, `moving_query`,
+//! `reverse_skyline`, `outsourced_authentication`, `diagram_gallery`,
+//! `index_and_persistence`, `market_analysis`, `highd_demo`.
+//!
+//! The module below embeds the tutorial so its code snippets compile and
+//! run as doctests.
+
+/// The user tutorial (docs/TUTORIAL.md), doctested.
+#[doc = include_str!("../docs/TUTORIAL.md")]
+pub mod tutorial {}

@@ -1,0 +1,99 @@
+//! Market analysis: where should a new product go?
+//!
+//! Combines three tools: the **result distribution** (which skylines a
+//! random customer sees, weighted by area), the **bichromatic reverse
+//! skyline** (which customers a new product would reach), and the
+//! **maintained index** (what the market looks like after launching it).
+//!
+//! ```text
+//! cargo run -p skyline-examples --bin market_analysis
+//! ```
+
+use skyline_apps::reverse::BichromaticIndex;
+use skyline_core::analysis::{containment_probability, result_distribution};
+use skyline_core::diagram::ClipBox;
+use skyline_core::geometry::Point;
+use skyline_core::maintained::MaintainedIndex;
+use skyline_core::quadrant::QuadrantEngine;
+use skyline_data::{DatasetSpec, Distribution};
+
+fn main() {
+    // Products: (price, delivery days) — smaller is better.
+    let products = DatasetSpec {
+        n: 40,
+        dims: 2,
+        domain: 100,
+        distribution: Distribution::Anticorrelated,
+        seed: 7,
+    }
+    .build_2d();
+    // Customers: their "ideal product" positions.
+    let customers = DatasetSpec {
+        n: 200,
+        dims: 2,
+        domain: 100,
+        distribution: Distribution::Independent,
+        seed: 8,
+    }
+    .build_2d();
+
+    let diagram = QuadrantEngine::Sweeping.build(&products);
+    let window = ClipBox { x_min: 0, x_max: 100, y_min: 0, y_max: 100 };
+
+    // 1. Which results does a uniformly random customer see?
+    let distribution = result_distribution(&diagram, window);
+    println!("top skyline results by query-area share:");
+    let total = 100.0 * 100.0;
+    for share in distribution.iter().take(5) {
+        println!(
+            "  {:5.1}%  {:?}",
+            100.0 * share.area as f64 / total,
+            share.ids
+        );
+    }
+
+    // 2. Which product is most visible to random customers?
+    let (best, prob) = products
+        .ids()
+        .map(|id| (id, containment_probability(&diagram, window, id)))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("nonempty catalog");
+    println!(
+        "\nmost visible product: {best} at {} (in the skyline for {:.1}% of query space)",
+        products.point(best),
+        100.0 * prob
+    );
+
+    // 3. Scan candidate launch positions by customer reach.
+    let reach = BichromaticIndex::new(&products, &customers);
+    let mut best_spot = (Point::new(0, 0), 0usize);
+    for x in (5..100).step_by(10) {
+        for y in (5..100).step_by(10) {
+            let q = Point::new(x, y);
+            let count = reach.query(q).len();
+            if count > best_spot.1 {
+                best_spot = (q, count);
+            }
+        }
+    }
+    println!(
+        "best sampled launch position: {} reaching {} of {} customers",
+        best_spot.0,
+        best_spot.1,
+        reach.len()
+    );
+
+    // 4. Launch it and watch the market shift, without a manual rebuild.
+    let mut market = MaintainedIndex::new(QuadrantEngine::Sweeping);
+    let handles: Vec<_> =
+        products.points().iter().map(|&p| market.insert(p)).collect();
+    let before = market.query(Point::new(0, 0)).len();
+    let launched = market.insert(best_spot.0);
+    let after = market.query(Point::new(0, 0));
+    println!(
+        "\nskyline size from the origin: {before} -> {} after launch{}",
+        after.len(),
+        if after.contains(&launched) { " (the new product is in it)" } else { "" },
+    );
+    let _ = handles;
+}

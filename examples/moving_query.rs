@@ -1,0 +1,65 @@
+//! Continuous skyline for a moving query — the safe-zone application.
+//!
+//! A commuter drives across town; their "similar hotels" skyline changes
+//! only when they cross a skyline-diagram boundary. This example traces a
+//! route through the hotel dataset, prints the full itinerary of result
+//! changes, and shows the safe zone around the starting position.
+//!
+//! ```text
+//! cargo run -p skyline-examples --bin moving_query
+//! ```
+
+use skyline_apps::continuous::{safe_zone, trace_segment, trace_segment_dynamic};
+use skyline_core::diagram::merge::merge;
+use skyline_core::dynamic::DynamicEngine;
+use skyline_core::geometry::Point;
+use skyline_core::quadrant::QuadrantEngine;
+use skyline_data::hotel;
+
+fn names(ids: &[skyline_core::geometry::PointId]) -> String {
+    let v: Vec<String> = ids.iter().map(|id| format!("p{}", id.0 + 1)).collect();
+    format!("{{{}}}", v.join(", "))
+}
+
+fn main() {
+    let hotels = hotel::dataset();
+    let diagram = QuadrantEngine::Sweeping.build(&hotels);
+    let merged = merge(&diagram);
+
+    let (start, end) = (Point::new(0, 95), Point::new(22, 10));
+    println!("route: {start} -> {end}\n");
+
+    println!("quadrant-skyline itinerary (result per route fraction):");
+    for step in trace_segment(&diagram, start, end) {
+        println!(
+            "  t in [{:.3}, {:.3}]  skyline = {}",
+            step.t_start,
+            step.t_end,
+            names(&step.result)
+        );
+    }
+
+    // Safe zone at the start: the commuter can move anywhere inside this
+    // polyomino without the result changing.
+    let zone = safe_zone(&diagram, &merged, start);
+    println!(
+        "\nsafe zone at {start}: {} cells, bbox {:?}, result {}",
+        zone.area(),
+        zone.bounding_box(),
+        names(diagram.results().get(zone.result)),
+    );
+
+    // The dynamic-skyline itinerary changes far more often: bisector lines
+    // are crossed between every pair of hotels.
+    let dynamic = DynamicEngine::Scanning.build(&hotels);
+    let steps = trace_segment_dynamic(&dynamic, start, end);
+    println!("\ndynamic-skyline itinerary: {} steps (first 8 shown):", steps.len());
+    for step in steps.iter().take(8) {
+        println!(
+            "  t in [{:.3}, {:.3}]  skyline = {}",
+            step.t_start,
+            step.t_end,
+            names(&step.result)
+        );
+    }
+}

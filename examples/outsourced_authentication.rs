@@ -1,0 +1,67 @@
+//! Authenticated outsourcing + private retrieval: the data owner publishes
+//! a Merkle root over the skyline diagram; an untrusted server answers
+//! queries with proofs; and a privacy-conscious client retrieves cells via
+//! two-server XOR-PIR without revealing its location.
+//!
+//! ```text
+//! cargo run -p skyline-examples --bin outsourced_authentication
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use skyline_apps::auth::{verify, AuthenticatedDiagram};
+use skyline_apps::pir::{private_skyline_query, PirServer};
+use skyline_core::geometry::Point;
+use skyline_core::quadrant::QuadrantEngine;
+use skyline_data::{DatasetSpec, Distribution};
+
+fn main() {
+    // The data owner's catalog.
+    let dataset = DatasetSpec {
+        n: 150,
+        dims: 2,
+        domain: 1000,
+        distribution: Distribution::Independent,
+        seed: 99,
+    }
+    .build_2d();
+    let diagram = QuadrantEngine::Sweeping.build(&dataset);
+
+    // --- Authentication ---
+    let auth = AuthenticatedDiagram::new(&dataset, diagram.clone());
+    let root = auth.root();
+    println!(
+        "owner published Merkle root {} over {} cells",
+        root.iter().take(8).map(|b| format!("{b:02x}")).collect::<String>(),
+        auth.leaf_count(),
+    );
+
+    let q = Point::new(137, 422);
+    let answer = auth.query(&dataset, q);
+    println!(
+        "server answer at {q}: {} skyline points, proof of {} hashes",
+        answer.result.len(),
+        answer.path.len(),
+    );
+    assert!(verify(&answer, &root), "honest server must verify");
+
+    // A malicious server drops the cheapest competitor — detected.
+    let mut forged = answer.clone();
+    forged.result.pop();
+    forged.coordinates.pop();
+    assert!(!verify(&forged, &root));
+    println!("forged answer (dropped one point): verification FAILED as it should");
+
+    // --- Private retrieval ---
+    let server = PirServer::new(&diagram);
+    let params = server.client_params(&diagram);
+    let (s1, s2) = (server.clone(), server);
+    let mut rng = StdRng::seed_from_u64(7);
+    let private = private_skyline_query(&s1, &s2, &params, q, &mut rng);
+    assert_eq!(private.as_slice(), diagram.query(q));
+    println!(
+        "PIR retrieval at {q}: {} skyline points, each server saw only a random bit-vector over {} records",
+        private.len(),
+        params.n_records,
+    );
+}

@@ -1,0 +1,57 @@
+//! Quickstart: build a skyline diagram, answer queries, inspect polyominoes.
+//!
+//! ```text
+//! cargo run -p skyline-examples --bin quickstart
+//! ```
+
+use skyline_core::diagram::merge::merge;
+use skyline_core::geometry::{Dataset, Point};
+use skyline_core::quadrant::QuadrantEngine;
+use skyline_core::query::quadrant_skyline;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A small dataset: anything with two integer attributes where
+    //    *smaller is better* in both.
+    let dataset = Dataset::from_coords([
+        (2, 14),
+        (4, 9),
+        (7, 7),
+        (9, 3),
+        (13, 2),
+        (6, 12),
+        (11, 8),
+    ])?;
+
+    // 2. Build the quadrant skyline diagram once — the O(n²) sweeping
+    //    engine is the default and fastest choice.
+    let diagram = QuadrantEngine::Sweeping.build(&dataset);
+    println!(
+        "diagram: {} points -> {} cells, {} distinct results",
+        dataset.len(),
+        diagram.grid().cell_count(),
+        diagram.stats().distinct_results,
+    );
+
+    // 3. Any skyline query is now an O(log n) lookup.
+    let q = Point::new(5, 5);
+    let answer = diagram.query(q);
+    println!("quadrant skyline at {q}: {answer:?}");
+
+    // 4. The lookup agrees with computing from scratch — just faster.
+    assert_eq!(answer, quadrant_skyline(&dataset, q).as_slice());
+
+    // 5. Merge cells into skyline polyominoes (the paper's Voronoi-cell
+    //    counterpart): each is a maximal region with one constant result.
+    let merged = merge(&diagram);
+    println!("{} polyominoes:", merged.len());
+    for poly in merged.polyominoes.iter().take(5) {
+        println!(
+            "  result {:?} covers {} cells, bbox {:?}",
+            diagram.results().get(poly.result),
+            poly.area(),
+            poly.bounding_box(),
+        );
+    }
+
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Reverse skyline: "if a new competitor appears at q, which existing
+//! products would see it in their dynamic skyline?" — the market-impact
+//! question the reverse-skyline literature asks, answered with the
+//! precomputed per-point index.
+//!
+//! ```text
+//! cargo run -p skyline-examples --bin reverse_skyline
+//! ```
+
+use skyline_apps::reverse::{reverse_skyline_naive, ReverseSkylineIndex};
+use skyline_core::geometry::Point;
+use skyline_data::nba;
+
+fn main() {
+    // NBA-like products: 120 players over (inverted) points & rebounds.
+    let players = nba::players_2d(120, 2024);
+    let index = ReverseSkylineIndex::new(&players);
+
+    // A hypothetical new player profile.
+    let candidate = Point::new(12, 8);
+    let impacted = index.query(candidate);
+    println!(
+        "a new player at {candidate} would enter the dynamic skyline of {} of {} players",
+        impacted.len(),
+        index.len(),
+    );
+    for id in impacted.iter().take(10) {
+        let p = players.point(*id);
+        println!("  {id} at {p}");
+    }
+
+    // The index agrees with the quadratic definition.
+    assert_eq!(impacted, reverse_skyline_naive(&players, candidate));
+
+    // Sweep a grid of candidate positions to find the most/least disruptive
+    // placement — the kind of batch workload the index is built for.
+    let (mut best, mut best_count) = (Point::new(0, 0), 0usize);
+    for x in (0..=40).step_by(2) {
+        for y in (0..=20).step_by(2) {
+            let q = Point::new(x, y);
+            let count = index.query(q).len();
+            if count > best_count {
+                best_count = count;
+                best = q;
+            }
+        }
+    }
+    println!("\nmost disruptive placement on the sampled grid: {best} (impacts {best_count})");
+}

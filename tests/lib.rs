@@ -1,0 +1,32 @@
+//! Cross-crate integration tests live in `tests/`; this library only hosts
+//! shared helpers for them.
+
+use skyline_data::{DatasetSpec, Distribution};
+
+/// Deterministic dataset grid used across the integration suites: large and
+/// small domains (general position vs heavy ties) times the three
+/// distributions.
+pub fn standard_specs(n: usize) -> Vec<DatasetSpec> {
+    let mut specs = Vec::new();
+    for distribution in Distribution::ALL {
+        for (domain, seed) in [(10_000i64, 1u64), (12, 2)] {
+            specs.push(DatasetSpec { n, dims: 2, domain, distribution, seed });
+        }
+    }
+    specs
+}
+
+/// Deterministic query grid covering a dataset's domain with margin.
+pub fn query_grid(domain: i64, step: i64) -> Vec<skyline_core::geometry::Point> {
+    let mut queries = Vec::new();
+    let mut x = -2;
+    while x <= domain + 2 {
+        let mut y = -2;
+        while y <= domain + 2 {
+            queries.push(skyline_core::geometry::Point::new(x, y));
+            y += step;
+        }
+        x += step;
+    }
+    queries
+}

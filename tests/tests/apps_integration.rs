@@ -1,0 +1,157 @@
+//! End-to-end integration of the application layer against the core
+//! diagrams: moving queries, safe zones, authentication, PIR, reverse
+//! skylines — on generated benchmark data rather than hand fixtures.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skyline_apps::auth::{verify, AuthenticatedDiagram};
+use skyline_apps::continuous::{safe_zone, trace_segment, trace_segment_dynamic};
+use skyline_apps::pir::{private_skyline_query, PirServer};
+use skyline_apps::reverse::{reverse_skyline_naive, ReverseSkylineIndex};
+use skyline_core::diagram::merge::merge;
+use skyline_core::dynamic::DynamicEngine;
+use skyline_core::geometry::{Dataset, Point};
+use skyline_core::quadrant::QuadrantEngine;
+use skyline_data::{DatasetSpec, Distribution};
+
+fn dataset(n: usize, seed: u64) -> Dataset {
+    DatasetSpec {
+        n,
+        dims: 2,
+        domain: 200,
+        distribution: Distribution::Independent,
+        seed,
+    }
+    .build_2d()
+}
+
+#[test]
+fn moving_query_itineraries_tile_and_match() {
+    let ds = dataset(50, 1);
+    let d = QuadrantEngine::Sweeping.build(&ds);
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..20 {
+        let a = Point::new(rng.gen_range(-10..210), rng.gen_range(-10..210));
+        let b = Point::new(rng.gen_range(-10..210), rng.gen_range(-10..210));
+        let steps = trace_segment(&d, a, b);
+        assert!((steps[0].t_start - 0.0).abs() < 1e-12);
+        assert!((steps.last().unwrap().t_end - 1.0).abs() < 1e-12);
+        for w in steps.windows(2) {
+            assert!((w[0].t_end - w[1].t_start).abs() < 1e-12);
+            assert_ne!(w[0].result, w[1].result);
+        }
+        // Endpoint results match direct queries, unless the endpoint sits
+        // exactly on a grid line: there the point query follows the
+        // greater-side convention while the step reports the open interval
+        // the path actually traverses.
+        let off_lines = |p: Point| {
+            d.grid().x_lines().binary_search(&p.x).is_err()
+                && d.grid().y_lines().binary_search(&p.y).is_err()
+        };
+        if off_lines(a) {
+            assert_eq!(steps[0].result.as_slice(), d.query(a), "{a} -> {b}");
+        }
+        if off_lines(b) {
+            assert_eq!(steps.last().unwrap().result.as_slice(), d.query(b), "{a} -> {b}");
+        }
+    }
+}
+
+#[test]
+fn dynamic_itineraries_have_internally_consistent_steps() {
+    let ds = dataset(10, 3);
+    let d = DynamicEngine::Scanning.build(&ds);
+    let steps = trace_segment_dynamic(&d, Point::new(-5, 100), Point::new(205, 90));
+    assert!(steps.len() > 3);
+    assert!((steps.last().unwrap().t_end - 1.0).abs() < 1e-12);
+    for w in steps.windows(2) {
+        assert_ne!(w[0].result, w[1].result);
+    }
+}
+
+#[test]
+fn safe_zones_are_sound_and_maximal() {
+    let ds = dataset(40, 4);
+    let d = QuadrantEngine::Sweeping.build(&ds);
+    let merged = merge(&d);
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..50 {
+        let q = Point::new(rng.gen_range(-5..205), rng.gen_range(-5..205));
+        let zone = safe_zone(&d, &merged, q);
+        for &cell in &zone.cells {
+            assert_eq!(d.result(cell), d.query(q));
+        }
+        assert!(zone.is_connected());
+    }
+}
+
+#[test]
+fn authentication_end_to_end_on_generated_data() {
+    let ds = dataset(60, 6);
+    let auth = AuthenticatedDiagram::new(&ds, QuadrantEngine::Sweeping.build(&ds));
+    let root = auth.root();
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..100 {
+        let q = Point::new(rng.gen_range(-5..205), rng.gen_range(-5..205));
+        let answer = auth.query(&ds, q);
+        assert!(verify(&answer, &root), "{q}");
+        // Any single-bit change to the path must break verification.
+        let mut bad = answer.clone();
+        if !bad.path.is_empty() {
+            bad.path[0][0] ^= 1;
+            assert!(!verify(&bad, &root));
+        }
+    }
+}
+
+#[test]
+fn pir_end_to_end_on_generated_data() {
+    let ds = dataset(60, 8);
+    let d = QuadrantEngine::Sweeping.build(&ds);
+    let server = PirServer::new(&d);
+    let params = server.client_params(&d);
+    let (s1, s2) = (server.clone(), server);
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..60 {
+        let q = Point::new(rng.gen_range(-5..205), rng.gen_range(-5..205));
+        assert_eq!(
+            private_skyline_query(&s1, &s2, &params, q, &mut rng).as_slice(),
+            d.query(q),
+            "{q}"
+        );
+    }
+}
+
+#[test]
+fn reverse_skyline_index_on_all_distributions() {
+    for distribution in Distribution::ALL {
+        let ds = DatasetSpec { n: 35, dims: 2, domain: 60, distribution, seed: 10 }.build_2d();
+        let index = ReverseSkylineIndex::new(&ds);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..40 {
+            let q = Point::new(rng.gen_range(-5..65), rng.gen_range(-5..65));
+            assert_eq!(
+                index.query(q),
+                reverse_skyline_naive(&ds, q),
+                "{q} on {}",
+                distribution.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn viz_renders_generated_diagrams() {
+    let ds = dataset(25, 12);
+    let d = QuadrantEngine::Sweeping.build(&ds);
+    let merged = merge(&d);
+    let svg = skyline_viz::svg::render_merged_diagram(
+        &ds,
+        &d,
+        &merged,
+        &skyline_viz::svg::SvgOptions::default(),
+    );
+    assert_eq!(svg.matches("<rect").count(), d.grid().cell_count());
+    let art = skyline_viz::ascii::render_cells(&d);
+    assert_eq!(art.lines().count(), d.grid().ny() as usize + 1);
+}

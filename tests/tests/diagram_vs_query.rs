@@ -1,0 +1,123 @@
+//! Diagram lookups must equal from-scratch query computation for arbitrary
+//! query points — the defining property of a skyline diagram (Definition 5).
+//!
+//! Quadrant/global lookups are exact everywhere (including on grid lines,
+//! thanks to the shared greater-side convention). Dynamic lookups are exact
+//! off subcell boundaries; the suites below scale coordinates by 4 and use
+//! odd query coordinates, which provably never hit a (doubled-coordinate)
+//! subcell line.
+
+use skyline_core::dynamic::DynamicEngine;
+use skyline_core::geometry::{Dataset, Point};
+use skyline_core::global;
+use skyline_core::quadrant::QuadrantEngine;
+use skyline_core::query;
+use skyline_integration_tests::{query_grid, standard_specs};
+
+#[test]
+fn quadrant_lookup_equals_from_scratch() {
+    for spec in standard_specs(40) {
+        let ds = spec.build_2d();
+        let d = QuadrantEngine::Sweeping.build(&ds);
+        for q in query_grid(spec.domain.min(60), 7) {
+            assert_eq!(
+                d.query(q),
+                query::quadrant_skyline(&ds, q).as_slice(),
+                "query {q} on {spec:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn global_lookup_equals_from_scratch() {
+    // Global lookups are exact off grid lines. Exactly *on* a line the
+    // open-quadrant convention excludes axis points from the from-scratch
+    // result, while the diagram's greater-side cell sees them in the lower
+    // quadrants: there the lookup equals the ε-nudged query, computed
+    // exactly in doubled coordinates.
+    for spec in standard_specs(35) {
+        let ds = spec.build_2d();
+        let doubled =
+            Dataset::from_coords(ds.points().iter().map(|p| (2 * p.x, 2 * p.y))).unwrap();
+        let d = global::build(&ds, QuadrantEngine::Scanning);
+        let grid = d.grid();
+        for q in query_grid(spec.domain.min(60), 9) {
+            let dx = i64::from(grid.x_lines().binary_search(&q.x).is_ok());
+            let dy = i64::from(grid.y_lines().binary_search(&q.y).is_ok());
+            let nudged = Point::new(2 * q.x + dx, 2 * q.y + dy);
+            assert_eq!(
+                d.query(q),
+                query::global_skyline(&doubled, nudged).as_slice(),
+                "query {q} on {spec:?}"
+            );
+            if dx == 0 && dy == 0 {
+                assert_eq!(
+                    d.query(q),
+                    query::global_skyline(&ds, q).as_slice(),
+                    "off-line query {q} on {spec:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dynamic_lookup_equals_from_scratch_off_boundaries() {
+    for spec in standard_specs(12) {
+        let base = spec.build_2d();
+        // Scale by 4: all subcell lines land on multiples of 4 (in doubled
+        // coordinates, multiples of 8); odd query coordinates never touch
+        // them.
+        let ds = Dataset::from_coords(base.points().iter().map(|p| (4 * p.x, 4 * p.y)))
+            .expect("scaling preserves validity");
+        let d = DynamicEngine::Scanning.build(&ds);
+        let lim = 4 * spec.domain.min(30);
+        let mut q = Point::new(-3, -3);
+        while q.x < lim {
+            q.y = -3;
+            while q.y < lim {
+                assert_eq!(
+                    d.query(q),
+                    query::dynamic_skyline(&ds, q).as_slice(),
+                    "query {q} on {spec:?}"
+                );
+                q.y += 26; // stays odd
+            }
+            q.x += 26;
+        }
+    }
+}
+
+#[test]
+fn queries_exactly_on_grid_lines_follow_the_convention() {
+    let ds = skyline_data::hotel::dataset();
+    let d = QuadrantEngine::Baseline.build(&ds);
+    for (_, p) in ds.iter() {
+        // Query exactly at each data point: the from-scratch strict
+        // quadrant and the greater-side cell must agree.
+        assert_eq!(d.query(p), query::quadrant_skyline(&ds, p).as_slice(), "{p}");
+    }
+}
+
+#[test]
+fn dynamic_result_is_subset_of_global_per_subcell() {
+    // Paper Section III: dynamic skyline ⊆ global skyline, everywhere.
+    let spec = skyline_data::DatasetSpec {
+        n: 12,
+        dims: 2,
+        domain: 40,
+        distribution: skyline_data::Distribution::Independent,
+        seed: 9,
+    };
+    let ds = spec.build_2d();
+    let dynamic = DynamicEngine::Subset.build(&ds);
+    let scaled = Dataset::from_coords(ds.points().iter().map(|p| (4 * p.x, 4 * p.y))).unwrap();
+    for sc in dynamic.grid().subcells() {
+        let sample = dynamic.grid().sample_x4(sc);
+        let global = query::global_skyline(&scaled, sample);
+        for id in dynamic.result(sc) {
+            assert!(global.contains(id), "{id} at subcell {sc:?}");
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Degenerate and adversarial inputs: exact duplicates, collinear sets,
+//! single points, negative coordinates, all-identical datasets.
+
+use skyline_core::dynamic::DynamicEngine;
+use skyline_core::geometry::{Dataset, Point, PointId};
+use skyline_core::global;
+use skyline_core::quadrant::QuadrantEngine;
+use skyline_core::query;
+
+fn assert_all_quadrant_engines_agree(ds: &Dataset) {
+    let reference = QuadrantEngine::Baseline.build(ds);
+    for engine in QuadrantEngine::ALL {
+        assert!(engine.build(ds).same_results(&reference), "{}", engine.name());
+    }
+}
+
+fn assert_all_dynamic_engines_agree(ds: &Dataset) {
+    let reference = DynamicEngine::Baseline.build(ds);
+    for engine in DynamicEngine::ALL {
+        assert!(engine.build(ds).same_results(&reference), "{}", engine.name());
+    }
+}
+
+#[test]
+fn all_points_identical() {
+    let ds = Dataset::from_coords(vec![(7, 7); 6]).unwrap();
+    assert_all_quadrant_engines_agree(&ds);
+    assert_all_dynamic_engines_agree(&ds);
+    let d = QuadrantEngine::Sweeping.build(&ds);
+    // Below-left of the pile: all six are the skyline (mutually equal).
+    assert_eq!(d.query(Point::new(0, 0)).len(), 6);
+    assert!(d.query(Point::new(7, 7)).is_empty());
+}
+
+#[test]
+fn horizontal_and_vertical_collinear() {
+    for coords in [
+        vec![(0, 5), (2, 5), (4, 5), (6, 5)],
+        vec![(5, 0), (5, 2), (5, 4), (5, 6)],
+    ] {
+        let ds = Dataset::from_coords(coords).unwrap();
+        assert_all_quadrant_engines_agree(&ds);
+        assert_all_dynamic_engines_agree(&ds);
+    }
+}
+
+#[test]
+fn diagonal_chain_and_antichain() {
+    // Chain: each dominates the next; antichain: mutual incomparability.
+    let chain = Dataset::from_coords([(0, 0), (1, 1), (2, 2), (3, 3), (4, 4)]).unwrap();
+    let anti = Dataset::from_coords([(0, 4), (1, 3), (2, 2), (3, 1), (4, 0)]).unwrap();
+    for ds in [&chain, &anti] {
+        assert_all_quadrant_engines_agree(ds);
+        assert_all_dynamic_engines_agree(ds);
+    }
+    let d = QuadrantEngine::Scanning.build(&anti);
+    // Below-left of the antichain: everything is skyline.
+    assert_eq!(d.query(Point::new(-1, -1)).len(), 5);
+}
+
+#[test]
+fn negative_coordinates() {
+    let ds = Dataset::from_coords([(-10, -3), (-5, -8), (0, 4), (3, -1)]).unwrap();
+    assert_all_quadrant_engines_agree(&ds);
+    assert_all_dynamic_engines_agree(&ds);
+    let d = global::build(&ds, QuadrantEngine::Sweeping);
+    let q = Point::new(-7, -2);
+    assert_eq!(d.query(q), query::global_skyline(&ds, q).as_slice());
+}
+
+#[test]
+fn single_point() {
+    let ds = Dataset::from_coords([(100, 100)]).unwrap();
+    assert_all_quadrant_engines_agree(&ds);
+    assert_all_dynamic_engines_agree(&ds);
+    let d = DynamicEngine::Scanning.build(&ds);
+    for sc in d.grid().subcells() {
+        assert_eq!(d.result(sc), &[PointId(0)]);
+    }
+}
+
+#[test]
+fn two_point_configurations() {
+    // Dominating, anti-dominating, axis-aligned pairs.
+    for coords in [
+        [(0, 0), (5, 5)],
+        [(0, 5), (5, 0)],
+        [(0, 0), (0, 5)],
+        [(0, 0), (5, 0)],
+        [(3, 3), (3, 3)],
+    ] {
+        let ds = Dataset::from_coords(coords).unwrap();
+        assert_all_quadrant_engines_agree(&ds);
+        assert_all_dynamic_engines_agree(&ds);
+    }
+}
+
+#[test]
+fn duplicated_clusters_with_spread() {
+    let mut coords = Vec::new();
+    for _ in 0..3 {
+        coords.extend_from_slice(&[(2, 9), (9, 2), (5, 5)]);
+    }
+    coords.push((0, 11));
+    let ds = Dataset::from_coords(coords).unwrap();
+    assert_all_quadrant_engines_agree(&ds);
+    assert_all_dynamic_engines_agree(&ds);
+}
+
+#[test]
+fn large_coordinate_magnitudes() {
+    // Near the documented bound: bisector arithmetic must stay exact.
+    let big = skyline_core::geometry::MAX_COORD / 2;
+    let ds = Dataset::from_coords([(big, -big), (-big, big), (big - 7, big - 11)]).unwrap();
+    assert_all_quadrant_engines_agree(&ds);
+    let d = QuadrantEngine::Sweeping.build(&ds);
+    let q = Point::new(0, 0);
+    assert_eq!(d.query(q), query::quadrant_skyline(&ds, q).as_slice());
+}
+
+#[test]
+fn rejects_out_of_range_coordinates() {
+    let too_big = skyline_core::geometry::MAX_COORD + 1;
+    assert!(Dataset::from_coords([(too_big, 0)]).is_err());
+}

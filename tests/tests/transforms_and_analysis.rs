@@ -1,0 +1,133 @@
+//! Integration of the data-preparation and analytics layers with the
+//! diagram engines, on generated benchmark data.
+
+use proptest::prelude::*;
+use skyline_core::analysis::{containment_probability, result_distribution};
+use skyline_core::diagram::ClipBox;
+use skyline_core::geometry::transform::{
+    invert_axis, normalize_origin, rank_compress, scale, translate, Axis,
+};
+use skyline_core::geometry::{Dataset, Point};
+use skyline_core::quadrant::QuadrantEngine;
+use skyline_data::{DatasetSpec, Distribution};
+
+#[test]
+fn transform_pipeline_preserves_diagram_semantics() {
+    for distribution in Distribution::ALL {
+        let spec = DatasetSpec { n: 40, dims: 2, domain: 5000, distribution, seed: 13 };
+        let ds = spec.build_2d();
+        // normalize → scale → translate: an affine order-preserving map.
+        let prepared = translate(
+            &scale(&normalize_origin(&ds).unwrap(), 3).unwrap(),
+            -19,
+            42,
+        )
+        .unwrap();
+        // Per-cell results must match the original diagram cell-for-cell
+        // (grids are isomorphic under order-preserving maps).
+        let a = QuadrantEngine::Sweeping.build(&ds);
+        let b = QuadrantEngine::Sweeping.build(&prepared);
+        assert_eq!(a.grid().nx(), b.grid().nx(), "{}", distribution.name());
+        for cell in a.grid().cells() {
+            assert_eq!(a.result(cell), b.result(cell), "{cell:?}");
+        }
+    }
+}
+
+#[test]
+fn rank_compression_bounds_domains_for_dynamic_diagrams() {
+    // Wild coordinates make subcell grids huge; rank compression caps the
+    // domain at n while preserving quadrant results exactly.
+    let ds = DatasetSpec {
+        n: 12,
+        dims: 2,
+        domain: 1_000_000,
+        distribution: Distribution::Independent,
+        seed: 4,
+    }
+    .build_2d();
+    let compressed = rank_compress(&ds).unwrap();
+    assert!(compressed.points().iter().all(|p| p.x < 12 && p.y < 12));
+    let a = QuadrantEngine::Scanning.build(&ds);
+    let b = QuadrantEngine::Scanning.build(&compressed);
+    for cell in a.grid().cells() {
+        assert_eq!(a.result(cell), b.result(cell));
+    }
+}
+
+#[test]
+fn nba_inversion_roundtrip() {
+    // The NBA stand-in stores inverted stats; inverting back gives a table
+    // where the best raw scorers are *maxima*, i.e. they appear in the
+    // skyline of the re-inverted (minimization) copy.
+    let players = skyline_data::nba::players_2d(100, 5);
+    let reinverted = invert_axis(&invert_axis(&players, Axis::X).unwrap(), Axis::X).unwrap();
+    assert_eq!(
+        skyline_core::skyline::sort_sweep::skyline_2d(&players),
+        skyline_core::skyline::sort_sweep::skyline_2d(&reinverted)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn distribution_areas_always_tile_the_window(
+        coords in prop::collection::vec((0i64..25, 0i64..25), 1..15),
+        pad in 1i64..5,
+    ) {
+        let ds = Dataset::from_coords(coords).unwrap();
+        let d = QuadrantEngine::Baseline.build(&ds);
+        let window = ClipBox {
+            x_min: -pad,
+            x_max: 25 + pad,
+            y_min: -pad,
+            y_max: 25 + pad,
+        };
+        let dist = result_distribution(&d, window);
+        let total: i64 = dist.iter().map(|s| s.area).sum();
+        prop_assert_eq!(
+            total,
+            (window.x_max - window.x_min) * (window.y_max - window.y_min)
+        );
+        // Each point's containment probability is consistent with the
+        // distribution entries containing it.
+        for (id, _) in ds.iter().take(3) {
+            let p = containment_probability(&d, window, id);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_exact_distribution(
+        coords in prop::collection::vec((0i64..12, 0i64..12), 2..8),
+    ) {
+        // Spot-check the exact areas against brute-force enumeration of
+        // every integer query in the window (integer points sample cells
+        // unevenly near lines, so enumerate unit boxes instead: each unit
+        // box [x, x+1) x [y, y+1) lies inside one cell iff no grid line
+        // crosses it — and since all lines are integral, none does).
+        let ds = Dataset::from_coords(coords).unwrap();
+        let d = QuadrantEngine::Baseline.build(&ds);
+        let window = ClipBox { x_min: -2, x_max: 14, y_min: -2, y_max: 14 };
+        let dist = result_distribution(&d, window);
+
+        let mut counted: std::collections::HashMap<Vec<u32>, i64> =
+            std::collections::HashMap::new();
+        for x in window.x_min..window.x_max {
+            for y in window.y_min..window.y_max {
+                // The unit box's interior representative in doubled space.
+                let q = Point::new(x, y);
+                // cell_of maps on-line queries to the greater side, which
+                // is exactly the cell containing (x + ε, y + ε) — the unit
+                // box's interior.
+                let ids: Vec<u32> = d.query(q).iter().map(|id| id.0).collect();
+                *counted.entry(ids).or_default() += 1;
+            }
+        }
+        for share in dist {
+            let key: Vec<u32> = share.ids.iter().map(|id| id.0).collect();
+            prop_assert_eq!(counted.get(&key).copied().unwrap_or(0), share.area);
+        }
+    }
+}
