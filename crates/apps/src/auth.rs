@@ -21,16 +21,14 @@ pub type Digest = [u8; 32];
 // --- SHA-256 (FIPS 180-4) ---------------------------------------------------
 
 const K: [u32; 64] = [
-    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
-    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
-    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
-    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
-    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
-    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
-    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
-    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
-    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
-    0xc67178f2,
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
 ];
 
 /// Computes SHA-256 of a byte string.
@@ -157,8 +155,7 @@ impl AuthenticatedDiagram {
             .map(|idx| {
                 let cell = diagram.grid().cell_from_linear(idx);
                 let result = diagram.result(cell);
-                let coords: Vec<Point> =
-                    result.iter().map(|&id| dataset.point(id)).collect();
+                let coords: Vec<Point> = result.iter().map(|&id| dataset.point(id)).collect();
                 leaf_hash(&leaf_payload(idx, result, &coords))
             })
             .collect();
@@ -168,18 +165,31 @@ impl AuthenticatedDiagram {
         leaves.resize(width, filler);
 
         let mut levels = vec![leaves];
-        while levels.last().expect("nonempty").len() > 1 {
-            let prev = levels.last().expect("nonempty");
-            let next: Vec<Digest> =
-                prev.chunks_exact(2).map(|pair| node_hash(&pair[0], &pair[1])).collect();
+        while levels
+            .last()
+            .expect("levels starts with the leaf level")
+            .len()
+            > 1
+        {
+            let prev = levels.last().expect("levels starts with the leaf level");
+            let next: Vec<Digest> = prev
+                .chunks_exact(2)
+                .map(|pair| node_hash(&pair[0], &pair[1]))
+                .collect();
             levels.push(next);
         }
-        AuthenticatedDiagram { diagram, levels, n_leaves }
+        AuthenticatedDiagram {
+            diagram,
+            levels,
+            n_leaves,
+        }
     }
 
     /// The published Merkle root.
     pub fn root(&self) -> Digest {
-        self.levels.last().expect("nonempty")[0]
+        self.levels
+            .last()
+            .expect("the constructor always pushes the leaf level")[0]
     }
 
     /// The wrapped diagram (server side).
@@ -200,7 +210,12 @@ impl AuthenticatedDiagram {
             path.push(level[pos ^ 1]);
             pos >>= 1;
         }
-        AuthenticatedAnswer { cell: idx, result, coordinates, path }
+        AuthenticatedAnswer {
+            cell: idx,
+            result,
+            coordinates,
+            path,
+        }
     }
 
     /// Number of real (unpadded) leaves.
@@ -215,7 +230,11 @@ pub fn verify(answer: &AuthenticatedAnswer, root: &Digest) -> bool {
     if answer.result.len() != answer.coordinates.len() {
         return false;
     }
-    let mut hash = leaf_hash(&leaf_payload(answer.cell, &answer.result, &answer.coordinates));
+    let mut hash = leaf_hash(&leaf_payload(
+        answer.cell,
+        &answer.result,
+        &answer.coordinates,
+    ));
     let mut pos = answer.cell;
     for sibling in &answer.path {
         hash = if pos & 1 == 0 {
@@ -249,7 +268,9 @@ mod tests {
             "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
         );
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
         // Exercise multi-block padding boundaries (55, 56, 64 bytes).
@@ -261,8 +282,17 @@ mod tests {
 
     fn build() -> (Dataset, AuthenticatedDiagram) {
         let ds = skyline_core::geometry::Dataset::from_coords([
-            (1, 92), (3, 96), (12, 86), (5, 94), (15, 85), (8, 78),
-            (16, 83), (13, 83), (6, 93), (21, 82), (11, 9),
+            (1, 92),
+            (3, 96),
+            (12, 86),
+            (5, 94),
+            (15, 85),
+            (8, 78),
+            (16, 83),
+            (13, 83),
+            (6, 93),
+            (21, 82),
+            (11, 9),
         ])
         .unwrap();
         let d = QuadrantEngine::Sweeping.build(&ds);
@@ -278,7 +308,10 @@ mod tests {
             for qy in (0..100).step_by(11) {
                 let answer = auth.query(&ds, Point::new(qx, qy));
                 assert!(verify(&answer, &root), "({qx}, {qy})");
-                assert_eq!(answer.result.as_slice(), auth.diagram().query(Point::new(qx, qy)));
+                assert_eq!(
+                    answer.result.as_slice(),
+                    auth.diagram().query(Point::new(qx, qy))
+                );
             }
         }
     }
@@ -330,8 +363,7 @@ mod tests {
             ds.points().iter().map(|p| (p.x, p.y + 1)),
         )
         .unwrap();
-        let auth2 =
-            AuthenticatedDiagram::new(&ds2, QuadrantEngine::Sweeping.build(&ds2));
+        let auth2 = AuthenticatedDiagram::new(&ds2, QuadrantEngine::Sweeping.build(&ds2));
         assert_ne!(auth.root(), auth2.root());
         assert_eq!(auth.leaf_count(), auth2.leaf_count());
     }

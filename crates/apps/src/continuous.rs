@@ -48,7 +48,10 @@ impl Frac {
     fn new(num: i128, den: i128) -> Self {
         debug_assert!(den != 0);
         if den < 0 {
-            Frac { num: -num, den: -den }
+            Frac {
+                num: -num,
+                den: -den,
+            }
         } else {
             Frac { num, den }
         }
@@ -56,7 +59,10 @@ impl Frac {
 
     fn midpoint(self, other: Frac) -> Frac {
         // (a/b + c/d) / 2 = (ad + cb) / 2bd
-        Frac::new(self.num * other.den + other.num * self.den, 2 * self.den * other.den)
+        Frac::new(
+            self.num * other.den + other.num * self.den,
+            2 * self.den * other.den,
+        )
     }
 
     fn to_f64(self) -> f64 {
@@ -120,7 +126,11 @@ fn itinerary<R>(
     mut equal: impl FnMut(&R, &R) -> bool,
     mut to_ids: impl FnMut(&R) -> Vec<PointId>,
 ) -> Vec<TraversalStep> {
-    let LineFamily { x_lines, y_lines, scale } = lines;
+    let LineFamily {
+        x_lines,
+        y_lines,
+        scale,
+    } = lines;
     // Cross-multiplied rational comparisons stay within i128 for segment
     // endpoints up to 2^28 in magnitude — far beyond any diagram domain.
     for c in [a.x, a.y, b.x, b.y] {
@@ -165,7 +175,11 @@ pub fn trace_segment(diagram: &CellDiagram, a: Point, b: Point) -> Vec<Traversal
     itinerary(
         a,
         b,
-        LineFamily { x_lines: grid.x_lines(), y_lines: grid.y_lines(), scale: 1 },
+        LineFamily {
+            x_lines: grid.x_lines(),
+            y_lines: grid.y_lines(),
+            scale: 1,
+        },
         |i, j| diagram.result_id((i, j)),
         |x, y| x == y,
         |rid| diagram.results().get(*rid).to_vec(),
@@ -174,16 +188,16 @@ pub fn trace_segment(diagram: &CellDiagram, a: Point, b: Point) -> Vec<Traversal
 
 /// Itinerary of a query moving from `a` to `b` over a dynamic subcell
 /// diagram (lines live in doubled coordinates, handled internally).
-pub fn trace_segment_dynamic(
-    diagram: &SubcellDiagram,
-    a: Point,
-    b: Point,
-) -> Vec<TraversalStep> {
+pub fn trace_segment_dynamic(diagram: &SubcellDiagram, a: Point, b: Point) -> Vec<TraversalStep> {
     let grid = diagram.grid();
     itinerary(
         a,
         b,
-        LineFamily { x_lines: grid.x_lines(), y_lines: grid.y_lines(), scale: 2 },
+        LineFamily {
+            x_lines: grid.x_lines(),
+            y_lines: grid.y_lines(),
+            scale: 2,
+        },
         |i, j| diagram.result_id((i, j)),
         |x, y| x == y,
         |rid| diagram.results().get(*rid).to_vec(),
@@ -194,10 +208,7 @@ pub fn trace_segment_dynamic(
 /// concatenated, with the leg index attached and equal-result steps merged
 /// across leg boundaries. Parameters are per-leg (`t ∈ [0, 1]` within each
 /// leg).
-pub fn trace_route(
-    diagram: &CellDiagram,
-    waypoints: &[Point],
-) -> Vec<(usize, TraversalStep)> {
+pub fn trace_route(diagram: &CellDiagram, waypoints: &[Point]) -> Vec<(usize, TraversalStep)> {
     assert!(waypoints.len() >= 2, "a route needs at least two waypoints");
     let mut out: Vec<(usize, TraversalStep)> = Vec::new();
     for (leg, pair) in waypoints.windows(2).enumerate() {
@@ -224,11 +235,7 @@ pub fn trace_route(
 
 /// The safe zone of a query: the polyomino within which its quadrant/global
 /// result cannot change.
-pub fn safe_zone<'d>(
-    diagram: &CellDiagram,
-    merged: &'d MergedDiagram,
-    q: Point,
-) -> &'d Polyomino {
+pub fn safe_zone<'d>(diagram: &CellDiagram, merged: &'d MergedDiagram, q: Point) -> &'d Polyomino {
     let cell = diagram.grid().cell_of(q);
     let linear = diagram.grid().linear_index(cell);
     merged.polyomino_of_cell(linear)
@@ -253,13 +260,22 @@ mod tests {
     use super::*;
     use skyline_core::diagram::merge::merge;
     use skyline_core::dynamic::DynamicEngine;
-    use skyline_core::quadrant::QuadrantEngine;
     use skyline_core::geometry::Dataset;
+    use skyline_core::quadrant::QuadrantEngine;
 
     fn hotel() -> Dataset {
         Dataset::from_coords([
-            (1, 92), (3, 96), (12, 86), (5, 94), (15, 85), (8, 78),
-            (16, 83), (13, 83), (6, 93), (21, 82), (11, 9),
+            (1, 92),
+            (3, 96),
+            (12, 86),
+            (5, 94),
+            (15, 85),
+            (8, 78),
+            (16, 83),
+            (13, 83),
+            (6, 93),
+            (21, 82),
+            (11, 9),
         ])
         .unwrap()
     }
@@ -316,7 +332,10 @@ mod tests {
         let d = DynamicEngine::Scanning.build(&ds);
         let (a, b) = (Point::new(-2, 5), Point::new(14, 5));
         let steps = trace_segment_dynamic(&d, a, b);
-        assert!(steps.len() > 1, "dynamic diagram should change along the path");
+        assert!(
+            steps.len() > 1,
+            "dynamic diagram should change along the path"
+        );
         for s in &steps {
             let mid_t = (s.t_start + s.t_end) / 2.0;
             let qx = a.x as f64 + mid_t * (b.x - a.x) as f64;
@@ -333,8 +352,12 @@ mod tests {
     fn route_concatenates_and_merges_legs() {
         let ds = hotel();
         let d = QuadrantEngine::Sweeping.build(&ds);
-        let waypoints =
-            [Point::new(0, 0), Point::new(25, 0), Point::new(25, 100), Point::new(0, 100)];
+        let waypoints = [
+            Point::new(0, 0),
+            Point::new(25, 0),
+            Point::new(25, 100),
+            Point::new(0, 100),
+        ];
         let route = trace_route(&d, &waypoints);
         // Coverage: starts at 0, ends at #legs, contiguous.
         assert!((route[0].1.t_start - 0.0).abs() < 1e-12);

@@ -53,13 +53,20 @@ fn encode_record(result: &[PointId], record_len: usize) -> Vec<u8> {
 }
 
 /// Decodes a record back into point ids.
+#[must_use]
 pub fn decode_record(record: &[u8]) -> Vec<PointId> {
-    let count = u32::from_le_bytes(record[..4].try_into().expect("length checked")) as usize;
+    let count = u32::from_le_bytes(
+        record[..4]
+            .try_into()
+            .expect("slice [..4] is exactly 4 bytes long"),
+    ) as usize;
     (0..count)
         .map(|i| {
             let off = 4 + 4 * i;
             PointId(u32::from_le_bytes(
-                record[off..off + 4].try_into().expect("length checked"),
+                record[off..off + 4]
+                    .try_into()
+                    .expect("slice of width 4 is 4 bytes long"),
             ))
         })
         .collect()
@@ -81,7 +88,10 @@ impl PirServer {
             .iter()
             .map(|&rid| encode_record(diagram.results().get(rid), record_len))
             .collect();
-        PirServer { records, record_len }
+        PirServer {
+            records,
+            record_len,
+        }
     }
 
     /// Public client parameters for this database.
@@ -97,7 +107,11 @@ impl PirServer {
     /// Answers a query bit-vector: XOR of the selected records. The server
     /// sees only a uniformly random subset selection.
     pub fn answer(&self, selection: &[bool]) -> Vec<u8> {
-        assert_eq!(selection.len(), self.records.len(), "selection length mismatch");
+        assert_eq!(
+            selection.len(),
+            self.records.len(),
+            "selection length mismatch"
+        );
         let mut acc = vec![0u8; self.record_len];
         for (rec, &selected) in self.records.iter().zip(selection) {
             if selected {
@@ -134,10 +148,17 @@ pub fn make_query(params: &PirClientParams, q: Point, rng: &mut StdRng) -> (usiz
     if rng.gen() {
         std::mem::swap(&mut to_server1, &mut to_server2);
     }
-    (target, PirQuery { to_server1, to_server2 })
+    (
+        target,
+        PirQuery {
+            to_server1,
+            to_server2,
+        },
+    )
 }
 
 /// Client-side reconstruction: XOR of the two answers, decoded.
+#[must_use]
 pub fn reconstruct(answer1: &[u8], answer2: &[u8]) -> Vec<PointId> {
     assert_eq!(answer1.len(), answer2.len(), "answer length mismatch");
     let record: Vec<u8> = answer1.iter().zip(answer2).map(|(a, b)| a ^ b).collect();
@@ -145,6 +166,7 @@ pub fn reconstruct(answer1: &[u8], answer2: &[u8]) -> Vec<PointId> {
 }
 
 /// End-to-end private skyline query against two non-colluding servers.
+#[must_use]
 pub fn private_skyline_query(
     server1: &PirServer,
     server2: &PirServer,
@@ -167,8 +189,17 @@ mod tests {
 
     fn setup() -> (Dataset, CellDiagram, PirServer, PirServer, PirClientParams) {
         let ds = Dataset::from_coords([
-            (1, 92), (3, 96), (12, 86), (5, 94), (15, 85), (8, 78),
-            (16, 83), (13, 83), (6, 93), (21, 82), (11, 9),
+            (1, 92),
+            (3, 96),
+            (12, 86),
+            (5, 94),
+            (15, 85),
+            (8, 78),
+            (16, 83),
+            (13, 83),
+            (6, 93),
+            (21, 82),
+            (11, 9),
         ])
         .unwrap();
         let diagram = QuadrantEngine::Sweeping.build(&ds);

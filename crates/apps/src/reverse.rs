@@ -17,6 +17,7 @@ use skyline_core::geometry::{Coord, Dataset, Point, PointId};
 use skyline_core::skyline::sort_sweep::minima_xy;
 
 /// Naive `O(n²)` reverse skyline, the oracle the index is validated against.
+#[must_use]
 pub fn reverse_skyline_naive(dataset: &Dataset, q: Point) -> Vec<PointId> {
     let mut out: Vec<PointId> = dataset
         .iter()
@@ -73,6 +74,7 @@ impl ReverseSkylineIndex {
     }
 
     /// The reverse skyline of `q`.
+    #[must_use]
     pub fn query(&self, q: Point) -> Vec<PointId> {
         (0..self.points.len() as u32)
             .map(PointId)
@@ -87,9 +89,9 @@ impl ReverseSkylineIndex {
         let qd = ((q.x - p.x).abs(), (q.y - p.y).abs());
         // Staircase entries are the minima of the mapped neighbors; `q` is
         // dominated by some neighbor iff it is dominated by a minimum.
-        !self.staircases[id.index()].iter().any(|&(x, y)| {
-            x <= qd.0 && y <= qd.1 && (x < qd.0 || y < qd.1)
-        })
+        !self.staircases[id.index()]
+            .iter()
+            .any(|&(x, y)| x <= qd.0 && y <= qd.1 && (x < qd.0 || y < qd.1))
     }
 
     /// Number of indexed points.
@@ -110,6 +112,7 @@ impl ReverseSkylineIndex {
 ///
 /// This is the market-impact primitive: "which customers would even look
 /// at a product placed at `q`?"
+#[must_use]
 pub fn bichromatic_reverse_skyline(
     products: &Dataset,
     customers: &Dataset,
@@ -160,10 +163,14 @@ impl BichromaticIndex {
                 stairs
             })
             .collect();
-        BichromaticIndex { customers: customers.points().to_vec(), staircases }
+        BichromaticIndex {
+            customers: customers.points().to_vec(),
+            staircases,
+        }
     }
 
     /// Customers that would see a product at `q` in their dynamic skyline.
+    #[must_use]
     pub fn query(&self, q: Point) -> Vec<PointId> {
         (0..self.customers.len() as u32)
             .map(PointId)
@@ -195,7 +202,9 @@ mod tests {
     fn lcg_dataset(n: usize, domain: i64, seed: u64) -> Dataset {
         let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % domain as u64) as i64
         };
         Dataset::from_coords((0..n).map(|_| (next(), next()))).unwrap()
@@ -284,12 +293,10 @@ mod tests {
         let q = Point::new(13, 17);
         let mono = reverse_skyline_naive(&ds, q);
         for (id, _) in ds.iter() {
-            let others = Dataset::from_coords(
-                ds.iter().filter(|&(o, _)| o != id).map(|(_, p)| (p.x, p.y)),
-            )
-            .unwrap();
-            let single =
-                Dataset::from_coords([(ds.point(id).x, ds.point(id).y)]).unwrap();
+            let others =
+                Dataset::from_coords(ds.iter().filter(|&(o, _)| o != id).map(|(_, p)| (p.x, p.y)))
+                    .unwrap();
+            let single = Dataset::from_coords([(ds.point(id).x, ds.point(id).y)]).unwrap();
             let bi = bichromatic_reverse_skyline(&others, &single, q);
             assert_eq!(mono.contains(&id), !bi.is_empty(), "{id}");
         }

@@ -61,23 +61,23 @@ impl ReverseSkylineDiagram {
         // Interior samples in doubled coordinates keep everything exact;
         // the staircase test is translation-safe, so evaluate against a
         // doubled copy of the dataset.
-        let doubled = Dataset::from_coords(
-            dataset.points().iter().map(|p| (2 * p.x, 2 * p.y)),
-        )
-        .expect("doubling preserves validity");
+        let doubled = Dataset::from_coords(dataset.points().iter().map(|p| (2 * p.x, 2 * p.y)))
+            .expect("doubling preserves validity");
         let doubled_index = ReverseSkylineIndex::new(&doubled);
 
         for j in 0..height as u32 {
             for i in 0..width as u32 {
-                let q = Point::new(
-                    sample(&xlines, i),
-                    sample(&ylines, j),
-                );
+                let q = Point::new(sample(&xlines, i), sample(&ylines, j));
                 let rsl = doubled_index.query(q);
                 cells.push(results.intern_sorted(rsl));
             }
         }
-        ReverseSkylineDiagram { xlines, ylines, results, cells }
+        ReverseSkylineDiagram {
+            xlines,
+            ylines,
+            results,
+            cells,
+        }
     }
 
     /// The reverse skyline for an arbitrary query point (`O(log n)` point
@@ -86,7 +86,8 @@ impl ReverseSkylineDiagram {
     pub fn query(&self, q: Point) -> &[PointId] {
         let i = self.xlines.partition_point(|&x| x <= q.x);
         let j = self.ylines.partition_point(|&y| y <= q.y);
-        self.results.get(self.cells[j * (self.xlines.len() + 1) + i])
+        self.results
+            .get(self.cells[j * (self.xlines.len() + 1) + i])
     }
 
     /// Number of cells.
@@ -140,7 +141,9 @@ mod tests {
     fn lcg_dataset(n: usize, domain: i64, seed: u64) -> Dataset {
         let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % domain as u64) as i64
         };
         Dataset::from_coords((0..n).map(|_| (next(), next()))).unwrap()
@@ -151,8 +154,7 @@ mod tests {
         // Scale the dataset by 4 so odd query coordinates never hit the
         // reflection lines (all line positions are ≡ 0 mod 4).
         let base = lcg_dataset(8, 20, 1);
-        let ds = Dataset::from_coords(base.points().iter().map(|p| (4 * p.x, 4 * p.y)))
-            .unwrap();
+        let ds = Dataset::from_coords(base.points().iter().map(|p| (4 * p.x, 4 * p.y))).unwrap();
         let diagram = ReverseSkylineDiagram::build(&ds);
         let mut q = Point::new(-31, -31);
         while q.x < 90 {
@@ -175,7 +177,10 @@ mod tests {
         // a tiny instance where cells are wide).
         let ds = Dataset::from_coords([(0, 0), (8, 8)]).unwrap();
         let diagram = ReverseSkylineDiagram::build(&ds);
-        assert_eq!(diagram.query(Point::new(1, 1)), diagram.query(Point::new(1, 1)));
+        assert_eq!(
+            diagram.query(Point::new(1, 1)),
+            diagram.query(Point::new(1, 1))
+        );
         assert!(diagram.cell_count() > 9);
         assert!(diagram.distinct_results() >= 2);
     }
@@ -200,8 +205,7 @@ mod tests {
     #[test]
     fn ties_are_handled() {
         let ds = Dataset::from_coords([(2, 2), (2, 2), (6, 2)]).unwrap();
-        let scaled =
-            Dataset::from_coords(ds.points().iter().map(|p| (4 * p.x, 4 * p.y))).unwrap();
+        let scaled = Dataset::from_coords(ds.points().iter().map(|p| (4 * p.x, 4 * p.y))).unwrap();
         let diagram = ReverseSkylineDiagram::build(&scaled);
         for qx in [-5i64, 1, 9, 17, 31] {
             for qy in [-5i64, 1, 9, 17] {

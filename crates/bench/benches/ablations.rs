@@ -25,9 +25,11 @@ fn bench(c: &mut Criterion) {
     });
 
     let ds3 = highd_dataset(15, 3, Distribution::Independent);
-    group.bench_with_input(BenchmarkId::new("highd_scanning", "union"), &ds3, |b, ds| {
-        b.iter(|| HighDEngine::Scanning.build(ds))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("highd_scanning", "union"),
+        &ds3,
+        |b, ds| b.iter(|| HighDEngine::Scanning.build(ds)),
+    );
     group.bench_with_input(
         BenchmarkId::new("highd_scanning", "inclusion_exclusion"),
         &ds3,
@@ -36,7 +38,9 @@ fn bench(c: &mut Criterion) {
 
     let diagram = QuadrantEngine::Sweeping.build(&ds);
     group.bench_function("merge/union_find", |b| b.iter(|| merge(&diagram)));
-    group.bench_function("merge/flood_fill", |b| b.iter(|| merge_flood_fill(&diagram)));
+    group.bench_function("merge/flood_fill", |b| {
+        b.iter(|| merge_flood_fill(&diagram))
+    });
 
     // k-skyband engines (k = 3) and the literal Algorithm 4.
     group.bench_function("skyband/baseline_k3", |b| {

@@ -12,11 +12,9 @@ fn bench(c: &mut Criterion) {
     for s in [16i64, 256, 4096] {
         let ds = domain_dataset(200, s, Distribution::Independent);
         for engine in QuadrantEngine::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(engine.name(), s),
-                &ds,
-                |b, ds| b.iter(|| engine.build(ds)),
-            );
+            group.bench_with_input(BenchmarkId::new(engine.name(), s), &ds, |b, ds| {
+                b.iter(|| engine.build(ds))
+            });
         }
     }
     group.finish();

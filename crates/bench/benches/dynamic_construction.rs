@@ -15,11 +15,9 @@ fn bench(c: &mut Criterion) {
             if engine == DynamicEngine::Baseline && n > 20 {
                 continue; // O(n⁵): keep the suite fast
             }
-            group.bench_with_input(
-                BenchmarkId::new(engine.name(), n),
-                &ds,
-                |b, ds| b.iter(|| engine.build(ds)),
-            );
+            group.bench_with_input(BenchmarkId::new(engine.name(), n), &ds, |b, ds| {
+                b.iter(|| engine.build(ds))
+            });
         }
     }
     group.finish();

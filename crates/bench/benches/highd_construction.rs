@@ -12,11 +12,9 @@ fn bench(c: &mut Criterion) {
     for d in [2usize, 3, 4] {
         let ds = highd_dataset(15, d, Distribution::Independent);
         for engine in HighDEngine::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(engine.name(), d),
-                &ds,
-                |b, ds| b.iter(|| engine.build(ds)),
-            );
+            group.bench_with_input(BenchmarkId::new(engine.name(), d), &ds, |b, ds| {
+                b.iter(|| engine.build(ds))
+            });
         }
     }
     group.finish();

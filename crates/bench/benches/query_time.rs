@@ -24,7 +24,11 @@ fn bench(c: &mut Criterion) {
             b.iter(|| qs.iter().map(|&q| diagram.query(q).len()).sum::<usize>())
         });
         group.bench_with_input(BenchmarkId::new("from_scratch", n), &queries, |b, qs| {
-            b.iter(|| qs.iter().map(|&q| query::quadrant_skyline(&ds, q).len()).sum::<usize>())
+            b.iter(|| {
+                qs.iter()
+                    .map(|&q| query::quadrant_skyline(&ds, q).len())
+                    .sum::<usize>()
+            })
         });
     }
     group.finish();

@@ -70,7 +70,12 @@ fn e10_extensions() {
         let b = time_ms(2, || skyband::build_baseline(&ds, k));
         let i = time_ms(2, || skyband::build_incremental(&ds, k));
         let d = skyband::build_incremental(&ds, k);
-        println!("| {k} | {} | {} | {} |", fmt_ms(b), fmt_ms(i), d.result((0, 0)).len());
+        println!(
+            "| {k} | {} | {} | {} |",
+            fmt_ms(b),
+            fmt_ms(i),
+            d.result((0, 0)).len()
+        );
     }
 
     println!("\n### literal Algorithm 4 vs corner-key sweeping (general position)\n");
@@ -94,7 +99,9 @@ fn e10_extensions() {
             }
             seed_offset += 1;
         };
-        let a4 = time_ms(2, || skyline_core::quadrant::algorithm4::build(&ds).unwrap());
+        let a4 = time_ms(2, || {
+            skyline_core::quadrant::algorithm4::build(&ds).unwrap()
+        });
         let sw = time_ms(2, || QuadrantEngine::Sweeping.build(&ds));
         println!("| {n} | {} | {} |", fmt_ms(a4), fmt_ms(sw));
     }
@@ -143,16 +150,28 @@ fn e9_applications() {
             })
             .sum::<usize>()
     });
-    println!("| moving-query itinerary | 100 random segments, n = 200 | {} |", fmt_ms(t));
+    println!(
+        "| moving-query itinerary | 100 random segments, n = 200 | {} |",
+        fmt_ms(t)
+    );
 
     let auth = AuthenticatedDiagram::new(&ds, diagram.clone());
     let root = auth.root();
     let t = time_ms(3, || {
-        queries.iter().filter(|&&q| verify(&auth.query(&ds, q), &root)).count()
+        queries
+            .iter()
+            .filter(|&&q| verify(&auth.query(&ds, q), &root))
+            .count()
     });
-    println!("| authenticated query + verify | 1000 queries, n = 200 | {} |", fmt_ms(t));
+    println!(
+        "| authenticated query + verify | 1000 queries, n = 200 | {} |",
+        fmt_ms(t)
+    );
     let t = time_ms(2, || AuthenticatedDiagram::new(&ds, diagram.clone()));
-    println!("| Merkle tree construction | n = 200 diagram | {} |", fmt_ms(t));
+    println!(
+        "| Merkle tree construction | n = 200 diagram | {} |",
+        fmt_ms(t)
+    );
 
     let server = PirServer::new(&diagram);
     let params = server.client_params(&diagram);
@@ -173,7 +192,9 @@ fn e9_applications() {
     let t = time_ms(2, || ReverseSkylineIndex::new(&ds));
     println!("| reverse-skyline index build | n = 200 | {} |", fmt_ms(t));
     let index = ReverseSkylineIndex::new(&ds);
-    let t = time_ms(3, || queries.iter().map(|&q| index.query(q).len()).sum::<usize>());
+    let t = time_ms(3, || {
+        queries.iter().map(|&q| index.query(q).len()).sum::<usize>()
+    });
     println!("| reverse-skyline queries | 1000 queries | {} |", fmt_ms(t));
 
     let small = sweep_dataset(12, Distribution::Independent);
@@ -194,7 +215,10 @@ fn e9_applications() {
         fmt_ms(t)
     );
     let t = time_ms(3, || serialize::decode_cell_diagram(&bytes).expect("valid"));
-    println!("| diagram deserialization (validated) | same | {} |", fmt_ms(t));
+    println!(
+        "| diagram deserialization (validated) | same | {} |",
+        fmt_ms(t)
+    );
     println!();
 }
 
@@ -313,7 +337,9 @@ fn e5_diagram_statistics() {
 
 /// E6: query latency — precomputed diagram lookup vs from-scratch.
 fn e6_query_time() {
-    println!("## E6 — query time: diagram lookup vs from-scratch (independent data, 10k queries)\n");
+    println!(
+        "## E6 — query time: diagram lookup vs from-scratch (independent data, 10k queries)\n"
+    );
     println!("| n | lookup (quadrant) | scratch (quadrant) | lookup (global) | scratch (global) | quadrant speedup |");
     println!("|---|---|---|---|---|---|");
     let mut rng = StdRng::seed_from_u64(1);
@@ -327,16 +353,28 @@ fn e6_query_time() {
         let global_diag = global::build(&ds, QuadrantEngine::Sweeping);
 
         let lookup_q = time_ms(3, || {
-            queries.iter().map(|&q| quadrant_diag.query(q).len()).sum::<usize>()
+            queries
+                .iter()
+                .map(|&q| quadrant_diag.query(q).len())
+                .sum::<usize>()
         });
         let scratch_q = time_ms(3, || {
-            queries.iter().map(|&q| query::quadrant_skyline(&ds, q).len()).sum::<usize>()
+            queries
+                .iter()
+                .map(|&q| query::quadrant_skyline(&ds, q).len())
+                .sum::<usize>()
         });
         let lookup_g = time_ms(3, || {
-            queries.iter().map(|&q| global_diag.query(q).len()).sum::<usize>()
+            queries
+                .iter()
+                .map(|&q| global_diag.query(q).len())
+                .sum::<usize>()
         });
         let scratch_g = time_ms(3, || {
-            queries.iter().map(|&q| query::global_skyline(&ds, q).len()).sum::<usize>()
+            queries
+                .iter()
+                .map(|&q| query::global_skyline(&ds, q).len())
+                .sum::<usize>()
         });
         println!(
             "| {n} | {} | {} | {} | {} | {:.0}x |",
@@ -357,12 +395,23 @@ fn e6_query_time() {
         .map(|_| Point::new(rng.gen_range(0..600), rng.gen_range(0..600)))
         .collect();
     let lookup = time_ms(3, || {
-        queries.iter().map(|&q| dyn_diag.query(q).len()).sum::<usize>()
+        queries
+            .iter()
+            .map(|&q| dyn_diag.query(q).len())
+            .sum::<usize>()
     });
     let scratch = time_ms(3, || {
-        queries.iter().map(|&q| query::dynamic_skyline(&ds, q).len()).sum::<usize>()
+        queries
+            .iter()
+            .map(|&q| query::dynamic_skyline(&ds, q).len())
+            .sum::<usize>()
     });
-    println!("| {} | {} | {:.0}x |", fmt_ms(lookup), fmt_ms(scratch), scratch / lookup);
+    println!(
+        "| {} | {} | {:.0}x |",
+        fmt_ms(lookup),
+        fmt_ms(scratch),
+        scratch / lookup
+    );
     println!();
 }
 
@@ -405,7 +454,12 @@ fn e8_ablations() {
             quadrant::dsg_algorithm::build_with_dsg(CellGrid::new(&ds), &dsg)
         });
         let total = time_ms(2, || QuadrantEngine::DirectedSkylineGraph.build(&ds));
-        println!("| {n} | {} | {} | {} |", fmt_ms(graph), fmt_ms(sweep), fmt_ms(total));
+        println!(
+            "| {n} | {} | {} | {} |",
+            fmt_ms(graph),
+            fmt_ms(sweep),
+            fmt_ms(total)
+        );
     }
 
     // (b) High-d scanning: union form vs the paper's inclusion–exclusion.

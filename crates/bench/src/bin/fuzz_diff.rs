@@ -7,9 +7,25 @@
 //! cargo run -p skyline-bench --release --bin fuzz_diff -- --seconds 30
 //! ```
 //!
-//! On a mismatch it prints the offending seed/spec (fully reproducible)
-//! and exits nonzero. This is the long-running companion to the bounded
-//! proptest suites.
+//! Beyond cross-engine agreement, every reference diagram is run through
+//! the full invariant suite in [`skyline_core::invariants`]
+//! **unconditionally** (the engines' own `debug_assert!` hooks are compiled
+//! out in release builds, which is how this harness normally runs): brute
+//! force semantic recompute of every cell, Definition 2 union check for
+//! global diagrams, and the polyomino partition checks for the swept
+//! diagram's merge.
+//!
+//! On a mismatch or invariant violation it prints the offending spec plus
+//! a copy-pasteable one-round repro command, and exits nonzero:
+//!
+//! ```text
+//! MISMATCH in scanning for DatasetSpec { n: 17, ... seed: 12345 }
+//! reproduce with: cargo run -p skyline-bench --release --bin fuzz_diff -- --seed 12345
+//! ```
+//!
+//! `--seed N` replays exactly that round (the spec is derived from the
+//! seed alone, so the seed is the minimal repro). This is the long-running
+//! companion to the bounded proptest suites.
 
 use std::time::{Duration, Instant};
 
@@ -17,25 +33,35 @@ use skyline_core::dynamic::DynamicEngine;
 use skyline_core::geometry::Dataset;
 use skyline_core::global;
 use skyline_core::highd::HighDEngine;
+use skyline_core::invariants::{self, CellSemantics, FULL_SAMPLE};
 use skyline_core::quadrant::QuadrantEngine;
 use skyline_data::{DatasetSpec, Distribution};
 
 fn main() {
     let mut seconds = 10u64;
+    let mut repro_seed: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        let mut int_arg = |name: &str| {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{name} needs an integer");
+                std::process::exit(2);
+            })
+        };
         if arg == "--seconds" {
-            seconds = args
-                .next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| {
-                    eprintln!("--seconds needs an integer");
-                    std::process::exit(2);
-                });
+            seconds = int_arg("--seconds");
+        } else if arg == "--seed" {
+            repro_seed = Some(int_arg("--seed"));
         } else {
-            eprintln!("unknown argument {arg:?}; usage: fuzz_diff [--seconds N]");
+            eprintln!("unknown argument {arg:?}; usage: fuzz_diff [--seconds N] [--seed SEED]");
             std::process::exit(2);
         }
+    }
+
+    if let Some(seed) = repro_seed {
+        round(seed, true);
+        println!("seed {seed}: all engine families agreed and all invariants held");
+        return;
     }
 
     let deadline = Instant::now() + Duration::from_secs(seconds);
@@ -43,37 +69,76 @@ fn main() {
     let mut seed = 0xF00D_u64;
 
     while Instant::now() < deadline {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        let pick = |m: u64, options: &[i64]| options[(seed >> (m * 7)) as usize % options.len()];
-
-        let distribution = Distribution::ALL[(seed >> 3) as usize % 3];
-        let n = pick(1, &[3, 8, 17, 33, 50]) as usize;
-        let domain = pick(2, &[3, 7, 30, 1000]);
-        let spec = DatasetSpec { n, dims: 2, domain, distribution, seed };
-
-        let ds = spec.build_2d();
-        check_quadrant(&spec, &ds);
-        check_global(&spec, &ds);
-        if n <= 12 {
-            check_dynamic(&spec, &ds);
-        }
-        if rounds % 4 == 0 {
-            let dims = 3 + (seed >> 11) as usize % 2;
-            let spec3 = DatasetSpec { n: n.min(11), dims, domain, distribution, seed };
-            check_highd(&spec3);
-        }
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        round(seed, rounds % 4 == 0);
         rounds += 1;
     }
-    println!("fuzz_diff: {rounds} rounds, all engine families agreed");
+    println!("fuzz_diff: {rounds} rounds, all engine families agreed and all invariants held");
+}
+
+/// One fully seed-determined fuzzing round: dataset generation, every
+/// cross-engine check, and the unconditional invariant validation.
+fn round(seed: u64, with_highd: bool) {
+    let pick = |m: u64, options: &[i64]| options[(seed >> (m * 7)) as usize % options.len()];
+
+    let distribution = Distribution::ALL[(seed >> 3) as usize % 3];
+    let n = pick(1, &[3, 8, 17, 33, 50]) as usize;
+    let domain = pick(2, &[3, 7, 30, 1000]);
+    let spec = DatasetSpec {
+        n,
+        dims: 2,
+        domain,
+        distribution,
+        seed,
+    };
+
+    let ds = spec.build_2d();
+    check_quadrant(&spec, &ds);
+    check_global(&spec, &ds);
+    if n <= 12 {
+        check_dynamic(&spec, &ds);
+    }
+    if with_highd {
+        let dims = 3 + (seed >> 11) as usize % 2;
+        let spec3 = DatasetSpec {
+            n: n.min(11),
+            dims,
+            domain,
+            distribution,
+            seed,
+        };
+        check_highd(&spec3);
+    }
+}
+
+/// Semantic recompute budget: exhaustive for small grids, a deterministic
+/// 512-cell sample for the largest rounds so throughput stays useful.
+fn budget(n: usize) -> usize {
+    if n <= 20 {
+        FULL_SAMPLE
+    } else {
+        512
+    }
 }
 
 fn fail(what: &str, spec: &DatasetSpec) -> ! {
     eprintln!("MISMATCH in {what} for {spec:?}");
+    eprintln!(
+        "reproduce with: cargo run -p skyline-bench --release --bin fuzz_diff -- --seed {}",
+        spec.seed
+    );
     std::process::exit(1);
 }
 
 fn check_quadrant(spec: &DatasetSpec, ds: &Dataset) {
     let reference = QuadrantEngine::Baseline.build(ds);
+    if let Err(v) =
+        invariants::validate_cell_diagram(ds, &reference, CellSemantics::Quadrant, budget(spec.n))
+    {
+        fail(&format!("quadrant invariants: {v}"), spec);
+    }
     for engine in QuadrantEngine::ALL {
         if !engine.build(ds).same_results(&reference) {
             fail(engine.name(), spec);
@@ -90,10 +155,14 @@ fn check_quadrant(spec: &DatasetSpec, ds: &Dataset) {
         Ok(decoded) if decoded.same_results(&reference) => {}
         _ => fail("serialize-roundtrip", spec),
     }
+    // The swept diagram's polyomino merge must be a valid maximal partition.
+    let swept = skyline_core::quadrant::sweeping::build(ds);
+    if let Err(v) = invariants::validate_merged_cells(&swept.cell_diagram, &swept.merged) {
+        fail(&format!("swept merge invariants: {v}"), spec);
+    }
     // Literal Algorithm 4 vs corner-key polyomino count (general position
     // only; bounded-domain rounds are skipped by the tie check inside).
     if let Ok(walks) = skyline_core::quadrant::algorithm4::build(ds) {
-        let swept = skyline_core::quadrant::sweeping::build(ds);
         let nonempty = swept
             .merged
             .polyominoes
@@ -108,6 +177,11 @@ fn check_quadrant(spec: &DatasetSpec, ds: &Dataset) {
 
 fn check_global(spec: &DatasetSpec, ds: &Dataset) {
     let reference = global::build(ds, QuadrantEngine::Baseline);
+    if let Err(v) =
+        invariants::validate_cell_diagram(ds, &reference, CellSemantics::Global, budget(spec.n))
+    {
+        fail(&format!("global invariants: {v}"), spec);
+    }
     if !global::build(ds, QuadrantEngine::Sweeping).same_results(&reference) {
         fail("global-sweeping", spec);
     }
@@ -115,10 +189,17 @@ fn check_global(spec: &DatasetSpec, ds: &Dataset) {
 
 fn check_dynamic(spec: &DatasetSpec, ds: &Dataset) {
     let reference = DynamicEngine::Baseline.build(ds);
+    if let Err(v) = invariants::validate_subcell_diagram(ds, &reference, budget(spec.n)) {
+        fail(&format!("dynamic invariants: {v}"), spec);
+    }
     for engine in DynamicEngine::ALL {
         if !engine.build(ds).same_results(&reference) {
             fail(engine.name(), spec);
         }
+    }
+    let merged = skyline_core::diagram::merge::merge_subcells(&reference);
+    if let Err(v) = invariants::validate_merged_subcells(&reference, &merged) {
+        fail(&format!("dynamic merge invariants: {v}"), spec);
     }
 }
 

@@ -17,18 +17,38 @@ pub const BASE_SEED: u64 = 20180417; // ICDE 2018 main-conference week
 /// with `n` (10 values per point) so general position dominates, matching
 /// the unbounded-domain analyses; E2 varies the domain explicitly.
 pub fn sweep_dataset(n: usize, distribution: Distribution) -> Dataset {
-    DatasetSpec { n, dims: 2, domain: 10 * n as i64, distribution, seed: BASE_SEED }
-        .build_2d()
+    DatasetSpec {
+        n,
+        dims: 2,
+        domain: 10 * n as i64,
+        distribution,
+        seed: BASE_SEED,
+    }
+    .build_2d()
 }
 
 /// Planar dataset with an explicit domain size (experiment E2).
 pub fn domain_dataset(n: usize, domain: i64, distribution: Distribution) -> Dataset {
-    DatasetSpec { n, dims: 2, domain, distribution, seed: BASE_SEED }.build_2d()
+    DatasetSpec {
+        n,
+        dims: 2,
+        domain,
+        distribution,
+        seed: BASE_SEED,
+    }
+    .build_2d()
 }
 
 /// d-dimensional dataset for the high-dimensional sweeps (experiment E4).
 pub fn highd_dataset(n: usize, dims: usize, distribution: Distribution) -> DatasetD {
-    DatasetSpec { n, dims, domain: 10 * n as i64, distribution, seed: BASE_SEED }.build_d()
+    DatasetSpec {
+        n,
+        dims,
+        domain: 10 * n as i64,
+        distribution,
+        seed: BASE_SEED,
+    }
+    .build_d()
 }
 
 /// Milliseconds for one run of `f`, minimized over `reps` runs (reduces
@@ -69,7 +89,10 @@ mod tests {
             sweep_dataset(50, Distribution::Independent)
         );
         assert_eq!(highd_dataset(20, 3, Distribution::Correlated).dims(), 3);
-        assert_eq!(domain_dataset(50, 16, Distribution::Anticorrelated).len(), 50);
+        assert_eq!(
+            domain_dataset(50, 16, Distribution::Anticorrelated).len(),
+            50
+        );
     }
 
     #[test]

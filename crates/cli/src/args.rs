@@ -57,19 +57,27 @@ impl Args {
         let mut iter = raw.into_iter();
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                let value =
-                    iter.next().ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
                 flags.insert(name.to_string(), value);
             } else {
                 positionals.push(arg);
             }
         }
-        Ok(Args { positionals, flags, consumed: Default::default() })
+        Ok(Args {
+            positionals,
+            flags,
+            consumed: Default::default(),
+        })
     }
 
     /// Positional argument `idx`, required.
     pub fn positional(&self, idx: usize, what: &'static str) -> Result<&str, ArgError> {
-        self.positionals.get(idx).map(String::as_str).ok_or(ArgError::Required(what))
+        self.positionals
+            .get(idx)
+            .map(String::as_str)
+            .ok_or(ArgError::Required(what))
     }
 
     /// Number of positionals.
@@ -98,9 +106,9 @@ impl Args {
     pub fn get_i64(&self, flag: &str, default: i64) -> Result<i64, ArgError> {
         match self.get(flag) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| {
-                ArgError::BadValue(flag.to_string(), v.to_string(), "integer")
-            }),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError::BadValue(flag.to_string(), v.to_string(), "integer")),
         }
     }
 
@@ -117,8 +125,12 @@ impl Args {
     /// Errors if any provided flag was never consumed by an accessor.
     pub fn reject_unknown(&self) -> Result<(), ArgError> {
         let consumed = self.consumed.borrow();
-        let mut unknown: Vec<String> =
-            self.flags.keys().filter(|k| !consumed.contains(*k)).cloned().collect();
+        let mut unknown: Vec<String> = self
+            .flags
+            .keys()
+            .filter(|k| !consumed.contains(*k))
+            .cloned()
+            .collect();
         if unknown.is_empty() {
             Ok(())
         } else {
@@ -152,7 +164,10 @@ mod tests {
         let args = parse(&[]);
         assert_eq!(args.get_or("engine", "sweeping"), "sweeping");
         assert_eq!(args.get_usize("n", 42).unwrap(), 42);
-        assert_eq!(args.positional(0, "input"), Err(ArgError::Required("input")));
+        assert_eq!(
+            args.positional(0, "input"),
+            Err(ArgError::Required("input"))
+        );
     }
 
     #[test]
@@ -164,19 +179,27 @@ mod tests {
     #[test]
     fn bad_value() {
         let args = parse(&["--n", "xyz"]);
-        assert!(matches!(args.get_usize("n", 0), Err(ArgError::BadValue(..))));
+        assert!(matches!(
+            args.get_usize("n", 0),
+            Err(ArgError::BadValue(..))
+        ));
     }
 
     #[test]
     fn unknown_flags_detected() {
         let args = parse(&["--bogus", "1", "--n", "5"]);
         let _ = args.get_usize("n", 0);
-        assert_eq!(args.reject_unknown(), Err(ArgError::Unknown(vec!["bogus".into()])));
+        assert_eq!(
+            args.reject_unknown(),
+            Err(ArgError::Unknown(vec!["bogus".into()]))
+        );
     }
 
     #[test]
     fn error_display() {
-        assert!(ArgError::MissingValue("x".into()).to_string().contains("--x"));
+        assert!(ArgError::MissingValue("x".into())
+            .to_string()
+            .contains("--x"));
         assert!(ArgError::Required("input").to_string().contains("input"));
         assert!(ArgError::Unknown(vec!["a".into(), "b".into()])
             .to_string()

@@ -123,15 +123,11 @@ pub fn cmd_build(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 
     let bytes = match kind.as_str() {
         "quadrant" => serialize::encode_cell_diagram(&engine.build(&dataset)),
-        "skyband" => serialize::encode_cell_diagram(
-            &skyline_core::skyband::build_incremental(&dataset, k as u32),
-        ),
-        "global" => {
-            serialize::encode_cell_diagram(&skyline_core::global::build(&dataset, engine))
-        }
-        "dynamic" => serialize::encode_subcell_diagram(
-            &DynamicEngine::Scanning.build(&dataset),
-        ),
+        "skyband" => serialize::encode_cell_diagram(&skyline_core::skyband::build_incremental(
+            &dataset, k as u32,
+        )),
+        "global" => serialize::encode_cell_diagram(&skyline_core::global::build(&dataset, engine)),
+        "dynamic" => serialize::encode_subcell_diagram(&DynamicEngine::Scanning.build(&dataset)),
         other => {
             return Err(CliError::Other(format!(
                 "unknown kind {other:?}; expected quadrant, global, dynamic or skyband"
@@ -179,12 +175,14 @@ fn parse_point(text: &str) -> Result<Point, CliError> {
     if parts.len() != 2 {
         return Err(CliError::Other(format!("expected x,y but found {text:?}")));
     }
-    let x = parts[0].trim().parse().map_err(|_| {
-        CliError::Other(format!("bad x coordinate {:?}", parts[0].trim()))
-    })?;
-    let y = parts[1].trim().parse().map_err(|_| {
-        CliError::Other(format!("bad y coordinate {:?}", parts[1].trim()))
-    })?;
+    let x = parts[0]
+        .trim()
+        .parse()
+        .map_err(|_| CliError::Other(format!("bad x coordinate {:?}", parts[0].trim())))?;
+    let y = parts[1]
+        .trim()
+        .parse()
+        .map_err(|_| CliError::Other(format!("bad y coordinate {:?}", parts[1].trim())))?;
     Ok(Point::new(x, y))
 }
 
@@ -199,7 +197,12 @@ pub fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let merged = merge(&diagram);
     let stats = diagram.stats();
     writeln!(out, "points:            {}", dataset.len())?;
-    writeln!(out, "grid:              {} x {} lines", diagram.grid().nx(), diagram.grid().ny())?;
+    writeln!(
+        out,
+        "grid:              {} x {} lines",
+        diagram.grid().nx(),
+        diagram.grid().ny()
+    )?;
     writeln!(out, "cells:             {}", stats.cell_count)?;
     writeln!(out, "polyominoes:       {}", merged.len())?;
     writeln!(out, "distinct results:  {}", stats.distinct_results)?;
@@ -268,10 +271,13 @@ pub fn cmd_trace(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 
     let diagram = engine.build(&dataset);
     let steps = skyline_apps::continuous::trace_segment(&diagram, from, to);
-    writeln!(out, "route {from} -> {to}: {} result changes", steps.len() - 1)?;
+    writeln!(
+        out,
+        "route {from} -> {to}: {} result changes",
+        steps.len() - 1
+    )?;
     for step in steps {
-        let names: Vec<String> =
-            step.result.iter().map(|id| format!("p{}", id.0)).collect();
+        let names: Vec<String> = step.result.iter().map(|id| format!("p{}", id.0)).collect();
         writeln!(
             out,
             "  t in [{:.4}, {:.4}]  {{{}}}",
@@ -350,8 +356,11 @@ mod tests {
         let diagram_path = dir.join("hotel.skyd");
         let diagram_str = diagram_path.to_str().unwrap();
 
-        let msg =
-            run(cmd_build, &["hotel", "--out", diagram_str, "--engine", "scanning"]).unwrap();
+        let msg = run(
+            cmd_build,
+            &["hotel", "--out", diagram_str, "--engine", "scanning"],
+        )
+        .unwrap();
         assert!(msg.contains("wrote"));
 
         let answer = run(cmd_query, &[diagram_str, "--at", "12,81"]).unwrap();
@@ -365,8 +374,11 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("hotel-band.skyd");
         let path_str = path.to_str().unwrap();
-        run(cmd_build, &["hotel", "--out", path_str, "--kind", "skyband", "--k", "2"])
-            .unwrap();
+        run(
+            cmd_build,
+            &["hotel", "--out", path_str, "--kind", "skyband", "--k", "2"],
+        )
+        .unwrap();
         // Serialized skyband diagrams answer like any cell diagram; the
         // 2-band at (12, 81) adds p5 and p7 to the skyline {p8, p10}
         // (0-based: p4, p6, p7, p9).
@@ -380,11 +392,14 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("hotel-dyn.skyd");
         let path_str = path.to_str().unwrap();
-        run(cmd_build, &["hotel", "--out", path_str, "--kind", "dynamic"]).unwrap();
+        run(
+            cmd_build,
+            &["hotel", "--out", path_str, "--kind", "dynamic"],
+        )
+        .unwrap();
         // (19, 50) lies strictly inside a subcell; its dynamic skyline in
         // the reconstruction is {p6, p10} (0-based: p5, p9).
-        let answer =
-            run(cmd_query, &[path_str, "--at", "19,50", "--kind", "dynamic"]).unwrap();
+        let answer = run(cmd_query, &[path_str, "--at", "19,50", "--kind", "dynamic"]).unwrap();
         assert!(answer.contains("{p5, p9}"), "{answer}");
     }
 
@@ -415,11 +430,7 @@ mod tests {
 
     #[test]
     fn trace_produces_tiling_itinerary() {
-        let text = run(
-            cmd_trace,
-            &["hotel", "--from", "0,0", "--to", "25,100"],
-        )
-        .unwrap();
+        let text = run(cmd_trace, &["hotel", "--from", "0,0", "--to", "25,100"]).unwrap();
         assert!(text.contains("result changes"));
         assert!(text.contains("t in [0.0000"));
         assert!(text.trim_end().ends_with('}'));
@@ -438,7 +449,10 @@ mod tests {
     #[test]
     fn bad_inputs_error_cleanly() {
         assert!(matches!(
-            run(cmd_build, &["hotel", "--out", "/tmp/x.skyd", "--engine", "warp"]),
+            run(
+                cmd_build,
+                &["hotel", "--out", "/tmp/x.skyd", "--engine", "warp"]
+            ),
             Err(CliError::Other(_))
         ));
         assert!(matches!(

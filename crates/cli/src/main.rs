@@ -9,8 +9,7 @@ use std::process::ExitCode;
 
 use args::Args;
 use commands::{
-    cmd_ascii, cmd_build, cmd_gen, cmd_query, cmd_render, cmd_report, cmd_stats, cmd_trace,
-    USAGE,
+    cmd_ascii, cmd_build, cmd_gen, cmd_query, cmd_render, cmd_report, cmd_stats, cmd_trace, USAGE,
 };
 
 fn main() -> ExitCode {
@@ -21,26 +20,28 @@ fn main() -> ExitCode {
     };
     let rest: Vec<String> = raw.collect();
 
-    let result = Args::parse(rest).map_err(commands::CliError::Args).and_then(|args| {
-        let mut stdout = std::io::stdout().lock();
-        match subcommand.as_str() {
-            "gen" => cmd_gen(&args, &mut stdout),
-            "build" => cmd_build(&args, &mut stdout),
-            "query" => cmd_query(&args, &mut stdout),
-            "stats" => cmd_stats(&args, &mut stdout),
-            "render" => cmd_render(&args, &mut stdout),
-            "ascii" => cmd_ascii(&args, &mut stdout),
-            "trace" => cmd_trace(&args, &mut stdout),
-            "report" => cmd_report(&args, &mut stdout),
-            "help" | "--help" | "-h" => {
-                print!("{USAGE}");
-                Ok(())
+    let result = Args::parse(rest)
+        .map_err(commands::CliError::Args)
+        .and_then(|args| {
+            let mut stdout = std::io::stdout().lock();
+            match subcommand.as_str() {
+                "gen" => cmd_gen(&args, &mut stdout),
+                "build" => cmd_build(&args, &mut stdout),
+                "query" => cmd_query(&args, &mut stdout),
+                "stats" => cmd_stats(&args, &mut stdout),
+                "render" => cmd_render(&args, &mut stdout),
+                "ascii" => cmd_ascii(&args, &mut stdout),
+                "trace" => cmd_trace(&args, &mut stdout),
+                "report" => cmd_report(&args, &mut stdout),
+                "help" | "--help" | "-h" => {
+                    print!("{USAGE}");
+                    Ok(())
+                }
+                other => Err(commands::CliError::Other(format!(
+                    "unknown subcommand {other:?}; run `skydiag help`"
+                ))),
             }
-            other => Err(commands::CliError::Other(format!(
-                "unknown subcommand {other:?}; run `skydiag help`"
-            ))),
-        }
-    });
+        });
 
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -12,6 +12,51 @@ use crate::diagram::{CellDiagram, ClipBox};
 use crate::geometry::{CellIndex, Coord, PointId};
 use crate::result_set::ResultId;
 
+/// Size statistics of a diagram, reported by the experiments harness.
+/// Produced by [`CellDiagram::stats`] (which delegates to
+/// [`diagram_stats`]; the float average is computed here so the diagram
+/// layer itself stays integer-exact).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiagramStats {
+    /// Number of skyline cells (`(nx + 1) * (ny + 1)`).
+    pub cell_count: usize,
+    /// Number of distinct skyline results across all cells.
+    pub distinct_results: usize,
+    /// Total point ids stored after interning — the diagram's real memory
+    /// footprint in ids, versus `cell_count * avg_result_len` without it.
+    pub interned_ids: usize,
+    /// Mean skyline size over cells.
+    pub avg_result_len: f64,
+    /// Largest skyline over cells.
+    pub max_result_len: usize,
+}
+
+/// Computes [`DiagramStats`] for a diagram.
+#[must_use]
+pub fn diagram_stats(diagram: &CellDiagram) -> DiagramStats {
+    let cells = diagram.cell_results();
+    let mut multiplicity: HashMap<ResultId, usize> = HashMap::new();
+    for &rid in cells {
+        *multiplicity.entry(rid).or_default() += 1;
+    }
+    let cell_count = cells.len();
+    let total_result_len: usize = cells
+        .iter()
+        .map(|&rid| diagram.results().get(rid).len())
+        .sum();
+    DiagramStats {
+        cell_count,
+        distinct_results: multiplicity.len(),
+        interned_ids: diagram.results().total_ids(),
+        avg_result_len: total_result_len as f64 / cell_count as f64,
+        max_result_len: cells
+            .iter()
+            .map(|&rid| diagram.results().get(rid).len())
+            .max()
+            .unwrap_or(0),
+    }
+}
+
 /// One entry of the result distribution.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ResultShare {
@@ -79,11 +124,7 @@ pub fn result_distribution(diagram: &CellDiagram, window: ClipBox) -> Vec<Result
 
 /// Probability that a uniform query in `window` has point `p` in its
 /// quadrant skyline: the area share of regions whose result contains `p`.
-pub fn containment_probability(
-    diagram: &CellDiagram,
-    window: ClipBox,
-    p: PointId,
-) -> f64 {
+pub fn containment_probability(diagram: &CellDiagram, window: ClipBox, p: PointId) -> f64 {
     let total = (window.x_max - window.x_min) * (window.y_max - window.y_min);
     let hit: i64 = result_distribution(diagram, window)
         .into_iter()
@@ -129,7 +170,12 @@ mod tests {
         // Points (0,0), (10,10); window [-2,12]²  (area 196).
         let ds = Dataset::from_coords([(0, 0), (10, 10)]).unwrap();
         let d = QuadrantEngine::Baseline.build(&ds);
-        let w = ClipBox { x_min: -2, x_max: 12, y_min: -2, y_max: 12 };
+        let w = ClipBox {
+            x_min: -2,
+            x_max: 12,
+            y_min: -2,
+            y_max: 12,
+        };
         let dist = result_distribution(&d, w);
         let lookup = |ids: &[u32]| -> i64 {
             dist.iter()
@@ -167,7 +213,12 @@ mod tests {
         let ds = Dataset::from_coords([(0, 0), (5, 5)]).unwrap();
         let d = QuadrantEngine::Baseline.build(&ds);
         // Entirely beyond all points: only the empty result.
-        let w = ClipBox { x_min: 100, x_max: 110, y_min: 100, y_max: 110 };
+        let w = ClipBox {
+            x_min: 100,
+            x_max: 110,
+            y_min: 100,
+            y_max: 110,
+        };
         let dist = result_distribution(&d, w);
         assert_eq!(dist.len(), 1);
         assert!(dist[0].ids.is_empty());
@@ -181,7 +232,12 @@ mod tests {
         let d = QuadrantEngine::Baseline.build(&ds);
         let _ = result_distribution(
             &d,
-            ClipBox { x_min: 5, x_max: 5, y_min: 0, y_max: 1 },
+            ClipBox {
+                x_min: 5,
+                x_max: 5,
+                y_min: 0,
+                y_max: 1,
+            },
         );
     }
 }

@@ -17,6 +17,7 @@
 
 use std::collections::HashMap;
 
+use crate::geometry::conv::lattice_index;
 use crate::geometry::{CellGrid, CellIndex, Coord, Point};
 
 /// Clip window for unbounded polyominoes, in data coordinates.
@@ -83,10 +84,13 @@ impl Dir {
 pub fn boundary_loops(grid: &CellGrid, cells: &[CellIndex], clip: ClipBox) -> Vec<Vec<Point>> {
     let in_set: std::collections::HashSet<CellIndex> = cells.iter().copied().collect();
     let occupied = |i: i64, j: i64| -> bool {
-        if i < 0 || j < 0 {
-            return false;
+        // Coordinates outside u32 (including negatives) cannot be grid
+        // cells; TryFrom makes that a lookup miss rather than a truncating
+        // cast that could alias a real cell.
+        match (u32::try_from(i), u32::try_from(j)) {
+            (Ok(i), Ok(j)) => in_set.contains(&(i, j)),
+            _ => false,
         }
-        in_set.contains(&(i as u32, j as u32))
     };
 
     // Directed boundary edges, interior on the left, keyed by start vertex.
@@ -94,7 +98,7 @@ pub fn boundary_loops(grid: &CellGrid, cells: &[CellIndex], clip: ClipBox) -> Ve
     let mut edges: HashMap<(i64, i64), Vec<Dir>> = HashMap::new();
     let mut push = |from: (i64, i64), dir: Dir| edges.entry(from).or_default().push(dir);
     for &(ci, cj) in cells.iter() {
-        let (i, j) = (ci as i64, cj as i64);
+        let (i, j) = (i64::from(ci), i64::from(cj));
         if !occupied(i, j - 1) {
             push((i, j), Dir::East); // bottom edge, interior above
         }
@@ -119,7 +123,9 @@ pub fn boundary_loops(grid: &CellGrid, cells: &[CellIndex], clip: ClipBox) -> Ve
             let mut at = first_dir.step(start);
             let mut heading = first_dir;
             while at != start {
-                let out = edges.get_mut(&at).expect("boundary edges form closed loops");
+                let out = edges
+                    .get_mut(&at)
+                    .expect("boundary edges form closed loops");
                 let dir = *heading
                     .turn_preference()
                     .iter()
@@ -144,19 +150,19 @@ fn simplify(grid: &CellGrid, walk: Vec<((i64, i64), Dir)>, clip: ClipBox) -> Vec
     let coord_x = |i: i64| -> Coord {
         if i <= 0 {
             clip.x_min
-        } else if i as usize > xs.len() {
+        } else if lattice_index(i) > xs.len() {
             clip.x_max
         } else {
-            xs[i as usize - 1]
+            xs[lattice_index(i) - 1]
         }
     };
     let coord_y = |j: i64| -> Coord {
         if j <= 0 {
             clip.y_min
-        } else if j as usize > ys.len() {
+        } else if lattice_index(j) > ys.len() {
             clip.y_max
         } else {
-            ys[j as usize - 1]
+            ys[lattice_index(j) - 1]
         }
     };
     let n = walk.len();
@@ -250,13 +256,17 @@ mod tests {
     fn donut_yields_outer_and_hole_loops() {
         // A 3x3 ring of cells around a hole needs a larger grid: use 4
         // points -> 5x5 cells.
-        let ds =
-            Dataset::from_coords([(10, 10), (20, 20), (30, 30), (40, 40)]).unwrap();
+        let ds = Dataset::from_coords([(10, 10), (20, 20), (30, 30), (40, 40)]).unwrap();
         let g = CellGrid::new(&ds);
         let ring: Vec<CellIndex> = vec![
-            (1, 1), (2, 1), (3, 1),
-            (1, 2),         (3, 2),
-            (1, 3), (2, 3), (3, 3),
+            (1, 1),
+            (2, 1),
+            (3, 1),
+            (1, 2),
+            (3, 2),
+            (1, 3),
+            (2, 3),
+            (3, 3),
         ];
         let loops = boundary_loops(&g, &ring, ClipBox::around(&g));
         assert_eq!(loops.len(), 2);

@@ -5,13 +5,12 @@
 //! [`crate::diagram::merge`]. Results are interned (see
 //! [`crate::result_set`]) so the dense per-cell array holds one `u32` each.
 
-use std::collections::HashMap;
-
 use crate::geometry::{CellGrid, CellIndex, Point, PointId};
 use crate::result_set::{ResultId, ResultInterner};
 
 /// A skyline diagram at cell granularity.
 #[derive(Clone, Debug)]
+#[must_use]
 pub struct CellDiagram {
     grid: CellGrid,
     results: ResultInterner,
@@ -28,7 +27,11 @@ impl CellDiagram {
         cells: Vec<ResultId>,
     ) -> Self {
         debug_assert_eq!(cells.len(), grid.cell_count());
-        CellDiagram { grid, results, cells }
+        CellDiagram {
+            grid,
+            results,
+            cells,
+        }
     }
 
     /// The underlying cell grid.
@@ -87,43 +90,13 @@ impl CellDiagram {
     }
 
     /// Summary statistics for the E5 experiment table.
-    pub fn stats(&self) -> DiagramStats {
-        let mut multiplicity: HashMap<ResultId, usize> = HashMap::new();
-        for &rid in &self.cells {
-            *multiplicity.entry(rid).or_default() += 1;
-        }
-        let cell_count = self.cells.len();
-        let total_result_len: usize =
-            self.cells.iter().map(|&rid| self.results.get(rid).len()).sum();
-        DiagramStats {
-            cell_count,
-            distinct_results: multiplicity.len(),
-            interned_ids: self.results.total_ids(),
-            avg_result_len: total_result_len as f64 / cell_count as f64,
-            max_result_len: self
-                .cells
-                .iter()
-                .map(|&rid| self.results.get(rid).len())
-                .max()
-                .unwrap_or(0),
-        }
+    ///
+    /// The computation lives in [`crate::analysis`]: it averages in floating
+    /// point, and the diagram layer stays integer-exact (`cargo xtask lint`
+    /// rule `no-float`).
+    pub fn stats(&self) -> crate::analysis::DiagramStats {
+        crate::analysis::diagram_stats(self)
     }
-}
-
-/// Size statistics of a diagram, reported by the experiments harness.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct DiagramStats {
-    /// Number of skyline cells (`(nx + 1) * (ny + 1)`).
-    pub cell_count: usize,
-    /// Number of distinct skyline results across all cells.
-    pub distinct_results: usize,
-    /// Total point ids stored after interning — the diagram's real memory
-    /// footprint in ids, versus `cell_count * avg_result_len` without it.
-    pub interned_ids: usize,
-    /// Mean skyline size over cells.
-    pub avg_result_len: f64,
-    /// Largest skyline over cells.
-    pub max_result_len: usize,
 }
 
 #[cfg(test)]

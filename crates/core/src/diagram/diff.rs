@@ -128,6 +128,80 @@ mod tests {
     }
 
     #[test]
+    fn single_point_dataset_diffs() {
+        // Quadrant vs global diagrams of a single point share the 2x2 grid
+        // but disagree everywhere except the lower-left cell: globally the
+        // point is the skyline in every quadrant, while the open first
+        // quadrant only sees it from below-left.
+        let ds = crate::geometry::Dataset::from_coords([(7, 3)]).unwrap();
+        let q = QuadrantEngine::Sweeping.build(&ds);
+        let g = crate::global::build(&ds, QuadrantEngine::Sweeping);
+        match diff(&q, &g, 10) {
+            DiagramDiff::Differs { total, samples } => {
+                assert_eq!(total, 3);
+                for s in &samples {
+                    assert_ne!(s.cell, (0, 0));
+                    assert!(s.only_left.is_empty());
+                    assert_eq!(s.only_right, vec![PointId(0)]);
+                }
+            }
+            other => panic!("expected differences, found {other:?}"),
+        }
+        // Engines agree with themselves on the degenerate input.
+        let q2 = QuadrantEngine::Baseline.build(&ds);
+        assert_eq!(diff(&q, &q2, 10), DiagramDiff::Identical);
+    }
+
+    #[test]
+    fn fully_tied_coordinates_diff() {
+        // All points identical: every engine must produce the identical
+        // degenerate diagram, and the 2-skyband equals the skyline (there
+        // is no second layer to add — every point is in layer one).
+        let ds = crate::geometry::Dataset::from_coords([(5, 5); 4]).unwrap();
+        let a = QuadrantEngine::Baseline.build(&ds);
+        for engine in QuadrantEngine::ALL {
+            assert_eq!(diff(&a, &engine.build(&ds), 5), DiagramDiff::Identical);
+        }
+        assert_eq!(
+            diff(&a, &skyband::build_baseline(&ds, 2), 5),
+            DiagramDiff::Identical
+        );
+    }
+
+    #[test]
+    fn zero_limit_counts_without_sampling() {
+        let ds = crate::test_data::lcg_dataset(15, 40, 3);
+        let skyline = QuadrantEngine::Baseline.build(&ds);
+        let band = skyband::build_baseline(&ds, 2);
+        match diff(&skyline, &band, 0) {
+            DiagramDiff::Differs { total, samples } => {
+                assert!(total > 0);
+                assert!(samples.is_empty());
+            }
+            other => panic!("expected differences, found {other:?}"),
+        }
+    }
+
+    #[test]
+    fn on_line_query_cells_diff_like_any_other_cell() {
+        // A dataset whose second point sits exactly on the first point's
+        // grid lines' crossing (duplicate coordinate in one axis): the diff
+        // between skyline and 2-skyband localizes to real cells even with
+        // boundary-degenerate geometry.
+        let ds = crate::geometry::Dataset::from_coords([(4, 9), (4, 2), (8, 9)]).unwrap();
+        let skyline = QuadrantEngine::Sweeping.build(&ds);
+        let band = skyband::build_baseline(&ds, 2);
+        if let DiagramDiff::Differs { samples, .. } = diff(&skyline, &band, 100) {
+            for s in &samples {
+                // Every reported difference must be a strict skyband
+                // superset, even in cells bordered by the tied lines.
+                assert!(s.only_left.is_empty(), "at {:?}", s.cell);
+                assert!(!s.only_right.is_empty(), "at {:?}", s.cell);
+            }
+        }
+    }
+
+    #[test]
     fn sample_limit_respected() {
         let ds = crate::test_data::lcg_dataset(15, 40, 3);
         let skyline = QuadrantEngine::Baseline.build(&ds);

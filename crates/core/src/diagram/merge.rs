@@ -9,6 +9,7 @@
 
 use crate::diagram::cell_diagram::CellDiagram;
 use crate::diagram::polyomino::{MergedDiagram, Polyomino};
+use crate::geometry::conv::{narrow, widen};
 
 /// Union–find over linear cell indices.
 struct UnionFind {
@@ -17,14 +18,16 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).collect() }
+        UnionFind {
+            parent: (0..narrow(n)).collect(),
+        }
     }
 
     fn find(&mut self, mut x: u32) -> u32 {
-        while self.parent[x as usize] != x {
+        while self.parent[widen(x)] != x {
             // Path halving.
-            let grand = self.parent[self.parent[x as usize] as usize];
-            self.parent[x as usize] = grand;
+            let grand = self.parent[widen(self.parent[widen(x)])];
+            self.parent[widen(x)] = grand;
             x = grand;
         }
         x
@@ -33,7 +36,7 @@ impl UnionFind {
     fn union(&mut self, a: u32, b: u32) {
         let (ra, rb) = (self.find(a), self.find(b));
         if ra != rb {
-            self.parent[rb as usize] = ra;
+            self.parent[widen(rb)] = ra;
         }
     }
 }
@@ -41,9 +44,9 @@ impl UnionFind {
 /// Merges a cell diagram into its polyomino partition using union–find.
 pub fn merge(diagram: &CellDiagram) -> MergedDiagram {
     let grid = diagram.grid();
-    let width = grid.nx() as usize + 1;
+    let width = widen(grid.nx()) + 1;
     merge_grid(width, diagram.cell_results(), |idx| {
-        ((idx % width) as u32, (idx / width) as u32)
+        (narrow(idx % width), narrow(idx / width))
     })
 }
 
@@ -51,9 +54,9 @@ pub fn merge(diagram: &CellDiagram) -> MergedDiagram {
 /// paper's Section-V merging step). Subcell indices play the role of cell
 /// indices in the output.
 pub fn merge_subcells(diagram: &crate::dynamic::SubcellDiagram) -> MergedDiagram {
-    let width = diagram.grid().mx() as usize + 1;
+    let width = widen(diagram.grid().mx()) + 1;
     merge_grid(width, diagram.cell_results(), |idx| {
-        ((idx % width) as u32, (idx / width) as u32)
+        (narrow(idx % width), narrow(idx / width))
     })
 }
 
@@ -73,15 +76,15 @@ fn merge_grid(
             // Union with the right and upper neighbor when results match —
             // exactly the paper's merging rule.
             if i + 1 < width && cells[idx] == cells[idx + 1] {
-                uf.union(idx as u32, (idx + 1) as u32);
+                uf.union(narrow(idx), narrow(idx + 1));
             }
             if j + 1 < height && cells[idx] == cells[idx + width] {
-                uf.union(idx as u32, (idx + width) as u32);
+                uf.union(narrow(idx), narrow(idx + width));
             }
         }
     }
 
-    collect_components_grid(cells, index_of, |idx| uf.find(idx as u32))
+    collect_components_grid(cells, index_of, |idx| uf.find(narrow(idx)))
 }
 
 /// Flood-fill merging, kept as the ablation/back-to-back check for
@@ -89,8 +92,8 @@ fn merge_grid(
 /// functions normalize to first-cell row-major order).
 pub fn merge_flood_fill(diagram: &CellDiagram) -> MergedDiagram {
     let grid = diagram.grid();
-    let width = grid.nx() as usize + 1;
-    let height = grid.ny() as usize + 1;
+    let width = widen(grid.nx()) + 1;
+    let height = widen(grid.ny()) + 1;
     let cells = diagram.cell_results();
 
     let mut label = vec![u32::MAX; cells.len()];
@@ -156,14 +159,20 @@ fn collect_components_grid(
     for idx in 0..cells.len() {
         let rep = component_of(idx);
         let poly = *poly_index.entry(rep).or_insert_with(|| {
-            polyominoes.push(Polyomino { result: cells[idx], cells: Vec::new() });
-            (polyominoes.len() - 1) as u32
+            polyominoes.push(Polyomino {
+                result: cells[idx],
+                cells: Vec::new(),
+            });
+            narrow(polyominoes.len() - 1)
         });
-        polyominoes[poly as usize].cells.push(index_of(idx));
+        polyominoes[widen(poly)].cells.push(index_of(idx));
         cell_to_polyomino[idx] = poly;
     }
 
-    MergedDiagram { polyominoes, cell_to_polyomino }
+    MergedDiagram {
+        polyominoes,
+        cell_to_polyomino,
+    }
 }
 
 #[cfg(test)]
@@ -270,5 +279,83 @@ mod tests {
         for p in &merged.polyominoes {
             assert!(p.is_connected());
         }
+    }
+
+    #[test]
+    fn single_point_dataset_merges_to_two_polyominoes() {
+        // One point -> a 2x2 cell grid: the lower-left cell sees the point,
+        // the three remaining cells are empty and form one connected L.
+        let ds = Dataset::from_coords([(7, 3)]).unwrap();
+        let d = crate::quadrant::QuadrantEngine::Sweeping.build(&ds);
+        let merged = merge(&d);
+        assert_eq!(merged.len(), 2);
+        let occupied = merged
+            .polyominoes
+            .iter()
+            .find(|p| d.results().get(p.result) == [PointId(0)])
+            .expect("the point's own region exists");
+        assert_eq!(occupied.cells, vec![(0, 0)]);
+        crate::invariants::validate_merged_cells(&d, &merged).unwrap_or_else(|v| panic!("{v}"));
+        assert_eq!(merged.polyominoes, merge_flood_fill(&d).polyominoes);
+
+        // The dynamic diagram of a single point is everywhere {p0}: one
+        // polyomino covering all four subcells.
+        let sd = crate::dynamic::DynamicEngine::Scanning.build(&ds);
+        let smerged = merge_subcells(&sd);
+        assert_eq!(smerged.len(), 1);
+        assert_eq!(smerged.polyominoes[0].area(), sd.grid().subcell_count());
+        crate::invariants::validate_merged_subcells(&sd, &smerged)
+            .unwrap_or_else(|v| panic!("{v}"));
+    }
+
+    #[test]
+    fn fully_tied_coordinates_collapse_to_one_line_per_axis() {
+        // Four copies of the same point: the grid degenerates to a single
+        // line per axis, ties everywhere. No point dominates an identical
+        // copy, so the lower-left cell's skyline is all four ids.
+        let ds = Dataset::from_coords([(5, 5); 4]).unwrap();
+        let d = crate::quadrant::QuadrantEngine::Sweeping.build(&ds);
+        assert_eq!(d.grid().cell_count(), 4);
+        let all: Vec<PointId> = (0..4).map(PointId).collect();
+        assert_eq!(d.result((0, 0)), all.as_slice());
+        let merged = merge(&d);
+        // {all four} in the lower-left cell, empty in the other three.
+        assert_eq!(merged.len(), 2);
+        crate::invariants::validate_merged_cells(&d, &merged).unwrap_or_else(|v| panic!("{v}"));
+
+        // Dynamically all four points are always equidistant, hence always
+        // all in the skyline: the merge is a single polyomino.
+        let sd = crate::dynamic::DynamicEngine::Baseline.build(&ds);
+        let smerged = merge_subcells(&sd);
+        assert_eq!(smerged.len(), 1);
+        assert_eq!(
+            sd.results().get(smerged.polyominoes[0].result),
+            all.as_slice()
+        );
+        crate::invariants::validate_merged_subcells(&sd, &smerged)
+            .unwrap_or_else(|v| panic!("{v}"));
+    }
+
+    #[test]
+    fn on_line_queries_locate_the_greater_side_polyomino() {
+        // Queries exactly on a grid line (here: exactly at p8 = (13, 83) of
+        // the hotel data) resolve to the greater-side cell; the polyomino
+        // point-location must agree with both the cell lookup and the
+        // open-quadrant from-scratch oracle, which excludes p8 itself.
+        let ds = crate::test_data::hotel_dataset();
+        let d = crate::quadrant::QuadrantEngine::Sweeping.build(&ds);
+        let merged = merge(&d);
+        let q = crate::geometry::Point::new(13, 83);
+        let cell = d.grid().cell_of(q);
+        let poly = merged.polyomino_of_cell(d.grid().linear_index(cell));
+        assert_eq!(d.results().get(poly.result), d.query(q));
+        assert_eq!(
+            d.query(q),
+            crate::query::quadrant_skyline(&ds, q).as_slice()
+        );
+        assert!(
+            !d.query(q).contains(&PointId(7)),
+            "open quadrant: a point on the query's axis is not in the skyline"
+        );
     }
 }

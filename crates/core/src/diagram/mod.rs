@@ -8,6 +8,9 @@ pub mod merge;
 mod polyomino;
 
 pub use boundary::{boundary_loops, ClipBox};
-pub use cell_diagram::{CellDiagram, DiagramStats};
+pub use cell_diagram::CellDiagram;
+// Re-exported from `analysis` (where the float-averaging computation lives)
+// so existing `diagram::DiagramStats` imports keep working.
+pub use crate::analysis::DiagramStats;
 pub use diff::{diff, DiagramDiff};
 pub use polyomino::{LabelledPolyomino, MergedDiagram, Polyomino};

@@ -59,6 +59,7 @@ impl Polyomino {
 /// A fully merged skyline diagram: the polyomino partition of the plane plus
 /// a cell → polyomino index for point location.
 #[derive(Clone, Debug)]
+#[must_use]
 pub struct MergedDiagram {
     /// All polyominoes.
     pub polyominoes: Vec<Polyomino>,
@@ -85,7 +86,7 @@ impl MergedDiagram {
     /// The polyomino containing a cell.
     #[inline]
     pub fn polyomino_of_cell(&self, linear_cell: usize) -> &Polyomino {
-        &self.polyominoes[self.cell_to_polyomino[linear_cell] as usize]
+        &self.polyominoes[crate::geometry::conv::widen(self.cell_to_polyomino[linear_cell])]
     }
 
     /// All polyominoes whose result contains the given point — the
@@ -119,7 +120,10 @@ mod tests {
 
     #[test]
     fn area_and_bbox() {
-        let p = Polyomino { result: ResultId(1), cells: vec![(1, 1), (2, 1), (2, 2)] };
+        let p = Polyomino {
+            result: ResultId(1),
+            cells: vec![(1, 1), (2, 1), (2, 2)],
+        };
         assert_eq!(p.area(), 3);
         assert_eq!(p.bounding_box(), (1, 1, 2, 2));
         assert!(p.is_connected());
@@ -127,16 +131,25 @@ mod tests {
 
     #[test]
     fn disconnected_detected() {
-        let p = Polyomino { result: ResultId(1), cells: vec![(0, 0), (2, 2)] };
+        let p = Polyomino {
+            result: ResultId(1),
+            cells: vec![(0, 0), (2, 2)],
+        };
         assert!(!p.is_connected());
         // Diagonal adjacency does not count as connected.
-        let q = Polyomino { result: ResultId(1), cells: vec![(0, 0), (1, 1)] };
+        let q = Polyomino {
+            result: ResultId(1),
+            cells: vec![(0, 0), (1, 1)],
+        };
         assert!(!q.is_connected());
     }
 
     #[test]
     fn empty_polyomino_is_not_connected() {
-        let p = Polyomino { result: ResultId(0), cells: vec![] };
+        let p = Polyomino {
+            result: ResultId(0),
+            cells: vec![],
+        };
         assert!(!p.is_connected());
     }
 
@@ -150,8 +163,9 @@ mod tests {
         let d = QuadrantEngine::Sweeping.build(&ds);
         let merged = merge(&d);
         for (id, _) in ds.iter() {
-            let regions: Vec<_> =
-                merged.regions_containing(id, |rid| d.results().get(rid)).collect();
+            let regions: Vec<_> = merged
+                .regions_containing(id, |rid| d.results().get(rid))
+                .collect();
             // Every region's result actually contains the point; total
             // cell coverage equals a direct scan over all cells.
             let covered: usize = regions.iter().map(|p| p.area()).sum();

@@ -50,14 +50,8 @@ pub fn dominates_coords(p: &[Coord], q: &[Coord]) -> bool {
 /// `p` dominates `p'` iff `|p - q|` dominates `|p' - q|` componentwise.
 #[inline]
 pub fn dominates_dynamic(p: Point, other: Point, q: Point) -> bool {
-    let pd = (
-        (p.x - q.x).abs(),
-        (p.y - q.y).abs(),
-    );
-    let od = (
-        (other.x - q.x).abs(),
-        (other.y - q.y).abs(),
-    );
+    let pd = ((p.x - q.x).abs(), (p.y - q.y).abs());
+    let od = ((other.x - q.x).abs(), (other.y - q.y).abs());
     pd.0 <= od.0 && pd.1 <= od.1 && (pd.0 < od.0 || pd.1 < od.1)
 }
 
@@ -133,7 +127,12 @@ mod tests {
 
     #[test]
     fn dominance_is_irreflexive_and_antisymmetric() {
-        let pts = [Point::new(0, 0), Point::new(1, 0), Point::new(0, 1), Point::new(1, 1)];
+        let pts = [
+            Point::new(0, 0),
+            Point::new(1, 0),
+            Point::new(0, 1),
+            Point::new(1, 1),
+        ];
         for &a in &pts {
             assert!(!dominates(a, a));
             for &b in &pts {
@@ -144,7 +143,12 @@ mod tests {
 
     #[test]
     fn d_dimensional_matches_planar() {
-        let cases = [((1, 1), (2, 2)), ((1, 3), (2, 2)), ((5, 5), (5, 5)), ((0, 7), (0, 9))];
+        let cases = [
+            ((1, 1), (2, 2)),
+            ((1, 3), (2, 2)),
+            ((5, 5), (5, 5)),
+            ((0, 7), (0, 9)),
+        ];
         for ((ax, ay), (bx, by)) in cases {
             let a = Point::new(ax, ay);
             let b = Point::new(bx, by);

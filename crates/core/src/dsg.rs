@@ -62,7 +62,11 @@ impl DirectedSkylineGraph {
         for ch in &mut children {
             ch.sort_unstable();
         }
-        DirectedSkylineGraph { parents, children, layers }
+        DirectedSkylineGraph {
+            parents,
+            children,
+            layers,
+        }
     }
 
     /// Builds the DSG of a d-dimensional dataset. Direct parents are the
@@ -97,7 +101,11 @@ impl DirectedSkylineGraph {
         for ch in &mut children {
             ch.sort_unstable();
         }
-        DirectedSkylineGraph { parents, children, layers }
+        DirectedSkylineGraph {
+            parents,
+            children,
+            layers,
+        }
     }
 
     /// Number of points (nodes).
@@ -126,6 +134,7 @@ impl DirectedSkylineGraph {
 
     /// Skyline layers; `layers()[0]` is the dataset's skyline.
     #[inline]
+    #[must_use]
     pub fn layers(&self) -> &[Vec<PointId>] {
         &self.layers
     }
@@ -199,6 +208,7 @@ impl DeletionSweep {
     }
 
     /// Current skyline as sorted ids.
+    #[must_use]
     pub fn skyline_ids(&self) -> Vec<PointId> {
         let mut ids = Vec::with_capacity(self.skyline_size);
         for (idx, &is_sky) in self.in_skyline.iter().enumerate() {
@@ -305,7 +315,9 @@ mod tests {
                 assert!(dsg.children(p).contains(&c));
             }
         }
-        let forward: usize = (0..ds.len() as u32).map(|i| dsg.parents(PointId(i)).len()).sum();
+        let forward: usize = (0..ds.len() as u32)
+            .map(|i| dsg.parents(PointId(i)).len())
+            .sum();
         assert_eq!(forward, dsg.link_count());
     }
 

@@ -23,8 +23,7 @@ pub fn build(dataset: &Dataset) -> SubcellDiagram {
     for j in 0..height as u32 {
         for i in 0..width as u32 {
             let sample = grid.sample_x4((i, j));
-            let sky =
-                dynamic_minima_at_sample(dataset, all.iter().copied(), sample, &mut scratch);
+            let sky = dynamic_minima_at_sample(dataset, all.iter().copied(), sample, &mut scratch);
             cells.push(results.intern_sorted(sky));
         }
     }
@@ -42,8 +41,7 @@ mod tests {
         let ds = crate::test_data::lcg_dataset(8, 40, 1);
         let d = build(&ds);
         // Oracle in quadrupled coordinates at each subcell sample.
-        let scaled =
-            Dataset::from_coords(ds.points().iter().map(|p| (4 * p.x, 4 * p.y))).unwrap();
+        let scaled = Dataset::from_coords(ds.points().iter().map(|p| (4 * p.x, 4 * p.y))).unwrap();
         for sc in d.grid().subcells() {
             let sample = d.grid().sample_x4(sc);
             assert_eq!(
@@ -81,6 +79,9 @@ mod tests {
         let ds = Dataset::from_coords([(0, 0), (10, 10)]).unwrap();
         let d = build(&ds);
         // Query (4, 6): |0-4| = 4 < 6, |10-4| = 6; y mirrored.
-        assert_eq!(d.query(crate::geometry::Point::new(4, 6)), &[PointId(0), PointId(1)]);
+        assert_eq!(
+            d.query(crate::geometry::Point::new(4, 6)),
+            &[PointId(0), PointId(1)]
+        );
     }
 }

@@ -99,6 +99,7 @@ impl SubcellGridD {
 
 /// A d-dimensional dynamic skyline diagram.
 #[derive(Clone, Debug)]
+#[must_use]
 pub struct SubcellDiagramD {
     grid: SubcellGridD,
     results: ResultInterner,
@@ -113,7 +114,8 @@ impl SubcellDiagramD {
 
     /// The dynamic skyline of a subcell.
     pub fn result(&self, subcell: &[u32]) -> &[PointId] {
-        self.results.get(self.cells[self.grid.linear_index(subcell)])
+        self.results
+            .get(self.cells[self.grid.linear_index(subcell)])
     }
 
     /// The dynamic skyline for an arbitrary query point (exact off subcell
@@ -156,7 +158,9 @@ fn dynamic_minima(
         .iter()
         .enumerate()
         .filter(|&(i, _)| {
-            !mapped.iter().any(|other| dominates_coords(other, &mapped[i]))
+            !mapped
+                .iter()
+                .any(|other| dominates_coords(other, &mapped[i]))
         })
         .map(|(_, &id)| id)
         .collect();
@@ -231,7 +235,11 @@ fn build_with_candidates_owned(
         cells.push(results.intern_sorted(sky));
     }
 
-    SubcellDiagramD { grid, results, cells }
+    SubcellDiagramD {
+        grid,
+        results,
+        cells,
+    }
 }
 
 #[cfg(test)]
@@ -242,7 +250,9 @@ mod tests {
     fn lcg(n: usize, d: usize, domain: i64, seed: u64) -> DatasetD {
         let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % domain as u64) as i64
         };
         DatasetD::from_rows((0..n).map(|_| (0..d).map(|_| next()).collect::<Vec<_>>())).unwrap()
@@ -251,9 +261,7 @@ mod tests {
     fn naive_dynamic(dataset: &DatasetD, q: &PointD) -> Vec<PointId> {
         let mut out: Vec<PointId> = dataset
             .iter()
-            .filter(|(_, p)| {
-                !dataset.iter().any(|(_, o)| dominates_dynamic_d(o, p, q))
-            })
+            .filter(|(_, p)| !dataset.iter().any(|(_, o)| dominates_dynamic_d(o, p, q)))
             .map(|(id, _)| id)
             .collect();
         out.sort_unstable();

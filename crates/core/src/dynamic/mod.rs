@@ -11,8 +11,8 @@
 pub mod baseline;
 pub mod highd;
 pub mod scanning;
-pub mod subset;
 mod subcell;
+pub mod subset;
 
 pub use subcell::{SubcellGrid, SubcellIndex};
 
@@ -23,6 +23,7 @@ use crate::skyline::sort_sweep::minima_xy;
 
 /// A dynamic skyline diagram at subcell granularity.
 #[derive(Clone, Debug)]
+#[must_use]
 pub struct SubcellDiagram {
     grid: SubcellGrid,
     results: ResultInterner,
@@ -47,7 +48,11 @@ impl SubcellDiagram {
         cells: Vec<ResultId>,
     ) -> Self {
         debug_assert_eq!(cells.len(), grid.subcell_count());
-        SubcellDiagram { grid, results, cells }
+        SubcellDiagram {
+            grid,
+            results,
+            cells,
+        }
     }
 
     /// The underlying subcell grid.
@@ -121,8 +126,11 @@ pub enum DynamicEngine {
 
 impl DynamicEngine {
     /// All engines, for exhaustive cross-validation and benches.
-    pub const ALL: [DynamicEngine; 3] =
-        [DynamicEngine::Baseline, DynamicEngine::Subset, DynamicEngine::Scanning];
+    pub const ALL: [DynamicEngine; 3] = [
+        DynamicEngine::Baseline,
+        DynamicEngine::Subset,
+        DynamicEngine::Scanning,
+    ];
 
     /// Short stable name, used in bench ids and experiment tables.
     pub fn name(self) -> &'static str {
@@ -150,11 +158,22 @@ impl DynamicEngine {
     /// # Ok::<(), skyline_core::Error>(())
     /// ```
     pub fn build(self, dataset: &Dataset) -> SubcellDiagram {
-        match self {
+        let diagram = match self {
             DynamicEngine::Baseline => baseline::build(dataset),
             DynamicEngine::Subset => subset::build(dataset, QuadrantEngine::Sweeping),
             DynamicEngine::Scanning => scanning::build(dataset),
+        };
+        // Debug builds spot-check the output against the from-scratch oracle
+        // (see `crate::invariants`); release builds pay nothing.
+        #[cfg(debug_assertions)]
+        if let Err(violation) = crate::invariants::validate_subcell_diagram(
+            dataset,
+            &diagram,
+            crate::invariants::DEBUG_SAMPLE_BUDGET,
+        ) {
+            debug_assert!(false, "{} engine: {violation}", self.name());
         }
+        diagram
     }
 }
 
@@ -170,7 +189,11 @@ pub(crate) fn dynamic_minima_at_sample(
     scratch.clear();
     scratch.extend(candidates.into_iter().map(|id| {
         let p = dataset.point(id);
-        ((4 * p.x - sample_x4.x).abs(), (4 * p.y - sample_x4.y).abs(), id)
+        (
+            (4 * p.x - sample_x4.x).abs(),
+            (4 * p.y - sample_x4.y).abs(),
+            id,
+        )
     }));
     minima_xy(scratch)
 }
@@ -196,7 +219,11 @@ mod tests {
         let ds = crate::test_data::lcg_dataset(12, 30, 5);
         let reference = DynamicEngine::Baseline.build(&ds);
         for engine in DynamicEngine::ALL {
-            assert!(engine.build(&ds).same_results(&reference), "{}", engine.name());
+            assert!(
+                engine.build(&ds).same_results(&reference),
+                "{}",
+                engine.name()
+            );
         }
     }
 
@@ -210,8 +237,7 @@ mod tests {
         // exactly in quadrupled coordinates (4q + 1).
         let ds = crate::test_data::hotel_dataset();
         let d = DynamicEngine::Scanning.build(&ds);
-        let scaled =
-            Dataset::from_coords(ds.points().iter().map(|p| (4 * p.x, 4 * p.y))).unwrap();
+        let scaled = Dataset::from_coords(ds.points().iter().map(|p| (4 * p.x, 4 * p.y))).unwrap();
         let nudged = crate::query::dynamic_skyline(&scaled, Point::new(41, 321));
         assert_eq!(d.query(Point::new(10, 80)), nudged.as_slice());
         // The exact on-boundary answer is the paper's {p6, p11}, available

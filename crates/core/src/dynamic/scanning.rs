@@ -34,12 +34,8 @@ pub fn build(dataset: &Dataset) -> SubcellDiagram {
     let mut candidates: Vec<PointId> = Vec::with_capacity(dataset.len());
 
     // Seed subcell (0, 0) from scratch.
-    let mut column0 = dynamic_minima_at_sample(
-        dataset,
-        dataset.ids(),
-        grid.sample_x4((0, 0)),
-        &mut scratch,
-    );
+    let mut column0 =
+        dynamic_minima_at_sample(dataset, dataset.ids(), grid.sample_x4((0, 0)), &mut scratch);
     cells[0] = results.intern_sorted(column0.clone());
 
     for j in 0..height as u32 {
@@ -89,7 +85,10 @@ mod tests {
     fn matches_baseline_on_random_data() {
         for seed in 0..4 {
             let ds = crate::test_data::lcg_dataset(10, 60, seed);
-            assert!(build(&ds).same_results(&baseline::build(&ds)), "seed {seed}");
+            assert!(
+                build(&ds).same_results(&baseline::build(&ds)),
+                "seed {seed}"
+            );
         }
     }
 
@@ -97,7 +96,10 @@ mod tests {
     fn matches_baseline_under_heavy_ties() {
         for seed in 0..4 {
             let ds = crate::test_data::lcg_dataset(10, 5, 90 + seed);
-            assert!(build(&ds).same_results(&baseline::build(&ds)), "seed {seed}");
+            assert!(
+                build(&ds).same_results(&baseline::build(&ds)),
+                "seed {seed}"
+            );
         }
     }
 

@@ -69,17 +69,25 @@ impl SubcellGrid {
     pub(crate) fn from_lines(xlines: Vec<Coord>, ylines: Vec<Coord>) -> Self {
         let x_contributors = vec![Vec::new(); xlines.len()];
         let y_contributors = vec![Vec::new(); ylines.len()];
-        SubcellGrid { xlines, ylines, x_contributors, y_contributors }
+        SubcellGrid {
+            xlines,
+            ylines,
+            x_contributors,
+            y_contributors,
+        }
     }
 
     /// Builds the subcell grid for a dataset: `O(n²)` line positions per
     /// dimension, `O(n² log n)` construction.
     pub fn new(dataset: &Dataset) -> Self {
-        let (xlines, x_contributors) =
-            build_axis(dataset.iter().map(|(id, p)| (p.x, id)));
-        let (ylines, y_contributors) =
-            build_axis(dataset.iter().map(|(id, p)| (p.y, id)));
-        SubcellGrid { xlines, ylines, x_contributors, y_contributors }
+        let (xlines, x_contributors) = build_axis(dataset.iter().map(|(id, p)| (p.x, id)));
+        let (ylines, y_contributors) = build_axis(dataset.iter().map(|(id, p)| (p.y, id)));
+        SubcellGrid {
+            xlines,
+            ylines,
+            x_contributors,
+            y_contributors,
+        }
     }
 
     /// Number of distinct vertical lines.

@@ -54,12 +54,8 @@ pub fn build_with_global(
         for i in 0..width as u32 {
             let sample = grid.sample_x4((i, j));
             let candidates = global.result((cell_x_of[i as usize], cell_y_of[j as usize]));
-            let sky = dynamic_minima_at_sample(
-                dataset,
-                candidates.iter().copied(),
-                sample,
-                &mut scratch,
-            );
+            let sky =
+                dynamic_minima_at_sample(dataset, candidates.iter().copied(), sample, &mut scratch);
             cells.push(results.intern_sorted(sky));
         }
     }
@@ -105,7 +101,11 @@ mod tests {
         let ds = crate::test_data::lcg_dataset(9, 25, 77);
         let reference = build(&ds, QuadrantEngine::Baseline);
         for engine in QuadrantEngine::ALL {
-            assert!(build(&ds, engine).same_results(&reference), "{}", engine.name());
+            assert!(
+                build(&ds, engine).same_results(&reference),
+                "{}",
+                engine.name()
+            );
         }
     }
 }

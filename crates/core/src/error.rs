@@ -42,7 +42,10 @@ impl fmt::Display for Error {
             }
             Error::UnknownPoint(id) => write!(f, "unknown point id {id}"),
             Error::RequiresGeneralPosition => {
-                write!(f, "algorithm requires pairwise distinct coordinates per axis")
+                write!(
+                    f,
+                    "algorithm requires pairwise distinct coordinates per axis"
+                )
             }
         }
     }
@@ -61,11 +64,17 @@ mod tests {
     fn display_messages_are_informative() {
         assert_eq!(Error::EmptyDataset.to_string(), "dataset is empty");
         assert_eq!(
-            Error::DimensionMismatch { expected: 2, found: 3 }.to_string(),
+            Error::DimensionMismatch {
+                expected: 2,
+                found: 3
+            }
+            .to_string(),
             "dimension mismatch: expected 2, found 3"
         );
         assert!(Error::UnsupportedDimension(9).to_string().contains('9'));
-        assert!(Error::CoordinateOverflow(1 << 62).to_string().contains("too large"));
+        assert!(Error::CoordinateOverflow(1 << 62)
+            .to_string()
+            .contains("too large"));
         assert!(Error::UnknownPoint(7).to_string().contains('7'));
     }
 

@@ -1,0 +1,60 @@
+//! Checked index conversions for the exact-arithmetic layers.
+//!
+//! `cargo xtask lint` bans numeric `as` casts in the geometry and diagram
+//! modules (rule `no-as-cast`): `as` silently truncates, and cell/rank
+//! indices cross between `u32` (the stored form, matching [`PointId`]) and
+//! `usize` (slice indexing) constantly. These helpers make every crossing
+//! either provably lossless or a loud panic naming the broken invariant.
+//!
+//! [`PointId`]: crate::geometry::PointId
+
+/// Narrows a count or index to the `u32` stored form.
+///
+/// Ranks, cell coordinates, and polyomino ids are all bounded by the number
+/// of points or grid lines, and point ids are `u32` by construction — so
+/// this only fails on inputs far beyond the paper's `n ≤ 10⁶` regime, and
+/// it fails loudly instead of wrapping.
+#[inline]
+pub(crate) fn narrow(i: usize) -> u32 {
+    u32::try_from(i).expect("index is bounded by the u32 point/cell count and fits in u32")
+}
+
+/// Widens a stored `u32` index for slice indexing. Lossless on the 32- and
+/// 64-bit targets this crate supports.
+#[inline]
+pub(crate) fn widen(i: u32) -> usize {
+    usize::try_from(i).expect("u32 always fits in usize on the supported 32/64-bit targets")
+}
+
+/// Converts a signed lattice coordinate to a slice index. Callers check
+/// non-negativity first (boundary walks step one unit past the grid on
+/// purpose); a negative value here is a walk-logic bug, not bad input.
+#[inline]
+pub(crate) fn lattice_index(i: i64) -> usize {
+    usize::try_from(i).expect("lattice coordinate is non-negative once clip checks passed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        assert_eq!(narrow(0), 0);
+        assert_eq!(narrow(4_000_000_000), 4_000_000_000u32);
+        assert_eq!(widen(u32::MAX), u32::MAX as usize);
+        assert_eq!(lattice_index(7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "fits in u32")]
+    fn narrow_rejects_oversized() {
+        let _ = narrow(usize::try_from(u64::from(u32::MAX) + 1).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn lattice_index_rejects_negative() {
+        let _ = lattice_index(-1);
+    }
+}

@@ -1,6 +1,7 @@
 //! Datasets: validated collections of seed points.
 
 use crate::error::{Error, Result};
+use crate::geometry::conv::narrow;
 use crate::geometry::point::{Coord, Point, PointD, PointId, MAX_COORD};
 
 /// A validated planar dataset: the `n` seed points the diagram is built over.
@@ -63,7 +64,10 @@ impl Dataset {
 
     /// The point with the given id, or an error for out-of-range ids.
     pub fn try_point(&self, id: PointId) -> Result<Point> {
-        self.points.get(id.index()).copied().ok_or(Error::UnknownPoint(id.0))
+        self.points
+            .get(id.index())
+            .copied()
+            .ok_or(Error::UnknownPoint(id.0))
     }
 
     /// All points, indexable by `PointId::index`.
@@ -74,12 +78,15 @@ impl Dataset {
 
     /// Iterator of `(id, point)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (PointId, Point)> + '_ {
-        self.points.iter().enumerate().map(|(i, &p)| (PointId(i as u32), p))
+        self.points
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (PointId(narrow(i)), p))
     }
 
     /// Ids of all points, in order.
     pub fn ids(&self) -> impl Iterator<Item = PointId> {
-        (0..self.points.len() as u32).map(PointId)
+        (0..narrow(self.points.len())).map(PointId)
     }
 
     /// Converts to a d-dimensional dataset (d = 2), for cross-validating the
@@ -114,7 +121,10 @@ impl DatasetD {
         }
         for p in &points {
             if p.dims() != dims {
-                return Err(Error::DimensionMismatch { expected: dims, found: p.dims() });
+                return Err(Error::DimensionMismatch {
+                    expected: dims,
+                    found: p.dims(),
+                });
             }
             for &c in p.coords() {
                 if c.abs() > MAX_COORD {
@@ -131,7 +141,11 @@ impl DatasetD {
         I: IntoIterator<Item = R>,
         R: AsRef<[Coord]>,
     {
-        DatasetD::new(rows.into_iter().map(|r| PointD::new(r.as_ref().to_vec())).collect())
+        DatasetD::new(
+            rows.into_iter()
+                .map(|r| PointD::new(r.as_ref().to_vec()))
+                .collect(),
+        )
     }
 
     /// Number of points.
@@ -166,7 +180,10 @@ impl DatasetD {
 
     /// Iterator of `(id, point)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (PointId, &PointD)> + '_ {
-        self.points.iter().enumerate().map(|(i, p)| (PointId(i as u32), p))
+        self.points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PointId(narrow(i)), p))
     }
 }
 
@@ -191,7 +208,13 @@ mod tests {
     #[test]
     fn rejects_mixed_dimensions() {
         let res = DatasetD::new(vec![PointD::new(vec![1, 2]), PointD::new(vec![1, 2, 3])]);
-        assert_eq!(res, Err(Error::DimensionMismatch { expected: 2, found: 3 }));
+        assert_eq!(
+            res,
+            Err(Error::DimensionMismatch {
+                expected: 2,
+                found: 3
+            })
+        );
     }
 
     #[test]

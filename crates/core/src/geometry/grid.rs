@@ -20,6 +20,7 @@
 
 use std::collections::HashMap;
 
+use crate::geometry::conv::{narrow, widen};
 use crate::geometry::dataset::Dataset;
 use crate::geometry::point::{Coord, Point, PointId};
 
@@ -66,28 +67,42 @@ impl CellGrid {
         let mut by_yrank = vec![Vec::new(); ys.len()];
 
         for (id, p) in dataset.iter() {
-            let rx = xs.binary_search(&p.x).expect("every x came from the dataset") as u32;
-            let ry = ys.binary_search(&p.y).expect("every y came from the dataset") as u32;
+            let rx = narrow(
+                xs.binary_search(&p.x)
+                    .expect("every x came from the dataset"),
+            );
+            let ry = narrow(
+                ys.binary_search(&p.y)
+                    .expect("every y came from the dataset"),
+            );
             xrank.push(rx);
             yrank.push(ry);
             at_corner.entry((rx, ry)).or_default().push(id);
-            by_xrank[rx as usize].push(id);
-            by_yrank[ry as usize].push(id);
+            by_xrank[widen(rx)].push(id);
+            by_yrank[widen(ry)].push(id);
         }
 
-        CellGrid { xs, ys, xrank, yrank, at_corner, by_xrank, by_yrank }
+        CellGrid {
+            xs,
+            ys,
+            xrank,
+            yrank,
+            at_corner,
+            by_xrank,
+            by_yrank,
+        }
     }
 
     /// Number of distinct x coordinates (vertical grid lines).
     #[inline]
     pub fn nx(&self) -> u32 {
-        self.xs.len() as u32
+        narrow(self.xs.len())
     }
 
     /// Number of distinct y coordinates (horizontal grid lines).
     #[inline]
     pub fn ny(&self) -> u32 {
-        self.ys.len() as u32
+        narrow(self.ys.len())
     }
 
     /// Number of cells: `(nx + 1) * (ny + 1)`.
@@ -123,13 +138,13 @@ impl CellGrid {
     /// Points whose x coordinate has the given rank.
     #[inline]
     pub fn points_with_xrank(&self, rank: u32) -> &[PointId] {
-        &self.by_xrank[rank as usize]
+        &self.by_xrank[widen(rank)]
     }
 
     /// Points whose y coordinate has the given rank.
     #[inline]
     pub fn points_with_yrank(&self, rank: u32) -> &[PointId] {
-        &self.by_yrank[rank as usize]
+        &self.by_yrank[widen(rank)]
     }
 
     /// Points located exactly at the grid intersection `(xs[i], ys[j])`.
@@ -145,28 +160,28 @@ impl CellGrid {
     /// The cell containing the query point. Queries exactly on a grid line
     /// are assigned to the greater-side cell (see module docs).
     pub fn cell_of(&self, q: Point) -> CellIndex {
-        let i = self.xs.partition_point(|&x| x <= q.x) as u32;
-        let j = self.ys.partition_point(|&y| y <= q.y) as u32;
+        let i = narrow(self.xs.partition_point(|&x| x <= q.x));
+        let j = narrow(self.ys.partition_point(|&y| y <= q.y));
         (i, j)
     }
 
     /// Linear (row-major) index of a cell, for dense per-cell storage.
     #[inline]
     pub fn linear_index(&self, (i, j): CellIndex) -> usize {
-        j as usize * (self.xs.len() + 1) + i as usize
+        widen(j) * (self.xs.len() + 1) + widen(i)
     }
 
     /// Inverse of [`CellGrid::linear_index`].
     #[inline]
     pub fn cell_from_linear(&self, idx: usize) -> CellIndex {
         let width = self.xs.len() + 1;
-        ((idx % width) as u32, (idx / width) as u32)
+        (narrow(idx % width), narrow(idx / width))
     }
 
     /// Iterates over all cell indices in row-major order.
     pub fn cells(&self) -> impl Iterator<Item = CellIndex> + '_ {
-        let width = self.xs.len() as u32 + 1;
-        let height = self.ys.len() as u32 + 1;
+        let width = narrow(self.xs.len()) + 1;
+        let height = narrow(self.ys.len()) + 1;
         (0..height).flat_map(move |j| (0..width).map(move |i| (i, j)))
     }
 
@@ -176,8 +191,8 @@ impl CellGrid {
     /// for cells on the lower or left boundary (whose corner is at -∞, i.e.
     /// every point with rank ≥ 0 qualifies automatically in that dimension).
     pub fn lower_left_corner(&self, (i, j): CellIndex) -> (Option<Coord>, Option<Coord>) {
-        let cx = i.checked_sub(1).map(|k| self.xs[k as usize]);
-        let cy = j.checked_sub(1).map(|k| self.ys[k as usize]);
+        let cx = i.checked_sub(1).map(|k| self.xs[widen(k)]);
+        let cy = j.checked_sub(1).map(|k| self.ys[widen(k)]);
         (cx, cy)
     }
 
@@ -208,7 +223,7 @@ impl CellGrid {
 
 /// Sample strictly inside slab `i` of `lines`, in doubled coordinates.
 pub(crate) fn slab_sample_doubled(lines: &[Coord], i: u32) -> Coord {
-    let i = i as usize;
+    let i = widen(i);
     if i == 0 {
         2 * lines[0] - 1
     } else if i == lines.len() {
@@ -221,7 +236,7 @@ pub(crate) fn slab_sample_doubled(lines: &[Coord], i: u32) -> Coord {
 }
 
 fn slab_sample_unscaled(lines: &[Coord], i: u32) -> Option<Coord> {
-    let i = i as usize;
+    let i = widen(i);
     if i == 0 {
         Some(lines[0] - 1)
     } else if i == lines.len() {

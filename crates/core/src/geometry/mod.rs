@@ -1,5 +1,6 @@
 //! Geometric primitives: points, datasets, and the skyline-cell grid.
 
+pub(crate) mod conv;
 mod dataset;
 mod grid;
 mod point;

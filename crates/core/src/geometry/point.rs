@@ -25,7 +25,7 @@ impl PointId {
     /// Index usable for slicing into dataset-parallel arrays.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        crate::geometry::conv::widen(self.0)
     }
 }
 
@@ -57,10 +57,11 @@ impl Point {
     /// Panics if `dim > 1`.
     #[inline]
     pub fn coord(&self, dim: usize) -> Coord {
-        match dim {
-            0 => self.x,
-            1 => self.y,
-            _ => panic!("planar point has no dimension {dim}"),
+        assert!(dim < 2, "planar point has no dimension {dim}");
+        if dim == 0 {
+            self.x
+        } else {
+            self.y
         }
     }
 }

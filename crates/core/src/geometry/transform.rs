@@ -66,8 +66,18 @@ pub fn invert_axis(dataset: &Dataset, axis: Axis) -> Result<Dataset> {
 /// non-negative domain convention, required by nothing in this workspace
 /// but convenient for rendering and CSV diffs.
 pub fn normalize_origin(dataset: &Dataset) -> Result<Dataset> {
-    let min_x = dataset.points().iter().map(|p| p.x).min().expect("nonempty");
-    let min_y = dataset.points().iter().map(|p| p.y).min().expect("nonempty");
+    let min_x = dataset
+        .points()
+        .iter()
+        .map(|p| p.x)
+        .min()
+        .expect("datasets are never empty");
+    let min_y = dataset
+        .points()
+        .iter()
+        .map(|p| p.y)
+        .min()
+        .expect("datasets are never empty");
     translate(dataset, -min_x, -min_y)
 }
 
@@ -137,7 +147,10 @@ mod tests {
         let ds = Dataset::from_coords([(1, 5), (9, 5), (5, 1)]).unwrap();
         let inverted = invert_axis(&ds, Axis::X).unwrap();
         let sky = skyline_2d(&inverted);
-        assert!(sky.contains(&crate::geometry::PointId(1)), "max-x point is now skyline");
+        assert!(
+            sky.contains(&crate::geometry::PointId(1)),
+            "max-x point is now skyline"
+        );
         // Double inversion is the identity up to translation: skylines match.
         let back = invert_axis(&inverted, Axis::X).unwrap();
         assert_eq!(skyline_2d(&back), skyline_2d(&ds));

@@ -55,8 +55,28 @@ pub fn build(dataset: &Dataset, engine: QuadrantEngine) -> CellDiagram {
         }
     }
 
-    let cells = union_acc.into_iter().map(|ids| results.intern_sorted(ids)).collect();
-    CellDiagram::from_parts(grid, results, cells)
+    let cells = union_acc
+        .into_iter()
+        .map(|ids| results.intern_sorted(ids))
+        .collect();
+    let diagram = CellDiagram::from_parts(grid, results, cells);
+    // Debug builds spot-check the output against the from-scratch oracle and
+    // the Definition 2 union (see `crate::invariants`); release builds pay
+    // nothing.
+    #[cfg(debug_assertions)]
+    if let Err(violation) = crate::invariants::validate_cell_diagram(
+        dataset,
+        &diagram,
+        crate::invariants::CellSemantics::Global,
+        crate::invariants::DEBUG_SAMPLE_BUDGET,
+    ) {
+        debug_assert!(
+            false,
+            "global diagram ({} engine): {violation}",
+            engine.name()
+        );
+    }
+    diagram
 }
 
 #[cfg(test)]
@@ -98,7 +118,11 @@ mod tests {
         let ds = crate::test_data::lcg_dataset(30, 40, 11);
         let reference = build(&ds, QuadrantEngine::Baseline);
         for engine in QuadrantEngine::ALL {
-            assert!(build(&ds, engine).same_results(&reference), "{}", engine.name());
+            assert!(
+                build(&ds, engine).same_results(&reference),
+                "{}",
+                engine.name()
+            );
         }
     }
 

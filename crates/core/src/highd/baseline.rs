@@ -44,18 +44,9 @@ mod tests {
 
     #[test]
     fn origin_cell_is_dataset_skyline() {
-        let ds = DatasetD::from_rows([
-            [1i64, 9, 9],
-            [9, 1, 9],
-            [9, 9, 1],
-            [9, 9, 9],
-        ])
-        .unwrap();
+        let ds = DatasetD::from_rows([[1i64, 9, 9], [9, 1, 9], [9, 9, 1], [9, 9, 9]]).unwrap();
         let d = build(&ds);
-        assert_eq!(
-            d.result(&[0, 0, 0]),
-            &[PointId(0), PointId(1), PointId(2)]
-        );
+        assert_eq!(d.result(&[0, 0, 0]), &[PointId(0), PointId(1), PointId(2)]);
     }
 
     #[test]
@@ -68,14 +59,8 @@ mod tests {
 
     #[test]
     fn cell_results_match_naive_orthant_queries() {
-        let ds = DatasetD::from_rows([
-            [3i64, 1, 4],
-            [1, 5, 9],
-            [2, 6, 5],
-            [5, 3, 5],
-            [4, 4, 4],
-        ])
-        .unwrap();
+        let ds = DatasetD::from_rows([[3i64, 1, 4], [1, 5, 9], [2, 6, 5], [5, 3, 5], [4, 4, 4]])
+            .unwrap();
         let d = build(&ds);
         // Spot-check every cell against a filtered naive skyline at the
         // cell's doubled representative.

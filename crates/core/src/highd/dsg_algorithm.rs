@@ -20,7 +20,15 @@ pub fn build(dataset: &DatasetD) -> HighDDiagram {
     let mut cells = vec![results.empty(); grid.cell_count()];
 
     let mut state = DeletionSweep::new(&dsg);
-    recurse(&grid, &dsg, &mut state, grid.dims(), 0, &mut results, &mut cells);
+    recurse(
+        &grid,
+        &dsg,
+        &mut state,
+        grid.dims(),
+        0,
+        &mut results,
+        &mut cells,
+    );
 
     HighDDiagram::from_parts(grid, results, cells)
 }
@@ -51,7 +59,15 @@ fn recurse(
     } else {
         for c in 0..width {
             let mut child = state.clone();
-            recurse(grid, dsg, &mut child, level - 1, base + c * stride, results, cells);
+            recurse(
+                grid,
+                dsg,
+                &mut child,
+                level - 1,
+                base + c * stride,
+                results,
+                cells,
+            );
             if c + 1 < width {
                 state.remove_points(dsg, grid.points_with_rank(dim, c as u32));
             }
@@ -67,7 +83,9 @@ mod tests {
     fn lcg(n: usize, d: usize, domain: i64, seed: u64) -> DatasetD {
         let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % domain as u64) as i64
         };
         DatasetD::from_rows((0..n).map(|_| (0..d).map(|_| next()).collect::<Vec<_>>())).unwrap()
@@ -77,7 +95,10 @@ mod tests {
     fn matches_baseline_3d() {
         for seed in 0..3 {
             let ds = lcg(12, 3, 20, seed);
-            assert!(build(&ds).same_results(&baseline::build(&ds)), "seed {seed}");
+            assert!(
+                build(&ds).same_results(&baseline::build(&ds)),
+                "seed {seed}"
+            );
         }
     }
 
@@ -91,7 +112,10 @@ mod tests {
     fn matches_baseline_3d_with_ties() {
         for seed in 0..3 {
             let ds = lcg(12, 3, 4, 30 + seed);
-            assert!(build(&ds).same_results(&baseline::build(&ds)), "seed {seed}");
+            assert!(
+                build(&ds).same_results(&baseline::build(&ds)),
+                "seed {seed}"
+            );
         }
     }
 

@@ -74,7 +74,9 @@ mod tests {
     fn lcg(n: usize, d: usize, domain: i64, seed: u64) -> DatasetD {
         let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % domain as u64) as i64
         };
         DatasetD::from_rows((0..n).map(|_| (0..d).map(|_| next()).collect::<Vec<_>>())).unwrap()
@@ -107,7 +109,11 @@ mod tests {
         let ds = lcg(9, 3, 15, 4);
         let reference = build(&ds, HighDEngine::Baseline);
         for engine in HighDEngine::ALL {
-            assert!(build(&ds, engine).same_results(&reference), "{}", engine.name());
+            assert!(
+                build(&ds, engine).same_results(&reference),
+                "{}",
+                engine.name()
+            );
         }
     }
 
@@ -115,10 +121,7 @@ mod tests {
     fn d2_matches_planar_global() {
         let planar = crate::test_data::hotel_dataset();
         let hd = build(&planar.to_dataset_d(), HighDEngine::Scanning);
-        let flat = crate::global::build(
-            &planar,
-            crate::quadrant::QuadrantEngine::Scanning,
-        );
+        let flat = crate::global::build(&planar, crate::quadrant::QuadrantEngine::Scanning);
         for cell in flat.grid().cells() {
             assert_eq!(hd.result(&[cell.0, cell.1]), flat.result(cell), "{cell:?}");
         }

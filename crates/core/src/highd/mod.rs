@@ -74,7 +74,14 @@ impl OrthantGrid {
             }
             at_corner.entry(idx).or_default().push(id);
         }
-        OrthantGrid { lines, ranks, by_rank, at_corner, widths, strides }
+        OrthantGrid {
+            lines,
+            ranks,
+            by_rank,
+            at_corner,
+            widths,
+            strides,
+        }
     }
 
     /// Dimensionality.
@@ -162,6 +169,7 @@ impl OrthantGrid {
 
 /// A high-dimensional quadrant skyline diagram at cell granularity.
 #[derive(Clone, Debug)]
+#[must_use]
 pub struct HighDDiagram {
     grid: OrthantGrid,
     results: ResultInterner,
@@ -175,7 +183,11 @@ impl HighDDiagram {
         cells: Vec<ResultId>,
     ) -> Self {
         debug_assert_eq!(cells.len(), grid.cell_count());
-        HighDDiagram { grid, results, cells }
+        HighDDiagram {
+            grid,
+            results,
+            cells,
+        }
     }
 
     /// The underlying grid.
@@ -258,9 +270,7 @@ impl HighDEngine {
             HighDEngine::Baseline => baseline::build(dataset),
             HighDEngine::DirectedSkylineGraph => dsg_algorithm::build(dataset),
             HighDEngine::Scanning => scanning::build(dataset),
-            HighDEngine::ScanningInclusionExclusion => {
-                scanning::build_inclusion_exclusion(dataset)
-            }
+            HighDEngine::ScanningInclusionExclusion => scanning::build_inclusion_exclusion(dataset),
             HighDEngine::Sweeping => sweeping::build(dataset),
         }
     }
@@ -274,7 +284,9 @@ mod tests {
     fn lcg_dataset_d(n: usize, d: usize, domain: i64, seed: u64) -> DatasetD {
         let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % domain as u64) as i64
         };
         DatasetD::from_rows((0..n).map(|_| (0..d).map(|_| next()).collect::<Vec<_>>()))
@@ -311,7 +323,11 @@ mod tests {
         let ds = lcg_dataset_d(12, 3, 15, 3);
         let reference = HighDEngine::Baseline.build(&ds);
         for engine in HighDEngine::ALL {
-            assert!(engine.build(&ds).same_results(&reference), "{}", engine.name());
+            assert!(
+                engine.build(&ds).same_results(&reference),
+                "{}",
+                engine.name()
+            );
         }
     }
 

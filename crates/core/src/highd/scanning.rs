@@ -92,8 +92,11 @@ fn build_impl(dataset: &DatasetD, inclusion_exclusion: bool) -> HighDDiagram {
                     *counts.entry(id).or_insert(0) += sign;
                 }
             }
-            let kept: Vec<PointId> =
-                counts.iter().filter(|&(_, &c)| c >= 1).map(|(&id, _)| id).collect();
+            let kept: Vec<PointId> = counts
+                .iter()
+                .filter(|&(_, &c)| c >= 1)
+                .map(|(&id, _)| id)
+                .collect();
             let sky = bnl::skyline_d_subset(dataset, kept);
             results.intern_sorted(sky)
         } else {
@@ -122,7 +125,9 @@ mod tests {
     fn lcg(n: usize, d: usize, domain: i64, seed: u64) -> DatasetD {
         let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % domain as u64) as i64
         };
         DatasetD::from_rows((0..n).map(|_| (0..d).map(|_| next()).collect::<Vec<_>>())).unwrap()
@@ -132,7 +137,10 @@ mod tests {
     fn union_form_matches_baseline_3d() {
         for seed in 0..3 {
             let ds = lcg(12, 3, 20, seed);
-            assert!(build(&ds).same_results(&baseline::build(&ds)), "seed {seed}");
+            assert!(
+                build(&ds).same_results(&baseline::build(&ds)),
+                "seed {seed}"
+            );
         }
     }
 
@@ -161,7 +169,10 @@ mod tests {
             let ds = lcg(12, 3, 3, 60 + seed);
             let reference = baseline::build(&ds);
             assert!(build(&ds).same_results(&reference), "seed {seed}");
-            assert!(build_inclusion_exclusion(&ds).same_results(&reference), "seed {seed}");
+            assert!(
+                build_inclusion_exclusion(&ds).same_results(&reference),
+                "seed {seed}"
+            );
         }
     }
 

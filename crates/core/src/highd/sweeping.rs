@@ -114,7 +114,9 @@ mod tests {
     fn lcg(n: usize, d: usize, domain: i64, seed: u64) -> DatasetD {
         let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % domain as u64) as i64
         };
         DatasetD::from_rows((0..n).map(|_| (0..d).map(|_| next()).collect::<Vec<_>>())).unwrap()
@@ -124,7 +126,10 @@ mod tests {
     fn matches_baseline_3d() {
         for seed in 0..4 {
             let ds = lcg(12, 3, 25, seed);
-            assert!(build(&ds).same_results(&baseline::build(&ds)), "seed {seed}");
+            assert!(
+                build(&ds).same_results(&baseline::build(&ds)),
+                "seed {seed}"
+            );
         }
     }
 
@@ -138,7 +143,10 @@ mod tests {
     fn matches_baseline_with_ties() {
         for seed in 0..4 {
             let ds = lcg(12, 3, 4, 40 + seed);
-            assert!(build(&ds).same_results(&baseline::build(&ds)), "seed {seed}");
+            assert!(
+                build(&ds).same_results(&baseline::build(&ds)),
+                "seed {seed}"
+            );
         }
     }
 
@@ -159,8 +167,9 @@ mod tests {
         let d = build(&ds);
         // Distinct result ids in the interner (minus the pre-interned
         // empty if unused) can only come from distinct keys.
-        let distinct: std::collections::HashSet<_> =
-            (0..d.grid().cell_count()).map(|i| d.result(&d.grid().cell_from_linear(i)).to_vec()).collect();
+        let distinct: std::collections::HashSet<_> = (0..d.grid().cell_count())
+            .map(|i| d.result(&d.grid().cell_from_linear(i)).to_vec())
+            .collect();
         assert!(distinct.len() < d.grid().cell_count() / 2);
     }
 }

@@ -80,8 +80,16 @@ impl SkylineIndexBuilder {
         let global = self
             .with_global
             .then(|| crate::global::build(dataset, self.engine));
-        let dynamic = self.with_dynamic.then(|| self.dynamic_engine.build(dataset));
-        SkylineIndex { dataset: dataset.clone(), quadrant, merged, global, dynamic }
+        let dynamic = self
+            .with_dynamic
+            .then(|| self.dynamic_engine.build(dataset));
+        SkylineIndex {
+            dataset: dataset.clone(),
+            quadrant,
+            merged,
+            global,
+            dynamic,
+        }
     }
 }
 
@@ -119,6 +127,7 @@ impl SkylineIndex {
 
     /// Global skyline of `q`. Falls back to a from-scratch computation when
     /// the global diagram was not built (allocates in that case).
+    #[must_use]
     pub fn global(&self, q: Point) -> Vec<PointId> {
         match &self.global {
             Some(d) => d.query(q).to_vec(),
@@ -128,6 +137,7 @@ impl SkylineIndex {
 
     /// Dynamic skyline of `q`. Falls back to a from-scratch computation
     /// when the dynamic diagram was not built.
+    #[must_use]
     pub fn dynamic(&self, q: Point) -> Vec<PointId> {
         match &self.dynamic {
             Some(d) => d.query(q).to_vec(),
@@ -139,7 +149,8 @@ impl SkylineIndex {
     /// without its quadrant result changing.
     pub fn safe_zone(&self, q: Point) -> &Polyomino {
         let cell = self.quadrant.grid().cell_of(q);
-        self.merged.polyomino_of_cell(self.quadrant.grid().linear_index(cell))
+        self.merged
+            .polyomino_of_cell(self.quadrant.grid().linear_index(cell))
     }
 
     /// The quadrant cell diagram.
@@ -178,7 +189,10 @@ mod tests {
         let index = SkylineIndex::new(&ds);
         for q in [(0, 0), (10, 50), (14, 81)] {
             let q = Point::new(q.0, q.1);
-            assert_eq!(index.quadrant(q), query::quadrant_skyline(&ds, q).as_slice());
+            assert_eq!(
+                index.quadrant(q),
+                query::quadrant_skyline(&ds, q).as_slice()
+            );
         }
         assert!(index.global_diagram().is_none());
         assert!(index.dynamic_diagram().is_none());
@@ -195,8 +209,7 @@ mod tests {
         let without = SkylineIndex::new(&ds);
         // Odd coordinates in a 4x-scaled copy avoid all boundary lines, so
         // diagram lookups and fallbacks must agree exactly.
-        let scaled =
-            Dataset::from_coords(ds.points().iter().map(|p| (4 * p.x, 4 * p.y))).unwrap();
+        let scaled = Dataset::from_coords(ds.points().iter().map(|p| (4 * p.x, 4 * p.y))).unwrap();
         let with_scaled = SkylineIndex::builder()
             .with_global(true)
             .with_dynamic(true)
@@ -225,8 +238,12 @@ mod tests {
     #[test]
     fn builder_engine_choices_are_equivalent() {
         let ds = hotel();
-        let a = SkylineIndex::builder().engine(QuadrantEngine::Baseline).build(&ds);
-        let b = SkylineIndex::builder().engine(QuadrantEngine::Scanning).build(&ds);
+        let a = SkylineIndex::builder()
+            .engine(QuadrantEngine::Baseline)
+            .build(&ds);
+        let b = SkylineIndex::builder()
+            .engine(QuadrantEngine::Scanning)
+            .build(&ds);
         assert!(a.quadrant_diagram().same_results(b.quadrant_diagram()));
         let c = SkylineIndex::builder()
             .with_dynamic(true)

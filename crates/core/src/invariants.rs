@@ -1,0 +1,737 @@
+//! Structural and semantic invariant checks for skyline diagrams.
+//!
+//! Every engine in this crate produces a dense diagram (one interned result
+//! per cell or subcell). This module validates such outputs against the
+//! paper's definitions, independently of how they were built:
+//!
+//! - **Tiling** — the per-cell result array tiles the bounded grid exactly:
+//!   one entry per cell, row-major, with a consistent
+//!   `linear_index`/`cell_from_linear` bijection and strictly increasing
+//!   grid lines that match the dataset (no overlap, no gap).
+//! - **Well-formed results** — every interned result referenced by a cell is
+//!   a strictly increasing sequence of in-range [`PointId`]s.
+//! - **Semantic correctness** — sampled cells' stored skylines equal a
+//!   from-scratch brute-force recompute at an exact interior representative
+//!   (doubled coordinates for cells, quadrupled for subcells).
+//! - **Definition 2** — for global diagrams, the stored result also equals
+//!   the union of the four per-quadrant skylines, each computed by
+//!   reflecting the dataset onto the first quadrant
+//!   ([`union_of_quadrant_skylines`]), a code path disjoint from
+//!   [`query::global_skyline`].
+//! - **Polyomino partition** — a merged diagram's polyominoes cover every
+//!   cell exactly once, are 4-connected, preserve the per-cell results, and
+//!   are maximal (Definition 4: no two adjacent equal-result cells live in
+//!   different polyominoes).
+//!
+//! The checks are hooked behind `debug_assert!` in
+//! [`QuadrantEngine::build`](crate::quadrant::QuadrantEngine::build),
+//! [`DynamicEngine::build`](crate::dynamic::DynamicEngine::build) and
+//! [`global::build`](crate::global::build) with a small sampling budget
+//! ([`DEBUG_SAMPLE_BUDGET`]), run unconditionally with [`FULL_SAMPLE`] by
+//! the `fuzz_diff` harness, and drive the `invariants` proptest suite.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::diagram::{CellDiagram, MergedDiagram, Polyomino};
+use crate::dynamic::SubcellDiagram;
+use crate::geometry::{Coord, Dataset, Point, PointId, MAX_COORD};
+use crate::query;
+use crate::result_set::{ResultId, ResultInterner};
+
+/// Recompute budget used by the `debug_assert!` hooks inside the engines:
+/// at most this many cells get a brute-force semantic recompute per build,
+/// keeping debug-mode test time linear in the structural size of the
+/// diagram rather than quadratic in the recompute cost.
+pub const DEBUG_SAMPLE_BUDGET: usize = 24;
+
+/// Unlimited recompute budget: every cell is checked. Used by `fuzz_diff`
+/// and the proptest suite, where datasets are small by construction.
+pub const FULL_SAMPLE: usize = usize::MAX;
+
+/// Which query semantics a [`CellDiagram`] is supposed to encode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CellSemantics {
+    /// First-quadrant skylines (paper Section IV).
+    Quadrant,
+    /// Global skylines — union of the four quadrant skylines (Definition 2).
+    Global,
+}
+
+impl CellSemantics {
+    /// Short stable name, used in violation messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            CellSemantics::Quadrant => "quadrant",
+            CellSemantics::Global => "global",
+        }
+    }
+}
+
+/// A failed diagram invariant: which invariant, and a human-readable detail
+/// naming the offending cell or polyomino.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantViolation {
+    invariant: &'static str,
+    detail: String,
+}
+
+impl InvariantViolation {
+    /// Stable identifier of the violated invariant (e.g. `"tiling"`,
+    /// `"semantic-recompute"`, `"definition-2"`, `"polyomino-partition"`).
+    pub fn invariant(&self) -> &'static str {
+        self.invariant
+    }
+
+    /// Human-readable description of the specific failure.
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "diagram invariant `{}` violated: {}",
+            self.invariant, self.detail
+        )
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Outcome of an invariant check: `Ok(())` or the first violation found.
+pub type CheckResult = Result<(), InvariantViolation>;
+
+fn violated(invariant: &'static str, detail: String) -> CheckResult {
+    Err(InvariantViolation { invariant, detail })
+}
+
+// --- shared structural checks ---------------------------------------------
+
+fn check_lines_strictly_increasing(lines: &[Coord], axis: &str) -> CheckResult {
+    if lines.is_empty() {
+        return violated(
+            "grid-lines",
+            format!("no {axis} grid lines (empty dataset?)"),
+        );
+    }
+    for w in lines.windows(2) {
+        if w[0] >= w[1] {
+            return violated(
+                "grid-lines",
+                format!(
+                    "{axis} grid lines not strictly increasing: {} then {}",
+                    w[0], w[1]
+                ),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn check_lines_match(lines: &[Coord], mut expected: Vec<Coord>, axis: &str) -> CheckResult {
+    expected.sort_unstable();
+    expected.dedup();
+    if lines != expected.as_slice() {
+        return violated(
+            "grid-lines",
+            format!(
+                "{axis} grid lines do not match the dataset: got {} lines, expected {}",
+                lines.len(),
+                expected.len()
+            ),
+        );
+    }
+    Ok(())
+}
+
+/// Every result id referenced by a cell resolves to a strictly increasing
+/// sequence of point ids below `n`.
+fn check_result_sets(n: usize, interner: &ResultInterner, used: &[ResultId]) -> CheckResult {
+    let distinct: HashSet<ResultId> = used.iter().copied().collect();
+    for rid in distinct {
+        if crate::geometry::conv::widen(rid.0) >= interner.len() {
+            return violated(
+                "result-sets",
+                format!(
+                    "cell references unknown result id {} (interner holds {})",
+                    rid.0,
+                    interner.len()
+                ),
+            );
+        }
+        let ids = interner.get(rid);
+        for w in ids.windows(2) {
+            if w[0] >= w[1] {
+                return violated(
+                    "result-sets",
+                    format!(
+                        "result {} is not strictly increasing: {} then {}",
+                        rid.0, w[0], w[1]
+                    ),
+                );
+            }
+        }
+        if let Some(&last) = ids.last() {
+            if last.index() >= n {
+                return violated(
+                    "result-sets",
+                    format!(
+                        "result {} references point {last} but the dataset has {n} points",
+                        rid.0
+                    ),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// True for linear indices selected by a deterministic stride sample of at
+/// most `budget` cells (first and last cell always included).
+fn sampled(idx: usize, total: usize, budget: usize) -> bool {
+    if budget >= total {
+        return true;
+    }
+    if budget == 0 {
+        return false;
+    }
+    let stride = total.div_ceil(budget).max(1);
+    idx % stride == 0 || idx + 1 == total
+}
+
+fn scaled_dataset(dataset: &Dataset, factor: Coord) -> Option<Dataset> {
+    let max_abs = dataset
+        .points()
+        .iter()
+        .flat_map(|p| [p.x.abs(), p.y.abs()])
+        .max()
+        .unwrap_or(0);
+    if max_abs > MAX_COORD / factor {
+        return None;
+    }
+    Some(
+        Dataset::from_coords(
+            dataset
+                .points()
+                .iter()
+                .map(|p| (factor * p.x, factor * p.y)),
+        )
+        .expect("scaling was bounds-checked against MAX_COORD above"),
+    )
+}
+
+// --- cell diagrams (quadrant / global) -------------------------------------
+
+/// Validates a cell-level diagram produced for `dataset` under `semantics`.
+///
+/// Structural checks (tiling, grid lines, index bijection, result
+/// well-formedness) always run over the whole diagram. Semantic checks
+/// recompute at most `budget` cells from scratch in doubled coordinates —
+/// pass [`FULL_SAMPLE`] to check every cell, [`DEBUG_SAMPLE_BUDGET`] for a
+/// cheap smoke pass. Global diagrams additionally get the Definition 2
+/// cross-check on every sampled cell.
+///
+/// Semantic checks are skipped (structural checks still run) when doubling
+/// the coordinates would overflow [`MAX_COORD`]; within the paper's bounded
+/// domains this never happens.
+///
+/// # Errors
+/// The first [`InvariantViolation`] found, if any.
+pub fn validate_cell_diagram(
+    dataset: &Dataset,
+    diagram: &CellDiagram,
+    semantics: CellSemantics,
+    budget: usize,
+) -> CheckResult {
+    let grid = diagram.grid();
+    let total = grid.cell_count();
+    let width = crate::geometry::conv::widen(grid.nx()) + 1;
+    let height = crate::geometry::conv::widen(grid.ny()) + 1;
+
+    // Tiling: one result per cell of the (nx+1) x (ny+1) bounded grid.
+    if total != width * height {
+        return violated(
+            "tiling",
+            format!("cell_count {total} != ({width} slabs) x ({height} slabs)"),
+        );
+    }
+    if diagram.cell_results().len() != total {
+        return violated(
+            "tiling",
+            format!(
+                "{} stored results for {total} cells",
+                diagram.cell_results().len()
+            ),
+        );
+    }
+    check_lines_strictly_increasing(grid.x_lines(), "x")?;
+    check_lines_strictly_increasing(grid.y_lines(), "y")?;
+    check_lines_match(
+        grid.x_lines(),
+        dataset.points().iter().map(|p| p.x).collect(),
+        "x",
+    )?;
+    check_lines_match(
+        grid.y_lines(),
+        dataset.points().iter().map(|p| p.y).collect(),
+        "y",
+    )?;
+
+    // Index bijection: row-major enumeration round-trips through
+    // linear_index / cell_from_linear with no overlap or gap.
+    for (idx, cell) in grid.cells().enumerate() {
+        if grid.linear_index(cell) != idx || grid.cell_from_linear(idx) != cell {
+            return violated(
+                "tiling",
+                format!("cell {cell:?} does not round-trip through linear index {idx}"),
+            );
+        }
+    }
+
+    check_result_sets(dataset.len(), diagram.results(), diagram.cell_results())?;
+
+    // Semantic recompute on a deterministic sample of cells, in doubled
+    // coordinates so every cell has an exact integer interior representative.
+    let Some(doubled) = scaled_dataset(dataset, 2) else {
+        return Ok(());
+    };
+    for (idx, cell) in grid.cells().enumerate() {
+        if !sampled(idx, total, budget) {
+            continue;
+        }
+        let q = grid.representative_doubled(cell);
+        let expected = match semantics {
+            CellSemantics::Quadrant => query::quadrant_skyline(&doubled, q),
+            CellSemantics::Global => query::global_skyline(&doubled, q),
+        };
+        if diagram.result(cell) != expected.as_slice() {
+            return violated(
+                "semantic-recompute",
+                format!(
+                    "cell {cell:?}: stored {} result {:?} != from-scratch {:?}",
+                    semantics.name(),
+                    diagram.result(cell),
+                    expected
+                ),
+            );
+        }
+        if semantics == CellSemantics::Global {
+            let union = union_of_quadrant_skylines(&doubled, q);
+            if union != expected {
+                return violated(
+                    "definition-2",
+                    format!(
+                        "cell {cell:?}: union of quadrant skylines {union:?} != global skyline {expected:?}"
+                    ),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The global skyline computed literally as Definition 2 states it: the
+/// union of the four per-quadrant skylines, each obtained by reflecting the
+/// dataset and query onto the first quadrant and running
+/// [`query::quadrant_skyline`]. A deliberately independent code path from
+/// [`query::global_skyline`] (which partitions by
+/// [`quadrant_of`](crate::dominance::quadrant_of)), used to cross-check
+/// global diagrams.
+#[must_use]
+pub fn union_of_quadrant_skylines(dataset: &Dataset, q: Point) -> Vec<PointId> {
+    let mut out: Vec<PointId> = Vec::new();
+    for (flip_x, flip_y) in [(false, false), (true, false), (true, true), (false, true)] {
+        let reflected = Dataset::from_coords(dataset.points().iter().map(|p| {
+            (
+                if flip_x { -p.x } else { p.x },
+                if flip_y { -p.y } else { p.y },
+            )
+        }))
+        .expect("axis reflection preserves coordinate magnitudes");
+        let rq = Point::new(
+            if flip_x { -q.x } else { q.x },
+            if flip_y { -q.y } else { q.y },
+        );
+        out.extend(query::quadrant_skyline(&reflected, rq));
+    }
+    // Open quadrants are disjoint, so this is a plain sorted union.
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+// --- subcell diagrams (dynamic) --------------------------------------------
+
+/// Validates a dynamic (subcell-level) diagram produced for `dataset`.
+///
+/// Same contract as [`validate_cell_diagram`]: structural checks are
+/// exhaustive, semantic checks recompute at most `budget` subcells from
+/// scratch at the exact quadrupled-coordinate sample point
+/// ([`SubcellGrid::sample_x4`](crate::dynamic::SubcellGrid::sample_x4)),
+/// skipped when quadrupling would overflow [`MAX_COORD`].
+///
+/// # Errors
+/// The first [`InvariantViolation`] found, if any.
+pub fn validate_subcell_diagram(
+    dataset: &Dataset,
+    diagram: &SubcellDiagram,
+    budget: usize,
+) -> CheckResult {
+    let grid = diagram.grid();
+    let total = grid.subcell_count();
+    let width = crate::geometry::conv::widen(grid.mx()) + 1;
+    let height = crate::geometry::conv::widen(grid.my()) + 1;
+
+    if total != width * height {
+        return violated(
+            "tiling",
+            format!("subcell_count {total} != ({width} slabs) x ({height} slabs)"),
+        );
+    }
+    if diagram.cell_results().len() != total {
+        return violated(
+            "tiling",
+            format!(
+                "{} stored results for {total} subcells",
+                diagram.cell_results().len()
+            ),
+        );
+    }
+    check_lines_strictly_increasing(grid.x_lines(), "x")?;
+    check_lines_strictly_increasing(grid.y_lines(), "y")?;
+    // Definition 7: the doubled-coordinate lines are exactly the pairwise
+    // sums {a.x + b.x} (a == b gives the point's own line 2·p.x).
+    let pair_sums = |coords: Vec<Coord>| -> Vec<Coord> {
+        let mut sums = Vec::with_capacity(coords.len() * (coords.len() + 1) / 2);
+        for (i, &a) in coords.iter().enumerate() {
+            for &b in &coords[i..] {
+                sums.push(a + b);
+            }
+        }
+        sums
+    };
+    check_lines_match(
+        grid.x_lines(),
+        pair_sums(dataset.points().iter().map(|p| p.x).collect()),
+        "x",
+    )?;
+    check_lines_match(
+        grid.y_lines(),
+        pair_sums(dataset.points().iter().map(|p| p.y).collect()),
+        "y",
+    )?;
+
+    for (idx, sc) in grid.subcells().enumerate() {
+        if grid.linear_index(sc) != idx || grid.subcell_from_linear(idx) != sc {
+            return violated(
+                "tiling",
+                format!("subcell {sc:?} does not round-trip through linear index {idx}"),
+            );
+        }
+    }
+
+    check_result_sets(dataset.len(), diagram.results(), diagram.cell_results())?;
+
+    let Some(quadrupled) = scaled_dataset(dataset, 4) else {
+        return Ok(());
+    };
+    for (idx, sc) in grid.subcells().enumerate() {
+        if !sampled(idx, total, budget) {
+            continue;
+        }
+        let s = grid.sample_x4(sc);
+        let expected = query::dynamic_skyline(&quadrupled, s);
+        if diagram.result(sc) != expected.as_slice() {
+            return violated(
+                "semantic-recompute",
+                format!(
+                    "subcell {sc:?}: stored dynamic result {:?} != from-scratch {expected:?}",
+                    diagram.result(sc)
+                ),
+            );
+        }
+    }
+    Ok(())
+}
+
+// --- merged diagrams (polyomino partition) ---------------------------------
+
+/// Validates the polyomino partition of a merged **cell** diagram against
+/// its source diagram: coverage, pairwise disjointness, 4-connectivity,
+/// result preservation, and maximality (Definition 4).
+///
+/// # Errors
+/// The first [`InvariantViolation`] found, if any.
+pub fn validate_merged_cells(diagram: &CellDiagram, merged: &MergedDiagram) -> CheckResult {
+    validate_partition(
+        diagram.cell_results(),
+        crate::geometry::conv::widen(diagram.grid().nx()) + 1,
+        merged,
+        |rid| diagram.results().get(rid),
+    )
+}
+
+/// Validates the polyomino partition of a merged **subcell** diagram, with
+/// the same checks as [`validate_merged_cells`].
+///
+/// # Errors
+/// The first [`InvariantViolation`] found, if any.
+pub fn validate_merged_subcells(diagram: &SubcellDiagram, merged: &MergedDiagram) -> CheckResult {
+    validate_partition(
+        diagram.cell_results(),
+        crate::geometry::conv::widen(diagram.grid().mx()) + 1,
+        merged,
+        |rid| diagram.results().get(rid),
+    )
+}
+
+fn validate_partition<'a>(
+    cell_results: &[ResultId],
+    width: usize,
+    merged: &MergedDiagram,
+    resolve: impl Fn(ResultId) -> &'a [PointId],
+) -> CheckResult {
+    let total = cell_results.len();
+    if merged.cell_to_polyomino.len() != total {
+        return violated(
+            "polyomino-partition",
+            format!(
+                "cell_to_polyomino has {} entries for {total} cells",
+                merged.cell_to_polyomino.len()
+            ),
+        );
+    }
+
+    // Coverage + disjointness: every cell appears in exactly one polyomino,
+    // and the reverse index agrees with the membership lists.
+    let mut owner: Vec<Option<usize>> = vec![None; total];
+    for (pi, poly) in merged.polyominoes.iter().enumerate() {
+        if poly.cells.is_empty() {
+            return violated("polyomino-partition", format!("polyomino {pi} is empty"));
+        }
+        for &(i, j) in &poly.cells {
+            let idx = crate::geometry::conv::widen(j) * width + crate::geometry::conv::widen(i);
+            if crate::geometry::conv::widen(i) >= width || idx >= total {
+                return violated(
+                    "polyomino-partition",
+                    format!("polyomino {pi} contains out-of-grid cell ({i}, {j})"),
+                );
+            }
+            if let Some(prev) = owner[idx] {
+                return violated(
+                    "polyomino-partition",
+                    format!("cell ({i}, {j}) is in polyominoes {prev} and {pi}"),
+                );
+            }
+            owner[idx] = Some(pi);
+            if crate::geometry::conv::widen(merged.cell_to_polyomino[idx]) != pi {
+                return violated(
+                    "polyomino-partition",
+                    format!(
+                        "cell ({i}, {j}) is listed in polyomino {pi} but indexed to {}",
+                        merged.cell_to_polyomino[idx]
+                    ),
+                );
+            }
+            // Result preservation: every member cell stores the polyomino's
+            // result (compared by content, not by interner id).
+            if resolve(cell_results[idx]) != resolve(poly.result) {
+                return violated(
+                    "polyomino-result",
+                    format!("cell ({i}, {j}) has a different result than its polyomino {pi}"),
+                );
+            }
+        }
+        if !poly.is_connected() {
+            return violated(
+                "polyomino-connectivity",
+                format!("polyomino {pi} ({} cells) is not 4-connected", poly.area()),
+            );
+        }
+    }
+    if let Some(idx) = owner.iter().position(Option::is_none) {
+        return violated(
+            "polyomino-partition",
+            format!("cell at linear index {idx} belongs to no polyomino"),
+        );
+    }
+
+    // Maximality (Definition 4): 4-adjacent cells with equal results must
+    // share a polyomino — otherwise the partition is finer than maximal.
+    let split = |a: usize, b: usize| {
+        merged.cell_to_polyomino[a] != merged.cell_to_polyomino[b]
+            && resolve(cell_results[a]) == resolve(cell_results[b])
+    };
+    for idx in 0..total {
+        let right = idx + 1;
+        let up = idx + width;
+        for nb in [right, up] {
+            if nb == right && right % width == 0 {
+                continue;
+            }
+            if nb < total && split(idx, nb) {
+                return violated(
+                    "polyomino-maximality",
+                    format!(
+                        "adjacent equal-result cells at linear indices {idx} and {nb} are in different polyominoes"
+                    ),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: area accounting for a merged diagram — the polyomino areas
+/// must sum to the cell count (implied by the partition check, exposed for
+/// quick assertions in tests and reports).
+#[must_use]
+pub fn total_area(merged: &MergedDiagram) -> usize {
+    merged.polyominoes.iter().map(Polyomino::area).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagram::merge::{merge, merge_subcells};
+    use crate::dynamic::DynamicEngine;
+    use crate::geometry::Dataset;
+    use crate::quadrant::QuadrantEngine;
+    use crate::result_set::ResultInterner;
+
+    #[test]
+    fn quadrant_engines_validate_on_hotel_example() {
+        let ds = crate::test_data::hotel_dataset();
+        for engine in QuadrantEngine::ALL {
+            let d = engine.build(&ds);
+            validate_cell_diagram(&ds, &d, CellSemantics::Quadrant, FULL_SAMPLE)
+                .unwrap_or_else(|v| panic!("{}: {v}", engine.name()));
+        }
+    }
+
+    #[test]
+    fn global_build_validates_with_definition_2() {
+        let ds = crate::test_data::hotel_dataset();
+        let d = crate::global::build(&ds, QuadrantEngine::Sweeping);
+        validate_cell_diagram(&ds, &d, CellSemantics::Global, FULL_SAMPLE)
+            .unwrap_or_else(|v| panic!("{v}"));
+    }
+
+    #[test]
+    fn dynamic_engines_validate_on_small_data() {
+        let ds = crate::test_data::lcg_dataset(8, 25, 3);
+        for engine in DynamicEngine::ALL {
+            let d = engine.build(&ds);
+            validate_subcell_diagram(&ds, &d, FULL_SAMPLE)
+                .unwrap_or_else(|v| panic!("{}: {v}", engine.name()));
+        }
+    }
+
+    #[test]
+    fn merged_partitions_validate() {
+        let ds = crate::test_data::hotel_dataset();
+        let d = QuadrantEngine::Sweeping.build(&ds);
+        let m = merge(&d);
+        validate_merged_cells(&d, &m).unwrap_or_else(|v| panic!("{v}"));
+        assert_eq!(total_area(&m), d.grid().cell_count());
+
+        let ds_small = crate::test_data::lcg_dataset(6, 20, 9);
+        let sd = DynamicEngine::Scanning.build(&ds_small);
+        let sm = merge_subcells(&sd);
+        validate_merged_subcells(&sd, &sm).unwrap_or_else(|v| panic!("{v}"));
+        assert_eq!(total_area(&sm), sd.grid().subcell_count());
+    }
+
+    #[test]
+    fn union_of_quadrant_skylines_matches_global_oracle() {
+        let ds = crate::test_data::hotel_dataset();
+        for q in [
+            Point::new(10, 80),
+            Point::new(0, 0),
+            Point::new(13, 83),
+            Point::new(30, 100),
+        ] {
+            assert_eq!(
+                union_of_quadrant_skylines(&ds, q),
+                query::global_skyline_naive(&ds, q),
+                "q = {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_cell_is_reported() {
+        let ds = crate::test_data::hotel_dataset();
+        let d = QuadrantEngine::Baseline.build(&ds);
+        // Rebuild with one cell's result swapped to the empty set.
+        let grid = d.grid().clone();
+        let mut cells = d.cell_results().to_vec();
+        let victim = grid.linear_index((0, 0));
+        cells[victim] = d.results().empty();
+        let corrupt = CellDiagram::from_parts(grid, d.results().clone(), cells);
+        let err = validate_cell_diagram(&ds, &corrupt, CellSemantics::Quadrant, FULL_SAMPLE)
+            .expect_err("corrupted diagram must fail validation");
+        assert_eq!(err.invariant(), "semantic-recompute");
+        assert!(err.to_string().contains("cell (0, 0)"), "{err}");
+    }
+
+    #[test]
+    fn split_polyomino_fails_maximality() {
+        let ds = Dataset::from_coords([(0, 0), (10, 10)])
+            .expect("two in-range points form a valid dataset");
+        let d = QuadrantEngine::Sweeping.build(&ds);
+        let m = merge(&d);
+        // Split the first polyomino with more than one cell into two.
+        let mut broken = m.clone();
+        let Some(pi) = broken.polyominoes.iter().position(|p| p.area() > 1) else {
+            panic!("fixture must contain a multi-cell polyomino");
+        };
+        let moved = broken.polyominoes[pi]
+            .cells
+            .pop()
+            .expect("multi-cell polyomino has a last cell");
+        let result = broken.polyominoes[pi].result;
+        broken.polyominoes.push(Polyomino {
+            result,
+            cells: vec![moved],
+        });
+        let width = crate::geometry::conv::widen(d.grid().nx()) + 1;
+        let idx =
+            crate::geometry::conv::widen(moved.1) * width + crate::geometry::conv::widen(moved.0);
+        broken.cell_to_polyomino[idx] = crate::geometry::conv::narrow(broken.polyominoes.len() - 1);
+        let err =
+            validate_merged_cells(&d, &broken).expect_err("split polyomino must fail validation");
+        assert!(
+            err.invariant() == "polyomino-maximality"
+                || err.invariant() == "polyomino-connectivity",
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn stale_interner_reference_is_reported() {
+        let ds = Dataset::from_coords([(0, 0), (10, 10)])
+            .expect("two in-range points form a valid dataset");
+        let d = QuadrantEngine::Sweeping.build(&ds);
+        let grid = d.grid().clone();
+        let mut cells = d.cell_results().to_vec();
+        cells[0] = ResultId(u32::MAX);
+        let corrupt = CellDiagram::from_parts(grid, ResultInterner::new(), cells);
+        let err = validate_cell_diagram(&ds, &corrupt, CellSemantics::Quadrant, FULL_SAMPLE)
+            .expect_err("unknown result id must fail validation");
+        assert_eq!(err.invariant(), "result-sets");
+    }
+
+    #[test]
+    fn sampling_budget_is_deterministic_and_covers_extremes() {
+        let total = 100;
+        let picked: Vec<usize> = (0..total).filter(|&i| sampled(i, total, 10)).collect();
+        assert!(picked.contains(&0) && picked.contains(&99));
+        assert!(picked.len() <= 12, "{picked:?}");
+        assert!((0..total).all(|i| sampled(i, total, FULL_SAMPLE)));
+        assert!((0..total).all(|i| !sampled(i, total, 0)));
+    }
+}

@@ -64,6 +64,7 @@ pub mod geometry;
 pub mod global;
 pub mod highd;
 pub mod index;
+pub mod invariants;
 pub mod maintained;
 pub mod quadrant;
 pub mod query;

@@ -100,7 +100,10 @@ impl MaintainedIndex {
 
     /// The coordinates of a live point.
     pub fn get(&self, handle: Handle) -> Option<Point> {
-        self.points.iter().find(|&&(h, _)| h == handle).map(|&(_, p)| p)
+        self.points
+            .iter()
+            .find(|&&(h, _)| h == handle)
+            .map(|&(_, p)| p)
     }
 
     /// Quadrant skyline of `q` over the *current* point set, as handles
@@ -117,7 +120,10 @@ impl MaintainedIndex {
         {
             self.rebuild();
         }
-        let (diagram, handles) = self.built.as_ref().expect("rebuilt above");
+        let (diagram, handles) = self
+            .built
+            .as_ref()
+            .expect("rebuild() just ran whenever built was None");
 
         // Candidates: the stale lookup minus removals, plus pending
         // insertions in the quadrant; one minima pass resolves both
@@ -257,7 +263,7 @@ mod tests {
         index.rebuild();
         let b = index.insert(Point::new(2, 8));
         let c = index.insert(Point::new(3, 3)); // dominates a
-        // Still below threshold: no rebuild, yet answers are exact.
+                                                // Still below threshold: no rebuild, yet answers are exact.
         assert!(index.pending_updates() > 0);
         let got = index.query(Point::new(0, 0));
         assert_eq!(got, vec![b, c]);

@@ -48,8 +48,18 @@ pub fn build(dataset: &Dataset) -> Result<Vec<VertexPolyomino>> {
         }
     }
 
-    let wall_x = points.iter().map(|p| p.x).min().expect("nonempty") - 1;
-    let wall_y = points.iter().map(|p| p.y).min().expect("nonempty") - 1;
+    let wall_x = points
+        .iter()
+        .map(|p| p.x)
+        .min()
+        .expect("datasets are never empty")
+        - 1;
+    let wall_y = points
+        .iter()
+        .map(|p| p.y)
+        .min()
+        .expect("datasets are never empty")
+        - 1;
 
     // Intersection lists per line. A point p's horizontal segment spans
     // x ∈ [wall_x, p.x]; a point u's vertical segment spans
@@ -141,7 +151,10 @@ pub fn build(dataset: &Dataset) -> Result<Vec<VertexPolyomino>> {
             if vertices.last() == Some(&g0) {
                 vertices.pop();
             }
-            out.push(VertexPolyomino { corner: g0, vertices });
+            out.push(VertexPolyomino {
+                corner: g0,
+                vertices,
+            });
         }
     }
     Ok(out)
@@ -243,7 +256,10 @@ mod tests {
         // g1..g6 = (20,20), (9,20), (9,10), (10,10), (10,9), (20,9).
         let ds = Dataset::from_coords([(20, 40), (40, 20), (10, 10)]).unwrap();
         let walks = build(&ds).unwrap();
-        let stair = walks.iter().find(|w| w.corner == Point::new(20, 20)).unwrap();
+        let stair = walks
+            .iter()
+            .find(|w| w.corner == Point::new(20, 20))
+            .unwrap();
         assert_eq!(
             stair.vertices,
             vec![
@@ -257,7 +273,10 @@ mod tests {
         );
         assert!(signed_area_doubled(&stair.vertices) > 0, "walks are CCW");
         // An uninterrupted corner stays a rectangle.
-        let rect = walks.iter().find(|w| w.corner == Point::new(10, 10)).unwrap();
+        let rect = walks
+            .iter()
+            .find(|w| w.corner == Point::new(10, 10))
+            .unwrap();
         assert_eq!(rect.vertices.len(), 4);
     }
 

@@ -113,7 +113,10 @@ mod tests {
     fn origin_cell_is_the_dataset_skyline() {
         let ds = hotel();
         let d = build(&ds);
-        assert_eq!(d.result((0, 0)), crate::skyline::sort_sweep::skyline_2d(&ds));
+        assert_eq!(
+            d.result((0, 0)),
+            crate::skyline::sort_sweep::skyline_2d(&ds)
+        );
         // Paper fact: Sky(P) of the hotel example is {p1, p6, p11}.
         assert_eq!(d.result((0, 0)), &[PointId(0), PointId(5), PointId(10)]);
     }
@@ -131,8 +134,7 @@ mod tests {
 
     /// Naive quadrant skyline against a query in doubled coordinates.
     fn quadrant_skyline_naive_doubled(ds: &Dataset, q2: Point) -> Vec<PointId> {
-        let doubled =
-            Dataset::from_coords(ds.points().iter().map(|p| (2 * p.x, 2 * p.y))).unwrap();
+        let doubled = Dataset::from_coords(ds.points().iter().map(|p| (2 * p.x, 2 * p.y))).unwrap();
         quadrant_skyline_naive(&doubled, q2)
     }
 

@@ -76,7 +76,10 @@ mod tests {
     fn matches_baseline_on_random_data() {
         for seed in 0..5 {
             let ds = crate::test_data::lcg_dataset(40, 1000, seed);
-            assert!(build(&ds).same_results(&baseline::build(&ds)), "seed {seed}");
+            assert!(
+                build(&ds).same_results(&baseline::build(&ds)),
+                "seed {seed}"
+            );
         }
     }
 
@@ -84,7 +87,10 @@ mod tests {
     fn matches_baseline_under_heavy_ties() {
         for seed in 0..5 {
             let ds = crate::test_data::lcg_dataset(40, 6, 100 + seed);
-            assert!(build(&ds).same_results(&baseline::build(&ds)), "seed {seed}");
+            assert!(
+                build(&ds).same_results(&baseline::build(&ds)),
+                "seed {seed}"
+            );
         }
     }
 
@@ -103,7 +109,10 @@ mod tests {
             &[PointId(1), PointId(3), PointId(5), PointId(8), PointId(10)]
         );
         // Two more crossings peel p2 then p4 without exposing anything new.
-        assert_eq!(d.result((2, 0)), &[PointId(3), PointId(5), PointId(8), PointId(10)]);
+        assert_eq!(
+            d.result((2, 0)),
+            &[PointId(3), PointId(5), PointId(8), PointId(10)]
+        );
         assert_eq!(d.result((3, 0)), &[PointId(5), PointId(8), PointId(10)]);
         // Crossing the first horizontal line removes p11 (the lowest-price
         // hotel); nothing is exposed because p6 dominates the remaining

@@ -70,12 +70,24 @@ impl QuadrantEngine {
     /// # Ok::<(), skyline_core::Error>(())
     /// ```
     pub fn build(self, dataset: &Dataset) -> CellDiagram {
-        match self {
+        let diagram = match self {
             QuadrantEngine::Baseline => baseline::build(dataset),
             QuadrantEngine::DirectedSkylineGraph => dsg_algorithm::build(dataset),
             QuadrantEngine::Scanning => scanning::build(dataset),
             QuadrantEngine::Sweeping => sweeping::build(dataset).cell_diagram,
+        };
+        // Debug builds spot-check the output against the from-scratch oracle
+        // (see `crate::invariants`); release builds pay nothing.
+        #[cfg(debug_assertions)]
+        if let Err(violation) = crate::invariants::validate_cell_diagram(
+            dataset,
+            &diagram,
+            crate::invariants::CellSemantics::Quadrant,
+            crate::invariants::DEBUG_SAMPLE_BUDGET,
+        ) {
+            debug_assert!(false, "{} engine: {violation}", self.name());
         }
+        diagram
     }
 }
 
@@ -88,7 +100,11 @@ mod tests {
         let ds = crate::test_data::lcg_dataset(35, 50, 7);
         let reference = QuadrantEngine::Baseline.build(&ds);
         for engine in QuadrantEngine::ALL {
-            assert!(engine.build(&ds).same_results(&reference), "{}", engine.name());
+            assert!(
+                engine.build(&ds).same_results(&reference),
+                "{}",
+                engine.name()
+            );
         }
     }
 

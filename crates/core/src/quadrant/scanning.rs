@@ -94,7 +94,10 @@ mod tests {
     fn matches_baseline_on_random_data() {
         for seed in 0..5 {
             let ds = crate::test_data::lcg_dataset(40, 1000, seed);
-            assert!(build(&ds).same_results(&baseline::build(&ds)), "seed {seed}");
+            assert!(
+                build(&ds).same_results(&baseline::build(&ds)),
+                "seed {seed}"
+            );
         }
     }
 
@@ -102,7 +105,10 @@ mod tests {
     fn matches_baseline_under_heavy_ties() {
         for seed in 0..5 {
             let ds = crate::test_data::lcg_dataset(40, 6, 200 + seed);
-            assert!(build(&ds).same_results(&baseline::build(&ds)), "seed {seed}");
+            assert!(
+                build(&ds).same_results(&baseline::build(&ds)),
+                "seed {seed}"
+            );
         }
     }
 

@@ -33,6 +33,7 @@ use crate::result_set::{ResultId, ResultInterner};
 /// Output of the sweeping engine: the per-cell diagram (for interoperability
 /// with the other engines) plus the polyomino partition it found directly.
 #[derive(Clone, Debug)]
+#[must_use]
 pub struct SweptDiagram {
     /// Cell-level view, identical in content to the other engines' output.
     pub cell_diagram: CellDiagram,
@@ -70,7 +71,10 @@ pub fn build(dataset: &Dataset) -> SweptDiagram {
     let mut anchors_by_y: HashMap<u32, Vec<u32>> = HashMap::new();
     for idx in 0..width * height {
         if corner_x[idx] != RANK_INF {
-            anchors_by_y.entry(corner_y[idx]).or_default().push(corner_x[idx]);
+            anchors_by_y
+                .entry(corner_y[idx])
+                .or_default()
+                .push(corner_x[idx]);
         }
     }
 
@@ -115,7 +119,10 @@ pub fn build(dataset: &Dataset) -> SweptDiagram {
     // coincide with equal-result components (module docs); reuse the shared
     // merge to produce them in the common format.
     let merged = merge(&cell_diagram);
-    SweptDiagram { cell_diagram, merged }
+    SweptDiagram {
+        cell_diagram,
+        merged,
+    }
 }
 
 /// One horizontal line's sweep: for every anchor x-rank on line `ry`
@@ -209,9 +216,17 @@ mod tests {
         let merged_baseline = merge(&baseline::build(&ds));
         assert_eq!(swept.merged.len(), merged_baseline.len());
         // Same cell partition: components must contain identical cell sets.
-        let mut a: Vec<_> = swept.merged.polyominoes.iter().map(|p| p.cells.clone()).collect();
-        let mut b: Vec<_> =
-            merged_baseline.polyominoes.iter().map(|p| p.cells.clone()).collect();
+        let mut a: Vec<_> = swept
+            .merged
+            .polyominoes
+            .iter()
+            .map(|p| p.cells.clone())
+            .collect();
+        let mut b: Vec<_> = merged_baseline
+            .polyominoes
+            .iter()
+            .map(|p| p.cells.clone())
+            .collect();
         a.sort();
         b.sort();
         assert_eq!(a, b);

@@ -31,6 +31,7 @@ use crate::skyline::sort_sweep::minima_xy;
 
 /// First-quadrant skyline of `q`: minima of the points strictly greater than
 /// `q` in both coordinates. `O(n log n)`.
+#[must_use]
 pub fn quadrant_skyline(dataset: &Dataset, q: Point) -> Vec<PointId> {
     let mut scratch: Vec<(Coord, Coord, PointId)> = dataset
         .iter()
@@ -41,12 +42,19 @@ pub fn quadrant_skyline(dataset: &Dataset, q: Point) -> Vec<PointId> {
 }
 
 /// Quadratic oracle for [`quadrant_skyline`].
+#[must_use]
 pub fn quadrant_skyline_naive(dataset: &Dataset, q: Point) -> Vec<PointId> {
-    let in_q1: Vec<(PointId, Point)> =
-        dataset.iter().filter(|(_, p)| p.x > q.x && p.y > q.y).collect();
+    let in_q1: Vec<(PointId, Point)> = dataset
+        .iter()
+        .filter(|(_, p)| p.x > q.x && p.y > q.y)
+        .collect();
     let mut out: Vec<PointId> = in_q1
         .iter()
-        .filter(|(_, p)| !in_q1.iter().any(|(_, o)| crate::dominance::dominates(*o, *p)))
+        .filter(|(_, p)| {
+            !in_q1
+                .iter()
+                .any(|(_, o)| crate::dominance::dominates(*o, *p))
+        })
         .map(|&(id, _)| id)
         .collect();
     out.sort_unstable();
@@ -55,6 +63,7 @@ pub fn quadrant_skyline_naive(dataset: &Dataset, q: Point) -> Vec<PointId> {
 
 /// Global skyline of `q` (Definition 3): union of the four per-quadrant
 /// skylines. Points on an axis of `q` belong to no quadrant. `O(n log n)`.
+#[must_use]
 pub fn global_skyline(dataset: &Dataset, q: Point) -> Vec<PointId> {
     let mut out = Vec::new();
     let mut scratch: Vec<(Coord, Coord, PointId)> = Vec::new();
@@ -75,12 +84,12 @@ pub fn global_skyline(dataset: &Dataset, q: Point) -> Vec<PointId> {
 }
 
 /// Quadratic oracle for [`global_skyline`].
+#[must_use]
 pub fn global_skyline_naive(dataset: &Dataset, q: Point) -> Vec<PointId> {
     let mut out: Vec<PointId> = dataset
         .iter()
         .filter(|&(_, p)| {
-            quadrant_of(p, q).is_some()
-                && !dataset.iter().any(|(_, o)| dominates_global(o, p, q))
+            quadrant_of(p, q).is_some() && !dataset.iter().any(|(_, o)| dominates_global(o, p, q))
         })
         .map(|(id, _)| id)
         .collect();
@@ -90,6 +99,7 @@ pub fn global_skyline_naive(dataset: &Dataset, q: Point) -> Vec<PointId> {
 
 /// Dynamic skyline of `q` (Definition 2): skyline of the points mapped by
 /// `t[j] = |p[j] - q[j]|`. `O(n log n)`.
+#[must_use]
 pub fn dynamic_skyline(dataset: &Dataset, q: Point) -> Vec<PointId> {
     let mut scratch: Vec<(Coord, Coord, PointId)> = dataset
         .iter()
@@ -99,6 +109,7 @@ pub fn dynamic_skyline(dataset: &Dataset, q: Point) -> Vec<PointId> {
 }
 
 /// Quadratic oracle for [`dynamic_skyline`].
+#[must_use]
 pub fn dynamic_skyline_naive(dataset: &Dataset, q: Point) -> Vec<PointId> {
     let mut out: Vec<PointId> = dataset
         .iter()
@@ -113,6 +124,7 @@ pub fn dynamic_skyline_naive(dataset: &Dataset, q: Point) -> Vec<PointId> {
 
 /// First-orthant skyline of `q` in d dimensions: minima of the points
 /// strictly greater than `q` in every coordinate.
+#[must_use]
 pub fn orthant_skyline_d(dataset: &crate::geometry::DatasetD, q: &PointD) -> Vec<PointId> {
     debug_assert_eq!(dataset.dims(), q.dims());
     let candidates = dataset
@@ -124,6 +136,7 @@ pub fn orthant_skyline_d(dataset: &crate::geometry::DatasetD, q: &PointD) -> Vec
 
 /// Global skyline of `q` in d dimensions: union of the per-orthant
 /// skylines; points on an axis hyperplane of `q` belong to no orthant.
+#[must_use]
 pub fn global_skyline_d(dataset: &crate::geometry::DatasetD, q: &PointD) -> Vec<PointId> {
     use crate::dominance::orthant_of;
     let mut out = Vec::new();
@@ -133,8 +146,9 @@ pub fn global_skyline_d(dataset: &crate::geometry::DatasetD, q: &PointD) -> Vec<
             .iter()
             .filter(|(_, p)| orthant_of(p, q) == Some(mask))
             .map(|(id, p)| {
-                let mapped =
-                    (0..q.dims()).map(|k| (p.coord(k) - q.coord(k)).abs()).collect();
+                let mapped = (0..q.dims())
+                    .map(|k| (p.coord(k) - q.coord(k)).abs())
+                    .collect();
                 (id, mapped)
             })
             .collect();
@@ -154,11 +168,16 @@ pub fn global_skyline_d(dataset: &crate::geometry::DatasetD, q: &PointD) -> Vec<
 }
 
 /// Dynamic skyline of `q` in d dimensions.
+#[must_use]
 pub fn dynamic_skyline_d(dataset: &crate::geometry::DatasetD, q: &PointD) -> Vec<PointId> {
     let mapped: Vec<Vec<Coord>> = dataset
         .points()
         .iter()
-        .map(|p| (0..q.dims()).map(|k| (p.coord(k) - q.coord(k)).abs()).collect())
+        .map(|p| {
+            (0..q.dims())
+                .map(|k| (p.coord(k) - q.coord(k)).abs())
+                .collect()
+        })
         .collect();
     let mut out: Vec<PointId> = (0..dataset.len())
         .filter(|&i| {
@@ -231,7 +250,10 @@ mod tests {
                 if p.x == q.x || p.y == q.y {
                     continue;
                 }
-                assert!(global.contains(id), "dynamic {id} missing from global at {q}");
+                assert!(
+                    global.contains(id),
+                    "dynamic {id} missing from global at {q}"
+                );
             }
         }
     }
@@ -253,9 +275,17 @@ mod tests {
         for qx in (0..25).step_by(3) {
             for qy in (0..100).step_by(7) {
                 let q = Point::new(qx, qy);
-                assert_eq!(quadrant_skyline(&ds, q), quadrant_skyline_naive(&ds, q), "{q}");
+                assert_eq!(
+                    quadrant_skyline(&ds, q),
+                    quadrant_skyline_naive(&ds, q),
+                    "{q}"
+                );
                 assert_eq!(global_skyline(&ds, q), global_skyline_naive(&ds, q), "{q}");
-                assert_eq!(dynamic_skyline(&ds, q), dynamic_skyline_naive(&ds, q), "{q}");
+                assert_eq!(
+                    dynamic_skyline(&ds, q),
+                    dynamic_skyline_naive(&ds, q),
+                    "{q}"
+                );
             }
         }
     }
@@ -275,9 +305,21 @@ mod tests {
         for (qx, qy) in [(0, 0), (10, 80), (14, 50), (7, 93)] {
             let q = Point::new(qx, qy);
             let qd = PointD::from(q);
-            assert_eq!(quadrant_skyline(&ds, q), orthant_skyline_d(&lifted, &qd), "{q}");
-            assert_eq!(global_skyline(&ds, q), global_skyline_d(&lifted, &qd), "{q}");
-            assert_eq!(dynamic_skyline(&ds, q), dynamic_skyline_d(&lifted, &qd), "{q}");
+            assert_eq!(
+                quadrant_skyline(&ds, q),
+                orthant_skyline_d(&lifted, &qd),
+                "{q}"
+            );
+            assert_eq!(
+                global_skyline(&ds, q),
+                global_skyline_d(&lifted, &qd),
+                "{q}"
+            );
+            assert_eq!(
+                dynamic_skyline(&ds, q),
+                dynamic_skyline_d(&lifted, &qd),
+                "{q}"
+            );
         }
     }
 

@@ -43,7 +43,10 @@ pub struct ResultInterner {
 impl ResultInterner {
     /// Creates an interner with the empty result pre-interned as id 0.
     pub fn new() -> Self {
-        let mut interner = ResultInterner { sets: Vec::new(), lookup: HashMap::new() };
+        let mut interner = ResultInterner {
+            sets: Vec::new(),
+            lookup: HashMap::new(),
+        };
         let empty = interner.intern_sorted(Vec::new());
         debug_assert_eq!(empty, ResultId(0));
         interner
@@ -60,7 +63,10 @@ impl ResultInterner {
     /// # Panics
     /// Debug builds assert the sortedness precondition.
     pub fn intern_sorted(&mut self, ids: Vec<PointId>) -> ResultId {
-        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "result must be strictly sorted");
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "result must be strictly sorted"
+        );
         let h = fnv1a(&ids);
         let bucket = self.lookup.entry(h).or_default();
         for &rid in bucket.iter() {
@@ -101,7 +107,10 @@ impl ResultInterner {
 
     /// Iterates over `(id, result)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ResultId, &[PointId])> + '_ {
-        self.sets.iter().enumerate().map(|(i, s)| (ResultId(i as u32), s.as_slice()))
+        self.sets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ResultId(i as u32), s.as_slice()))
     }
 
     /// Total number of point ids stored across all distinct results — the

@@ -156,7 +156,7 @@ impl<'a> Reader<'a> {
             return Err(DecodeError::Truncated);
         }
         let (body, tail) = data.split_at(data.len() - 8);
-        let stored = u64::from_le_bytes(tail.try_into().expect("eight bytes"));
+        let stored = u64::from_le_bytes(tail.try_into().expect("split_at leaves an 8-byte tail"));
         if fnv64(body) != stored {
             return Err(DecodeError::ChecksumMismatch);
         }
@@ -177,14 +177,18 @@ impl<'a> Reader<'a> {
         let end = self.pos.checked_add(4).ok_or(DecodeError::Truncated)?;
         let bytes = self.data.get(self.pos..end).ok_or(DecodeError::Truncated)?;
         self.pos = end;
-        Ok(u32::from_le_bytes(bytes.try_into().expect("four bytes")))
+        Ok(u32::from_le_bytes(
+            bytes.try_into().expect("get(pos..pos+4) is 4 bytes long"),
+        ))
     }
 
     fn i64(&mut self) -> Result<i64, DecodeError> {
         let end = self.pos.checked_add(8).ok_or(DecodeError::Truncated)?;
         let bytes = self.data.get(self.pos..end).ok_or(DecodeError::Truncated)?;
         self.pos = end;
-        Ok(i64::from_le_bytes(bytes.try_into().expect("eight bytes")))
+        Ok(i64::from_le_bytes(
+            bytes.try_into().expect("get(pos..pos+8) is 8 bytes long"),
+        ))
     }
 
     fn lines(&mut self) -> Result<Vec<Coord>, DecodeError> {
@@ -194,10 +198,14 @@ impl<'a> Reader<'a> {
             out.push(self.i64()?);
         }
         if !out.windows(2).all(|w| w[0] < w[1]) {
-            return Err(DecodeError::Invalid("grid lines must be strictly increasing"));
+            return Err(DecodeError::Invalid(
+                "grid lines must be strictly increasing",
+            ));
         }
         if out.is_empty() {
-            return Err(DecodeError::Invalid("a diagram needs at least one grid line"));
+            return Err(DecodeError::Invalid(
+                "a diagram needs at least one grid line",
+            ));
         }
         Ok(out)
     }
@@ -205,7 +213,9 @@ impl<'a> Reader<'a> {
     fn interner(&mut self) -> Result<ResultInterner, DecodeError> {
         let count = self.u32()? as usize;
         if count == 0 {
-            return Err(DecodeError::Invalid("interner must contain the empty result"));
+            return Err(DecodeError::Invalid(
+                "interner must contain the empty result",
+            ));
         }
         let mut interner = ResultInterner::new();
         for k in 0..count {
@@ -215,7 +225,9 @@ impl<'a> Reader<'a> {
                 ids.push(PointId(self.u32()?));
             }
             if !ids.windows(2).all(|w| w[0] < w[1]) {
-                return Err(DecodeError::Invalid("result ids must be strictly increasing"));
+                return Err(DecodeError::Invalid(
+                    "result ids must be strictly increasing",
+                ));
             }
             if k == 0 && !ids.is_empty() {
                 return Err(DecodeError::Invalid("result 0 must be the empty result"));
@@ -277,13 +289,9 @@ pub fn decode_cell_diagram(data: &[u8]) -> Result<CellDiagram, DecodeError> {
     // Rebuild a grid with the same line structure: one synthetic point per
     // (x, y) pair, padding the shorter axis by repeating its last value.
     let n = xs.len().max(ys.len());
-    let synth = Dataset::from_coords((0..n).map(|k| {
-        (
-            xs[k.min(xs.len() - 1)],
-            ys[k.min(ys.len() - 1)],
-        )
-    }))
-    .map_err(|_| DecodeError::Invalid("grid lines exceed coordinate bounds"))?;
+    let synth =
+        Dataset::from_coords((0..n).map(|k| (xs[k.min(xs.len() - 1)], ys[k.min(ys.len() - 1)])))
+            .map_err(|_| DecodeError::Invalid("grid lines exceed coordinate bounds"))?;
     let grid = CellGrid::new(&synth);
     debug_assert_eq!(grid.x_lines(), xs.as_slice());
     debug_assert_eq!(grid.y_lines(), ys.as_slice());
@@ -319,8 +327,8 @@ pub fn decode_subcell_diagram(data: &[u8]) -> Result<SubcellDiagram, DecodeError
 /// Convenience: query support after decode is identical to pre-encode.
 /// (Documented here because decode rebuilds grids synthetically.)
 pub fn roundtrip_query_check(diagram: &CellDiagram, q: Point) -> bool {
-    let decoded = decode_cell_diagram(&encode_cell_diagram(diagram))
-        .expect("fresh encoding always decodes");
+    let decoded =
+        decode_cell_diagram(&encode_cell_diagram(diagram)).expect("fresh encoding always decodes");
     decoded.query(q) == diagram.query(q)
 }
 
@@ -378,7 +386,10 @@ mod tests {
     fn kind_confusion_is_detected() {
         let ds = Dataset::from_coords([(0, 0), (6, 10)]).unwrap();
         let sub = encode_subcell_diagram(&DynamicEngine::Scanning.build(&ds));
-        assert_eq!(decode_cell_diagram(&sub).err(), Some(DecodeError::BadKind(KIND_SUBCELL)));
+        assert_eq!(
+            decode_cell_diagram(&sub).err(),
+            Some(DecodeError::BadKind(KIND_SUBCELL))
+        );
     }
 
     #[test]
@@ -391,14 +402,19 @@ mod tests {
         bytes.extend_from_slice(&[0, 0, 0, 0]);
         let checksum = super::fnv64(&bytes);
         bytes.extend_from_slice(&checksum.to_le_bytes());
-        assert_eq!(decode_cell_diagram(&bytes).err(), Some(DecodeError::TrailingBytes(4)));
+        assert_eq!(
+            decode_cell_diagram(&bytes).err(),
+            Some(DecodeError::TrailingBytes(4))
+        );
     }
 
     #[test]
     fn error_display() {
         assert!(DecodeError::BadMagic.to_string().contains("not a skyline"));
         assert!(DecodeError::BadVersion(9).to_string().contains('9'));
-        assert!(DecodeError::ChecksumMismatch.to_string().contains("checksum"));
+        assert!(DecodeError::ChecksumMismatch
+            .to_string()
+            .contains("checksum"));
         assert!(DecodeError::Invalid("x").to_string().contains('x'));
     }
 }

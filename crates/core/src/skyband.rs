@@ -38,10 +38,13 @@ use crate::result_set::ResultInterner;
 
 /// From-scratch quadrant k-skyband of a query point: points strictly in
 /// the first quadrant of `q` dominated by fewer than `k` quadrant points.
+#[must_use]
 pub fn quadrant_skyband(dataset: &Dataset, q: crate::geometry::Point, k: u32) -> Vec<PointId> {
     assert!(k >= 1, "k-skyband needs k >= 1");
-    let members: Vec<(PointId, crate::geometry::Point)> =
-        dataset.iter().filter(|(_, p)| p.x > q.x && p.y > q.y).collect();
+    let members: Vec<(PointId, crate::geometry::Point)> = dataset
+        .iter()
+        .filter(|(_, p)| p.x > q.x && p.y > q.y)
+        .collect();
     let mut out: Vec<PointId> = members
         .iter()
         .filter(|(_, p)| {
@@ -222,7 +225,10 @@ pub fn build_global(dataset: &Dataset, k: u32) -> CellDiagram {
             }
         }
     }
-    let cells = union_acc.into_iter().map(|ids| results.intern_sorted(ids)).collect();
+    let cells = union_acc
+        .into_iter()
+        .map(|ids| results.intern_sorted(ids))
+        .collect();
     CellDiagram::from_parts(grid, results, cells)
 }
 
@@ -259,7 +265,10 @@ mod tests {
     fn engines_agree_under_ties() {
         let ds = crate::test_data::lcg_dataset(25, 6, 9);
         for k in [1u32, 2, 4] {
-            assert!(build_incremental(&ds, k).same_results(&build_baseline(&ds, k)), "{k}");
+            assert!(
+                build_incremental(&ds, k).same_results(&build_baseline(&ds, k)),
+                "{k}"
+            );
         }
     }
 

@@ -5,10 +5,11 @@
 //! evicted), or is incomparable (appended). Worst case `O(n²·d)`, good in
 //! practice when the skyline is small.
 
-use crate::geometry::{DatasetD, PointId};
 use crate::dominance::dominates_d;
+use crate::geometry::{DatasetD, PointId};
 
 /// Skyline of a subset of a d-dimensional dataset. Returns ids sorted by id.
+#[must_use]
 pub fn skyline_d_subset(
     dataset: &DatasetD,
     subset: impl IntoIterator<Item = PointId>,
@@ -35,11 +36,13 @@ pub fn skyline_d_subset(
 }
 
 /// Skyline of an entire d-dimensional dataset.
+#[must_use]
 pub fn skyline_d(dataset: &DatasetD) -> Vec<PointId> {
     skyline_d_subset(dataset, (0..dataset.len() as u32).map(PointId))
 }
 
 /// Brute-force quadratic skyline in d dimensions; test oracle only.
+#[must_use]
 pub fn skyline_d_naive(dataset: &DatasetD, subset: &[PointId]) -> Vec<PointId> {
     let mut result: Vec<PointId> = subset
         .iter()

@@ -8,10 +8,11 @@
 //! code small while preserving the divide-and-conquer shape the paper cites
 //! from computational geometry.
 
-use crate::geometry::{DatasetD, PointId};
 use crate::dominance::dominates_d;
+use crate::geometry::{DatasetD, PointId};
 
 /// Skyline of a subset of a d-dimensional dataset. Returns ids sorted by id.
+#[must_use]
 pub fn skyline_d_subset(
     dataset: &DatasetD,
     subset: impl IntoIterator<Item = PointId>,
@@ -20,7 +21,11 @@ pub fn skyline_d_subset(
     // Sort once by (first coordinate, full lexicographic) so every split is
     // a strict partition of the first coordinate.
     order.sort_unstable_by(|&a, &b| {
-        dataset.point(a).coords().cmp(dataset.point(b).coords()).then(a.cmp(&b))
+        dataset
+            .point(a)
+            .coords()
+            .cmp(dataset.point(b).coords())
+            .then(a.cmp(&b))
     });
     let mut result = recurse(dataset, &order);
     result.sort_unstable();
@@ -28,6 +33,7 @@ pub fn skyline_d_subset(
 }
 
 /// Skyline of an entire d-dimensional dataset.
+#[must_use]
 pub fn skyline_d(dataset: &DatasetD) -> Vec<PointId> {
     skyline_d_subset(dataset, (0..dataset.len() as u32).map(PointId))
 }
@@ -51,7 +57,8 @@ fn recurse(dataset: &DatasetD, sorted: &[PointId]) -> Vec<PointId> {
     let high = recurse(dataset, &sorted[mid..]);
     let mut merged = low.clone();
     merged.extend(high.into_iter().filter(|&h| {
-        !low.iter().any(|&l| dominates_d(dataset.point(l), dataset.point(h)))
+        !low.iter()
+            .any(|&l| dominates_d(dataset.point(l), dataset.point(h)))
     }));
     merged
 }
@@ -111,7 +118,9 @@ mod tests {
         for _ in 0..200 {
             let mut row = [0i64; 3];
             for r in &mut row {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 *r = ((state >> 33) % 50) as i64;
             }
             rows.push(row.to_vec());

@@ -11,6 +11,7 @@ use crate::skyline::{bnl, sort_sweep};
 
 /// Skyline layers of a planar dataset. `layers[k]` lists the ids on layer
 /// `k+1`, sorted by id; every point appears in exactly one layer.
+#[must_use]
 pub fn layers_2d(dataset: &Dataset) -> Vec<Vec<PointId>> {
     let mut remaining: Vec<(Coord, Coord, PointId)> =
         dataset.iter().map(|(id, p)| (p.x, p.y, id)).collect();
@@ -24,6 +25,7 @@ pub fn layers_2d(dataset: &Dataset) -> Vec<Vec<PointId>> {
 }
 
 /// Skyline layers of a d-dimensional dataset.
+#[must_use]
 pub fn layers_d(dataset: &DatasetD) -> Vec<Vec<PointId>> {
     let mut remaining: Vec<PointId> = (0..dataset.len() as u32).map(PointId).collect();
     let mut layers = Vec::new();
@@ -43,7 +45,10 @@ pub fn layer_numbers(layers: &[Vec<PointId>], n: usize) -> Vec<u32> {
             numbers[id.index()] = k as u32 + 1;
         }
     }
-    debug_assert!(numbers.iter().all(|&l| l > 0), "every point belongs to a layer");
+    debug_assert!(
+        numbers.iter().all(|&l| l > 0),
+        "every point belongs to a layer"
+    );
     numbers
 }
 

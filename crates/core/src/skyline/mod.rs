@@ -31,10 +31,14 @@ pub enum SkylineAlgorithm {
 
 impl SkylineAlgorithm {
     /// All selectable algorithms, for exhaustive cross-validation.
-    pub const ALL: [SkylineAlgorithm; 3] =
-        [SkylineAlgorithm::Bnl, SkylineAlgorithm::Sfs, SkylineAlgorithm::DivideAndConquer];
+    pub const ALL: [SkylineAlgorithm; 3] = [
+        SkylineAlgorithm::Bnl,
+        SkylineAlgorithm::Sfs,
+        SkylineAlgorithm::DivideAndConquer,
+    ];
 
     /// Skyline of a subset of a d-dimensional dataset; ids sorted by id.
+    #[must_use]
     pub fn skyline_subset(
         self,
         dataset: &DatasetD,
@@ -48,6 +52,7 @@ impl SkylineAlgorithm {
     }
 
     /// Skyline of an entire d-dimensional dataset.
+    #[must_use]
     pub fn skyline(self, dataset: &DatasetD) -> Vec<PointId> {
         self.skyline_subset(dataset, (0..dataset.len() as u32).map(PointId))
     }

@@ -5,10 +5,11 @@
 //! precede it in this order, so one filtering pass against the confirmed
 //! skyline suffices and no window eviction is ever needed.
 
-use crate::geometry::{DatasetD, PointId};
 use crate::dominance::dominates_d;
+use crate::geometry::{DatasetD, PointId};
 
 /// Skyline of a subset of a d-dimensional dataset. Returns ids sorted by id.
+#[must_use]
 pub fn skyline_d_subset(
     dataset: &DatasetD,
     subset: impl IntoIterator<Item = PointId>,
@@ -34,6 +35,7 @@ pub fn skyline_d_subset(
 }
 
 /// Skyline of an entire d-dimensional dataset.
+#[must_use]
 pub fn skyline_d(dataset: &DatasetD) -> Vec<PointId> {
     skyline_d_subset(dataset, (0..dataset.len() as u32).map(PointId))
 }

@@ -16,6 +16,7 @@ use crate::geometry::{Coord, Dataset, Point, PointId};
 /// smaller x and equal y dominates: `<=` in both, `<` in x). Points with
 /// identical coordinates never dominate each other (no strict dimension), so
 /// exact duplicates are all reported.
+#[must_use]
 pub fn minima_xy(points: &mut [(Coord, Coord, PointId)]) -> Vec<PointId> {
     let mut result = Vec::new();
     if points.is_empty() {
@@ -50,6 +51,7 @@ pub fn minima_xy(points: &mut [(Coord, Coord, PointId)]) -> Vec<PointId> {
 
 /// Maxima counterpart of [`minima_xy`] (used for direct-dominance parents in
 /// the directed skyline graph): points not dominated under maximization.
+#[must_use]
 pub fn maxima_xy(points: &mut [(Coord, Coord, PointId)]) -> Vec<PointId> {
     for p in points.iter_mut() {
         p.0 = -p.0;
@@ -59,11 +61,13 @@ pub fn maxima_xy(points: &mut [(Coord, Coord, PointId)]) -> Vec<PointId> {
 }
 
 /// Skyline of an entire planar dataset.
+#[must_use]
 pub fn skyline_2d(dataset: &Dataset) -> Vec<PointId> {
     skyline_2d_subset(dataset, dataset.ids())
 }
 
 /// Skyline of a subset of a planar dataset.
+#[must_use]
 pub fn skyline_2d_subset(
     dataset: &Dataset,
     subset: impl IntoIterator<Item = PointId>,
@@ -80,11 +84,14 @@ pub fn skyline_2d_subset(
 
 /// Brute-force quadratic skyline, kept as the test oracle for every other
 /// implementation in this module tree.
+#[must_use]
 pub fn skyline_2d_naive(points: &[(Point, PointId)]) -> Vec<PointId> {
     let mut result: Vec<PointId> = points
         .iter()
         .filter(|(p, _)| {
-            !points.iter().any(|(q, _)| crate::dominance::dominates(*q, *p))
+            !points
+                .iter()
+                .any(|(q, _)| crate::dominance::dominates(*q, *p))
         })
         .map(|&(_, id)| id)
         .collect();
@@ -97,8 +104,11 @@ mod tests {
     use super::*;
 
     fn run(coords: &[(Coord, Coord)]) -> Vec<u32> {
-        let mut pts: Vec<(Coord, Coord, PointId)> =
-            coords.iter().enumerate().map(|(i, &(x, y))| (x, y, PointId(i as u32))).collect();
+        let mut pts: Vec<(Coord, Coord, PointId)> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (x, y, PointId(i as u32)))
+            .collect();
         minima_xy(&mut pts).into_iter().map(|id| id.0).collect()
     }
 
@@ -119,7 +129,10 @@ mod tests {
     #[test]
     fn staircase() {
         // Classic staircase: minima are the lower-left frontier.
-        assert_eq!(run(&[(1, 5), (2, 3), (3, 4), (4, 1), (5, 2)]), vec![0, 1, 3]);
+        assert_eq!(
+            run(&[(1, 5), (2, 3), (3, 4), (4, 1), (5, 2)]),
+            vec![0, 1, 3]
+        );
     }
 
     #[test]
@@ -156,11 +169,17 @@ mod tests {
     #[test]
     fn maxima_mirrors_minima() {
         let coords = [(1, 5), (2, 3), (3, 4), (4, 1), (5, 2)];
-        let mut pts: Vec<(Coord, Coord, PointId)> =
-            coords.iter().enumerate().map(|(i, &(x, y))| (x, y, PointId(i as u32))).collect();
+        let mut pts: Vec<(Coord, Coord, PointId)> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (x, y, PointId(i as u32)))
+            .collect();
         // Maxima of the staircase dataset: upper-right frontier.
         assert_eq!(
-            maxima_xy(&mut pts).into_iter().map(|id| id.0).collect::<Vec<_>>(),
+            maxima_xy(&mut pts)
+                .into_iter()
+                .map(|id| id.0)
+                .collect::<Vec<_>>(),
             vec![0, 2, 4]
         );
     }

@@ -27,8 +27,11 @@ pub(crate) fn hotel_dataset() -> Dataset {
 pub(crate) fn lcg_dataset(n: usize, domain: i64, seed: u64) -> Dataset {
     let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) % domain as u64) as i64
     };
-    Dataset::from_coords((0..n).map(|_| (next(), next()))).expect("n > 0")
+    Dataset::from_coords((0..n).map(|_| (next(), next())))
+        .expect("n > 0 points with in-domain coordinates form a valid dataset")
 }

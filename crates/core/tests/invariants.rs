@@ -1,0 +1,126 @@
+//! Invariants-driven property suite: every engine's output must pass the
+//! full [`skyline_core::invariants`] battery — structural tiling, exhaustive
+//! brute-force semantic recompute, the Definition 2 union cross-check for
+//! global diagrams, and the polyomino partition checks — on randomly
+//! generated datasets (≥100 per query semantics) spanning general position
+//! through heavy coordinate ties, plus the paper's hotel running example.
+//!
+//! The engines also self-check behind `debug_assert!` during these builds;
+//! this suite exists so the invariants hold by *test contract*, not only by
+//! debug-mode side effect, and so violations surface with a reproducible
+//! proptest case seed.
+
+use proptest::prelude::*;
+use skyline_core::diagram::merge::{merge, merge_subcells};
+use skyline_core::dynamic::DynamicEngine;
+use skyline_core::geometry::{Dataset, Point, PointId};
+use skyline_core::global;
+use skyline_core::invariants::{self, CellSemantics, FULL_SAMPLE};
+use skyline_core::quadrant::QuadrantEngine;
+
+/// The paper's Table 1 hotel dataset (p1..p11, 1-indexed in the paper).
+fn hotel() -> Dataset {
+    Dataset::from_coords([
+        (1, 92),
+        (3, 96),
+        (12, 86),
+        (5, 94),
+        (15, 85),
+        (8, 78),
+        (16, 83),
+        (13, 83),
+        (6, 93),
+        (21, 82),
+        (11, 9),
+    ])
+    .expect("the hotel running example is a valid dataset")
+}
+
+/// Coordinates drawn from a deliberately small window around the origin so
+/// ties, duplicate points, and negative coordinates are all frequent.
+fn dataset_strategy(max_n: usize, lo: i64, hi: i64) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((lo..hi, lo..hi), 1..=max_n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quadrant_diagrams_satisfy_all_invariants(coords in dataset_strategy(10, -6, 18)) {
+        let ds = Dataset::from_coords(coords).expect("strategy yields non-empty in-range data");
+        for engine in QuadrantEngine::ALL {
+            let d = engine.build(&ds);
+            if let Err(v) =
+                invariants::validate_cell_diagram(&ds, &d, CellSemantics::Quadrant, FULL_SAMPLE)
+            {
+                return Err(TestCaseError::fail(format!("{}: {v}", engine.name())));
+            }
+        }
+        let d = QuadrantEngine::Sweeping.build(&ds);
+        let merged = merge(&d);
+        if let Err(v) = invariants::validate_merged_cells(&d, &merged) {
+            return Err(TestCaseError::fail(format!("merged: {v}")));
+        }
+        prop_assert_eq!(invariants::total_area(&merged), d.grid().cell_count());
+    }
+
+    #[test]
+    fn global_diagrams_satisfy_all_invariants(coords in dataset_strategy(10, -6, 18)) {
+        let ds = Dataset::from_coords(coords).expect("strategy yields non-empty in-range data");
+        let d = global::build(&ds, QuadrantEngine::Sweeping);
+        if let Err(v) =
+            invariants::validate_cell_diagram(&ds, &d, CellSemantics::Global, FULL_SAMPLE)
+        {
+            return Err(TestCaseError::fail(v.to_string()));
+        }
+        let merged = merge(&d);
+        if let Err(v) = invariants::validate_merged_cells(&d, &merged) {
+            return Err(TestCaseError::fail(format!("merged: {v}")));
+        }
+    }
+
+    #[test]
+    fn dynamic_diagrams_satisfy_all_invariants(coords in dataset_strategy(6, -4, 12)) {
+        let ds = Dataset::from_coords(coords).expect("strategy yields non-empty in-range data");
+        let d = DynamicEngine::Scanning.build(&ds);
+        if let Err(v) = invariants::validate_subcell_diagram(&ds, &d, FULL_SAMPLE) {
+            return Err(TestCaseError::fail(v.to_string()));
+        }
+        let merged = merge_subcells(&d);
+        if let Err(v) = invariants::validate_merged_subcells(&d, &merged) {
+            return Err(TestCaseError::fail(format!("merged: {v}")));
+        }
+        prop_assert_eq!(invariants::total_area(&merged), d.grid().subcell_count());
+    }
+}
+
+#[test]
+fn hotel_running_example_satisfies_all_invariants() {
+    let ds = hotel();
+
+    for engine in QuadrantEngine::ALL {
+        let d = engine.build(&ds);
+        invariants::validate_cell_diagram(&ds, &d, CellSemantics::Quadrant, FULL_SAMPLE)
+            .unwrap_or_else(|v| panic!("{}: {v}", engine.name()));
+        // Paper running example: the quadrant skyline of q = (10, 80) is
+        // {p3, p8, p10} (0-indexed ids 2, 7, 9).
+        assert_eq!(
+            d.query(Point::new(10, 80)),
+            &[PointId(2), PointId(7), PointId(9)],
+            "{}",
+            engine.name()
+        );
+        let merged = merge(&d);
+        invariants::validate_merged_cells(&d, &merged).unwrap_or_else(|v| panic!("{v}"));
+    }
+
+    let g = global::build(&ds, QuadrantEngine::Sweeping);
+    invariants::validate_cell_diagram(&ds, &g, CellSemantics::Global, FULL_SAMPLE)
+        .unwrap_or_else(|v| panic!("global: {v}"));
+
+    for engine in DynamicEngine::ALL {
+        let d = engine.build(&ds);
+        invariants::validate_subcell_diagram(&ds, &d, FULL_SAMPLE)
+            .unwrap_or_else(|v| panic!("{}: {v}", engine.name()));
+    }
+}

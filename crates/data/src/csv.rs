@@ -135,14 +135,21 @@ mod tests {
         assert_eq!(parse_rows("# only comments\n"), Err(CsvError::Empty));
         assert!(matches!(parse_rows("1,x"), Err(CsvError::BadInteger(1, _))));
         assert_eq!(parse_rows("1,2\n3\n"), Err(CsvError::RaggedRow(2, 1, 2)));
-        assert!(matches!(parse_dataset_2d("1,2,3\n"), Err(CsvError::RaggedRow(1, 3, 2))));
+        assert!(matches!(
+            parse_dataset_2d("1,2,3\n"),
+            Err(CsvError::RaggedRow(1, 3, 2))
+        ));
         assert!(matches!(parse_dataset_d("1\n"), Err(CsvError::Dataset(_))));
     }
 
     #[test]
     fn error_display() {
-        assert!(CsvError::BadInteger(3, "x".into()).to_string().contains("line 3"));
-        assert!(CsvError::RaggedRow(2, 1, 2).to_string().contains("expected 2"));
+        assert!(CsvError::BadInteger(3, "x".into())
+            .to_string()
+            .contains("line 3"));
+        assert!(CsvError::RaggedRow(2, 1, 2)
+            .to_string()
+            .contains("expected 2"));
         assert!(CsvError::Empty.to_string().contains("no data"));
     }
 }

@@ -29,7 +29,7 @@ pub fn zipf_2d(n: usize, domain: Coord, exponent: f64, seed: u64) -> Dataset {
     };
 
     Dataset::from_coords((0..n).map(|_| (draw(&mut rng), draw(&mut rng))))
-        .expect("n > 0")
+        .expect("n > 0 points with in-domain coordinates form a valid dataset")
 }
 
 /// A mixture of Gaussian-ish clusters inside `[0, domain)²`; cluster
@@ -49,9 +49,8 @@ pub fn clustered_2d(n: usize, domain: Coord, clusters: usize, seed: u64) -> Data
         })
         .collect();
     let spread = domain as f64 / (clusters as f64).sqrt() / 6.0;
-    let normal = move |rng: &mut StdRng| -> f64 {
-        (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0
-    };
+    let normal =
+        move |rng: &mut StdRng| -> f64 { (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0 };
 
     Dataset::from_coords((0..n).map(|_| {
         let (cx, cy) = centers[rng.gen_range(0..clusters)];
@@ -59,7 +58,7 @@ pub fn clustered_2d(n: usize, domain: Coord, clusters: usize, seed: u64) -> Data
         let y = (cy + normal(&mut rng) * spread).round() as Coord;
         (x.clamp(0, domain - 1), y.clamp(0, domain - 1))
     }))
-    .expect("n > 0")
+    .expect("n > 0 points clamped into the domain form a valid dataset")
 }
 
 #[cfg(test)]
@@ -89,8 +88,7 @@ mod tests {
         assert_eq!(ds.len(), 1000);
         // Mean absolute deviation from the global mean should be well
         // below the uniform expectation (~250 per axis for domain 1000).
-        let mean_x: f64 =
-            ds.points().iter().map(|p| p.x as f64).sum::<f64>() / ds.len() as f64;
+        let mean_x: f64 = ds.points().iter().map(|p| p.x as f64).sum::<f64>() / ds.len() as f64;
         let mad: f64 = ds
             .points()
             .iter()
@@ -109,7 +107,11 @@ mod tests {
         for ds in [zipf_2d(60, 30, 1.0, 1), clustered_2d(60, 200, 4, 2)] {
             let reference = QuadrantEngine::Baseline.build(&ds);
             for engine in QuadrantEngine::ALL {
-                assert!(engine.build(&ds).same_results(&reference), "{}", engine.name());
+                assert!(
+                    engine.build(&ds).same_results(&reference),
+                    "{}",
+                    engine.name()
+                );
             }
         }
     }

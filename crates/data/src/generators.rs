@@ -25,8 +25,11 @@ pub enum Distribution {
 
 impl Distribution {
     /// All distributions, in the order the experiment tables report them.
-    pub const ALL: [Distribution; 3] =
-        [Distribution::Correlated, Distribution::Independent, Distribution::Anticorrelated];
+    pub const ALL: [Distribution; 3] = [
+        Distribution::Correlated,
+        Distribution::Independent,
+        Distribution::Anticorrelated,
+    ];
 
     /// Short stable name used in bench ids and experiment tables.
     pub fn name(self) -> &'static str {
@@ -127,7 +130,13 @@ mod tests {
     use skyline_core::skyline::sort_sweep::skyline_2d;
 
     fn spec(distribution: Distribution) -> DatasetSpec {
-        DatasetSpec { n: 500, dims: 2, domain: 1000, distribution, seed: 42 }
+        DatasetSpec {
+            n: 500,
+            dims: 2,
+            domain: 1000,
+            distribution,
+            seed: 42,
+        }
     }
 
     #[test]
@@ -189,12 +198,8 @@ mod tests {
     #[test]
     fn anticorrelated_sums_concentrate() {
         let ds = spec(Distribution::Anticorrelated).build_2d();
-        let mean_sum: f64 = ds
-            .points()
-            .iter()
-            .map(|p| (p.x + p.y) as f64)
-            .sum::<f64>()
-            / ds.len() as f64;
+        let mean_sum: f64 =
+            ds.points().iter().map(|p| (p.x + p.y) as f64).sum::<f64>() / ds.len() as f64;
         // Σ ≈ s·d/2 = 1000 for d = 2, s = 1000.
         assert!((mean_sum - 1000.0).abs() < 100.0, "mean sum {mean_sum}");
     }

@@ -63,7 +63,10 @@ mod tests {
 
     #[test]
     fn first_quadrant_skyline_matches_figure_1() {
-        assert_eq!(quadrant_skyline_naive(&dataset(), QUERY), vec![p(3), p(8), p(10)]);
+        assert_eq!(
+            quadrant_skyline_naive(&dataset(), QUERY),
+            vec![p(3), p(8), p(10)]
+        );
     }
 
     #[test]

@@ -29,8 +29,7 @@ const MAXES: [Coord; 3] = [40, 20, 15];
 /// minimization.
 pub fn players_2d(n: usize, seed: u64) -> Dataset {
     let rows = rows(n, 2, seed);
-    Dataset::from_coords(rows.into_iter().map(|r| (r[0], r[1])))
-        .expect("generator output is valid")
+    Dataset::from_coords(rows.into_iter().map(|r| (r[0], r[1]))).expect("generator output is valid")
 }
 
 /// Generates an NBA-like d-dimensional dataset (`2 <= dims <= 3`), inverted
@@ -104,10 +103,9 @@ mod tests {
     fn correlation_is_positive() {
         let ds = players_2d(1000, 9);
         let n = ds.len() as f64;
-        let (mx, my) = ds
-            .points()
-            .iter()
-            .fold((0.0, 0.0), |(ax, ay), p| (ax + p.x as f64 / n, ay + p.y as f64 / n));
+        let (mx, my) = ds.points().iter().fold((0.0, 0.0), |(ax, ay), p| {
+            (ax + p.x as f64 / n, ay + p.y as f64 / n)
+        });
         let (mut cov, mut vx, mut vy) = (0.0, 0.0, 0.0);
         for p in ds.points() {
             let (dx, dy) = (p.x as f64 - mx, p.y as f64 - my);

@@ -67,10 +67,9 @@ impl DatasetProfile {
 /// Pearson correlation of the two attributes; 0 for degenerate variance.
 pub fn correlation(dataset: &Dataset) -> f64 {
     let n = dataset.len() as f64;
-    let (mx, my) = dataset
-        .points()
-        .iter()
-        .fold((0.0, 0.0), |(ax, ay), p| (ax + p.x as f64 / n, ay + p.y as f64 / n));
+    let (mx, my) = dataset.points().iter().fold((0.0, 0.0), |(ax, ay), p| {
+        (ax + p.x as f64 / n, ay + p.y as f64 / n)
+    });
     let (mut cov, mut vx, mut vy) = (0.0, 0.0, 0.0);
     for p in dataset.points() {
         let (dx, dy) = (p.x as f64 - mx, p.y as f64 - my);
@@ -91,7 +90,14 @@ mod tests {
     use crate::{DatasetSpec, Distribution};
 
     fn spec(distribution: Distribution) -> Dataset {
-        DatasetSpec { n: 400, dims: 2, domain: 1000, distribution, seed: 11 }.build_2d()
+        DatasetSpec {
+            n: 400,
+            dims: 2,
+            domain: 1000,
+            distribution,
+            seed: 11,
+        }
+        .build_2d()
     }
 
     #[test]

@@ -37,12 +37,7 @@ pub fn near_data(dataset: &Dataset, n: usize, jitter: Coord, seed: u64) -> Vec<P
 /// Queries along a random walk (each step bounded) — the moving-client
 /// workload behind the safe-zone application: consecutive queries usually
 /// stay within one polyomino.
-pub fn random_walk(
-    start: Point,
-    n: usize,
-    step: Coord,
-    seed: u64,
-) -> Vec<Point> {
+pub fn random_walk(start: Point, n: usize, step: Coord, seed: u64) -> Vec<Point> {
     assert!(step > 0, "walk needs a positive step bound");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut at = start;

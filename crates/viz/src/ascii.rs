@@ -72,8 +72,12 @@ pub fn legend(diagram: &CellDiagram) -> String {
         if rid == empty || !seen.insert(rid) {
             continue;
         }
-        let ids: Vec<String> =
-            diagram.results().get(rid).iter().map(|id| id.to_string()).collect();
+        let ids: Vec<String> = diagram
+            .results()
+            .get(rid)
+            .iter()
+            .map(|id| id.to_string())
+            .collect();
         writeln!(out, "{} = {{{}}}", glyph_for(rid, empty), ids.join(", "))
             .expect("string writes cannot fail");
     }

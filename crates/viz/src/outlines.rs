@@ -60,8 +60,17 @@ mod tests {
     #[test]
     fn outlines_produce_one_path_per_loop() {
         let ds = Dataset::from_coords([
-            (1, 92), (3, 96), (12, 86), (5, 94), (15, 85), (8, 78),
-            (16, 83), (13, 83), (6, 93), (21, 82), (11, 9),
+            (1, 92),
+            (3, 96),
+            (12, 86),
+            (5, 94),
+            (15, 85),
+            (8, 78),
+            (16, 83),
+            (13, 83),
+            (6, 93),
+            (21, 82),
+            (11, 9),
         ])
         .unwrap();
         let diagram = QuadrantEngine::Sweeping.build(&ds);
@@ -80,7 +89,13 @@ mod tests {
         let merged = merge(&diagram);
         let svg = render_outlined_diagram(&ds, &diagram, &merged, &SvgOptions::default());
         for path in svg.split("<path").skip(1) {
-            let d_attr = path.split("d=\"").nth(1).unwrap().split('"').next().unwrap();
+            let d_attr = path
+                .split("d=\"")
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap();
             assert!(d_attr.starts_with('M'));
             assert!(d_attr.ends_with('Z'));
         }

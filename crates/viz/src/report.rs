@@ -13,7 +13,9 @@ use crate::outlines::render_outlined_diagram;
 use crate::svg::SvgOptions;
 
 fn esc(text: &str) -> String {
-    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Renders a full HTML report for a dataset: profile table, diagram
@@ -42,20 +44,27 @@ figure { margin: 1.5rem 0; }
     html.push_str("<h2>Dataset profile</h2>\n<table><tr><th>metric</th><th>value</th></tr>\n");
     let profile_rows = [
         ("points", profile.n.to_string()),
-        ("distinct x / y", format!("{} / {}", profile.distinct_x, profile.distinct_y)),
+        (
+            "distinct x / y",
+            format!("{} / {}", profile.distinct_x, profile.distinct_y),
+        ),
         ("skyline size", profile.skyline_size.to_string()),
         ("skyline layers", profile.layer_count.to_string()),
-        ("dominance density", format!("{:.3}", profile.dominance_density)),
-        ("attribute correlation", format!("{:+.3}", profile.correlation)),
+        (
+            "dominance density",
+            format!("{:.3}", profile.dominance_density),
+        ),
+        (
+            "attribute correlation",
+            format!("{:+.3}", profile.correlation),
+        ),
     ];
     for (k, v) in profile_rows {
         let _ = writeln!(html, "<tr><td>{}</td><td>{}</td></tr>", esc(k), esc(&v));
     }
     html.push_str("</table>\n");
 
-    html.push_str(
-        "<h2>Skyline diagram</h2>\n<table><tr><th>metric</th><th>value</th></tr>\n",
-    );
+    html.push_str("<h2>Skyline diagram</h2>\n<table><tr><th>metric</th><th>value</th></tr>\n");
     let diagram_rows = [
         ("engine", engine.name().to_string()),
         ("cells", stats.cell_count.to_string()),
@@ -64,7 +73,10 @@ figure { margin: 1.5rem 0; }
             "compression (polyominoes / cells)",
             format!("{:.3}", merged.len() as f64 / stats.cell_count as f64),
         ),
-        ("avg skyline size per cell", format!("{:.2}", stats.avg_result_len)),
+        (
+            "avg skyline size per cell",
+            format!("{:.2}", stats.avg_result_len),
+        ),
         ("max skyline size", stats.max_result_len.to_string()),
         ("interned ids", stats.interned_ids.to_string()),
     ];
@@ -85,8 +97,17 @@ mod tests {
 
     fn hotel() -> Dataset {
         Dataset::from_coords([
-            (1, 92), (3, 96), (12, 86), (5, 94), (15, 85), (8, 78),
-            (16, 83), (13, 83), (6, 93), (21, 82), (11, 9),
+            (1, 92),
+            (3, 96),
+            (12, 86),
+            (5, 94),
+            (15, 85),
+            (8, 78),
+            (16, 83),
+            (13, 83),
+            (6, 93),
+            (21, 82),
+            (11, 9),
         ])
         .unwrap()
     }

@@ -24,7 +24,12 @@ pub struct SvgOptions {
 
 impl Default for SvgOptions {
     fn default() -> Self {
-        SvgOptions { width_px: 640.0, margin: 2, draw_points: true, point_radius: 3.5 }
+        SvgOptions {
+            width_px: 640.0,
+            margin: 2,
+            draw_points: true,
+            point_radius: 3.5,
+        }
     }
 }
 
@@ -163,7 +168,9 @@ pub fn render_result_grid(
     points: Option<&Dataset>,
     options: &SvgOptions,
 ) -> String {
-    render_grid_diagram(x_lines, y_lines, line_scale, result_of, empty, points, options)
+    render_grid_diagram(
+        x_lines, y_lines, line_scale, result_of, empty, points, options,
+    )
 }
 
 /// Renders a quadrant/global cell diagram.
@@ -266,8 +273,17 @@ mod tests {
 
     fn hotel() -> Dataset {
         Dataset::from_coords([
-            (1, 92), (3, 96), (12, 86), (5, 94), (15, 85), (8, 78),
-            (16, 83), (13, 83), (6, 93), (21, 82), (11, 9),
+            (1, 92),
+            (3, 96),
+            (12, 86),
+            (5, 94),
+            (15, 85),
+            (8, 78),
+            (16, 83),
+            (13, 83),
+            (6, 93),
+            (21, 82),
+            (11, 9),
         ])
         .unwrap()
     }
@@ -307,7 +323,10 @@ mod tests {
     fn options_control_points() {
         let ds = hotel();
         let d = QuadrantEngine::Sweeping.build(&ds);
-        let options = SvgOptions { draw_points: false, ..SvgOptions::default() };
+        let options = SvgOptions {
+            draw_points: false,
+            ..SvgOptions::default()
+        };
         let svg = render_cell_diagram(&ds, &d, &options);
         assert_eq!(svg.matches("<circle").count(), 0);
     }

@@ -1,0 +1,168 @@
+//! Parser for `lint.toml`, the per-rule allowlist.
+//!
+//! The file is a sequence of `[[allow]]` tables with string values only —
+//! a deliberately tiny TOML subset, parsed by hand because the workspace
+//! builds with no registry access. Anything outside that subset is a hard
+//! error so typos cannot silently disable an entry.
+
+/// One allowlist entry: suppresses findings of `rule` in `path` on lines
+/// containing `line_contains`, with a human justification in `reason`.
+#[derive(Debug)]
+pub struct AllowEntry {
+    /// Rule id the entry applies to (e.g. `no-unwrap`).
+    pub rule: String,
+    /// Workspace-relative path of the file, with forward slashes.
+    pub path: String,
+    /// Substring of the offending source line; scopes the entry to
+    /// specific findings so it goes stale when the code changes.
+    pub line_contains: String,
+    /// Why the violation is acceptable. Required — an allowlist entry
+    /// without a justification is a config error.
+    pub reason: String,
+    /// Line in lint.toml where the entry starts, for error messages.
+    pub toml_line: u32,
+}
+
+/// Parses the allowlist, or returns a `line: message` error string.
+pub fn parse_allowlist(src: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<AllowEntry> = None;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx
+            .checked_add(1)
+            .and_then(|n| u32::try_from(n).ok())
+            .unwrap_or(u32::MAX);
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(entry) = current.take() {
+                finish(entry, &mut entries)?;
+            }
+            current = Some(AllowEntry {
+                rule: String::new(),
+                path: String::new(),
+                line_contains: String::new(),
+                reason: String::new(),
+                toml_line: lineno,
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "{lineno}: expected `key = \"value\"` or `[[allow]]`, got `{line}`"
+            ));
+        };
+        let Some(entry) = current.as_mut() else {
+            return Err(format!(
+                "{lineno}: `{}` outside an [[allow]] table",
+                key.trim()
+            ));
+        };
+        let value = parse_string(value.trim())
+            .ok_or_else(|| format!("{lineno}: value must be a double-quoted string"))?;
+        match key.trim() {
+            "rule" => entry.rule = value,
+            "path" => entry.path = value,
+            "line_contains" => entry.line_contains = value,
+            "reason" => entry.reason = value,
+            other => return Err(format!("{lineno}: unknown key `{other}` in [[allow]]")),
+        }
+    }
+    if let Some(entry) = current.take() {
+        finish(entry, &mut entries)?;
+    }
+    Ok(entries)
+}
+
+fn finish(entry: AllowEntry, entries: &mut Vec<AllowEntry>) -> Result<(), String> {
+    let missing = [
+        ("rule", entry.rule.is_empty()),
+        ("path", entry.path.is_empty()),
+        ("line_contains", entry.line_contains.is_empty()),
+        ("reason", entry.reason.is_empty()),
+    ];
+    for (name, is_missing) in missing {
+        if is_missing {
+            return Err(format!(
+                "{}: [[allow]] entry is missing required key `{name}`",
+                entry.toml_line
+            ));
+        }
+    }
+    entries.push(entry);
+    Ok(())
+}
+
+/// Parses a double-quoted TOML basic string with `\"` and `\\` escapes.
+fn parse_string(s: &str) -> Option<String> {
+    let inner = s.strip_prefix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                // Only trailing whitespace or a comment may follow.
+                let rest = chars.as_str().trim_start();
+                return (rest.is_empty() || rest.starts_with('#')).then_some(out);
+            }
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_comments() {
+        let src = r#"
+# allowlist
+[[allow]]
+rule = "no-unwrap"
+path = "crates/core/src/lib.rs"
+line_contains = "foo.unwrap()"
+reason = "holds by construction"  # trailing comment
+
+[[allow]]
+rule = "no-as-cast"
+path = "crates/core/src/geometry/grid.rs"
+line_contains = "x as u32"
+reason = "bounded by grid side"
+"#;
+        let entries = parse_allowlist(src).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].rule, "no-unwrap");
+        assert_eq!(entries[1].line_contains, "x as u32");
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let src = "[[allow]]\nrule = \"r\"\npath = \"p\"\nline_contains = \"l\"\n";
+        let err = parse_allowlist(src).unwrap_err();
+        assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let src = "[[allow]]\nrule = \"r\"\nwhatever = \"x\"\n";
+        assert!(parse_allowlist(src).is_err());
+    }
+
+    #[test]
+    fn unquoted_value_is_an_error() {
+        let src = "[[allow]]\nrule = no-unwrap\n";
+        assert!(parse_allowlist(src).is_err());
+    }
+}

@@ -1,0 +1,489 @@
+//! A small Rust lexer for the lint pass.
+//!
+//! The registry (and therefore `syn`) is unreachable in this workspace's
+//! hermetic build environment, so the lints walk a hand-rolled token stream
+//! instead of a real AST. The lexer understands exactly as much Rust as the
+//! rules need: comments (line, nested block), string/char/byte literals
+//! (including raw strings with hash fences), lifetimes vs char literals,
+//! numbers with suffixes, identifiers (including `r#raw`), and punctuation.
+//! Everything skippable is dropped; every kept token carries its 1-based
+//! line number so findings print `file:line`.
+
+/// What a token is, at the granularity the lint rules care about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Any string/char/byte literal (content preserved for rules that
+    /// inspect messages).
+    Str,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Source text. For [`TokKind::Str`] this is the literal's *content*
+    /// (quotes and raw-string fences stripped, escapes left as written).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == ch as u8
+    }
+}
+
+/// Lexes a source file into lint-relevant tokens. Comments and whitespace
+/// are dropped; literals are kept as single tokens.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1u32;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(bytes, i) => {
+                let start_line = line;
+                let (content, next) = scan_prefixed_literal(bytes, i, &mut line);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: content,
+                    line: start_line,
+                });
+                i = next;
+            }
+            b'"' => {
+                let start_line = line;
+                let (content, next) = scan_string(bytes, i + 1, &mut line);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: content,
+                    line: start_line,
+                });
+                i = next;
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a backslash or a `<x>'` pattern
+                // means char; otherwise it is a lifetime.
+                if bytes.get(i + 1) == Some(&b'\\') || is_char_literal(bytes, i) {
+                    let (content, next) = scan_char(bytes, i + 1, &mut line);
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: content,
+                        line,
+                    });
+                    i = next;
+                } else {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < bytes.len() && is_ident_continue(bytes[j]) {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: String::from_utf8_lossy(&bytes[start..j]).into_owned(),
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let b = bytes[i];
+                    if is_ident_continue(b)
+                        || (b == b'.'
+                            && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                            && !bytes[start..i].contains(&b'.'))
+                    {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: String::from_utf8_lossy(&bytes[start..i]).into_owned(),
+                    line,
+                });
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: String::from_utf8_lossy(&bytes[start..i]).into_owned(),
+                    line,
+                });
+            }
+            _ => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Does `r`/`b` at `i` begin a raw string, byte string, or raw identifier
+/// we must scan as a unit (`r"`, `r#"`, `b"`, `br"`, `b'`, `r#ident`)?
+fn starts_raw_or_byte_literal(bytes: &[u8], i: usize) -> bool {
+    let rest = &bytes[i..];
+    match rest {
+        [b'r', b'"', ..] | [b'b', b'"', ..] | [b'b', b'\'', ..] => true,
+        [b'r', b'#', ..] => {
+            // `r#"..."#` raw string or `r#ident` raw identifier: only the
+            // string form is a literal.
+            let mut j = i + 1;
+            while bytes.get(j) == Some(&b'#') {
+                j += 1;
+            }
+            bytes.get(j) == Some(&b'"')
+        }
+        [b'b', b'r', b'"', ..] => true,
+        [b'b', b'r', b'#', ..] => {
+            let mut j = i + 2;
+            while bytes.get(j) == Some(&b'#') {
+                j += 1;
+            }
+            bytes.get(j) == Some(&b'"')
+        }
+        _ => false,
+    }
+}
+
+/// Scans `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, or `b'…'` starting at the
+/// prefix. Returns (content, index-after-literal).
+fn scan_prefixed_literal(bytes: &[u8], i: usize, line: &mut u32) -> (String, usize) {
+    let mut j = i;
+    let mut raw = false;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        raw = true;
+        j += 1;
+    }
+    if !raw {
+        return if bytes[j] == b'\'' {
+            scan_char(bytes, j + 1, line)
+        } else {
+            scan_string(bytes, j + 1, line)
+        };
+    }
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let start = j;
+    loop {
+        if j >= bytes.len() {
+            break;
+        }
+        if bytes[j] == b'"' {
+            let fence = &bytes[j + 1..];
+            if fence.len() >= hashes && fence[..hashes].iter().all(|&b| b == b'#') {
+                let content = String::from_utf8_lossy(&bytes[start..j]).into_owned();
+                return (content, j + 1 + hashes);
+            }
+        }
+        if bytes[j] == b'\n' {
+            *line += 1;
+        }
+        j += 1;
+    }
+    (String::from_utf8_lossy(&bytes[start..j]).into_owned(), j)
+}
+
+/// Scans a non-raw string body starting just after the opening quote.
+fn scan_string(bytes: &[u8], mut j: usize, line: &mut u32) -> (String, usize) {
+    let start = j;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => {
+                return (
+                    String::from_utf8_lossy(&bytes[start..j]).into_owned(),
+                    j + 1,
+                );
+            }
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (String::from_utf8_lossy(&bytes[start..j]).into_owned(), j)
+}
+
+/// Scans a char (or byte-char) body starting just after the opening quote.
+fn scan_char(bytes: &[u8], mut j: usize, line: &mut u32) -> (String, usize) {
+    let start = j;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\'' => {
+                return (
+                    String::from_utf8_lossy(&bytes[start..j]).into_owned(),
+                    j + 1,
+                );
+            }
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (String::from_utf8_lossy(&bytes[start..j]).into_owned(), j)
+}
+
+/// True when the quote at `i` starts a char literal (as opposed to a
+/// lifetime): one scalar (possibly multibyte) followed by a closing quote.
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    // Find the next quote within a small window; a lifetime has none before
+    // a non-identifier character.
+    let mut j = i + 1;
+    let mut consumed = 0;
+    while j < bytes.len() && consumed < 6 {
+        if bytes[j] == b'\'' {
+            return consumed > 0;
+        }
+        if !is_ident_continue(bytes[j]) && consumed > 0 {
+            return false;
+        }
+        j += 1;
+        consumed += 1;
+    }
+    false
+}
+
+/// Strips test-only regions from a token stream: any item annotated
+/// `#[cfg(test)]` (typically `mod tests { … }`) and any `#[test]` function.
+/// Lint rules apply to what remains — the library code.
+pub fn strip_test_code(toks: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let attr_end = match matching_bracket(toks, i + 1) {
+                Some(e) => e,
+                None => {
+                    out.push(toks[i].clone());
+                    i += 1;
+                    continue;
+                }
+            };
+            if attr_is_test(&toks[i + 2..attr_end]) {
+                // Skip the attribute, any further attributes, and the item.
+                i = attr_end + 1;
+                while toks.get(i).is_some_and(|t| t.is_punct('#'))
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    match matching_bracket(toks, i + 1) {
+                        Some(e) => i = e + 1,
+                        None => break,
+                    }
+                }
+                i = skip_item(toks, i);
+                continue;
+            }
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Is this attribute body `cfg(test)` / `cfg(any(test, …))` / `test`?
+fn attr_is_test(body: &[Tok]) -> bool {
+    match body {
+        [t] if t.is_ident("test") => true,
+        [c, ..] if c.is_ident("cfg") => body.iter().any(|t| t.is_ident("test")),
+        _ => false,
+    }
+}
+
+/// Index of the `]`/`}`/`)` matching the opener at `open`.
+fn matching_bracket(toks: &[Tok], open: usize) -> Option<usize> {
+    let (o, c) = match toks[open].text.as_str() {
+        "[" => ('[', ']'),
+        "{" => ('{', '}'),
+        "(" => ('(', ')'),
+        _ => return None,
+    };
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Skips one item starting at `i`: to the end of its `{ … }` block, or past
+/// a trailing `;` for block-less items.
+fn skip_item(toks: &[Tok], mut i: usize) -> usize {
+    while i < toks.len() {
+        if toks[i].is_punct('{') {
+            return matching_bracket(toks, i).map_or(toks.len(), |e| e + 1);
+        }
+        if toks[i].is_punct(';') {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_strings_and_lifetimes() {
+        let src = r####"
+// line comment with .unwrap()
+/* block /* nested */ still comment .unwrap() */
+fn f<'a>(s: &'a str) -> char {
+    let _msg = "not a real .unwrap() call";
+    let _raw = r#"raw "quoted" .unwrap()"#;
+    let _byte = b"bytes";
+    let _c: char = '\'';
+    'x'
+}
+"####;
+        let toks = lex(src);
+        let unwraps = toks.iter().filter(|t| t.is_ident("unwrap")).count();
+        assert_eq!(unwraps, 0, "unwrap only appears inside comments/strings");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "bytes"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == r"\'"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals() {
+        let src = "let a = \"x\ny\";\nlet b = 1;";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = lex("let r = 0i64..1_000; let f = 1.5e3; let h = 0xFF;");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["0i64", "1_000", "1.5e3", "0xFF"]);
+    }
+
+    #[test]
+    fn test_modules_are_stripped() {
+        let src = r#"
+pub fn lib_code() { value.unwrap(); }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { other.unwrap().unwrap(); }
+}
+pub fn more_lib() {}
+#[test]
+fn stray_test() { x.unwrap(); }
+pub fn after() {}
+"#;
+        let stripped = strip_test_code(&lex(src));
+        let unwraps = stripped.iter().filter(|t| t.is_ident("unwrap")).count();
+        assert_eq!(unwraps, 1, "only the library unwrap survives");
+        assert!(stripped.iter().any(|t| t.is_ident("more_lib")));
+        assert!(stripped.iter().any(|t| t.is_ident("after")));
+        assert!(!stripped.iter().any(|t| t.is_ident("stray_test")));
+    }
+
+    #[test]
+    fn cfg_not_test_is_kept() {
+        let src = r#"
+#[cfg(feature = "x")]
+pub fn kept() { a.unwrap(); }
+"#;
+        let stripped = strip_test_code(&lex(src));
+        assert!(stripped.iter().any(|t| t.is_ident("kept")));
+    }
+}

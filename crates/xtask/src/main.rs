@@ -1,0 +1,164 @@
+//! Workspace automation tasks, invoked as `cargo xtask <task>` (the alias
+//! lives in `.cargo/config.toml`).
+//!
+//! The only task today is `lint`: a repo-specific static-analysis pass over
+//! the library crates enforcing the invariants CONTRIBUTING.md documents —
+//! exact integer arithmetic in the geometry/diagram layers, panic hygiene
+//! in library code, and `#[must_use]` on diagram and result-set producers.
+//! Violations are either fixed or allowlisted in `crates/xtask/lint.toml`
+//! with a written justification; stale allowlist entries fail the run.
+
+mod config;
+mod lexer;
+mod rules;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown task `{other}`\n");
+            usage();
+            ExitCode::FAILURE
+        }
+        None => {
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo xtask <task>\n");
+    eprintln!("tasks:");
+    eprintln!("  lint    run the repo-specific static-analysis pass");
+    eprintln!("          (rules and allowlist: crates/xtask/lint.toml)");
+}
+
+/// `CARGO_MANIFEST_DIR` is `crates/xtask`; the workspace root is two up.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask always sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let allowlist_path = root.join("crates/xtask/lint.toml");
+    let allowlist_src = match std::fs::read_to_string(&allowlist_path) {
+        Ok(src) => src,
+        Err(err) => {
+            eprintln!("error: cannot read {}: {err}", allowlist_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let allowlist = match config::parse_allowlist(&allowlist_src) {
+        Ok(entries) => entries,
+        Err(err) => {
+            eprintln!("error: crates/xtask/lint.toml:{err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files);
+    files.sort();
+
+    let mut reported = 0usize;
+    let mut allow_used = vec![false; allowlist.len()];
+    let mut checked = 0usize;
+
+    for file in &files {
+        let rel = file
+            .strip_prefix(&root)
+            .expect("files were collected by walking down from the workspace root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        // xtask lints the product, not itself.
+        if rel.starts_with("crates/xtask/") {
+            continue;
+        }
+        let src = match std::fs::read_to_string(file) {
+            Ok(src) => src,
+            Err(err) => {
+                eprintln!("error: cannot read {rel}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let toks = lexer::strip_test_code(&lexer::lex(&src));
+        let findings = rules::run_all(&rel, &toks);
+        if !findings.is_empty() {
+            checked += 1;
+        }
+        let lines: Vec<&str> = src.lines().collect();
+        for f in findings {
+            let line_text = usize::try_from(f.line)
+                .ok()
+                .and_then(|n| n.checked_sub(1))
+                .and_then(|n| lines.get(n).copied())
+                .unwrap_or("");
+            let allowed = allowlist.iter().enumerate().find(|(_, a)| {
+                a.rule == f.rule && a.path == rel && line_text.contains(&a.line_contains)
+            });
+            if let Some((idx, _)) = allowed {
+                allow_used[idx] = true;
+                continue;
+            }
+            reported += 1;
+            println!("{rel}:{}: [{}] {}", f.line, f.rule, f.message);
+            println!("    hint: {}", f.hint);
+        }
+    }
+
+    let mut stale = 0usize;
+    for (entry, used) in allowlist.iter().zip(&allow_used) {
+        if !used {
+            stale += 1;
+            println!(
+                "crates/xtask/lint.toml:{}: stale allowlist entry ({} in {} matching {:?}) — \
+                 the violation it excused is gone; delete the entry",
+                entry.toml_line, entry.rule, entry.path, entry.line_contains
+            );
+        }
+    }
+
+    if reported > 0 || stale > 0 {
+        eprintln!(
+            "\nlint: {reported} violation(s), {stale} stale allowlist entr(y/ies) \
+             across {} file(s)",
+            checked
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "lint: clean ({} files scanned, {} allowlisted)",
+            files.len(),
+            allowlist.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+/// Recursively collects `.rs` files, skipping build output.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

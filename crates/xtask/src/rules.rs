@@ -1,0 +1,461 @@
+//! The lint rules.
+//!
+//! Each rule walks the test-stripped token stream of one file (see
+//! [`crate::lexer`]) and emits [`Finding`]s. Scoping is by workspace-relative
+//! path prefix: exact-integer rules apply to skyline-core's geometry and
+//! diagram layers, panic-hygiene rules to all library crates. The CLI,
+//! benches, shims (vendored stand-ins), tests, and examples are exempt.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Paths where coordinates and cell indices live; arithmetic here must be
+/// exact and conversions explicit.
+const EXACT_SCOPE: &[&str] = &["crates/core/src/geometry", "crates/core/src/diagram"];
+
+/// Library crates where panics are reserved for stated invariants.
+const LIB_SCOPE: &[&str] = &[
+    "crates/core/src",
+    "crates/apps/src",
+    "crates/data/src",
+    "crates/viz/src",
+];
+
+/// Numeric primitive names, for spotting `as <numeric>` casts.
+const NUMERIC_TYPES: &[&str] = &[
+    "i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize", "f32",
+    "f64",
+];
+
+/// Diagram-like types that must be declared `#[must_use]`: dropping one on
+/// the floor is always a bug (the build was the whole point).
+const MUST_USE_TYPES: &[&str] = &[
+    "CellDiagram",
+    "SubcellDiagram",
+    "SubcellDiagramD",
+    "MergedDiagram",
+    "SweptDiagram",
+    "HighDDiagram",
+];
+
+/// Minimum length for an `.expect()` message to count as stating an
+/// invariant rather than restating the call.
+const MIN_EXPECT_MESSAGE: usize = 15;
+
+/// One lint violation.
+#[derive(Debug)]
+pub struct Finding {
+    /// Rule id, e.g. `no-unwrap`.
+    pub rule: &'static str,
+    /// 1-based source line.
+    pub line: u32,
+    /// What was found.
+    pub message: String,
+    /// How to fix it.
+    pub hint: &'static str,
+}
+
+fn in_scope(path: &str, scope: &[&str]) -> bool {
+    scope.iter().any(|prefix| path.starts_with(prefix))
+}
+
+/// Runs every rule applicable to `path` over its token stream.
+pub fn run_all(path: &str, toks: &[Tok]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if in_scope(path, EXACT_SCOPE) {
+        no_as_cast(toks, &mut findings);
+        no_float(toks, &mut findings);
+    }
+    if in_scope(path, LIB_SCOPE) {
+        no_unwrap(toks, &mut findings);
+        no_panic(toks, &mut findings);
+        expect_message(toks, &mut findings);
+        must_use(toks, &mut findings);
+    }
+    findings
+}
+
+/// `no-as-cast`: numeric `as` casts silently truncate and sign-extend; the
+/// geometry/diagram layers must use `From`/`TryFrom` conversions instead.
+fn no_as_cast(toks: &[Tok], findings: &mut Vec<Finding>) {
+    for pair in toks.windows(2) {
+        let [a, b] = pair else { continue };
+        if a.is_ident("as") && b.kind == TokKind::Ident && NUMERIC_TYPES.contains(&b.text.as_str())
+        {
+            findings.push(Finding {
+                rule: "no-as-cast",
+                line: a.line,
+                message: format!("numeric cast `as {}`", b.text),
+                hint: "use From/TryFrom (see geometry::conv) so truncation is impossible or \
+                       fails loudly",
+            });
+        }
+    }
+}
+
+/// `no-float`: coordinates and cell indices are exact integers (the paper's
+/// grid is integral); floats in geometry/diagram code risk silent rounding.
+fn no_float(toks: &[Tok], findings: &mut Vec<Finding>) {
+    for pair in toks.windows(2) {
+        let [a, b] = pair else { continue };
+        // `as f64` is already reported by no-as-cast; skip the double report.
+        if a.is_ident("as") {
+            continue;
+        }
+        if b.kind == TokKind::Ident && (b.text == "f32" || b.text == "f64") {
+            findings.push(Finding {
+                rule: "no-float",
+                line: b.line,
+                message: format!("floating-point type `{}` in exact-arithmetic code", b.text),
+                hint: "keep geometry/diagram code integral; do float summarisation in \
+                       skyline_core::analysis",
+            });
+        }
+        // Float literals carry the dot, an exponent, or an `f32`/`f64`
+        // suffix inside one numeric token: `0.5`, `1e3`, `2f64`. Integer
+        // range bounds (`0..5`) never lex a dot into the number, and nested
+        // tuple access (`pair.0.1`) is excluded by the leading-dot guard.
+        if b.kind == TokKind::Num && !a.is_punct('.') && is_float_literal(&b.text) {
+            findings.push(Finding {
+                rule: "no-float",
+                line: b.line,
+                message: format!(
+                    "floating-point literal `{}` in exact-arithmetic code",
+                    b.text
+                ),
+                hint: "keep geometry/diagram code integral; do float summarisation in \
+                       skyline_core::analysis",
+            });
+        }
+    }
+}
+
+/// Does a single numeric token spell a float? Hex literals are excluded up
+/// front (`0x1f32` is an integer); after that a dot, an `f32`/`f64` suffix,
+/// or a digit-bearing exponent (`1e3`) marks a float.
+fn is_float_literal(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0X") {
+        return false;
+    }
+    if text.contains('.') || text.ends_with("f32") || text.ends_with("f64") {
+        return true;
+    }
+    text.bytes()
+        .zip(text.bytes().skip(1))
+        .any(|(e, d)| (e == b'e' || e == b'E') && d.is_ascii_digit())
+}
+
+/// `no-unwrap`: `.unwrap()` panics without saying why. Library code returns
+/// `Result` or uses `.expect()` with a message stating the invariant.
+fn no_unwrap(toks: &[Tok], findings: &mut Vec<Finding>) {
+    for win in toks.windows(3) {
+        let [dot, name, paren] = win else { continue };
+        if dot.is_punct('.') && name.is_ident("unwrap") && paren.is_punct('(') {
+            findings.push(Finding {
+                rule: "no-unwrap",
+                line: name.line,
+                message: ".unwrap() in library code".to_owned(),
+                hint: "return Result, or use .expect(\"<why this cannot fail>\") if it is a \
+                       checked invariant",
+            });
+        }
+    }
+}
+
+/// `no-panic`: `panic!`/`todo!`/`unimplemented!` in library code; prefer
+/// `Error` variants (or `assert!` family for invariants, which this rule
+/// deliberately permits).
+fn no_panic(toks: &[Tok], findings: &mut Vec<Finding>) {
+    for win in toks.windows(2) {
+        let [name, bang] = win else { continue };
+        if !bang.is_punct('!') {
+            continue;
+        }
+        if name.is_ident("panic") || name.is_ident("todo") || name.is_ident("unimplemented") {
+            findings.push(Finding {
+                rule: "no-panic",
+                line: name.line,
+                message: format!("`{}!` in library code", name.text),
+                hint: "return an Error variant; if the state is impossible, assert the \
+                       invariant instead",
+            });
+        }
+    }
+}
+
+/// `expect-message`: `.expect()` must carry a string literal long enough to
+/// state the invariant that makes the panic unreachable.
+fn expect_message(toks: &[Tok], findings: &mut Vec<Finding>) {
+    for (i, win) in toks.windows(3).enumerate() {
+        let [dot, name, paren] = win else { continue };
+        if !(dot.is_punct('.') && name.is_ident("expect") && paren.is_punct('(')) {
+            continue;
+        }
+        let arg = toks.get(i + 3);
+        let literal = arg.filter(|t| t.kind == TokKind::Str);
+        match literal {
+            Some(lit) if lit.text.len() >= MIN_EXPECT_MESSAGE => {}
+            Some(lit) => findings.push(Finding {
+                rule: "expect-message",
+                line: name.line,
+                message: format!(
+                    "expect message \"{}\" is too short to state an invariant",
+                    lit.text
+                ),
+                hint: "say why the value must be present, not just that it is expected",
+            }),
+            None => findings.push(Finding {
+                rule: "expect-message",
+                line: name.line,
+                message: ".expect() without a string-literal message".to_owned(),
+                hint: "pass a literal stating the invariant; computed messages hide the \
+                       reason from grep",
+            }),
+        }
+    }
+}
+
+/// `must-use`: diagram types must be declared `#[must_use]`, and public
+/// functions returning skyline result sets (`Vec<PointId>`) must be
+/// annotated — discarding either silently drops the computed answer.
+fn must_use(toks: &[Tok], findings: &mut Vec<Finding>) {
+    // Part 1: type declarations.
+    for (i, tok) in toks.iter().enumerate() {
+        if !(tok.is_ident("struct") || tok.is_ident("enum")) {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1) else {
+            continue;
+        };
+        if name.kind == TokKind::Ident
+            && MUST_USE_TYPES.contains(&name.text.as_str())
+            && !has_attr_ident_before(toks, i, "must_use")
+        {
+            findings.push(Finding {
+                rule: "must-use",
+                line: name.line,
+                message: format!("diagram type `{}` is not #[must_use]", name.text),
+                hint: "add #[must_use] to the type so dropped build results are a warning",
+            });
+        }
+    }
+    // Part 2: public result-set constructors.
+    for (i, tok) in toks.iter().enumerate() {
+        if !tok.is_ident("pub") {
+            continue;
+        }
+        // `pub(crate)` etc. is not public API.
+        if toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        // Allow `pub const fn` / `pub unsafe fn`.
+        let fn_idx =
+            (i + 1..=(i + 3).min(toks.len().saturating_sub(1))).find(|&j| toks[j].is_ident("fn"));
+        let Some(fn_idx) = fn_idx else { continue };
+        let Some(fn_name) = toks.get(fn_idx + 1) else {
+            continue;
+        };
+        let ret = return_type_tokens(toks, fn_idx);
+        let returns_result_set =
+            ret.iter().any(|t| t.is_ident("Vec")) && ret.iter().any(|t| t.is_ident("PointId"));
+        // Functions returning a MUST_USE_TYPES value are covered by the
+        // type-level attribute; only bare result sets need the fn attr.
+        if returns_result_set && !has_attr_ident_before(toks, i, "must_use") {
+            findings.push(Finding {
+                rule: "must-use",
+                line: fn_name.line,
+                message: format!(
+                    "public fn `{}` returns a skyline result set without #[must_use]",
+                    fn_name.text
+                ),
+                hint: "annotate the function so an ignored query answer is a warning",
+            });
+        }
+    }
+}
+
+/// Tokens of the return type of the `fn` at `fn_idx`: everything between
+/// `->` and the body/`where`/`;`, or empty if the fn returns `()`.
+fn return_type_tokens(toks: &[Tok], fn_idx: usize) -> &[Tok] {
+    // Find the parameter list's closing paren.
+    let mut i = fn_idx;
+    while i < toks.len() && !toks[i].is_punct('(') {
+        // A `{` or `;` before `(` means we ran off the signature.
+        if toks[i].is_punct('{') || toks[i].is_punct(';') {
+            return &[];
+        }
+        i += 1;
+    }
+    let mut depth = 0i32;
+    while i < toks.len() {
+        if toks[i].is_punct('(') {
+            depth += 1;
+        } else if toks[i].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        i += 1;
+    }
+    let Some([a, b]) = toks.get(i + 1..i + 3) else {
+        return &[];
+    };
+    if !(a.is_punct('-') && b.is_punct('>')) {
+        return &[];
+    }
+    let start = i + 3;
+    let mut end = start;
+    while end < toks.len() {
+        let t = &toks[end];
+        if t.is_punct('{') || t.is_punct(';') || t.is_ident("where") {
+            break;
+        }
+        end += 1;
+    }
+    &toks[start..end]
+}
+
+/// Does any attribute in the run of `#[…]` attributes directly preceding
+/// token `item` contain `ident`? Scans backwards over whole attributes only,
+/// so `must_use` inside an unrelated earlier item cannot leak forward.
+fn has_attr_ident_before(toks: &[Tok], item: usize, ident: &str) -> bool {
+    // Step back over visibility/qualifier keywords to the attribute run.
+    let mut end = item;
+    while end > 0 && toks[end - 1].kind == TokKind::Ident {
+        let t = &toks[end - 1].text;
+        if matches!(t.as_str(), "pub" | "const" | "unsafe" | "async" | "extern") {
+            end -= 1;
+        } else {
+            break;
+        }
+    }
+    while end > 0 && toks[end - 1].is_punct(']') {
+        // Find the `#[` opening this attribute by bracket matching backwards.
+        let mut depth = 0i32;
+        let mut j = end - 1;
+        loop {
+            if toks[j].is_punct(']') {
+                depth += 1;
+            } else if toks[j].is_punct('[') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if j == 0 {
+                return false;
+            }
+            j -= 1;
+        }
+        if j == 0 || !toks[j - 1].is_punct('#') {
+            return false;
+        }
+        if toks[j..end].iter().any(|t| t.is_ident(ident)) {
+            return true;
+        }
+        end = j - 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_test_code};
+
+    fn findings_for(path: &str, src: &str) -> Vec<Finding> {
+        run_all(path, &strip_test_code(&lex(src)))
+    }
+
+    #[test]
+    fn as_cast_and_float_only_fire_in_exact_scope() {
+        let src = "pub fn f(x: usize) -> i64 { let y: f64 = 0.0; x as i64 }";
+        let in_scope = findings_for("crates/core/src/geometry/grid.rs", src);
+        assert!(in_scope.iter().any(|f| f.rule == "no-as-cast"));
+        assert!(in_scope.iter().any(|f| f.rule == "no-float"));
+        let out_of_scope = findings_for("crates/core/src/analysis.rs", src);
+        assert!(out_of_scope
+            .iter()
+            .all(|f| f.rule != "no-as-cast" && f.rule != "no-float"));
+    }
+
+    #[test]
+    fn float_literals_fire_but_integer_lookalikes_do_not() {
+        let floats = "let a = 0.5; let b = 1_f32; let c = 2.0_f64; let d = 1e3;";
+        let f = findings_for("crates/core/src/geometry/grid.rs", floats);
+        assert_eq!(f.iter().filter(|f| f.rule == "no-float").count(), 4);
+
+        let ints = "let r = 0..5; let h = 0x1f32; let n = 1usize; let t = pair.0;";
+        let f = findings_for("crates/core/src/geometry/grid.rs", ints);
+        assert!(f.iter().all(|f| f.rule != "no-float"));
+    }
+
+    #[test]
+    fn as_f64_reports_once_not_twice() {
+        let f = findings_for("crates/core/src/diagram/merge.rs", "let x = n as f64;");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-as-cast");
+    }
+
+    #[test]
+    fn unwrap_panic_and_expect_rules() {
+        let src = r#"
+pub fn f() {
+    a.unwrap();
+    b.expect("short");
+    c.expect("map key was inserted in the loop above");
+    d.expect(&msg);
+    panic!("boom");
+    assert!(x > 0, "asserts are permitted");
+}
+"#;
+        let f = findings_for("crates/core/src/query.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "no-unwrap").count(), 1);
+        assert_eq!(f.iter().filter(|f| f.rule == "no-panic").count(), 1);
+        assert_eq!(f.iter().filter(|f| f.rule == "expect-message").count(), 2);
+    }
+
+    #[test]
+    fn unwrap_in_test_module_is_ignored() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { a.unwrap(); } }\n";
+        assert!(findings_for("crates/core/src/query.rs", src).is_empty());
+    }
+
+    #[test]
+    fn must_use_type_declaration() {
+        let bad = "pub struct CellDiagram { x: u32 }";
+        let f = findings_for("crates/core/src/diagram/cell_diagram.rs", bad);
+        assert_eq!(f.iter().filter(|f| f.rule == "must-use").count(), 1);
+
+        let good = "#[derive(Clone)]\n#[must_use]\npub struct CellDiagram { x: u32 }";
+        let f = findings_for("crates/core/src/diagram/cell_diagram.rs", good);
+        assert!(f.iter().all(|f| f.rule != "must-use"));
+    }
+
+    #[test]
+    fn must_use_attr_on_earlier_item_does_not_leak() {
+        let src = "#[must_use]\npub fn other() -> u32 { 0 }\npub struct CellDiagram {}";
+        let f = findings_for("crates/core/src/diagram/cell_diagram.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "must-use").count(), 1);
+    }
+
+    #[test]
+    fn must_use_result_set_fns() {
+        let bad = "pub fn quadrant_skyline(q: Point) -> Vec<PointId> { vec![] }";
+        let f = findings_for("crates/core/src/query.rs", bad);
+        assert_eq!(f.iter().filter(|f| f.rule == "must-use").count(), 1);
+
+        let good = "#[must_use]\npub fn quadrant_skyline(q: Point) -> Vec<PointId> { vec![] }";
+        assert!(findings_for("crates/core/src/query.rs", good).is_empty());
+
+        // Nested result sets (layers) also count.
+        let nested = "pub fn layers(d: &Dataset) -> Vec<Vec<PointId>> { vec![] }";
+        let f = findings_for("crates/core/src/skyline/layers.rs", nested);
+        assert_eq!(f.iter().filter(|f| f.rule == "must-use").count(), 1);
+
+        // Private and pub(crate) helpers are exempt.
+        let private = "fn helper() -> Vec<PointId> { vec![] }\n\
+                       pub(crate) fn h2() -> Vec<PointId> { vec![] }";
+        assert!(findings_for("crates/core/src/query.rs", private).is_empty());
+    }
+}

@@ -77,8 +77,15 @@ fn main() -> std::io::Result<()> {
         let d = QuadrantEngine::Sweeping.build(&ds);
         let m = merge(&d);
         let name = format!("{}_quadrant.svg", dist.name());
-        std::fs::write(out_dir.join(&name), render_merged_diagram(&ds, &d, &m, &options))?;
-        println!("{name}: {} polyominoes over {} cells", m.len(), d.grid().cell_count());
+        std::fs::write(
+            out_dir.join(&name),
+            render_merged_diagram(&ds, &d, &m, &options),
+        )?;
+        println!(
+            "{name}: {} polyominoes over {} cells",
+            m.len(),
+            d.grid().cell_count()
+        );
     }
 
     println!("\ngallery written to {}", out_dir.display());

@@ -30,7 +30,11 @@ fn main() {
         let d = engine.build(&players);
         let elapsed = start.elapsed();
         assert!(d.same_results(&reference), "{} disagrees", engine.name());
-        println!("  {:<12} {:>10.2?}  (identical output)", engine.name(), elapsed);
+        println!(
+            "  {:<12} {:>10.2?}  (identical output)",
+            engine.name(),
+            elapsed
+        );
     }
 
     // Query: who is undominated among players strictly worse than a
@@ -42,7 +46,9 @@ fn main() {
         (0..3)
             .map(|k| {
                 let target = grid.lines(k)[grid.lines(k).len() / 2];
-                (target..).find(|v| grid.lines(k).binary_search(v).is_err()).expect("gap")
+                (target..)
+                    .find(|v| grid.lines(k).binary_search(v).is_err())
+                    .expect("gap")
             })
             .collect(),
     );

@@ -29,24 +29,39 @@ fn main() {
     println!("\nquery hotel q = {q}\n");
 
     // --- From-scratch queries (Figure 1 of the paper) ---
-    println!("quadrant skyline (competitors farther AND pricier): {:?}",
-        names(&query::quadrant_skyline(&hotels, q)));
-    println!("global skyline (competitors per quadrant):          {:?}",
-        names(&query::global_skyline(&hotels, q)));
-    println!("dynamic skyline (|attribute difference| dominance):  {:?}",
-        names(&query::dynamic_skyline(&hotels, q)));
+    println!(
+        "quadrant skyline (competitors farther AND pricier): {:?}",
+        names(&query::quadrant_skyline(&hotels, q))
+    );
+    println!(
+        "global skyline (competitors per quadrant):          {:?}",
+        names(&query::global_skyline(&hotels, q))
+    );
+    println!(
+        "dynamic skyline (|attribute difference| dominance):  {:?}",
+        names(&query::dynamic_skyline(&hotels, q))
+    );
 
     // --- Precomputed diagrams ---
     let quadrant = QuadrantEngine::Sweeping.build(&hotels);
     let global = global::build(&hotels, QuadrantEngine::Sweeping);
     let dynamic = DynamicEngine::Scanning.build(&hotels);
 
-    println!("\nquadrant diagram: {} cells, {} distinct results",
-        quadrant.grid().cell_count(), quadrant.stats().distinct_results);
-    println!("global diagram:   {} cells, {} distinct results",
-        global.grid().cell_count(), global.stats().distinct_results);
-    println!("dynamic diagram:  {} subcells, {} distinct results",
-        dynamic.grid().subcell_count(), dynamic.distinct_results());
+    println!(
+        "\nquadrant diagram: {} cells, {} distinct results",
+        quadrant.grid().cell_count(),
+        quadrant.stats().distinct_results
+    );
+    println!(
+        "global diagram:   {} cells, {} distinct results",
+        global.grid().cell_count(),
+        global.stats().distinct_results
+    );
+    println!(
+        "dynamic diagram:  {} subcells, {} distinct results",
+        dynamic.grid().subcell_count(),
+        dynamic.distinct_results()
+    );
 
     // Diagram lookups agree with from-scratch computation for interior
     // queries (q itself sits on bisector lines; see crate docs on the
@@ -60,7 +75,10 @@ fn main() {
         global.query(q_interior),
         query::global_skyline(&hotels, q_interior).as_slice()
     );
-    println!("\nlookup at {q_interior}: quadrant = {:?}", names(quadrant.query(q_interior)));
+    println!(
+        "\nlookup at {q_interior}: quadrant = {:?}",
+        names(quadrant.query(q_interior))
+    );
 
     // --- Picture ---
     println!("\nquadrant skyline diagram (one glyph per result; '.' = empty):");

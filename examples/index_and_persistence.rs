@@ -45,8 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::create_dir_all(dir)?;
 
     let quadrant_bytes = serialize::encode_cell_diagram(index.quadrant_diagram());
-    let global_bytes =
-        serialize::encode_cell_diagram(index.global_diagram().expect("built above"));
+    let global_bytes = serialize::encode_cell_diagram(index.global_diagram().expect("built above"));
     let dynamic_bytes =
         serialize::encode_subcell_diagram(index.dynamic_diagram().expect("built above"));
     std::fs::write(dir.join("quadrant.skyd"), &quadrant_bytes)?;

@@ -38,7 +38,12 @@ fn main() {
     .build_2d();
 
     let diagram = QuadrantEngine::Sweeping.build(&products);
-    let window = ClipBox { x_min: 0, x_max: 100, y_min: 0, y_max: 100 };
+    let window = ClipBox {
+        x_min: 0,
+        x_max: 100,
+        y_min: 0,
+        y_max: 100,
+    };
 
     // 1. Which results does a uniformly random customer see?
     let distribution = result_distribution(&diagram, window);
@@ -85,15 +90,22 @@ fn main() {
 
     // 4. Launch it and watch the market shift, without a manual rebuild.
     let mut market = MaintainedIndex::new(QuadrantEngine::Sweeping);
-    let handles: Vec<_> =
-        products.points().iter().map(|&p| market.insert(p)).collect();
+    let handles: Vec<_> = products
+        .points()
+        .iter()
+        .map(|&p| market.insert(p))
+        .collect();
     let before = market.query(Point::new(0, 0)).len();
     let launched = market.insert(best_spot.0);
     let after = market.query(Point::new(0, 0));
     println!(
         "\nskyline size from the origin: {before} -> {} after launch{}",
         after.len(),
-        if after.contains(&launched) { " (the new product is in it)" } else { "" },
+        if after.contains(&launched) {
+            " (the new product is in it)"
+        } else {
+            ""
+        },
     );
     let _ = handles;
 }

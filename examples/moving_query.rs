@@ -53,7 +53,10 @@ fn main() {
     // are crossed between every pair of hotels.
     let dynamic = DynamicEngine::Scanning.build(&hotels);
     let steps = trace_segment_dynamic(&dynamic, start, end);
-    println!("\ndynamic-skyline itinerary: {} steps (first 8 shown):", steps.len());
+    println!(
+        "\ndynamic-skyline itinerary: {} steps (first 8 shown):",
+        steps.len()
+    );
     for step in steps.iter().take(8) {
         println!(
             "  t in [{:.3}, {:.3}]  skyline = {}",

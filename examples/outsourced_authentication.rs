@@ -32,7 +32,10 @@ fn main() {
     let root = auth.root();
     println!(
         "owner published Merkle root {} over {} cells",
-        root.iter().take(8).map(|b| format!("{b:02x}")).collect::<String>(),
+        root.iter()
+            .take(8)
+            .map(|b| format!("{b:02x}"))
+            .collect::<String>(),
         auth.leaf_count(),
     );
 

@@ -12,15 +12,8 @@ use skyline_core::query::quadrant_skyline;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A small dataset: anything with two integer attributes where
     //    *smaller is better* in both.
-    let dataset = Dataset::from_coords([
-        (2, 14),
-        (4, 9),
-        (7, 7),
-        (9, 3),
-        (13, 2),
-        (6, 12),
-        (11, 8),
-    ])?;
+    let dataset =
+        Dataset::from_coords([(2, 14), (4, 9), (7, 7), (9, 3), (13, 2), (6, 12), (11, 8)])?;
 
     // 2. Build the quadrant skyline diagram once — the O(n²) sweeping
     //    engine is the default and fastest choice.

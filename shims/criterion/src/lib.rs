@@ -1,0 +1,285 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API used by this
+//! workspace's benches: `criterion_group!`/`criterion_main!`, benchmark
+//! groups with `sample_size`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, and `black_box`.
+//!
+//! The workspace builds in hermetic environments with no registry access,
+//! so the real crate is replaced by this path dependency. Measurement is a
+//! plain warmup + timed-samples loop reporting min/median/max wall time —
+//! enough to compare engines locally; it makes no statistical claims.
+//! A `--filter`-style positional argument restricts which benchmarks run,
+//! and `--bench`/`--test` flags (passed by cargo) are accepted and ignored;
+//! under `--test` each benchmark body runs exactly once.
+
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a displayable parameter.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { full: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { full: s }
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" => test_mode = true,
+                // Harness flags cargo or users may pass; ignored.
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_owned()),
+            }
+        }
+        Criterion {
+            filter,
+            test_mode,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let sample_size = self.default_sample_size;
+        let id = id.into();
+        self.run_one(&id.full, sample_size, Duration::from_secs(1), f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        full_id: &str,
+        sample_size: usize,
+        measurement_time: Duration,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: if self.test_mode { 1 } else { sample_size },
+            measurement_time,
+            test_mode: self.test_mode,
+        };
+        f(&mut bencher);
+        bencher.report(full_id);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to record per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Sets the time budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.full);
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        let time = self.measurement_time;
+        self.criterion.run_one(&full, sample_size, time, f);
+    }
+
+    /// Benchmarks a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (upstream flushes reports here; this shim reports
+    /// inline, so it is a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times closures; handed to each benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, recording wall time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warmup, and a rough per-iteration estimate for batching.
+        let warmup = Instant::now();
+        black_box(routine());
+        let estimate = warmup.elapsed().max(Duration::from_nanos(1));
+        let budget_per_sample = self.measurement_time / self.sample_size.max(1) as u32;
+        let iters_per_sample =
+            (budget_per_sample.as_nanos() / estimate.as_nanos()).clamp(1, 1_000_000) as u32;
+
+        let deadline = Instant::now() + 2 * self.measurement_time;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters_per_sample);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&mut self, full_id: &str) {
+        if self.test_mode {
+            println!("{full_id}: ok (test mode, 1 iteration)");
+            return;
+        }
+        if self.samples.is_empty() {
+            return;
+        }
+        self.samples.sort_unstable();
+        let median = self.samples[self.samples.len() / 2];
+        let min = self.samples[0];
+        let max = self.samples[self.samples.len() - 1];
+        println!(
+            "{full_id}: median {median:?} (min {min:?}, max {max:?}, {} samples)",
+            self.samples.len()
+        );
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` from one or more `criterion_group!` names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+            default_sample_size: 5,
+        };
+        let mut ran = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(10);
+            group.bench_function("plain", |b| b.iter(|| ran += 1));
+            group.bench_with_input(BenchmarkId::new("with_input", 7), &3u32, |b, &x| {
+                b.iter(|| black_box(x + 1))
+            });
+            group.finish();
+        }
+        c.bench_function("top_level", |b| b.iter(|| black_box(2 + 2)));
+        assert_eq!(ran, 1, "test mode runs each body exactly once");
+    }
+
+    #[test]
+    fn filters_skip_nonmatching_benchmarks() {
+        let mut c = Criterion {
+            filter: Some("only_this".into()),
+            test_mode: true,
+            default_sample_size: 5,
+        };
+        let mut ran = false;
+        c.bench_function("something_else", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("only_this_one", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+}

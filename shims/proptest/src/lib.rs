@@ -1,0 +1,602 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API used by this
+//! workspace: the `proptest!` macro with `pat in strategy` parameters and a
+//! `#![proptest_config(..)]` header, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assert_ne!`, integer-range / tuple / array strategies,
+//! `prop::collection::vec`, `prop::sample::Index`, `any::<T>()`, `Just`,
+//! and `Strategy::prop_map`/`prop_flat_map`.
+//!
+//! The workspace builds in hermetic environments with no registry access,
+//! so the real crate is replaced by this path dependency. Differences from
+//! upstream, by design:
+//!
+//! - **No shrinking.** A failing case reports the deterministic case seed;
+//!   rerunning the test replays the identical sequence, so failures stay
+//!   reproducible even without minimization.
+//! - Case counts honor `ProptestConfig::with_cases` and the
+//!   `PROPTEST_CASES` environment variable, like upstream.
+//! - Generation is a pure function of (test name, case index), so runs are
+//!   deterministic across machines.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Value`.
+    ///
+    /// Upstream couples generation with shrinking via `ValueTree`; here a
+    /// strategy is just a deterministic function of the RNG stream.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` returns.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Regenerates until `pred` accepts a value (bounded; panics after
+        /// too many rejections, mirroring upstream's global rejection cap).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                whence,
+                pred,
+            }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) whence: &'static str,
+        pub(crate) pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 candidates: {}", self.whence)
+        }
+    }
+
+    /// A strategy that always yields a clone of its payload.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(&mut rng.rng, self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(&mut rng.rng, self.clone())
+                }
+            }
+        )*};
+    }
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for [S; N] {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            core::array::from_fn(|i| self[i].generate(rng))
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy (see [`any`]).
+    pub trait Arbitrary: Sized {
+        /// The strategy [`any`] returns.
+        fn arbitrary() -> AnyStrategy<Self>;
+    }
+
+    /// Marker strategy produced by [`any`]; generation is delegated to
+    /// [`SampleAny`].
+    pub struct AnyStrategy<T> {
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    impl<T> Default for AnyStrategy<T> {
+        fn default() -> Self {
+            AnyStrategy {
+                _marker: core::marker::PhantomData,
+            }
+        }
+    }
+
+    /// The canonical full-domain strategy for `T`.
+    pub fn any<T: Arbitrary + SampleAny>() -> AnyStrategy<T> {
+        T::arbitrary()
+    }
+
+    /// How a type draws its "any" sample.
+    pub trait SampleAny {
+        /// Draws one unconstrained sample.
+        fn sample_any(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: SampleAny> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::sample_any(rng)
+        }
+    }
+
+    macro_rules! arbitrary_via_standard {
+        ($($t:ty),*) => {$(
+            impl SampleAny for $t {
+                fn sample_any(rng: &mut TestRng) -> Self {
+                    rand::Rng::gen(&mut rng.rng)
+                }
+            }
+            impl Arbitrary for $t {
+                fn arbitrary() -> AnyStrategy<Self> {
+                    AnyStrategy::default()
+                }
+            }
+        )*};
+    }
+    arbitrary_via_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Size specifications accepted by [`vec`]: a fixed `usize`, `a..b`, or
+    /// `a..=b`.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn pick_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick_len(&self, rng: &mut TestRng) -> usize {
+            rand::Rng::gen_range(&mut rng.rng, self.clone())
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick_len(&self, rng: &mut TestRng) -> usize {
+            rand::Rng::gen_range(&mut rng.rng, self.clone())
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `element` and a length
+    /// drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S, impl SizeRange> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick_len(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::arbitrary::{AnyStrategy, Arbitrary, SampleAny};
+    use crate::test_runner::TestRng;
+
+    /// A deferred collection index: generated without knowing the collection,
+    /// resolved against a concrete length with [`Index::index`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index {
+        proportion: u64,
+    }
+
+    impl Index {
+        /// Resolves against a collection of length `len` (uniform over
+        /// `0..len`). Panics when `len == 0`, like upstream.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            // Fixed-point multiply keeps the choice stable as `len` varies.
+            ((self.proportion as u128 * len as u128) >> 64) as usize
+        }
+    }
+
+    impl SampleAny for Index {
+        fn sample_any(rng: &mut TestRng) -> Self {
+            Index {
+                proportion: rand::Rng::gen(&mut rng.rng),
+            }
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary() -> AnyStrategy<Self> {
+            AnyStrategy::default()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// The RNG handed to strategies; deterministic per (test, case).
+    pub struct TestRng {
+        pub(crate) rng: rand::rngs::StdRng,
+    }
+
+    impl TestRng {
+        /// Builds the RNG for one case from its seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                rng: rand::rngs::StdRng::seed_from_u64(seed),
+            }
+        }
+    }
+
+    /// A failed property within a case body (created by `prop_assert!`).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// An assertion failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Runner configuration; only `cases` is meaningful here.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Drives one `proptest!`-generated test: runs `config.cases` cases
+    /// (overridable via `PROPTEST_CASES`), each with a deterministic seed.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// A runner for the given configuration.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config }
+        }
+
+        fn cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.config.cases)
+        }
+
+        /// Runs every case, panicking (with the case seed) on the first
+        /// failure so the harness reports it.
+        pub fn run_all<F>(&mut self, name: &str, mut case: F)
+        where
+            F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        {
+            for i in 0..self.cases() {
+                let seed = case_seed(name, i);
+                let mut rng = TestRng::from_seed(seed);
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => panic!(
+                        "proptest case {i}/{total} of `{name}` failed (case seed \
+                         {seed:#018x}; deterministic, rerun the test to replay): {e}",
+                        total = self.cases(),
+                    ),
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest case {i}/{total} of `{name}` panicked (case seed \
+                             {seed:#018x}; deterministic, rerun the test to replay)",
+                            total = self.cases(),
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    }
+
+    /// FNV-1a over the test name, mixed with the case index.
+    fn case_seed(name: &str, case: u32) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+        }
+        h ^ ((case as u64) << 32 | case as u64)
+    }
+}
+
+/// Upstream-style namespace: `prop::collection::vec`, `prop::sample::Index`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn commutes(a in 0i64..100, b in 0i64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            runner.run_all(stringify!($name), |rng| {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                (move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })()
+            });
+        }
+    )*};
+}
+
+/// `assert!` that reports through the proptest runner (with the case seed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        // `match` (not `let`) so temporaries in the operands live through
+        // the comparison, as in `assert_eq!` and upstream proptest.
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left == *right,
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), left, right
+            ),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left == *right,
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+                stringify!($left), stringify!($right), left, right, ::std::format!($($fmt)+)
+            ),
+        }
+    };
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left != *right,
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), left
+            ),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left != *right,
+                "assertion failed: `{} != {}`\n  both: {:?}\n {}",
+                stringify!($left), stringify!($right), left, ::std::format!($($fmt)+)
+            ),
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_vecs_and_indexes() {
+        let mut rng = crate::test_runner::TestRng::from_seed(99);
+        let v = prop::collection::vec((0i64..10, 0i64..10), 1..=5).generate(&mut rng);
+        assert!((1..=5).contains(&v.len()));
+        assert!(v
+            .iter()
+            .all(|&(x, y)| (0..10).contains(&x) && (0..10).contains(&y)));
+
+        let rows = prop::collection::vec([0i64..10, 0i64..10, 0i64..10], 3).generate(&mut rng);
+        assert_eq!(rows.len(), 3);
+
+        let idx = any::<prop::sample::Index>().generate(&mut rng);
+        for len in 1..50usize {
+            assert!(idx.index(len) < len);
+        }
+
+        let mapped = (0u32..5).prop_map(|v| v * 2).generate(&mut rng);
+        assert!(mapped < 10 && mapped % 2 == 0);
+
+        assert_eq!(Just(7u8).generate(&mut rng), 7);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_patterns((a, b) in (0i64..50, 0i64..50), n in 1usize..4) {
+            prop_assert!(a < 50 && b < 50);
+            prop_assert_eq!(n.min(3), n);
+            prop_assert_ne!(n, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "case seed")]
+    fn failures_report_the_case_seed() {
+        // No #[test] attribute: the fn is invoked directly below, and a
+        // nested #[test] item would be unnameable to the harness anyway.
+        proptest! {
+            fn always_fails(v in 0u32..10) {
+                prop_assert!(v > 100, "v was {}", v);
+            }
+        }
+        always_fails();
+    }
+}

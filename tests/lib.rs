@@ -10,7 +10,13 @@ pub fn standard_specs(n: usize) -> Vec<DatasetSpec> {
     let mut specs = Vec::new();
     for distribution in Distribution::ALL {
         for (domain, seed) in [(10_000i64, 1u64), (12, 2)] {
-            specs.push(DatasetSpec { n, dims: 2, domain, distribution, seed });
+            specs.push(DatasetSpec {
+                n,
+                dims: 2,
+                domain,
+                distribution,
+                seed,
+            });
         }
     }
     specs

@@ -52,7 +52,11 @@ fn moving_query_itineraries_tile_and_match() {
             assert_eq!(steps[0].result.as_slice(), d.query(a), "{a} -> {b}");
         }
         if off_lines(b) {
-            assert_eq!(steps.last().unwrap().result.as_slice(), d.query(b), "{a} -> {b}");
+            assert_eq!(
+                steps.last().unwrap().result.as_slice(),
+                d.query(b),
+                "{a} -> {b}"
+            );
         }
     }
 }
@@ -125,7 +129,14 @@ fn pir_end_to_end_on_generated_data() {
 #[test]
 fn reverse_skyline_index_on_all_distributions() {
     for distribution in Distribution::ALL {
-        let ds = DatasetSpec { n: 35, dims: 2, domain: 60, distribution, seed: 10 }.build_2d();
+        let ds = DatasetSpec {
+            n: 35,
+            dims: 2,
+            domain: 60,
+            distribution,
+            seed: 10,
+        }
+        .build_2d();
         let index = ReverseSkylineIndex::new(&ds);
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..40 {

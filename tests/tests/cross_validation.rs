@@ -59,7 +59,13 @@ fn highd_engines_agree_3d_and_4d() {
     for (dims, n) in [(3usize, 14usize), (4, 9)] {
         for distribution in Distribution::ALL {
             for domain in [1000i64, 6] {
-                let spec = DatasetSpec { n, dims, domain, distribution, seed: 5 };
+                let spec = DatasetSpec {
+                    n,
+                    dims,
+                    domain,
+                    distribution,
+                    seed: 5,
+                };
                 let ds = spec.build_d();
                 let reference = HighDEngine::Baseline.build(&ds);
                 for engine in HighDEngine::ALL {
@@ -97,7 +103,12 @@ fn sweeping_polyominoes_equal_merged_cell_diagrams() {
         let ds = spec.build_2d();
         let swept = skyline_core::quadrant::sweeping::build(&ds);
         let merged = merge(&QuadrantEngine::Baseline.build(&ds));
-        let mut a: Vec<_> = swept.merged.polyominoes.iter().map(|p| p.cells.clone()).collect();
+        let mut a: Vec<_> = swept
+            .merged
+            .polyominoes
+            .iter()
+            .map(|p| p.cells.clone())
+            .collect();
         let mut b: Vec<_> = merged.polyominoes.iter().map(|p| p.cells.clone()).collect();
         a.sort();
         b.sort();
@@ -156,11 +167,19 @@ fn nba_standin_is_consistent_across_engines() {
     let ds = skyline_data::nba::players_2d(150, 3);
     let reference = QuadrantEngine::Baseline.build(&ds);
     for engine in QuadrantEngine::ALL {
-        assert!(engine.build(&ds).same_results(&reference), "{}", engine.name());
+        assert!(
+            engine.build(&ds).same_results(&reference),
+            "{}",
+            engine.name()
+        );
     }
     let small = skyline_data::nba::players_2d(14, 4);
     let dyn_ref = DynamicEngine::Baseline.build(&small);
     for engine in DynamicEngine::ALL {
-        assert!(engine.build(&small).same_results(&dyn_ref), "{}", engine.name());
+        assert!(
+            engine.build(&small).same_results(&dyn_ref),
+            "{}",
+            engine.name()
+        );
     }
 }

@@ -38,8 +38,7 @@ fn global_lookup_equals_from_scratch() {
     // exactly in doubled coordinates.
     for spec in standard_specs(35) {
         let ds = spec.build_2d();
-        let doubled =
-            Dataset::from_coords(ds.points().iter().map(|p| (2 * p.x, 2 * p.y))).unwrap();
+        let doubled = Dataset::from_coords(ds.points().iter().map(|p| (2 * p.x, 2 * p.y))).unwrap();
         let d = global::build(&ds, QuadrantEngine::Scanning);
         let grid = d.grid();
         for q in query_grid(spec.domain.min(60), 9) {
@@ -96,7 +95,11 @@ fn queries_exactly_on_grid_lines_follow_the_convention() {
     for (_, p) in ds.iter() {
         // Query exactly at each data point: the from-scratch strict
         // quadrant and the greater-side cell must agree.
-        assert_eq!(d.query(p), query::quadrant_skyline(&ds, p).as_slice(), "{p}");
+        assert_eq!(
+            d.query(p),
+            query::quadrant_skyline(&ds, p).as_slice(),
+            "{p}"
+        );
     }
 }
 

@@ -10,14 +10,22 @@ use skyline_core::query;
 fn assert_all_quadrant_engines_agree(ds: &Dataset) {
     let reference = QuadrantEngine::Baseline.build(ds);
     for engine in QuadrantEngine::ALL {
-        assert!(engine.build(ds).same_results(&reference), "{}", engine.name());
+        assert!(
+            engine.build(ds).same_results(&reference),
+            "{}",
+            engine.name()
+        );
     }
 }
 
 fn assert_all_dynamic_engines_agree(ds: &Dataset) {
     let reference = DynamicEngine::Baseline.build(ds);
     for engine in DynamicEngine::ALL {
-        assert!(engine.build(ds).same_results(&reference), "{}", engine.name());
+        assert!(
+            engine.build(ds).same_results(&reference),
+            "{}",
+            engine.name()
+        );
     }
 }
 

@@ -17,8 +17,7 @@ fn serialization_roundtrips_across_distributions() {
     for spec in skyline_integration_tests::standard_specs(50) {
         let ds = spec.build_2d();
         let d = QuadrantEngine::Sweeping.build(&ds);
-        let decoded =
-            serialize::decode_cell_diagram(&serialize::encode_cell_diagram(&d)).unwrap();
+        let decoded = serialize::decode_cell_diagram(&serialize::encode_cell_diagram(&d)).unwrap();
         assert!(decoded.same_results(&d), "{spec:?}");
     }
 }
@@ -149,7 +148,13 @@ fn boundary_loops_of_all_hotel_polyominoes_are_closed_staircases() {
 fn highd_sweeping_agrees_on_standard_specs() {
     use skyline_core::highd::HighDEngine;
     for distribution in Distribution::ALL {
-        let spec = DatasetSpec { n: 12, dims: 3, domain: 40, distribution, seed: 8 };
+        let spec = DatasetSpec {
+            n: 12,
+            dims: 3,
+            domain: 40,
+            distribution,
+            seed: 8,
+        };
         let ds = spec.build_d();
         let reference = HighDEngine::Baseline.build(&ds);
         assert!(

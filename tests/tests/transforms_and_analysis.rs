@@ -14,15 +14,17 @@ use skyline_data::{DatasetSpec, Distribution};
 #[test]
 fn transform_pipeline_preserves_diagram_semantics() {
     for distribution in Distribution::ALL {
-        let spec = DatasetSpec { n: 40, dims: 2, domain: 5000, distribution, seed: 13 };
+        let spec = DatasetSpec {
+            n: 40,
+            dims: 2,
+            domain: 5000,
+            distribution,
+            seed: 13,
+        };
         let ds = spec.build_2d();
         // normalize → scale → translate: an affine order-preserving map.
-        let prepared = translate(
-            &scale(&normalize_origin(&ds).unwrap(), 3).unwrap(),
-            -19,
-            42,
-        )
-        .unwrap();
+        let prepared =
+            translate(&scale(&normalize_origin(&ds).unwrap(), 3).unwrap(), -19, 42).unwrap();
         // Per-cell results must match the original diagram cell-for-cell
         // (grids are isomorphic under order-preserving maps).
         let a = QuadrantEngine::Sweeping.build(&ds);
