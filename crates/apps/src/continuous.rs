@@ -1,6 +1,6 @@
 //! Continuous skyline queries for moving query points, and safe zones —
 //! the paper's generalization of the location-based "safe zone" literature
-//! ([7], [10], [13], [24]) from one dynamic attribute to all-dynamic
+//! (\[7\], \[10\], \[13\], \[24\]) from one dynamic attribute to all-dynamic
 //! attributes.
 //!
 //! A **safe zone** is the region in which a query can move without its
@@ -14,6 +14,7 @@
 use skyline_core::diagram::{CellDiagram, MergedDiagram, Polyomino};
 use skyline_core::dynamic::SubcellDiagram;
 use skyline_core::geometry::{Coord, Point, PointId};
+use skyline_core::parallel::{self, ParallelConfig};
 
 /// One step of a moving query's itinerary: for parameters in
 /// `[t_start, t_end]` of the segment `a → b`, the skyline result is `result`.
@@ -204,6 +205,30 @@ pub fn trace_segment_dynamic(diagram: &SubcellDiagram, a: Point, b: Point) -> Ve
     )
 }
 
+/// Itineraries for a batch of independent segments over a cell diagram,
+/// evaluated with the given parallel configuration. Entry `k` is exactly
+/// `trace_segment(diagram, segments[k].0, segments[k].1)` — order and
+/// content are identical at every thread count.
+pub fn trace_segments(
+    diagram: &CellDiagram,
+    segments: &[(Point, Point)],
+    cfg: &ParallelConfig,
+) -> Vec<Vec<TraversalStep>> {
+    parallel::map(cfg, segments, |&(a, b)| trace_segment(diagram, a, b))
+}
+
+/// Batched variant of [`trace_segment_dynamic`], with the same ordering
+/// guarantee as [`trace_segments`].
+pub fn trace_segments_dynamic(
+    diagram: &SubcellDiagram,
+    segments: &[(Point, Point)],
+    cfg: &ParallelConfig,
+) -> Vec<Vec<TraversalStep>> {
+    parallel::map(cfg, segments, |&(a, b)| {
+        trace_segment_dynamic(diagram, a, b)
+    })
+}
+
 /// Itinerary along a polyline (a route with waypoints): per-leg itineraries
 /// concatenated, with the leg index attached and equal-result steps merged
 /// across leg boundaries. Parameters are per-leg (`t ∈ [0, 1]` within each
@@ -346,6 +371,37 @@ mod tests {
                 assert_eq!(s.result.as_slice(), d.query(q));
             }
         }
+    }
+
+    #[test]
+    fn batched_traces_match_per_segment_calls() {
+        let ds = hotel();
+        let d = QuadrantEngine::Sweeping.build(&ds);
+        let segments: Vec<(Point, Point)> = (0..12)
+            .map(|k| (Point::new(k, 0), Point::new(25 - k, 100)))
+            .collect();
+        let expected: Vec<Vec<TraversalStep>> = segments
+            .iter()
+            .map(|&(a, b)| trace_segment(&d, a, b))
+            .collect();
+        for threads in [0, 1, 3] {
+            let cfg = ParallelConfig::with_threads(threads);
+            assert_eq!(
+                trace_segments(&d, &segments, &cfg),
+                expected,
+                "threads = {threads}"
+            );
+        }
+
+        let dd = DynamicEngine::Scanning.build(&ds);
+        let expected_dyn: Vec<Vec<TraversalStep>> = segments
+            .iter()
+            .map(|&(a, b)| trace_segment_dynamic(&dd, a, b))
+            .collect();
+        assert_eq!(
+            trace_segments_dynamic(&dd, &segments, &ParallelConfig::with_threads(3)),
+            expected_dyn
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! `O(n·|DSL|)` with `|DSL| = O(log n)` on average.
 
 use skyline_core::geometry::{Coord, Dataset, Point, PointId};
+use skyline_core::parallel::{self, ParallelConfig};
 use skyline_core::skyline::sort_sweep::minima_xy;
 
 /// Naive `O(n²)` reverse skyline, the oracle the index is validated against.
@@ -47,29 +48,36 @@ pub struct ReverseSkylineIndex {
 }
 
 impl ReverseSkylineIndex {
-    /// Builds the index: `O(n² log n)` total.
+    /// Builds the index with the process-wide parallel configuration
+    /// (`SKYLINE_THREADS`): `O(n² log n)` total.
     pub fn new(dataset: &Dataset) -> Self {
+        ReverseSkylineIndex::new_with(dataset, &ParallelConfig::from_env())
+    }
+
+    /// Builds the index with an explicit parallel configuration: per-point
+    /// `DSL(p)` staircases are independent, so construction parallelizes
+    /// over points with identical output at every thread count.
+    pub fn new_with(dataset: &Dataset, cfg: &ParallelConfig) -> Self {
         let points: Vec<Point> = dataset.points().to_vec();
-        let staircases = dataset
-            .iter()
-            .map(|(id, p)| {
-                let mut mapped: Vec<(Coord, Coord, PointId)> = dataset
-                    .iter()
-                    .filter(|&(other, _)| other != id)
-                    .map(|(other, o)| ((o.x - p.x).abs(), (o.y - p.y).abs(), other))
-                    .collect();
-                let dsl = minima_xy(&mut mapped);
-                let mut stairs: Vec<(Coord, Coord)> = dsl
-                    .into_iter()
-                    .map(|other| {
-                        let o = dataset.point(other);
-                        ((o.x - p.x).abs(), (o.y - p.y).abs())
-                    })
-                    .collect();
-                stairs.sort_unstable();
-                stairs
-            })
-            .collect();
+        let staircases = parallel::map_indexed(cfg, points.len(), |i| {
+            let id = PointId(i as u32);
+            let p = points[i];
+            let mut mapped: Vec<(Coord, Coord, PointId)> = dataset
+                .iter()
+                .filter(|&(other, _)| other != id)
+                .map(|(other, o)| ((o.x - p.x).abs(), (o.y - p.y).abs(), other))
+                .collect();
+            let dsl = minima_xy(&mut mapped);
+            let mut stairs: Vec<(Coord, Coord)> = dsl
+                .into_iter()
+                .map(|other| {
+                    let o = dataset.point(other);
+                    ((o.x - p.x).abs(), (o.y - p.y).abs())
+                })
+                .collect();
+            stairs.sort_unstable();
+            stairs
+        });
         ReverseSkylineIndex { points, staircases }
     }
 
@@ -80,6 +88,14 @@ impl ReverseSkylineIndex {
             .map(PointId)
             .filter(|&id| self.contains(id, q))
             .collect()
+    }
+
+    /// Reverse skylines for a batch of independent queries, evaluated with
+    /// the given parallel configuration. Entry `k` is exactly
+    /// `self.query(queries[k])`.
+    #[must_use]
+    pub fn batch_query(&self, queries: &[Point], cfg: &ParallelConfig) -> Vec<Vec<PointId>> {
+        parallel::map(cfg, queries, |&q| self.query(q))
     }
 
     /// True iff `p_id` belongs to the reverse skyline of `q`: `|q - p|` must
@@ -142,31 +158,44 @@ pub struct BichromaticIndex {
 }
 
 impl BichromaticIndex {
-    /// Builds the index: `O(|C| · |P| log |P|)`.
+    /// Builds the index with the process-wide parallel configuration
+    /// (`SKYLINE_THREADS`): `O(|C| · |P| log |P|)`.
     pub fn new(products: &Dataset, customers: &Dataset) -> Self {
-        let staircases = customers
-            .iter()
-            .map(|(_, c)| {
-                let mut mapped: Vec<(Coord, Coord, PointId)> = products
-                    .iter()
-                    .map(|(id, p)| ((p.x - c.x).abs(), (p.y - c.y).abs(), id))
-                    .collect();
-                let dsl = minima_xy(&mut mapped);
-                let mut stairs: Vec<(Coord, Coord)> = dsl
-                    .into_iter()
-                    .map(|id| {
-                        let p = products.point(id);
-                        ((p.x - c.x).abs(), (p.y - c.y).abs())
-                    })
-                    .collect();
-                stairs.sort_unstable();
-                stairs
-            })
-            .collect();
+        BichromaticIndex::new_with(products, customers, &ParallelConfig::from_env())
+    }
+
+    /// Builds the index with an explicit parallel configuration: per-customer
+    /// staircases are independent, so construction parallelizes over
+    /// customers with identical output at every thread count.
+    pub fn new_with(products: &Dataset, customers: &Dataset, cfg: &ParallelConfig) -> Self {
+        let customer_points: Vec<Point> = customers.points().to_vec();
+        let staircases = parallel::map(cfg, &customer_points, |c| {
+            let mut mapped: Vec<(Coord, Coord, PointId)> = products
+                .iter()
+                .map(|(id, p)| ((p.x - c.x).abs(), (p.y - c.y).abs(), id))
+                .collect();
+            let dsl = minima_xy(&mut mapped);
+            let mut stairs: Vec<(Coord, Coord)> = dsl
+                .into_iter()
+                .map(|id| {
+                    let p = products.point(id);
+                    ((p.x - c.x).abs(), (p.y - c.y).abs())
+                })
+                .collect();
+            stairs.sort_unstable();
+            stairs
+        });
         BichromaticIndex {
-            customers: customers.points().to_vec(),
+            customers: customer_points,
             staircases,
         }
+    }
+
+    /// Bichromatic reverse skylines for a batch of candidate placements.
+    /// Entry `k` is exactly `self.query(queries[k])`.
+    #[must_use]
+    pub fn batch_query(&self, queries: &[Point], cfg: &ParallelConfig) -> Vec<Vec<PointId>> {
+        parallel::map(cfg, queries, |&q| self.query(q))
     }
 
     /// Customers that would see a product at `q` in their dynamic skyline.
@@ -252,6 +281,46 @@ mod tests {
         let ds = Dataset::from_coords([(5, 5)]).unwrap();
         let index = ReverseSkylineIndex::new(&ds);
         assert_eq!(index.query(Point::new(100, -100)), vec![PointId(0)]);
+    }
+
+    #[test]
+    fn parallel_index_and_batch_queries_match_sequential() {
+        let ds = lcg_dataset(35, 90, 4);
+        let reference = ReverseSkylineIndex::new_with(&ds, &ParallelConfig::sequential());
+        let queries: Vec<Point> = (0..90).step_by(7).map(|v| Point::new(v, 89 - v)).collect();
+        let expected: Vec<Vec<PointId>> = queries.iter().map(|&q| reference.query(q)).collect();
+        for threads in [1, 2, 3, 8] {
+            let cfg = ParallelConfig::with_threads(threads);
+            let index = ReverseSkylineIndex::new_with(&ds, &cfg);
+            assert_eq!(
+                index.staircases, reference.staircases,
+                "threads = {threads}"
+            );
+            assert_eq!(index.batch_query(&queries, &cfg), expected);
+        }
+        assert_eq!(
+            reference.batch_query(&queries, &ParallelConfig::sequential()),
+            expected
+        );
+    }
+
+    #[test]
+    fn bichromatic_parallel_build_and_batch_match() {
+        let products = lcg_dataset(20, 60, 12);
+        let customers = lcg_dataset(25, 60, 13);
+        let reference =
+            BichromaticIndex::new_with(&products, &customers, &ParallelConfig::sequential());
+        let queries: Vec<Point> = (0..60).step_by(9).map(|v| Point::new(v, v / 2)).collect();
+        let expected: Vec<Vec<PointId>> = queries.iter().map(|&q| reference.query(q)).collect();
+        for threads in [2, 5] {
+            let cfg = ParallelConfig::with_threads(threads);
+            let index = BichromaticIndex::new_with(&products, &customers, &cfg);
+            assert_eq!(
+                index.staircases, reference.staircases,
+                "threads = {threads}"
+            );
+            assert_eq!(index.batch_query(&queries, &cfg), expected);
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! no doubling needed, since reflections of integer points are integers.
 //!
 //! Construction evaluates each distinct cell with the
-//! [`ReverseSkylineIndex`](crate::reverse::ReverseSkylineIndex) staircase
+//! [`ReverseSkylineIndex`] staircase
 //! test (`O(n·|DSL|)` per cell); results are interned so the `O(n⁴)` cell
 //! array stays one `u32` per cell. Intended for the same small-`n` regime
 //! as the dynamic diagram.

@@ -1,27 +1,112 @@
 //! Regenerates every table/figure of the reconstructed evaluation (DESIGN.md
-//! experiments E1–E8) and prints them as Markdown. Run with:
+//! experiments E1–E11) and prints them as Markdown. Run with:
 //!
 //! ```text
-//! cargo run -p skyline-bench --release --bin experiments            # all
-//! cargo run -p skyline-bench --release --bin experiments -- e1 e3  # subset
+//! cargo run -p skyline-bench --release --bin experiments             # all
+//! cargo run -p skyline-bench --release --bin experiments -- e1 e3   # subset
+//! cargo run -p skyline-bench --release --bin experiments -- \
+//!     e11 --profile smoke --json BENCH_PR3.json --gate              # CI gate
 //! ```
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use skyline_bench::{domain_dataset, fmt_ms, highd_dataset, sweep_dataset, time_ms};
+use skyline_bench::json::{render_records, BenchRecord};
+use skyline_bench::{domain_dataset, fmt_ms, highd_dataset, sweep_dataset, time_ms, time_stats};
 use skyline_core::diagram::merge::{merge, merge_flood_fill};
 use skyline_core::dsg::DirectedSkylineGraph;
 use skyline_core::dynamic::{self, DynamicEngine};
-use skyline_core::geometry::{CellGrid, Point};
+use skyline_core::geometry::{CellGrid, Dataset, Point};
 use skyline_core::global;
 use skyline_core::highd::HighDEngine;
+use skyline_core::parallel::ParallelConfig;
 use skyline_core::quadrant::{self, QuadrantEngine};
 use skyline_core::query;
 use skyline_data::Distribution;
 
+const USAGE: &str = "\
+Usage: experiments [EXPERIMENT...] [--profile smoke|full] [--json PATH] [--gate]
+
+  EXPERIMENT       any of e1..e11 (default: run all experiments)
+  --profile NAME   dataset sizes for e11: 'full' (default) or 'smoke' (CI-sized)
+  --json PATH      write the machine-readable bench records collected this run
+                   (the BENCH_PR3.json schema) to PATH
+  --gate           exit 1 if any parallel configuration measured this run is
+                   more than 1.25x slower than its own sequential (threads = 0)
+                   run on the same host";
+
+/// Allowed gated slowdown of any parallel configuration relative to its own
+/// sequential run (same host, same invocation).
+const GATE_RATIO: f64 = 1.25;
+
+/// Dataset sizes for the E11 sweep: `Full` reproduces the committed
+/// `BENCH_PR3.json`; `Smoke` is small enough for a per-push CI job.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Profile {
+    Smoke,
+    Full,
+}
+
+/// Parsed command line; parsing is exhaustive — anything unrecognized is an
+/// error, not silently ignored.
+struct Options {
+    experiments: Vec<String>,
+    profile: Profile,
+    json_path: Option<String>,
+    gate: bool,
+}
+
+const EXPERIMENT_NAMES: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+];
+
+impl Options {
+    fn parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
+        let mut opts = Options {
+            experiments: Vec::new(),
+            profile: Profile::Full,
+            json_path: None,
+            gate: false,
+        };
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            let lower = arg.to_lowercase();
+            match lower.as_str() {
+                "--profile" => {
+                    let value = args.next().ok_or("--profile needs a value")?;
+                    opts.profile = match value.to_lowercase().as_str() {
+                        "smoke" => Profile::Smoke,
+                        "full" => Profile::Full,
+                        other => return Err(format!("unknown profile '{other}'")),
+                    };
+                }
+                "--json" => {
+                    opts.json_path = Some(args.next().ok_or("--json needs a path")?);
+                }
+                "--gate" => opts.gate = true,
+                "--help" | "-h" => {
+                    println!("{USAGE}");
+                    std::process::exit(0);
+                }
+                name if EXPERIMENT_NAMES.contains(&name) => {
+                    opts.experiments.push(name.to_string());
+                }
+                other => return Err(format!("unknown argument '{other}'")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
-    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    let opts = match Options::parse(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let want =
+        |name: &str| opts.experiments.is_empty() || opts.experiments.iter().any(|a| a == name);
 
     println!("# Experiment run (skyline-diagram reconstruction of ICDE'18)\n");
     if want("e1") {
@@ -54,6 +139,290 @@ fn main() {
     if want("e10") {
         e10_extensions();
     }
+    let mut records = Vec::new();
+    if want("e11") {
+        records.extend(e11_parallel_scalability(opts.profile));
+    }
+
+    if let Some(path) = &opts.json_path {
+        if let Err(err) = std::fs::write(path, render_records(&records)) {
+            eprintln!("error: cannot write {path}: {err}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {} records to {path}", records.len());
+    }
+    if opts.gate {
+        match gate_regressions(&records) {
+            Ok(checked) => eprintln!(
+                "gate: {checked} parallel configurations within {GATE_RATIO}x of sequential"
+            ),
+            Err(violations) => {
+                for v in &violations {
+                    eprintln!("gate violation: {v}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// The regression gate (CI `bench-smoke` job): every parallel record must be
+/// no more than [`GATE_RATIO`] times slower (by minimum wall time) than the
+/// sequential (`threads = 0`) record of the same configuration from the same
+/// invocation — same-host comparison, so absolute machine speed cancels out.
+/// Returns the number of parallel records checked, or the violation list.
+fn gate_regressions(records: &[BenchRecord]) -> Result<usize, Vec<String>> {
+    let key = |r: &BenchRecord| {
+        (
+            r.experiment.clone(),
+            r.algorithm.clone(),
+            r.n,
+            r.s,
+            r.d,
+            r.distribution.clone(),
+        )
+    };
+    let sequential: std::collections::HashMap<_, f64> = records
+        .iter()
+        .filter(|r| r.threads == 0)
+        .map(|r| (key(r), r.min_ms))
+        .collect();
+
+    let mut violations = Vec::new();
+    let mut checked = 0usize;
+    for r in records.iter().filter(|r| r.threads > 0) {
+        let Some(&seq_ms) = sequential.get(&key(r)) else {
+            violations.push(format!(
+                "{} {} n={} threads={} has no sequential baseline record",
+                r.experiment, r.algorithm, r.n, r.threads
+            ));
+            continue;
+        };
+        checked += 1;
+        if r.min_ms > GATE_RATIO * seq_ms {
+            violations.push(format!(
+                "{} {} n={} dist={} threads={}: {} vs sequential {} ({:.2}x > {GATE_RATIO}x)",
+                r.experiment,
+                r.algorithm,
+                r.n,
+                r.distribution,
+                r.threads,
+                fmt_ms(r.min_ms),
+                fmt_ms(seq_ms),
+                r.min_ms / seq_ms
+            ));
+        }
+    }
+    if checked == 0 && violations.is_empty() {
+        violations.push("no parallel records collected — run e11 with --gate".to_string());
+    }
+    if violations.is_empty() {
+        Ok(checked)
+    } else {
+        Err(violations)
+    }
+}
+
+/// A diagram build parameterized only by the parallel configuration, over a
+/// fixed sweep dataset.
+type Build = Box<dyn Fn(&Dataset, &ParallelConfig)>;
+
+/// One E11 configuration.
+struct ScalabilityConfig {
+    algorithm: &'static str,
+    n: usize,
+    distribution: Distribution,
+    reps: usize,
+    build: Build,
+}
+
+fn scalability_configs(profile: Profile) -> Vec<ScalabilityConfig> {
+    let quadrant = |engine: QuadrantEngine| -> Build {
+        Box::new(move |ds, cfg| {
+            let _ = std::hint::black_box(engine.build_with(ds, cfg));
+        })
+    };
+    let global_with = |engine: QuadrantEngine| -> Build {
+        Box::new(move |ds, cfg| {
+            let _ = std::hint::black_box(global::build_with(ds, engine, cfg));
+        })
+    };
+    let dynamic_with = |engine: DynamicEngine| -> Build {
+        Box::new(move |ds, cfg| {
+            let _ = std::hint::black_box(engine.build_with(ds, cfg));
+        })
+    };
+    let cfg = |algorithm, n, distribution, reps, build| ScalabilityConfig {
+        algorithm,
+        n,
+        distribution,
+        reps,
+        build,
+    };
+
+    use Distribution::{Anticorrelated, Independent};
+    match profile {
+        Profile::Full => vec![
+            cfg(
+                "global/scanning",
+                400,
+                Independent,
+                2,
+                global_with(QuadrantEngine::Scanning),
+            ),
+            cfg(
+                "global/scanning",
+                800,
+                Independent,
+                3,
+                global_with(QuadrantEngine::Scanning),
+            ),
+            cfg(
+                "global/scanning",
+                800,
+                Anticorrelated,
+                2,
+                global_with(QuadrantEngine::Scanning),
+            ),
+            cfg(
+                "global/sweeping",
+                800,
+                Independent,
+                2,
+                global_with(QuadrantEngine::Sweeping),
+            ),
+            cfg(
+                "quadrant/scanning",
+                800,
+                Independent,
+                3,
+                quadrant(QuadrantEngine::Scanning),
+            ),
+            cfg(
+                "quadrant/sweeping",
+                800,
+                Independent,
+                3,
+                quadrant(QuadrantEngine::Sweeping),
+            ),
+            cfg(
+                "dynamic/scanning",
+                40,
+                Independent,
+                2,
+                dynamic_with(DynamicEngine::Scanning),
+            ),
+            cfg(
+                "dynamic/subset",
+                30,
+                Independent,
+                2,
+                dynamic_with(DynamicEngine::Subset),
+            ),
+        ],
+        Profile::Smoke => vec![
+            cfg(
+                "global/scanning",
+                100,
+                Independent,
+                5,
+                global_with(QuadrantEngine::Scanning),
+            ),
+            cfg(
+                "global/sweeping",
+                100,
+                Independent,
+                5,
+                global_with(QuadrantEngine::Sweeping),
+            ),
+            cfg(
+                "quadrant/scanning",
+                200,
+                Independent,
+                5,
+                quadrant(QuadrantEngine::Scanning),
+            ),
+            cfg(
+                "quadrant/sweeping",
+                200,
+                Independent,
+                5,
+                quadrant(QuadrantEngine::Sweeping),
+            ),
+            cfg(
+                "dynamic/scanning",
+                10,
+                Independent,
+                3,
+                dynamic_with(DynamicEngine::Scanning),
+            ),
+            cfg(
+                "dynamic/subset",
+                10,
+                Independent,
+                3,
+                dynamic_with(DynamicEngine::Subset),
+            ),
+        ],
+    }
+}
+
+/// E11: construction-time scalability over the `SKYLINE_THREADS` sweep.
+/// `threads = 0` is the historical sequential reference path; `threads >= 1`
+/// selects the restructured parallel engines (worker count capped at the
+/// hardware width, see `skyline_core::parallel`). Returns the machine-
+/// readable records backing `BENCH_PR3.json`.
+fn e11_parallel_scalability(profile: Profile) -> Vec<BenchRecord> {
+    let threads = [0usize, 1, 2, 4];
+    println!(
+        "## E11 — parallel scalability ({} profile)\n",
+        match profile {
+            Profile::Smoke => "smoke",
+            Profile::Full => "full",
+        }
+    );
+    println!("| algorithm | dist | n | t=0 (seq) | t=1 | t=2 | t=4 | speedup (t=4) |");
+    println!("|---|---|---|---|---|---|---|---|");
+
+    let mut records = Vec::new();
+    for config in scalability_configs(profile) {
+        let ds = sweep_dataset(config.n, config.distribution);
+        let mut row = format!(
+            "| {} | {} | {} |",
+            config.algorithm,
+            config.distribution.name(),
+            config.n
+        );
+        let mut seq_min = f64::NAN;
+        let mut t4_min = f64::NAN;
+        for t in threads {
+            let cfg = ParallelConfig::with_threads(t);
+            let stats = time_stats(config.reps, || (config.build)(&ds, &cfg));
+            if t == 0 {
+                seq_min = stats.min_ms;
+            }
+            if t == 4 {
+                t4_min = stats.min_ms;
+            }
+            row.push_str(&format!(" {} |", fmt_ms(stats.min_ms)));
+            records.push(BenchRecord {
+                experiment: "e11".to_string(),
+                algorithm: config.algorithm.to_string(),
+                n: config.n,
+                s: 10 * config.n as i64,
+                d: 2,
+                distribution: config.distribution.name().to_string(),
+                threads: t,
+                reps: config.reps,
+                min_ms: stats.min_ms,
+                median_ms: stats.median_ms,
+            });
+        }
+        row.push_str(&format!(" {:.2}x |", seq_min / t4_min));
+        println!("{row}");
+    }
+    println!();
+    records
 }
 
 /// E10: the extensions beyond the paper's text (DESIGN.md §2).

@@ -34,37 +34,81 @@ use skyline_core::geometry::Dataset;
 use skyline_core::global;
 use skyline_core::highd::HighDEngine;
 use skyline_core::invariants::{self, CellSemantics, FULL_SAMPLE};
+use skyline_core::parallel::ParallelConfig;
 use skyline_core::quadrant::QuadrantEngine;
 use skyline_data::{DatasetSpec, Distribution};
 
-fn main() {
-    let mut seconds = 10u64;
-    let mut repro_seed: Option<u64> = None;
-    let mut args = std::env::args().skip(1);
+const USAGE: &str = "\
+Usage: fuzz_diff [--seconds N] [--seed SEED] [--help]
+
+  --seconds N   fuzz for N wall-clock seconds (default 10)
+  --seed SEED   replay exactly one round with this seed and exit
+  --help, -h    print this message
+
+Exit status: 0 all rounds agreed, 1 mismatch/invariant violation, 2 bad usage.";
+
+/// Thread counts for the per-round parallel-vs-sequential differential
+/// checks (in addition to whatever `SKYLINE_THREADS` selects for the
+/// reference builds).
+const FUZZ_THREADS: [usize; 2] = [2, 3];
+
+/// Parsed command line for the harness.
+#[derive(Debug, PartialEq, Eq)]
+struct Options {
+    seconds: u64,
+    repro_seed: Option<u64>,
+    help: bool,
+}
+
+/// Exhaustive argument parsing: every token is either a recognized flag, a
+/// recognized flag's value, or an error — unknown arguments are never
+/// silently ignored, wherever they appear on the line.
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut opts = Options {
+        seconds: 10,
+        repro_seed: None,
+        help: false,
+    };
+    let mut args = args;
+    let int_value = |args: &mut dyn Iterator<Item = String>, name: &str| {
+        let value = args
+            .next()
+            .ok_or_else(|| format!("{name} needs an integer value"))?;
+        value
+            .parse::<u64>()
+            .map_err(|_| format!("{name} needs an integer value, got '{value}'"))
+    };
     while let Some(arg) = args.next() {
-        let mut int_arg = |name: &str| {
-            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                eprintln!("{name} needs an integer");
-                std::process::exit(2);
-            })
-        };
-        if arg == "--seconds" {
-            seconds = int_arg("--seconds");
-        } else if arg == "--seed" {
-            repro_seed = Some(int_arg("--seed"));
-        } else {
-            eprintln!("unknown argument {arg:?}; usage: fuzz_diff [--seconds N] [--seed SEED]");
-            std::process::exit(2);
+        match arg.as_str() {
+            "--seconds" => opts.seconds = int_value(&mut args, "--seconds")?,
+            "--seed" => opts.repro_seed = Some(int_value(&mut args, "--seed")?),
+            "--help" | "-h" => opts.help = true,
+            other => return Err(format!("unknown argument '{other}'")),
         }
     }
+    Ok(opts)
+}
 
-    if let Some(seed) = repro_seed {
+fn main() {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if opts.help {
+        println!("{USAGE}");
+        return;
+    }
+
+    if let Some(seed) = opts.repro_seed {
         round(seed, true);
         println!("seed {seed}: all engine families agreed and all invariants held");
         return;
     }
 
-    let deadline = Instant::now() + Duration::from_secs(seconds);
+    let deadline = Instant::now() + Duration::from_secs(opts.seconds);
     let mut rounds = 0u64;
     let mut seed = 0xF00D_u64;
 
@@ -144,6 +188,18 @@ fn check_quadrant(spec: &DatasetSpec, ds: &Dataset) {
             fail(engine.name(), spec);
         }
     }
+    // Parallel engines must be bit-identical to the sequential reference at
+    // fixed thread counts, independent of SKYLINE_THREADS.
+    for engine in [QuadrantEngine::Scanning, QuadrantEngine::Sweeping] {
+        for threads in FUZZ_THREADS {
+            if !engine
+                .build_with(ds, &ParallelConfig::with_threads(threads))
+                .same_results(&reference)
+            {
+                fail(&format!("{}-threads-{threads}", engine.name()), spec);
+            }
+        }
+    }
     // k-skyband engines, k = 2.
     let band_ref = skyline_core::skyband::build_baseline(ds, 2);
     if !skyline_core::skyband::build_incremental(ds, 2).same_results(&band_ref) {
@@ -185,6 +241,17 @@ fn check_global(spec: &DatasetSpec, ds: &Dataset) {
     if !global::build(ds, QuadrantEngine::Sweeping).same_results(&reference) {
         fail("global-sweeping", spec);
     }
+    for threads in FUZZ_THREADS {
+        if !global::build_with(
+            ds,
+            QuadrantEngine::Sweeping,
+            &ParallelConfig::with_threads(threads),
+        )
+        .same_results(&reference)
+        {
+            fail(&format!("global-sweeping-threads-{threads}"), spec);
+        }
+    }
 }
 
 fn check_dynamic(spec: &DatasetSpec, ds: &Dataset) {
@@ -195,6 +262,14 @@ fn check_dynamic(spec: &DatasetSpec, ds: &Dataset) {
     for engine in DynamicEngine::ALL {
         if !engine.build(ds).same_results(&reference) {
             fail(engine.name(), spec);
+        }
+        for threads in FUZZ_THREADS {
+            if !engine
+                .build_with(ds, &ParallelConfig::with_threads(threads))
+                .same_results(&reference)
+            {
+                fail(&format!("{}-threads-{threads}", engine.name()), spec);
+            }
         }
     }
     let merged = skyline_core::diagram::merge::merge_subcells(&reference);
@@ -210,5 +285,48 @@ fn check_highd(spec: &DatasetSpec) {
         if !engine.build(&ds).same_results(&reference) {
             fail(engine.name(), spec);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts.seconds, 10);
+        assert_eq!(opts.repro_seed, None);
+        assert!(!opts.help);
+    }
+
+    #[test]
+    fn recognized_flags() {
+        let opts = parse(&["--seconds", "30", "--seed", "42"]).unwrap();
+        assert_eq!(opts.seconds, 30);
+        assert_eq!(opts.repro_seed, Some(42));
+        assert!(parse(&["--help"]).unwrap().help);
+        assert!(parse(&["-h"]).unwrap().help);
+    }
+
+    #[test]
+    fn unknown_arguments_are_errors_anywhere() {
+        assert!(parse(&["--bogus"]).is_err());
+        // A trailing unknown argument after a valid flag pair must also fail
+        // — nothing on the line may be silently ignored.
+        assert!(parse(&["--seconds", "5", "--bogus"]).is_err());
+        assert!(parse(&["--seed", "1", "extra"]).is_err());
+    }
+
+    #[test]
+    fn missing_or_malformed_values_are_errors() {
+        assert!(parse(&["--seconds"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--seconds", "soon"]).is_err());
+        assert!(parse(&["--seed", "-3"]).is_err());
     }
 }

@@ -1,0 +1,144 @@
+//! Dependency-free JSON emission for the machine-readable bench pipeline
+//! (`BENCH_PR3.json`). The workspace is hermetic (no registry crates), so
+//! this module hand-writes the tiny subset of JSON the records need:
+//! objects of strings, integers, and finite floats — no escaping beyond
+//! the JSON string basics, no nesting beyond one array of flat objects.
+
+use std::fmt::Write as _;
+
+/// One measured bench configuration: an (experiment, algorithm, dataset,
+/// threads) point with its wall-time summary. Serialized as one flat JSON
+/// object per record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Experiment id, e.g. `"e11"`.
+    pub experiment: String,
+    /// Algorithm family and engine, e.g. `"global/scanning"`.
+    pub algorithm: String,
+    /// Dataset size.
+    pub n: usize,
+    /// Per-dimension domain size.
+    pub s: i64,
+    /// Dimensionality.
+    pub d: usize,
+    /// Dataset distribution name.
+    pub distribution: String,
+    /// Thread configuration (`0` = sequential reference path).
+    pub threads: usize,
+    /// Repetitions measured.
+    pub reps: usize,
+    /// Minimum wall time across repetitions, in milliseconds.
+    pub min_ms: f64,
+    /// Median wall time across repetitions, in milliseconds.
+    pub median_ms: f64,
+}
+
+/// Escapes a string for a JSON string literal (quotes, backslashes, and
+/// control characters; the records only ever hold ASCII identifiers).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a finite float with enough precision for millisecond timings.
+fn float(v: f64) -> String {
+    assert!(v.is_finite(), "bench timings must be finite");
+    format!("{v:.4}")
+}
+
+impl BenchRecord {
+    /// The record as one flat JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"experiment\":\"{}\",\"algorithm\":\"{}\",\"n\":{},\"s\":{},",
+                "\"d\":{},\"distribution\":\"{}\",\"threads\":{},\"reps\":{},",
+                "\"min_ms\":{},\"median_ms\":{}}}"
+            ),
+            escape(&self.experiment),
+            escape(&self.algorithm),
+            self.n,
+            self.s,
+            self.d,
+            escape(&self.distribution),
+            self.threads,
+            self.reps,
+            float(self.min_ms),
+            float(self.median_ms),
+        )
+    }
+}
+
+/// Renders the full record set as a pretty-printed JSON array (one record
+/// per line, trailing newline) — stable output for committed artifacts.
+pub fn render_records(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (k, r) in records.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&r.to_json());
+        if k + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchRecord {
+        BenchRecord {
+            experiment: "e11".into(),
+            algorithm: "global/scanning".into(),
+            n: 800,
+            s: 8000,
+            d: 2,
+            distribution: "independent".into(),
+            threads: 4,
+            reps: 3,
+            min_ms: 687.25,
+            median_ms: 700.5,
+        }
+    }
+
+    #[test]
+    fn record_serializes_flat_object() {
+        let json = sample().to_json();
+        assert!(json.starts_with("{\"experiment\":\"e11\""));
+        assert!(json.contains("\"algorithm\":\"global/scanning\""));
+        assert!(json.contains("\"n\":800"));
+        assert!(json.contains("\"threads\":4"));
+        assert!(json.contains("\"min_ms\":687.2500"));
+        assert!(json.ends_with('}'));
+    }
+
+    #[test]
+    fn render_is_valid_array_shape() {
+        let one = render_records(&[sample()]);
+        assert!(one.starts_with("[\n  {"));
+        assert!(one.ends_with("}\n]\n"));
+        let two = render_records(&[sample(), sample()]);
+        assert_eq!(two.matches("\"experiment\"").count(), 2);
+        assert_eq!(two.matches("},\n").count(), 1);
+        assert_eq!(render_records(&[]), "[\n]\n");
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_controls() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\u000ay");
+    }
+}

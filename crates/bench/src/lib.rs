@@ -10,6 +10,8 @@ use std::time::Instant;
 use skyline_core::geometry::{Dataset, DatasetD};
 use skyline_data::{DatasetSpec, Distribution};
 
+pub mod json;
+
 /// Fixed base seed: every experiment is reproducible bit-for-bit.
 pub const BASE_SEED: u64 = 20180417; // ICDE 2018 main-conference week
 
@@ -67,6 +69,40 @@ pub fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     best
 }
 
+/// Wall-time summary over a set of repetitions, in milliseconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimeStats {
+    /// Fastest repetition — the low-noise figure the tables report.
+    pub min_ms: f64,
+    /// Median repetition — a robustness check against one lucky run.
+    pub median_ms: f64,
+}
+
+/// Times `reps` runs of `f` and returns the minimum and median wall times.
+/// The machine-readable bench records carry both so a regression gate can
+/// compare minima while the median exposes scheduling noise.
+pub fn time_stats<T>(reps: usize, mut f: impl FnMut() -> T) -> TimeStats {
+    assert!(reps > 0);
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(out);
+        samples.push(elapsed);
+    }
+    samples.sort_unstable_by(|a, b| a.total_cmp(b));
+    let median_ms = if reps % 2 == 1 {
+        samples[reps / 2]
+    } else {
+        (samples[reps / 2 - 1] + samples[reps / 2]) / 2.0
+    };
+    TimeStats {
+        min_ms: samples[0],
+        median_ms,
+    }
+}
+
 /// Formats a milliseconds figure compactly for the experiment tables.
 pub fn fmt_ms(ms: f64) -> String {
     if ms >= 1000.0 {
@@ -99,6 +135,13 @@ mod tests {
     fn timing_returns_positive_values() {
         let ms = time_ms(3, || (0..1000).sum::<u64>());
         assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn time_stats_orders_min_and_median() {
+        let stats = time_stats(5, || (0..1000).sum::<u64>());
+        assert!(stats.min_ms >= 0.0);
+        assert!(stats.median_ms >= stats.min_ms);
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! CLI contract tests for the `fuzz_diff` harness: argument handling must be
+//! exhaustive (exit 2 with usage for anything unrecognized, wherever it
+//! appears on the line), and the degenerate `--seconds 0` run must exit
+//! cleanly. These run the real release/debug binary via Cargo's
+//! `CARGO_BIN_EXE_*` environment contract.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fuzz_diff"))
+        .args(args)
+        .env_remove("SKYLINE_THREADS")
+        .output()
+        .expect("fuzz_diff binary runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn unknown_flag_exits_2_with_usage() {
+    let out = run(&["--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown argument '--bogus'"), "{err}");
+    assert!(err.contains("Usage: fuzz_diff"), "{err}");
+}
+
+#[test]
+fn unknown_argument_after_valid_flag_exits_2() {
+    // The historical failure mode to guard against: trailing junk after a
+    // valid flag pair must be rejected, not silently ignored.
+    let out = run(&["--seed", "7", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown argument '--bogus'"));
+
+    let out = run(&["--seconds", "1", "extra"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown argument 'extra'"));
+}
+
+#[test]
+fn missing_and_malformed_values_exit_2() {
+    for args in [
+        &["--seconds"][..],
+        &["--seed"][..],
+        &["--seconds", "soon"][..],
+        &["--seed", "-3"][..],
+    ] {
+        let out = run(args);
+        assert_eq!(out.status.code(), Some(2), "args = {args:?}");
+        assert!(stderr(&out).contains("integer value"), "args = {args:?}");
+    }
+}
+
+#[test]
+fn help_exits_0_with_usage() {
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Usage: fuzz_diff"));
+}
+
+#[test]
+fn zero_seconds_exits_cleanly() {
+    let out = run(&["--seconds", "0"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("rounds"));
+}
+
+#[test]
+fn single_seed_repro_round_passes() {
+    let out = run(&["--seed", "12345"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("seed 12345"));
+}

@@ -1,4 +1,4 @@
-//! The directed skyline graph (DSG), adapted from [15] as the paper
+//! The directed skyline graph (DSG), adapted from \[15\] as the paper
 //! describes: only *direct* dominance links are kept.
 //!
 //! Nodes are the dataset's points; there is an edge `p → c` iff `p` dominates

@@ -8,26 +8,42 @@
 
 use crate::dynamic::{dynamic_minima_at_sample, SubcellDiagram, SubcellGrid};
 use crate::geometry::{Dataset, PointId};
-use crate::result_set::ResultInterner;
+use crate::parallel::{self, ParallelConfig};
+use crate::result_set::{ResultInterner, ResultRuns};
 
-/// Builds the dynamic skyline diagram with the baseline per-subcell scan.
+/// Builds the dynamic skyline diagram with the baseline per-subcell scan,
+/// using the process-wide parallel configuration (`SKYLINE_THREADS`).
 pub fn build(dataset: &Dataset) -> SubcellDiagram {
-    let grid = SubcellGrid::new(dataset);
-    let mut results = ResultInterner::new();
+    build_with(dataset, &ParallelConfig::from_env())
+}
+
+/// Builds the baseline dynamic diagram with an explicit parallel
+/// configuration. Subcell rows are independent (every subcell is solved
+/// from scratch); workers return run-collapsed raw results and the caller
+/// interns them in row-major order, so every thread count produces an
+/// identical diagram.
+pub fn build_with(dataset: &Dataset, cfg: &ParallelConfig) -> SubcellDiagram {
+    let grid = SubcellGrid::new_with(dataset, cfg);
     let width = grid.mx() as usize + 1;
     let height = grid.my() as usize + 1;
-    let mut cells = Vec::with_capacity(width * height);
-    let mut scratch = Vec::with_capacity(dataset.len());
     let all: Vec<PointId> = dataset.ids().collect();
 
-    for j in 0..height as u32 {
+    let rows: Vec<ResultRuns> = parallel::map_indexed(cfg, height, |j| {
+        let mut scratch = Vec::with_capacity(dataset.len());
+        let mut runs = ResultRuns::new();
         for i in 0..width as u32 {
-            let sample = grid.sample_x4((i, j));
+            let sample = grid.sample_x4((i, j as u32));
             let sky = dynamic_minima_at_sample(dataset, all.iter().copied(), sample, &mut scratch);
-            cells.push(results.intern_sorted(sky));
+            runs.push(&sky);
         }
-    }
+        runs
+    });
 
+    let mut results = ResultInterner::new();
+    let mut cells = Vec::with_capacity(width * height);
+    for row in &rows {
+        row.intern_into(&mut results, &mut cells);
+    }
     SubcellDiagram::from_parts(grid, results, cells)
 }
 

@@ -1,6 +1,6 @@
 //! Skyline-diagram construction for **dynamic** skyline queries
 //! (Section V of the paper): three engines with identical output, over the
-//! skyline-subcell grid of [`subcell`].
+//! skyline-subcell grid of [`SubcellGrid`].
 //!
 //! | Engine | Paper § | Complexity | Notes |
 //! |---|---|---|---|
@@ -158,10 +158,21 @@ impl DynamicEngine {
     /// # Ok::<(), skyline_core::Error>(())
     /// ```
     pub fn build(self, dataset: &Dataset) -> SubcellDiagram {
+        self.build_with(dataset, &crate::parallel::ParallelConfig::from_env())
+    }
+
+    /// Builds the dynamic skyline diagram with this engine and an explicit
+    /// parallel configuration: subcell rows are independent in all three
+    /// engines and run as row bands.
+    pub fn build_with(
+        self,
+        dataset: &Dataset,
+        cfg: &crate::parallel::ParallelConfig,
+    ) -> SubcellDiagram {
         let diagram = match self {
-            DynamicEngine::Baseline => baseline::build(dataset),
-            DynamicEngine::Subset => subset::build(dataset, QuadrantEngine::Sweeping),
-            DynamicEngine::Scanning => scanning::build(dataset),
+            DynamicEngine::Baseline => baseline::build_with(dataset, cfg),
+            DynamicEngine::Subset => subset::build_with(dataset, QuadrantEngine::Sweeping, cfg),
+            DynamicEngine::Scanning => scanning::build_with(dataset, cfg),
         };
         // Debug builds spot-check the output against the from-scratch oracle
         // (see `crate::invariants`); release builds pay nothing.

@@ -3,7 +3,7 @@
 //! Crossing one subcell line can only flip dominance comparisons between
 //! points whose pair-bisector (or own grid line) lies on that line — the
 //! line's *contributors* recorded by
-//! [`SubcellGrid`](crate::dynamic::SubcellGrid). Hence the new subcell's
+//! [`SubcellGrid`]. Hence the new subcell's
 //! dynamic skyline is the dynamic skyline of
 //! `previous result ∪ contributors`, evaluated at the new subcell:
 //!
@@ -21,42 +21,61 @@
 
 use crate::dynamic::{dynamic_minima_at_sample, SubcellDiagram, SubcellGrid};
 use crate::geometry::{Dataset, PointId};
-use crate::result_set::ResultInterner;
+use crate::parallel::{self, ParallelConfig};
+use crate::result_set::{ResultInterner, ResultRuns};
 
-/// Builds the dynamic skyline diagram with the incremental scan.
+/// Builds the dynamic skyline diagram with the incremental scan, using the
+/// process-wide parallel configuration (`SKYLINE_THREADS`).
 pub fn build(dataset: &Dataset) -> SubcellDiagram {
-    let grid = SubcellGrid::new(dataset);
-    let mut results = ResultInterner::new();
+    build_with(dataset, &ParallelConfig::from_env())
+}
+
+/// Builds the scanning dynamic diagram with an explicit parallel
+/// configuration.
+///
+/// The incremental chain only couples rows through their column-0 seeds,
+/// so the parallel decomposition advances the cheap column-0 chain upward
+/// sequentially and then sweeps each row rightward independently. Workers
+/// return run-collapsed raw results; the caller interns them in row-major
+/// order, so every thread count produces an identical diagram.
+pub fn build_with(dataset: &Dataset, cfg: &ParallelConfig) -> SubcellDiagram {
+    let grid = SubcellGrid::new_with(dataset, cfg);
     let width = grid.mx() as usize + 1;
     let height = grid.my() as usize + 1;
-    let mut cells = vec![results.empty(); width * height];
     let mut scratch = Vec::with_capacity(dataset.len());
     let mut candidates: Vec<PointId> = Vec::with_capacity(dataset.len());
 
-    // Seed subcell (0, 0) from scratch.
-    let mut column0 =
-        dynamic_minima_at_sample(dataset, dataset.ids(), grid.sample_x4((0, 0)), &mut scratch);
-    cells[0] = results.intern_sorted(column0.clone());
+    // Column-0 chain: seed subcell (0, 0) from scratch, then advance upward
+    // across each horizontal line. One state per row.
+    let mut seeds: Vec<Vec<PointId>> = Vec::with_capacity(height);
+    seeds.push(dynamic_minima_at_sample(
+        dataset,
+        dataset.ids(),
+        grid.sample_x4((0, 0)),
+        &mut scratch,
+    ));
+    for j in 1..height as u32 {
+        candidates.clear();
+        candidates.extend_from_slice(&seeds[j as usize - 1]);
+        candidates.extend_from_slice(grid.y_contributors(j - 1));
+        candidates.sort_unstable();
+        candidates.dedup();
+        let seed = dynamic_minima_at_sample(
+            dataset,
+            candidates.iter().copied(),
+            grid.sample_x4((0, j)),
+            &mut scratch,
+        );
+        seeds.push(seed);
+    }
 
-    for j in 0..height as u32 {
-        if j > 0 {
-            // Advance the column-0 state upward across horizontal line j-1.
-            candidates.clear();
-            candidates.extend_from_slice(&column0);
-            candidates.extend_from_slice(grid.y_contributors(j - 1));
-            candidates.sort_unstable();
-            candidates.dedup();
-            column0 = dynamic_minima_at_sample(
-                dataset,
-                candidates.iter().copied(),
-                grid.sample_x4((0, j)),
-                &mut scratch,
-            );
-            cells[j as usize * width] = results.intern_sorted(column0.clone());
-        }
-
-        // Sweep the row rightward across each vertical line.
-        let mut row = column0.clone();
+    // Sweep every row rightward across each vertical line, independently.
+    let rows: Vec<ResultRuns> = parallel::map_indexed(cfg, height, |j| {
+        let mut scratch = Vec::with_capacity(dataset.len());
+        let mut candidates: Vec<PointId> = Vec::with_capacity(dataset.len());
+        let mut runs = ResultRuns::new();
+        let mut row = seeds[j].clone();
+        runs.push(&row);
         for i in 1..width as u32 {
             candidates.clear();
             candidates.extend_from_slice(&row);
@@ -66,13 +85,19 @@ pub fn build(dataset: &Dataset) -> SubcellDiagram {
             row = dynamic_minima_at_sample(
                 dataset,
                 candidates.iter().copied(),
-                grid.sample_x4((i, j)),
+                grid.sample_x4((i, j as u32)),
                 &mut scratch,
             );
-            cells[j as usize * width + i as usize] = results.intern_sorted(row.clone());
+            runs.push(&row);
         }
-    }
+        runs
+    });
 
+    let mut results = ResultInterner::new();
+    let mut cells = Vec::with_capacity(width * height);
+    for row in &rows {
+        row.intern_into(&mut results, &mut cells);
+    }
     SubcellDiagram::from_parts(grid, results, cells)
 }
 

@@ -19,6 +19,7 @@
 use std::collections::BTreeMap;
 
 use crate::geometry::{slab_sample_doubled, Coord, Dataset, Point, PointId};
+use crate::parallel::{self, ParallelConfig};
 
 /// Index of a skyline subcell: `(x-slab, y-slab)`.
 pub type SubcellIndex = (u32, u32);
@@ -39,15 +40,30 @@ pub struct SubcellGrid {
     y_contributors: Vec<Vec<PointId>>,
 }
 
-fn build_axis(values: impl Iterator<Item = (Coord, PointId)>) -> (Vec<Coord>, Vec<Vec<PointId>>) {
+fn build_axis(
+    values: impl Iterator<Item = (Coord, PointId)>,
+    cfg: &ParallelConfig,
+) -> (Vec<Coord>, Vec<Vec<PointId>>) {
     let pts: Vec<(Coord, PointId)> = values.collect();
-    let mut lines: BTreeMap<Coord, Vec<PointId>> = BTreeMap::new();
-    for (i, &(a, ida)) in pts.iter().enumerate() {
+    // The O(n²) bisector pair loop, banded over the first pair member. Each
+    // band collects its own line → contributors map; merging is order-free
+    // because the final per-line lists are sorted and deduped, so the result
+    // is identical for every thread count.
+    let bands: Vec<BTreeMap<Coord, Vec<PointId>>> = parallel::map_indexed(cfg, pts.len(), |i| {
+        let (a, ida) = pts[i];
+        let mut local: BTreeMap<Coord, Vec<PointId>> = BTreeMap::new();
         for &(b, idb) in &pts[i..] {
             // a == b covers the point's own grid line 2·p.x.
-            let entry = lines.entry(a + b).or_default();
+            let entry = local.entry(a + b).or_default();
             entry.push(ida);
             entry.push(idb);
+        }
+        local
+    });
+    let mut lines: BTreeMap<Coord, Vec<PointId>> = BTreeMap::new();
+    for band in bands {
+        for (pos, mut ids) in band {
+            lines.entry(pos).or_default().append(&mut ids);
         }
     }
     let mut positions = Vec::with_capacity(lines.len());
@@ -78,10 +94,18 @@ impl SubcellGrid {
     }
 
     /// Builds the subcell grid for a dataset: `O(n²)` line positions per
-    /// dimension, `O(n² log n)` construction.
+    /// dimension, `O(n² log n)` construction, using the process-wide
+    /// parallel configuration (`SKYLINE_THREADS`).
     pub fn new(dataset: &Dataset) -> Self {
-        let (xlines, x_contributors) = build_axis(dataset.iter().map(|(id, p)| (p.x, id)));
-        let (ylines, y_contributors) = build_axis(dataset.iter().map(|(id, p)| (p.y, id)));
+        SubcellGrid::new_with(dataset, &ParallelConfig::from_env())
+    }
+
+    /// Builds the subcell grid with an explicit parallel configuration: the
+    /// bisector pair loop is banded across workers, with identical output
+    /// at every thread count.
+    pub fn new_with(dataset: &Dataset, cfg: &ParallelConfig) -> Self {
+        let (xlines, x_contributors) = build_axis(dataset.iter().map(|(id, p)| (p.x, id)), cfg);
+        let (ylines, y_contributors) = build_axis(dataset.iter().map(|(id, p)| (p.y, id)), cfg);
         SubcellGrid {
             xlines,
             ylines,
@@ -238,6 +262,23 @@ mod tests {
             // Never exactly on a line.
             assert!(g.x_lines().iter().all(|&x| 2 * x != s.x));
             assert!(g.y_lines().iter().all(|&y| 2 * y != s.y));
+        }
+    }
+
+    #[test]
+    fn thread_counts_build_identical_grids() {
+        let ds = crate::test_data::lcg_dataset(14, 20, 31);
+        let reference = SubcellGrid::new_with(&ds, &ParallelConfig::sequential());
+        for threads in [1, 2, 3, 8] {
+            let g = SubcellGrid::new_with(&ds, &ParallelConfig::with_threads(threads));
+            assert_eq!(g.x_lines(), reference.x_lines(), "threads = {threads}");
+            assert_eq!(g.y_lines(), reference.y_lines(), "threads = {threads}");
+            for i in 0..g.mx() {
+                assert_eq!(g.x_contributors(i), reference.x_contributors(i));
+            }
+            for j in 0..g.my() {
+                assert_eq!(g.y_contributors(j), reference.y_contributors(j));
+            }
         }
     }
 

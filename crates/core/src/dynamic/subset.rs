@@ -11,14 +11,28 @@
 
 use crate::dynamic::{dynamic_minima_at_sample, SubcellDiagram, SubcellGrid};
 use crate::geometry::{CellGrid, Dataset};
+use crate::parallel::{self, ParallelConfig};
 use crate::quadrant::QuadrantEngine;
-use crate::result_set::ResultInterner;
+use crate::result_set::{ResultInterner, ResultRuns};
 
 /// Builds the dynamic skyline diagram from global-skyline candidate sets.
-/// `engine` selects the quadrant engine used for the global diagram.
+/// `engine` selects the quadrant engine used for the global diagram. Uses
+/// the process-wide parallel configuration (`SKYLINE_THREADS`).
 pub fn build(dataset: &Dataset, engine: QuadrantEngine) -> SubcellDiagram {
-    let global = crate::global::build(dataset, engine);
-    build_with_global(dataset, &global)
+    build_with(dataset, engine, &ParallelConfig::from_env())
+}
+
+/// Builds the subset dynamic diagram with an explicit parallel
+/// configuration: the global diagram build, the subcell grid's bisector
+/// loop, and the per-subcell candidate scans all parallelize; output is
+/// identical at every thread count.
+pub fn build_with(
+    dataset: &Dataset,
+    engine: QuadrantEngine,
+    cfg: &ParallelConfig,
+) -> SubcellDiagram {
+    let global = crate::global::build_with(dataset, engine, cfg);
+    build_with_global_cfg(dataset, &global, cfg)
 }
 
 /// Variant taking a prebuilt global diagram (used by the E8c ablation to
@@ -27,13 +41,21 @@ pub fn build_with_global(
     dataset: &Dataset,
     global: &crate::diagram::CellDiagram,
 ) -> SubcellDiagram {
-    let grid = SubcellGrid::new(dataset);
+    build_with_global_cfg(dataset, global, &ParallelConfig::from_env())
+}
+
+/// The per-subcell candidate scans, row-banded: every subcell row is
+/// independent, so workers return run-collapsed raw results and the caller
+/// interns them in row-major order.
+pub fn build_with_global_cfg(
+    dataset: &Dataset,
+    global: &crate::diagram::CellDiagram,
+    cfg: &ParallelConfig,
+) -> SubcellDiagram {
+    let grid = SubcellGrid::new_with(dataset, cfg);
     let cell_grid: &CellGrid = global.grid();
-    let mut results = ResultInterner::new();
     let width = grid.mx() as usize + 1;
     let height = grid.my() as usize + 1;
-    let mut cells = Vec::with_capacity(width * height);
-    let mut scratch = Vec::with_capacity(dataset.len());
 
     // Map each subcell slab to its containing cell slab once per axis:
     // subcell sample coordinates are in quadrupled space, cell lines in raw.
@@ -50,16 +72,24 @@ pub fn build_with_global(
         })
         .collect();
 
-    for j in 0..height as u32 {
+    let rows: Vec<ResultRuns> = parallel::map_indexed(cfg, height, |j| {
+        let mut scratch = Vec::with_capacity(dataset.len());
+        let mut runs = ResultRuns::new();
         for i in 0..width as u32 {
-            let sample = grid.sample_x4((i, j));
-            let candidates = global.result((cell_x_of[i as usize], cell_y_of[j as usize]));
+            let sample = grid.sample_x4((i, j as u32));
+            let candidates = global.result((cell_x_of[i as usize], cell_y_of[j]));
             let sky =
                 dynamic_minima_at_sample(dataset, candidates.iter().copied(), sample, &mut scratch);
-            cells.push(results.intern_sorted(sky));
+            runs.push(&sky);
         }
-    }
+        runs
+    });
 
+    let mut results = ResultInterner::new();
+    let mut cells = Vec::with_capacity(width * height);
+    for row in &rows {
+        row.intern_into(&mut results, &mut cells);
+    }
     SubcellDiagram::from_parts(grid, results, cells)
 }
 

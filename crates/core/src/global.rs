@@ -6,37 +6,93 @@
 //! per-quadrant results. This module runs a chosen quadrant engine on the
 //! four axis reflections of the dataset and unions the per-cell results,
 //! so every quadrant engine doubles as a global engine.
+//!
+//! # Parallel engine
+//!
+//! The four reflected quadrant builds are independent (the per-orthant
+//! fan-out of Definition 2) and run through [`crate::parallel`]; the union
+//! phase is then row-banded: each row worker walks its cells, reuses the
+//! previous cell's union whenever the 4-tuple of per-quadrant result ids is
+//! unchanged (unions only change where a grid line carries a point), and
+//! hands back collapsed [`ResultRuns`]. The sequential stitch interns the
+//! runs in row-major order, which both dedups storage and keeps the output
+//! identical for every thread count. `threads = 0` runs the historical
+//! per-reflection accumulation loop as the deterministic reference path.
 
 use crate::diagram::CellDiagram;
 use crate::geometry::{CellGrid, Dataset, PointId};
+use crate::parallel::{self, ParallelConfig};
 use crate::quadrant::QuadrantEngine;
-use crate::result_set::{union_sorted, ResultInterner};
+use crate::result_set::{union_sorted, ResultId, ResultInterner, ResultRuns};
+
+/// Reflections: `(flip_x, flip_y)` selects the quadrant being reduced to
+/// the first: Q1 = (false, false), Q2 = (true, false), Q3 = (true, true),
+/// Q4 = (false, true).
+const REFLECTIONS: [(bool, bool); 4] = [(false, false), (true, false), (true, true), (false, true)];
 
 /// Builds the global skyline diagram using the given quadrant engine for
-/// each of the four reflections.
+/// each of the four reflections, with the process-wide parallel
+/// configuration (`SKYLINE_THREADS`).
 pub fn build(dataset: &Dataset, engine: QuadrantEngine) -> CellDiagram {
+    build_with(dataset, engine, &ParallelConfig::from_env())
+}
+
+/// Builds the global skyline diagram with an explicit parallel
+/// configuration. `threads = 0` is the sequential reference path; all
+/// configurations produce identical diagrams (differentially tested).
+pub fn build_with(dataset: &Dataset, engine: QuadrantEngine, cfg: &ParallelConfig) -> CellDiagram {
+    let diagram = if cfg.is_sequential() {
+        build_sequential(dataset, engine)
+    } else {
+        build_parallel(dataset, engine, cfg)
+    };
+    // Debug builds spot-check the output against the from-scratch oracle and
+    // the Definition 2 union (see `crate::invariants`); release builds pay
+    // nothing.
+    #[cfg(debug_assertions)]
+    if let Err(violation) = crate::invariants::validate_cell_diagram(
+        dataset,
+        &diagram,
+        crate::invariants::CellSemantics::Global,
+        crate::invariants::DEBUG_SAMPLE_BUDGET,
+    ) {
+        debug_assert!(
+            false,
+            "global diagram ({} engine): {violation}",
+            engine.name()
+        );
+    }
+    diagram
+}
+
+/// The dataset reflected through the selected axes; reflection stays within
+/// the coordinate bound, so construction cannot fail.
+fn reflect(dataset: &Dataset, flip_x: bool, flip_y: bool) -> Dataset {
+    Dataset::from_coords(dataset.points().iter().map(|p| {
+        (
+            if flip_x { -p.x } else { p.x },
+            if flip_y { -p.y } else { p.y },
+        )
+    }))
+    .expect("reflection preserves dataset validity and coordinate bounds")
+}
+
+/// The deterministic sequential reference: one full-grid accumulation pass
+/// per reflection.
+fn build_sequential(dataset: &Dataset, engine: QuadrantEngine) -> CellDiagram {
     let grid = CellGrid::new(dataset);
     let width = grid.nx() as usize + 1;
     let height = grid.ny() as usize + 1;
-
-    // Reflections: (flip_x, flip_y) selects the quadrant being reduced to
-    // the first: Q1 = (false, false), Q2 = (true, false), Q3 = (true, true),
-    // Q4 = (false, true).
-    let reflections = [(false, false), (true, false), (true, true), (false, true)];
 
     let mut results = ResultInterner::new();
     let mut union_acc: Vec<Vec<PointId>> = vec![Vec::new(); width * height];
     let mut scratch = Vec::new();
 
-    for (flip_x, flip_y) in reflections {
-        let reflected = Dataset::from_coords(dataset.points().iter().map(|p| {
-            (
-                if flip_x { -p.x } else { p.x },
-                if flip_y { -p.y } else { p.y },
-            )
-        }))
-        .expect("reflection preserves validity");
-        let quadrant_diagram = engine.build(&reflected);
+    for (flip_x, flip_y) in REFLECTIONS {
+        let quadrant_diagram = engine.build_with(
+            &reflect(dataset, flip_x, flip_y),
+            &ParallelConfig::sequential(),
+        );
 
         for j in 0..height as u32 {
             for i in 0..width as u32 {
@@ -59,24 +115,64 @@ pub fn build(dataset: &Dataset, engine: QuadrantEngine) -> CellDiagram {
         .into_iter()
         .map(|ids| results.intern_sorted(ids))
         .collect();
-    let diagram = CellDiagram::from_parts(grid, results, cells);
-    // Debug builds spot-check the output against the from-scratch oracle and
-    // the Definition 2 union (see `crate::invariants`); release builds pay
-    // nothing.
-    #[cfg(debug_assertions)]
-    if let Err(violation) = crate::invariants::validate_cell_diagram(
-        dataset,
-        &diagram,
-        crate::invariants::CellSemantics::Global,
-        crate::invariants::DEBUG_SAMPLE_BUDGET,
-    ) {
-        debug_assert!(
-            false,
-            "global diagram ({} engine): {violation}",
-            engine.name()
-        );
+    CellDiagram::from_parts(grid, results, cells)
+}
+
+/// The parallel engine: per-orthant fan-out, then row-banded 4-way unions
+/// memoized over unchanged result-id tuples.
+fn build_parallel(dataset: &Dataset, engine: QuadrantEngine, cfg: &ParallelConfig) -> CellDiagram {
+    let grid = CellGrid::new(dataset);
+    let width = grid.nx() as usize + 1;
+    let height = grid.ny() as usize + 1;
+
+    // Per-orthant fan-out; each orthant build keeps the caller's parallel
+    // configuration so the engines' restructured parallel formulations (e.g.
+    // the scanning engine's independent-row algorithm) apply inside the
+    // workers too. The worker cap in `crate::parallel` keeps the nested
+    // regions from oversubscribing the machine.
+    let quadrants: Vec<CellDiagram> = parallel::map(cfg, &REFLECTIONS, |&(flip_x, flip_y)| {
+        engine.build_with(&reflect(dataset, flip_x, flip_y), cfg)
+    });
+
+    let rows: Vec<ResultRuns> = parallel::map_indexed(cfg, height, |j| {
+        let j = j as u32;
+        let mut runs = ResultRuns::new();
+        let mut prev_tuple: Option<[ResultId; 4]> = None;
+        let (mut ab, mut cd, mut out) = (Vec::new(), Vec::new(), Vec::new());
+        for i in 0..width as u32 {
+            let tuple: [ResultId; 4] = std::array::from_fn(|q| {
+                let (flip_x, flip_y) = REFLECTIONS[q];
+                let ri = if flip_x { grid.nx() - i } else { i };
+                let rj = if flip_y { grid.ny() - j } else { j };
+                quadrants[q].result_id((ri, rj))
+            });
+            if prev_tuple == Some(tuple) {
+                runs.push_repeat(1);
+                continue;
+            }
+            prev_tuple = Some(tuple);
+            union_sorted(
+                quadrants[0].results().get(tuple[0]),
+                quadrants[1].results().get(tuple[1]),
+                &mut ab,
+            );
+            union_sorted(
+                quadrants[2].results().get(tuple[2]),
+                quadrants[3].results().get(tuple[3]),
+                &mut cd,
+            );
+            union_sorted(&ab, &cd, &mut out);
+            runs.push(&out);
+        }
+        runs
+    });
+
+    let mut results = ResultInterner::new();
+    let mut cells = Vec::with_capacity(width * height);
+    for row in &rows {
+        row.intern_into(&mut results, &mut cells);
     }
-    diagram
+    CellDiagram::from_parts(grid, results, cells)
 }
 
 #[cfg(test)]
@@ -135,6 +231,26 @@ mod tests {
             let g = global.result(cell);
             for id in quadrant.result(cell) {
                 assert!(g.contains(id), "quadrant point {id} missing at {cell:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential_reference() {
+        for seed in 0..3 {
+            let ds = crate::test_data::lcg_dataset(24, 30, seed);
+            let reference =
+                build_with(&ds, QuadrantEngine::Sweeping, &ParallelConfig::sequential());
+            for threads in [1, 2, 3, 8] {
+                let parallel_diag = build_with(
+                    &ds,
+                    QuadrantEngine::Sweeping,
+                    &ParallelConfig::with_threads(threads),
+                );
+                assert!(
+                    parallel_diag.same_results(&reference),
+                    "threads = {threads}, seed = {seed}"
+                );
             }
         }
     }

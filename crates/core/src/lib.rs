@@ -66,6 +66,7 @@ pub mod highd;
 pub mod index;
 pub mod invariants;
 pub mod maintained;
+pub mod parallel;
 pub mod quadrant;
 pub mod query;
 pub mod result_set;

@@ -1,0 +1,250 @@
+//! Dependency-free parallel execution layer: a scoped worker pool with
+//! chunked work distribution, built on [`std::thread::scope`] so the
+//! workspace stays hermetic (no registry crates) and within the 1.75 MSRV.
+//!
+//! The paper's structures are embarrassingly parallel — the global diagram
+//! is the independent union of the `2^d` quadrant diagrams (Definition 2),
+//! the dynamic diagram decomposes into independent subcell rows (Section V),
+//! and the sweeping/scanning engines process horizontal bands from shared
+//! precomputed inputs. Every parallel engine in this crate funnels through
+//! this module; the `no-raw-spawn` lint (`cargo xtask lint`) keeps any other
+//! `std::thread` use out of the workspace.
+//!
+//! # Determinism contract
+//!
+//! Work is identified by item *index*, workers pull fixed contiguous chunks
+//! off a shared atomic cursor, and results are stitched back **in index
+//! order** on the calling thread. Shared mutable state (notably the
+//! [`ResultInterner`](crate::result_set::ResultInterner)) is only touched
+//! during the stitch, so a build's output is bit-identical for every thread
+//! count, including the sequential reference path. `threads = 0` bypasses
+//! the pool entirely and runs inline on the caller — that path is the
+//! deterministic reference the differential tests compare against.
+//!
+//! # Configuration
+//!
+//! [`ParallelConfig::from_env`] reads `SKYLINE_THREADS` once per process:
+//! `0` forces the sequential reference path, any other integer fixes the
+//! worker count, and an unset (or unparsable) value falls back to
+//! [`std::thread::available_parallelism`]. Engines expose `build_with`
+//! variants taking an explicit [`ParallelConfig`] for callers (and tests)
+//! that need a specific thread count.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// How many chunks each worker should get on average: > 1 so stragglers can
+/// steal, small enough that per-chunk bookkeeping stays negligible.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Thread-count knob for the parallel engines.
+///
+/// `threads == 0` selects the sequential reference path (work runs inline on
+/// the calling thread, no pool involved); `threads >= 1` spawns up to that
+/// many scoped workers per parallel region. The effective worker count is
+/// additionally capped at [`std::thread::available_parallelism`] — values
+/// above the hardware width select the parallel engines but never
+/// oversubscribe the machine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ParallelConfig {
+    threads: usize,
+}
+
+impl ParallelConfig {
+    /// The sequential reference configuration (`threads = 0`).
+    pub const fn sequential() -> Self {
+        ParallelConfig { threads: 0 }
+    }
+
+    /// A fixed worker count; `0` is the sequential reference path.
+    pub const fn with_threads(threads: usize) -> Self {
+        ParallelConfig { threads }
+    }
+
+    /// The process-wide configuration: `SKYLINE_THREADS` if set to an
+    /// integer (`0` = sequential), otherwise the machine's available
+    /// parallelism. The environment is read once and cached for the life of
+    /// the process.
+    pub fn from_env() -> Self {
+        static CACHE: OnceLock<usize> = OnceLock::new();
+        let threads = *CACHE.get_or_init(|| {
+            match std::env::var("SKYLINE_THREADS") {
+                Ok(v) => v.trim().parse().ok(),
+                Err(_) => None,
+            }
+            .unwrap_or_else(available_threads)
+        });
+        ParallelConfig { threads }
+    }
+
+    /// The configured worker count (`0` = sequential reference path).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True iff work runs inline on the calling thread.
+    pub fn is_sequential(&self) -> bool {
+        self.threads == 0
+    }
+}
+
+impl Default for ParallelConfig {
+    /// Defaults to the process-wide environment configuration.
+    fn default() -> Self {
+        ParallelConfig::from_env()
+    }
+}
+
+/// The machine's available parallelism, defaulting to 1 when unknown.
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `0..len` through `f`, in parallel when `cfg` allows, and returns the
+/// results **in index order**. The closure runs at most once per index.
+///
+/// Sequential configurations (and trivially small inputs) run inline; the
+/// pool otherwise distributes contiguous index chunks to scoped workers via
+/// an atomic cursor, so an uneven per-item cost still load-balances.
+/// A panic in `f` propagates to the caller after the scope unwinds.
+pub fn map_indexed<R, F>(cfg: &ParallelConfig, len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if cfg.is_sequential() || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    // Never oversubscribe: a CPU-bound worker per index beyond the hardware
+    // width only adds context switches and cache thrash. A single effective
+    // worker runs inline — same work order, no scope or spawn overhead.
+    let workers = cfg.threads.min(len).min(available_threads());
+    if workers <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+    let chunks = len.div_ceil(chunk);
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+
+    let mut parts: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(chunks))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= chunks {
+                            break;
+                        }
+                        let start = c * chunk;
+                        let end = (start + chunk).min(len);
+                        local.push((start, (start..end).map(f).collect()));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(local) => local,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+
+    parts.sort_unstable_by_key(|&(start, _)| start);
+    debug_assert_eq!(parts.iter().map(|(_, v)| v.len()).sum::<usize>(), len);
+    let mut out = Vec::with_capacity(len);
+    for (_, mut part) in parts.drain(..) {
+        out.append(&mut part);
+    }
+    out
+}
+
+/// Maps a slice through `f` with the same ordering and distribution
+/// guarantees as [`map_indexed`].
+pub fn map<T, R, F>(cfg: &ParallelConfig, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_indexed(cfg, items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_config_is_inline() {
+        let cfg = ParallelConfig::sequential();
+        assert!(cfg.is_sequential());
+        assert_eq!(cfg.threads(), 0);
+        assert_eq!(map_indexed(&cfg, 5, |i| i * i), vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        for threads in [1, 2, 3, 8, 33] {
+            let cfg = ParallelConfig::with_threads(threads);
+            let expected: Vec<usize> = (0..257).map(|i| i * 3 + 1).collect();
+            assert_eq!(
+                map_indexed(&cfg, 257, |i| i * 3 + 1),
+                expected,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_over_slice_matches_sequential() {
+        let items: Vec<i64> = (0..100).map(|i| i * 7 % 13).collect();
+        let seq = map(&ParallelConfig::sequential(), &items, |&x| x * x);
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                map(&ParallelConfig::with_threads(threads), &items, |&x| x * x),
+                seq
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let cfg = ParallelConfig::with_threads(4);
+        assert_eq!(map_indexed(&cfg, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(&cfg, 1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let counts: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+        map_indexed(&ParallelConfig::with_threads(7), 100, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed)
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            map_indexed(&ParallelConfig::with_threads(2), 8, |i| {
+                assert!(i != 5, "boom at index 5");
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn with_threads_roundtrips() {
+        assert_eq!(ParallelConfig::with_threads(3).threads(), 3);
+        assert!(!ParallelConfig::with_threads(1).is_sequential());
+    }
+}

@@ -70,11 +70,23 @@ impl QuadrantEngine {
     /// # Ok::<(), skyline_core::Error>(())
     /// ```
     pub fn build(self, dataset: &Dataset) -> CellDiagram {
+        self.build_with(dataset, &crate::parallel::ParallelConfig::from_env())
+    }
+
+    /// Builds the quadrant skyline diagram with this engine and an explicit
+    /// parallel configuration. The scanning and sweeping engines have
+    /// row-band parallel paths; the per-cell baseline and DSG engines are
+    /// reference implementations and always run sequentially.
+    pub fn build_with(
+        self,
+        dataset: &Dataset,
+        cfg: &crate::parallel::ParallelConfig,
+    ) -> CellDiagram {
         let diagram = match self {
             QuadrantEngine::Baseline => baseline::build(dataset),
             QuadrantEngine::DirectedSkylineGraph => dsg_algorithm::build(dataset),
-            QuadrantEngine::Scanning => scanning::build(dataset),
-            QuadrantEngine::Sweeping => sweeping::build(dataset).cell_diagram,
+            QuadrantEngine::Scanning => scanning::build_with(dataset, cfg),
+            QuadrantEngine::Sweeping => sweeping::build_with(dataset, cfg).cell_diagram,
         };
         // Debug builds spot-check the output against the from-scratch oracle
         // (see `crate::invariants`); release builds pay nothing.

@@ -32,18 +32,45 @@
 //! identity implicitly assumes this configuration away (its proof notes the
 //! upper-right range `D` must be empty when range `A` is nonempty, but `D`
 //! can be nonempty when `A`, `B`, `C` are all empty). Clamping multiplicity
-//! at zero — [`scanning_combine`](crate::result_set::scanning_combine) keeps
+//! at zero — [`scanning_combine`] keeps
 //! an id iff `[right] + [up] - [diag] >= 1` — drops exactly those points and
 //! makes the recurrence exact for every input, ties included. The
 //! `counterexample_to_unclamped_identity` test below pins the 3-point input
 //! that breaks the unclamped form.
 
 use crate::diagram::CellDiagram;
-use crate::geometry::{CellGrid, Dataset, PointId};
+use crate::geometry::{CellGrid, Coord, Dataset, PointId};
+use crate::parallel::{self, ParallelConfig};
 use crate::result_set::{scanning_combine, ResultInterner};
 
-/// Builds the quadrant skyline diagram with the scanning recurrence.
+/// Builds the quadrant skyline diagram with the scanning recurrence, using
+/// the process-wide parallel configuration (`SKYLINE_THREADS`).
 pub fn build(dataset: &Dataset) -> CellDiagram {
+    build_with(dataset, &ParallelConfig::from_env())
+}
+
+/// Builds the quadrant skyline diagram with an explicit parallel
+/// configuration.
+///
+/// The scanning recurrence chains every cell to its upper-right neighbors,
+/// so the parallel path replaces it with an equivalent independent-row
+/// formulation: `Sky(C_{i,j})` is the staircase of minima over the points
+/// with `xrank >= i` and `yrank >= j`, so each row band sweeps the shared
+/// descending-x point order once, inserting qualifying points into a
+/// staircase and snapshotting it at each x-rank that contributed (the
+/// result only changes across such boundaries). Workers return raw
+/// boundary snapshots; interning happens on the caller in row-major order,
+/// keeping the output identical to the sequential recurrence.
+pub fn build_with(dataset: &Dataset, cfg: &ParallelConfig) -> CellDiagram {
+    if cfg.is_sequential() {
+        build_sequential(dataset)
+    } else {
+        build_parallel(dataset, cfg)
+    }
+}
+
+/// The deterministic sequential reference: the paper's clamped recurrence.
+fn build_sequential(dataset: &Dataset) -> CellDiagram {
     let grid = CellGrid::new(dataset);
     let mut results = ResultInterner::new();
     let width = grid.nx() as usize + 1;
@@ -77,6 +104,90 @@ pub fn build(dataset: &Dataset) -> CellDiagram {
     }
 
     CellDiagram::from_parts(grid, results, cells)
+}
+
+/// The parallel engine: independent row bands over a shared descending-x
+/// sort, stitched in row-major order.
+fn build_parallel(dataset: &Dataset, cfg: &ParallelConfig) -> CellDiagram {
+    let grid = CellGrid::new(dataset);
+    let width = grid.nx() as usize + 1;
+    let height = grid.ny() as usize + 1;
+
+    // Shared precomputation: points by descending x, then descending y, so
+    // equal-x groups arrive highest-first and the staircase eviction rule
+    // (same as the sweeping engine's) resolves ties identically.
+    let mut by_x_desc: Vec<PointId> = dataset.ids().collect();
+    by_x_desc.sort_unstable_by_key(|&id| {
+        let p = dataset.point(id);
+        (std::cmp::Reverse(p.x), std::cmp::Reverse(p.y))
+    });
+
+    // The top row (j = ny) has an empty first quadrant; every other row is
+    // an independent band.
+    let rows: Vec<Vec<(u32, Vec<PointId>)>> = parallel::map_indexed(cfg, height - 1, |j| {
+        scan_row(dataset, &grid, &by_x_desc, j as u32)
+    });
+
+    let mut results = ResultInterner::new();
+    let empty = results.empty();
+    let mut cells = vec![empty; width * height];
+    for (j, boundaries) in rows.iter().enumerate() {
+        // Boundaries come back in descending x-rank order; replay them
+        // ascending. Cells up to the first boundary share its snapshot,
+        // cells past the last boundary have empty quadrants.
+        let mut next = 0usize;
+        for (v, snapshot) in boundaries.iter().rev() {
+            let rid = results.intern_unsorted(snapshot.clone());
+            for cell in &mut cells[j * width + next..=j * width + *v as usize] {
+                *cell = rid;
+            }
+            next = *v as usize + 1;
+        }
+    }
+    CellDiagram::from_parts(grid, results, cells)
+}
+
+/// One row band: sweep the shared descending-x order, keep the staircase of
+/// minima over points with `yrank >= j`, and snapshot it after each x-rank
+/// group that inserted at least one point. Cell `(i, j)` takes the snapshot
+/// of the smallest recorded x-rank `>= i`.
+fn scan_row(
+    dataset: &Dataset,
+    grid: &CellGrid,
+    by_x_desc: &[PointId],
+    j: u32,
+) -> Vec<(u32, Vec<PointId>)> {
+    let mut stack: Vec<(Coord, PointId)> = Vec::new();
+    let mut out = Vec::new();
+    let mut pt = 0usize;
+    while pt < by_x_desc.len() {
+        let v = grid.xrank(by_x_desc[pt]);
+        let mut changed = false;
+        while pt < by_x_desc.len() && grid.xrank(by_x_desc[pt]) == v {
+            let id = by_x_desc[pt];
+            pt += 1;
+            if grid.yrank(id) < j {
+                continue;
+            }
+            let p = dataset.point(id);
+            // Evict dominated entries; exact duplicates survive. Mirrors the
+            // sweeping engine's staircase so tie semantics stay identical.
+            while let Some(&(ty, tid)) = stack.last() {
+                let tp = dataset.point(tid);
+                if ty > p.y || (ty == p.y && tp.x > p.x) {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            stack.push((p.y, id));
+            changed = true;
+        }
+        if changed {
+            out.push((v, stack.iter().map(|&(_, id)| id).collect()));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -126,6 +237,33 @@ mod tests {
         assert_eq!(d.result((0, 1)), &[PointId(1)]);
         assert_eq!(d.result((1, 1)), &[PointId(2)]);
         assert!(build(&ds).same_results(&baseline::build(&ds)));
+    }
+
+    #[test]
+    fn thread_counts_agree_with_sequential_recurrence() {
+        for seed in 0..3 {
+            let ds = crate::test_data::lcg_dataset(35, 50, 400 + seed);
+            let reference = build_with(&ds, &ParallelConfig::sequential());
+            for threads in [1, 2, 3, 8] {
+                assert!(
+                    build_with(&ds, &ParallelConfig::with_threads(threads))
+                        .same_results(&reference),
+                    "threads = {threads}, seed = {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_row_formulation_handles_ties() {
+        for seed in 0..3 {
+            let ds = crate::test_data::lcg_dataset(40, 6, 500 + seed);
+            let reference = baseline::build(&ds);
+            assert!(
+                build_with(&ds, &ParallelConfig::with_threads(3)).same_results(&reference),
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ use std::collections::HashMap;
 
 use crate::diagram::{merge::merge, CellDiagram, MergedDiagram};
 use crate::geometry::{CellGrid, Coord, Dataset, PointId};
+use crate::parallel::{self, ParallelConfig};
 use crate::result_set::{ResultId, ResultInterner};
 
 /// Output of the sweeping engine: the per-cell diagram (for interoperability
@@ -41,8 +42,19 @@ pub struct SweptDiagram {
     pub merged: MergedDiagram,
 }
 
-/// Builds the quadrant skyline diagram by sweeping.
+/// Builds the quadrant skyline diagram by sweeping, with the process-wide
+/// parallel configuration (`SKYLINE_THREADS`).
 pub fn build(dataset: &Dataset) -> SweptDiagram {
+    build_with(dataset, &ParallelConfig::from_env())
+}
+
+/// Builds the quadrant skyline diagram by sweeping with an explicit parallel
+/// configuration. After the shared corner DP and the one descending-x sort,
+/// the horizontal lines are independent row bands: workers sweep lines and
+/// return raw per-anchor staircases, and the caller interns them in a fixed
+/// line order — so every thread count (including the sequential reference)
+/// produces an identical diagram.
+pub fn build_with(dataset: &Dataset, cfg: &ParallelConfig) -> SweptDiagram {
     let grid = CellGrid::new(dataset);
     let width = grid.nx() as usize + 1;
     let height = grid.ny() as usize + 1;
@@ -67,7 +79,9 @@ pub fn build(dataset: &Dataset) -> SweptDiagram {
     }
 
     // Attach a skyline result to every distinct corner. Corners sharing a
-    // y rank are served by one rightmost-to-leftmost staircase sweep.
+    // y rank are served by one rightmost-to-leftmost staircase sweep; the
+    // lines are gathered into a y-rank-sorted vector so both the worker
+    // schedule and the interning order below are deterministic.
     let mut anchors_by_y: HashMap<u32, Vec<u32>> = HashMap::new();
     for idx in 0..width * height {
         if corner_x[idx] != RANK_INF {
@@ -77,6 +91,15 @@ pub fn build(dataset: &Dataset) -> SweptDiagram {
                 .push(corner_x[idx]);
         }
     }
+    let mut lines: Vec<(u32, Vec<u32>)> = anchors_by_y
+        .into_iter()
+        .map(|(ry, mut anchors)| {
+            anchors.sort_unstable();
+            anchors.dedup();
+            (ry, anchors)
+        })
+        .collect();
+    lines.sort_unstable_by_key(|&(ry, _)| ry);
 
     // Points sorted by descending x (then descending y) once, reused by
     // every per-line sweep.
@@ -86,20 +109,19 @@ pub fn build(dataset: &Dataset) -> SweptDiagram {
         (std::cmp::Reverse(p.x), std::cmp::Reverse(p.y))
     });
 
+    // Row-band parallelism: each line sweep is independent given the shared
+    // sort; raw staircases come back per line and are interned in line order.
+    let swept: Vec<Vec<(u32, Vec<PointId>)>> = parallel::map(cfg, &lines, |(ry, anchors)| {
+        sweep_line(dataset, &grid, &by_x_desc, *ry, anchors)
+    });
+
     let mut results = ResultInterner::new();
     let mut corner_result: HashMap<(u32, u32), ResultId> = HashMap::new();
-    for (&ry, anchors) in &mut anchors_by_y {
-        anchors.sort_unstable();
-        anchors.dedup();
-        sweep_line(
-            dataset,
-            &grid,
-            &by_x_desc,
-            ry,
-            anchors,
-            &mut results,
-            &mut corner_result,
-        );
+    for ((ry, _), line) in lines.iter().zip(&swept) {
+        for (anchor, ids) in line {
+            let rid = results.intern_unsorted(ids.clone());
+            corner_result.insert((*anchor, *ry), rid);
+        }
     }
 
     // Fill the per-cell diagram from the corner results.
@@ -128,16 +150,15 @@ pub fn build(dataset: &Dataset) -> SweptDiagram {
 /// One horizontal line's sweep: for every anchor x-rank on line `ry`
 /// (ascending), the result is the staircase of points with
 /// `yrank >= ry` and `xrank >= anchor`. Sweeps anchors in descending order
-/// while inserting points right-to-left.
+/// while inserting points right-to-left, returning each anchor's raw
+/// (unsorted) staircase for the caller to intern.
 fn sweep_line(
     dataset: &Dataset,
     grid: &CellGrid,
     by_x_desc: &[PointId],
     ry: u32,
     anchors: &[u32],
-    results: &mut ResultInterner,
-    corner_result: &mut HashMap<(u32, u32), ResultId>,
-) {
+) -> Vec<(u32, Vec<PointId>)> {
     // Staircase stack: x descending insertion order; invariant x ascending /
     // y strictly descending from bottom to top... inserted points have the
     // smallest x so far, so the live stack is ordered by insertion time with
@@ -146,6 +167,7 @@ fn sweep_line(
     // strictly smaller x dominates, so `>=` evicts; exact duplicates are
     // handled by keeping same-(x, y) runs together.
     let mut stack: Vec<(Coord, PointId)> = Vec::new();
+    let mut out = Vec::with_capacity(anchors.len());
     let mut pt = 0usize;
     for &anchor in anchors.iter().rev() {
         // Insert all points with xrank >= anchor (and yrank >= ry).
@@ -171,9 +193,9 @@ fn sweep_line(
             }
             stack.push((p.y, id));
         }
-        let rid = results.intern_unsorted(stack.iter().map(|&(_, id)| id).collect());
-        corner_result.insert((anchor, ry), rid);
+        out.push((anchor, stack.iter().map(|&(_, id)| id).collect()));
     }
+    out
 }
 
 #[cfg(test)]
@@ -241,6 +263,22 @@ mod tests {
             swept.cell_diagram.result((0, 0)),
             &[PointId(0), PointId(1), PointId(2)]
         );
+    }
+
+    #[test]
+    fn thread_counts_agree_with_sequential_reference() {
+        for seed in 0..3 {
+            let ds = crate::test_data::lcg_dataset(35, 50, 100 + seed);
+            let reference = build_with(&ds, &ParallelConfig::sequential());
+            for threads in [1, 2, 3, 8] {
+                let swept = build_with(&ds, &ParallelConfig::with_threads(threads));
+                assert!(
+                    swept.cell_diagram.same_results(&reference.cell_diagram),
+                    "threads = {threads}, seed = {seed}"
+                );
+                assert_eq!(swept.merged.len(), reference.merged.len());
+            }
+        }
     }
 
     #[test]

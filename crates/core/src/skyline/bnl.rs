@@ -1,4 +1,4 @@
-//! Block-nested-loop skyline (Börzsönyi et al. [1]) for d dimensions.
+//! Block-nested-loop skyline (Börzsönyi et al. \[1\]) for d dimensions.
 //!
 //! Maintains a window of incomparable points; each incoming point either is
 //! dominated by a window point (discarded), dominates window points (they are

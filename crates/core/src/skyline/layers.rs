@@ -1,5 +1,5 @@
 //! Skyline layers (onion peeling), following the layer construction the
-//! paper adapts from [15].
+//! paper adapts from \[15\].
 //!
 //! Layer 1 is the skyline of the whole dataset; layer `k+1` is the skyline of
 //! what remains after removing layers `1..=k`. Properties used downstream:

@@ -1,4 +1,4 @@
-//! The planar `O(n log n)` sort-and-scan skyline (Kung et al. [9]),
+//! The planar `O(n log n)` sort-and-scan skyline (Kung et al. \[9\]),
 //! tie-correct for bounded integer domains.
 //!
 //! This is the workhorse used by every per-cell and per-subcell computation:

@@ -1,0 +1,127 @@
+//! Parallel-vs-sequential differential suite: every parallel engine must
+//! produce a diagram identical to the sequential reference path
+//! (`threads = 0`) at every tested thread count — 128 random cases per
+//! query semantics at `threads ∈ {2, 3, 8}`, plus the degenerate
+//! single-point and fully-tied datasets from the merge/diff edge-case
+//! suite. This is the test-contract half of the determinism story; the
+//! `skyline_core::invariants` layer separately validates every build in
+//! debug mode regardless of thread count.
+
+use proptest::prelude::*;
+use skyline_core::dynamic::DynamicEngine;
+use skyline_core::geometry::Dataset;
+use skyline_core::global;
+use skyline_core::parallel::ParallelConfig;
+use skyline_core::quadrant::QuadrantEngine;
+
+const THREAD_COUNTS: [usize; 3] = [2, 3, 8];
+
+/// Coordinates drawn from a deliberately small window around the origin so
+/// ties, duplicate points, and negative coordinates are all frequent.
+fn dataset_strategy(max_n: usize, lo: i64, hi: i64) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((lo..hi, lo..hi), 1..=max_n)
+}
+
+fn check_quadrant(ds: &Dataset) -> Result<(), TestCaseError> {
+    for engine in [QuadrantEngine::Scanning, QuadrantEngine::Sweeping] {
+        let reference = engine.build_with(ds, &ParallelConfig::sequential());
+        for threads in THREAD_COUNTS {
+            let parallel_diag = engine.build_with(ds, &ParallelConfig::with_threads(threads));
+            prop_assert!(
+                parallel_diag.same_results(&reference),
+                "quadrant {} diverged at threads = {}",
+                engine.name(),
+                threads
+            );
+        }
+    }
+    Ok(())
+}
+
+fn check_global(ds: &Dataset) -> Result<(), TestCaseError> {
+    let reference = global::build_with(ds, QuadrantEngine::Sweeping, &ParallelConfig::sequential());
+    for threads in THREAD_COUNTS {
+        let parallel_diag = global::build_with(
+            ds,
+            QuadrantEngine::Sweeping,
+            &ParallelConfig::with_threads(threads),
+        );
+        prop_assert!(
+            parallel_diag.same_results(&reference),
+            "global diverged at threads = {}",
+            threads
+        );
+    }
+    Ok(())
+}
+
+fn check_dynamic(ds: &Dataset) -> Result<(), TestCaseError> {
+    for engine in DynamicEngine::ALL {
+        let reference = engine.build_with(ds, &ParallelConfig::sequential());
+        for threads in THREAD_COUNTS {
+            let parallel_diag = engine.build_with(ds, &ParallelConfig::with_threads(threads));
+            prop_assert!(
+                parallel_diag.same_results(&reference),
+                "dynamic {} diverged at threads = {}",
+                engine.name(),
+                threads
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quadrant_parallel_matches_sequential(coords in dataset_strategy(12, -6, 18)) {
+        let ds = Dataset::from_coords(coords).expect("strategy yields non-empty in-range data");
+        check_quadrant(&ds)?;
+    }
+
+    #[test]
+    fn global_parallel_matches_sequential(coords in dataset_strategy(12, -6, 18)) {
+        let ds = Dataset::from_coords(coords).expect("strategy yields non-empty in-range data");
+        check_global(&ds)?;
+    }
+
+    #[test]
+    fn dynamic_parallel_matches_sequential(coords in dataset_strategy(8, -6, 18)) {
+        let ds = Dataset::from_coords(coords).expect("strategy yields non-empty in-range data");
+        check_dynamic(&ds)?;
+    }
+}
+
+/// The degenerate datasets from the merge/diff edge-case suite: a single
+/// point (one-line grids) and fully-tied coordinates (every point equal, so
+/// all bisectors coincide and results collapse to one set).
+fn degenerate_datasets() -> Vec<Dataset> {
+    vec![
+        Dataset::from_coords([(7, 7)]).expect("single point is valid"),
+        Dataset::from_coords([(0, 0)]).expect("single origin point is valid"),
+        Dataset::from_coords([(5, 5), (5, 5), (5, 5), (5, 5)]).expect("fully tied is valid"),
+        Dataset::from_coords([(3, 3), (3, 3)]).expect("tied pair is valid"),
+    ]
+}
+
+#[test]
+fn degenerate_datasets_quadrant() {
+    for ds in degenerate_datasets() {
+        check_quadrant(&ds).expect("degenerate quadrant dataset must match sequential");
+    }
+}
+
+#[test]
+fn degenerate_datasets_global() {
+    for ds in degenerate_datasets() {
+        check_global(&ds).expect("degenerate global dataset must match sequential");
+    }
+}
+
+#[test]
+fn degenerate_datasets_dynamic() {
+    for ds in degenerate_datasets() {
+        check_dynamic(&ds).expect("degenerate dynamic dataset must match sequential");
+    }
+}

@@ -41,6 +41,12 @@ const MUST_USE_TYPES: &[&str] = &[
 /// invariant rather than restating the call.
 const MIN_EXPECT_MESSAGE: usize = 15;
 
+/// The only file allowed to touch `std::thread` directly: the scoped worker
+/// pool every parallel engine funnels through. Everything else must go via
+/// `skyline_core::parallel` so the determinism contract (sequential stitch,
+/// `SKYLINE_THREADS`, worker cap) cannot be bypassed.
+const RAW_SPAWN_EXEMPT: &[&str] = &["crates/core/src/parallel.rs"];
+
 /// One lint violation.
 #[derive(Debug)]
 pub struct Finding {
@@ -71,7 +77,55 @@ pub fn run_all(path: &str, toks: &[Tok]) -> Vec<Finding> {
         expect_message(toks, &mut findings);
         must_use(toks, &mut findings);
     }
+    if !RAW_SPAWN_EXEMPT.contains(&path) {
+        no_raw_spawn(toks, &mut findings);
+    }
     findings
+}
+
+/// `no-raw-spawn`: threading outside `skyline_core::parallel` bypasses the
+/// scoped pool's determinism contract (`SKYLINE_THREADS`, index-ordered
+/// stitch, hardware-width worker cap). Both the fully qualified
+/// `std::thread` path and the imported `thread::spawn`/`scope`/`Builder`
+/// forms are flagged, everywhere in the workspace except the pool itself.
+fn no_raw_spawn(toks: &[Tok], findings: &mut Vec<Finding>) {
+    for (i, win) in toks.windows(4).enumerate() {
+        let [a, c1, c2, b] = win else { continue };
+        if !(c1.is_punct(':') && c2.is_punct(':') && b.kind == TokKind::Ident) {
+            continue;
+        }
+        let hit = if a.is_ident("std") && b.text == "thread" {
+            Some("std::thread")
+        } else if a.is_ident("thread")
+            && matches!(b.text.as_str(), "spawn" | "scope" | "Builder")
+            // `std::thread::spawn` already reported via the `std::thread`
+            // prefix two tokens earlier; don't double-count it.
+            && !(i >= 3
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks[i - 3].is_ident("std"))
+        {
+            Some("thread::")
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            findings.push(Finding {
+                rule: "no-raw-spawn",
+                line: b.line,
+                message: format!("direct `{}{}` use outside the parallel layer", what, {
+                    if what == "thread::" {
+                        b.text.as_str()
+                    } else {
+                        ""
+                    }
+                }),
+                hint: "route all threading through skyline_core::parallel \
+                       (map/map_indexed) so SKYLINE_THREADS and the determinism \
+                       contract apply",
+            });
+        }
+    }
 }
 
 /// `no-as-cast`: numeric `as` casts silently truncate and sign-extend; the
@@ -457,5 +511,30 @@ pub fn f() {
         let private = "fn helper() -> Vec<PointId> { vec![] }\n\
                        pub(crate) fn h2() -> Vec<PointId> { vec![] }";
         assert!(findings_for("crates/core/src/query.rs", private).is_empty());
+    }
+
+    #[test]
+    fn raw_spawn_fires_everywhere_except_the_parallel_layer() {
+        let qualified = "fn f() { std::thread::spawn(|| {}); }";
+        let f = findings_for("crates/bench/src/bin/experiments.rs", qualified);
+        // One finding for the std::thread prefix — not a second for spawn.
+        assert_eq!(f.iter().filter(|f| f.rule == "no-raw-spawn").count(), 1);
+
+        let imported = "use std::thread;\nfn f() { thread::scope(|s| {}); }";
+        let f = findings_for("crates/apps/src/reverse.rs", imported);
+        // The `use std::thread` line and the `thread::scope` call each fire.
+        assert_eq!(f.iter().filter(|f| f.rule == "no-raw-spawn").count(), 2);
+
+        let builder = "fn f() { thread::Builder::new(); }";
+        let f = findings_for("crates/core/src/global.rs", builder);
+        assert_eq!(f.iter().filter(|f| f.rule == "no-raw-spawn").count(), 1);
+
+        let exempt = findings_for("crates/core/src/parallel.rs", qualified);
+        assert!(exempt.iter().all(|f| f.rule != "no-raw-spawn"));
+
+        // Unrelated identifiers sharing the name don't fire.
+        let benign = "fn f() { pool.scope(|s| {}); my_thread.join(); }";
+        let f = findings_for("crates/core/src/global.rs", benign);
+        assert!(f.iter().all(|f| f.rule != "no-raw-spawn"));
     }
 }

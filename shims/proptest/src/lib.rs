@@ -230,7 +230,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Size specifications accepted by [`vec`]: a fixed `usize`, `a..b`, or
+    /// Size specifications accepted by [`vec()`]: a fixed `usize`, `a..b`, or
     /// `a..=b`.
     pub trait SizeRange {
         /// Draws a length.
@@ -261,7 +261,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S, Z> {
         element: S,
         size: Z,
