@@ -1,0 +1,169 @@
+//! Degenerate-segment coverage for `apps::continuous::trace_segment` and
+//! `trace_segment_dynamic`: zero-length segments, axis-aligned travel
+//! *along* a grid line, and endpoints exactly on grid/bisector lines.
+//!
+//! Every itinerary must be well-formed regardless of degeneracy: the `t`
+//! intervals tile `[0, 1]` exactly (the endpoints 0 and 1 are inserted as
+//! exact rationals, and adjacent steps share the identical crossing value,
+//! so float equality is exact here), no step is empty, and consecutive
+//! steps carry different results (coalescing is total).
+
+use skyline_apps::continuous::{trace_segment, trace_segment_dynamic, TraversalStep};
+use skyline_core::diagram::CellDiagram;
+use skyline_core::dynamic::{DynamicEngine, SubcellDiagram};
+use skyline_core::geometry::{Dataset, Point};
+use skyline_core::quadrant::QuadrantEngine;
+
+fn dataset() -> Dataset {
+    // x grid lines at {0, 6, 12}, y grid lines at {0, 4, 10}; dynamic
+    // bisectors at x ∈ {3, 6, 9} and y ∈ {2, 5, 7} (doubled-coordinate
+    // lines at twice these values).
+    Dataset::from_coords([(0, 0), (6, 10), (12, 4)]).expect("valid coords")
+}
+
+fn quadrant_diagram() -> CellDiagram {
+    QuadrantEngine::Sweeping.build(&dataset())
+}
+
+fn dynamic_diagram() -> SubcellDiagram {
+    DynamicEngine::Scanning.build(&dataset())
+}
+
+/// Structural invariants every itinerary must satisfy.
+fn assert_well_formed(steps: &[TraversalStep], what: &str) {
+    assert!(!steps.is_empty(), "{what}: itinerary must not be empty");
+    assert_eq!(steps[0].t_start, 0.0, "{what}: must start at t = 0");
+    assert_eq!(
+        steps[steps.len() - 1].t_end,
+        1.0,
+        "{what}: must end at t = 1"
+    );
+    for w in steps.windows(2) {
+        assert_eq!(
+            w[0].t_end, w[1].t_start,
+            "{what}: steps must tile without gaps or overlaps"
+        );
+        assert_ne!(
+            w[0].result, w[1].result,
+            "{what}: equal-result steps must be coalesced"
+        );
+    }
+    for s in steps {
+        assert!(
+            s.t_start < s.t_end,
+            "{what}: no empty steps ([{}, {}])",
+            s.t_start,
+            s.t_end
+        );
+    }
+}
+
+#[test]
+fn zero_length_segments_yield_one_full_step() {
+    let d = quadrant_diagram();
+    let dd = dynamic_diagram();
+    // Interior point, point on a grid line, point on a dataset point, and a
+    // point on a dynamic bisector (x = 3).
+    for q in [
+        Point::new(5, 3),
+        Point::new(6, 7),
+        Point::new(12, 4),
+        Point::new(3, 5),
+        Point::new(-2, -2),
+    ] {
+        let steps = trace_segment(&d, q, q);
+        assert_well_formed(&steps, &format!("quadrant stationary at {q}"));
+        assert_eq!(steps.len(), 1, "stationary query has one step at {q}");
+        assert_eq!(steps[0].result.as_slice(), d.query(q), "at {q}");
+
+        let dsteps = trace_segment_dynamic(&dd, q, q);
+        assert_well_formed(&dsteps, &format!("dynamic stationary at {q}"));
+        assert_eq!(dsteps.len(), 1);
+        assert_eq!(dsteps[0].result.as_slice(), dd.query(q), "dynamic at {q}");
+    }
+}
+
+#[test]
+fn axis_aligned_travel_along_a_grid_line_is_well_formed() {
+    let d = quadrant_diagram();
+    // y = 4 is a grid line: the whole path lies *on* it. The greater-side
+    // convention applies uniformly, so results must match pointwise queries
+    // at interior integer parameters.
+    let (a, b) = (Point::new(-3, 4), Point::new(15, 4));
+    let steps = trace_segment(&d, a, b);
+    assert_well_formed(&steps, "horizontal along y = 4");
+    for x in a.x..=b.x {
+        let t = (x - a.x) as f64 / (b.x - a.x) as f64;
+        let interior = steps
+            .iter()
+            .find(|s| s.t_start + 1e-9 < t && t < s.t_end - 1e-9);
+        if let Some(step) = interior {
+            assert_eq!(
+                step.result.as_slice(),
+                d.query(Point::new(x, 4)),
+                "x = {x} on the y = 4 grid line"
+            );
+        }
+    }
+
+    // x = 6 is a grid line: vertical travel along it.
+    let vsteps = trace_segment(&d, Point::new(6, -2), Point::new(6, 12));
+    assert_well_formed(&vsteps, "vertical along x = 6");
+
+    // Dynamic: y = 5 is the (0,10) bisector — a subcell line. Traveling
+    // along it must still produce a tiled, coalesced itinerary.
+    let dd = dynamic_diagram();
+    let dsteps = trace_segment_dynamic(&dd, Point::new(-2, 5), Point::new(14, 5));
+    assert_well_formed(&dsteps, "dynamic along the y = 5 bisector");
+    assert!(
+        dsteps.len() > 1,
+        "crossing vertical subcell lines must change the result"
+    );
+}
+
+#[test]
+fn endpoints_exactly_on_lines_are_handled() {
+    let d = quadrant_diagram();
+    // Both endpoints on grid lines (x = 0 start, x = 12 end), crossing the
+    // interior line x = 6 on the way.
+    let steps = trace_segment(&d, Point::new(0, 7), Point::new(12, 7));
+    assert_well_formed(&steps, "grid-line endpoints");
+
+    // Endpoint exactly on a grid *corner* (a dataset point).
+    let corner = trace_segment(&d, Point::new(6, 10), Point::new(2, 2));
+    assert_well_formed(&corner, "corner endpoint");
+
+    let dd = dynamic_diagram();
+    // Start exactly on the x = 3 bisector, end exactly on the x = 9 one.
+    let dsteps = trace_segment_dynamic(&dd, Point::new(3, 1), Point::new(9, 8));
+    assert_well_formed(&dsteps, "bisector endpoints");
+    // A segment from a bisector point to itself plus an axis move: end on
+    // the y = 7 bisector of (10, 4).
+    let mixed = trace_segment_dynamic(&dd, Point::new(5, 7), Point::new(3, 7));
+    assert_well_formed(&mixed, "ending on the y = 7 bisector");
+}
+
+#[test]
+fn segment_inside_one_cell_is_a_single_step() {
+    let d = quadrant_diagram();
+    // Strictly inside the cell (6, 12) × (4, 10): no crossings at all.
+    let steps = trace_segment(&d, Point::new(7, 5), Point::new(11, 9));
+    assert_well_formed(&steps, "single-cell segment");
+    assert_eq!(steps.len(), 1);
+    assert_eq!(steps[0].result.as_slice(), d.query(Point::new(9, 7)));
+}
+
+#[test]
+fn diagonal_through_a_grid_corner_dedupes_the_crossing() {
+    let d = quadrant_diagram();
+    // The diagonal from (0, -2) to (12, 10) passes exactly through the grid
+    // corner (6, 4): the x-crossing and y-crossing coincide at t = 1/2 and
+    // must be deduplicated, not produce an empty step.
+    let steps = trace_segment(&d, Point::new(0, -2), Point::new(12, 10));
+    assert_well_formed(&steps, "diagonal through corner (6, 4)");
+
+    let dd = dynamic_diagram();
+    // Through the subcell corner (6, 5) — x grid line meets y bisector.
+    let dsteps = trace_segment_dynamic(&dd, Point::new(2, 1), Point::new(10, 9));
+    assert_well_formed(&dsteps, "dynamic diagonal through (6, 5)");
+}

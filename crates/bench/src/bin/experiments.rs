@@ -1,5 +1,5 @@
 //! Regenerates every table/figure of the reconstructed evaluation (DESIGN.md
-//! experiments E1–E11) and prints them as Markdown. Run with:
+//! experiments E1–E12) and prints them as Markdown. Run with:
 //!
 //! ```text
 //! cargo run -p skyline-bench --release --bin experiments             # all
@@ -26,8 +26,8 @@ use skyline_data::Distribution;
 const USAGE: &str = "\
 Usage: experiments [EXPERIMENT...] [--profile smoke|full] [--json PATH] [--gate]
 
-  EXPERIMENT       any of e1..e11 (default: run all experiments)
-  --profile NAME   dataset sizes for e11: 'full' (default) or 'smoke' (CI-sized)
+  EXPERIMENT       any of e1..e12 (default: run all experiments)
+  --profile NAME   dataset sizes for e11/e12: 'full' (default) or 'smoke' (CI-sized)
   --json PATH      write the machine-readable bench records collected this run
                    (the BENCH_PR3.json schema) to PATH
   --gate           exit 1 if any parallel configuration measured this run is
@@ -55,8 +55,8 @@ struct Options {
     gate: bool,
 }
 
-const EXPERIMENT_NAMES: [&str; 11] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+const EXPERIMENT_NAMES: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
 ];
 
 impl Options {
@@ -143,6 +143,9 @@ fn main() {
     if want("e11") {
         records.extend(e11_parallel_scalability(opts.profile));
     }
+    if want("e12") {
+        records.extend(e12_serving_throughput(opts.profile));
+    }
 
     if let Some(path) = &opts.json_path {
         if let Err(err) = std::fs::write(path, render_records(&records)) {
@@ -214,7 +217,7 @@ fn gate_regressions(records: &[BenchRecord]) -> Result<usize, Vec<String>> {
         }
     }
     if checked == 0 && violations.is_empty() {
-        violations.push("no parallel records collected — run e11 with --gate".to_string());
+        violations.push("no parallel records collected — run e11/e12 with --gate".to_string());
     }
     if violations.is_empty() {
         Ok(checked)
@@ -419,6 +422,96 @@ fn e11_parallel_scalability(profile: Profile) -> Vec<BenchRecord> {
             });
         }
         row.push_str(&format!(" {:.2}x |", seq_min / t4_min));
+        println!("{row}");
+    }
+    println!();
+    records
+}
+
+/// E12: concurrent serving throughput over the reader sweep. The *total*
+/// query work is held fixed while the reader count grows, so `threads = 0`
+/// (readers inline on the caller) is the sequential baseline the `--gate`
+/// compares against, exactly like E11. Each repetition serves a fresh
+/// [`skyline_serve::SkylineServer`] (construction excluded from timing);
+/// every round applies writer updates behind a `refresh()` barrier before
+/// the readers fan out, so the measured loop includes epoch publication.
+/// Records use `threads` for the reader count.
+fn e12_serving_throughput(profile: Profile) -> Vec<BenchRecord> {
+    use skyline_serve::{QueryMix, ServerOptions, SkylineServer, WorkloadSpec};
+
+    // (n, total queries, rounds, updates/round, reps); the totals divide
+    // evenly by rounds × readers for every reader count in the sweep.
+    let (n, queries_total, rounds, updates, reps) = match profile {
+        Profile::Smoke => (200usize, 2_000usize, 4usize, 4usize, 3usize),
+        Profile::Full => (400, 8_000, 8, 8, 3),
+    };
+    let readers_sweep = [0usize, 1, 2, 4];
+    println!(
+        "## E12 — serving throughput, fixed total work ({} profile, n = {n}, \
+         {queries_total} queries, {updates} updates/round)\n",
+        match profile {
+            Profile::Smoke => "smoke",
+            Profile::Full => "full",
+        }
+    );
+    println!("| algorithm | r=0 (inline) | r=1 | r=2 | r=4 | q/s (r=4) | cache hit rate (r=4) |");
+    println!("|---|---|---|---|---|---|---|");
+
+    let ds = sweep_dataset(n, Distribution::Independent);
+    let mut records = Vec::new();
+    for (algorithm, cache_slots) in [("serve/cached", 4096usize), ("serve/uncached", 0)] {
+        let mut row = format!("| {algorithm} |");
+        let mut last_qps = 0.0;
+        let mut last_hit_rate = None;
+        for readers in readers_sweep {
+            let spec = WorkloadSpec {
+                readers,
+                rounds,
+                queries_per_reader: queries_total / (rounds * readers.max(1)),
+                updates_per_round: updates,
+                domain: 10 * n as i64,
+                seed: skyline_bench::BASE_SEED,
+                mix: QueryMix::default(),
+            };
+            let mut elapsed: Vec<f64> = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let options = ServerOptions {
+                    with_global: true,
+                    cache_slots,
+                    parallel: ParallelConfig::sequential(),
+                    ..ServerOptions::default()
+                };
+                let (server, handles) = SkylineServer::with_dataset(&ds, options);
+                let report = skyline_serve::workload::run(&server, &spec, &handles);
+                elapsed.push(report.elapsed_ms);
+                if readers == 4 {
+                    last_qps = report.queries_per_sec();
+                    let cache = report.cache;
+                    last_hit_rate =
+                        (cache.lookups() > 0).then(|| cache.hits as f64 / cache.lookups() as f64);
+                }
+            }
+            elapsed.sort_by(|a, b| a.total_cmp(b));
+            let min_ms = elapsed[0];
+            let median_ms = elapsed[elapsed.len() / 2];
+            row.push_str(&format!(" {} |", fmt_ms(min_ms)));
+            records.push(BenchRecord {
+                experiment: "e12".to_string(),
+                algorithm: algorithm.to_string(),
+                n,
+                s: 10 * n as i64,
+                d: 2,
+                distribution: Distribution::Independent.name().to_string(),
+                threads: readers,
+                reps,
+                min_ms,
+                median_ms,
+            });
+        }
+        row.push_str(&match last_hit_rate {
+            Some(rate) => format!(" {last_qps:.0} | {:.1}% |", 100.0 * rate),
+            None => format!(" {last_qps:.0} | — |"),
+        });
         println!("{row}");
     }
     println!();

@@ -289,6 +289,85 @@ pub fn cmd_trace(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `skydiag serve-bench <data.csv|hotel> [--readers R] [--rounds K]
+/// [--queries Q] [--updates U] [--seed S] [--cache SLOTS] [--global 0|1]
+/// [--engine ...]`
+///
+/// Open-loop serving benchmark: loads the dataset into a
+/// [`skyline_serve::SkylineServer`], then drives `rounds` rounds of
+/// `updates` writer updates (fenced by a refresh barrier) followed by
+/// `readers × queries` concurrent reader queries on the scoped pool.
+/// The printed checksum is deterministic for a given spec and dataset —
+/// identical across thread counts and cache settings.
+pub fn cmd_serve_bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let input = args.positional(0, "input csv path (or 'hotel')")?;
+    let dataset = load_dataset(input)?;
+    let engine = parse_engine(args.get_or("engine", "sweeping"))?;
+    let readers = args.get_usize("readers", 4)?;
+    let rounds = args.get_usize("rounds", 8)?;
+    let queries = args.get_usize("queries", 250)?;
+    let updates = args.get_usize("updates", 0)?;
+    let seed = args.get_i64("seed", 1)? as u64;
+    let cache_slots = args.get_usize("cache", 4096)?;
+    let with_global = args.get_usize("global", 1)? != 0;
+    args.reject_unknown()?;
+
+    let domain = dataset
+        .points()
+        .iter()
+        .flat_map(|p| [p.x, p.y])
+        .max()
+        .unwrap_or(1000)
+        .max(1);
+    let options = skyline_serve::ServerOptions {
+        engine,
+        with_global,
+        cache_slots,
+        ..skyline_serve::ServerOptions::default()
+    };
+    let (server, handles) = skyline_serve::SkylineServer::with_dataset(&dataset, options);
+    let spec = skyline_serve::WorkloadSpec {
+        readers,
+        rounds,
+        queries_per_reader: queries,
+        updates_per_round: updates,
+        domain,
+        seed,
+        mix: skyline_serve::QueryMix::default(),
+    };
+    let report = skyline_serve::workload::run(&server, &spec, &handles);
+
+    writeln!(
+        out,
+        "serve-bench: n={} readers={readers} rounds={rounds} queries/reader/round={queries} \
+         updates/round={updates} cache={cache_slots} global={with_global}",
+        dataset.len(),
+    )?;
+    writeln!(out, "queries:     {}", report.queries)?;
+    writeln!(out, "updates:     {}", report.updates)?;
+    writeln!(out, "epochs:      {}", report.epochs_published)?;
+    writeln!(out, "elapsed:     {:.1} ms", report.elapsed_ms)?;
+    writeln!(
+        out,
+        "throughput:  {:.0} queries/s",
+        report.queries_per_sec()
+    )?;
+    let cache = report.cache;
+    if cache.lookups() > 0 {
+        writeln!(
+            out,
+            "cache:       {} hits / {} misses ({:.1}% hit rate, final epoch)",
+            cache.hits,
+            cache.misses,
+            100.0 * cache.hits as f64 / cache.lookups() as f64
+        )?;
+    } else {
+        writeln!(out, "cache:       disabled")?;
+    }
+    writeln!(out, "checksum:    {:#018x}", report.checksum)?;
+    Ok(())
+}
+
 fn human_bytes(n: usize) -> String {
     if n >= 1 << 20 {
         format!("{:.1} MiB", n as f64 / (1 << 20) as f64)
@@ -312,6 +391,8 @@ USAGE:
   skydiag ascii  <data.csv|hotel> [--engine ...]
   skydiag trace  <data.csv|hotel> --from X,Y --to X,Y [--engine ...]
   skydiag report <data.csv|hotel> --out report.html [--engine ...] [--title T]
+  skydiag serve-bench <data.csv|hotel> [--readers R] [--rounds K] [--queries Q]
+                 [--updates U] [--seed S] [--cache SLOTS] [--global 0|1] [--engine ...]
 
 Input CSV: one `x,y` integer row per point; `#` comments allowed.
 The literal input 'hotel' loads the paper's 11-hotel running example.
@@ -401,6 +482,63 @@ mod tests {
         // the reconstruction is {p6, p10} (0-based: p5, p9).
         let answer = run(cmd_query, &[path_str, "--at", "19,50", "--kind", "dynamic"]).unwrap();
         assert!(answer.contains("{p5, p9}"), "{answer}");
+    }
+
+    #[test]
+    fn serve_bench_reports_and_is_deterministic() {
+        let flags = [
+            "hotel",
+            "--readers",
+            "2",
+            "--rounds",
+            "3",
+            "--queries",
+            "40",
+            "--updates",
+            "2",
+            "--seed",
+            "7",
+        ];
+        let first = run(cmd_serve_bench, &flags).unwrap();
+        assert!(first.contains("queries:     240"), "{first}");
+        assert!(first.contains("epochs:"), "{first}");
+        assert!(first.contains("checksum:    0x"), "{first}");
+        let second = run(cmd_serve_bench, &flags).unwrap();
+        let checksum = |text: &str| {
+            text.lines()
+                .find(|l| l.starts_with("checksum:"))
+                .map(str::to_owned)
+        };
+        assert_eq!(checksum(&first), checksum(&second), "must be deterministic");
+
+        // The checksum is also independent of the cache configuration.
+        let uncached = run(
+            cmd_serve_bench,
+            &[
+                "hotel",
+                "--readers",
+                "2",
+                "--rounds",
+                "3",
+                "--queries",
+                "40",
+                "--updates",
+                "2",
+                "--seed",
+                "7",
+                "--cache",
+                "0",
+            ],
+        )
+        .unwrap();
+        assert!(uncached.contains("cache:       disabled"), "{uncached}");
+        assert_eq!(checksum(&first), checksum(&uncached));
+    }
+
+    #[test]
+    fn serve_bench_rejects_unknown_flags() {
+        let err = run(cmd_serve_bench, &["hotel", "--reader", "2"]).unwrap_err();
+        assert!(matches!(err, CliError::Args(_)), "{err}");
     }
 
     #[test]

@@ -9,7 +9,8 @@ use std::process::ExitCode;
 
 use args::Args;
 use commands::{
-    cmd_ascii, cmd_build, cmd_gen, cmd_query, cmd_render, cmd_report, cmd_stats, cmd_trace, USAGE,
+    cmd_ascii, cmd_build, cmd_gen, cmd_query, cmd_render, cmd_report, cmd_serve_bench, cmd_stats,
+    cmd_trace, USAGE,
 };
 
 fn main() -> ExitCode {
@@ -33,6 +34,7 @@ fn main() -> ExitCode {
                 "ascii" => cmd_ascii(&args, &mut stdout),
                 "trace" => cmd_trace(&args, &mut stdout),
                 "report" => cmd_report(&args, &mut stdout),
+                "serve-bench" => cmd_serve_bench(&args, &mut stdout),
                 "help" | "--help" | "-h" => {
                     print!("{USAGE}");
                     Ok(())

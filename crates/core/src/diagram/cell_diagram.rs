@@ -60,6 +60,18 @@ impl CellDiagram {
         self.result(self.grid.cell_of(q))
     }
 
+    /// The cache key of a query point: the linear (row-major) index of the
+    /// cell containing `q`.
+    ///
+    /// By the diagram invariant, every query point with the same key has the
+    /// identical skyline result — this is what makes a result cache keyed on
+    /// `cell_key` provably exact (see `skyline_serve`). Keys are dense in
+    /// `0..grid().cell_count()`.
+    #[inline]
+    pub fn cell_key(&self, q: Point) -> usize {
+        self.grid.linear_index(self.grid.cell_of(q))
+    }
+
     /// The interner holding the distinct results.
     #[inline]
     pub fn results(&self) -> &ResultInterner {

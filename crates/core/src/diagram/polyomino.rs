@@ -86,7 +86,19 @@ impl MergedDiagram {
     /// The polyomino containing a cell.
     #[inline]
     pub fn polyomino_of_cell(&self, linear_cell: usize) -> &Polyomino {
-        &self.polyominoes[crate::geometry::conv::widen(self.cell_to_polyomino[linear_cell])]
+        &self.polyominoes[self.polyomino_id_of_cell(linear_cell)]
+    }
+
+    /// The index (into [`MergedDiagram::polyominoes`]) of the polyomino
+    /// containing a cell.
+    ///
+    /// This is the coarsest exact cache key for quadrant lookups: every
+    /// query point anywhere in the polyomino has the identical result, so
+    /// caching by polyomino id shares one entry across all of its cells.
+    /// Ids are dense in `0..len()`.
+    #[inline]
+    pub fn polyomino_id_of_cell(&self, linear_cell: usize) -> usize {
+        crate::geometry::conv::widen(self.cell_to_polyomino[linear_cell])
     }
 
     /// All polyominoes whose result contains the given point — the

@@ -82,6 +82,16 @@ impl SubcellDiagram {
         self.result(self.grid.subcell_of(q))
     }
 
+    /// The cache key of a query point: the linear (row-major) index of the
+    /// subcell containing `q`. Every query point with the same key receives
+    /// the identical diagram lookup, so a result cache keyed on
+    /// `subcell_key` is exact for diagram answers (see `skyline_serve`).
+    /// Keys are dense in `0..grid().subcell_count()`.
+    #[inline]
+    pub fn subcell_key(&self, q: Point) -> usize {
+        self.grid.linear_index(self.grid.subcell_of(q))
+    }
+
     /// The interner holding the distinct results.
     #[inline]
     pub fn results(&self) -> &ResultInterner {

@@ -1,0 +1,281 @@
+//! Epoch-swapped snapshot publication: the lock-free hand-off between one
+//! writer building immutable values and any number of concurrent readers.
+//!
+//! The serving layer (`skyline_serve`) publishes each rebuilt diagram
+//! snapshot as a new *epoch*. Readers must never block on the writer, and a
+//! batch of lookups must always be answered from one consistent epoch, so
+//! the hand-off is an append-only chain of nodes linked by
+//! [`std::sync::OnceLock`] next-pointers:
+//!
+//! ```text
+//! epoch 0 ──next──▶ epoch 1 ──next──▶ epoch 2   ◀── publisher tail
+//!    ▲                  ▲
+//!    reader A           reader B
+//! ```
+//!
+//! * The single [`EpochPublisher`] holds the tail and appends by setting the
+//!   tail's `next` cell exactly once (`&mut self` makes a second writer a
+//!   compile error). Publication is one release-store; no reader is ever
+//!   waited on.
+//! * Each [`EpochReader`] owns an `Arc` cursor into the chain.
+//!   [`EpochReader::refresh`] chases `next` pointers to the newest epoch —
+//!   an amortized O(1) pointer walk with no locks, no spinning, and no
+//!   allocation — and returns a shared handle to that epoch's value. The
+//!   value stays valid for as long as the caller holds it, regardless of
+//!   later publications.
+//! * Memory is bounded by reader lag: nodes behind every cursor are freed
+//!   automatically when the last cursor moves past them (the chain holds no
+//!   root), so a chain only retains the epochs some reader can still see.
+//!
+//! The `no-lock-read-path` lint (`cargo xtask lint`) keeps `Mutex`/`RwLock`
+//! out of this module: the read path must stay lock-free by construction.
+
+use std::sync::{Arc, OnceLock};
+
+/// One link of the epoch chain: an immutable value plus the write-once
+/// pointer to its successor.
+#[derive(Debug)]
+struct Node<T> {
+    epoch: u64,
+    value: Arc<T>,
+    next: OnceLock<Arc<Node<T>>>,
+}
+
+impl<T> Drop for Node<T> {
+    fn drop(&mut self) {
+        // Unlink the successor chain iteratively. A reader dropped far
+        // behind the tail may be the last holder of a long run of nodes;
+        // the default recursive drop would then recurse once per epoch and
+        // can overflow the stack.
+        let mut next = self.next.take();
+        while let Some(node) = next {
+            match Arc::try_unwrap(node) {
+                // Sole owner: steal its successor before it drops with an
+                // empty `next` (no recursion).
+                Ok(mut sole) => next = sole.next.take(),
+                // Someone else (a reader or the publisher) still holds the
+                // rest of the chain; it is responsible from here on.
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// The writer half: appends new epochs to the chain.
+///
+/// There is exactly one publisher per chain and `publish` takes `&mut self`,
+/// so single-writer discipline is enforced at compile time. Concurrent
+/// serving layers wrap the publisher in their own write-side lock; readers
+/// obtained from [`EpochPublisher::reader`] never touch that lock.
+#[derive(Debug)]
+pub struct EpochPublisher<T> {
+    tail: Arc<Node<T>>,
+}
+
+impl<T> EpochPublisher<T> {
+    /// Starts a chain at epoch 0 with the given initial value.
+    pub fn new(initial: T) -> Self {
+        EpochPublisher {
+            tail: Arc::new(Node {
+                epoch: 0,
+                value: Arc::new(initial),
+                next: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// Publishes `value` as the next epoch and returns its epoch number.
+    ///
+    /// This is the only mutation of the chain: one `OnceLock` store makes
+    /// the new node visible to every reader that subsequently chases `next`.
+    /// Readers holding older epochs are unaffected.
+    pub fn publish(&mut self, value: T) -> u64 {
+        let node = Arc::new(Node {
+            epoch: self.tail.epoch + 1,
+            value: Arc::new(value),
+            next: OnceLock::new(),
+        });
+        let fresh = self.tail.next.set(Arc::clone(&node)).is_ok();
+        assert!(
+            fresh,
+            "the publisher is the chain's only writer (publish takes &mut self), \
+             so the tail's next cell cannot already be set"
+        );
+        self.tail = node;
+        self.tail.epoch
+    }
+
+    /// The newest epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.tail.epoch
+    }
+
+    /// A shared handle to the newest value.
+    pub fn latest(&self) -> Arc<T> {
+        Arc::clone(&self.tail.value)
+    }
+
+    /// A new reader cursor positioned at the newest epoch.
+    pub fn reader(&self) -> EpochReader<T> {
+        EpochReader {
+            cursor: Arc::clone(&self.tail),
+        }
+    }
+}
+
+/// The reader half: a cursor into the epoch chain.
+///
+/// Cloning a reader clones the cursor position; each clone advances
+/// independently. A reader (or any `Arc` it returned) keeps its epoch's
+/// value alive, so long-lived readers should call [`EpochReader::refresh`]
+/// regularly — a parked cursor pins every epoch published since it last
+/// moved.
+#[derive(Debug)]
+pub struct EpochReader<T> {
+    cursor: Arc<Node<T>>,
+}
+
+impl<T> Clone for EpochReader<T> {
+    fn clone(&self) -> Self {
+        EpochReader {
+            cursor: Arc::clone(&self.cursor),
+        }
+    }
+}
+
+impl<T> EpochReader<T> {
+    /// Advances to the newest published epoch and returns a shared handle
+    /// to its value. Lock-free: a bounded pointer walk over the epochs
+    /// published since the last refresh.
+    pub fn refresh(&mut self) -> Arc<T> {
+        // Step one node at a time so each superseded cursor Arc is dropped
+        // individually while its successor is still referenced — the drop
+        // can then never cascade down the chain.
+        while let Some(next) = self.cursor.next.get() {
+            self.cursor = Arc::clone(next);
+        }
+        Arc::clone(&self.cursor.value)
+    }
+
+    /// The value at the cursor's current epoch, without advancing. Use this
+    /// to keep answering a batch from one consistent epoch while newer
+    /// epochs are being published.
+    pub fn current(&self) -> Arc<T> {
+        Arc::clone(&self.cursor.value)
+    }
+
+    /// The epoch number at the cursor.
+    pub fn epoch(&self) -> u64 {
+        self.cursor.epoch
+    }
+
+    /// True iff a newer epoch has been published past this cursor.
+    pub fn is_stale(&self) -> bool {
+        self.cursor.next.get().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_and_refresh_advance_epochs() {
+        let mut publisher = EpochPublisher::new(10u32);
+        let mut reader = publisher.reader();
+        assert_eq!(reader.epoch(), 0);
+        assert_eq!(*reader.refresh(), 10);
+
+        assert_eq!(publisher.publish(11), 1);
+        assert_eq!(publisher.publish(12), 2);
+        assert_eq!(publisher.epoch(), 2);
+        assert_eq!(*publisher.latest(), 12);
+
+        assert!(reader.is_stale());
+        assert_eq!(*reader.current(), 10, "current() must not advance");
+        assert_eq!(*reader.refresh(), 12);
+        assert_eq!(reader.epoch(), 2);
+        assert!(!reader.is_stale());
+    }
+
+    #[test]
+    fn pinned_epoch_survives_later_publications() {
+        let mut publisher = EpochPublisher::new(vec![1, 2, 3]);
+        let mut reader = publisher.reader();
+        let pinned = reader.refresh();
+        publisher.publish(vec![4]);
+        publisher.publish(vec![5]);
+        // The pinned value is untouched by publications.
+        assert_eq!(*pinned, vec![1, 2, 3]);
+        assert_eq!(*reader.current(), vec![1, 2, 3]);
+        assert_eq!(*reader.refresh(), vec![5]);
+    }
+
+    #[test]
+    fn cloned_readers_advance_independently() {
+        let mut publisher = EpochPublisher::new(0u64);
+        let mut a = publisher.reader();
+        let mut b = a.clone();
+        publisher.publish(1);
+        assert_eq!(*a.refresh(), 1);
+        assert_eq!(b.epoch(), 0);
+        assert_eq!(*b.refresh(), 1);
+    }
+
+    #[test]
+    fn long_abandoned_chain_drops_without_overflow() {
+        let mut publisher = EpochPublisher::new(0u64);
+        let reader = publisher.reader(); // parked at epoch 0
+        for i in 1..=200_000u64 {
+            publisher.publish(i);
+        }
+        // Dropping the parked reader releases the whole retained chain; the
+        // iterative Node::drop must not recurse 200k deep.
+        drop(reader);
+        assert_eq!(publisher.epoch(), 200_000);
+    }
+
+    #[test]
+    fn concurrent_readers_see_monotonic_epochs() {
+        use crate::parallel::{self, ParallelConfig};
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let publisher = EpochPublisher::new(0u64);
+        let template = publisher.reader();
+        let done = AtomicBool::new(false);
+        let publisher = std::sync::Mutex::new(publisher);
+
+        // Role 0 publishes 500 epochs; roles 1..4 refresh concurrently and
+        // check that observed epochs never go backwards and always match
+        // the stored value.
+        let checks = parallel::map_indexed(&ParallelConfig::with_threads(4), 4, |role| {
+            if role == 0 {
+                let mut p = publisher
+                    .lock()
+                    .expect("no other role ever locks the publisher");
+                for i in 1..=500u64 {
+                    p.publish(i);
+                }
+                done.store(true, Ordering::Release);
+                0
+            } else {
+                let mut reader = template.clone();
+                let mut last = 0u64;
+                let mut observed = 0usize;
+                loop {
+                    let value = reader.refresh();
+                    let epoch = reader.epoch();
+                    assert!(epoch >= last, "epochs must be monotone per reader");
+                    assert_eq!(*value, epoch, "value and epoch must be consistent");
+                    last = epoch;
+                    observed += 1;
+                    if done.load(Ordering::Acquire) && !reader.is_stale() {
+                        break;
+                    }
+                }
+                observed
+            }
+        });
+        assert!(checks.iter().sum::<usize>() > 0);
+    }
+}

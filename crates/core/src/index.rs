@@ -24,6 +24,7 @@ use crate::diagram::merge::merge;
 use crate::diagram::{CellDiagram, MergedDiagram, Polyomino};
 use crate::dynamic::{DynamicEngine, SubcellDiagram};
 use crate::geometry::{Dataset, Point, PointId};
+use crate::parallel::ParallelConfig;
 use crate::quadrant::QuadrantEngine;
 
 /// Builder for [`SkylineIndex`]; see the module docs.
@@ -76,13 +77,42 @@ impl SkylineIndexBuilder {
     /// Builds the index.
     pub fn build(self, dataset: &Dataset) -> SkylineIndex {
         let quadrant = self.engine.build(dataset);
+        self.assemble(dataset, quadrant, &ParallelConfig::from_env())
+    }
+
+    /// Builds the index with an explicit parallel configuration for every
+    /// constituent diagram build (the serving layer rebuilds snapshots on
+    /// the scoped pool this way).
+    pub fn build_with(self, dataset: &Dataset, cfg: &ParallelConfig) -> SkylineIndex {
+        let quadrant = self.engine.build_with(dataset, cfg);
+        self.assemble(dataset, quadrant, cfg)
+    }
+
+    /// Assembles an index around an already-built quadrant diagram,
+    /// constructing only the remaining parts (polyomino merge, optional
+    /// global/dynamic diagrams).
+    ///
+    /// `quadrant` must be a quadrant diagram of `dataset` — callers such as
+    /// `MaintainedIndex`-backed servers reuse the diagram from their last
+    /// rebuild instead of building it twice.
+    pub fn assemble(
+        self,
+        dataset: &Dataset,
+        quadrant: CellDiagram,
+        cfg: &ParallelConfig,
+    ) -> SkylineIndex {
+        debug_assert_eq!(
+            quadrant.grid().cell_count(),
+            crate::geometry::CellGrid::new(dataset).cell_count(),
+            "assemble() requires a quadrant diagram built over the same dataset"
+        );
         let merged = merge(&quadrant);
         let global = self
             .with_global
-            .then(|| crate::global::build(dataset, self.engine));
+            .then(|| crate::global::build_with(dataset, self.engine, cfg));
         let dynamic = self
             .with_dynamic
-            .then(|| self.dynamic_engine.build(dataset));
+            .then(|| self.dynamic_engine.build_with(dataset, cfg));
         SkylineIndex {
             dataset: dataset.clone(),
             quadrant,

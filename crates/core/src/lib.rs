@@ -59,6 +59,7 @@ pub mod diagram;
 pub mod dominance;
 pub mod dsg;
 pub mod dynamic;
+pub mod epoch;
 mod error;
 pub mod geometry;
 pub mod global;

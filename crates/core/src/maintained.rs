@@ -152,13 +152,20 @@ impl MaintainedIndex {
 
     /// Forces a rebuild now; afterwards queries are pure lookups again.
     pub fn rebuild(&mut self) {
+        self.rebuild_with(&crate::parallel::ParallelConfig::from_env());
+    }
+
+    /// Forces a rebuild on an explicit parallel configuration (the serving
+    /// layer rebuilds snapshots on the scoped pool this way); afterwards
+    /// queries are pure lookups again.
+    pub fn rebuild_with(&mut self, cfg: &crate::parallel::ParallelConfig) {
         if self.points.is_empty() {
             self.built = None;
         } else {
             let dataset = Dataset::from_coords(self.points.iter().map(|&(_, p)| (p.x, p.y)))
                 .expect("live points are valid");
             let handles = self.points.iter().map(|&(h, _)| h).collect();
-            self.built = Some((self.engine.build(&dataset), handles));
+            self.built = Some((self.engine.build_with(&dataset, cfg), handles));
         }
         self.pending_inserts.clear();
         self.pending_removes.clear();
@@ -168,6 +175,25 @@ impl MaintainedIndex {
     /// Number of buffered updates since the last rebuild.
     pub fn pending_updates(&self) -> usize {
         self.dirt
+    }
+
+    /// The live points with their handles, in the internal (rebuild) order:
+    /// after a rebuild with no pending updates, the point at iterator
+    /// position `i` is exactly the diagram's `PointId(i)`, so the paired
+    /// handle list from [`MaintainedIndex::built`] maps ids back to handles.
+    pub fn live_points(&self) -> impl Iterator<Item = (Handle, Point)> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// The diagram and handle table from the last rebuild, if any. Entry
+    /// `i` of the handle slice is the handle of the diagram's `PointId(i)`.
+    /// `None` when the index has never been rebuilt or was empty at the
+    /// last rebuild. Ignores pending updates — callers that need a current
+    /// view rebuild first.
+    pub fn built(&self) -> Option<(&CellDiagram, &[Handle])> {
+        self.built
+            .as_ref()
+            .map(|(diagram, handles)| (diagram, handles.as_slice()))
     }
 }
 

@@ -1,0 +1,183 @@
+//! Mid-epoch behavior of [`MaintainedIndex`] beyond the in-module unit
+//! tests: reusing coordinates across insert→remove→insert cycles, removing
+//! a pending (never-built) insertion, and a property test comparing every
+//! mid-epoch answer against a from-scratch recompute under random
+//! interleavings that deliberately *avoid* crossing the rebuild threshold
+//! (so the exercised code path is the lazy merge, not the rebuild).
+
+use proptest::prelude::*;
+use skyline_core::geometry::{Dataset, Point};
+use skyline_core::maintained::{Handle, MaintainedIndex};
+use skyline_core::quadrant::QuadrantEngine;
+use skyline_core::query::quadrant_skyline_naive;
+
+/// From-scratch oracle over an externally tracked mirror of the live set.
+fn oracle(mirror: &[(Handle, Point)], q: Point) -> Vec<Handle> {
+    if mirror.is_empty() {
+        return Vec::new();
+    }
+    let ds = Dataset::from_coords(mirror.iter().map(|&(_, p)| (p.x, p.y)))
+        .expect("mirror points are valid coordinates");
+    let mut out: Vec<Handle> = quadrant_skyline_naive(&ds, q)
+        .into_iter()
+        .map(|id| mirror[id.index()].0)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn reinserting_a_removed_coordinate_yields_a_fresh_handle() {
+    let mut index = MaintainedIndex::new(QuadrantEngine::Sweeping);
+    // Both dominated by (3, 3), so the cycled point is the sole answer.
+    let others = [Point::new(6, 6), Point::new(5, 7)];
+    for p in others {
+        index.insert(p);
+    }
+    let p = Point::new(3, 3);
+    let q = Point::new(0, 0);
+
+    // insert → build → remove → reinsert the *same* coordinate, all within
+    // one post-build epoch: the new handle must answer, the old must not.
+    let first = index.insert(p);
+    index.rebuild();
+    assert_eq!(index.query(q), vec![first]);
+    assert!(index.remove(first));
+    let second = index.insert(p);
+    assert_ne!(first, second, "handles are never reused");
+    assert_eq!(index.get(first), None);
+    assert_eq!(index.get(second), Some(p));
+    assert_eq!(
+        index.query(q),
+        vec![second],
+        "the reinserted point answers under its new handle"
+    );
+
+    // A second full cycle on the same coordinate behaves identically.
+    assert!(index.remove(second));
+    let third = index.insert(p);
+    assert!(third > second);
+    assert_eq!(index.query(q), vec![third]);
+}
+
+#[test]
+fn removing_a_pending_insertion_cancels_it_without_a_rebuild() {
+    let mut index = MaintainedIndex::new(QuadrantEngine::Scanning);
+    index.insert(Point::new(8, 8));
+    index.rebuild();
+    assert_eq!(index.pending_updates(), 0);
+
+    // The pending insertion would dominate; cancelling it must restore the
+    // built answer exactly, and must not force the removal-rebuild path
+    // (a cancelled pending insert never reached the built structure).
+    let pending = index.insert(Point::new(2, 2));
+    assert!(index.remove(pending));
+    let before_query_epoch = index.pending_updates();
+    let q = Point::new(0, 0);
+    let answer = index.query(q);
+    assert_eq!(answer.len(), 1, "only the built point remains");
+    assert_eq!(index.get(pending), None);
+    // insert+cancel left dirt but no *removal* of built state; the lazy
+    // path stays available (dirt only forces a rebuild past the threshold).
+    assert!(before_query_epoch <= 2);
+}
+
+#[test]
+fn insert_remove_insert_interleaving_with_queries_between_each_step() {
+    let mut index = MaintainedIndex::new(QuadrantEngine::Baseline);
+    index.rebuild_threshold = usize::MAX; // never rebuild behind our back
+    let mut mirror: Vec<(Handle, Point)> = Vec::new();
+    let base = [(10, 40), (20, 30), (30, 20), (40, 10), (25, 25)];
+    for (x, y) in base {
+        let p = Point::new(x, y);
+        mirror.push((index.insert(p), p));
+    }
+    index.rebuild();
+
+    let probes = [Point::new(0, 0), Point::new(15, 15), Point::new(22, 9)];
+    let steps: [(i64, i64); 3] = [(12, 12), (18, 8), (5, 35)];
+    for (x, y) in steps {
+        let p = Point::new(x, y);
+        // Insert, query, remove, query, re-insert, query: the answer must
+        // track the mirror at every intermediate state.
+        let h = index.insert(p);
+        mirror.push((h, p));
+        for &q in &probes {
+            assert_eq!(index.query(q), oracle(&mirror, q), "after insert {p}");
+        }
+        assert!(index.remove(h));
+        mirror.retain(|&(mh, _)| mh != h);
+        for &q in &probes {
+            assert_eq!(index.query(q), oracle(&mirror, q), "after remove {p}");
+        }
+        let h2 = index.insert(p);
+        mirror.push((h2, p));
+        for &q in &probes {
+            assert_eq!(index.query(q), oracle(&mirror, q), "after re-insert {p}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random interleavings of inserts, removes, and queries, with the
+    /// rebuild threshold pushed out of reach: every answer comes from the
+    /// lazy mid-epoch merge and must equal the from-scratch oracle. A
+    /// second index that rebuilds after *every* update must agree too.
+    #[test]
+    fn mid_epoch_answers_equal_from_scratch_rebuild(
+        ops in prop::collection::vec((0u8..4, 0i64..60, 0i64..60, any::<prop::sample::Index>()), 1..60),
+        engine_pick in 0usize..8,
+    ) {
+        let engine = QuadrantEngine::ALL[engine_pick % QuadrantEngine::ALL.len()];
+        let mut lazy = MaintainedIndex::new(engine);
+        lazy.rebuild_threshold = usize::MAX;
+        let mut eager = MaintainedIndex::new(engine);
+        let mut mirror: Vec<(Handle, Point)> = Vec::new();
+        let mut eager_handles: Vec<Handle> = Vec::new();
+
+        for (kind, x, y, pick) in ops {
+            match kind {
+                // Insert (twice as likely as remove).
+                0 | 1 => {
+                    let p = Point::new(x, y);
+                    mirror.push((lazy.insert(p), p));
+                    eager_handles.push(eager.insert(p));
+                    eager.rebuild();
+                }
+                2 if !mirror.is_empty() => {
+                    let i = pick.index(mirror.len());
+                    let (h, _) = mirror.remove(i);
+                    prop_assert!(lazy.remove(h));
+                    prop_assert!(eager.remove(eager_handles.remove(i)));
+                    eager.rebuild();
+                }
+                _ => {
+                    let q = Point::new(x - 5, y - 5);
+                    let expected = oracle(&mirror, q);
+                    prop_assert_eq!(lazy.query(q), expected.clone(), "lazy at {}", q);
+                    // The eager index mints different handle values; compare
+                    // by *position* via the paired handle vectors.
+                    let eager_mapped: Vec<Handle> = {
+                        let positions: std::collections::HashMap<Handle, usize> = eager_handles
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &h)| (h, i))
+                            .collect();
+                        let mut v: Vec<Handle> = eager
+                            .query(q)
+                            .into_iter()
+                            .map(|h| mirror[positions[&h]].0)
+                            .collect();
+                        v.sort_unstable();
+                        v
+                    };
+                    prop_assert_eq!(eager_mapped, expected, "eager at {}", q);
+                }
+            }
+        }
+        prop_assert_eq!(lazy.len(), mirror.len());
+        prop_assert_eq!(eager.len(), mirror.len());
+    }
+}

@@ -1,0 +1,194 @@
+//! The sharded, provably exact result cache attached to each snapshot.
+//!
+//! The skyline diagram guarantees that every query point inside one cell
+//! (and, for quadrant queries, anywhere inside one *polyomino*) has the
+//! identical result. A cache keyed on the cell/polyomino id therefore can
+//! never serve a wrong answer: a hit returns exactly what the lookup would
+//! have computed, and the only failure mode is a *miss* (recompute). Two
+//! further properties keep the cache exact under concurrency:
+//!
+//! * it lives **inside one snapshot** — entries can never leak across
+//!   epochs, because a new epoch is a new (empty) cache;
+//! * slots are [`std::sync::OnceLock`] cells — direct-mapped, first write
+//!   wins, never evicted, never torn. Losing a publication race only drops
+//!   a duplicate of the identical value.
+//!
+//! The slot array is a fixed power of two, so memory stays bounded no
+//! matter how many distinct keys a workload touches; a key whose slot was
+//! claimed by a different key simply stays a miss. Hit/miss counters are
+//! relaxed atomics, exposed for observability (`serve-bench` prints them).
+//!
+//! This file is read-path code: the `no-lock-read-path` lint keeps
+//! `Mutex`/`RwLock` out of it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use skyline_core::maintained::Handle;
+
+/// A cached answer: the sorted handle list shared by every query point that
+/// maps to the entry's key.
+type Entry = (u64, Arc<[Handle]>);
+
+/// Hit/miss counters of one cache (or the sum over several).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from a populated slot with a matching key.
+    pub hits: u64,
+    /// Lookups that recomputed (empty slot, or slot claimed by another key).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Component-wise sum, for aggregating per-semantics caches.
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+        }
+    }
+
+    /// Total lookups that went through the cache.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// A direct-mapped, write-once result cache. See the module docs for the
+/// exactness argument.
+#[derive(Debug)]
+pub struct ResultCache {
+    /// Power-of-two slot array; slot of `key` is `key & mask`.
+    slots: Box<[OnceLock<Entry>]>,
+    mask: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache with at least `min_slots` slots (rounded up to a power of
+    /// two, minimum 1).
+    pub fn new(min_slots: usize) -> Self {
+        let slots = min_slots.max(1).next_power_of_two();
+        ResultCache {
+            slots: (0..slots).map(|_| OnceLock::new()).collect(),
+            mask: (slots as u64) - 1,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached answer for `key`, or computes, publishes, and
+    /// returns it. Lock-free: a hit is one `OnceLock` read; a miss runs
+    /// `compute` on the caller and then attempts a write-once publication
+    /// (losing the race to an identical concurrent value is harmless).
+    pub fn get_or_compute(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Arc<[Handle]>,
+    ) -> Arc<[Handle]> {
+        let slot = &self.slots[(key & self.mask) as usize];
+        if let Some((stored_key, value)) = slot.get() {
+            if *stored_key == key {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(value);
+            }
+            // Direct-mapped collision: this key permanently misses.
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return compute();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        // First write wins; a racing writer computed the identical value
+        // for the identical key, so dropping ours changes nothing.
+        let _ = slot.set((key, Arc::clone(&value)));
+        value
+    }
+
+    /// Counters so far. Relaxed reads: exact totals once readers quiesce,
+    /// monotone under concurrency.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value(ids: &[u64]) -> Arc<[Handle]> {
+        ids.iter().map(|&i| Handle(i)).collect()
+    }
+
+    #[test]
+    fn hit_after_miss_returns_identical_value() {
+        let cache = ResultCache::new(8);
+        let first = cache.get_or_compute(3, || value(&[1, 2]));
+        let second = cache.get_or_compute(3, || unreachable!("must be a hit"));
+        assert_eq!(first, second);
+        assert!(Arc::ptr_eq(&first, &second), "hits share the stored Arc");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn colliding_keys_stay_correct_as_misses() {
+        let cache = ResultCache::new(1); // every key collides
+        assert_eq!(cache.slot_count(), 1);
+        let a = cache.get_or_compute(0, || value(&[7]));
+        let b = cache.get_or_compute(1, || value(&[9]));
+        let b2 = cache.get_or_compute(1, || value(&[9]));
+        assert_eq!(a.as_ref(), &[Handle(7)]);
+        assert_eq!(b, b2);
+        assert_eq!(b.as_ref(), &[Handle(9)]);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0, "collisions never serve the wrong entry");
+        assert_eq!(stats.misses, 3);
+    }
+
+    #[test]
+    fn slot_count_rounds_up() {
+        assert_eq!(ResultCache::new(0).slot_count(), 1);
+        assert_eq!(ResultCache::new(5).slot_count(), 8);
+        assert_eq!(ResultCache::new(64).slot_count(), 64);
+    }
+
+    #[test]
+    fn stats_merge() {
+        let a = CacheStats { hits: 2, misses: 3 };
+        let b = CacheStats { hits: 5, misses: 7 };
+        let m = a.merged(b);
+        assert_eq!(
+            m,
+            CacheStats {
+                hits: 7,
+                misses: 10
+            }
+        );
+        assert_eq!(m.lookups(), 17);
+    }
+
+    #[test]
+    fn concurrent_population_is_consistent() {
+        use skyline_core::parallel::{self, ParallelConfig};
+        let cache = ResultCache::new(16);
+        let answers = parallel::map_indexed(&ParallelConfig::with_threads(4), 64, |i| {
+            let key = (i % 8) as u64;
+            cache.get_or_compute(key, || value(&[key, key + 100]))
+        });
+        for (i, got) in answers.iter().enumerate() {
+            let key = (i % 8) as u64;
+            assert_eq!(got.as_ref(), &[Handle(key), Handle(key + 100)]);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.lookups(), 64);
+        assert!(stats.misses >= 8, "each key misses at least once");
+    }
+}

@@ -1,0 +1,49 @@
+//! Concurrent snapshot-serving layer for skyline diagrams.
+//!
+//! The skyline diagram is a *precomputed* structure — the paper's whole
+//! point is that queries become point locations. This crate supplies the
+//! missing serving story: keep answering quadrant/global/dynamic/safe-zone
+//! /trace requests from any number of threads while the underlying point
+//! set changes.
+//!
+//! * [`server::SkylineServer`] owns the mutable state and publishes
+//!   immutable [`snapshot::Snapshot`]s through an epoch chain
+//!   ([`skyline_core::epoch`]): writers serialize on one mutex, readers
+//!   are lock-free and always answer from one consistent epoch.
+//! * [`cache::ResultCache`] memoizes answers per snapshot, keyed by
+//!   cell/polyomino id — provably exact, never evicting, never wrong.
+//! * [`workload`] drives deterministic closed-loop benchmarks whose
+//!   checksums are bit-identical across thread counts and cache settings;
+//!   the differential stress harness (`tests/stress_diff.rs`) checks every
+//!   concurrent answer against a fresh single-threaded recompute.
+//!
+//! ```
+//! use skyline_core::geometry::{Dataset, Point};
+//! use skyline_serve::{ServerOptions, SkylineServer};
+//!
+//! let ds = Dataset::from_coords([(2, 9), (5, 4), (9, 1), (4, 6)])?;
+//! let (server, _handles) = SkylineServer::with_dataset(&ds, ServerOptions::default());
+//!
+//! let mut reader = server.reader();           // lock-free after this line
+//! let snap = reader.snapshot();               // pin the current epoch
+//! let before = snap.quadrant(Point::new(3, 3));
+//!
+//! server.insert(Point::new(4, 4));            // buffered...
+//! server.refresh();                           // ...published
+//! assert_eq!(snap.quadrant(Point::new(3, 3)), before); // pinned epoch
+//! assert_ne!(reader.snapshot().quadrant(Point::new(3, 3)), before);
+//! # Ok::<(), skyline_core::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod server;
+pub mod snapshot;
+pub mod workload;
+
+pub use cache::{CacheStats, ResultCache};
+pub use server::{ServerOptions, SkylineServer, SnapshotReader};
+pub use snapshot::Snapshot;
+pub use workload::{QueryMix, WorkloadReport, WorkloadSpec};

@@ -1,0 +1,228 @@
+//! One published epoch: an immutable, self-contained view of the diagrams
+//! plus its (optional) exact result caches.
+//!
+//! A [`Snapshot`] is never mutated after publication — readers share it via
+//! `Arc`, so every answer derived from one snapshot is from one consistent
+//! epoch by construction. All lookups take `&self` and are lock-free; the
+//! `no-lock-read-path` lint keeps `Mutex`/`RwLock` out of this file.
+//!
+//! # Answer space
+//!
+//! Results are returned as sorted [`Handle`] lists, not raw
+//! [`PointId`]s: point ids are positional within one epoch's dataset and
+//! would be meaningless across epochs, while handles are stable across the
+//! server's rebuilds (see [`skyline_core::maintained`]).
+//!
+//! # What is cached
+//!
+//! * **quadrant** — keyed by *polyomino id*: the merged diagram proves every
+//!   query point in the polyomino has the identical result, so this is the
+//!   coarsest exact key.
+//! * **global / dynamic** — keyed by linear cell/subcell id, exact for
+//!   diagram lookups because a diagram assigns one result per cell. When
+//!   the corresponding diagram was *not* built, answers fall back to a
+//!   from-scratch computation at the exact query point; those answers are
+//!   not constant per cell on grid lines, so they are never cached (they
+//!   count as cache misses of an absent cache, i.e. not at all).
+
+use std::sync::Arc;
+
+use skyline_apps::continuous::{self, TraversalStep};
+use skyline_core::diagram::Polyomino;
+use skyline_core::geometry::{Dataset, Point, PointId};
+use skyline_core::index::SkylineIndex;
+use skyline_core::maintained::Handle;
+use skyline_core::query;
+
+use crate::cache::{CacheStats, ResultCache};
+
+/// Maps an id-space answer to the snapshot's stable handle space, sorted.
+fn to_handles(handles: &[Handle], ids: impl IntoIterator<Item = PointId>) -> Arc<[Handle]> {
+    let mut out: Vec<Handle> = ids.into_iter().map(|id| handles[id.index()]).collect();
+    out.sort_unstable();
+    out.into()
+}
+
+fn empty_result() -> Arc<[Handle]> {
+    Vec::new().into()
+}
+
+/// The populated part of a snapshot (absent while the server is empty).
+#[derive(Debug)]
+struct Body {
+    index: SkylineIndex,
+    /// Entry `i` is the stable handle of the dataset's `PointId(i)`.
+    handles: Vec<Handle>,
+    quadrant_cache: Option<ResultCache>,
+    global_cache: Option<ResultCache>,
+    dynamic_cache: Option<ResultCache>,
+}
+
+/// An immutable published epoch of the server's diagrams. See the module
+/// docs.
+#[derive(Debug)]
+pub struct Snapshot {
+    epoch: u64,
+    body: Option<Body>,
+}
+
+impl Snapshot {
+    /// A snapshot of the empty dataset (every answer is empty).
+    pub(crate) fn empty(epoch: u64) -> Self {
+        Snapshot { epoch, body: None }
+    }
+
+    /// Wraps a built index. `handles[i]` must be the handle of `PointId(i)`
+    /// in the index's dataset. `cache_slots == 0` disables the caches.
+    pub(crate) fn new(
+        epoch: u64,
+        index: SkylineIndex,
+        handles: Vec<Handle>,
+        cache_slots: usize,
+    ) -> Self {
+        debug_assert_eq!(index.dataset().len(), handles.len());
+        let cache =
+            |present: bool| (cache_slots > 0 && present).then(|| ResultCache::new(cache_slots));
+        let quadrant_cache = cache(true);
+        let global_cache = cache(index.global_diagram().is_some());
+        let dynamic_cache = cache(index.dynamic_diagram().is_some());
+        Snapshot {
+            epoch,
+            body: Some(Body {
+                index,
+                handles,
+                quadrant_cache,
+                global_cache,
+                dynamic_cache,
+            }),
+        }
+    }
+
+    /// The epoch this snapshot was published as.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch's dataset, or `None` for the empty snapshot. Differential
+    /// checkers recompute answers from exactly this dataset.
+    pub fn dataset(&self) -> Option<&Dataset> {
+        self.body.as_ref().map(|b| b.index.dataset())
+    }
+
+    /// The handle of each dataset point: entry `i` is the stable handle of
+    /// `PointId(i)`. Empty for the empty snapshot.
+    pub fn handles(&self) -> &[Handle] {
+        self.body.as_ref().map_or(&[], |b| b.handles.as_slice())
+    }
+
+    /// The underlying index, or `None` for the empty snapshot.
+    pub fn index(&self) -> Option<&SkylineIndex> {
+        self.body.as_ref().map(|b| &b.index)
+    }
+
+    /// Number of points in this epoch.
+    pub fn len(&self) -> usize {
+        self.body.as_ref().map_or(0, |b| b.handles.len())
+    }
+
+    /// True iff this epoch holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_none()
+    }
+
+    /// Quadrant skyline of `q`, as sorted handles. Cached by polyomino id.
+    pub fn quadrant(&self, q: Point) -> Arc<[Handle]> {
+        let Some(body) = &self.body else {
+            return empty_result();
+        };
+        let diagram = body.index.quadrant_diagram();
+        let key = body
+            .index
+            .polyominoes()
+            .polyomino_id_of_cell(diagram.cell_key(q)) as u64;
+        let compute = || to_handles(&body.handles, diagram.query(q).iter().copied());
+        match &body.quadrant_cache {
+            Some(cache) => cache.get_or_compute(key, compute),
+            None => compute(),
+        }
+    }
+
+    /// Global skyline of `q`, as sorted handles. Cached by cell id when the
+    /// global diagram was built; otherwise computed from scratch on this
+    /// epoch's dataset (uncached — see the module docs).
+    pub fn global(&self, q: Point) -> Arc<[Handle]> {
+        let Some(body) = &self.body else {
+            return empty_result();
+        };
+        match body.index.global_diagram() {
+            Some(diagram) => {
+                let key = diagram.cell_key(q) as u64;
+                let compute = || to_handles(&body.handles, diagram.query(q).iter().copied());
+                match &body.global_cache {
+                    Some(cache) => cache.get_or_compute(key, compute),
+                    None => compute(),
+                }
+            }
+            None => to_handles(
+                &body.handles,
+                query::global_skyline(body.index.dataset(), q),
+            ),
+        }
+    }
+
+    /// Dynamic skyline of `q`, as sorted handles. Cached by subcell id when
+    /// the dynamic diagram was built; otherwise computed from scratch on
+    /// this epoch's dataset (uncached).
+    pub fn dynamic(&self, q: Point) -> Arc<[Handle]> {
+        let Some(body) = &self.body else {
+            return empty_result();
+        };
+        match body.index.dynamic_diagram() {
+            Some(diagram) => {
+                let key = diagram.subcell_key(q) as u64;
+                let compute = || to_handles(&body.handles, diagram.query(q).iter().copied());
+                match &body.dynamic_cache {
+                    Some(cache) => cache.get_or_compute(key, compute),
+                    None => compute(),
+                }
+            }
+            None => to_handles(
+                &body.handles,
+                query::dynamic_skyline(body.index.dataset(), q),
+            ),
+        }
+    }
+
+    /// The skyline polyomino containing `q` — the region where `q` can move
+    /// without its quadrant result changing. `None` for the empty snapshot.
+    pub fn safe_zone(&self, q: Point) -> Option<&Polyomino> {
+        self.body.as_ref().map(|b| b.index.safe_zone(q))
+    }
+
+    /// Itinerary of a query moving from `a` to `b` over this epoch's
+    /// quadrant diagram (see [`skyline_apps::continuous`]); results are in
+    /// the epoch's `PointId` space, mapped to handles via
+    /// [`Snapshot::handles`]. Empty for the empty snapshot.
+    pub fn trace(&self, a: Point, b: Point) -> Vec<TraversalStep> {
+        self.body.as_ref().map_or_else(Vec::new, |body| {
+            continuous::trace_segment(body.index.quadrant_diagram(), a, b)
+        })
+    }
+
+    /// Aggregated hit/miss counters over this snapshot's caches. All zero
+    /// when caching is disabled (fallback-path answers bypass the caches
+    /// and are not counted).
+    pub fn cache_stats(&self) -> CacheStats {
+        let Some(body) = &self.body else {
+            return CacheStats::default();
+        };
+        [
+            &body.quadrant_cache,
+            &body.global_cache,
+            &body.dynamic_cache,
+        ]
+        .into_iter()
+        .flatten()
+        .fold(CacheStats::default(), |acc, c| acc.merged(c.stats()))
+    }
+}

@@ -17,7 +17,19 @@ const LIB_SCOPE: &[&str] = &[
     "crates/core/src",
     "crates/apps/src",
     "crates/data/src",
+    "crates/serve/src",
     "crates/viz/src",
+];
+
+/// Files that make up the lock-free snapshot read path. Readers must never
+/// block: epoch publication and cache fills use `OnceLock`/atomics only, so
+/// any `Mutex`/`RwLock` here breaks the serving layer's progress guarantee.
+/// The writer side (`server.rs`) is deliberately out of scope — its single
+/// `Mutex` serializes updates, never reads.
+const READ_PATH_SCOPE: &[&str] = &[
+    "crates/core/src/epoch.rs",
+    "crates/serve/src/cache.rs",
+    "crates/serve/src/snapshot.rs",
 ];
 
 /// Numeric primitive names, for spotting `as <numeric>` casts.
@@ -80,7 +92,33 @@ pub fn run_all(path: &str, toks: &[Tok]) -> Vec<Finding> {
     if !RAW_SPAWN_EXEMPT.contains(&path) {
         no_raw_spawn(toks, &mut findings);
     }
+    if in_scope(path, READ_PATH_SCOPE) {
+        no_lock_read_path(toks, &mut findings);
+    }
     findings
+}
+
+/// `no-lock-read-path`: blocking synchronization primitives are banned from
+/// the snapshot read path ([`READ_PATH_SCOPE`]). A reader that can block on
+/// a `Mutex`/`RwLock` loses the wait-free progress guarantee the serving
+/// layer advertises; cache fills and epoch hops must go through `OnceLock`
+/// and atomics instead. Test modules are stripped before linting, so
+/// lock-based *assertions* in unit tests stay legal.
+fn no_lock_read_path(toks: &[Tok], findings: &mut Vec<Finding>) {
+    for tok in toks {
+        if tok.kind == TokKind::Ident && matches!(tok.text.as_str(), "Mutex" | "RwLock") {
+            findings.push(Finding {
+                rule: "no-lock-read-path",
+                line: tok.line,
+                message: format!(
+                    "blocking primitive `{}` on the snapshot read path",
+                    tok.text
+                ),
+                hint: "the serve read path is lock-free by contract; use OnceLock/atomics \
+                       here and keep mutexes on the writer side (server.rs)",
+            });
+        }
+    }
 }
 
 /// `no-raw-spawn`: threading outside `skyline_core::parallel` bypasses the
@@ -511,6 +549,35 @@ pub fn f() {
         let private = "fn helper() -> Vec<PointId> { vec![] }\n\
                        pub(crate) fn h2() -> Vec<PointId> { vec![] }";
         assert!(findings_for("crates/core/src/query.rs", private).is_empty());
+    }
+
+    #[test]
+    fn lock_primitives_fire_only_on_the_read_path() {
+        let qualified = "use std::sync::Mutex;\nfn f() { let m = Mutex::new(0); }";
+        let f = findings_for("crates/serve/src/cache.rs", qualified);
+        // The `use` line and the constructor call each fire.
+        assert_eq!(
+            f.iter().filter(|f| f.rule == "no-lock-read-path").count(),
+            2
+        );
+
+        let rwlock = "fn f() { let l: std::sync::RwLock<u32> = RwLock::new(0); }";
+        let f = findings_for("crates/core/src/epoch.rs", rwlock);
+        assert_eq!(
+            f.iter().filter(|f| f.rule == "no-lock-read-path").count(),
+            2
+        );
+
+        // The writer side keeps its mutex; other files are out of scope.
+        let f = findings_for("crates/serve/src/server.rs", qualified);
+        assert!(f.iter().all(|f| f.rule != "no-lock-read-path"));
+
+        // OnceLock is the sanctioned primitive and must not be confused
+        // with a lock; test modules are stripped before linting.
+        let benign = "use std::sync::OnceLock;\nfn f() { let c = OnceLock::new(); }\n\
+                      #[cfg(test)]\nmod tests { use std::sync::Mutex; }";
+        let f = findings_for("crates/serve/src/snapshot.rs", benign);
+        assert!(f.iter().all(|f| f.rule != "no-lock-read-path"));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Runnable examples for the skyline-diagram workspace. See the individual
 //! binaries: `quickstart`, `hotel_finder`, `moving_query`,
 //! `reverse_skyline`, `outsourced_authentication`, `diagram_gallery`,
-//! `index_and_persistence`, `market_analysis`, `highd_demo`.
+//! `index_and_persistence`, `market_analysis`, `highd_demo`, `serving`.
 //!
 //! The module below embeds the tutorial so its code snippets compile and
 //! run as doctests.
