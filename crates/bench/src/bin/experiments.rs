@@ -21,6 +21,7 @@ use skyline_core::highd::HighDEngine;
 use skyline_core::parallel::ParallelConfig;
 use skyline_core::quadrant::{self, QuadrantEngine};
 use skyline_core::query;
+use skyline_core::telemetry;
 use skyline_data::Distribution;
 
 const USAGE: &str = "\
@@ -32,11 +33,22 @@ Usage: experiments [EXPERIMENT...] [--profile smoke|full] [--json PATH] [--gate]
                    (the BENCH_PR3.json schema) to PATH
   --gate           exit 1 if any parallel configuration measured this run is
                    more than 1.25x slower than its own sequential (threads = 0)
-                   run on the same host";
+                   run on the same host
+  --telemetry      capture the telemetry metrics registry around every e11/e12
+                   configuration and embed the counter readings in the JSON
+                   records; with --gate, additionally fail if a recording-on
+                   run regresses more than 5% (+0.5 ms slack) over a
+                   recording-off run of the same configuration on this host";
 
 /// Allowed gated slowdown of any parallel configuration relative to its own
 /// sequential run (same host, same invocation).
 const GATE_RATIO: f64 = 1.25;
+
+/// Allowed slowdown of a recording-on run over a recording-off run of the
+/// same configuration (`--telemetry --gate`), plus an absolute slack so
+/// sub-millisecond configurations don't gate on scheduler noise.
+const TELEMETRY_OVERHEAD_RATIO: f64 = 1.05;
+const TELEMETRY_OVERHEAD_SLACK_MS: f64 = 0.5;
 
 /// Dataset sizes for the E11 sweep: `Full` reproduces the committed
 /// `BENCH_PR3.json`; `Smoke` is small enough for a per-push CI job.
@@ -53,6 +65,7 @@ struct Options {
     profile: Profile,
     json_path: Option<String>,
     gate: bool,
+    telemetry: bool,
 }
 
 const EXPERIMENT_NAMES: [&str; 12] = [
@@ -66,6 +79,7 @@ impl Options {
             profile: Profile::Full,
             json_path: None,
             gate: false,
+            telemetry: false,
         };
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
@@ -83,6 +97,7 @@ impl Options {
                     opts.json_path = Some(args.next().ok_or("--json needs a path")?);
                 }
                 "--gate" => opts.gate = true,
+                "--telemetry" => opts.telemetry = true,
                 "--help" | "-h" => {
                     println!("{USAGE}");
                     std::process::exit(0);
@@ -141,11 +156,16 @@ fn main() {
     }
     let mut records = Vec::new();
     if want("e11") {
-        records.extend(e11_parallel_scalability(opts.profile));
+        records.extend(e11_parallel_scalability(opts.profile, opts.telemetry));
     }
     if want("e12") {
-        records.extend(e12_serving_throughput(opts.profile));
+        records.extend(e12_serving_throughput(opts.profile, opts.telemetry));
     }
+    let overhead_violations = if opts.telemetry && (want("e11") || want("e12")) {
+        telemetry_overhead(opts.profile)
+    } else {
+        Vec::new()
+    };
 
     if let Some(path) = &opts.json_path {
         if let Err(err) = std::fs::write(path, render_records(&records)) {
@@ -155,18 +175,90 @@ fn main() {
         eprintln!("wrote {} records to {path}", records.len());
     }
     if opts.gate {
-        match gate_regressions(&records) {
-            Ok(checked) => eprintln!(
-                "gate: {checked} parallel configurations within {GATE_RATIO}x of sequential"
-            ),
-            Err(violations) => {
-                for v in &violations {
-                    eprintln!("gate violation: {v}");
-                }
-                std::process::exit(1);
+        let mut violations = match gate_regressions(&records) {
+            Ok(checked) => {
+                eprintln!(
+                    "gate: {checked} parallel configurations within {GATE_RATIO}x of sequential"
+                );
+                Vec::new()
             }
+            Err(violations) => violations,
+        };
+        violations.extend(overhead_violations);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("gate violation: {v}");
+            }
+            std::process::exit(1);
+        }
+        if opts.telemetry {
+            eprintln!(
+                "gate: telemetry overhead within {TELEMETRY_OVERHEAD_RATIO}x                  (+{TELEMETRY_OVERHEAD_SLACK_MS} ms) of recording-off"
+            );
         }
     }
+}
+
+/// The telemetry registry as sorted `(name, value)` pairs for embedding in
+/// bench records: every counter, plus per-histogram `.count`/`.sum` keys.
+fn metric_pairs() -> Vec<(String, u64)> {
+    let snap = telemetry::metrics_snapshot();
+    let mut pairs: Vec<(String, u64)> = snap
+        .counters
+        .iter()
+        .map(|c| (c.name.to_string(), c.value))
+        .collect();
+    for h in &snap.histograms {
+        pairs.push((format!("{}.count", h.name), h.count));
+        pairs.push((format!("{}.sum", h.name), h.sum));
+    }
+    pairs.sort();
+    pairs
+}
+
+/// The `--telemetry --gate` overhead guard: re-measures each E11
+/// configuration sequentially with span recording off and then on, and
+/// reports every configuration where the recording-on minimum exceeds
+/// [`TELEMETRY_OVERHEAD_RATIO`] times the recording-off minimum plus
+/// [`TELEMETRY_OVERHEAD_SLACK_MS`]. Same-host, same-invocation comparison,
+/// like [`gate_regressions`].
+fn telemetry_overhead(profile: Profile) -> Vec<String> {
+    println!(
+        "## Telemetry overhead (recording on vs off, sequential)
+"
+    );
+    println!("| algorithm | n | off | on | spans |");
+    println!("|---|---|---|---|---|");
+    let cfg = ParallelConfig::with_threads(2);
+    let mut violations = Vec::new();
+    for config in scalability_configs(profile) {
+        let ds = sweep_dataset(config.n, config.distribution);
+        let plain = time_stats(config.reps, || (config.build)(&ds, &cfg));
+        telemetry::start_recording();
+        let instrumented = time_stats(config.reps, || (config.build)(&ds, &cfg));
+        let spans = telemetry::stop_recording().len();
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            config.algorithm,
+            config.n,
+            fmt_ms(plain.min_ms),
+            fmt_ms(instrumented.min_ms),
+            spans,
+        );
+        let budget = TELEMETRY_OVERHEAD_RATIO * plain.min_ms + TELEMETRY_OVERHEAD_SLACK_MS;
+        if instrumented.min_ms > budget {
+            violations.push(format!(
+                "telemetry overhead: {} n={}: recording-on {} vs recording-off {}                  (budget {})",
+                config.algorithm,
+                config.n,
+                fmt_ms(instrumented.min_ms),
+                fmt_ms(plain.min_ms),
+                fmt_ms(budget),
+            ));
+        }
+    }
+    println!();
+    violations
 }
 
 /// The regression gate (CI `bench-smoke` job): every parallel record must be
@@ -375,7 +467,7 @@ fn scalability_configs(profile: Profile) -> Vec<ScalabilityConfig> {
 /// selects the restructured parallel engines (worker count capped at the
 /// hardware width, see `skyline_core::parallel`). Returns the machine-
 /// readable records backing `BENCH_PR3.json`.
-fn e11_parallel_scalability(profile: Profile) -> Vec<BenchRecord> {
+fn e11_parallel_scalability(profile: Profile, capture_telemetry: bool) -> Vec<BenchRecord> {
     let threads = [0usize, 1, 2, 4];
     println!(
         "## E11 — parallel scalability ({} profile)\n",
@@ -400,7 +492,15 @@ fn e11_parallel_scalability(profile: Profile) -> Vec<BenchRecord> {
         let mut t4_min = f64::NAN;
         for t in threads {
             let cfg = ParallelConfig::with_threads(t);
+            if capture_telemetry {
+                telemetry::reset_metrics();
+            }
             let stats = time_stats(config.reps, || (config.build)(&ds, &cfg));
+            let metrics = if capture_telemetry {
+                metric_pairs()
+            } else {
+                Vec::new()
+            };
             if t == 0 {
                 seq_min = stats.min_ms;
             }
@@ -419,6 +519,7 @@ fn e11_parallel_scalability(profile: Profile) -> Vec<BenchRecord> {
                 reps: config.reps,
                 min_ms: stats.min_ms,
                 median_ms: stats.median_ms,
+                metrics,
             });
         }
         row.push_str(&format!(" {:.2}x |", seq_min / t4_min));
@@ -436,7 +537,7 @@ fn e11_parallel_scalability(profile: Profile) -> Vec<BenchRecord> {
 /// every round applies writer updates behind a `refresh()` barrier before
 /// the readers fan out, so the measured loop includes epoch publication.
 /// Records use `threads` for the reader count.
-fn e12_serving_throughput(profile: Profile) -> Vec<BenchRecord> {
+fn e12_serving_throughput(profile: Profile, capture_telemetry: bool) -> Vec<BenchRecord> {
     use skyline_serve::{QueryMix, ServerOptions, SkylineServer, WorkloadSpec};
 
     // (n, total queries, rounds, updates/round, reps); the totals divide
@@ -473,6 +574,9 @@ fn e12_serving_throughput(profile: Profile) -> Vec<BenchRecord> {
                 seed: skyline_bench::BASE_SEED,
                 mix: QueryMix::default(),
             };
+            if capture_telemetry {
+                telemetry::reset_metrics();
+            }
             let mut elapsed: Vec<f64> = Vec::with_capacity(reps);
             for _ in 0..reps {
                 let options = ServerOptions {
@@ -494,6 +598,11 @@ fn e12_serving_throughput(profile: Profile) -> Vec<BenchRecord> {
             elapsed.sort_by(|a, b| a.total_cmp(b));
             let min_ms = elapsed[0];
             let median_ms = elapsed[elapsed.len() / 2];
+            let metrics = if capture_telemetry {
+                metric_pairs()
+            } else {
+                Vec::new()
+            };
             row.push_str(&format!(" {} |", fmt_ms(min_ms)));
             records.push(BenchRecord {
                 experiment: "e12".to_string(),
@@ -506,6 +615,7 @@ fn e12_serving_throughput(profile: Profile) -> Vec<BenchRecord> {
                 reps,
                 min_ms,
                 median_ms,
+                metrics,
             });
         }
         row.push_str(&match last_hit_rate {

@@ -1,10 +1,15 @@
 //! Dependency-free JSON emission for the machine-readable bench pipeline
-//! (`BENCH_PR3.json`). The workspace is hermetic (no registry crates), so
-//! this module hand-writes the tiny subset of JSON the records need:
-//! objects of strings, integers, and finite floats — no escaping beyond
-//! the JSON string basics, no nesting beyond one array of flat objects.
+//! (`BENCH_PR3.json`) and the telemetry exporters. The workspace is
+//! hermetic (no registry crates), so this module hand-writes the JSON the
+//! pipeline needs: bench records (flat objects of strings, integers, and
+//! finite floats, plus an optional metrics sub-object), Chrome trace-event
+//! files built from [`skyline_core::telemetry`] span events (loadable in
+//! Perfetto / `chrome://tracing`), flat metrics snapshots, and a minimal
+//! structural validator CI runs over every emitted trace.
 
 use std::fmt::Write as _;
+
+use skyline_core::telemetry::{MetricsSnapshot, SpanEvent};
 
 /// One measured bench configuration: an (experiment, algorithm, dataset,
 /// threads) point with its wall-time summary. Serialized as one flat JSON
@@ -31,6 +36,11 @@ pub struct BenchRecord {
     pub min_ms: f64,
     /// Median wall time across repetitions, in milliseconds.
     pub median_ms: f64,
+    /// Telemetry counter readings attributed to this configuration
+    /// (`experiments --telemetry`), as sorted `(name, value)` pairs.
+    /// Empty — and absent from the JSON — when telemetry capture is off,
+    /// so committed artifacts from plain runs are byte-stable.
+    pub metrics: Vec<(String, u64)>,
 }
 
 /// Escapes a string for a JSON string literal (quotes, backslashes, and
@@ -57,13 +67,14 @@ fn float(v: f64) -> String {
 }
 
 impl BenchRecord {
-    /// The record as one flat JSON object.
+    /// The record as one flat JSON object (plus a `"metrics"` sub-object
+    /// when telemetry readings are attached).
     pub fn to_json(&self) -> String {
-        format!(
+        let mut out = format!(
             concat!(
                 "{{\"experiment\":\"{}\",\"algorithm\":\"{}\",\"n\":{},\"s\":{},",
                 "\"d\":{},\"distribution\":\"{}\",\"threads\":{},\"reps\":{},",
-                "\"min_ms\":{},\"median_ms\":{}}}"
+                "\"min_ms\":{},\"median_ms\":{}"
             ),
             escape(&self.experiment),
             escape(&self.algorithm),
@@ -75,7 +86,19 @@ impl BenchRecord {
             self.reps,
             float(self.min_ms),
             float(self.median_ms),
-        )
+        );
+        if !self.metrics.is_empty() {
+            out.push_str(",\"metrics\":{");
+            for (k, (name, value)) in self.metrics.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", escape(name), value);
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -95,6 +118,136 @@ pub fn render_records(records: &[BenchRecord]) -> String {
     out
 }
 
+/// Renders drained span events as a Chrome trace-event file:
+/// `{"traceEvents":[...]}` with one `"M"` (metadata) event naming the
+/// process and one `"X"` (complete) event per span. Timestamps and
+/// durations are microseconds on the telemetry clock's process-wide axis;
+/// `tid` is the span's compact telemetry thread id. Load the output in
+/// Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+pub fn render_chrome_trace(events: &[SpanEvent], process_name: &str) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[\n");
+    let _ = write!(
+        out,
+        "  {{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape(process_name)
+    );
+    for e in events {
+        out.push_str(",\n  ");
+        let _ = write!(
+            out,
+            "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"skyline\",\"pid\":1,\
+             \"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"depth\":{}",
+            escape(e.name),
+            e.thread,
+            e.start_ns / 1_000,
+            e.dur_ns / 1_000,
+            e.depth,
+        );
+        if let Some(payload) = e.payload {
+            let _ = write!(out, ",\"payload\":{payload}");
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Renders a metrics snapshot as one flat JSON object: counters as
+/// `"name": value`, histograms as `"name": {"count":…,"sum":…,"buckets":
+/// {"<bucket index>": count, …}}`. Keys come pre-sorted from the registry.
+pub fn render_metrics_snapshot(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    for (k, c) in snapshot.counters.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": {}", escape(c.name), c.value);
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    for (k, h) in snapshot.histograms.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    \"{}\": {{\"count\":{},\"sum\":{},\"buckets\":{{",
+            escape(h.name),
+            h.count,
+            h.sum
+        );
+        for (j, (bucket, count)) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{bucket}\":{count}");
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Structural summary of a validated Chrome trace (see
+/// [`validate_chrome_trace`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Number of `"X"` (complete) events.
+    pub complete_events: usize,
+    /// Number of `"M"` (metadata) events.
+    pub metadata_events: usize,
+}
+
+/// Minimal structural checker for the trace files this module emits — the
+/// CI gate that keeps `skydiag trace` output Perfetto-loadable. Not a JSON
+/// parser: it verifies the exact shape [`render_chrome_trace`] produces
+/// (one event object per line inside a `"traceEvents"` array, balanced
+/// braces, and the mandatory `ph`/`name`/`pid`/`tid` fields — plus
+/// `ts`/`dur` on every `"X"` event).
+pub fn validate_chrome_trace(trace: &str) -> Result<TraceSummary, String> {
+    let trace = trace.trim();
+    let body = trace
+        .strip_prefix("{\"traceEvents\":[")
+        .and_then(|rest| rest.strip_suffix("]}"))
+        .ok_or_else(|| "trace must be an object with a traceEvents array".to_string())?;
+    let mut summary = TraceSummary {
+        complete_events: 0,
+        metadata_events: 0,
+    };
+    for (k, line) in body.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return Err(format!("event {k} is not a braced object: {line:?}"));
+        }
+        let depth_balance = line.matches('{').count() == line.matches('}').count();
+        if !depth_balance {
+            return Err(format!("event {k} has unbalanced braces: {line:?}"));
+        }
+        for field in ["\"ph\":", "\"name\":", "\"pid\":", "\"tid\":"] {
+            if !line.contains(field) {
+                return Err(format!("event {k} is missing {field}{line:?}"));
+            }
+        }
+        if line.contains("\"ph\":\"X\"") {
+            for field in ["\"ts\":", "\"dur\":"] {
+                if !line.contains(field) {
+                    return Err(format!("complete event {k} is missing {field}{line:?}"));
+                }
+            }
+            summary.complete_events += 1;
+        } else if line.contains("\"ph\":\"M\"") {
+            summary.metadata_events += 1;
+        } else {
+            return Err(format!("event {k} has an unexpected phase: {line:?}"));
+        }
+    }
+    if summary.metadata_events == 0 {
+        return Err("trace has no process_name metadata event".to_string());
+    }
+    Ok(summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +264,18 @@ mod tests {
             reps: 3,
             min_ms: 687.25,
             median_ms: 700.5,
+            metrics: Vec::new(),
+        }
+    }
+
+    fn span(name: &'static str, thread: u64, start_ns: u64, dur_ns: u64) -> SpanEvent {
+        SpanEvent {
+            name,
+            thread,
+            depth: 0,
+            start_ns,
+            dur_ns,
+            payload: None,
         }
     }
 
@@ -140,5 +305,87 @@ mod tests {
     fn escaping_handles_quotes_and_controls() {
         assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn metrics_sub_object_appears_only_when_populated() {
+        let mut r = sample();
+        assert!(!r.to_json().contains("\"metrics\""));
+        r.metrics = vec![("pool.regions".into(), 12), ("epoch.publish".into(), 3)];
+        let json = r.to_json();
+        assert!(json.contains("\"metrics\":{\"pool.regions\":12,\"epoch.publish\":3}"));
+        assert!(json.ends_with("}}"));
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_the_validator() {
+        let events = vec![
+            span("global.build", 0, 5_000, 90_000),
+            SpanEvent {
+                payload: Some(4),
+                depth: 1,
+                ..span("global.fanout", 0, 6_000, 50_000)
+            },
+            span("pool.worker", 3, 7_000, 40_000),
+        ];
+        let trace = render_chrome_trace(&events, "skydiag trace build");
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"ph\":\"M\""));
+        assert!(trace.contains("\"name\":\"global.build\""));
+        assert!(trace.contains("\"ts\":5,\"dur\":90"), "ns become µs");
+        assert!(trace.contains("\"payload\":4"));
+        assert!(trace.contains("\"tid\":3"));
+        let summary = validate_chrome_trace(&trace).expect("emitted traces must self-validate");
+        assert_eq!(
+            summary,
+            TraceSummary {
+                complete_events: 3,
+                metadata_events: 1
+            }
+        );
+    }
+
+    #[test]
+    fn empty_trace_still_validates() {
+        let trace = render_chrome_trace(&[], "empty");
+        let summary = validate_chrome_trace(&trace).expect("metadata-only trace is valid");
+        assert_eq!(summary.complete_events, 0);
+        assert_eq!(summary.metadata_events, 1);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        assert!(validate_chrome_trace("[]").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[\nnot-an-object\n]}").is_err());
+        // An X event without ts/dur fails.
+        let bad = "{\"traceEvents\":[\n  {\"ph\":\"X\",\"name\":\"a\",\"pid\":1,\"tid\":0}\n]}";
+        assert!(validate_chrome_trace(bad).is_err());
+        // No metadata event fails.
+        let no_meta = "{\"traceEvents\":[\n  \
+             {\"ph\":\"X\",\"name\":\"a\",\"pid\":1,\"tid\":0,\"ts\":1,\"dur\":2}\n]}";
+        assert!(validate_chrome_trace(no_meta).is_err());
+    }
+
+    #[test]
+    fn metrics_snapshot_renders_counters_and_histograms() {
+        use skyline_core::telemetry::{CounterSnapshot, HistogramSnapshot};
+        let snap = MetricsSnapshot {
+            counters: vec![CounterSnapshot {
+                name: "epoch.publish",
+                value: 7,
+            }],
+            histograms: vec![HistogramSnapshot {
+                name: "pool.worker_chunks",
+                count: 3,
+                sum: 12,
+                buckets: vec![(3, 3)],
+            }],
+        };
+        let json = render_metrics_snapshot(&snap);
+        assert!(json.contains("\"epoch.publish\": 7"));
+        assert!(
+            json.contains("\"pool.worker_chunks\": {\"count\":3,\"sum\":12,\"buckets\":{\"3\":3}}")
+        );
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
     }
 }

@@ -260,9 +260,23 @@ pub fn cmd_report(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `skydiag trace data.csv --from 0,0 --to 25,100 [--engine sweeping]`
+/// `skydiag trace <mode>` — two families behind one verb:
+///
+/// * `skydiag trace build --out trace.json [...]` and
+///   `skydiag trace serve-bench --out trace.json [...]` record a telemetry
+///   session around a diagram build (resp. a serving workload) and export
+///   the phase spans as a Chrome trace-event file loadable in Perfetto or
+///   `chrome://tracing`. `--metrics m.json` additionally dumps the flat
+///   metrics snapshot.
+/// * `skydiag trace data.csv --from 0,0 --to 25,100 [--engine sweeping]`
+///   is the continuous-query segment trace (result changes along a route).
 pub fn cmd_trace(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
-    let input = args.positional(0, "input csv path (or 'hotel')")?;
+    let input = args.positional(0, "trace mode (build|serve-bench) or input csv path")?;
+    match input {
+        "build" => return cmd_trace_build(args, out),
+        "serve-bench" => return cmd_trace_serve_bench(args, out),
+        _ => {}
+    }
     let dataset = load_dataset(input)?;
     let engine = parse_engine(args.get_or("engine", "sweeping"))?;
     let from = parse_point(args.require("from")?)?;
@@ -287,6 +301,189 @@ pub fn cmd_trace(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         )?;
     }
     Ok(())
+}
+
+/// Dataset for the telemetry trace modes: `--data <csv|hotel>` loads a
+/// file, otherwise `--n/--dist/--domain/--seed` drive the generator (the
+/// same knobs as `skydiag gen`).
+fn trace_dataset(args: &Args, default_n: usize) -> Result<Dataset, CliError> {
+    if let Some(path) = args.get("data") {
+        return load_dataset(path);
+    }
+    let spec = generators::DatasetSpec {
+        n: args.get_usize("n", default_n)?,
+        dims: 2,
+        domain: args.get_i64("domain", 1000)?,
+        distribution: parse_distribution(args.get_or("dist", "inde"))?,
+        seed: args.get_i64("seed", 1)? as u64,
+    };
+    Ok(spec.build_2d())
+}
+
+/// Explicit `--threads T` wins; otherwise the process-wide
+/// `SKYLINE_THREADS` configuration applies (so traces show the same
+/// schedule the user's builds run with).
+fn trace_parallel_config(args: &Args) -> Result<skyline_core::parallel::ParallelConfig, CliError> {
+    use skyline_core::parallel::ParallelConfig;
+    Ok(if args.get("threads").is_some() {
+        ParallelConfig::with_threads(args.get_usize("threads", 0)?)
+    } else {
+        ParallelConfig::from_env()
+    })
+}
+
+/// Stops the active recording session, renders the captured spans as a
+/// Chrome trace, validates the rendering before anything touches disk, and
+/// writes the trace (plus the optional metrics snapshot).
+fn write_trace_outputs(
+    label: &str,
+    out_path: &str,
+    metrics_path: Option<&str>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let events = skyline_core::telemetry::stop_recording();
+    let trace = skyline_bench::json::render_chrome_trace(&events, label);
+    let summary = skyline_bench::json::validate_chrome_trace(&trace)
+        .map_err(|e| CliError::Other(format!("internal error: generated trace is invalid: {e}")))?;
+    std::fs::write(out_path, &trace)?;
+    let threads: std::collections::HashSet<u64> = events.iter().map(|e| e.thread).collect();
+    writeln!(
+        out,
+        "trace:       {} spans across {} threads -> {}",
+        summary.complete_events,
+        threads.len(),
+        out_path
+    )?;
+    if summary.complete_events == 0 {
+        writeln!(
+            out,
+            "note:        no spans captured (was the CLI built without the `telemetry` feature?)"
+        )?;
+    }
+    if let Some(path) = metrics_path {
+        let snapshot = skyline_core::telemetry::metrics_snapshot();
+        std::fs::write(
+            path,
+            skyline_bench::json::render_metrics_snapshot(&snapshot),
+        )?;
+        writeln!(
+            out,
+            "metrics:     {} counters, {} histograms -> {}",
+            snapshot.counters.len(),
+            snapshot.histograms.len(),
+            path
+        )?;
+    }
+    Ok(())
+}
+
+/// `skydiag trace build --out trace.json [--n N] [--dist ...] [--domain S]
+/// [--seed K] [--data data.csv|hotel] [--engine ...]
+/// [--kind quadrant|global|dynamic] [--threads T] [--metrics m.json]`
+fn cmd_trace_build(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let engine = parse_engine(args.get_or("engine", "sweeping"))?;
+    let kind = args.get_or("kind", "quadrant").to_string();
+    let out_path = args.require("out")?.to_string();
+    let metrics_path = args.get("metrics").map(str::to_string);
+    let cfg = trace_parallel_config(args)?;
+    // The dynamic diagram is O(n^4) subcells; keep its default dataset small.
+    let dataset = trace_dataset(args, if kind == "dynamic" { 40 } else { 400 })?;
+    args.reject_unknown()?;
+
+    skyline_core::telemetry::reset_metrics();
+    skyline_core::telemetry::start_recording();
+    match kind.as_str() {
+        "quadrant" => {
+            let _ = engine.build_with(&dataset, &cfg);
+        }
+        "global" => {
+            let _ = skyline_core::global::build_with(&dataset, engine, &cfg);
+        }
+        "dynamic" => {
+            let _ = DynamicEngine::Scanning.build_with(&dataset, &cfg);
+        }
+        other => {
+            // Close the session before failing so a bad kind never leaks a
+            // recording generation into the caller's process.
+            let _ = skyline_core::telemetry::stop_recording();
+            return Err(CliError::Other(format!(
+                "unknown kind {other:?}; expected quadrant, global or dynamic"
+            )));
+        }
+    }
+    writeln!(
+        out,
+        "traced {kind} build: n={} engine={}",
+        dataset.len(),
+        engine.name()
+    )?;
+    write_trace_outputs(
+        &format!("skydiag trace build ({kind})"),
+        &out_path,
+        metrics_path.as_deref(),
+        out,
+    )
+}
+
+/// `skydiag trace serve-bench --out trace.json [--n N | --data ...]
+/// [--readers R] [--rounds K] [--queries Q] [--updates U] [--seed S]
+/// [--cache SLOTS] [--global 0|1] [--engine ...] [--metrics m.json]`
+fn cmd_trace_serve_bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let engine = parse_engine(args.get_or("engine", "sweeping"))?;
+    let readers = args.get_usize("readers", 2)?;
+    let rounds = args.get_usize("rounds", 3)?;
+    let queries = args.get_usize("queries", 50)?;
+    let updates = args.get_usize("updates", 8)?;
+    let seed = args.get_i64("seed", 1)? as u64;
+    let cache_slots = args.get_usize("cache", 1024)?;
+    let with_global = args.get_usize("global", 1)? != 0;
+    let out_path = args.require("out")?.to_string();
+    let metrics_path = args.get("metrics").map(str::to_string);
+    let dataset = trace_dataset(args, 200)?;
+    args.reject_unknown()?;
+
+    let domain = dataset
+        .points()
+        .iter()
+        .flat_map(|p| [p.x, p.y])
+        .max()
+        .unwrap_or(1000)
+        .max(1);
+    let options = skyline_serve::ServerOptions {
+        engine,
+        with_global,
+        cache_slots,
+        ..skyline_serve::ServerOptions::default()
+    };
+    let spec = skyline_serve::WorkloadSpec {
+        readers,
+        rounds,
+        queries_per_reader: queries,
+        updates_per_round: updates,
+        domain,
+        seed,
+        mix: skyline_serve::QueryMix::default(),
+    };
+
+    skyline_core::telemetry::reset_metrics();
+    skyline_core::telemetry::start_recording();
+    let (server, handles) = skyline_serve::SkylineServer::with_dataset(&dataset, options);
+    let report = skyline_serve::workload::run(&server, &spec, &handles);
+    writeln!(
+        out,
+        "traced serve-bench: n={} readers={readers} rounds={rounds} queries/reader/round={queries} \
+         updates/round={updates}",
+        dataset.len(),
+    )?;
+    writeln!(out, "queries:     {}", report.queries)?;
+    writeln!(out, "epochs:      {}", report.epochs_published)?;
+    writeln!(out, "checksum:    {:#018x}", report.checksum)?;
+    write_trace_outputs(
+        "skydiag trace serve-bench",
+        &out_path,
+        metrics_path.as_deref(),
+        out,
+    )
 }
 
 /// `skydiag serve-bench <data.csv|hotel> [--readers R] [--rounds K]
@@ -390,6 +587,12 @@ USAGE:
   skydiag render <data.csv|hotel> --out d.svg [--engine ...]
   skydiag ascii  <data.csv|hotel> [--engine ...]
   skydiag trace  <data.csv|hotel> --from X,Y --to X,Y [--engine ...]
+  skydiag trace  build --out trace.json [--n N] [--dist ...] [--domain S] [--seed K]
+                 [--data data.csv|hotel] [--engine ...] [--kind quadrant|global|dynamic]
+                 [--threads T] [--metrics metrics.json]
+  skydiag trace  serve-bench --out trace.json [--n N | --data ...] [--readers R]
+                 [--rounds K] [--queries Q] [--updates U] [--seed S] [--cache SLOTS]
+                 [--global 0|1] [--engine ...] [--metrics metrics.json]
   skydiag report <data.csv|hotel> --out report.html [--engine ...] [--title T]
   skydiag serve-bench <data.csv|hotel> [--readers R] [--rounds K] [--queries Q]
                  [--updates U] [--seed S] [--cache SLOTS] [--global 0|1] [--engine ...]
@@ -572,6 +775,76 @@ mod tests {
         assert!(text.contains("result changes"));
         assert!(text.contains("t in [0.0000"));
         assert!(text.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn trace_build_and_serve_bench_write_valid_chrome_traces() {
+        // One test drives both telemetry modes back to back: recording
+        // sessions are process-global, so concurrent tests would stop each
+        // other's sessions.
+        let dir = std::env::temp_dir().join("skydiag-test-trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("build-trace.json");
+        let metrics_path = dir.join("build-metrics.json");
+        let text = run(
+            cmd_trace,
+            &[
+                "build",
+                "--n",
+                "60",
+                "--threads",
+                "2",
+                "--out",
+                trace_path.to_str().unwrap(),
+                "--metrics",
+                metrics_path.to_str().unwrap(),
+            ],
+        )
+        .unwrap();
+        assert!(text.contains("traced quadrant build: n=60"), "{text}");
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        let summary = skyline_bench::json::validate_chrome_trace(&trace).unwrap();
+        if cfg!(feature = "telemetry") {
+            assert!(summary.complete_events > 0, "no spans in {trace}");
+            let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+            assert!(metrics.contains("\"quadrant.builds\""), "{metrics}");
+        }
+
+        let serve_path = dir.join("serve-trace.json");
+        let text = run(
+            cmd_trace,
+            &[
+                "serve-bench",
+                "--n",
+                "40",
+                "--readers",
+                "1",
+                "--rounds",
+                "1",
+                "--queries",
+                "10",
+                "--out",
+                serve_path.to_str().unwrap(),
+            ],
+        )
+        .unwrap();
+        assert!(text.contains("checksum:"), "{text}");
+        let trace = std::fs::read_to_string(&serve_path).unwrap();
+        let summary = skyline_bench::json::validate_chrome_trace(&trace).unwrap();
+        if cfg!(feature = "telemetry") {
+            assert!(summary.complete_events > 0, "no spans in {trace}");
+        }
+    }
+
+    #[test]
+    fn trace_build_rejects_unknown_kind() {
+        assert!(matches!(
+            run(
+                cmd_trace,
+                &["build", "--kind", "warp", "--out", "/tmp/unused-trace.json"]
+            ),
+            Err(CliError::Other(_))
+        ));
     }
 
     #[test]

@@ -28,6 +28,8 @@ pub fn build_with(dataset: &Dataset, cfg: &ParallelConfig) -> SubcellDiagram {
     let height = grid.my() as usize + 1;
     let all: Vec<PointId> = dataset.ids().collect();
 
+    let _bands = crate::span!("dynamic.baseline.bands", height as u64);
+    crate::counter!("dynamic.subcell_rows").add(height as u64);
     let rows: Vec<ResultRuns> = parallel::map_indexed(cfg, height, |j| {
         let mut scratch = Vec::with_capacity(dataset.len());
         let mut runs = ResultRuns::new();

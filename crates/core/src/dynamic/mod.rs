@@ -179,6 +179,15 @@ impl DynamicEngine {
         dataset: &Dataset,
         cfg: &crate::parallel::ParallelConfig,
     ) -> SubcellDiagram {
+        // Per-engine span names; literal counter key (see `counter!` docs on
+        // per-site caching).
+        let span_name = match self {
+            DynamicEngine::Baseline => "dynamic.build.baseline",
+            DynamicEngine::Subset => "dynamic.build.subset",
+            DynamicEngine::Scanning => "dynamic.build.scanning",
+        };
+        let _build = crate::span!(span_name, dataset.len() as u64);
+        crate::counter!("dynamic.builds").add(1);
         let diagram = match self {
             DynamicEngine::Baseline => baseline::build_with(dataset, cfg),
             DynamicEngine::Subset => subset::build_with(dataset, QuadrantEngine::Sweeping, cfg),

@@ -47,6 +47,7 @@ pub fn build_with(dataset: &Dataset, cfg: &ParallelConfig) -> SubcellDiagram {
 
     // Column-0 chain: seed subcell (0, 0) from scratch, then advance upward
     // across each horizontal line. One state per row.
+    let seed_span = crate::span!("dynamic.scanning.seeds", height as u64);
     let mut seeds: Vec<Vec<PointId>> = Vec::with_capacity(height);
     seeds.push(dynamic_minima_at_sample(
         dataset,
@@ -69,7 +70,11 @@ pub fn build_with(dataset: &Dataset, cfg: &ParallelConfig) -> SubcellDiagram {
         seeds.push(seed);
     }
 
+    drop(seed_span);
+
     // Sweep every row rightward across each vertical line, independently.
+    let _bands = crate::span!("dynamic.scanning.bands", height as u64);
+    crate::counter!("dynamic.subcell_rows").add(height as u64);
     let rows: Vec<ResultRuns> = parallel::map_indexed(cfg, height, |j| {
         let mut scratch = Vec::with_capacity(dataset.len());
         let mut candidates: Vec<PointId> = Vec::with_capacity(dataset.len());

@@ -104,6 +104,7 @@ impl SubcellGrid {
     /// bisector pair loop is banded across workers, with identical output
     /// at every thread count.
     pub fn new_with(dataset: &Dataset, cfg: &ParallelConfig) -> Self {
+        let _grid = crate::span!("dynamic.subcell_grid", dataset.len() as u64);
         let (xlines, x_contributors) = build_axis(dataset.iter().map(|(id, p)| (p.x, id)), cfg);
         let (ylines, y_contributors) = build_axis(dataset.iter().map(|(id, p)| (p.y, id)), cfg);
         SubcellGrid {

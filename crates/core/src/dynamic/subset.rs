@@ -72,6 +72,8 @@ pub fn build_with_global_cfg(
         })
         .collect();
 
+    let _bands = crate::span!("dynamic.subset.bands", height as u64);
+    crate::counter!("dynamic.subcell_rows").add(height as u64);
     let rows: Vec<ResultRuns> = parallel::map_indexed(cfg, height, |j| {
         let mut scratch = Vec::with_capacity(dataset.len());
         let mut runs = ResultRuns::new();

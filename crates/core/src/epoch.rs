@@ -29,6 +29,34 @@
 //!
 //! The `no-lock-read-path` lint (`cargo xtask lint`) keeps `Mutex`/`RwLock`
 //! out of this module: the read path must stay lock-free by construction.
+//!
+//! # Memory ordering
+//!
+//! All synchronisation is delegated to [`OnceLock`], whose `set` is a
+//! release store and whose `get` is an acquire load. That single
+//! release/acquire pair carries the entire publication contract: the
+//! writer fully constructs a node (epoch number, `Arc`'d value, empty
+//! `next` cell) *before* the release store in
+//! [`EpochPublisher::publish`], so a reader whose acquire load in
+//! [`EpochReader::refresh`] observes the pointer also observes every
+//! write that built the node it points to. No other fences are needed —
+//! `Arc`'s internal reference counting handles its own ordering.
+//!
+//! Readers are *wait-free*, not merely lock-free: `refresh` performs one
+//! acquire load per epoch published since its last call (a bounded walk
+//! with no retry loop), and `current`/`epoch`/`is_stale` are a single
+//! load each. A `OnceLock` is written at most once, so a reader can never
+//! observe a half-initialised cell, spin on a contended one, or be forced
+//! to retry: each `get` either returns the fully published successor or
+//! `None`, and both answers are immediately final for that probe.
+//!
+//! # Observability
+//!
+//! With the `telemetry` feature on, the chain bumps two registry
+//! counters: `epoch.publish` on every [`EpochPublisher::publish`] and
+//! `epoch.retire` when a node is freed (its `Drop` runs). Steady state
+//! for a serving loop is both advancing in lockstep; a growing gap means
+//! some reader cursor is parked and pinning history.
 
 use std::sync::{Arc, OnceLock};
 
@@ -43,6 +71,7 @@ struct Node<T> {
 
 impl<T> Drop for Node<T> {
     fn drop(&mut self) {
+        crate::counter!("epoch.retire").add(1);
         // Unlink the successor chain iteratively. A reader dropped far
         // behind the tail may be the last holder of a long run of nodes;
         // the default recursive drop would then recurse once per epoch and
@@ -90,6 +119,7 @@ impl<T> EpochPublisher<T> {
     /// the new node visible to every reader that subsequently chases `next`.
     /// Readers holding older epochs are unaffected.
     pub fn publish(&mut self, value: T) -> u64 {
+        crate::counter!("epoch.publish").add(1);
         let node = Arc::new(Node {
             epoch: self.tail.epoch + 1,
             value: Arc::new(value),

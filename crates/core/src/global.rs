@@ -41,6 +41,8 @@ pub fn build(dataset: &Dataset, engine: QuadrantEngine) -> CellDiagram {
 /// configuration. `threads = 0` is the sequential reference path; all
 /// configurations produce identical diagrams (differentially tested).
 pub fn build_with(dataset: &Dataset, engine: QuadrantEngine, cfg: &ParallelConfig) -> CellDiagram {
+    let _build = crate::span!("global.build", dataset.len() as u64);
+    crate::counter!("global.builds").add(1);
     let diagram = if cfg.is_sequential() {
         build_sequential(dataset, engine)
     } else {
@@ -130,43 +132,53 @@ fn build_parallel(dataset: &Dataset, engine: QuadrantEngine, cfg: &ParallelConfi
     // the scanning engine's independent-row algorithm) apply inside the
     // workers too. The worker cap in `crate::parallel` keeps the nested
     // regions from oversubscribing the machine.
-    let quadrants: Vec<CellDiagram> = parallel::map(cfg, &REFLECTIONS, |&(flip_x, flip_y)| {
-        engine.build_with(&reflect(dataset, flip_x, flip_y), cfg)
-    });
+    let quadrants: Vec<CellDiagram> = {
+        let _fanout = crate::span!("global.fanout", 4);
+        parallel::map(cfg, &REFLECTIONS, |&(flip_x, flip_y)| {
+            let _orthant = crate::span!("global.orthant");
+            engine.build_with(&reflect(dataset, flip_x, flip_y), cfg)
+        })
+    };
 
-    let rows: Vec<ResultRuns> = parallel::map_indexed(cfg, height, |j| {
-        let j = j as u32;
-        let mut runs = ResultRuns::new();
-        let mut prev_tuple: Option<[ResultId; 4]> = None;
-        let (mut ab, mut cd, mut out) = (Vec::new(), Vec::new(), Vec::new());
-        for i in 0..width as u32 {
-            let tuple: [ResultId; 4] = std::array::from_fn(|q| {
-                let (flip_x, flip_y) = REFLECTIONS[q];
-                let ri = if flip_x { grid.nx() - i } else { i };
-                let rj = if flip_y { grid.ny() - j } else { j };
-                quadrants[q].result_id((ri, rj))
-            });
-            if prev_tuple == Some(tuple) {
-                runs.push_repeat(1);
-                continue;
+    let rows: Vec<ResultRuns> = {
+        let _union = crate::span!("global.union", height as u64);
+        parallel::map_indexed(cfg, height, |j| {
+            let j = j as u32;
+            let mut runs = ResultRuns::new();
+            let mut prev_tuple: Option<[ResultId; 4]> = None;
+            let (mut ab, mut cd, mut out) = (Vec::new(), Vec::new(), Vec::new());
+            for i in 0..width as u32 {
+                let tuple: [ResultId; 4] = std::array::from_fn(|q| {
+                    let (flip_x, flip_y) = REFLECTIONS[q];
+                    let ri = if flip_x { grid.nx() - i } else { i };
+                    let rj = if flip_y { grid.ny() - j } else { j };
+                    quadrants[q].result_id((ri, rj))
+                });
+                if prev_tuple == Some(tuple) {
+                    crate::counter!("global.union.memo_hit").add(1);
+                    runs.push_repeat(1);
+                    continue;
+                }
+                crate::counter!("global.union.memo_miss").add(1);
+                prev_tuple = Some(tuple);
+                union_sorted(
+                    quadrants[0].results().get(tuple[0]),
+                    quadrants[1].results().get(tuple[1]),
+                    &mut ab,
+                );
+                union_sorted(
+                    quadrants[2].results().get(tuple[2]),
+                    quadrants[3].results().get(tuple[3]),
+                    &mut cd,
+                );
+                union_sorted(&ab, &cd, &mut out);
+                runs.push(&out);
             }
-            prev_tuple = Some(tuple);
-            union_sorted(
-                quadrants[0].results().get(tuple[0]),
-                quadrants[1].results().get(tuple[1]),
-                &mut ab,
-            );
-            union_sorted(
-                quadrants[2].results().get(tuple[2]),
-                quadrants[3].results().get(tuple[3]),
-                &mut cd,
-            );
-            union_sorted(&ab, &cd, &mut out);
-            runs.push(&out);
-        }
-        runs
-    });
+            runs
+        })
+    };
 
+    let _intern = crate::span!("global.intern", rows.len() as u64);
     let mut results = ResultInterner::new();
     let mut cells = Vec::with_capacity(width * height);
     for row in &rows {

@@ -106,7 +106,12 @@ impl SkylineIndexBuilder {
             crate::geometry::CellGrid::new(dataset).cell_count(),
             "assemble() requires a quadrant diagram built over the same dataset"
         );
-        let merged = merge(&quadrant);
+        let _assemble = crate::span!("index.assemble", dataset.len() as u64);
+        crate::counter!("index.assembles").add(1);
+        let merged = {
+            let _merge = crate::span!("index.merge");
+            merge(&quadrant)
+        };
         let global = self
             .with_global
             .then(|| crate::global::build_with(dataset, self.engine, cfg));

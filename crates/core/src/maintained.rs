@@ -159,6 +159,8 @@ impl MaintainedIndex {
     /// layer rebuilds snapshots on the scoped pool this way); afterwards
     /// queries are pure lookups again.
     pub fn rebuild_with(&mut self, cfg: &crate::parallel::ParallelConfig) {
+        let _rebuild = crate::span!("maintained.rebuild", self.points.len() as u64);
+        crate::counter!("maintained.rebuilds").add(1);
         if self.points.is_empty() {
             self.built = None;
         } else {

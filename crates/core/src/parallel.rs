@@ -29,6 +29,29 @@
 //! [`std::thread::available_parallelism`]. Engines expose `build_with`
 //! variants taking an explicit [`ParallelConfig`] for callers (and tests)
 //! that need a specific thread count.
+//!
+//! # Memory ordering
+//!
+//! The pool's only shared atomic is the chunk cursor, and it is read with
+//! `fetch_add(1, Relaxed)`. Relaxed is sufficient because the cursor is
+//! used purely for *claim uniqueness*: `fetch_add` is a single atomic
+//! read-modify-write, so every worker observes a distinct chunk index, and
+//! no data is published through the cursor itself. All actual data flow —
+//! the closure's captured inputs on the way in, each worker's `local`
+//! result vector on the way out — is ordered by [`std::thread::scope`]'s
+//! spawn and join edges, which are full happens-before synchronisation
+//! points. The stitch therefore reads every worker's results strictly
+//! after that worker finished writing them, with no additional fences.
+//!
+//! # Observability
+//!
+//! When the `telemetry` feature is on (the default), each pool region
+//! records phase spans (`pool.region`, `pool.worker`, `pool.chunk`,
+//! `pool.stitch`) and registry metrics (`pool.regions`,
+//! `pool.region_items`, `pool.worker_chunks` — the latter's spread across
+//! workers is the stitch-imbalance signal). Probes never alter scheduling
+//! or output: the differential tests pin bit-identical results with
+//! telemetry on, off, and recording mid-flight.
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -125,6 +148,9 @@ where
     if workers <= 1 {
         return (0..len).map(f).collect();
     }
+    let _region = crate::span!("pool.region", len as u64);
+    crate::counter!("pool.regions").add(1);
+    crate::histogram!("pool.region_items").record(len as u64);
     let chunk = len.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
     let chunks = len.div_ceil(chunk);
     let cursor = AtomicUsize::new(0);
@@ -134,6 +160,8 @@ where
         let handles: Vec<_> = (0..workers.min(chunks))
             .map(|_| {
                 scope.spawn(|| {
+                    let mut worker_span = crate::span!("pool.worker");
+                    let mut claimed: u64 = 0;
                     let mut local: Vec<(usize, Vec<R>)> = Vec::new();
                     loop {
                         let c = cursor.fetch_add(1, Ordering::Relaxed);
@@ -142,8 +170,15 @@ where
                         }
                         let start = c * chunk;
                         let end = (start + chunk).min(len);
+                        let _chunk_span = crate::span!("pool.chunk", (end - start) as u64);
+                        claimed += 1;
                         local.push((start, (start..end).map(f).collect()));
                     }
+                    // Chunks claimed per worker: the spread of this
+                    // histogram across one region is the load-imbalance
+                    // signal the stitch inherits.
+                    worker_span.set_payload(claimed);
+                    crate::histogram!("pool.worker_chunks").record(claimed);
                     local
                 })
             })
@@ -157,6 +192,7 @@ where
             .collect()
     });
 
+    let _stitch = crate::span!("pool.stitch", parts.len() as u64);
     parts.sort_unstable_by_key(|&(start, _)| start);
     debug_assert_eq!(parts.iter().map(|(_, v)| v.len()).sum::<usize>(), len);
     let mut out = Vec::with_capacity(len);

@@ -82,6 +82,17 @@ impl QuadrantEngine {
         dataset: &Dataset,
         cfg: &crate::parallel::ParallelConfig,
     ) -> CellDiagram {
+        // Span names are per-engine so a trace separates the four engines;
+        // the counter key is a literal because `counter!` caches its
+        // registry lookup per call site.
+        let span_name = match self {
+            QuadrantEngine::Baseline => "quadrant.build.baseline",
+            QuadrantEngine::DirectedSkylineGraph => "quadrant.build.dsg",
+            QuadrantEngine::Scanning => "quadrant.build.scanning",
+            QuadrantEngine::Sweeping => "quadrant.build.sweeping",
+        };
+        let _build = crate::span!(span_name, dataset.len() as u64);
+        crate::counter!("quadrant.builds").add(1);
         let diagram = match self {
             QuadrantEngine::Baseline => baseline::build(dataset),
             QuadrantEngine::DirectedSkylineGraph => dsg_algorithm::build(dataset),

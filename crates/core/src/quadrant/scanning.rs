@@ -71,6 +71,7 @@ pub fn build_with(dataset: &Dataset, cfg: &ParallelConfig) -> CellDiagram {
 
 /// The deterministic sequential reference: the paper's clamped recurrence.
 fn build_sequential(dataset: &Dataset) -> CellDiagram {
+    let _scan = crate::span!("scanning.recurrence", dataset.len() as u64);
     let grid = CellGrid::new(dataset);
     let mut results = ResultInterner::new();
     let width = grid.nx() as usize + 1;
@@ -124,10 +125,15 @@ fn build_parallel(dataset: &Dataset, cfg: &ParallelConfig) -> CellDiagram {
 
     // The top row (j = ny) has an empty first quadrant; every other row is
     // an independent band.
-    let rows: Vec<Vec<(u32, Vec<PointId>)>> = parallel::map_indexed(cfg, height - 1, |j| {
-        scan_row(dataset, &grid, &by_x_desc, j as u32)
-    });
+    crate::counter!("scanning.rows").add((height - 1) as u64);
+    let rows: Vec<Vec<(u32, Vec<PointId>)>> = {
+        let _scan = crate::span!("scanning.rows", (height - 1) as u64);
+        parallel::map_indexed(cfg, height - 1, |j| {
+            scan_row(dataset, &grid, &by_x_desc, j as u32)
+        })
+    };
 
+    let _stitch = crate::span!("scanning.stitch");
     let mut results = ResultInterner::new();
     let empty = results.empty();
     let mut cells = vec![empty; width * height];

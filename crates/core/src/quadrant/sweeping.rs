@@ -59,6 +59,7 @@ pub fn build_with(dataset: &Dataset, cfg: &ParallelConfig) -> SweptDiagram {
     let width = grid.nx() as usize + 1;
     let height = grid.ny() as usize + 1;
 
+    let corner_dp_span = crate::span!("sweeping.corner_dp", (width * height) as u64);
     // Corner DP: for each cell, the (min x-rank, min y-rank) over its
     // first-quadrant points, or RANK_INF when the quadrant is empty.
     const RANK_INF: u32 = u32::MAX;
@@ -109,12 +110,19 @@ pub fn build_with(dataset: &Dataset, cfg: &ParallelConfig) -> SweptDiagram {
         (std::cmp::Reverse(p.x), std::cmp::Reverse(p.y))
     });
 
+    drop(corner_dp_span);
+    crate::counter!("sweeping.lines").add(lines.len() as u64);
+
     // Row-band parallelism: each line sweep is independent given the shared
     // sort; raw staircases come back per line and are interned in line order.
-    let swept: Vec<Vec<(u32, Vec<PointId>)>> = parallel::map(cfg, &lines, |(ry, anchors)| {
-        sweep_line(dataset, &grid, &by_x_desc, *ry, anchors)
-    });
+    let swept: Vec<Vec<(u32, Vec<PointId>)>> = {
+        let _sweep = crate::span!("sweeping.sweep", lines.len() as u64);
+        parallel::map(cfg, &lines, |(ry, anchors)| {
+            sweep_line(dataset, &grid, &by_x_desc, *ry, anchors)
+        })
+    };
 
+    let _intern = crate::span!("sweeping.intern");
     let mut results = ResultInterner::new();
     let mut corner_result: HashMap<(u32, u32), ResultId> = HashMap::new();
     for ((ry, _), line) in lines.iter().zip(&swept) {

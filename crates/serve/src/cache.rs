@@ -15,16 +15,19 @@
 //!
 //! The slot array is a fixed power of two, so memory stays bounded no
 //! matter how many distinct keys a workload touches; a key whose slot was
-//! claimed by a different key simply stays a miss. Hit/miss counters are
-//! relaxed atomics, exposed for observability (`serve-bench` prints them).
+//! claimed by a different key simply stays a miss. Per-instance hit/miss
+//! counters are [`telemetry::CounterCell`]s (always-on relaxed atomics:
+//! per-snapshot cache stats are product data, `serve-bench` prints them),
+//! and every lookup also feeds the process-wide telemetry registry under
+//! `serve.cache.hit` / `serve.cache.miss` / `serve.cache.fill`.
 //!
 //! This file is read-path code: the `no-lock-read-path` lint keeps
 //! `Mutex`/`RwLock` out of it.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use skyline_core::maintained::Handle;
+use skyline_core::telemetry;
 
 /// A cached answer: the sorted handle list shared by every query point that
 /// maps to the entry's key.
@@ -61,8 +64,8 @@ pub struct ResultCache {
     /// Power-of-two slot array; slot of `key` is `key & mask`.
     slots: Box<[OnceLock<Entry>]>,
     mask: u64,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: telemetry::CounterCell,
+    misses: telemetry::CounterCell,
 }
 
 impl ResultCache {
@@ -73,8 +76,8 @@ impl ResultCache {
         ResultCache {
             slots: (0..slots).map(|_| OnceLock::new()).collect(),
             mask: (slots as u64) - 1,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: telemetry::CounterCell::new(),
+            misses: telemetry::CounterCell::new(),
         }
     }
 
@@ -90,14 +93,18 @@ impl ResultCache {
         let slot = &self.slots[(key & self.mask) as usize];
         if let Some((stored_key, value)) = slot.get() {
             if *stored_key == key {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.add(1);
+                skyline_core::counter!("serve.cache.hit").add(1);
                 return Arc::clone(value);
             }
             // Direct-mapped collision: this key permanently misses.
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.add(1);
+            skyline_core::counter!("serve.cache.miss").add(1);
             return compute();
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.add(1);
+        skyline_core::counter!("serve.cache.miss").add(1);
+        skyline_core::counter!("serve.cache.fill").add(1);
         let value = compute();
         // First write wins; a racing writer computed the identical value
         // for the identical key, so dropping ours changes nothing.
@@ -109,8 +116,8 @@ impl ResultCache {
     /// monotone under concurrency.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
         }
     }
 

@@ -134,6 +134,8 @@ impl SkylineServer {
     /// Rebuilds and publishes the next epoch from the writer's current
     /// point set. Caller holds the writer lock.
     fn publish(&self, w: &mut Writer) -> u64 {
+        let rebuild_start = skyline_core::telemetry::now_ns();
+        let _rebuild = skyline_core::span!("serve.rebuild", w.maintained.len() as u64);
         w.maintained.rebuild_with(&self.options.parallel);
         let next_epoch = w.publisher.epoch() + 1;
         let snapshot = match w.maintained.built() {
@@ -156,7 +158,14 @@ impl SkylineServer {
                 )
             }
         };
-        let published = w.publisher.publish(snapshot);
+        let published = {
+            let _publish = skyline_core::span!("serve.publish", next_epoch);
+            w.publisher.publish(snapshot)
+        };
+        // Microsecond buckets: rebuild latencies span ~1e2..1e7 ns, and the
+        // log2 histogram resolves that range well in µs.
+        skyline_core::histogram!("serve.rebuild_us")
+            .record(skyline_core::telemetry::now_ns().saturating_sub(rebuild_start) / 1_000);
         debug_assert_eq!(published, next_epoch);
         w.dirty = 0;
         published
@@ -202,7 +211,12 @@ impl SkylineServer {
     /// before the call is visible to any reader that refreshes. Returns the
     /// current epoch (unchanged if nothing was buffered).
     pub fn refresh(&self) -> u64 {
-        let mut w = self.lock_writer();
+        // The lock acquisition is the refresh barrier's wait: a span around
+        // it shows writer contention directly in a trace.
+        let mut w = {
+            let _wait = skyline_core::span!("serve.refresh.wait");
+            self.lock_writer()
+        };
         self.publish_if_dirty(&mut w)
     }
 

@@ -59,6 +59,14 @@ const MIN_EXPECT_MESSAGE: usize = 15;
 /// `SKYLINE_THREADS`, worker cap) cannot be bypassed.
 const RAW_SPAWN_EXEMPT: &[&str] = &["crates/core/src/parallel.rs"];
 
+/// The only library file allowed to read the monotonic clock directly: the
+/// telemetry layer, which owns the process epoch every probe measures
+/// against. Ad-hoc `Instant` timing elsewhere in library code bypasses the
+/// span/metrics registry — and its feature gate — so the measurement never
+/// reaches traces and cannot be compiled out. Benches and binaries are
+/// outside [`LIB_SCOPE`] and keep their wall clocks.
+const TIMING_EXEMPT: &[&str] = &["crates/core/src/telemetry.rs"];
+
 /// One lint violation.
 #[derive(Debug)]
 pub struct Finding {
@@ -88,6 +96,9 @@ pub fn run_all(path: &str, toks: &[Tok]) -> Vec<Finding> {
         no_panic(toks, &mut findings);
         expect_message(toks, &mut findings);
         must_use(toks, &mut findings);
+        if !TIMING_EXEMPT.contains(&path) {
+            no_ad_hoc_timing(toks, &mut findings);
+        }
     }
     if !RAW_SPAWN_EXEMPT.contains(&path) {
         no_raw_spawn(toks, &mut findings);
@@ -161,6 +172,25 @@ fn no_raw_spawn(toks: &[Tok], findings: &mut Vec<Finding>) {
                 hint: "route all threading through skyline_core::parallel \
                        (map/map_indexed) so SKYLINE_THREADS and the determinism \
                        contract apply",
+            });
+        }
+    }
+}
+
+/// `no-ad-hoc-timing`: raw [`std::time::Instant`] readings in library code
+/// ([`LIB_SCOPE`] minus [`TIMING_EXEMPT`]) bypass the telemetry layer: the
+/// measurement never shows up in a recorded trace and keeps running when
+/// the `telemetry` feature is off. Time through `skyline_core::telemetry`
+/// (`span!`, `now_ns`/`ms_since`) instead.
+fn no_ad_hoc_timing(toks: &[Tok], findings: &mut Vec<Finding>) {
+    for tok in toks {
+        if tok.kind == TokKind::Ident && tok.text == "Instant" {
+            findings.push(Finding {
+                rule: "no-ad-hoc-timing",
+                line: tok.line,
+                message: "raw `Instant` timing outside the telemetry layer".to_owned(),
+                hint: "measure through skyline_core::telemetry (span!, now_ns/ms_since) so \
+                       timings land in traces and compile out with the feature",
             });
         }
     }
@@ -578,6 +608,27 @@ pub fn f() {
                       #[cfg(test)]\nmod tests { use std::sync::Mutex; }";
         let f = findings_for("crates/serve/src/snapshot.rs", benign);
         assert!(f.iter().all(|f| f.rule != "no-lock-read-path"));
+    }
+
+    #[test]
+    fn ad_hoc_timing_fires_in_lib_code_but_not_telemetry_or_benches() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }";
+        let f = findings_for("crates/serve/src/workload.rs", src);
+        // The `use` line and the `Instant::now()` call each fire.
+        assert_eq!(f.iter().filter(|f| f.rule == "no-ad-hoc-timing").count(), 2);
+
+        // The telemetry layer owns the clock.
+        let exempt = findings_for("crates/core/src/telemetry.rs", src);
+        assert!(exempt.iter().all(|f| f.rule != "no-ad-hoc-timing"));
+
+        // Benches and binaries are outside LIB_SCOPE.
+        let bench = findings_for("crates/bench/src/lib.rs", src);
+        assert!(bench.iter().all(|f| f.rule != "no-ad-hoc-timing"));
+
+        // Test modules are stripped before linting.
+        let tests_only = "#[cfg(test)]\nmod tests { use std::time::Instant; }";
+        let f = findings_for("crates/core/src/global.rs", tests_only);
+        assert!(f.iter().all(|f| f.rule != "no-ad-hoc-timing"));
     }
 
     #[test]
