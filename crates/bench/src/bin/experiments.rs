@@ -1,16 +1,19 @@
 //! Regenerates every table/figure of the reconstructed evaluation (DESIGN.md
-//! experiments E1–E12) and prints them as Markdown. Run with:
+//! experiments E1–E13) and prints them as Markdown. Run with:
 //!
 //! ```text
 //! cargo run -p skyline-bench --release --bin experiments             # all
 //! cargo run -p skyline-bench --release --bin experiments -- e1 e3   # subset
 //! cargo run -p skyline-bench --release --bin experiments -- \
 //!     e11 --profile smoke --json BENCH_PR3.json --gate              # CI gate
+//! cargo run -p skyline-bench --release --bin experiments -- \
+//!     e13 --profile smoke --json BENCH_PR6.json --gate              # SLO gate
 //! ```
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use skyline_bench::json::{render_records, BenchRecord};
+use skyline_bench::quantile::{percentile, slo_violations, SloSpec, PERCENTILE_LABELS};
 use skyline_bench::{domain_dataset, fmt_ms, highd_dataset, sweep_dataset, time_ms, time_stats};
 use skyline_core::diagram::merge::{merge, merge_flood_fill};
 use skyline_core::dsg::DirectedSkylineGraph;
@@ -27,18 +30,27 @@ use skyline_data::Distribution;
 const USAGE: &str = "\
 Usage: experiments [EXPERIMENT...] [--profile smoke|full] [--json PATH] [--gate]
 
-  EXPERIMENT       any of e1..e12 (default: run all experiments)
-  --profile NAME   dataset sizes for e11/e12: 'full' (default) or 'smoke' (CI-sized)
+  EXPERIMENT       any of e1..e13 (default: run all experiments)
+  --profile NAME   dataset sizes for e11/e12/e13: 'full' (default) or 'smoke'
+                   (CI-sized)
   --json PATH      write the machine-readable bench records collected this run
                    (the BENCH_PR3.json schema) to PATH
-  --gate           exit 1 if any parallel configuration measured this run is
-                   more than 1.25x slower than its own sequential (threads = 0)
-                   run on the same host
-  --telemetry      capture the telemetry metrics registry around every e11/e12
-                   configuration and embed the counter readings in the JSON
-                   records; with --gate, additionally fail if a recording-on
-                   run regresses more than 5% (+0.5 ms slack) over a
-                   recording-off run of the same configuration on this host";
+  --gate           check every guard armed by the selected experiments and
+                   report ALL violations before exiting 1: the 1.25x parallel
+                   regression guard (e11/e12/e13), the telemetry overhead
+                   guard (--telemetry), and the E13 open-loop SLO bounds
+                   (lanes = 0 rows vs the committed per-family p99/p999
+                   budgets)
+  --gate-ratio X   override the parallel regression ratio (default 1.25);
+                   mainly a testing aid for the gate pipeline itself
+  --slo-scale X    scale every E13 SLO bound by X (default 1.0); X = 0 makes
+                   every bound fail, which the CLI tests use
+  --telemetry      capture the telemetry metrics registry around every
+                   e11/e12/e13 configuration and embed the counter readings in
+                   the JSON records; with --gate, additionally fail if a
+                   recording-on run regresses more than 5% (+0.5 ms slack)
+                   over a recording-off run of the same configuration on this
+                   host";
 
 /// Allowed gated slowdown of any parallel configuration relative to its own
 /// sequential run (same host, same invocation).
@@ -65,11 +77,13 @@ struct Options {
     profile: Profile,
     json_path: Option<String>,
     gate: bool,
+    gate_ratio: f64,
+    slo_scale: f64,
     telemetry: bool,
 }
 
-const EXPERIMENT_NAMES: [&str; 12] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+const EXPERIMENT_NAMES: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
 ];
 
 impl Options {
@@ -79,7 +93,20 @@ impl Options {
             profile: Profile::Full,
             json_path: None,
             gate: false,
+            gate_ratio: GATE_RATIO,
+            slo_scale: 1.0,
             telemetry: false,
+        };
+        let float_arg = |name: &str, value: Option<String>| -> Result<f64, String> {
+            let value = value.ok_or(format!("{name} needs a value"))?;
+            let parsed: f64 = value
+                .parse()
+                .map_err(|_| format!("{name} needs a number, got '{value}'"))?;
+            if parsed.is_finite() && parsed >= 0.0 {
+                Ok(parsed)
+            } else {
+                Err(format!("{name} must be a finite non-negative number"))
+            }
         };
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
@@ -97,6 +124,8 @@ impl Options {
                     opts.json_path = Some(args.next().ok_or("--json needs a path")?);
                 }
                 "--gate" => opts.gate = true,
+                "--gate-ratio" => opts.gate_ratio = float_arg("--gate-ratio", args.next())?,
+                "--slo-scale" => opts.slo_scale = float_arg("--slo-scale", args.next())?,
                 "--telemetry" => opts.telemetry = true,
                 "--help" | "-h" => {
                     println!("{USAGE}");
@@ -161,41 +190,56 @@ fn main() {
     if want("e12") {
         records.extend(e12_serving_throughput(opts.profile, opts.telemetry));
     }
-    let overhead_violations = if opts.telemetry && (want("e11") || want("e12")) {
+    if want("e13") {
+        records.extend(e13_open_loop(opts.profile, opts.telemetry));
+    }
+    let overhead_violations = if opts.telemetry && (want("e11") || want("e12") || want("e13")) {
         telemetry_overhead(opts.profile)
     } else {
         Vec::new()
     };
 
+    // Every guard below APPENDS to one failure list instead of exiting, so a
+    // single run reports every broken gate (JSON artifact, regression ratio,
+    // telemetry overhead, SLO bounds) rather than just the first.
+    let mut failures: Vec<String> = Vec::new();
     if let Some(path) = &opts.json_path {
-        if let Err(err) = std::fs::write(path, render_records(&records)) {
-            eprintln!("error: cannot write {path}: {err}");
-            std::process::exit(1);
+        match std::fs::write(path, render_records(&records)) {
+            Ok(()) => eprintln!("wrote {} records to {path}", records.len()),
+            Err(err) => failures.push(format!("cannot write bench records to {path}: {err}")),
         }
-        eprintln!("wrote {} records to {path}", records.len());
     }
     if opts.gate {
-        let mut violations = match gate_regressions(&records) {
+        match gate_regressions(&records, opts.gate_ratio) {
             Ok(checked) => {
                 eprintln!(
-                    "gate: {checked} parallel configurations within {GATE_RATIO}x of sequential"
+                    "gate: {checked} parallel configurations within {}x of sequential",
+                    opts.gate_ratio
                 );
-                Vec::new()
             }
-            Err(violations) => violations,
-        };
-        violations.extend(overhead_violations);
-        if !violations.is_empty() {
-            for v in &violations {
-                eprintln!("gate violation: {v}");
-            }
-            std::process::exit(1);
+            Err(violations) => failures.extend(violations),
         }
-        if opts.telemetry {
+        if opts.telemetry && overhead_violations.is_empty() {
             eprintln!(
                 "gate: telemetry overhead within {TELEMETRY_OVERHEAD_RATIO}x                  (+{TELEMETRY_OVERHEAD_SLACK_MS} ms) of recording-off"
             );
         }
+        failures.extend(overhead_violations);
+        if want("e13") {
+            match gate_slos(&records, opts.slo_scale) {
+                Ok(checked) => {
+                    eprintln!("gate: {checked} open-loop SLO bounds honored on lanes = 0 rows");
+                }
+                Err(violations) => failures.extend(violations),
+            }
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("gate violation: {f}");
+        }
+        eprintln!("{} gate violation(s)", failures.len());
+        std::process::exit(1);
     }
 }
 
@@ -262,11 +306,12 @@ fn telemetry_overhead(profile: Profile) -> Vec<String> {
 }
 
 /// The regression gate (CI `bench-smoke` job): every parallel record must be
-/// no more than [`GATE_RATIO`] times slower (by minimum wall time) than the
-/// sequential (`threads = 0`) record of the same configuration from the same
-/// invocation — same-host comparison, so absolute machine speed cancels out.
-/// Returns the number of parallel records checked, or the violation list.
-fn gate_regressions(records: &[BenchRecord]) -> Result<usize, Vec<String>> {
+/// no more than `ratio` (default [`GATE_RATIO`]) times slower (by minimum
+/// wall time) than the sequential (`threads = 0`) record of the same
+/// configuration from the same invocation — same-host comparison, so
+/// absolute machine speed cancels out. Returns the number of parallel
+/// records checked, or the violation list.
+fn gate_regressions(records: &[BenchRecord], ratio: f64) -> Result<usize, Vec<String>> {
     let key = |r: &BenchRecord| {
         (
             r.experiment.clone(),
@@ -294,9 +339,9 @@ fn gate_regressions(records: &[BenchRecord]) -> Result<usize, Vec<String>> {
             continue;
         };
         checked += 1;
-        if r.min_ms > GATE_RATIO * seq_ms {
+        if r.min_ms > ratio * seq_ms {
             violations.push(format!(
-                "{} {} n={} dist={} threads={}: {} vs sequential {} ({:.2}x > {GATE_RATIO}x)",
+                "{} {} n={} dist={} threads={}: {} vs sequential {} ({:.2}x > {ratio}x)",
                 r.experiment,
                 r.algorithm,
                 r.n,
@@ -309,13 +354,192 @@ fn gate_regressions(records: &[BenchRecord]) -> Result<usize, Vec<String>> {
         }
     }
     if checked == 0 && violations.is_empty() {
-        violations.push("no parallel records collected — run e11/e12 with --gate".to_string());
+        violations.push("no parallel records collected — run e11/e12/e13 with --gate".to_string());
     }
     if violations.is_empty() {
         Ok(checked)
     } else {
         Err(violations)
     }
+}
+
+/// The committed E13 SLO table: per-family open-loop latency budgets for
+/// the `lanes = 0` (inline, queue-free) rows. The bounds are deliberately
+/// generous — on the smoke profile the measured p99 sits orders of
+/// magnitude below them — because their job is to catch pathological tail
+/// regressions (a stall, a lock convoy, an accidental O(n) rescan) on
+/// shared CI hardware, not to pin microsecond-level performance.
+fn slo_specs(scale: f64) -> Vec<SloSpec> {
+    let p99 = |family| SloSpec {
+        family,
+        label: "p99",
+        percentile: 99.0,
+        bound_us: (100_000.0 * scale) as u64,
+    };
+    let mut specs = vec![
+        p99("quadrant"),
+        p99("global"),
+        p99("safe_zone"),
+        p99("trace"),
+        p99("overall"),
+    ];
+    specs.push(SloSpec {
+        family: "overall",
+        label: "p999",
+        percentile: 99.9,
+        bound_us: (250_000.0 * scale) as u64,
+    });
+    specs
+}
+
+/// The E13 SLO gate: applies [`slo_specs`] to the interpolated percentile
+/// metrics embedded in every `lanes = 0` open-loop record. Multi-lane rows
+/// are excluded on purpose — on a 1-core host trailing lanes run after the
+/// schedule, so their tails measure the schedule length, not the server
+/// (EXPERIMENTS.md E13 discusses this). Returns the number of bounds
+/// checked, or the violation list.
+fn gate_slos(records: &[BenchRecord], scale: f64) -> Result<usize, Vec<String>> {
+    let specs = slo_specs(scale);
+    let mut checked = 0usize;
+    let mut violations = Vec::new();
+    for r in records
+        .iter()
+        .filter(|r| r.experiment == "e13" && r.threads == 0)
+    {
+        let measured: Vec<(String, String, u64)> = r
+            .metrics
+            .iter()
+            .filter_map(|(key, value)| {
+                let (family, label) = key.strip_suffix("_us")?.rsplit_once('.')?;
+                Some((family.to_string(), label.to_string(), *value))
+            })
+            .collect();
+        checked += specs.len();
+        violations.extend(
+            slo_violations(&specs, &measured)
+                .into_iter()
+                .map(|msg| format!("{} n={}: {msg}", r.algorithm, r.n)),
+        );
+    }
+    if checked == 0 {
+        violations.push("no lanes = 0 open-loop records collected — run e13 --gate".to_string());
+    }
+    if violations.is_empty() {
+        Ok(checked)
+    } else {
+        Err(violations)
+    }
+}
+
+/// E13: open-loop tail latency. Arrivals follow a fixed-rate schedule and
+/// latency is measured from the *scheduled* arrival, so queueing delay is
+/// charged to the server (coordinated-omission-safe) — see
+/// `skyline_serve::openloop`. Sweeps arrival rate × lane count; the
+/// `lanes = 0` rows are the queue-free SLO reference, and the digest column
+/// is bit-identical across lane counts by construction. Records use
+/// `threads` for the lane count and embed interpolated per-family
+/// percentiles (µs) as metrics, which [`gate_slos`] checks.
+fn e13_open_loop(profile: Profile, capture_telemetry: bool) -> Vec<BenchRecord> {
+    use skyline_serve::{run_open_loop, OpenLoopSpec, ServerOptions, SkylineServer};
+
+    // (rate q/s, arrivals): the schedule length arrivals/rate stays around
+    // a quarter second so the smoke profile fits a per-push CI job.
+    let (n, points, lanes_sweep, reps): (usize, Vec<(u64, u64)>, Vec<usize>, usize) = match profile
+    {
+        Profile::Smoke => (200, vec![(2_000, 500), (8_000, 1_000)], vec![0, 4], 2),
+        Profile::Full => (400, vec![(2_000, 2_000), (8_000, 4_000)], vec![0, 1, 4], 3),
+    };
+    println!(
+        "## E13 — open-loop tail latency ({} profile, n = {n})\n",
+        match profile {
+            Profile::Smoke => "smoke",
+            Profile::Full => "full",
+        }
+    );
+    println!("| rate (q/s) | lanes | achieved | p50 | p95 | p99 | p999 | max | checksum |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+
+    let ds = sweep_dataset(n, Distribution::Independent);
+    let mut records = Vec::new();
+    for &(rate, arrivals) in &points {
+        for &lanes in &lanes_sweep {
+            let spec = OpenLoopSpec {
+                lanes,
+                rate,
+                arrivals,
+                domain: 10 * n as i64,
+                seed: skyline_bench::BASE_SEED,
+                ..OpenLoopSpec::default()
+            };
+            if capture_telemetry {
+                telemetry::reset_metrics();
+            }
+            let mut elapsed: Vec<f64> = Vec::with_capacity(reps);
+            let mut best: Option<skyline_serve::OpenLoopReport> = None;
+            for _ in 0..reps {
+                let options = ServerOptions {
+                    with_global: true,
+                    cache_slots: 4096,
+                    parallel: ParallelConfig::sequential(),
+                    ..ServerOptions::default()
+                };
+                let (server, _handles) = SkylineServer::with_dataset(&ds, options);
+                let report = run_open_loop(&server, &spec);
+                elapsed.push(report.elapsed_ms);
+                match &best {
+                    Some(b) if b.elapsed_ms <= report.elapsed_ms => {}
+                    _ => best = Some(report),
+                }
+            }
+            let report = best.expect("at least one repetition ran");
+            elapsed.sort_by(|a, b| a.total_cmp(b));
+            let mut metrics = if capture_telemetry {
+                metric_pairs()
+            } else {
+                Vec::new()
+            };
+            let mut tails = |name: &str, hist: &skyline_serve::LatencyHistogram| {
+                for (label, p) in PERCENTILE_LABELS {
+                    metrics.push((
+                        format!("{name}.{label}_us"),
+                        percentile(&hist.buckets, p) / 1_000,
+                    ));
+                }
+            };
+            for (name, hist) in &report.families {
+                tails(name, hist);
+            }
+            tails("overall", &report.overall);
+            metrics.push(("checksum".to_string(), report.checksum));
+            metrics.sort();
+            let pct = |p: f64| -> f64 { percentile(&report.overall.buckets, p) as f64 / 1_000.0 };
+            println!(
+                "| {rate} | {lanes} | {:.0}/s | {:.1}us | {:.1}us | {:.1}us | {:.1}us | {:.1}us | {:016x} |",
+                report.achieved_rate(),
+                pct(50.0),
+                pct(95.0),
+                pct(99.0),
+                pct(99.9),
+                report.overall.max_ns as f64 / 1_000.0,
+                report.checksum,
+            );
+            records.push(BenchRecord {
+                experiment: "e13".to_string(),
+                algorithm: format!("openloop/r{rate}"),
+                n,
+                s: 10 * n as i64,
+                d: 2,
+                distribution: Distribution::Independent.name().to_string(),
+                threads: lanes,
+                reps,
+                min_ms: elapsed[0],
+                median_ms: elapsed[elapsed.len() / 2],
+                metrics,
+            });
+        }
+    }
+    println!();
+    records
 }
 
 /// A diagram build parameterized only by the parallel configuration, over a

@@ -1,0 +1,495 @@
+//! Trace diagnosis for `skydiag report`: parses the Chrome trace files
+//! [`crate::json::render_chrome_trace`] emits and turns them into a
+//! machine-checkable verdict about where the build spent its time.
+//!
+//! The analysis answers the question ROADMAP item 4 poses: the parallel
+//! scaling cliff is *imbalance-bound* — but which kind? The diagnosis
+//! computes, per trace:
+//!
+//! * **per-thread busy fraction** — the share of the trace wall clock
+//!   each telemetry thread spent inside top-level (depth-0) spans;
+//! * **stitch stall** — total time in `pool.stitch` spans, the
+//!   sequential merge that caps parallel speedup;
+//! * **chunk-claim imbalance** — the spread of `pool.worker` payloads
+//!   (chunks claimed per worker), the direct signature of the row-band
+//!   split assigning unequal work;
+//! * **critical-path phases** — top-level spans aggregated by name,
+//!   sorted by total time.
+//!
+//! The verdict names the dominant bound (`band-imbalance`,
+//! `stitch-stall`, `single-worker`, or `balanced`) so CI can assert on
+//! it and so the ROADMAP item 4 rearchitecture has a baseline to beat.
+//!
+//! Like [`crate::json::validate_chrome_trace`], the parser is
+//! line-oriented and only accepts the exact shape this workspace emits —
+//! it is not a general JSON parser.
+
+/// One `"X"` (complete) event parsed back out of an emitted trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedEvent {
+    /// Span name, e.g. `"pool.worker"`.
+    pub name: String,
+    /// Compact telemetry thread id.
+    pub tid: u64,
+    /// Start timestamp, µs on the trace's shared axis.
+    pub ts_us: u64,
+    /// Duration, µs.
+    pub dur_us: u64,
+    /// Nesting depth when the span opened (0 = top level).
+    pub depth: u64,
+    /// Optional span payload (e.g. chunks claimed for `pool.worker`).
+    pub payload: Option<u64>,
+}
+
+/// Extracts the unsigned integer following `"key":` on an event line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let digits: String = line[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Extracts the string following `"key":"` on an event line (names in
+/// this workspace are ASCII identifiers; escapes are not expected).
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let at = line.find(&pat)? + pat.len();
+    let end = line[at..].find('"')?;
+    Some(line[at..at + end].to_string())
+}
+
+/// Parses a trace produced by [`crate::json::render_chrome_trace`] into
+/// its complete events. Metadata (`"M"`) events are skipped; any line
+/// that does not match the emitted shape is an error naming the line.
+pub fn parse_chrome_trace(trace: &str) -> Result<Vec<ParsedEvent>, String> {
+    let trace = trace.trim();
+    let body = trace
+        .strip_prefix("{\"traceEvents\":[")
+        .and_then(|rest| rest.strip_suffix("]}"))
+        .ok_or_else(|| "trace must be an object with a traceEvents array".to_string())?;
+    let mut events = Vec::new();
+    for (k, line) in body.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+        let line = line.trim().trim_end_matches(',');
+        if line.contains("\"ph\":\"M\"") {
+            continue;
+        }
+        if !line.contains("\"ph\":\"X\"") {
+            return Err(format!("event {k} has an unexpected phase: {line:?}"));
+        }
+        let parse = || -> Option<ParsedEvent> {
+            Some(ParsedEvent {
+                name: field_str(line, "name")?,
+                tid: field_u64(line, "tid")?,
+                ts_us: field_u64(line, "ts")?,
+                dur_us: field_u64(line, "dur")?,
+                depth: field_u64(line, "depth")?,
+                payload: field_u64(line, "payload"),
+            })
+        };
+        events.push(parse().ok_or_else(|| format!("event {k} is missing a field: {line:?}"))?);
+    }
+    Ok(events)
+}
+
+/// Per-thread activity summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ThreadStat {
+    /// Compact telemetry thread id.
+    pub tid: u64,
+    /// Total time inside depth-0 spans on this thread, µs.
+    pub busy_us: u64,
+    /// `busy_us` over the trace wall clock, in `[0, 1]`-ish (top-level
+    /// spans on one thread do not overlap, so this stays ≤ 1 up to µs
+    /// truncation).
+    pub busy_fraction: f64,
+    /// Complete events recorded on this thread (any depth).
+    pub events: usize,
+}
+
+/// One critical-path phase: depth-0 spans aggregated by name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseStat {
+    /// Span name.
+    pub name: String,
+    /// Total duration across occurrences, µs.
+    pub total_us: u64,
+    /// Number of occurrences.
+    pub count: usize,
+}
+
+/// The full diagnosis of one trace. `verdict` is a stable token CI can
+/// assert on; `detail` is the human sentence explaining it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceDiagnosis {
+    /// Trace wall clock: last span end minus first span start, µs.
+    pub wall_us: u64,
+    /// Per-thread busy summaries, sorted by tid.
+    pub threads: Vec<ThreadStat>,
+    /// Total time in `pool.stitch` spans, µs.
+    pub stitch_us: u64,
+    /// `stitch_us` over the wall clock.
+    pub stitch_fraction: f64,
+    /// Chunks claimed per `pool.worker` span, sorted ascending.
+    pub worker_chunks: Vec<u64>,
+    /// Max over min chunk claims (1.0 with fewer than two workers).
+    pub chunk_imbalance: f64,
+    /// Depth-0 spans aggregated by name, sorted by total time descending.
+    pub phases: Vec<PhaseStat>,
+    /// Stable verdict token: `"single-worker"`, `"band-imbalance"`,
+    /// `"stitch-stall"`, `"balanced"`, or `"empty"`.
+    pub verdict: &'static str,
+    /// Human-readable explanation of the verdict.
+    pub detail: String,
+}
+
+/// Busy-fraction spread (max − min) above which the band split is
+/// declared imbalance-bound.
+const BUSY_SPREAD_THRESHOLD: f64 = 0.20;
+/// Chunk-claim max/min ratio above which the band split is declared
+/// imbalance-bound even when busy fractions look even.
+const CHUNK_IMBALANCE_THRESHOLD: f64 = 1.5;
+/// Stitch share of wall clock above which the merge is the bound.
+const STITCH_THRESHOLD: f64 = 0.15;
+
+/// Analyzes parsed events into a [`TraceDiagnosis`].
+pub fn diagnose(events: &[ParsedEvent]) -> TraceDiagnosis {
+    let mut diagnosis = TraceDiagnosis {
+        wall_us: 0,
+        threads: Vec::new(),
+        stitch_us: 0,
+        stitch_fraction: 0.0,
+        worker_chunks: Vec::new(),
+        chunk_imbalance: 1.0,
+        phases: Vec::new(),
+        verdict: "empty",
+        detail: "trace contains no complete events".to_string(),
+    };
+    if events.is_empty() {
+        return diagnosis;
+    }
+    let start = events.iter().map(|e| e.ts_us).min().unwrap_or(0);
+    let end = events.iter().map(|e| e.ts_us + e.dur_us).max().unwrap_or(0);
+    diagnosis.wall_us = (end - start).max(1);
+
+    let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        let busy_us: u64 = events
+            .iter()
+            .filter(|e| e.tid == tid && e.depth == 0)
+            .map(|e| e.dur_us)
+            .sum();
+        diagnosis.threads.push(ThreadStat {
+            tid,
+            busy_us,
+            busy_fraction: busy_us as f64 / diagnosis.wall_us as f64,
+            events: events.iter().filter(|e| e.tid == tid).count(),
+        });
+    }
+
+    diagnosis.stitch_us = events
+        .iter()
+        .filter(|e| e.name == "pool.stitch")
+        .map(|e| e.dur_us)
+        .sum();
+    diagnosis.stitch_fraction = diagnosis.stitch_us as f64 / diagnosis.wall_us as f64;
+
+    diagnosis.worker_chunks = events
+        .iter()
+        .filter(|e| e.name == "pool.worker")
+        .filter_map(|e| e.payload)
+        .collect();
+    diagnosis.worker_chunks.sort_unstable();
+    if diagnosis.worker_chunks.len() >= 2 {
+        let min = *diagnosis.worker_chunks.first().unwrap_or(&1);
+        let max = *diagnosis.worker_chunks.last().unwrap_or(&1);
+        diagnosis.chunk_imbalance = max as f64 / min.max(1) as f64;
+    }
+
+    let mut phase_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.depth == 0)
+        .map(|e| e.name.as_str())
+        .collect();
+    phase_names.sort_unstable();
+    phase_names.dedup();
+    for name in phase_names {
+        let matching = events.iter().filter(|e| e.depth == 0 && e.name == name);
+        diagnosis.phases.push(PhaseStat {
+            name: name.to_string(),
+            total_us: matching.clone().map(|e| e.dur_us).sum(),
+            count: matching.count(),
+        });
+    }
+    diagnosis
+        .phases
+        .sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
+
+    let workers: Vec<&ThreadStat> = diagnosis.threads.iter().filter(|t| t.busy_us > 0).collect();
+    let (verdict, detail) = if workers.len() <= 1 {
+        (
+            "single-worker",
+            "all busy time sits on one thread — a sequential or 1-core run; \
+             no cross-worker imbalance to localize"
+                .to_string(),
+        )
+    } else {
+        let busy_max = workers.iter().map(|t| t.busy_fraction).fold(0.0, f64::max);
+        let busy_min = workers
+            .iter()
+            .map(|t| t.busy_fraction)
+            .fold(f64::INFINITY, f64::min);
+        let spread = busy_max - busy_min;
+        if spread >= BUSY_SPREAD_THRESHOLD || diagnosis.chunk_imbalance >= CHUNK_IMBALANCE_THRESHOLD
+        {
+            (
+                "band-imbalance",
+                format!(
+                    "the row-band split is imbalance-bound (ROADMAP item 4): busy \
+                     fractions spread {:.0}% across workers, chunk claims max/min = {:.2}",
+                    spread * 100.0,
+                    diagnosis.chunk_imbalance
+                ),
+            )
+        } else if diagnosis.stitch_fraction >= STITCH_THRESHOLD {
+            (
+                "stitch-stall",
+                format!(
+                    "the sequential stitch dominates: {:.0}% of the wall clock is \
+                     spent in pool.stitch",
+                    diagnosis.stitch_fraction * 100.0
+                ),
+            )
+        } else {
+            (
+                "balanced",
+                format!(
+                    "workers are evenly loaded (busy spread {:.0}%, chunk max/min \
+                     {:.2}) and the stitch stays under {:.0}% of wall",
+                    spread * 100.0,
+                    diagnosis.chunk_imbalance,
+                    STITCH_THRESHOLD * 100.0
+                ),
+            )
+        }
+    };
+    diagnosis.verdict = verdict;
+    diagnosis.detail = detail;
+    diagnosis
+}
+
+/// Parses and diagnoses a trace file's contents in one step.
+pub fn diagnose_trace(trace: &str) -> Result<TraceDiagnosis, String> {
+    Ok(diagnose(&parse_chrome_trace(trace)?))
+}
+
+fn fraction(v: f64) -> String {
+    format!("{:.4}", v)
+}
+
+/// The diagnosis as one machine-checkable JSON object (hand-written like
+/// the rest of the pipeline; keys are stable for CI assertions).
+pub fn render_diagnosis_json(d: &TraceDiagnosis) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n");
+    let _ = write!(
+        out,
+        "  \"verdict\": \"{}\",\n  \"detail\": \"{}\",\n  \"wall_us\": {},\n",
+        d.verdict,
+        d.detail.replace('"', "\\\""),
+        d.wall_us
+    );
+    let _ = write!(
+        out,
+        "  \"stitch_us\": {},\n  \"stitch_fraction\": {},\n  \"chunk_imbalance\": {},\n",
+        d.stitch_us,
+        fraction(d.stitch_fraction),
+        fraction(d.chunk_imbalance)
+    );
+    out.push_str("  \"threads\": [");
+    for (k, t) in d.threads.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"tid\": {}, \"busy_us\": {}, \"busy_fraction\": {}, \"events\": {}}}",
+            t.tid,
+            t.busy_us,
+            fraction(t.busy_fraction),
+            t.events
+        );
+    }
+    out.push_str("\n  ],\n  \"phases\": [");
+    for (k, p) in d.phases.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"name\": \"{}\", \"total_us\": {}, \"count\": {}}}",
+            p.name, p.total_us, p.count
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// The diagnosis as a human-readable table (what `skydiag report` prints
+/// alongside the JSON verdict).
+pub fn render_diagnosis_table(d: &TraceDiagnosis) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "verdict: {}", d.verdict);
+    let _ = writeln!(out, "  {}", d.detail);
+    let _ = writeln!(
+        out,
+        "wall {:.3} ms | stitch {:.3} ms ({:.1}%) | chunk max/min {:.2}",
+        d.wall_us as f64 / 1_000.0,
+        d.stitch_us as f64 / 1_000.0,
+        d.stitch_fraction * 100.0,
+        d.chunk_imbalance
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} {:>12} {:>8} {:>8}",
+        "tid", "busy_ms", "busy%", "events"
+    );
+    for t in &d.threads {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>12.3} {:>7.1}% {:>8}",
+            t.tid,
+            t.busy_us as f64 / 1_000.0,
+            t.busy_fraction * 100.0,
+            t.events
+        );
+    }
+    let _ = writeln!(out, "top-level phases by total time:");
+    for p in d.phases.iter().take(8) {
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>12.3} ms  x{}",
+            p.name,
+            p.total_us as f64 / 1_000.0,
+            p.count
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::render_chrome_trace;
+    use skyline_core::telemetry::SpanEvent;
+
+    fn span(
+        name: &'static str,
+        thread: u64,
+        depth: u32,
+        start_us: u64,
+        dur_us: u64,
+        payload: Option<u64>,
+    ) -> SpanEvent {
+        SpanEvent {
+            name,
+            thread,
+            depth,
+            start_ns: start_us * 1_000,
+            dur_ns: dur_us * 1_000,
+            payload,
+        }
+    }
+
+    #[test]
+    fn parser_round_trips_rendered_traces() {
+        let events = vec![
+            span("pool.region", 0, 0, 10, 900, None),
+            span("pool.worker", 1, 1, 20, 400, Some(6)),
+            span("pool.stitch", 0, 1, 500, 100, Some(3)),
+        ];
+        let trace = render_chrome_trace(&events, "unit");
+        let parsed = parse_chrome_trace(&trace).expect("emitted traces must parse");
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].name, "pool.region");
+        assert_eq!(parsed[1].payload, Some(6));
+        assert_eq!(parsed[1].tid, 1);
+        assert_eq!(parsed[2].ts_us, 500);
+        assert_eq!(parsed[2].dur_us, 100);
+        assert!(parse_chrome_trace("[]").is_err());
+        assert!(parse_chrome_trace("{\"traceEvents\":[\n{\"ph\":\"Q\"}\n]}").is_err());
+    }
+
+    #[test]
+    fn single_worker_trace_gets_the_single_worker_verdict() {
+        let events = vec![
+            span("quadrant.build", 0, 0, 0, 1_000, None),
+            span("pool.worker", 0, 1, 10, 800, Some(4)),
+        ];
+        let trace = render_chrome_trace(&events, "unit");
+        let d = diagnose_trace(&trace).expect("trace parses");
+        assert_eq!(d.verdict, "single-worker");
+        assert_eq!(d.threads.len(), 1);
+        assert_eq!(d.wall_us, 1_000);
+        assert_eq!(d.phases[0].name, "quadrant.build");
+    }
+
+    #[test]
+    fn uneven_chunk_claims_yield_band_imbalance() {
+        // Two workers, one claiming 4x the chunks and busy 3x longer.
+        let events = vec![
+            span("pool.worker", 1, 0, 0, 900, Some(8)),
+            span("pool.worker", 2, 0, 0, 300, Some(2)),
+        ];
+        let d = diagnose(&parse_chrome_trace(&render_chrome_trace(&events, "u")).unwrap());
+        assert_eq!(d.verdict, "band-imbalance");
+        assert!(d.detail.contains("ROADMAP item 4"));
+        assert_eq!(d.worker_chunks, vec![2, 8]);
+        assert!((d.chunk_imbalance - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_stitch_yields_stitch_stall() {
+        let events = vec![
+            span("pool.worker", 1, 0, 0, 950, Some(4)),
+            span("pool.worker", 2, 0, 0, 940, Some(4)),
+            // The stitch nests inside the region span on the calling
+            // thread (depth 1), exactly as `parallel.rs` records it.
+            span("pool.stitch", 1, 1, 950, 400, Some(3)),
+        ];
+        let d = diagnose(&parse_chrome_trace(&render_chrome_trace(&events, "u")).unwrap());
+        assert_eq!(d.verdict, "stitch-stall");
+        assert_eq!(d.stitch_us, 400);
+    }
+
+    #[test]
+    fn even_trace_is_balanced_and_json_is_machine_checkable() {
+        let events = vec![
+            span("pool.worker", 1, 0, 0, 900, Some(4)),
+            span("pool.worker", 2, 0, 0, 880, Some(4)),
+            span("pool.stitch", 1, 0, 900, 50, Some(2)),
+        ];
+        let d = diagnose(&parse_chrome_trace(&render_chrome_trace(&events, "u")).unwrap());
+        assert_eq!(d.verdict, "balanced");
+        let json = render_diagnosis_json(&d);
+        assert!(json.contains("\"verdict\": \"balanced\""));
+        assert!(json.contains("\"chunk_imbalance\": 1.0000"));
+        assert!(json.contains("\"tid\": 1"));
+        assert!(json.contains("\"name\": \"pool.worker\""));
+        let table = render_diagnosis_table(&d);
+        assert!(table.contains("verdict: balanced"));
+        assert!(table.contains("pool.worker"));
+    }
+
+    #[test]
+    fn empty_trace_diagnoses_as_empty() {
+        let d = diagnose(&[]);
+        assert_eq!(d.verdict, "empty");
+        assert!(render_diagnosis_json(&d).contains("\"verdict\": \"empty\""));
+    }
+}

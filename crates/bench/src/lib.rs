@@ -10,7 +10,9 @@ use std::time::Instant;
 use skyline_core::geometry::{Dataset, DatasetD};
 use skyline_data::{DatasetSpec, Distribution};
 
+pub mod diag;
 pub mod json;
+pub mod quantile;
 
 /// Fixed base seed: every experiment is reproducible bit-for-bit.
 pub const BASE_SEED: u64 = 20180417; // ICDE 2018 main-conference week

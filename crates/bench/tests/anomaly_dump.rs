@@ -1,0 +1,76 @@
+//! End-to-end anomaly capture: an injected refresh stall fires the
+//! latency trigger, the flight recorder freezes the stall's immediate
+//! past, and the drained dump renders to a structurally valid Chrome
+//! trace that names the stall span — the whole "capture the anomaly
+//! *after* it happened, without pre-arming a recording" contract.
+//!
+//! Lives in `skyline-bench` (not `skyline-serve`) because the structural
+//! check is the bench crate's `validate_chrome_trace`. Trigger state is
+//! process-global, so this file stays a single-test binary.
+
+#![cfg(feature = "telemetry")]
+
+use skyline_bench::json::{render_chrome_trace, validate_chrome_trace};
+use skyline_core::geometry::Dataset;
+use skyline_core::telemetry;
+use skyline_serve::{run_open_loop, OpenLoopSpec, QueryMix, ServerOptions, SkylineServer};
+
+const STALL_MS: u64 = 120;
+
+#[test]
+fn injected_stall_fires_latency_trigger_and_dumps_a_valid_trace() {
+    let coords: Vec<(i64, i64)> = (0..120)
+        .map(|i| ((i * 37) % 1201, (i * 61) % 1201))
+        .collect();
+    let ds = Dataset::from_coords(coords).expect("generated coords are valid");
+    let (server, _handles) = SkylineServer::with_dataset(
+        &ds,
+        ServerOptions {
+            injected_stall: (1, STALL_MS),
+            ..ServerOptions::default()
+        },
+    );
+
+    // Arm well above benign span durations (queries are microseconds) and
+    // well below the stall, so the stall span's close is the trigger.
+    telemetry::set_latency_trigger(STALL_MS * 1_000_000 / 2);
+    assert!(
+        !telemetry::anomaly_pending(),
+        "trigger fired before the stalled run"
+    );
+    let report = run_open_loop(
+        &server,
+        &OpenLoopSpec {
+            lanes: 0,
+            rate: 50_000,
+            arrivals: 300,
+            domain: 1_300,
+            seed: 11,
+            mix: QueryMix::default(),
+            refresh_every: 100,
+        },
+    );
+    telemetry::set_latency_trigger(0);
+    assert_eq!(report.arrivals, 300);
+
+    assert!(
+        telemetry::anomaly_pending(),
+        "the {STALL_MS} ms stall span did not fire the latency trigger"
+    );
+    let dump = telemetry::take_anomaly_dump().expect("a frozen dump is pending");
+    assert_eq!(dump.reason, "latency-over-threshold");
+    assert!(
+        dump.events
+            .iter()
+            .any(|e| e.name == "serve.refresh.injected_stall"),
+        "dump does not contain the stall span: {:?}",
+        dump.events.iter().map(|e| e.name).collect::<Vec<_>>()
+    );
+    // A second take must find nothing: the recorder re-armed.
+    assert!(telemetry::take_anomaly_dump().is_none());
+
+    let trace = render_chrome_trace(&dump.events, "anomaly-dump");
+    let summary = validate_chrome_trace(&trace).expect("dump renders to a valid Chrome trace");
+    assert_eq!(summary.complete_events as usize, dump.events.len());
+    assert!(trace.contains("serve.refresh.injected_stall"), "{trace}");
+}

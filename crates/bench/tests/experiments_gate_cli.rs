@@ -1,0 +1,102 @@
+//! CLI contract tests for the `experiments` gate pipeline: a gated run
+//! with several broken guards must report *every* violation (artifact
+//! write, parallel regression ratio, SLO bounds) before exiting 1 — not
+//! bail on the first — and a healthy smoke run must exit 0. These run the
+//! real binary via Cargo's `CARGO_BIN_EXE_*` environment contract.
+//!
+//! The failure run arms the guards deterministically with the testing
+//! aids the binary exposes: `--gate-ratio` far below 1 makes every
+//! parallel row a regression, `--slo-scale 0` makes every SLO bound 0,
+//! and a `--json` path inside a nonexistent directory breaks the
+//! artifact write. E13 smoke is the cheapest record-producing experiment
+//! (schedule-bound, a few seconds), so both tests ride on it.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(args)
+        .env_remove("SKYLINE_THREADS")
+        .output()
+        .expect("experiments binary runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn gated_run_reports_every_broken_guard_in_one_pass() {
+    let out = run(&[
+        "e13",
+        "--profile",
+        "smoke",
+        "--gate",
+        "--gate-ratio",
+        "0.0001",
+        "--slo-scale",
+        "0",
+        "--json",
+        "/nonexistent-experiments-gate-dir/records.json",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    // All three guard classes appear in the same run's report.
+    assert!(
+        err.contains("cannot write bench records to"),
+        "artifact failure missing: {err}"
+    );
+    assert!(
+        err.contains("vs sequential") && err.contains("0.0001x"),
+        "regression violations missing: {err}"
+    );
+    assert!(
+        err.contains("SLO breach") && err.contains("exceeds bound 0us"),
+        "SLO violations missing: {err}"
+    );
+    // The regression guard fires for BOTH swept rates, proving the gate
+    // did not stop at the first violation.
+    assert!(
+        err.contains("openloop/r2000") && err.contains("openloop/r8000"),
+        "expected violations from both rate configurations: {err}"
+    );
+    let count_line = err
+        .lines()
+        .find(|l| l.ends_with("gate violation(s)"))
+        .unwrap_or_else(|| panic!("no violation count line in: {err}"));
+    let count: usize = count_line
+        .split_whitespace()
+        .next()
+        .and_then(|w| w.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable violation count: {count_line}"));
+    assert!(count >= 3, "expected >= 3 violations, got {count}: {err}");
+}
+
+#[test]
+fn healthy_smoke_gate_exits_0_and_reports_slo_coverage() {
+    let out = run(&["e13", "--profile", "smoke", "--gate"]);
+    let err = stderr(&out);
+    assert_eq!(out.status.code(), Some(0), "stderr: {err}");
+    assert!(
+        err.contains("open-loop SLO bounds honored"),
+        "SLO gate summary missing: {err}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("## E13"), "E13 table missing: {stdout}");
+}
+
+#[test]
+fn malformed_gate_flags_exit_2() {
+    for args in [
+        &["--gate-ratio"][..],
+        &["--gate-ratio", "fast"][..],
+        &["--slo-scale", "-1"][..],
+    ] {
+        let out = run(args);
+        assert_eq!(out.status.code(), Some(2), "args = {args:?}");
+        assert!(
+            stderr(&out).contains("Usage: experiments"),
+            "args = {args:?}"
+        );
+    }
+}

@@ -245,9 +245,25 @@ pub fn cmd_ascii(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `skydiag report data.csv --out report.html [--engine sweeping] [--title T]`
+/// `skydiag report <input>` — two families behind one verb, told apart by
+/// sniffing the input file:
+///
+/// * `skydiag report trace.json [--json verdict.json]` diagnoses a Chrome
+///   trace recorded by `skydiag trace build`/`serve-bench`: per-thread
+///   busy fractions, stitch-stall time, chunk-claim imbalance, and a
+///   critical-path phase table, plus a machine-checkable JSON verdict
+///   naming the dominant bound (see `skyline_bench::diag`).
+/// * `skydiag report data.csv --out report.html [--engine E] [--title T]`
+///   is the classic dataset HTML report.
 pub fn cmd_report(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
-    let input = args.positional(0, "input csv path (or 'hotel')")?;
+    let input = args.positional(0, "input csv path (or 'hotel') or trace.json")?;
+    if input != "hotel" {
+        if let Ok(content) = std::fs::read_to_string(input) {
+            if content.trim_start().starts_with("{\"traceEvents\":[") {
+                return cmd_report_trace(&content, args, out);
+            }
+        }
+    }
     let dataset = load_dataset(input)?;
     let engine = parse_engine(args.get_or("engine", "sweeping"))?;
     let title = args.get_or("title", "Skyline diagram report").to_string();
@@ -257,6 +273,27 @@ pub fn cmd_report(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let html = skyline_viz::report::html_report(&title, &dataset, engine);
     std::fs::write(&out_path, &html)?;
     writeln!(out, "wrote {} to {}", human_bytes(html.len()), out_path)?;
+    Ok(())
+}
+
+/// The trace-diagnosis arm of [`cmd_report`]: prints the human table and
+/// either writes the JSON verdict to `--json PATH` or appends it to the
+/// output stream, so both CI and a terminal get a machine-checkable
+/// verdict without extra flags.
+fn cmd_report_trace(trace: &str, args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let json_path = args.get("json").map(str::to_string);
+    args.reject_unknown()?;
+    let diagnosis = skyline_bench::diag::diagnose_trace(trace)
+        .map_err(|e| CliError::Other(format!("trace diagnosis failed: {e}")))?;
+    out.write_all(skyline_bench::diag::render_diagnosis_table(&diagnosis).as_bytes())?;
+    let json = skyline_bench::diag::render_diagnosis_json(&diagnosis);
+    match json_path {
+        Some(path) => {
+            std::fs::write(&path, &json)?;
+            writeln!(out, "verdict json -> {path}")?;
+        }
+        None => out.write_all(json.as_bytes())?,
+    }
     Ok(())
 }
 
@@ -425,9 +462,28 @@ fn cmd_trace_build(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     )
 }
 
+/// Parses `--stall NTH,MS` into the server's injected-stall test hook.
+fn parse_stall(text: &str) -> Result<(u64, u64), CliError> {
+    text.split_once(',')
+        .and_then(|(nth, ms)| Some((nth.trim().parse().ok()?, ms.trim().parse().ok()?)))
+        .ok_or_else(|| {
+            CliError::Other(format!(
+                "bad --stall {text:?}; expected NTH,MS (stall the NTH refresh for MS ms)"
+            ))
+        })
+}
+
 /// `skydiag trace serve-bench --out trace.json [--n N | --data ...]
 /// [--readers R] [--rounds K] [--queries Q] [--updates U] [--seed S]
-/// [--cache SLOTS] [--global 0|1] [--engine ...] [--metrics m.json]`
+/// [--cache SLOTS] [--global 0|1] [--engine ...] [--metrics m.json]
+/// [--stall NTH,MS [--anomaly dump.json]]`
+///
+/// `--stall NTH,MS` wedges the NTH refresh barrier for MS milliseconds
+/// (the deterministic anomaly the flight recorder exists for). With
+/// `--anomaly PATH`, the latency trigger is armed at half the stall just
+/// before the workload runs; the stall span fires it, and the frozen
+/// flight-recorder dump is validated and written to PATH as a Chrome
+/// trace — the whole capture-after-the-fact flow, driven end to end.
 fn cmd_trace_serve_bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let engine = parse_engine(args.get_or("engine", "sweeping"))?;
     let readers = args.get_usize("readers", 2)?;
@@ -439,8 +495,18 @@ fn cmd_trace_serve_bench(args: &Args, out: &mut dyn Write) -> Result<(), CliErro
     let with_global = args.get_usize("global", 1)? != 0;
     let out_path = args.require("out")?.to_string();
     let metrics_path = args.get("metrics").map(str::to_string);
+    let injected_stall = match args.get("stall") {
+        Some(text) => parse_stall(text)?,
+        None => (0, 0),
+    };
+    let anomaly_path = args.get("anomaly").map(str::to_string);
     let dataset = trace_dataset(args, 200)?;
     args.reject_unknown()?;
+    if anomaly_path.is_some() && injected_stall.0 == 0 {
+        return Err(CliError::Other(
+            "--anomaly needs --stall NTH,MS: without a stall nothing fires the trigger".into(),
+        ));
+    }
 
     let domain = dataset
         .points()
@@ -453,6 +519,7 @@ fn cmd_trace_serve_bench(args: &Args, out: &mut dyn Write) -> Result<(), CliErro
         engine,
         with_global,
         cache_slots,
+        injected_stall,
         ..skyline_serve::ServerOptions::default()
     };
     let spec = skyline_serve::WorkloadSpec {
@@ -468,7 +535,13 @@ fn cmd_trace_serve_bench(args: &Args, out: &mut dyn Write) -> Result<(), CliErro
     skyline_core::telemetry::reset_metrics();
     skyline_core::telemetry::start_recording();
     let (server, handles) = skyline_serve::SkylineServer::with_dataset(&dataset, options);
+    if anomaly_path.is_some() {
+        // Armed after the build so a slow construction span cannot win the
+        // first-trigger race; half the stall clears every benign span.
+        skyline_core::telemetry::set_latency_trigger((injected_stall.1 * 1_000_000 / 2).max(1));
+    }
     let report = skyline_serve::workload::run(&server, &spec, &handles);
+    skyline_core::telemetry::set_latency_trigger(0);
     writeln!(
         out,
         "traced serve-bench: n={} readers={readers} rounds={rounds} queries/reader/round={queries} \
@@ -483,14 +556,38 @@ fn cmd_trace_serve_bench(args: &Args, out: &mut dyn Write) -> Result<(), CliErro
         &out_path,
         metrics_path.as_deref(),
         out,
-    )
+    )?;
+    if let Some(path) = anomaly_path {
+        let dump = skyline_core::telemetry::take_anomaly_dump().ok_or_else(|| {
+            CliError::Other(
+                "no anomaly trigger fired (is the CLI built without the `telemetry` feature, \
+                 or the stall too short to cross the armed threshold?)"
+                    .into(),
+            )
+        })?;
+        let trace = skyline_bench::json::render_chrome_trace(&dump.events, "anomaly dump");
+        skyline_bench::json::validate_chrome_trace(&trace).map_err(|e| {
+            CliError::Other(format!(
+                "internal error: anomaly dump trace is invalid: {e}"
+            ))
+        })?;
+        std::fs::write(&path, &trace)?;
+        writeln!(
+            out,
+            "anomaly:     {} ({} spans) -> {}",
+            dump.reason,
+            dump.events.len(),
+            path
+        )?;
+    }
+    Ok(())
 }
 
 /// `skydiag serve-bench <data.csv|hotel> [--readers R] [--rounds K]
 /// [--queries Q] [--updates U] [--seed S] [--cache SLOTS] [--global 0|1]
 /// [--engine ...]`
 ///
-/// Open-loop serving benchmark: loads the dataset into a
+/// Closed-loop serving benchmark: loads the dataset into a
 /// [`skyline_serve::SkylineServer`], then drives `rounds` rounds of
 /// `updates` writer updates (fenced by a refresh barrier) followed by
 /// `readers × queries` concurrent reader queries on the scoped pool.
@@ -565,6 +662,145 @@ pub fn cmd_serve_bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError>
     Ok(())
 }
 
+/// Value of a named counter in a metrics snapshot (0 when absent — the
+/// telemetry-off build has an empty registry).
+fn counter_value(snap: &skyline_core::telemetry::MetricsSnapshot, name: &str) -> u64 {
+    snap.counters
+        .iter()
+        .find(|c| c.name == name)
+        .map_or(0, |c| c.value)
+}
+
+/// Dense per-bucket counts of a named histogram in a snapshot.
+fn histogram_buckets(snap: &skyline_core::telemetry::MetricsSnapshot, name: &str) -> Vec<u64> {
+    let mut dense = vec![0u64; skyline_core::telemetry::HISTOGRAM_BUCKETS];
+    if let Some(h) = snap.histograms.iter().find(|h| h.name == name) {
+        for &(i, count) in &h.buckets {
+            if let Some(slot) = dense.get_mut(i) {
+                *slot = count;
+            }
+        }
+    }
+    dense
+}
+
+/// `skydiag top [--ticks T] [--interval-ms MS] [--n N | --data ...]
+/// [--readers R] [--queries Q] [--updates U] [--seed S] [--cache SLOTS]
+/// [--global 0|1] [--engine ...]`
+///
+/// Interval-sampled serving monitor: builds one server, then runs `ticks`
+/// workload slices against it and prints the metrics-registry *deltas* per
+/// tick — query rate, epoch publications, cache hit ratio, and a bucket
+/// sparkline per histogram that moved. With `--interval-ms` the tick
+/// starts are paced on a fixed schedule through the telemetry clock
+/// ([`skyline_core::telemetry::spin_until`]), open-loop style; the default
+/// of 0 runs ticks back to back.
+pub fn cmd_top(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use skyline_core::telemetry;
+
+    let engine = parse_engine(args.get_or("engine", "sweeping"))?;
+    let ticks = args.get_usize("ticks", 5)?.max(1);
+    let interval_ms = args.get_usize("interval-ms", 0)? as u64;
+    let readers = args.get_usize("readers", 2)?;
+    let queries = args.get_usize("queries", 200)?;
+    let updates = args.get_usize("updates", 4)?;
+    let seed = args.get_i64("seed", 1)? as u64;
+    let cache_slots = args.get_usize("cache", 4096)?;
+    let with_global = args.get_usize("global", 1)? != 0;
+    let dataset = trace_dataset(args, 200)?;
+    args.reject_unknown()?;
+
+    let domain = dataset
+        .points()
+        .iter()
+        .flat_map(|p| [p.x, p.y])
+        .max()
+        .unwrap_or(1000)
+        .max(1);
+    let options = skyline_serve::ServerOptions {
+        engine,
+        with_global,
+        cache_slots,
+        ..skyline_serve::ServerOptions::default()
+    };
+    let (server, handles) = skyline_serve::SkylineServer::with_dataset(&dataset, options);
+    writeln!(
+        out,
+        "top: n={} readers={readers} queries/reader/tick={queries} updates/tick={updates} \
+         interval={interval_ms}ms",
+        dataset.len(),
+    )?;
+
+    let mut prev = telemetry::metrics_snapshot();
+    let origin_ns = telemetry::now_ns();
+    for tick in 0..ticks {
+        telemetry::spin_until(origin_ns + tick as u64 * interval_ms * 1_000_000);
+        let spec = skyline_serve::WorkloadSpec {
+            readers,
+            rounds: 1,
+            queries_per_reader: queries,
+            updates_per_round: updates,
+            domain,
+            // A fresh seed per tick keeps the query stream moving instead
+            // of replaying tick 1 into a fully warmed cache.
+            seed: seed.wrapping_add(tick as u64),
+            mix: skyline_serve::QueryMix::default(),
+        };
+        let tick_start = telemetry::now_ns();
+        let report = skyline_serve::workload::run(&server, &spec, &handles);
+        let wall_ms = telemetry::ms_since(tick_start).max(1e-6);
+        let snap = telemetry::metrics_snapshot();
+
+        let hits =
+            counter_value(&snap, "serve.cache.hit") - counter_value(&prev, "serve.cache.hit");
+        let misses =
+            counter_value(&snap, "serve.cache.miss") - counter_value(&prev, "serve.cache.miss");
+        let hit_cell = if hits + misses > 0 {
+            format!("{:.1}%", 100.0 * hits as f64 / (hits + misses) as f64)
+        } else {
+            "—".to_string()
+        };
+        writeln!(
+            out,
+            "tick {}/{ticks}: {} queries in {wall_ms:.1} ms ({:.0} q/s) | epochs {} | cache {hit_cell}",
+            tick + 1,
+            report.queries,
+            report.queries as f64 * 1_000.0 / wall_ms,
+            report.epochs_published,
+        )?;
+        for h in &snap.histograms {
+            let before = histogram_buckets(&prev, h.name);
+            let after = histogram_buckets(&snap, h.name);
+            let delta: Vec<u64> = after
+                .iter()
+                .zip(&before)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect();
+            let moved: u64 = delta.iter().sum();
+            if moved == 0 {
+                continue;
+            }
+            // Show buckets up to the last active one, so the sparkline's
+            // width tracks the magnitude range actually exercised.
+            let width = delta.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+            writeln!(
+                out,
+                "  {:<20} {} (+{moved} samples)",
+                h.name,
+                skyline_viz::ascii::sparkline(&delta[..width]),
+            )?;
+        }
+        if snap.histograms.is_empty() && tick == 0 {
+            writeln!(
+                out,
+                "  (metrics registry is empty — built without the `telemetry` feature?)"
+            )?;
+        }
+        prev = snap;
+    }
+    Ok(())
+}
+
 fn human_bytes(n: usize) -> String {
     if n >= 1 << 20 {
         format!("{:.1} MiB", n as f64 / (1 << 20) as f64)
@@ -593,9 +829,20 @@ USAGE:
   skydiag trace  serve-bench --out trace.json [--n N | --data ...] [--readers R]
                  [--rounds K] [--queries Q] [--updates U] [--seed S] [--cache SLOTS]
                  [--global 0|1] [--engine ...] [--metrics metrics.json]
+                 [--stall NTH,MS [--anomaly dump.json]]
+                 (--stall wedges the NTH refresh for MS ms; --anomaly arms the
+                 latency trigger and writes the flight-recorder dump it freezes)
   skydiag report <data.csv|hotel> --out report.html [--engine ...] [--title T]
+  skydiag report <trace.json> [--json verdict.json]
+                 (Chrome-trace input is auto-detected; prints a per-thread
+                 busy/stall diagnosis table plus a machine-readable verdict)
   skydiag serve-bench <data.csv|hotel> [--readers R] [--rounds K] [--queries Q]
                  [--updates U] [--seed S] [--cache SLOTS] [--global 0|1] [--engine ...]
+  skydiag top    [--ticks T] [--interval-ms MS] [--n N | --data ...] [--readers R]
+                 [--queries Q] [--updates U] [--seed S] [--cache SLOTS]
+                 [--global 0|1] [--engine ...]
+                 (interval-sampled serving monitor: per-tick metric deltas
+                 with histogram-bucket sparklines)
 
 Input CSV: one `x,y` integer row per point; `#` comments allowed.
 The literal input 'hotel' loads the paper's 11-hotel running example.
@@ -834,6 +1081,90 @@ mod tests {
         if cfg!(feature = "telemetry") {
             assert!(summary.complete_events > 0, "no spans in {trace}");
         }
+
+        // Injected-stall anomaly flow: the stall span fires the armed
+        // latency trigger and the frozen dump lands as a validated trace.
+        let anomaly_trace = dir.join("anomaly-trace.json");
+        let anomaly_dump = dir.join("anomaly-dump.json");
+        let text = run(
+            cmd_trace,
+            &[
+                "serve-bench",
+                "--n",
+                "40",
+                "--readers",
+                "1",
+                "--rounds",
+                "1",
+                "--queries",
+                "5",
+                "--stall",
+                "1,120",
+                "--out",
+                anomaly_trace.to_str().unwrap(),
+                "--anomaly",
+                anomaly_dump.to_str().unwrap(),
+            ],
+        );
+        if cfg!(feature = "telemetry") {
+            let text = text.unwrap();
+            assert!(
+                text.contains("anomaly:     latency-over-threshold"),
+                "{text}"
+            );
+            let dump = std::fs::read_to_string(&anomaly_dump).unwrap();
+            skyline_bench::json::validate_chrome_trace(&dump).unwrap();
+            assert!(dump.contains("serve.refresh.injected_stall"), "{dump}");
+        } else {
+            // Without the feature the recorder cannot freeze anything and
+            // the command says so instead of writing an empty dump.
+            assert!(text.is_err());
+        }
+
+        // `report` sniffs the Chrome-trace shape in the same positional
+        // slot the CSV path uses, and dispatches to the trace diagnosis.
+        let verdict_path = dir.join("verdict.json");
+        let text = run(
+            cmd_report,
+            &[
+                trace_path.to_str().unwrap(),
+                "--json",
+                verdict_path.to_str().unwrap(),
+            ],
+        )
+        .unwrap();
+        assert!(text.contains("verdict:"), "{text}");
+        let verdict = std::fs::read_to_string(&verdict_path).unwrap();
+        for key in ["\"verdict\"", "\"wall_us\"", "\"chunk_imbalance\""] {
+            assert!(verdict.contains(key), "missing {key} in {verdict}");
+        }
+    }
+
+    #[test]
+    fn top_prints_per_tick_metric_deltas() {
+        let text = run(
+            cmd_top,
+            &[
+                "--ticks",
+                "2",
+                "--n",
+                "50",
+                "--readers",
+                "1",
+                "--queries",
+                "20",
+                "--updates",
+                "1",
+            ],
+        )
+        .unwrap();
+        assert!(text.contains("tick 1/2:"), "{text}");
+        assert!(text.contains("tick 2/2:"), "{text}");
+        assert!(text.contains("queries in"), "{text}");
+        // Each tick issues updates, so the rebuild-latency histogram must
+        // move and earn a sparkline row (telemetry builds only).
+        #[cfg(feature = "telemetry")]
+        assert!(text.contains("serve.rebuild_us"), "{text}");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::process::ExitCode;
 use args::Args;
 use commands::{
     cmd_ascii, cmd_build, cmd_gen, cmd_query, cmd_render, cmd_report, cmd_serve_bench, cmd_stats,
-    cmd_trace, USAGE,
+    cmd_top, cmd_trace, USAGE,
 };
 
 fn main() -> ExitCode {
@@ -35,6 +35,7 @@ fn main() -> ExitCode {
                 "trace" => cmd_trace(&args, &mut stdout),
                 "report" => cmd_report(&args, &mut stdout),
                 "serve-bench" => cmd_serve_bench(&args, &mut stdout),
+                "top" => cmd_top(&args, &mut stdout),
                 "help" | "--help" | "-h" => {
                     print!("{USAGE}");
                     Ok(())

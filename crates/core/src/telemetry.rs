@@ -29,6 +29,18 @@
 //! * **Clock** — [`now_ns`] / [`ms_since`], nanoseconds on a process-wide
 //!   monotonic epoch. Always available, feature or not, because product
 //!   data (e.g. workload reports) depends on it.
+//! * **Flight recorder** — every closed span is additionally written into a
+//!   bounded per-thread ring ([`FLIGHT_CAPACITY`] events, overwrite-oldest),
+//!   whether or not a trace session is active. A *trigger* —
+//!   latency-over-threshold ([`set_latency_trigger`]), invariant violation
+//!   ([`trigger_anomaly`]), or panic ([`install_panic_trigger`]) — freezes
+//!   the recorder: each thread contributes the tail of its ring (events
+//!   ending within the freeze window) to a shared dump, drained by
+//!   [`take_anomaly_dump`]. The anomalous build or query is captured
+//!   *after the fact*, with no `start_recording` pre-arming. The hot path
+//!   stays lock-free: the ring is thread-local and trigger checks are two
+//!   relaxed atomic loads per closed span; the dump mutex is only touched
+//!   once per thread per anomaly.
 //!
 //! # Feature gate and determinism
 //!
@@ -64,6 +76,16 @@ pub fn bucket_lower_bound(index: usize) -> u64 {
     }
 }
 
+/// Capacity of each thread's flight-recorder ring, in closed span events.
+/// Oldest events are overwritten once the ring is full, so the ring always
+/// holds the most recent `FLIGHT_CAPACITY` spans closed on that thread.
+pub const FLIGHT_CAPACITY: usize = 2048;
+
+/// Default freeze window: how far back (in time before the trigger) ring
+/// events are considered part of the anomaly, unless overridden with
+/// [`set_flight_window_ms`].
+pub const DEFAULT_FLIGHT_WINDOW_MS: u64 = 250;
+
 /// Nanoseconds since the first telemetry clock use in this process. The
 /// epoch is process-wide, so timestamps from different threads share one
 /// monotonic axis — exactly what the Chrome-trace exporter needs.
@@ -77,6 +99,18 @@ pub fn now_ns() -> u64 {
 /// Milliseconds elapsed since a [`now_ns`] timestamp.
 pub fn ms_since(start_ns: u64) -> f64 {
     now_ns().saturating_sub(start_ns) as f64 / 1_000_000.0
+}
+
+/// Busy-waits until the telemetry clock reaches `target_ns` (returns
+/// immediately if it already has). This is the workspace's one
+/// scheduled-wait primitive: raw `thread::sleep` is banned by the
+/// `no-raw-spawn` lint, and its wake-up jitter would poison open-loop
+/// latency accounting anyway — a spin wakes within nanoseconds of the
+/// scheduled arrival, at the cost of burning the waiting core.
+pub fn spin_until(target_ns: u64) {
+    while now_ns() < target_ns {
+        std::hint::spin_loop();
+    }
 }
 
 /// One closed span, as drained by [`stop_recording`]. `start_ns`/`dur_ns`
@@ -129,6 +163,23 @@ pub struct MetricsSnapshot {
     pub counters: Vec<CounterSnapshot>,
     /// All registered histograms.
     pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// A drained flight-recorder dump: the recent span events every thread
+/// contributed after an anomaly trigger fired. Produced by
+/// [`take_anomaly_dump`]; feed `events` straight to the Chrome-trace
+/// exporter (`skyline_bench::json::render_chrome_trace`) for a
+/// structurally valid trace of the anomaly's immediate past.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AnomalyDump {
+    /// Which trigger fired first: `"latency-over-threshold"`, `"panic"`,
+    /// or the reason passed to [`trigger_anomaly`].
+    pub reason: &'static str,
+    /// [`now_ns`] timestamp at which the trigger fired.
+    pub trigger_ns: u64,
+    /// Contributed ring events, ordered like `stop_recording` output
+    /// (`(thread, start_ns)`; ties broken longest-span-first).
+    pub events: Vec<SpanEvent>,
 }
 
 /// An unregistered, always-compiled atomic counter for *per-instance*
@@ -218,8 +269,8 @@ macro_rules! span {
 #[cfg(feature = "telemetry")]
 mod active {
     use super::{
-        bucket_index, now_ns, CounterCell, CounterSnapshot, HistogramSnapshot, MetricsSnapshot,
-        SpanEvent, HISTOGRAM_BUCKETS,
+        bucket_index, now_ns, AnomalyDump, CounterCell, CounterSnapshot, HistogramSnapshot,
+        MetricsSnapshot, SpanEvent, DEFAULT_FLIGHT_WINDOW_MS, FLIGHT_CAPACITY, HISTOGRAM_BUCKETS,
     };
     use std::cell::RefCell;
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -476,14 +527,63 @@ mod active {
 
     static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
 
-    /// Per-thread span buffer: events accumulate here without any lock and
-    /// flush to the global sink at thread exit or [`stop_recording`].
+    /// The pending anomaly's trigger timestamp, or 0 when no anomaly is
+    /// frozen. Set once per anomaly by a compare-exchange from 0 (first
+    /// trigger wins); cleared by [`take_anomaly_dump`].
+    static FREEZE_NS: AtomicU64 = AtomicU64::new(0);
+
+    /// Latency-trigger threshold in nanoseconds; 0 = disarmed. Any closed
+    /// span whose duration reaches the threshold fires the anomaly trigger.
+    static LATENCY_TRIGGER_NS: AtomicU64 = AtomicU64::new(0);
+
+    /// Freeze window in nanoseconds: ring events ending earlier than
+    /// `trigger - window` are not part of the anomaly's immediate past.
+    static FLIGHT_WINDOW_NS: AtomicU64 = AtomicU64::new(DEFAULT_FLIGHT_WINDOW_MS * 1_000_000);
+
+    /// The frozen dump under construction: trigger metadata plus every
+    /// contributed ring tail. Guarded by a mutex, but only touched when a
+    /// trigger fires or a thread contributes — never on the span hot path.
+    #[derive(Debug, Default)]
+    struct DumpState {
+        reason: &'static str,
+        trigger_ns: u64,
+        events: Vec<SpanEvent>,
+    }
+
+    fn dump_state() -> &'static Mutex<DumpState> {
+        static DUMP: OnceLock<Mutex<DumpState>> = OnceLock::new();
+        DUMP.get_or_init(|| Mutex::new(DumpState::default()))
+    }
+
+    /// Fires the anomaly trigger at `ts` (clamped to nonzero so 0 keeps
+    /// meaning "no anomaly"). Only the first trigger per freeze records its
+    /// reason; later triggers are absorbed until the dump is taken.
+    fn fire_trigger(reason: &'static str, ts: u64) {
+        let ts = ts.max(1);
+        if FREEZE_NS
+            .compare_exchange(0, ts, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            if let Ok(mut dump) = dump_state().lock() {
+                dump.reason = reason;
+                dump.trigger_ns = ts;
+            }
+        }
+    }
+
+    /// Per-thread span buffer: session events accumulate in `events`
+    /// without any lock and flush to the global sink at thread exit or
+    /// [`stop_recording`]; `ring` is the always-on flight recorder
+    /// (bounded, overwrite-oldest) that triggers drain from.
     #[derive(Debug)]
     struct ThreadBuf {
         id: u64,
         generation: u64,
         depth: u32,
         events: Vec<SpanEvent>,
+        ring: Vec<SpanEvent>,
+        ring_next: usize,
+        contributed_freeze: u64,
     }
 
     impl ThreadBuf {
@@ -493,6 +593,9 @@ mod active {
                 generation: 0,
                 depth: 0,
                 events: Vec::new(),
+                ring: Vec::new(),
+                ring_next: 0,
+                contributed_freeze: 0,
             }
         }
 
@@ -510,13 +613,48 @@ mod active {
             }
             self.events.clear();
         }
+
+        /// Appends a closed span to the flight ring, overwriting the oldest
+        /// entry once [`FLIGHT_CAPACITY`] is reached.
+        fn ring_push(&mut self, event: SpanEvent) {
+            if self.ring.len() < FLIGHT_CAPACITY {
+                self.ring.push(event);
+            } else if let Some(slot) = self.ring.get_mut(self.ring_next) {
+                *slot = event;
+            }
+            self.ring_next = (self.ring_next + 1) % FLIGHT_CAPACITY;
+        }
+
+        /// If an anomaly is frozen and this thread has not yet contributed
+        /// to it, copies the tail of the ring (events ending inside the
+        /// freeze window) into the shared dump. At most once per thread per
+        /// freeze, so the dump mutex is off the steady-state hot path.
+        fn contribute_if_frozen(&mut self) {
+            let freeze = FREEZE_NS.load(Ordering::Acquire);
+            if freeze == 0 || self.contributed_freeze == freeze {
+                return;
+            }
+            self.contributed_freeze = freeze;
+            let cutoff = freeze.saturating_sub(FLIGHT_WINDOW_NS.load(Ordering::Relaxed));
+            if let Ok(mut dump) = dump_state().lock() {
+                for event in &self.ring {
+                    if event.start_ns.saturating_add(event.dur_ns) >= cutoff {
+                        dump.events.push(event.clone());
+                    }
+                }
+            }
+        }
     }
 
     impl Drop for ThreadBuf {
         fn drop(&mut self) {
             // A worker exiting mid-session hands its events over; a thread
-            // outliving its session drops them (flush checks the match).
+            // outliving its session drops them (flush checks the match). An
+            // exiting worker also contributes its ring to any frozen
+            // anomaly it has not yet served — scoped pool workers are
+            // joined before the driver takes the dump, so nothing is lost.
             self.flush(current_generation());
+            self.contribute_if_frozen();
         }
     }
 
@@ -570,8 +708,80 @@ mod active {
         current_generation() != 0
     }
 
-    /// An open phase span; records a [`SpanEvent`] on drop if its session
-    /// is still the active one. Created by [`span!`](crate::span).
+    /// Arms the latency trigger: any span closing with a duration of at
+    /// least `threshold_ns` freezes the flight recorder. `0` disarms. The
+    /// threshold applies to *every* span name — aim it at the workload's
+    /// tail by picking a threshold well above benign span durations.
+    pub fn set_latency_trigger(threshold_ns: u64) {
+        LATENCY_TRIGGER_NS.store(threshold_ns, Ordering::Relaxed);
+    }
+
+    /// Overrides the freeze window: how far before the trigger instant
+    /// ring events still count as the anomaly's past (default
+    /// [`DEFAULT_FLIGHT_WINDOW_MS`]).
+    pub fn set_flight_window_ms(window_ms: u64) {
+        FLIGHT_WINDOW_NS.store(window_ms.saturating_mul(1_000_000), Ordering::Relaxed);
+    }
+
+    /// Fires the anomaly trigger by hand — the invariant-violation entry
+    /// point. Freezes the recorder (first trigger wins until the dump is
+    /// taken) and immediately contributes the calling thread's ring.
+    pub fn trigger_anomaly(reason: &'static str) {
+        fire_trigger(reason, now_ns());
+        with_thread_buf(ThreadBuf::contribute_if_frozen);
+    }
+
+    /// Installs a process-wide panic hook (once) that fires the anomaly
+    /// trigger with reason `"panic"` before delegating to the previous
+    /// hook. The hook runs on the panicking thread, so that thread's ring
+    /// — the spans leading up to the panic — is contributed immediately.
+    pub fn install_panic_trigger() {
+        static INSTALLED: OnceLock<()> = OnceLock::new();
+        INSTALLED.get_or_init(|| {
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                trigger_anomaly("panic");
+                previous(info);
+            }));
+        });
+    }
+
+    /// Takes the frozen anomaly dump, if a trigger has fired: contributes
+    /// the calling thread's ring first, then drains the shared dump and
+    /// re-arms the recorder (FREEZE clears, so the next trigger starts a
+    /// fresh dump). Returns `None` when no trigger has fired. Threads that
+    /// never closed another span after the freeze contribute at exit
+    /// (scoped workers) or not at all — take the dump after joining.
+    pub fn take_anomaly_dump() -> Option<AnomalyDump> {
+        with_thread_buf(ThreadBuf::contribute_if_frozen);
+        if FREEZE_NS.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let (reason, trigger_ns, mut events) = {
+            let mut dump = dump_state().lock().ok()?;
+            (
+                dump.reason,
+                dump.trigger_ns,
+                std::mem::take(&mut dump.events),
+            )
+        };
+        FREEZE_NS.store(0, Ordering::Release);
+        events.sort_by_key(|e| (e.thread, e.start_ns, std::cmp::Reverse(e.dur_ns)));
+        Some(AnomalyDump {
+            reason,
+            trigger_ns,
+            events,
+        })
+    }
+
+    /// True iff an anomaly trigger has fired and its dump is still frozen.
+    pub fn anomaly_pending() -> bool {
+        FREEZE_NS.load(Ordering::Acquire) != 0
+    }
+
+    /// An open phase span; always feeds the flight ring on drop, and
+    /// records a [`SpanEvent`] into the trace session if one is active.
+    /// Created by [`span!`](crate::span).
     #[derive(Debug)]
     pub struct Span {
         name: &'static str,
@@ -581,22 +791,15 @@ mod active {
     }
 
     impl Span {
-        /// Opens a span; inactive (free) when no session is recording.
+        /// Opens a span. Timing is always live (the flight recorder needs
+        /// it); the session generation is captured so the close event lands
+        /// in the right trace, or none.
         #[inline]
         pub fn enter(name: &'static str, payload: Option<u64>) -> Span {
             let generation = current_generation();
-            if generation == 0 {
-                return Span {
-                    name,
-                    payload,
-                    start_ns: 0,
-                    generation: 0,
-                };
-            }
             with_thread_buf(|buf| {
-                if buf.generation != generation {
+                if generation != 0 && buf.generation != generation {
                     buf.events.clear();
-                    buf.depth = 0;
                     buf.generation = generation;
                 }
                 buf.depth += 1;
@@ -617,27 +820,28 @@ mod active {
 
     impl Drop for Span {
         fn drop(&mut self) {
-            if self.generation == 0 {
-                return;
-            }
             let end_ns = now_ns();
-            let still_active = current_generation() == self.generation;
+            let dur_ns = end_ns.saturating_sub(self.start_ns);
+            let still_active = self.generation != 0 && current_generation() == self.generation;
             with_thread_buf(|buf| {
-                if buf.generation != self.generation {
-                    return;
-                }
                 buf.depth = buf.depth.saturating_sub(1);
-                if still_active {
-                    let depth = buf.depth;
-                    buf.events.push(SpanEvent {
-                        name: self.name,
-                        thread: buf.id,
-                        depth,
-                        start_ns: self.start_ns,
-                        dur_ns: end_ns.saturating_sub(self.start_ns),
-                        payload: self.payload,
-                    });
+                let event = SpanEvent {
+                    name: self.name,
+                    thread: buf.id,
+                    depth: buf.depth,
+                    start_ns: self.start_ns,
+                    dur_ns,
+                    payload: self.payload,
+                };
+                if still_active && buf.generation == self.generation {
+                    buf.events.push(event.clone());
                 }
+                buf.ring_push(event);
+                let threshold = LATENCY_TRIGGER_NS.load(Ordering::Relaxed);
+                if threshold != 0 && dur_ns >= threshold {
+                    fire_trigger("latency-over-threshold", end_ns);
+                }
+                buf.contribute_if_frozen();
             });
         }
     }
@@ -645,13 +849,15 @@ mod active {
 
 #[cfg(feature = "telemetry")]
 pub use active::{
-    metrics_snapshot, recording, register_counter, register_histogram, reset_metrics,
-    start_recording, stop_recording, Counter, CounterSite, Histogram, HistogramSite, Span,
+    anomaly_pending, install_panic_trigger, metrics_snapshot, recording, register_counter,
+    register_histogram, reset_metrics, set_flight_window_ms, set_latency_trigger, start_recording,
+    stop_recording, take_anomaly_dump, trigger_anomaly, Counter, CounterSite, Histogram,
+    HistogramSite, Span,
 };
 
 #[cfg(not(feature = "telemetry"))]
 mod noop {
-    use super::{MetricsSnapshot, SpanEvent};
+    use super::{AnomalyDump, MetricsSnapshot, SpanEvent};
 
     /// Zero-sized stand-in for both registry metric kinds when the
     /// `telemetry` feature is off; every method compiles to nothing.
@@ -744,12 +950,35 @@ mod noop {
     pub fn recording() -> bool {
         false
     }
+
+    /// No-op: the flight recorder does not exist with the feature off.
+    pub fn set_latency_trigger(_threshold_ns: u64) {}
+
+    /// No-op.
+    pub fn set_flight_window_ms(_window_ms: u64) {}
+
+    /// No-op.
+    pub fn trigger_anomaly(_reason: &'static str) {}
+
+    /// No-op: no hook is installed, panics propagate untouched.
+    pub fn install_panic_trigger() {}
+
+    /// Always `None`.
+    pub fn take_anomaly_dump() -> Option<AnomalyDump> {
+        None
+    }
+
+    /// Always false.
+    pub fn anomaly_pending() -> bool {
+        false
+    }
 }
 
 #[cfg(not(feature = "telemetry"))]
 pub use noop::{
-    metrics_snapshot, recording, reset_metrics, start_recording, stop_recording, CounterSite,
-    HistogramSite, Span,
+    anomaly_pending, install_panic_trigger, metrics_snapshot, recording, reset_metrics,
+    set_flight_window_ms, set_latency_trigger, start_recording, stop_recording, take_anomaly_dump,
+    trigger_anomaly, CounterSite, HistogramSite, Span,
 };
 
 #[cfg(all(test, feature = "telemetry"))]
@@ -834,5 +1063,107 @@ mod tests {
         let empty = stop_recording();
         assert!(empty.is_empty());
         assert!(!recording());
+    }
+
+    /// The whole flight-recorder lifecycle in one test so the process-wide
+    /// freeze/trigger state is exercised sequentially, not raced by the
+    /// test harness's parallelism.
+    #[test]
+    fn flight_recorder_triggers_freeze_and_dump() {
+        // 1. Manual (invariant-violation) trigger: spans closed *before*
+        //    the trigger, with no session armed, land in the dump.
+        {
+            let _before = span!("test.flight.before", 11);
+        }
+        trigger_anomaly("test-invariant");
+        assert!(anomaly_pending());
+        let dump = take_anomaly_dump().expect("manual trigger must freeze a dump");
+        assert_eq!(dump.reason, "test-invariant");
+        assert!(dump.trigger_ns > 0);
+        assert!(dump
+            .events
+            .iter()
+            .any(|e| e.name == "test.flight.before" && e.payload == Some(11)));
+        assert!(!anomaly_pending());
+        assert!(
+            take_anomaly_dump().is_none(),
+            "taking the dump must re-arm the recorder"
+        );
+
+        // Dump ordering matches stop_recording's contract.
+        let keys: Vec<_> = dump.events.iter().map(|e| (e.thread, e.start_ns)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+
+        // 2. Latency trigger: a span over threshold fires on close with no
+        //    pre-arming; the slow span itself is part of the dump.
+        set_latency_trigger(2_000_000); // 2 ms
+        {
+            let _slow = span!("test.flight.slow");
+            let begin = now_ns();
+            while now_ns().saturating_sub(begin) < 3_000_000 {
+                std::hint::spin_loop();
+            }
+        }
+        set_latency_trigger(0);
+        let dump = take_anomaly_dump().expect("slow span must fire the latency trigger");
+        assert!(dump
+            .events
+            .iter()
+            .any(|e| e.name == "test.flight.slow" && e.dur_ns >= 2_000_000));
+
+        // 3. The ring is bounded: closing far more spans than the capacity
+        //    leaves at most FLIGHT_CAPACITY of them for this thread.
+        for _ in 0..(FLIGHT_CAPACITY + 500) {
+            let _tiny = span!("test.flight.wrap");
+        }
+        trigger_anomaly("test-wrap");
+        let dump = take_anomaly_dump().expect("wrap trigger must freeze a dump");
+        let wraps = dump
+            .events
+            .iter()
+            .filter(|e| e.name == "test.flight.wrap")
+            .count();
+        assert!(wraps <= FLIGHT_CAPACITY, "ring must be bounded: {wraps}");
+        assert!(
+            wraps >= FLIGHT_CAPACITY / 2,
+            "ring kept too little: {wraps}"
+        );
+
+        // 4. Panic trigger: the hook fires on the panicking thread and the
+        //    spans leading up to the panic are captured.
+        install_panic_trigger();
+        let unwound = std::panic::catch_unwind(|| {
+            {
+                let _doomed = span!("test.flight.prepanic");
+            }
+            panic!("synthetic panic for the flight recorder");
+        });
+        assert!(unwound.is_err());
+        let dump = take_anomaly_dump().expect("panic hook must fire the anomaly trigger");
+        assert_eq!(dump.reason, "panic");
+        assert!(dump.events.iter().any(|e| e.name == "test.flight.prepanic"));
+
+        // 5. Depth is tracked even with no session active: the always-on
+        //    ring records true nesting.
+        {
+            let _outer = span!("test.flight.depth_outer");
+            let _inner = span!("test.flight.depth_inner");
+        }
+        trigger_anomaly("test-depth");
+        let dump = take_anomaly_dump().expect("depth trigger must freeze a dump");
+        let outer = dump
+            .events
+            .iter()
+            .find(|e| e.name == "test.flight.depth_outer")
+            .expect("outer span must be in the flight ring");
+        let inner = dump
+            .events
+            .iter()
+            .find(|e| e.name == "test.flight.depth_inner")
+            .expect("inner span must be in the flight ring");
+        assert_eq!(inner.depth, outer.depth + 1);
+        assert!(inner.start_ns >= outer.start_ns);
     }
 }

@@ -16,6 +16,10 @@
 //!   checksums are bit-identical across thread counts and cache settings;
 //!   the differential stress harness (`tests/stress_diff.rs`) checks every
 //!   concurrent answer against a fresh single-threaded recompute.
+//! * [`openloop`] drives the same queries on a fixed-rate arrival
+//!   schedule, measuring latency from *scheduled* arrival — the
+//!   coordinated-omission-safe view of the tail — into per-family log2
+//!   histograms, while folding the identical checksum.
 //!
 //! ```
 //! use skyline_core::geometry::{Dataset, Point};
@@ -39,11 +43,13 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod openloop;
 pub mod server;
 pub mod snapshot;
 pub mod workload;
 
 pub use cache::{CacheStats, ResultCache};
+pub use openloop::{run_open_loop, LatencyHistogram, OpenLoopReport, OpenLoopSpec, FAMILY_NAMES};
 pub use server::{ServerOptions, SkylineServer, SnapshotReader};
 pub use snapshot::Snapshot;
 pub use workload::{QueryMix, WorkloadReport, WorkloadSpec};

@@ -1,0 +1,398 @@
+//! An open-loop workload driver for [`SkylineServer`]: arrivals are
+//! *scheduled* at a fixed rate and latency is measured from each query's
+//! scheduled arrival, not from when the server got around to starting it.
+//!
+//! # Why open-loop
+//!
+//! The closed-loop driver in [`crate::workload`] issues the next query
+//! only after the previous one finishes, so a server stall silently
+//! *reschedules* the queries that would have arrived during the stall —
+//! the classic coordinated-omission blind spot: mean and even p99 look
+//! healthy while real clients were queueing. Here the arrival schedule is
+//! fixed up front (`k`-th arrival at `start + k/rate`), a lane that falls
+//! behind keeps issuing without waiting, and every latency sample is
+//! `completion − scheduled_arrival`, so queue time accrued behind a stall
+//! lands in the histograms where a real client would feel it.
+//!
+//! # Determinism contract
+//!
+//! Latency *histograms* are timing and therefore machine-dependent, but
+//! the query *answers* fold into the same XOR checksum discipline as the
+//! closed-loop driver: query `k` is generated from a counter-based RNG
+//! keyed by `(seed, k)` regardless of which lane serves it, the run
+//! applies no updates (refresh barriers pass through but publish
+//! nothing), and XOR is order-independent. The open-loop checksum is
+//! therefore bit-identical across lane counts, thread counts, and
+//! arbitrarily severe stalls — the differential test for coordinated
+//! omission relies on exactly this: same answers, very different tails.
+
+use skyline_core::parallel::{self, ParallelConfig};
+use skyline_core::telemetry::{bucket_index, now_ns, spin_until, HISTOGRAM_BUCKETS};
+
+use crate::server::SkylineServer;
+use crate::workload::{digest_query, pick_kind, point_in_domain, splitmix, QueryMix};
+
+/// Query-family names, indexed by the query kind the mix draws
+/// (`0 = quadrant` … `4 = trace`). [`OpenLoopReport::families`] is in this
+/// order.
+pub const FAMILY_NAMES: [&str; 5] = ["quadrant", "global", "dynamic", "safe_zone", "trace"];
+
+/// Shape of one open-loop run. Unlike [`crate::workload::WorkloadSpec`]
+/// this fixes total *scheduled work over time*, not work per reader: the
+/// run always issues `arrivals` queries on a schedule of `rate` per
+/// second, however long the server takes to serve them.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopSpec {
+    /// Lane fan-out: `0` runs one lane inline on the caller (the
+    /// sequential reference), `k >= 1` fans `k` lanes out on the scoped
+    /// pool. Arrival `k` is served by lane `k % lanes`; the schedule and
+    /// the checksum do not depend on the lane count.
+    pub lanes: usize,
+    /// Scheduled arrivals per second (must be positive).
+    pub rate: u64,
+    /// Total scheduled arrivals.
+    pub arrivals: u64,
+    /// Query coordinates are drawn from `[0, domain)`.
+    pub domain: i64,
+    /// Master seed; every random choice derives from it by counter.
+    pub seed: u64,
+    /// Request-kind weights.
+    pub mix: QueryMix,
+    /// Every `refresh_every`-th arrival (by global index, `0` = never) the
+    /// owning lane runs a [`SkylineServer::refresh`] barrier first — the
+    /// path the injected-stall hook and any organic rebuild latency live
+    /// on. With no buffered updates the barrier publishes nothing, so the
+    /// checksum is unaffected.
+    pub refresh_every: u64,
+}
+
+impl Default for OpenLoopSpec {
+    fn default() -> Self {
+        OpenLoopSpec {
+            lanes: 0,
+            rate: 5_000,
+            arrivals: 2_000,
+            domain: 1 << 16,
+            seed: 0x0be7_0001,
+            mix: QueryMix::default(),
+            refresh_every: 0,
+        }
+    }
+}
+
+impl OpenLoopSpec {
+    /// Length of the arrival schedule in milliseconds (last arrival's
+    /// offset from the first): `(arrivals - 1) / rate`, as wall time.
+    pub fn schedule_ms(&self) -> f64 {
+        if self.rate == 0 {
+            return 0.0;
+        }
+        (self.arrivals.saturating_sub(1) as f64) * 1_000.0 / (self.rate as f64)
+    }
+}
+
+/// A 65-bucket log2 latency histogram as plain product data. This is the
+/// open-loop driver's *result*, not a telemetry probe: it shares the
+/// bucket layout of `skyline_core::telemetry` ([`bucket_index`], which is
+/// available with the feature off) but lives in the report, so percentile
+/// extraction works in `--no-default-features` builds too.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of recorded samples in nanoseconds (wrapping).
+    pub sum_ns: u64,
+    /// Largest recorded sample in nanoseconds.
+    pub max_ns: u64,
+    /// Log2 bucket counts; bucket `i` as in [`bucket_index`].
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency_ns: u64) {
+        self.count += 1;
+        self.sum_ns = self.sum_ns.wrapping_add(latency_ns);
+        self.max_ns = self.max_ns.max(latency_ns);
+        self.buckets[bucket_index(latency_ns)] += 1;
+    }
+
+    /// Adds `other`'s samples into this histogram (bucket-wise, so the
+    /// merge is order-independent across lanes).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.wrapping_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+    }
+
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What one open-loop run did and observed.
+#[derive(Clone, Debug)]
+pub struct OpenLoopReport {
+    /// Queries served (equals the spec's `arrivals`).
+    pub arrivals: u64,
+    /// Order-independent digest of every answer; identical across lane
+    /// counts, thread counts, and stalls for the same spec and content.
+    pub checksum: u64,
+    /// Wall-clock time from the first scheduled arrival to the last
+    /// completion. At least [`OpenLoopSpec::schedule_ms`] by construction.
+    pub elapsed_ms: f64,
+    /// Refresh barriers the lanes ran (per `refresh_every`).
+    pub refreshes: u64,
+    /// Per-family latency histograms in [`FAMILY_NAMES`] order, including
+    /// families the mix never drew (empty histograms).
+    pub families: Vec<(&'static str, LatencyHistogram)>,
+    /// All families merged.
+    pub overall: LatencyHistogram,
+}
+
+impl OpenLoopReport {
+    /// Served arrivals per second over the whole run.
+    pub fn achieved_rate(&self) -> f64 {
+        if self.elapsed_ms <= 0.0 {
+            0.0
+        } else {
+            self.arrivals as f64 * 1_000.0 / self.elapsed_ms
+        }
+    }
+}
+
+/// One lane's fold: its digest share and per-family histograms.
+struct LaneOutcome {
+    digest: u64,
+    refreshes: u64,
+    families: [LatencyHistogram; 5],
+}
+
+/// The [`skyline_core::telemetry::now_ns`] instant arrival `k` is
+/// scheduled at, on a schedule starting at `start_ns`.
+fn scheduled_ns(start_ns: u64, rate: u64, k: u64) -> u64 {
+    let offset = (u128::from(k) * 1_000_000_000u128) / u128::from(rate.max(1));
+    start_ns.saturating_add(u64::try_from(offset).unwrap_or(u64::MAX))
+}
+
+fn lane_run(
+    server: &SkylineServer,
+    spec: &OpenLoopSpec,
+    start_ns: u64,
+    lane: usize,
+) -> LaneOutcome {
+    let mut lane_span = skyline_core::span!("openloop.lane", lane as u64);
+    let mut families: [LatencyHistogram; 5] = std::array::from_fn(|_| LatencyHistogram::new());
+    let mut digest = 0u64;
+    let mut refreshes = 0u64;
+    let mut handled = 0u64;
+    let lane_count = spec.lanes.max(1) as u64;
+    // One pinned snapshot per lane: the run applies no updates, so every
+    // epoch a refresh barrier could surface has identical content.
+    let snap = server.reader().snapshot();
+    let mut k = lane as u64;
+    while k < spec.arrivals {
+        let sched = scheduled_ns(start_ns, spec.rate, k);
+        // Open-loop: wait *only* if the schedule is ahead of us. A lane
+        // running behind issues immediately and the backlog shows up as
+        // latency, exactly as a queued client would experience it.
+        spin_until(sched);
+        if spec.refresh_every > 0 && k > 0 && k % spec.refresh_every == 0 {
+            server.refresh();
+            refreshes += 1;
+        }
+        let key = splitmix(spec.seed ^ 0x07e2_100b) ^ splitmix(k);
+        let kind = pick_kind(&spec.mix, key);
+        let q = point_in_domain(spec.domain, splitmix(key ^ 0xbeef));
+        digest ^= digest_query(kind, q, &snap, spec.domain, key);
+        // Coordinated-omission-safe: latency runs from the *scheduled*
+        // arrival, so time spent queued behind a stall is charged here.
+        families[kind as usize].record(now_ns().saturating_sub(sched));
+        handled += 1;
+        k += lane_count;
+    }
+    skyline_core::counter!("openloop.queries").add(handled);
+    lane_span.set_payload(handled);
+    LaneOutcome {
+        digest,
+        refreshes,
+        families,
+    }
+}
+
+/// Runs the open loop: `spec.arrivals` queries on a fixed-rate schedule,
+/// fanned over `spec.lanes` pool lanes (arrival `k` → lane `k % lanes`).
+/// Returns the merged per-family latency histograms and the XOR checksum.
+///
+/// On a host with fewer cores than lanes the pool caps its workers, so
+/// trailing lanes start late and their samples absorb the full queue
+/// delay — large, but *honest* open-loop figures (see the 1-core caveat
+/// in EXPERIMENTS.md E13).
+pub fn run_open_loop(server: &SkylineServer, spec: &OpenLoopSpec) -> OpenLoopReport {
+    assert!(spec.rate > 0, "open-loop arrival rate must be positive");
+    assert!(spec.mix.total() > 0, "query mix must have positive weight");
+    let lane_count = spec.lanes.max(1);
+    let cfg = ParallelConfig::with_threads(spec.lanes);
+    let _run = skyline_core::span!("openloop.run", spec.arrivals);
+    let start_ns = now_ns();
+    let outcomes = parallel::map_indexed(&cfg, lane_count, |lane| {
+        lane_run(server, spec, start_ns, lane)
+    });
+    let elapsed_ms = skyline_core::telemetry::ms_since(start_ns);
+    let mut checksum = 0u64;
+    let mut refreshes = 0u64;
+    let mut merged: [LatencyHistogram; 5] = std::array::from_fn(|_| LatencyHistogram::new());
+    for outcome in &outcomes {
+        checksum ^= outcome.digest;
+        refreshes += outcome.refreshes;
+        for (into, from) in merged.iter_mut().zip(outcome.families.iter()) {
+            into.merge(from);
+        }
+    }
+    let mut overall = LatencyHistogram::new();
+    for hist in &merged {
+        overall.merge(hist);
+    }
+    let families = FAMILY_NAMES
+        .iter()
+        .zip(merged)
+        .map(|(name, hist)| (*name, hist))
+        .collect();
+    OpenLoopReport {
+        arrivals: spec.arrivals,
+        checksum,
+        elapsed_ms,
+        refreshes,
+        families,
+        overall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServerOptions, SkylineServer};
+    use skyline_core::geometry::Dataset;
+
+    fn server_with(n: i64) -> SkylineServer {
+        let coords: Vec<(i64, i64)> = (0..n)
+            .map(|i| {
+                let r = splitmix(0x0be7 ^ (i as u64));
+                ((r % 997) as i64 * 4, ((r >> 32) % 997) as i64 * 4)
+            })
+            .collect();
+        let ds = Dataset::from_coords(coords).expect("generated coords are valid");
+        SkylineServer::with_dataset(&ds, ServerOptions::default()).0
+    }
+
+    fn fast_spec() -> OpenLoopSpec {
+        OpenLoopSpec {
+            lanes: 0,
+            rate: 200_000,
+            arrivals: 400,
+            domain: 4_000,
+            seed: 7,
+            mix: QueryMix::default(),
+            refresh_every: 0,
+        }
+    }
+
+    #[test]
+    fn checksum_is_identical_across_lane_counts() {
+        let server = server_with(50);
+        let base = run_open_loop(&server, &fast_spec());
+        assert_eq!(base.arrivals, 400);
+        assert_eq!(base.overall.count, 400);
+        for lanes in [1usize, 4] {
+            let spec = OpenLoopSpec {
+                lanes,
+                ..fast_spec()
+            };
+            let report = run_open_loop(&server, &spec);
+            assert_eq!(
+                report.checksum, base.checksum,
+                "lanes={lanes} must fold the same answers"
+            );
+            assert_eq!(report.overall.count, 400);
+        }
+    }
+
+    #[test]
+    fn family_histograms_partition_the_arrivals() {
+        let server = server_with(50);
+        let report = run_open_loop(&server, &fast_spec());
+        let family_total: u64 = report.families.iter().map(|(_, h)| h.count).sum();
+        assert_eq!(family_total, report.arrivals);
+        assert_eq!(report.families.len(), FAMILY_NAMES.len());
+        // The default mix draws no dynamic queries.
+        let dynamic = report
+            .families
+            .iter()
+            .find(|(name, _)| *name == "dynamic")
+            .expect("every family has a histogram entry");
+        assert_eq!(dynamic.1.count, 0);
+        // Bucket counts agree with the sample count.
+        let bucket_total: u64 = report.overall.buckets.iter().sum();
+        assert_eq!(bucket_total, report.overall.count);
+    }
+
+    #[test]
+    fn the_schedule_paces_the_run() {
+        // 100 arrivals at 2000/s = a 49.5 ms schedule; the run cannot
+        // finish faster than its own arrival schedule.
+        let spec = OpenLoopSpec {
+            rate: 2_000,
+            arrivals: 100,
+            ..fast_spec()
+        };
+        let server = server_with(20);
+        let report = run_open_loop(&server, &spec);
+        assert!(
+            report.elapsed_ms >= spec.schedule_ms() * 0.95,
+            "run ({:.1}ms) finished before its schedule ({:.1}ms)",
+            report.elapsed_ms,
+            spec.schedule_ms()
+        );
+        assert!(report.achieved_rate() > 0.0);
+    }
+
+    #[test]
+    fn refresh_barriers_run_but_publish_nothing() {
+        let spec = OpenLoopSpec {
+            refresh_every: 50,
+            ..fast_spec()
+        };
+        let server = server_with(20);
+        let epoch_before = server.epoch();
+        let report = run_open_loop(&server, &spec);
+        assert_eq!(report.refreshes, 7, "arrivals 50,100,…,350 refresh");
+        assert_eq!(server.epoch(), epoch_before, "no updates, no epochs");
+        // Checksum unaffected by the barrier cadence.
+        let no_refresh = run_open_loop(&server, &fast_spec());
+        assert_eq!(report.checksum, no_refresh.checksum);
+    }
+}

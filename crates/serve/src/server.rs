@@ -53,6 +53,15 @@ pub struct ServerOptions {
     /// Pool configuration for snapshot rebuilds (default: from the
     /// environment, see [`ParallelConfig::from_env`]).
     pub parallel: ParallelConfig,
+    /// Deterministic stall injection on the refresh barrier, as
+    /// `(nth, stall_ms)`: the `nth` call to [`SkylineServer::refresh`]
+    /// (1-based) busy-waits `stall_ms` milliseconds on the telemetry clock
+    /// before publishing, inside a `serve.refresh.injected_stall` span.
+    /// `(0, _)` — the default — disables the hook. This exists for the
+    /// coordinated-omission differential test and the CI anomaly-trigger
+    /// job: the stall delays publication without touching buffered
+    /// updates, so query digests are unaffected.
+    pub injected_stall: (u64, u64),
 }
 
 impl Default for ServerOptions {
@@ -65,6 +74,7 @@ impl Default for ServerOptions {
             cache_slots: 4096,
             rebuild_threshold: 32,
             parallel: ParallelConfig::from_env(),
+            injected_stall: (0, 0),
         }
     }
 }
@@ -78,6 +88,8 @@ struct Writer {
     /// than via [`MaintainedIndex::pending_updates`] because the server,
     /// not the index, decides when the next snapshot is built.
     dirty: usize,
+    /// Total [`SkylineServer::refresh`] calls, for the injected-stall hook.
+    refresh_calls: u64,
 }
 
 /// A concurrently readable, epoch-snapshotted skyline index. See the
@@ -103,6 +115,7 @@ impl SkylineServer {
                 maintained,
                 publisher: EpochPublisher::new(Snapshot::empty(0)),
                 dirty: 0,
+                refresh_calls: 0,
             }),
         }
     }
@@ -217,6 +230,17 @@ impl SkylineServer {
             let _wait = skyline_core::span!("serve.refresh.wait");
             self.lock_writer()
         };
+        w.refresh_calls += 1;
+        let (nth, stall_ms) = self.options.injected_stall;
+        if nth != 0 && w.refresh_calls == nth {
+            // Spin on the telemetry clock (raw `thread::sleep` is banned
+            // workspace-wide) so the stall is a real span with real
+            // duration — the latency trigger and the open-loop driver both
+            // observe it exactly like an organic slow rebuild.
+            let _stall = skyline_core::span!("serve.refresh.injected_stall", stall_ms);
+            let begin = skyline_core::telemetry::now_ns();
+            skyline_core::telemetry::spin_until(begin.saturating_add(stall_ms * 1_000_000));
+        }
         self.publish_if_dirty(&mut w)
     }
 
@@ -393,6 +417,27 @@ mod tests {
         let (server, _) = SkylineServer::with_dataset(&small_dataset(), ServerOptions::default());
         assert_eq!(server.refresh(), 1);
         assert_eq!(server.refresh(), 1, "no spurious epochs");
+    }
+
+    #[test]
+    fn injected_stall_fires_on_the_nth_refresh_only() {
+        use skyline_core::telemetry::now_ns;
+        let options = ServerOptions {
+            injected_stall: (2, 20),
+            ..ServerOptions::default()
+        };
+        let (server, _) = SkylineServer::with_dataset(&small_dataset(), options);
+        assert_eq!(server.refresh(), 1, "first refresh: no stall, no epoch");
+        let begin = now_ns();
+        assert_eq!(server.refresh(), 1, "second refresh: stalls, no epoch");
+        let stalled_ns = now_ns().saturating_sub(begin);
+        assert!(
+            stalled_ns >= 20_000_000,
+            "second refresh must stall >= 20ms, took {stalled_ns}ns"
+        );
+        assert_eq!(server.refresh(), 1, "third refresh: hook spent");
+        // The stall never touches data: answers are those of epoch 1.
+        assert!(!server.latest().quadrant(Point::new(1, 1)).is_empty());
     }
 
     #[test]

@@ -152,8 +152,9 @@ impl WorkloadReport {
     }
 }
 
-/// SplitMix64: the counter-keyed generator behind every random choice.
-fn splitmix(mut x: u64) -> u64 {
+/// SplitMix64: the counter-keyed generator behind every random choice
+/// (shared with the open-loop driver in [`crate::openloop`]).
+pub(crate) fn splitmix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -186,8 +187,9 @@ fn fnv_handles(mut acc: u64, handles: &[Handle]) -> u64 {
 }
 
 /// Digest of one answered query: kind, query point, and the full answer.
-/// Exact integers only — no floats enter the checksum.
-fn digest_query(kind: u64, q: Point, snap: &Snapshot, spec: &WorkloadSpec, rng: u64) -> u64 {
+/// Exact integers only — no floats enter the checksum. Shared by the
+/// closed-loop and open-loop drivers so their answers fold identically.
+pub(crate) fn digest_query(kind: u64, q: Point, snap: &Snapshot, domain: i64, rng: u64) -> u64 {
     let mut acc = fnv(
         fnv(FNV_OFFSET, kind),
         (q.x as u64) << 32 | (q.y as u64 & 0xffff_ffff),
@@ -203,7 +205,7 @@ fn digest_query(kind: u64, q: Point, snap: &Snapshot, spec: &WorkloadSpec, rng: 
             }
         }
         _ => {
-            let b = point_in_domain(spec, splitmix(rng ^ 0x7ace));
+            let b = point_in_domain(domain, splitmix(rng ^ 0x7ace));
             acc = fnv(acc, (b.x as u64) << 32 | (b.y as u64 & 0xffff_ffff));
             for step in snap.trace(q, b) {
                 acc = fnv(acc, step.result.len() as u64);
@@ -216,15 +218,15 @@ fn digest_query(kind: u64, q: Point, snap: &Snapshot, spec: &WorkloadSpec, rng: 
     acc
 }
 
-fn point_in_domain(spec: &WorkloadSpec, rng: u64) -> Point {
-    let domain = spec.domain.max(1) as u64;
+pub(crate) fn point_in_domain(domain: i64, rng: u64) -> Point {
+    let domain = domain.max(1) as u64;
     Point::new(
         (draw(rng, 1) % domain) as i64,
         (draw(rng, 2) % domain) as i64,
     )
 }
 
-fn pick_kind(mix: &QueryMix, rng: u64) -> u64 {
+pub(crate) fn pick_kind(mix: &QueryMix, rng: u64) -> u64 {
     let total = mix.total().max(1) as u64;
     let mut roll = draw(rng, 0) % total;
     for (kind, weight) in [
@@ -255,8 +257,8 @@ fn reader_batch(server: &SkylineServer, spec: &WorkloadSpec, round: usize, reade
             ^ splitmix((reader as u64) << 20)
             ^ splitmix((i as u64) << 40);
         let kind = pick_kind(&spec.mix, key);
-        let q = point_in_domain(spec, splitmix(key ^ 0xbeef));
-        acc ^= digest_query(kind, q, &snap, spec, key);
+        let q = point_in_domain(spec.domain, splitmix(key ^ 0xbeef));
+        acc ^= digest_query(kind, q, &snap, spec.domain, key);
     }
     acc
 }
@@ -280,7 +282,7 @@ fn apply_updates(
                 applied += 1;
             }
         } else {
-            pool.push(server.insert(point_in_domain(spec, key)));
+            pool.push(server.insert(point_in_domain(spec.domain, key)));
             applied += 1;
         }
     }

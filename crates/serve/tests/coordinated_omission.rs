@@ -1,0 +1,150 @@
+//! Coordinated-omission differential: the open-loop driver and the
+//! closed-loop driver watch the *same* server stall and must tell
+//! different stories — by design.
+//!
+//! A deterministic stall is injected into `SkylineServer::refresh` (the
+//! `injected_stall` test hook). The closed-loop workload pays the stall
+//! once and amortizes it over every query, so its mean per-query latency
+//! stays tiny: the classic coordinated-omission blind spot, because a
+//! closed loop simply stops *sampling* while the server is wedged. The
+//! open-loop driver keeps the arrival schedule running through the stall
+//! and charges every queued arrival from its scheduled time, so the same
+//! stall surfaces directly in the p99.
+//!
+//! The stall must never steer answers: open-loop digests are asserted
+//! identical across lane fan-outs {0, 1, 4} (and the whole test runs
+//! under the CI `SKYLINE_THREADS` {0, 1, 4} matrix), and identical to a
+//! stall-free reference run.
+
+use skyline_core::geometry::Dataset;
+use skyline_core::telemetry::bucket_lower_bound;
+use skyline_serve::workload::{self, WorkloadSpec};
+use skyline_serve::{
+    run_open_loop, LatencyHistogram, OpenLoopSpec, QueryMix, ServerOptions, SkylineServer,
+};
+
+/// SplitMix64 step for deterministic dataset generation.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+const STALL_MS: u64 = 150;
+const DOMAIN: i64 = 4_000;
+
+/// A fresh server over the same deterministic dataset every time. The
+/// stall hook is per-server state (`refresh_calls`), so each measured run
+/// gets its own instance to keep the stall's position identical.
+fn server_with_stall(stall: (u64, u64)) -> (SkylineServer, Vec<skyline_core::maintained::Handle>) {
+    let coords: Vec<(i64, i64)> = (0..160)
+        .map(|i| {
+            let r = splitmix(0xc0_0c ^ (i as u64));
+            ((r % 997) as i64 * 4, ((r >> 32) % 997) as i64 * 4)
+        })
+        .collect();
+    let ds = Dataset::from_coords(coords).expect("generated coords are valid");
+    let options = ServerOptions {
+        with_global: true,
+        injected_stall: stall,
+        ..ServerOptions::default()
+    };
+    SkylineServer::with_dataset(&ds, options)
+}
+
+/// Nearest-rank p99 from the 65-bucket log2 histogram, reported as the
+/// winning bucket's lower bound — a deliberate *underestimate*, so the
+/// "p99 exposes the stall" assertion cannot pass on interpolation slack.
+fn p99_floor_ns(hist: &LatencyHistogram) -> u64 {
+    let target = (hist.count * 99).div_ceil(100).max(1);
+    let mut cum = 0u64;
+    for (i, &count) in hist.buckets.iter().enumerate() {
+        cum += count;
+        if cum >= target {
+            return bucket_lower_bound(i);
+        }
+    }
+    0
+}
+
+fn open_spec(lanes: usize) -> OpenLoopSpec {
+    OpenLoopSpec {
+        lanes,
+        // 1000 arrivals at 20k/s: a 50 ms schedule. The stall fires on the
+        // first refresh barrier (arrival 200, ~10 ms in) and wedges the
+        // server for 150 ms, so most of the schedule queues behind it.
+        rate: 20_000,
+        arrivals: 1_000,
+        domain: DOMAIN,
+        seed: 41,
+        mix: QueryMix::default(),
+        refresh_every: 200,
+    }
+}
+
+#[test]
+fn open_loop_p99_exposes_the_stall_the_closed_loop_mean_hides() {
+    // Closed loop: same server shape, same stall on the first refresh.
+    let (server, handles) = server_with_stall((1, STALL_MS));
+    let spec = WorkloadSpec {
+        readers: 1,
+        rounds: 1,
+        queries_per_reader: 1_000,
+        updates_per_round: 4,
+        domain: DOMAIN,
+        seed: 41,
+        mix: QueryMix::default(),
+    };
+    let closed = workload::run(&server, &spec, &handles);
+    let closed_mean_ms = closed.elapsed_ms / closed.queries as f64;
+    // The run as a whole paid the stall...
+    assert!(
+        closed.elapsed_ms >= STALL_MS as f64,
+        "closed-loop run finished in {:.1} ms, before the {STALL_MS} ms stall elapsed",
+        closed.elapsed_ms
+    );
+    // ...but the per-query mean buries it: 150 ms over 1000 queries is
+    // 0.15 ms/query. That is coordinated omission, stated as an assert.
+    assert!(
+        closed_mean_ms * 20.0 < STALL_MS as f64,
+        "closed-loop mean {closed_mean_ms:.3} ms/query should amortize the stall away"
+    );
+
+    // Open loop: the schedule keeps arrivals coming while the server is
+    // wedged, and latency runs from *scheduled* arrival time.
+    let (server, _handles) = server_with_stall((1, STALL_MS));
+    let open = run_open_loop(&server, &open_spec(0));
+    assert_eq!(open.refreshes, 4, "refresh cadence changed under the test");
+    let p99_ms = p99_floor_ns(&open.overall) as f64 / 1_000_000.0;
+    assert!(
+        p99_ms * 4.0 >= STALL_MS as f64,
+        "open-loop p99 floor {p99_ms:.1} ms does not expose the {STALL_MS} ms stall \
+         (elapsed {:.1} ms over {} arrivals)",
+        open.elapsed_ms,
+        open.arrivals
+    );
+    // And the exposed tail dwarfs what the closed loop reported.
+    assert!(
+        p99_ms > closed_mean_ms * 20.0,
+        "open-loop p99 {p99_ms:.3} ms vs closed-loop mean {closed_mean_ms:.3} ms"
+    );
+}
+
+#[test]
+fn stalled_open_loop_digests_match_across_lane_fanouts() {
+    // The reference: no stall, single inline lane.
+    let (server, _h) = server_with_stall((0, 0));
+    let reference = run_open_loop(&server, &open_spec(0)).checksum;
+
+    for lanes in [0usize, 1, 4] {
+        let (server, _h) = server_with_stall((1, STALL_MS));
+        let report = run_open_loop(&server, &open_spec(lanes));
+        assert_eq!(
+            report.checksum, reference,
+            "open-loop digest diverged at lanes={lanes} under an injected stall"
+        );
+        assert_eq!(report.arrivals, 1_000);
+    }
+}

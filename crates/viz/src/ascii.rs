@@ -61,6 +61,37 @@ pub fn render_subcells(diagram: &SubcellDiagram) -> String {
     out
 }
 
+/// Unicode block glyphs for [`sparkline`], lowest to highest.
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a series as a one-line block-glyph sparkline, one glyph per
+/// value: `▁` for zero, then `▂`..`█` scaled to the series maximum (the
+/// maximum always renders as `█`). Pure text in, text out — `skydiag top`
+/// uses it for live histogram-bucket deltas, but any non-negative series
+/// works.
+///
+/// ```
+/// assert_eq!(skyline_viz::ascii::sparkline(&[0, 1, 4, 8, 3]), "▁▂▅█▄");
+/// assert_eq!(skyline_viz::ascii::sparkline(&[0, 0]), "▁▁");
+/// assert_eq!(skyline_viz::ascii::sparkline(&[]), "");
+/// ```
+pub fn sparkline(values: &[u64]) -> String {
+    let max = values.iter().copied().max().unwrap_or(0);
+    values
+        .iter()
+        .map(|&v| {
+            if v == 0 {
+                SPARKS[0]
+            } else {
+                // Ceiling scale into 1..=7 so any nonzero value is visibly
+                // above the zero glyph and the maximum saturates.
+                let level = (v as u128 * 7).div_ceil(max as u128) as usize;
+                SPARKS[level.clamp(1, 7)]
+            }
+        })
+        .collect()
+}
+
 /// A legend mapping each glyph to its skyline result, in first-appearance
 /// (scanning) order, for the cell diagram produced by [`render_cells`].
 pub fn legend(diagram: &CellDiagram) -> String {
@@ -132,6 +163,18 @@ mod tests {
         let distinct = d.stats().distinct_results - 1; // minus empty
         assert_eq!(legend.lines().count(), distinct);
         assert!(legend.contains("p0"));
+    }
+
+    #[test]
+    fn sparkline_scales_to_the_maximum() {
+        let art = sparkline(&[0, 1, 2, 4, 7, 14]);
+        assert_eq!(art.chars().count(), 6);
+        assert!(art.starts_with('▁'), "{art}");
+        assert!(art.ends_with('█'), "{art}");
+        // Any nonzero value sits strictly above the zero glyph.
+        assert!(!art[3..].contains('▁'), "{art}");
+        // A constant nonzero series saturates.
+        assert_eq!(sparkline(&[5, 5, 5]), "███");
     }
 
     #[test]

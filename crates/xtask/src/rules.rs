@@ -67,6 +67,15 @@ const RAW_SPAWN_EXEMPT: &[&str] = &["crates/core/src/parallel.rs"];
 /// outside [`LIB_SCOPE`] and keep their wall clocks.
 const TIMING_EXEMPT: &[&str] = &["crates/core/src/telemetry.rs"];
 
+/// Integration-test suites held to the same clock discipline as library
+/// code. The serve differentials measure *scheduling* (open-loop arrival
+/// times, stall exposure); an ad-hoc `Instant` there would measure against
+/// a different epoch than the driver under test, so even test-only timing
+/// must go through `skyline_core::telemetry` (`now_ns`/`ms_since`/
+/// `spin_until`). Unlike [`LIB_SCOPE`], these files are linted with their
+/// `#[test]` functions *included* — the test bodies are the product here.
+const TIMING_TEST_SCOPE: &[&str] = &["crates/serve/tests"];
+
 /// One lint violation.
 #[derive(Debug)]
 pub struct Finding {
@@ -84,8 +93,13 @@ fn in_scope(path: &str, scope: &[&str]) -> bool {
     scope.iter().any(|prefix| path.starts_with(prefix))
 }
 
-/// Runs every rule applicable to `path` over its token stream.
-pub fn run_all(path: &str, toks: &[Tok]) -> Vec<Finding> {
+/// Runs every rule applicable to `path` over its *raw* token stream.
+/// Test modules are stripped here before the library rules run; the
+/// timing rule additionally runs over the unstripped stream for
+/// [`TIMING_TEST_SCOPE`] files, whose test bodies are in scope.
+pub fn run_all(path: &str, raw: &[Tok]) -> Vec<Finding> {
+    let stripped = crate::lexer::strip_test_code(raw);
+    let toks = &stripped[..];
     let mut findings = Vec::new();
     if in_scope(path, EXACT_SCOPE) {
         no_as_cast(toks, &mut findings);
@@ -99,6 +113,9 @@ pub fn run_all(path: &str, toks: &[Tok]) -> Vec<Finding> {
         if !TIMING_EXEMPT.contains(&path) {
             no_ad_hoc_timing(toks, &mut findings);
         }
+    }
+    if in_scope(path, TIMING_TEST_SCOPE) {
+        no_ad_hoc_timing(raw, &mut findings);
     }
     if !RAW_SPAWN_EXEMPT.contains(&path) {
         no_raw_spawn(toks, &mut findings);
@@ -483,10 +500,10 @@ fn has_attr_ident_before(toks: &[Tok], item: usize, ident: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lexer::{lex, strip_test_code};
+    use crate::lexer::lex;
 
     fn findings_for(path: &str, src: &str) -> Vec<Finding> {
-        run_all(path, &strip_test_code(&lex(src)))
+        run_all(path, &lex(src))
     }
 
     #[test]
@@ -628,6 +645,25 @@ pub fn f() {
         // Test modules are stripped before linting.
         let tests_only = "#[cfg(test)]\nmod tests { use std::time::Instant; }";
         let f = findings_for("crates/core/src/global.rs", tests_only);
+        assert!(f.iter().all(|f| f.rule != "no-ad-hoc-timing"));
+    }
+
+    #[test]
+    fn ad_hoc_timing_fires_inside_serve_test_bodies() {
+        // The serve differential suites lint their `#[test]` functions
+        // too: an ad-hoc clock there measures against the wrong epoch.
+        let src = "#[test]\nfn t() { let t0 = std::time::Instant::now(); }";
+        let f = findings_for("crates/serve/tests/coordinated_omission.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "no-ad-hoc-timing").count(), 1);
+
+        // Other crates' integration tests keep their freedom.
+        let f = findings_for("crates/core/tests/parallel_matrix.rs", src);
+        assert!(f.iter().all(|f| f.rule != "no-ad-hoc-timing"));
+
+        // The sanctioned clock helpers do not trip the rule.
+        let benign = "#[test]\nfn t() {\n    let t0 = skyline_core::telemetry::now_ns();\n    \
+                      skyline_core::telemetry::spin_until(t0 + 5);\n}";
+        let f = findings_for("crates/serve/tests/stress_diff.rs", benign);
         assert!(f.iter().all(|f| f.rule != "no-ad-hoc-timing"));
     }
 
