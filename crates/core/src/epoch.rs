@@ -4,8 +4,9 @@
 //! The serving layer (`skyline_serve`) publishes each rebuilt diagram
 //! snapshot as a new *epoch*. Readers must never block on the writer, and a
 //! batch of lookups must always be answered from one consistent epoch, so
-//! the hand-off is an append-only chain of nodes linked by
-//! [`std::sync::OnceLock`] next-pointers:
+//! the hand-off is an append-only chain of nodes linked by write-once
+//! next-pointers (`NextCell`: a `OnceLock` slot plus an explicit
+//! release/acquire `ready` flag, both from [`crate::sync`]):
 //!
 //! ```text
 //! epoch 0 ──next──▶ epoch 1 ──next──▶ epoch 2   ◀── publisher tail
@@ -32,15 +33,19 @@
 //!
 //! # Memory ordering
 //!
-//! All synchronisation is delegated to [`OnceLock`], whose `set` is a
-//! release store and whose `get` is an acquire load. That single
-//! release/acquire pair carries the entire publication contract: the
-//! writer fully constructs a node (epoch number, `Arc`'d value, empty
-//! `next` cell) *before* the release store in
-//! [`EpochPublisher::publish`], so a reader whose acquire load in
-//! [`EpochReader::refresh`] observes the pointer also observes every
-//! write that built the node it points to. No other fences are needed —
-//! `Arc`'s internal reference counting handles its own ordering.
+//! Publication is carried by one release/acquire pair, written out
+//! explicitly in `NextCell`: the writer fully constructs a node (epoch
+//! number, `Arc`'d value, empty `next` cell), stores the pointer into the
+//! cell's `OnceLock` slot, and *then* performs the release store of the
+//! `ready` flag in [`EpochPublisher::publish`]; a reader whose acquire
+//! load of `ready` in [`EpochReader::refresh`] observes `true` therefore
+//! also observes every write that built the node the slot points to.
+//! (`OnceLock::set` is itself a release store, so the flag is belt and
+//! braces in a normal build — but keeping the pair explicit lets the
+//! `skyline_sched` interleaving checker, Miri, and `cargo xtask
+//! sched-mutate` verify the contract rather than trust `std`.) No other
+//! fences are needed — `Arc`'s internal reference counting handles its
+//! own ordering.
 //!
 //! Readers are *wait-free*, not merely lock-free: `refresh` performs one
 //! acquire load per epoch published since its last call (a bounded walk
@@ -58,7 +63,54 @@
 //! for a serving loop is both advancing in lockstep; a growing gap means
 //! some reader cursor is parked and pinning history.
 
-use std::sync::{Arc, OnceLock};
+use crate::sync::{Arc, AtomicBool, OnceLock, Ordering};
+
+/// The write-once successor pointer of a [`Node`], with its release/acquire
+/// publication contract spelled out as an explicit atomic pair.
+///
+/// `set` fills the `OnceLock` slot and then release-stores `ready = true`;
+/// `get` acquire-loads `ready` and only then reads the slot. The explicit
+/// flag is what the `skyline_sched` interleaving checker and `cargo xtask
+/// sched-mutate` hook into: weakening the release store to `Relaxed` makes
+/// the checker's happens-before analysis flag the reader's acquire load as
+/// observing an unsynchronised publication.
+#[derive(Debug, Default)]
+struct NextCell<T> {
+    ready: AtomicBool,
+    slot: OnceLock<Arc<Node<T>>>,
+}
+
+impl<T> NextCell<T> {
+    fn new() -> Self {
+        NextCell {
+            ready: AtomicBool::new(false),
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// Publish the successor. Fails (returning the node) if already set.
+    fn set(&self, node: Arc<Node<T>>) -> Result<(), Arc<Node<T>>> {
+        self.slot.set(node)?;
+        // sched-mutate: release-store — the publication edge under test.
+        self.ready.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// The successor, if published.
+    fn get(&self) -> Option<&Arc<Node<T>>> {
+        if self.ready.load(Ordering::Acquire) {
+            self.slot.get()
+        } else {
+            None
+        }
+    }
+
+    /// Take the successor out. `&mut self` proves exclusivity (drop path),
+    /// so no ordering is involved.
+    fn take(&mut self) -> Option<Arc<Node<T>>> {
+        self.slot.take()
+    }
+}
 
 /// One link of the epoch chain: an immutable value plus the write-once
 /// pointer to its successor.
@@ -66,7 +118,7 @@ use std::sync::{Arc, OnceLock};
 struct Node<T> {
     epoch: u64,
     value: Arc<T>,
-    next: OnceLock<Arc<Node<T>>>,
+    next: NextCell<T>,
 }
 
 impl<T> Drop for Node<T> {
@@ -108,22 +160,23 @@ impl<T> EpochPublisher<T> {
             tail: Arc::new(Node {
                 epoch: 0,
                 value: Arc::new(initial),
-                next: OnceLock::new(),
+                next: NextCell::new(),
             }),
         }
     }
 
     /// Publishes `value` as the next epoch and returns its epoch number.
     ///
-    /// This is the only mutation of the chain: one `OnceLock` store makes
-    /// the new node visible to every reader that subsequently chases `next`.
-    /// Readers holding older epochs are unaffected.
+    /// This is the only mutation of the chain: one `NextCell::set` (slot
+    /// store, then release flag store) makes the new node visible to every
+    /// reader that subsequently chases `next`. Readers holding older epochs
+    /// are unaffected.
     pub fn publish(&mut self, value: T) -> u64 {
         crate::counter!("epoch.publish").add(1);
         let node = Arc::new(Node {
             epoch: self.tail.epoch + 1,
             value: Arc::new(value),
-            next: OnceLock::new(),
+            next: NextCell::new(),
         });
         let fresh = self.tail.next.set(Arc::clone(&node)).is_ok();
         assert!(

@@ -74,6 +74,7 @@ pub mod result_set;
 pub mod serialize;
 pub mod skyband;
 pub mod skyline;
+pub mod sync;
 pub mod telemetry;
 
 #[cfg(test)]

@@ -53,9 +53,8 @@
 //! or output: the differential tests pin bit-identical results with
 //! telemetry on, off, and recording mid-flight.
 
+use crate::sync::{AtomicUsize, OnceLock, Ordering};
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
 
 /// How many chunks each worker should get on average: > 1 so stragglers can
 /// steal, small enough that per-chunk bookkeeping stays negligible.
@@ -164,6 +163,8 @@ where
                     let mut claimed: u64 = 0;
                     let mut local: Vec<(usize, Vec<R>)> = Vec::new();
                     loop {
+                        // relaxed-ok: pure chunk ticket; workers read the
+                        // shared input through the scope, not the cursor.
                         let c = cursor.fetch_add(1, Ordering::Relaxed);
                         if c >= chunks {
                             break;

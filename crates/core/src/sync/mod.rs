@@ -1,0 +1,82 @@
+//! The workspace's single doorway to shared-memory synchronisation.
+//!
+//! Library code must import `Arc`, `OnceLock`, `Mutex`, and the atomics it
+//! uses from **this module** — never from `std::sync` directly. The
+//! `no-raw-atomic` lint (`cargo xtask lint`) enforces the discipline for
+//! atomics and `OnceLock`; see `crates/xtask/src/rules.rs`.
+//!
+//! # Why a facade
+//!
+//! In a normal build every name here is a zero-cost re-export of the
+//! `std::sync` original: same types, same codegen, no wrapper. But when the
+//! workspace is compiled with `RUSTFLAGS="--cfg skyline_sched"`, the atomic
+//! types, `OnceLock`, and `Mutex` swap to the deterministic interleaving
+//! checker in `sched` (compiled only under that cfg, hence not linkable
+//! from these docs): a hand-rolled, zero-dependency loom-style model
+//! checker that enumerates thread schedules (DFS with a bounded-preemption
+//! budget) and tracks happens-before with vector clocks, so the
+//! release/acquire contracts documented in [`crate::epoch`] and
+//! [`crate::telemetry`] are *proved over every explored interleaving*
+//! instead of merely stress-tested. Because all lib code routes its shared
+//! state through this module, the checker sees every atomic operation —
+//! that is the entire point of the lint.
+//!
+//! The checked suites live in `crates/core/tests/sched_*.rs` and
+//! `crates/serve/tests/sched_*.rs`; run them with
+//!
+//! ```text
+//! RUSTFLAGS="--cfg skyline_sched" cargo test -p skyline-core --test sched_epoch
+//! ```
+//!
+//! `cargo xtask sched-mutate` additionally proves the checker itself works
+//! by weakening a `Release` store in `epoch.rs` to `Relaxed` in a scratch
+//! build and asserting the suite catches it.
+//!
+//! # What is and is not modelled
+//!
+//! Under `skyline_sched` the model types still *store* their values in real
+//! `std` primitives, so a checked run is never undefined behaviour; the
+//! model layer adds scheduling points and happens-before bookkeeping on
+//! top. Threads created outside a model run (e.g. the scoped pool) fall
+//! through to the real operations untouched — only threads spawned via
+//! `sched::spawn` inside `sched::model` are scheduled.
+
+#[cfg(skyline_sched)]
+pub mod sched;
+
+// `Arc` and `Ordering` are always the std originals: `Arc`'s reference
+// counting is internally synchronised (the checker trusts it), and the
+// model atomics consume the real `Ordering` enum so call sites are
+// identical under both configurations.
+pub use std::sync::atomic::Ordering;
+pub use std::sync::Arc;
+
+#[cfg(not(skyline_sched))]
+pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+#[cfg(not(skyline_sched))]
+pub use std::sync::{Mutex, OnceLock};
+
+#[cfg(skyline_sched)]
+pub use sched::{AtomicBool, AtomicU64, AtomicUsize, Mutex, OnceLock};
+
+#[cfg(test)]
+mod tests {
+    use super::{AtomicU64, Ordering};
+
+    #[test]
+    fn facade_atomics_behave_like_std() {
+        let a = AtomicU64::new(5);
+        assert_eq!(a.load(Ordering::Acquire), 5);
+        a.store(7, Ordering::Release);
+        assert_eq!(a.fetch_add(3, Ordering::AcqRel), 7);
+        assert_eq!(a.load(Ordering::Acquire), 10);
+        assert_eq!(
+            a.compare_exchange(10, 1, Ordering::AcqRel, Ordering::Acquire),
+            Ok(10)
+        );
+        assert_eq!(
+            a.compare_exchange(10, 2, Ordering::AcqRel, Ordering::Acquire),
+            Err(1)
+        );
+    }
+}

@@ -1,0 +1,1193 @@
+//! Deterministic interleaving checker behind `cfg(skyline_sched)`.
+//!
+//! A hand-rolled, zero-dependency loom-style model checker. Test code wraps a
+//! concurrent scenario in [`model`]; inside the closure, threads spawned via
+//! [`spawn`] are *scheduled threads*: every operation on the model atomic
+//! types, [`OnceLock`], and [`Mutex`] re-exported by [`crate::sync`] becomes a
+//! scheduling point. The controller enumerates thread schedules by depth-first
+//! search with a bounded-preemption budget, replaying the decision prefix on
+//! each execution, until every schedule within the budget has been explored.
+//!
+//! # Execution model
+//!
+//! Scheduled threads are real OS threads serialised by a single baton: one
+//! `Mutex<ExecState>` plus a condvar. At each scheduling point the running
+//! thread *performs* its operation under the lock, then *decides* which thread
+//! runs next (consulting the replay prefix or recording a fresh choice) and
+//! parks until re-chosen. Because every shared-memory operation routed through
+//! the facade takes this path, executions are sequentially consistent and
+//! perfectly deterministic — the checker explores *schedules*, and flags
+//! memory-ordering bugs via happens-before analysis rather than by simulating
+//! stale values (the same design TSan uses).
+//!
+//! # Happens-before tracking
+//!
+//! Each thread carries a vector clock; spawn and join edges transfer clocks,
+//! Release stores publish the writer's clock at the location, Acquire loads
+//! join it. A *finding* is recorded when:
+//!
+//! 1. an Acquire load observes another thread's store that is neither
+//!    happens-before ordered nor covered by a release clock (unsynchronised
+//!    publication — e.g. the writer used `Relaxed`);
+//! 2. a `Relaxed` load observes an unordered cross-thread store that was
+//!    released (or the location has release history) — the reader is relying
+//!    on synchronisation the ordering does not provide;
+//! 3. any operation uses `SeqCst` (banned workspace-wide in favour of
+//!    documented Acquire/Release pairs);
+//! 4. no thread is runnable (deadlock), or an execution exceeds the step
+//!    bound (livelock).
+//!
+//! Read-modify-write operations and *failed* compare-exchange loads are exempt
+//! from rules 1–2: an RMW participates in the location's release sequence, and
+//! a failed CAS with `Relaxed` failure ordering is the documented idiom for
+//! "lost the race, don't care".
+//!
+//! On any finding the run panics with a `sched-finding:` message containing
+//! the findings and the interleaving trace of the failing schedule.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{AssertUnwindSafe, PanicHookInfo};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError};
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Bounds for one [`model_with`] run.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum number of preemptive context switches per execution. Schedules
+    /// needing more are not explored (bounded-preemption search: almost all
+    /// real concurrency bugs manifest within two preemptions).
+    pub preemption_bound: u32,
+    /// Per-execution scheduling-point budget; exceeding it is reported as a
+    /// livelock finding.
+    pub max_steps: usize,
+    /// Safety valve on the total number of executions explored.
+    pub max_executions: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: 2,
+            max_steps: 20_000,
+            max_executions: 1_000_000,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+type VClock = Vec<u64>;
+
+fn clock_join(into: &mut VClock, other: &VClock) {
+    if into.len() < other.len() {
+        into.resize(other.len(), 0);
+    }
+    for (i, &v) in other.iter().enumerate() {
+        if into[i] < v {
+            into[i] = v;
+        }
+    }
+}
+
+/// `true` iff `a` happens-before-or-equals `b` componentwise.
+fn clock_leq(a: &VClock, b: &VClock) -> bool {
+    a.iter()
+        .enumerate()
+        .all(|(i, &v)| v <= b.get(i).copied().unwrap_or(0))
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BlockOn {
+    /// Blocked until some model store touches this address (OnceLock BUSY
+    /// waiters, mutex waiters).
+    Addr(usize),
+    /// Blocked until the given thread finishes (join).
+    Thread(usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Blocked(BlockOn),
+    Finished,
+}
+
+#[derive(Clone, Debug)]
+struct Choice {
+    options: Vec<usize>,
+    index: usize,
+}
+
+#[derive(Clone, Debug)]
+struct StoreInfo {
+    tid: usize,
+    released: bool,
+    /// Store half of a read-modify-write: continues (never heads) a release
+    /// sequence, so observing it is not by itself unsynchronised publication.
+    rmw: bool,
+    clock: VClock,
+}
+
+#[derive(Default, Debug)]
+struct LocMeta {
+    last_store: Option<StoreInfo>,
+    /// Clock published by the release sequence currently headed at this
+    /// location, if any. Cleared by a plain relaxed store, continued by RMWs.
+    release_clock: Option<VClock>,
+    /// Whether any store to this location was ever a release — used to flag
+    /// relaxed loads that observe a location other code synchronises through.
+    release_history: bool,
+}
+
+#[derive(Default, Debug)]
+struct MutexMeta {
+    held: bool,
+    release_clock: Option<VClock>,
+}
+
+struct ExecState {
+    cfg: Config,
+    threads: Vec<Status>,
+    clocks: Vec<VClock>,
+    final_clocks: Vec<Option<VClock>>,
+    locs: HashMap<usize, LocMeta>,
+    mutexes: HashMap<usize, MutexMeta>,
+    /// Choices made so far in this execution (becomes the replay prefix for
+    /// the next one after `advance`).
+    schedule: Vec<Choice>,
+    /// Prefix to replay, consumed front to back.
+    replay: Vec<Choice>,
+    replay_pos: usize,
+    trace: Vec<String>,
+    findings: Vec<String>,
+    preemptions: u32,
+    last_run: Option<usize>,
+    current: usize,
+    steps: usize,
+    done: bool,
+    abort: bool,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ExecState {
+    fn new(cfg: Config, replay: Vec<Choice>) -> Self {
+        ExecState {
+            cfg,
+            threads: Vec::new(),
+            clocks: Vec::new(),
+            final_clocks: Vec::new(),
+            locs: HashMap::new(),
+            mutexes: HashMap::new(),
+            schedule: Vec::new(),
+            replay,
+            replay_pos: 0,
+            trace: Vec::new(),
+            findings: Vec::new(),
+            preemptions: 0,
+            last_run: None,
+            current: 0,
+            steps: 0,
+            done: false,
+            abort: false,
+            os_handles: Vec::new(),
+        }
+    }
+
+    fn runnable(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Status::Runnable))
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// Wake every thread blocked on `on`.
+    fn wake(&mut self, on: BlockOn) {
+        for s in &mut self.threads {
+            if *s == Status::Blocked(on) {
+                *s = Status::Runnable;
+            }
+        }
+    }
+
+    /// Pick the next thread to run, recording the decision. `None` means no
+    /// thread is runnable.
+    fn decide(&mut self) -> Option<usize> {
+        let runnable = self.runnable();
+        if runnable.is_empty() {
+            return None;
+        }
+        // Replay the recorded prefix while it is still consistent with the
+        // current execution; divergence (the replayed choice no longer
+        // runnable) truncates the prefix and falls through to a fresh choice.
+        if self.replay_pos < self.replay.len() {
+            let entry = self.replay[self.replay_pos].clone();
+            let chosen = entry.options[entry.index];
+            if runnable.contains(&chosen) {
+                self.replay_pos += 1;
+                self.account(chosen, &runnable);
+                self.schedule.push(entry);
+                return Some(chosen);
+            }
+            self.replay.truncate(self.replay_pos);
+        }
+        let options = self.fresh_options(&runnable);
+        let chosen = options[0];
+        self.account(chosen, &runnable);
+        self.schedule.push(Choice { options, index: 0 });
+        Some(chosen)
+    }
+
+    fn fresh_options(&self, runnable: &[usize]) -> Vec<usize> {
+        if let Some(last) = self.last_run {
+            if runnable.contains(&last) {
+                if self.preemptions >= self.cfg.preemption_bound {
+                    // Out of preemption budget: keep running the same thread.
+                    return vec![last];
+                }
+                let mut options = vec![last];
+                options.extend(runnable.iter().copied().filter(|&t| t != last));
+                return options;
+            }
+        }
+        runnable.to_vec()
+    }
+
+    fn account(&mut self, chosen: usize, runnable: &[usize]) {
+        if let Some(last) = self.last_run {
+            if chosen != last && runnable.contains(&last) {
+                self.preemptions += 1;
+            }
+        }
+        self.last_run = Some(chosen);
+    }
+
+    fn finding(&mut self, msg: String) {
+        self.findings.push(msg);
+    }
+}
+
+struct SchedShared {
+    mx: StdMutex<ExecState>,
+    cv: Condvar,
+}
+
+fn lock_state(shared: &SchedShared) -> StdMutexGuard<'_, ExecState> {
+    shared.mx.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Handle identifying the scheduled thread the current OS thread is running.
+struct ExecHandle {
+    shared: Arc<SchedShared>,
+    tid: usize,
+}
+
+thread_local! {
+    static EXEC: RefCell<Option<ExecHandle>> = const { RefCell::new(None) };
+}
+
+fn current_exec() -> Option<(Arc<SchedShared>, usize)> {
+    EXEC.with(|e| e.borrow().as_ref().map(|h| (Arc::clone(&h.shared), h.tid)))
+}
+
+/// Panic payload used to unwind model threads when an execution aborts early;
+/// swallowed by the thread wrapper, never user-visible.
+struct SchedAbort;
+
+fn abort_execution(shared: &SchedShared, mut st: StdMutexGuard<'_, ExecState>) -> ! {
+    st.abort = true;
+    st.done = true;
+    shared.cv.notify_all();
+    drop(st);
+    // Detach this thread from the model BEFORE unwinding: destructors that
+    // run during the unwind (mutex guards, nodes with telemetry counters)
+    // would otherwise re-enter `scheduled`, observe the abort, and panic
+    // inside a landing pad — a double panic that aborts the process.
+    // Detached, their operations fall back to the raw non-model path.
+    EXEC.with(|e| {
+        *e.borrow_mut() = None;
+    });
+    std::panic::panic_any(SchedAbort);
+}
+
+// ---------------------------------------------------------------------------
+// The scheduling point
+// ---------------------------------------------------------------------------
+
+enum Step<R> {
+    Done(R),
+    Block(BlockOn),
+}
+
+/// Run one operation at a scheduling point: perform it under the state lock,
+/// log it, then hand the baton to the next chosen thread and park until
+/// re-chosen. `op` may return `Step::Block` to wait (it is retried after the
+/// thread is woken and re-chosen).
+fn scheduled<R>(
+    shared: &Arc<SchedShared>,
+    tid: usize,
+    what: &str,
+    mut op: impl FnMut(&mut ExecState) -> Step<R>,
+) -> R {
+    let mut st = lock_state(shared);
+    loop {
+        if st.abort {
+            abort_execution(shared, st);
+        }
+        st.steps += 1;
+        if st.steps > st.cfg.max_steps {
+            let bound = st.cfg.max_steps;
+            st.finding(format!(
+                "livelock: execution exceeded {bound} scheduling points"
+            ));
+            abort_execution(shared, st);
+        }
+        match op(&mut st) {
+            Step::Done(r) => {
+                st.trace.push(format!("t{tid} {what}"));
+                st = hand_off(shared, st, tid);
+                drop(st);
+                return r;
+            }
+            Step::Block(on) => {
+                st.trace.push(format!("t{tid} {what} [blocked]"));
+                st.threads[tid] = Status::Blocked(on);
+                st = hand_off(shared, st, tid);
+                // Woken and re-chosen: retry the operation.
+            }
+        }
+    }
+}
+
+/// Choose the next thread and park the caller until it is chosen again.
+fn hand_off<'a>(
+    shared: &'a Arc<SchedShared>,
+    mut st: StdMutexGuard<'a, ExecState>,
+    tid: usize,
+) -> StdMutexGuard<'a, ExecState> {
+    match st.decide() {
+        Some(next) => {
+            st.current = next;
+            if next != tid {
+                shared.cv.notify_all();
+                loop {
+                    if st.abort {
+                        abort_execution(shared, st);
+                    }
+                    if st.current == tid && matches!(st.threads[tid], Status::Runnable) {
+                        break;
+                    }
+                    st = shared.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+            st
+        }
+        None => {
+            st.finding("deadlock: no runnable thread".to_string());
+            abort_execution(shared, st);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Happens-before bookkeeping
+// ---------------------------------------------------------------------------
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn check_seqcst(st: &mut ExecState, tid: usize, ord: Ordering, what: &str) {
+    if ord == Ordering::SeqCst {
+        st.finding(format!(
+            "t{tid} {what}: SeqCst is banned; use a documented Acquire/Release pair"
+        ));
+    }
+}
+
+/// Happens-before analysis for a load. `rmw` marks the load half of a
+/// read-modify-write or a failed compare-exchange (exempt from rules 1-2).
+fn on_load(st: &mut ExecState, tid: usize, addr: usize, ord: Ordering, rmw: bool, what: &str) {
+    check_seqcst(st, tid, ord, what);
+    let ExecState {
+        locs,
+        clocks,
+        findings,
+        trace,
+        ..
+    } = &mut *st;
+    clocks[tid][tid] += 1;
+    let meta = locs.entry(addr).or_default();
+    if let Some(store) = &meta.last_store {
+        let ordered = store.tid == tid || clock_leq(&store.clock, &clocks[tid]);
+        if !ordered && !rmw {
+            if is_acquire(ord) && meta.release_clock.is_none() && !store.rmw {
+                findings.push(format!(
+                    "t{tid} {what}: acquire load observes t{st} store with no release \
+                     pairing (unsynchronized publication)",
+                    st = store.tid
+                ));
+                trace.push(format!("t{tid} {what} [FINDING]"));
+            } else if !is_acquire(ord) && (store.released || meta.release_history) {
+                findings.push(format!(
+                    "t{tid} {what}: relaxed load observes unordered t{st} store on a \
+                     location used for release/acquire publication",
+                    st = store.tid
+                ));
+                trace.push(format!("t{tid} {what} [FINDING]"));
+            }
+        }
+    }
+    if is_acquire(ord) {
+        if let Some(rc) = &meta.release_clock {
+            clock_join(&mut clocks[tid], rc);
+        }
+    }
+}
+
+/// Happens-before analysis for a store. `rmw` marks the write half of a
+/// successful read-modify-write (clock already ticked by the load half).
+fn on_store(st: &mut ExecState, tid: usize, addr: usize, ord: Ordering, rmw: bool, what: &str) {
+    check_seqcst(st, tid, ord, what);
+    let ExecState { locs, clocks, .. } = &mut *st;
+    if !rmw {
+        clocks[tid][tid] += 1;
+    }
+    let meta = locs.entry(addr).or_default();
+    let released = is_release(ord);
+    if released {
+        let mut rc = clocks[tid].clone();
+        if rmw {
+            // An RMW continues the release sequence: join the previous
+            // release clock so later acquirers see the whole chain.
+            if let Some(prev) = &meta.release_clock {
+                clock_join(&mut rc, prev);
+            }
+        }
+        meta.release_clock = Some(rc);
+        meta.release_history = true;
+    } else if !rmw {
+        // A plain relaxed store breaks the release sequence.
+        meta.release_clock = None;
+    }
+    meta.last_store = Some(StoreInfo {
+        tid,
+        released,
+        rmw,
+        clock: clocks[tid].clone(),
+    });
+    st.wake(BlockOn::Addr(addr));
+}
+
+// ---------------------------------------------------------------------------
+// Model atomics
+// ---------------------------------------------------------------------------
+
+macro_rules! model_atomic {
+    ($name:ident, $std:path, $ty:ty) => {
+        /// Model atomic: identical API subset to the `std` type; inside a
+        /// [`model`] run every operation is a scheduling point with
+        /// happens-before tracking, outside one it passes through to the real
+        /// operation with the requested ordering.
+        #[derive(Debug)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// Create a new atomic with the given initial value.
+            #[must_use]
+            pub const fn new(v: $ty) -> Self {
+                Self {
+                    inner: <$std>::new(v),
+                }
+            }
+
+            fn addr(&self) -> usize {
+                self as *const Self as usize
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(Default::default())
+            }
+        }
+
+        impl $name {
+            /// Atomic load with model scheduling when inside a model run.
+            pub fn load(&self, ord: Ordering) -> $ty {
+                match current_exec() {
+                    Some((shared, tid)) => {
+                        let addr = self.addr();
+                        let what = concat!(stringify!($name), ".load");
+                        scheduled(&shared, tid, what, |st| {
+                            on_load(st, tid, addr, ord, false, what);
+                            Step::Done(self.inner.load(Ordering::SeqCst))
+                        })
+                    }
+                    None => self.inner.load(ord),
+                }
+            }
+
+            /// Atomic store with model scheduling when inside a model run.
+            pub fn store(&self, v: $ty, ord: Ordering) {
+                match current_exec() {
+                    Some((shared, tid)) => {
+                        let addr = self.addr();
+                        let what = concat!(stringify!($name), ".store");
+                        scheduled(&shared, tid, what, |st| {
+                            on_store(st, tid, addr, ord, false, what);
+                            self.inner.store(v, Ordering::SeqCst);
+                            Step::Done(())
+                        })
+                    }
+                    None => self.inner.store(v, ord),
+                }
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+macro_rules! model_atomic_rmw {
+    ($name:ident, $ty:ty) => {
+        impl $name {
+            /// Atomic fetch-add; a single scheduling point covering both the
+            /// read and the write half.
+            pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+                match current_exec() {
+                    Some((shared, tid)) => {
+                        let addr = self.addr();
+                        let what = concat!(stringify!($name), ".fetch_add");
+                        scheduled(&shared, tid, what, |st| {
+                            on_load(st, tid, addr, ord, true, what);
+                            on_store(st, tid, addr, ord, true, what);
+                            Step::Done(self.inner.fetch_add(v, Ordering::SeqCst))
+                        })
+                    }
+                    None => self.inner.fetch_add(v, ord),
+                }
+            }
+
+            /// Atomic compare-exchange; success is an RMW, failure is a load
+            /// with `failure` ordering (RMW-exempt from race rules).
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                match current_exec() {
+                    Some((shared, tid)) => {
+                        let addr = self.addr();
+                        let what = concat!(stringify!($name), ".compare_exchange");
+                        scheduled(&shared, tid, what, |st| {
+                            let r = self.inner.compare_exchange(
+                                current,
+                                new,
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                            );
+                            match r {
+                                Ok(_) => {
+                                    on_load(st, tid, addr, success, true, what);
+                                    on_store(st, tid, addr, success, true, what);
+                                }
+                                Err(_) => {
+                                    on_load(st, tid, addr, failure, true, what);
+                                }
+                            }
+                            Step::Done(r)
+                        })
+                    }
+                    None => self.inner.compare_exchange(current, new, success, failure),
+                }
+            }
+        }
+    };
+}
+
+model_atomic_rmw!(AtomicU64, u64);
+model_atomic_rmw!(AtomicUsize, usize);
+
+// ---------------------------------------------------------------------------
+// Model OnceLock
+// ---------------------------------------------------------------------------
+
+const ONCE_EMPTY: usize = 0;
+const ONCE_BUSY: usize = 1;
+const ONCE_READY: usize = 2;
+
+/// Model `OnceLock`: the value lives in a real `std::sync::OnceLock`; a model
+/// atomic state word (`EMPTY -> BUSY -> READY`) supplies the scheduling
+/// points and the release/acquire edges the real type provides internally.
+#[derive(Debug)]
+pub struct OnceLock<T> {
+    state: AtomicUsize,
+    cell: std::sync::OnceLock<T>,
+}
+
+impl<T> Default for OnceLock<T> {
+    /// An empty cell (no `T: Default` bound, matching `std`).
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> OnceLock<T> {
+    /// Create an empty cell.
+    #[must_use]
+    pub const fn new() -> Self {
+        OnceLock {
+            state: AtomicUsize::new(ONCE_EMPTY),
+            cell: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Get the value if set (acquire load of the state word).
+    pub fn get(&self) -> Option<&T> {
+        if self.state.load(Ordering::Acquire) == ONCE_READY {
+            self.cell.get()
+        } else {
+            None
+        }
+    }
+
+    /// Set the value if the cell is empty; returns `Err(value)` if another
+    /// thread already set (or is setting) it.
+    pub fn set(&self, value: T) -> Result<(), T> {
+        match self.state.compare_exchange(
+            ONCE_EMPTY,
+            ONCE_BUSY,
+            Ordering::Acquire,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                let stored = self.cell.set(value);
+                debug_assert!(stored.is_ok());
+                self.state.store(ONCE_READY, Ordering::Release);
+                Ok(())
+            }
+            Err(_) => Err(value),
+        }
+    }
+
+    /// Get the value, initialising it with `f` if the cell is empty. If a
+    /// racing thread is mid-initialisation the caller blocks until it
+    /// finishes (in a model run, a scheduling point).
+    pub fn get_or_init(&self, f: impl FnOnce() -> T) -> &T {
+        let mut f = Some(f);
+        loop {
+            match self.state.compare_exchange(
+                ONCE_EMPTY,
+                ONCE_BUSY,
+                Ordering::Acquire,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    // The CAS succeeds at most once per cell, so the
+                    // closure is still present here.
+                    let init = f.take().expect("get_or_init closure runs at most once");
+                    let stored = self.cell.set(init());
+                    debug_assert!(stored.is_ok());
+                    self.state.store(ONCE_READY, Ordering::Release);
+                }
+                Err(ONCE_READY) => {}
+                Err(_) => {
+                    self.wait_ready();
+                }
+            }
+            if let Some(v) = self.cell.get() {
+                return v;
+            }
+        }
+    }
+
+    /// Block until the state word leaves BUSY. Outside a model run this
+    /// spin-loops briefly (initialisers are short); inside one it parks the
+    /// scheduled thread until the writer's READY store wakes it.
+    fn wait_ready(&self) {
+        let addr = &self.state as *const AtomicUsize as usize;
+        match current_exec() {
+            Some((shared, tid)) => {
+                scheduled(&shared, tid, "OnceLock.wait_ready", |_| {
+                    if self.state.inner.load(Ordering::SeqCst) == ONCE_BUSY {
+                        Step::Block(BlockOn::Addr(addr))
+                    } else {
+                        Step::Done(())
+                    }
+                });
+            }
+            None => {
+                while self.state.inner.load(Ordering::Acquire) == ONCE_BUSY {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Take the value out, leaving the cell empty. `&mut self` proves
+    /// exclusive access, so this is not a scheduling point.
+    pub fn take(&mut self) -> Option<T> {
+        self.state.inner.store(ONCE_EMPTY, Ordering::SeqCst);
+        self.cell.take()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model Mutex
+// ---------------------------------------------------------------------------
+
+/// Model `Mutex`: lock/unlock are scheduling points with release/acquire
+/// clock transfer; blocking on a held lock parks the scheduled thread instead
+/// of the OS thread, so a preempted critical section cannot wedge the run.
+/// The data still lives behind a real `std::sync::Mutex` (uncontended among
+/// model threads — the scheduler admits one holder at a time).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; unlocking is a scheduling point in a model run.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+    sched: Option<(Arc<SchedShared>, usize)>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex holding `value`.
+    #[must_use]
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Acquire the lock. The error case mirrors `std` poisoning (a model
+    /// thread panicked while holding the inner lock).
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, PoisonError<MutexGuard<'_, T>>> {
+        match current_exec() {
+            Some((shared, tid)) => {
+                let addr = self.addr();
+                scheduled(&shared, tid, "Mutex.lock", |st| {
+                    let meta = st.mutexes.entry(addr).or_default();
+                    if meta.held {
+                        Step::Block(BlockOn::Addr(addr))
+                    } else {
+                        meta.held = true;
+                        let rc = meta.release_clock.clone();
+                        st.clocks[tid][tid] += 1;
+                        if let Some(rc) = rc {
+                            clock_join(&mut st.clocks[tid], &rc);
+                        }
+                        Step::Done(())
+                    }
+                });
+                // The scheduler admitted us: the inner lock is uncontended
+                // among model threads (non-model threads may still hold it,
+                // which the real lock below handles by blocking).
+                let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    sched: Some((shared, tid)),
+                })
+            }
+            None => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    sched: None,
+                }),
+                Err(_) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+                    sched: None,
+                })),
+            },
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner
+            .as_ref()
+            .expect("mutex guard holds the inner lock until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_mut()
+            .expect("mutex guard holds the inner lock until drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first so a non-model thread can proceed.
+        drop(self.inner.take());
+        if let Some((shared, tid)) = self.sched.take() {
+            if current_exec().is_none() {
+                // The thread was detached by an execution abort and is
+                // unwinding; the model state is being discarded, so no
+                // unlock bookkeeping (which would panic again) is needed.
+                return;
+            }
+            let addr = self.lock.addr();
+            scheduled(&shared, tid, "Mutex.unlock", |st| {
+                st.clocks[tid][tid] += 1;
+                let clock = st.clocks[tid].clone();
+                let meta = st.mutexes.entry(addr).or_default();
+                meta.held = false;
+                meta.release_clock = Some(clock);
+                st.wake(BlockOn::Addr(addr));
+                Step::Done(())
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model threads
+// ---------------------------------------------------------------------------
+
+/// Handle to a model thread; [`JoinHandle::join`] is a scheduling point that
+/// transfers the child's final clock to the joiner.
+pub struct JoinHandle<T> {
+    tid: usize,
+    shared: Arc<SchedShared>,
+    result: Arc<StdMutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result.
+    pub fn join(self) -> T {
+        let shared = Arc::clone(&self.shared);
+        let tid = self.tid;
+        let me = current_exec().map(|(_, t)| t).unwrap_or(0);
+        scheduled(&shared, me, "join", |st| {
+            if matches!(st.threads[tid], Status::Finished) {
+                st.clocks[me][me] += 1;
+                let child = st.final_clocks[tid].clone();
+                if let Some(child) = child {
+                    clock_join(&mut st.clocks[me], &child);
+                }
+                Step::Done(())
+            } else {
+                Step::Block(BlockOn::Thread(tid))
+            }
+        });
+        self.result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("joined model thread stored its result before finishing")
+    }
+}
+
+/// Spawn a model thread. Must be called from inside a [`model`] closure (or
+/// a thread it spawned); the new thread participates in the schedule search.
+pub fn spawn<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> JoinHandle<T> {
+    let (shared, parent) =
+        current_exec().expect("sched::spawn must be called from inside a sched::model closure");
+    let result: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+    let tid = {
+        let mut st = lock_state(&shared);
+        let tid = st.threads.len();
+        st.threads.push(Status::Runnable);
+        st.clocks[parent][parent] += 1;
+        let mut child = st.clocks[parent].clone();
+        if child.len() <= tid {
+            child.resize(tid + 1, 0);
+        }
+        child[tid] = 1;
+        st.clocks.push(child);
+        st.final_clocks.push(None);
+        for c in &mut st.clocks {
+            if c.len() <= tid {
+                c.resize(tid + 1, 0);
+            }
+        }
+        tid
+    };
+    let handle = {
+        let shared = Arc::clone(&shared);
+        let result = Arc::clone(&result);
+        std::thread::Builder::new()
+            .name(format!("sched-t{tid}"))
+            .spawn(move || run_model_thread(shared, tid, f, result))
+            .expect("spawning a model checker thread failed")
+    };
+    lock_state(&shared).os_handles.push(handle);
+    // Scheduling point: the child becoming runnable is observable.
+    scheduled(&shared, parent, "spawn", |_| Step::Done(()));
+    JoinHandle {
+        tid,
+        shared,
+        result,
+    }
+}
+
+fn run_model_thread<T: Send + 'static>(
+    shared: Arc<SchedShared>,
+    tid: usize,
+    f: impl FnOnce() -> T,
+    result: Arc<StdMutex<Option<T>>>,
+) {
+    EXEC.with(|e| {
+        *e.borrow_mut() = Some(ExecHandle {
+            shared: Arc::clone(&shared),
+            tid,
+        });
+    });
+    // Park until first chosen.
+    let aborted = {
+        let mut st = lock_state(&shared);
+        loop {
+            if st.abort {
+                break true;
+            }
+            if st.current == tid {
+                break false;
+            }
+            st = shared.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    };
+    if !aborted {
+        match std::panic::catch_unwind(AssertUnwindSafe(f)) {
+            Ok(v) => {
+                *result.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+                finish_thread(&shared, tid);
+            }
+            Err(payload) => {
+                if payload.downcast_ref::<SchedAbort>().is_none() {
+                    let msg = panic_message(&payload);
+                    let mut st = lock_state(&shared);
+                    st.finding(format!("panic in model thread t{tid}: {msg}"));
+                    st.abort = true;
+                    st.done = true;
+                    shared.cv.notify_all();
+                }
+            }
+        }
+    }
+    EXEC.with(|e| {
+        *e.borrow_mut() = None;
+    });
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn finish_thread(shared: &Arc<SchedShared>, tid: usize) {
+    let mut st = lock_state(shared);
+    st.clocks[tid][tid] += 1;
+    let clock = st.clocks[tid].clone();
+    st.final_clocks[tid] = Some(clock);
+    st.threads[tid] = Status::Finished;
+    st.trace.push(format!("t{tid} finished"));
+    st.wake(BlockOn::Thread(tid));
+    match st.decide() {
+        Some(next) => {
+            st.current = next;
+            shared.cv.notify_all();
+        }
+        None => {
+            if st.threads.iter().all(|s| matches!(s, Status::Finished)) {
+                st.done = true;
+            } else {
+                st.finding("deadlock: no runnable thread after thread exit".to_string());
+                st.abort = true;
+                st.done = true;
+            }
+            shared.cv.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Controller
+// ---------------------------------------------------------------------------
+
+/// Serialises model runs across parallel `#[test]`s: the checker relies on
+/// process-global panic-hook state and deterministic replay, so two models
+/// must not interleave.
+static MODEL_SERIAL: StdMutex<()> = StdMutex::new(());
+
+/// Wrapper panic hook that suppresses output from model threads (their
+/// panics are expected unwinds during DFS aborts); restores the previous
+/// hook on drop.
+///
+/// `PanicHookInfo` postdates the workspace MSRV, which is fine here: this
+/// whole module is gated behind `--cfg skyline_sched` and never compiled
+/// by the MSRV build.
+#[allow(clippy::incompatible_msrv)]
+struct QuietHook {
+    prev: Arc<dyn Fn(&PanicHookInfo<'_>) + Sync + Send>,
+}
+
+impl QuietHook {
+    #[allow(clippy::incompatible_msrv)]
+    fn install() -> Self {
+        let prev: Arc<dyn Fn(&PanicHookInfo<'_>) + Sync + Send> =
+            Arc::from(std::panic::take_hook());
+        let delegate = Arc::clone(&prev);
+        std::panic::set_hook(Box::new(move |info| {
+            // Model threads are identified by name rather than by the EXEC
+            // thread-local: an aborting thread detaches from the model
+            // *before* its unwind starts, but its panic should stay quiet.
+            let model_thread = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("sched-t"));
+            if !model_thread {
+                delegate(info);
+            }
+        }));
+        QuietHook { prev }
+    }
+}
+
+impl Drop for QuietHook {
+    fn drop(&mut self) {
+        // `set_hook` itself panics on a panicking thread; when the
+        // controller is unwinding (a model assertion fired), leave the
+        // wrapper installed — it delegates to the previous hook for every
+        // non-model thread, so behaviour stays correct.
+        if !std::thread::panicking() {
+            let prev = Arc::clone(&self.prev);
+            std::panic::set_hook(Box::new(move |info| prev(info)));
+        }
+    }
+}
+
+/// Explore every schedule of `f` within the default [`Config`], panicking
+/// with a `sched-finding:` message if any execution produces a finding.
+pub fn model(f: impl Fn() + Send + Sync + 'static) {
+    model_with(Config::default(), f);
+}
+
+/// [`model`] with an explicit [`Config`].
+pub fn model_with(cfg: Config, f: impl Fn() + Send + Sync + 'static) {
+    let _serial = MODEL_SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+    let _quiet = QuietHook::install();
+    let f = Arc::new(f);
+    let mut replay: Vec<Choice> = Vec::new();
+    let mut executions: u64 = 0;
+    loop {
+        executions += 1;
+        assert!(
+            executions <= cfg.max_executions,
+            "sched: execution budget exhausted after {executions} executions"
+        );
+        let shared = Arc::new(SchedShared {
+            mx: StdMutex::new(ExecState::new(cfg.clone(), std::mem::take(&mut replay))),
+            cv: Condvar::new(),
+        });
+        {
+            let mut st = lock_state(&shared);
+            st.threads.push(Status::Runnable);
+            st.clocks.push(vec![1]);
+            st.final_clocks.push(None);
+            st.current = 0;
+            st.last_run = Some(0);
+        }
+        // The root closure runs as model thread 0.
+        let root = {
+            let shared = Arc::clone(&shared);
+            let f = Arc::clone(&f);
+            std::thread::Builder::new()
+                .name("sched-t0".to_string())
+                .spawn(move || {
+                    run_model_thread(shared, 0, move || f(), Arc::new(StdMutex::new(None)))
+                })
+                .expect("spawning the root model checker thread failed")
+        };
+        // Wait for the execution to complete.
+        {
+            let mut st = lock_state(&shared);
+            while !st.done {
+                st = shared.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        let (schedule, findings, trace, handles) = {
+            let mut st = lock_state(&shared);
+            (
+                std::mem::take(&mut st.schedule),
+                std::mem::take(&mut st.findings),
+                std::mem::take(&mut st.trace),
+                std::mem::take(&mut st.os_handles),
+            )
+        };
+        // Release any threads still parked on the baton, then join every OS
+        // thread so thread-local destructors finish before the next
+        // execution (replay determinism depends on it).
+        shared.cv.notify_all();
+        for h in handles {
+            let _ = h.join();
+        }
+        let _ = root.join();
+        assert!(
+            findings.is_empty(),
+            "sched-finding: execution {executions} produced {n} finding(s):\n  {f}\n\
+             interleaving trace:\n  {t}",
+            n = findings.len(),
+            f = findings.join("\n  "),
+            t = trace.join("\n  "),
+        );
+        match advance(schedule) {
+            Some(next) => replay = next,
+            None => break,
+        }
+    }
+}
+
+/// Compute the next schedule prefix for DFS: bump the deepest choice with an
+/// untried alternative and discard everything after it. `None` when the
+/// search space is exhausted.
+fn advance(mut schedule: Vec<Choice>) -> Option<Vec<Choice>> {
+    while let Some(last) = schedule.last_mut() {
+        if last.index + 1 < last.options.len() {
+            last.index += 1;
+            return Some(schedule);
+        }
+        schedule.pop();
+    }
+    None
+}

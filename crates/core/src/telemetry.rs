@@ -52,7 +52,7 @@
 //! differential test pins query results across recording on/off at thread
 //! counts {0, 1, 4}.
 
-use std::sync::OnceLock;
+use crate::sync::OnceLock;
 use std::time::Instant;
 
 /// Number of histogram buckets: bucket `i` counts values whose bit length
@@ -187,30 +187,32 @@ pub struct AnomalyDump {
 /// [`Counter`]s it has no name and never no-ops: per-snapshot cache stats
 /// are product data, not telemetry.
 #[derive(Debug, Default)]
-pub struct CounterCell(std::sync::atomic::AtomicU64);
+pub struct CounterCell(crate::sync::AtomicU64);
 
 impl CounterCell {
     /// A zeroed cell.
     pub const fn new() -> Self {
-        CounterCell(std::sync::atomic::AtomicU64::new(0))
+        CounterCell(crate::sync::AtomicU64::new(0))
     }
 
     /// Adds `delta` (relaxed; totals are exact once writers quiesce).
     #[inline]
     pub fn add(&self, delta: u64) {
-        self.0
-            .fetch_add(delta, std::sync::atomic::Ordering::Relaxed);
+        // relaxed-ok: pure statistic; nothing is published through it.
+        self.0.fetch_add(delta, crate::sync::Ordering::Relaxed);
     }
 
     /// Current value (relaxed read).
     #[inline]
     pub fn get(&self) -> u64 {
-        self.0.load(std::sync::atomic::Ordering::Relaxed)
+        // relaxed-ok: monitoring read; exact only once writers quiesce.
+        self.0.load(crate::sync::Ordering::Relaxed)
     }
 
     /// Resets to zero.
     pub fn reset(&self) {
-        self.0.store(0, std::sync::atomic::Ordering::Relaxed);
+        // relaxed-ok: caller quiesces writers before resetting stats.
+        self.0.store(0, crate::sync::Ordering::Relaxed);
     }
 }
 
@@ -272,9 +274,8 @@ mod active {
         bucket_index, now_ns, AnomalyDump, CounterCell, CounterSnapshot, HistogramSnapshot,
         MetricsSnapshot, SpanEvent, DEFAULT_FLIGHT_WINDOW_MS, FLIGHT_CAPACITY, HISTOGRAM_BUCKETS,
     };
+    use crate::sync::{AtomicU64, Mutex, OnceLock, Ordering};
     use std::cell::RefCell;
-    use std::sync::atomic::{AtomicU64, Ordering};
-    use std::sync::{Mutex, OnceLock};
 
     /// A named, registered counter. Obtained via
     /// [`counter!`](crate::counter); lives forever (registry nodes are
@@ -560,10 +561,10 @@ mod active {
     /// reason; later triggers are absorbed until the dump is taken.
     fn fire_trigger(reason: &'static str, ts: u64) {
         let ts = ts.max(1);
-        if FREEZE_NS
-            .compare_exchange(0, ts, Ordering::AcqRel, Ordering::Relaxed)
-            .is_ok()
-        {
+        // relaxed-ok: failure ordering — a losing trigger reads nothing
+        // through the freeze timestamp, it just backs off.
+        let won = FREEZE_NS.compare_exchange(0, ts, Ordering::AcqRel, Ordering::Relaxed);
+        if won.is_ok() {
             if let Ok(mut dump) = dump_state().lock() {
                 dump.reason = reason;
                 dump.trigger_ns = ts;
@@ -589,6 +590,7 @@ mod active {
     impl ThreadBuf {
         fn new() -> Self {
             ThreadBuf {
+                // relaxed-ok: unique-id counter; only atomicity matters.
                 id: NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed),
                 generation: 0,
                 depth: 0,
@@ -635,6 +637,7 @@ mod active {
                 return;
             }
             self.contributed_freeze = freeze;
+            // relaxed-ok: tuning knob; any recent window value is valid.
             let cutoff = freeze.saturating_sub(FLIGHT_WINDOW_NS.load(Ordering::Relaxed));
             if let Ok(mut dump) = dump_state().lock() {
                 for event in &self.ring {
@@ -677,6 +680,8 @@ mod active {
         if let Ok(mut sink) = sink().lock() {
             sink.clear();
         }
+        // relaxed-ok: session start/stop is single-driver; the Release
+        // store below is what readers synchronise with.
         let g = GENERATION.load(Ordering::Relaxed);
         if g % 2 == 0 {
             GENERATION.store(g + 1, Ordering::Release);
@@ -689,6 +694,8 @@ mod active {
     /// this workspace all pool workers are scoped and joined before the
     /// driver stops recording, so nothing is lost in practice.
     pub fn stop_recording() -> Vec<SpanEvent> {
+        // relaxed-ok: session start/stop is single-driver; the Release
+        // store below is what readers synchronise with.
         let g = GENERATION.load(Ordering::Relaxed);
         let active = if g % 2 == 1 { g } else { g.saturating_sub(1) };
         with_thread_buf(|buf| buf.flush(active));
@@ -713,6 +720,7 @@ mod active {
     /// threshold applies to *every* span name — aim it at the workload's
     /// tail by picking a threshold well above benign span durations.
     pub fn set_latency_trigger(threshold_ns: u64) {
+        // relaxed-ok: arming knob; nothing is published through it.
         LATENCY_TRIGGER_NS.store(threshold_ns, Ordering::Relaxed);
     }
 
@@ -720,6 +728,7 @@ mod active {
     /// ring events still count as the anomaly's past (default
     /// [`DEFAULT_FLIGHT_WINDOW_MS`]).
     pub fn set_flight_window_ms(window_ms: u64) {
+        // relaxed-ok: tuning knob; any recent window value is valid.
         FLIGHT_WINDOW_NS.store(window_ms.saturating_mul(1_000_000), Ordering::Relaxed);
     }
 
@@ -837,6 +846,8 @@ mod active {
                     buf.events.push(event.clone());
                 }
                 buf.ring_push(event);
+                // relaxed-ok: hot-path arming check; a stale threshold at
+                // worst delays or duplicates a trigger by one span.
                 let threshold = LATENCY_TRIGGER_NS.load(Ordering::Relaxed);
                 if threshold != 0 && dur_ns >= threshold {
                     fire_trigger("latency-over-threshold", end_ns);

@@ -1,0 +1,137 @@
+//! Epoch-chain memory reclamation, checked under the normal test runner
+//! *and* under Miri in CI (`cargo +nightly miri test -p skyline-core
+//! --test epoch_reclaim`): nodes behind the slowest cursor are freed — no
+//! leak, no double-free, no use-after-free — across publisher/reader drop
+//! orders. Sizes are kept small so Miri's interpreter finishes within the
+//! CI time budget; the `skyline_sched`-gated twin of this coverage lives
+//! in `sched_epoch.rs`, where the interleavings themselves are enumerated.
+
+use skyline_core::epoch::EpochPublisher;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Counts drops of the values carried by the chain, so every test can
+/// assert exactly which epochs have been reclaimed.
+struct Probe {
+    id: u64,
+    drops: Arc<AtomicUsize>,
+}
+
+impl Probe {
+    fn new(id: u64, drops: &Arc<AtomicUsize>) -> Self {
+        Probe {
+            id,
+            drops: Arc::clone(drops),
+        }
+    }
+}
+
+impl Drop for Probe {
+    fn drop(&mut self) {
+        self.drops.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn cursor_advance_frees_exactly_the_passed_epochs() {
+    let drops = Arc::new(AtomicUsize::new(0));
+    let mut publisher = EpochPublisher::new(Probe::new(0, &drops));
+    let mut reader = publisher.reader();
+    for i in 1..=4 {
+        publisher.publish(Probe::new(i, &drops));
+    }
+    assert_eq!(drops.load(Ordering::SeqCst), 0, "lagging cursor pins all");
+
+    let value = reader.refresh();
+    assert_eq!(value.id, 4);
+    // The cursor walked past epochs 0..=3; the publisher only holds the
+    // tail, so exactly those four probes must be gone.
+    assert_eq!(drops.load(Ordering::SeqCst), 4);
+
+    drop(publisher);
+    assert_eq!(
+        drops.load(Ordering::SeqCst),
+        4,
+        "reader still pins the tail"
+    );
+    drop(value);
+    drop(reader);
+    assert_eq!(drops.load(Ordering::SeqCst), 5, "nothing may leak");
+}
+
+#[test]
+fn publisher_dropped_first_chain_survives_for_readers() {
+    let drops = Arc::new(AtomicUsize::new(0));
+    let mut publisher = EpochPublisher::new(Probe::new(0, &drops));
+    let mut reader = publisher.reader();
+    publisher.publish(Probe::new(1, &drops));
+    publisher.publish(Probe::new(2, &drops));
+    drop(publisher);
+
+    // The whole chain is still reachable from the lagging cursor.
+    assert_eq!(drops.load(Ordering::SeqCst), 0);
+    let value = reader.refresh();
+    assert_eq!(value.id, 2);
+    assert_eq!(reader.epoch(), 2);
+    assert_eq!(drops.load(Ordering::SeqCst), 2, "passed epochs are freed");
+    drop(value);
+    drop(reader);
+    assert_eq!(drops.load(Ordering::SeqCst), 3);
+}
+
+#[test]
+fn readers_dropped_first_publisher_reclaims_history() {
+    let drops = Arc::new(AtomicUsize::new(0));
+    let mut publisher = EpochPublisher::new(Probe::new(0, &drops));
+    let r1 = publisher.reader();
+    let r2 = r1.clone();
+    publisher.publish(Probe::new(1, &drops));
+    drop(r1);
+    assert_eq!(drops.load(Ordering::SeqCst), 0, "r2 still pins epoch 0");
+    drop(r2);
+    // No cursor behind the tail any more: history reclaims immediately.
+    assert_eq!(drops.load(Ordering::SeqCst), 1);
+    drop(publisher);
+    assert_eq!(drops.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn interleaved_refresh_and_drop_orders() {
+    // Every (publish, refresh, drop) order of a two-reader chain; the
+    // union of assertions is the no-leak/no-double-free contract. Sizes
+    // stay tiny so the whole matrix runs under Miri.
+    for drop_publisher_first in [false, true] {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let mut publisher = EpochPublisher::new(Probe::new(0, &drops));
+        let mut fast = publisher.reader();
+        let slow = publisher.reader();
+        publisher.publish(Probe::new(1, &drops));
+        let pinned = fast.refresh();
+        assert_eq!(pinned.id, 1);
+        publisher.publish(Probe::new(2, &drops));
+
+        if drop_publisher_first {
+            drop(publisher);
+            assert_eq!(drops.load(Ordering::SeqCst), 0, "slow cursor pins all");
+            drop(slow);
+        } else {
+            drop(slow);
+            // The slow cursor was the only holder of epoch 0; `fast`
+            // (at epoch 1) pins everything from there on.
+            assert_eq!(drops.load(Ordering::SeqCst), 1, "epoch 0 reclaims at once");
+            drop(publisher);
+        }
+        // Only `fast` (at epoch 1) and its pinned value remain: epoch 0
+        // must be reclaimed, epochs 1 and 2 must not.
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        // Refresh moves the cursor to the tail (epoch 2), freeing epoch
+        // 1's node but not its value, which `pinned` still holds.
+        assert_eq!(fast.refresh().id, 2);
+        assert_eq!(fast.epoch(), 2);
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "pinned value stays alive");
+        drop(pinned);
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+        drop(fast);
+        assert_eq!(drops.load(Ordering::SeqCst), 3, "nothing leaks");
+    }
+}

@@ -9,7 +9,8 @@
 //!
 //! * it lives **inside one snapshot** — entries can never leak across
 //!   epochs, because a new epoch is a new (empty) cache;
-//! * slots are [`std::sync::OnceLock`] cells — direct-mapped, first write
+//! * slots are write-once [`skyline_core::sync::OnceLock`] cells —
+//!   direct-mapped, first write
 //!   wins, never evicted, never torn. Losing a publication race only drops
 //!   a duplicate of the identical value.
 //!
@@ -24,7 +25,7 @@
 //! This file is read-path code: the `no-lock-read-path` lint keeps
 //! `Mutex`/`RwLock` out of it.
 
-use std::sync::{Arc, OnceLock};
+use skyline_core::sync::{Arc, OnceLock};
 
 use skyline_core::maintained::Handle;
 use skyline_core::telemetry;

@@ -22,7 +22,11 @@
 //! maintained index's lazy-rebuild policy: queries never pay per-update
 //! patch-up cost, and a burst of updates costs one rebuild.
 
-use std::sync::{Arc, Mutex};
+// The write-side `Mutex` stays `std`: it guards the single-writer half
+// (never the read path — see `no-lock-read-path`), so it is outside the
+// interleaving checker's scope.
+use skyline_core::sync::Arc;
+use std::sync::Mutex;
 
 use skyline_core::dynamic::DynamicEngine;
 use skyline_core::epoch::{EpochPublisher, EpochReader};

@@ -25,7 +25,7 @@
 //!   not constant per cell on grid lines, so they are never cached (they
 //!   count as cache misses of an absent cache, i.e. not at all).
 
-use std::sync::Arc;
+use skyline_core::sync::Arc;
 
 use skyline_apps::continuous::{self, TraversalStep};
 use skyline_core::diagram::Polyomino;

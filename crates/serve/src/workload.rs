@@ -21,7 +21,7 @@
 //! differential stress harness and the cache on/off test both rely on
 //! this.
 
-use std::sync::Arc;
+use skyline_core::sync::Arc;
 
 use skyline_core::geometry::Point;
 use skyline_core::maintained::Handle;

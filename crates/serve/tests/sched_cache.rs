@@ -1,0 +1,74 @@
+//! Model-checked result-cache suite: the first-write-wins fill race of
+//! `skyline_serve`'s `ResultCache` explored over every interleaving within
+//! the preemption bound.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg skyline_sched"`.
+#![cfg(skyline_sched)]
+
+use skyline_core::maintained::Handle;
+use skyline_core::sync::{sched, Arc};
+use skyline_serve::cache::ResultCache;
+
+fn answer(ids: &[u64]) -> Arc<[Handle]> {
+    ids.iter().copied().map(Handle).collect()
+}
+
+/// Resolve the `serve.cache.{hit,miss,fill}` counter sites and registry
+/// nodes before entering the model (replay determinism): one miss+fill and
+/// one hit on a throwaway cache touch all three.
+fn prewarm() {
+    let cache = ResultCache::new(2);
+    let _ = cache.get_or_compute(0, || answer(&[1]));
+    let _ = cache.get_or_compute(0, || answer(&[1]));
+}
+
+/// Two threads fill the same key concurrently: both must come back with
+/// the (identical) answer, exactly one publication wins the slot, and the
+/// slot afterwards serves hits — in every interleaving.
+#[test]
+fn concurrent_fill_same_key() {
+    prewarm();
+    sched::model(|| {
+        let cache = Arc::new(ResultCache::new(4));
+        let c = Arc::clone(&cache);
+        let t = sched::spawn(move || c.get_or_compute(7, || answer(&[3, 5])));
+        let mine = cache.get_or_compute(7, || answer(&[3, 5]));
+        let theirs = t.join();
+        assert_eq!(*mine, *theirs, "racing fills must agree on the answer");
+        // Whoever won, the slot is now populated: a third lookup is a hit
+        // and must return the published value, not recompute.
+        let again = cache.get_or_compute(7, || answer(&[99]));
+        assert_eq!(
+            *again, *mine,
+            "a populated slot must serve the stored answer"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.lookups(), 3);
+        assert!(stats.hits >= 1, "the post-race lookup is always a hit");
+    });
+}
+
+/// A direct-mapped collision under concurrency: the second key maps to the
+/// claimed slot and must recompute (permanent miss) without disturbing the
+/// first key's entry.
+#[test]
+fn collision_misses_without_corruption() {
+    prewarm();
+    sched::model(|| {
+        // Two slots: keys 0 and 2 collide on slot 0.
+        let cache = Arc::new(ResultCache::new(2));
+        let c = Arc::clone(&cache);
+        let t = sched::spawn(move || c.get_or_compute(0, || answer(&[1])));
+        let colliding = cache.get_or_compute(2, || answer(&[2]));
+        let first = t.join();
+        assert_eq!(*first, *answer(&[1]));
+        assert_eq!(*colliding, *answer(&[2]));
+        // The slot belongs to whichever key claimed it first; the other
+        // key stays a miss but keeps returning its own computed answer.
+        let first_again = cache.get_or_compute(0, || answer(&[1]));
+        let colliding_again = cache.get_or_compute(2, || answer(&[2]));
+        assert_eq!(*first_again, *answer(&[1]));
+        assert_eq!(*colliding_again, *answer(&[2]));
+        assert_eq!(cache.stats().lookups(), 4);
+    });
+}

@@ -112,11 +112,15 @@ pub fn lex(src: &str) -> Vec<Tok> {
                 // Char literal vs lifetime: a backslash or a `<x>'` pattern
                 // means char; otherwise it is a lifetime.
                 if bytes.get(i + 1) == Some(&b'\\') || is_char_literal(bytes, i) {
+                    // Capture the line *before* scanning: the scanner bumps
+                    // the counter on embedded newlines, and the token must
+                    // carry the line its first character sits on.
+                    let start_line = line;
                     let (content, next) = scan_char(bytes, i + 1, &mut line);
                     toks.push(Tok {
                         kind: TokKind::Str,
                         text: content,
-                        line,
+                        line: start_line,
                     });
                     i = next;
                 } else {
@@ -442,6 +446,58 @@ fn f<'a>(s: &'a str) -> char {
         let toks = lex(src);
         let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
         assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn multi_hash_raw_fences_and_embedded_quotes() {
+        // A `"#` inside an `r##"…"##` string must not close it; the fence
+        // has to match hash-for-hash.
+        let src = r###"let s = r##"inner "# not the end"##; let after = 1;"###;
+        let toks = lex(src);
+        let lit = toks
+            .iter()
+            .find(|t| t.kind == TokKind::Str)
+            .expect("the raw string lexes as one literal token");
+        assert_eq!(lit.text, r##"inner "# not the end"##);
+        assert!(toks.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn rule_patterns_inside_raw_strings_are_inert() {
+        // Text that *looks* like lintable code must stay inside the string
+        // token: none of these may surface as identifier tokens.
+        let src = r####"
+let a = r#"x.unwrap(); panic!("boom"); Ordering::SeqCst"#;
+let b = r##"std::sync::atomic::AtomicU64 debug_assert!(v.pop())"##;
+"####;
+        let toks = lex(src);
+        for banned in ["unwrap", "panic", "SeqCst", "atomic", "debug_assert"] {
+            assert!(
+                !toks.iter().any(|t| t.is_ident(banned)),
+                "`{banned}` leaked out of a raw string"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_comment_decoys_and_line_numbers() {
+        // `/*` inside the comment deepens the nesting: the first `*/` only
+        // closes the inner level, so `.unwrap()` is still commented out —
+        // and the line counter survives the whole block.
+        let src =
+            "/* outer /* inner */ still comment .unwrap() */\nlet x = 1;\nlet c = 'y';\nlet d = 2;";
+        let toks = lex(src);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        let x = toks.iter().find(|t| t.is_ident("x")).expect("x survives");
+        assert_eq!(x.line, 2);
+        // Char literals keep the line of their opening quote.
+        let c = toks
+            .iter()
+            .find(|t| t.kind == TokKind::Str && t.text == "y")
+            .expect("char literal lexes");
+        assert_eq!(c.line, 3);
+        let d = toks.iter().find(|t| t.is_ident("d")).expect("d survives");
+        assert_eq!(d.line, 4);
     }
 
     #[test]

@@ -1,12 +1,23 @@
 //! Workspace automation tasks, invoked as `cargo xtask <task>` (the alias
 //! lives in `.cargo/config.toml`).
 //!
-//! The only task today is `lint`: a repo-specific static-analysis pass over
-//! the library crates enforcing the invariants CONTRIBUTING.md documents —
-//! exact integer arithmetic in the geometry/diagram layers, panic hygiene
-//! in library code, and `#[must_use]` on diagram and result-set producers.
-//! Violations are either fixed or allowlisted in `crates/xtask/lint.toml`
-//! with a written justification; stale allowlist entries fail the run.
+//! Tasks:
+//!
+//! - `lint`: a repo-specific static-analysis pass over the library crates
+//!   enforcing the invariants CONTRIBUTING.md documents — exact integer
+//!   arithmetic in the geometry/diagram layers, panic hygiene, `#[must_use]`
+//!   on diagram and result-set producers, and the concurrency discipline
+//!   (sync-facade imports, justified `Relaxed`, no `SeqCst`, pure
+//!   `debug_assert!` bodies). Violations are either fixed or allowlisted in
+//!   `crates/xtask/lint.toml` with a written justification; stale allowlist
+//!   entries fail the run.
+//! - `sched-mutate`: a mutation test for the interleaving checker. Weakens
+//!   the marked `Release` publication store in `crates/core/src/epoch.rs`
+//!   to `Relaxed` in place, runs the `skyline_sched` epoch suite, and
+//!   asserts the checker *fails* with a `sched-finding` — proving the model
+//!   checker actually detects the bug class it exists for. The original
+//!   file is restored whatever happens (a `.sched-mutate.bak` copy guards
+//!   against crashes).
 
 mod config;
 mod lexer;
@@ -19,6 +30,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
+        Some("sched-mutate") => sched_mutate(),
         Some(other) => {
             eprintln!("unknown task `{other}`\n");
             usage();
@@ -34,8 +46,10 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!("usage: cargo xtask <task>\n");
     eprintln!("tasks:");
-    eprintln!("  lint    run the repo-specific static-analysis pass");
-    eprintln!("          (rules and allowlist: crates/xtask/lint.toml)");
+    eprintln!("  lint          run the repo-specific static-analysis pass");
+    eprintln!("                (rules and allowlist: crates/xtask/lint.toml)");
+    eprintln!("  sched-mutate  weaken the epoch Release store to Relaxed and");
+    eprintln!("                assert the skyline_sched checker catches it");
 }
 
 /// `CARGO_MANIFEST_DIR` is `crates/xtask`; the workspace root is two up.
@@ -92,8 +106,9 @@ fn lint() -> ExitCode {
             }
         };
         // Test-module stripping happens inside `run_all`, which knows
-        // which scopes lint their test code too.
-        let findings = rules::run_all(&rel, &lexer::lex(&src));
+        // which scopes lint their test code too. The source text rides
+        // along for the comment-reading rules (`relaxed-ok:` markers).
+        let findings = rules::run_all(&rel, &src, &lexer::lex(&src));
         if !findings.is_empty() {
             checked += 1;
         }
@@ -144,6 +159,133 @@ fn lint() -> ExitCode {
         );
         ExitCode::SUCCESS
     }
+}
+
+/// Restores a mutated source file when dropped, so `sched-mutate` cannot
+/// leave the tree weakened even if the test run panics.
+struct RestoreFile {
+    path: PathBuf,
+    backup: PathBuf,
+    original: String,
+}
+
+impl Drop for RestoreFile {
+    fn drop(&mut self) {
+        if let Err(err) = std::fs::write(&self.path, &self.original) {
+            eprintln!(
+                "error: FAILED to restore {}: {err}\n       recover it from {}",
+                self.path.display(),
+                self.backup.display()
+            );
+            return;
+        }
+        let _ = std::fs::remove_file(&self.backup);
+    }
+}
+
+/// Mutation test for the interleaving checker: flip the marked `Release`
+/// publication store in `epoch.rs` to `Relaxed`, run the model-checked
+/// epoch suite, and demand it fails with a `sched-finding`. A green suite
+/// under the weakened ordering would mean the checker cannot see the very
+/// bug class it was built for.
+fn sched_mutate() -> ExitCode {
+    let root = workspace_root();
+    let path = root.join("crates/core/src/epoch.rs");
+    let original = match std::fs::read_to_string(&path) {
+        Ok(src) => src,
+        Err(err) => {
+            eprintln!("error: cannot read {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The marker comment sits on the line before the store under test.
+    let marker = "sched-mutate: release-store";
+    let mut mutated_lines: Vec<String> = Vec::new();
+    let mut mutate_next = false;
+    let mut flipped = 0usize;
+    for line in original.lines() {
+        if mutate_next && line.contains("Ordering::Release") {
+            mutated_lines.push(line.replace("Ordering::Release", "Ordering::Relaxed"));
+            flipped += 1;
+        } else {
+            mutated_lines.push(line.to_owned());
+        }
+        mutate_next = line.contains(marker);
+    }
+    if flipped != 1 {
+        eprintln!(
+            "error: expected exactly one `Ordering::Release` directly after the \
+             `{marker}` marker in {}; found {flipped}",
+            path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let mutated = mutated_lines.join("\n") + "\n";
+
+    let backup = root.join("crates/core/src/epoch.rs.sched-mutate.bak");
+    if let Err(err) = std::fs::write(&backup, &original) {
+        eprintln!("error: cannot write backup {}: {err}", backup.display());
+        return ExitCode::FAILURE;
+    }
+    let _restore = RestoreFile {
+        path: path.clone(),
+        backup,
+        original,
+    };
+    if let Err(err) = std::fs::write(&path, &mutated) {
+        eprintln!("error: cannot write mutation to {}: {err}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("sched-mutate: weakened the epoch publication store to Relaxed");
+
+    // A separate target dir keeps the poisoned build artifacts away from
+    // both the normal cache and the honest skyline_sched cache.
+    let output = std::process::Command::new("cargo")
+        .current_dir(&root)
+        .env("RUSTFLAGS", "--cfg skyline_sched")
+        .args([
+            "test",
+            "-p",
+            "skyline-core",
+            "--test",
+            "sched_epoch",
+            "--target-dir",
+            "target/sched-mutate",
+        ])
+        .output();
+    let output = match output {
+        Ok(out) => out,
+        Err(err) => {
+            eprintln!("error: failed to run cargo: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let combined = format!(
+        "{}\n{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    if output.status.success() {
+        eprintln!(
+            "sched-mutate: FAIL — the model-checked epoch suite PASSED against the \
+             weakened store; the checker missed the seeded ordering bug"
+        );
+        return ExitCode::FAILURE;
+    }
+    if !combined.contains("sched-finding") {
+        eprintln!(
+            "sched-mutate: FAIL — the suite failed, but not with a `sched-finding` \
+             (wrong failure mode):\n{combined}"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "sched-mutate: PASS — the checker caught the weakened publication store \
+         with a sched-finding"
+    );
+    ExitCode::SUCCESS
 }
 
 /// Recursively collects `.rs` files, skipping build output.

@@ -53,11 +53,50 @@ const MUST_USE_TYPES: &[&str] = &[
 /// invariant rather than restating the call.
 const MIN_EXPECT_MESSAGE: usize = 15;
 
-/// The only file allowed to touch `std::thread` directly: the scoped worker
-/// pool every parallel engine funnels through. Everything else must go via
-/// `skyline_core::parallel` so the determinism contract (sequential stitch,
-/// `SKYLINE_THREADS`, worker cap) cannot be bypassed.
-const RAW_SPAWN_EXEMPT: &[&str] = &["crates/core/src/parallel.rs"];
+/// The only files allowed to touch `std::thread` directly: the scoped worker
+/// pool every parallel engine funnels through, and the deterministic
+/// interleaving checker (whose *job* is owning model threads). Everything
+/// else must go via `skyline_core::parallel` so the determinism contract
+/// (sequential stitch, `SKYLINE_THREADS`, worker cap) cannot be bypassed.
+const RAW_SPAWN_EXEMPT: &[&str] = &[
+    "crates/core/src/parallel.rs",
+    "crates/core/src/sync/sched.rs",
+];
+
+/// The synchronization facade: the one directory where raw
+/// `std::sync::atomic` / `std::sync::OnceLock` (and the checker's internal
+/// `SeqCst` bookkeeping) are legal, because this is where the facade and the
+/// model checker are *implemented*. Everything else imports through
+/// `crate::sync` / `skyline_core::sync` so `--cfg skyline_sched` can swap
+/// the primitives for their model-checked twins.
+const SYNC_FACADE: &[&str] = &["crates/core/src/sync"];
+
+/// Method names whose call inside a `debug_assert!` body mutates the
+/// receiver: the assertion (and the side effect) vanish in release builds,
+/// so debug and release binaries diverge. `next` is deliberately absent —
+/// iterator-driving asserts are caught by the `fetch_*` prefix and the
+/// mutation list, not by banning every cursor read.
+const MUTATING_METHODS: &[&str] = &[
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "clear",
+    "take",
+    "swap",
+    "replace",
+    "store",
+    "set",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "get_or_init",
+    "get_or_insert",
+    "drain",
+    "truncate",
+    "append",
+    "extend",
+    "retain",
+];
 
 /// The only library file allowed to read the monotonic clock directly: the
 /// telemetry layer, which owns the process epoch every probe measures
@@ -96,10 +135,13 @@ fn in_scope(path: &str, scope: &[&str]) -> bool {
 /// Runs every rule applicable to `path` over its *raw* token stream.
 /// Test modules are stripped here before the library rules run; the
 /// timing rule additionally runs over the unstripped stream for
-/// [`TIMING_TEST_SCOPE`] files, whose test bodies are in scope.
-pub fn run_all(path: &str, raw: &[Tok]) -> Vec<Finding> {
+/// [`TIMING_TEST_SCOPE`] files, whose test bodies are in scope. `src` is
+/// the file's source text: the `atomic-ordering` rule reads comment lines
+/// (which the lexer drops) to find `relaxed-ok:` justifications.
+pub fn run_all(path: &str, src: &str, raw: &[Tok]) -> Vec<Finding> {
     let stripped = crate::lexer::strip_test_code(raw);
     let toks = &stripped[..];
+    let lines: Vec<&str> = src.lines().collect();
     let mut findings = Vec::new();
     if in_scope(path, EXACT_SCOPE) {
         no_as_cast(toks, &mut findings);
@@ -110,8 +152,13 @@ pub fn run_all(path: &str, raw: &[Tok]) -> Vec<Finding> {
         no_panic(toks, &mut findings);
         expect_message(toks, &mut findings);
         must_use(toks, &mut findings);
+        no_side_effect_debug_assert(toks, &mut findings);
         if !TIMING_EXEMPT.contains(&path) {
             no_ad_hoc_timing(toks, &mut findings);
+        }
+        if !in_scope(path, SYNC_FACADE) {
+            no_raw_atomic(toks, &mut findings);
+            atomic_ordering(toks, &lines, &mut findings);
         }
     }
     if in_scope(path, TIMING_TEST_SCOPE) {
@@ -124,6 +171,174 @@ pub fn run_all(path: &str, raw: &[Tok]) -> Vec<Finding> {
         no_lock_read_path(toks, &mut findings);
     }
     findings
+}
+
+/// `no-raw-atomic`: library code must reach atomics and `OnceLock` through
+/// the `crate::sync` / `skyline_core::sync` facade, never via raw
+/// `std::sync::atomic::*` or `std::sync::OnceLock` paths. The facade is what
+/// lets `--cfg skyline_sched` swap every primitive for its model-checked
+/// twin; a raw import is invisible to the interleaving checker. There is no
+/// allowlist for this rule by design — the only legal home for raw paths is
+/// [`SYNC_FACADE`] itself. `Arc`/`Mutex` stay unrestricted here: they carry
+/// no ordering semantics the checker misses (the read-path lock ban is
+/// `no-lock-read-path`'s job).
+fn no_raw_atomic(toks: &[Tok], findings: &mut Vec<Finding>) {
+    let mut report = |line: u32, what: &str| {
+        findings.push(Finding {
+            rule: "no-raw-atomic",
+            line,
+            message: format!("raw `std::sync::{what}` outside the sync facade"),
+            hint: "import through crate::sync / skyline_core::sync so the skyline_sched \
+                   model checker can interpose on the primitive",
+        });
+    };
+    for (i, win) in toks.windows(7).enumerate() {
+        let [s, a1, a2, y, b1, b2, x] = win else {
+            continue;
+        };
+        if !(s.is_ident("std")
+            && a1.is_punct(':')
+            && a2.is_punct(':')
+            && y.is_ident("sync")
+            && b1.is_punct(':')
+            && b2.is_punct(':'))
+        {
+            continue;
+        }
+        if x.is_ident("atomic") || x.is_ident("OnceLock") {
+            report(x.line, &x.text);
+        } else if x.is_punct('{') {
+            // `use std::sync::{…}` group: flag each banned leaf inside.
+            let mut depth = 0i32;
+            for t in &toks[i + 6..] {
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.is_ident("atomic") || t.is_ident("OnceLock") {
+                    report(t.line, &t.text);
+                }
+            }
+        }
+    }
+}
+
+/// `atomic-ordering`: every `Ordering::Relaxed` in library code must carry a
+/// `// relaxed-ok: <why>` justification on the same line or in the comment
+/// block directly above it — relaxed atomics are correct only for values
+/// that never order other memory (counters, tuning knobs), and the reviewer
+/// should not have to reconstruct that argument. `Ordering::SeqCst` is
+/// banned outright: it papers over a missing happens-before design instead
+/// of stating one (the checker's internal bookkeeping in [`SYNC_FACADE`] is
+/// the sole exemption).
+fn atomic_ordering(toks: &[Tok], lines: &[&str], findings: &mut Vec<Finding>) {
+    for tok in toks {
+        if tok.is_ident("SeqCst") {
+            findings.push(Finding {
+                rule: "atomic-ordering",
+                line: tok.line,
+                message: "`Ordering::SeqCst` in library code".to_owned(),
+                hint: "state the intended happens-before edge with Release/Acquire (or \
+                       justify Relaxed); SeqCst hides the design instead of fixing it",
+            });
+        }
+    }
+    for win in toks.windows(4) {
+        let [a, c1, c2, b] = win else { continue };
+        if a.is_ident("Ordering")
+            && c1.is_punct(':')
+            && c2.is_punct(':')
+            && b.is_ident("Relaxed")
+            && !relaxed_justified(lines, b.line)
+        {
+            findings.push(Finding {
+                rule: "atomic-ordering",
+                line: b.line,
+                message: "`Ordering::Relaxed` without a `relaxed-ok:` justification".to_owned(),
+                hint: "add `// relaxed-ok: <why no other memory depends on this value>` on \
+                       the line or directly above it",
+            });
+        }
+    }
+}
+
+/// Is a `Relaxed` at 1-based `line` covered by a `relaxed-ok:` marker — on
+/// the same line, or in the contiguous run of `//` comment lines directly
+/// above it?
+fn relaxed_justified(lines: &[&str], line: u32) -> bool {
+    let Some(idx) = usize::try_from(line).ok().and_then(|n| n.checked_sub(1)) else {
+        return false;
+    };
+    if lines.get(idx).is_some_and(|l| l.contains("relaxed-ok:")) {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let trimmed = lines[i].trim_start();
+        if !trimmed.starts_with("//") {
+            return false;
+        }
+        if trimmed.contains("relaxed-ok:") {
+            return true;
+        }
+    }
+    false
+}
+
+/// `no-side-effect-debug-assert`: `debug_assert!` bodies vanish in release
+/// builds, so a mutation inside one (an atomic RMW, a `pop`, a `set`) makes
+/// debug and release binaries compute different states. Flags any call of a
+/// `fetch_*` method or a [`MUTATING_METHODS`] name inside the macro's
+/// argument list. Deliberately allowlist-free: there is no legitimate
+/// mutation whose disappearance is harmless.
+fn no_side_effect_debug_assert(toks: &[Tok], findings: &mut Vec<Finding>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_da = toks[i].kind == TokKind::Ident && toks[i].text.starts_with("debug_assert");
+        if !(is_da
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('(')))
+        {
+            i += 1;
+            continue;
+        }
+        // Walk the macro's parenthesized body.
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_punct('.')
+                && toks.get(j + 2).is_some_and(|p| p.is_punct('('))
+                && toks.get(j + 1).is_some_and(|m| {
+                    m.kind == TokKind::Ident
+                        && (m.text.starts_with("fetch_")
+                            || MUTATING_METHODS.contains(&m.text.as_str()))
+                })
+            {
+                let m = &toks[j + 1];
+                findings.push(Finding {
+                    rule: "no-side-effect-debug-assert",
+                    line: m.line,
+                    message: format!("mutating call `.{}(…)` inside a debug_assert body", m.text),
+                    hint: "hoist the side effect out of the assertion; debug_assert bodies \
+                           are compiled away in release builds",
+                });
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
 }
 
 /// `no-lock-read-path`: blocking synchronization primitives are banned from
@@ -503,7 +718,7 @@ mod tests {
     use crate::lexer::lex;
 
     fn findings_for(path: &str, src: &str) -> Vec<Finding> {
-        run_all(path, &lex(src))
+        run_all(path, src, &lex(src))
     }
 
     #[test]
@@ -665,6 +880,103 @@ pub fn f() {
                       skyline_core::telemetry::spin_until(t0 + 5);\n}";
         let f = findings_for("crates/serve/tests/stress_diff.rs", benign);
         assert!(f.iter().all(|f| f.rule != "no-ad-hoc-timing"));
+    }
+
+    #[test]
+    fn raw_atomic_fires_outside_the_sync_facade() {
+        let path_form = "use std::sync::atomic::{AtomicU64, Ordering};";
+        let f = findings_for("crates/core/src/epoch.rs", path_form);
+        assert_eq!(f.iter().filter(|f| f.rule == "no-raw-atomic").count(), 1);
+
+        let oncelock =
+            "fn f() { static C: std::sync::OnceLock<u32> = std::sync::OnceLock::new(); }";
+        let f = findings_for("crates/core/src/telemetry.rs", oncelock);
+        assert_eq!(f.iter().filter(|f| f.rule == "no-raw-atomic").count(), 2);
+
+        let grouped = "use std::sync::{Arc, OnceLock, atomic};";
+        let f = findings_for("crates/serve/src/cache.rs", grouped);
+        // OnceLock and atomic each fire; Arc is fine.
+        assert_eq!(f.iter().filter(|f| f.rule == "no-raw-atomic").count(), 2);
+
+        // The facade itself is the one legal home for raw paths.
+        let exempt = findings_for("crates/core/src/sync/mod.rs", path_form);
+        assert!(exempt.iter().all(|f| f.rule != "no-raw-atomic"));
+        let sched = findings_for("crates/core/src/sync/sched.rs", path_form);
+        assert!(sched.iter().all(|f| f.rule != "no-raw-atomic"));
+
+        // The facade's own names, imported through it, are sanctioned.
+        let benign = "use crate::sync::{AtomicU64, OnceLock, Ordering};\n\
+                      use skyline_core::sync::Arc;\nuse std::sync::Mutex;";
+        let f = findings_for("crates/core/src/parallel.rs", benign);
+        assert!(f.iter().all(|f| f.rule != "no-raw-atomic"));
+
+        // Test modules keep their raw atomics (drop probes and the like).
+        let tests_only = "#[cfg(test)]\nmod tests { use std::sync::atomic::AtomicUsize; }";
+        let f = findings_for("crates/core/src/epoch.rs", tests_only);
+        assert!(f.iter().all(|f| f.rule != "no-raw-atomic"));
+    }
+
+    #[test]
+    fn relaxed_needs_justification_and_seqcst_is_banned() {
+        let bare = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }";
+        let f = findings_for("crates/core/src/telemetry.rs", bare);
+        assert_eq!(f.iter().filter(|f| f.rule == "atomic-ordering").count(), 1);
+
+        let same_line = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); // relaxed-ok: pure counter\n}";
+        let f = findings_for("crates/core/src/telemetry.rs", same_line);
+        assert!(f.iter().all(|f| f.rule != "atomic-ordering"));
+
+        let above = "fn f(c: &AtomicU64) {\n    // relaxed-ok: statistics only; nothing\n    \
+                     // orders against this value\n    c.fetch_add(1, Ordering::Relaxed);\n}";
+        let f = findings_for("crates/core/src/telemetry.rs", above);
+        assert!(f.iter().all(|f| f.rule != "atomic-ordering"));
+
+        // A justification does not leak past a non-comment line.
+        let stale = "fn f(c: &AtomicU64) {\n    // relaxed-ok: the other one\n    \
+                     c.store(0, Ordering::Release);\n    c.fetch_add(1, Ordering::Relaxed);\n}";
+        let f = findings_for("crates/core/src/telemetry.rs", stale);
+        assert_eq!(f.iter().filter(|f| f.rule == "atomic-ordering").count(), 1);
+
+        let seqcst = "fn f(c: &AtomicU64) { c.load(Ordering::SeqCst); }";
+        let f = findings_for("crates/core/src/epoch.rs", seqcst);
+        assert_eq!(f.iter().filter(|f| f.rule == "atomic-ordering").count(), 1);
+
+        // The checker's internal bookkeeping is exempt, as are tests.
+        let f = findings_for("crates/core/src/sync/sched.rs", seqcst);
+        assert!(f.iter().all(|f| f.rule != "atomic-ordering"));
+        let tests_only =
+            "#[cfg(test)]\nmod tests { fn t(c: &AtomicU64) { c.load(Ordering::SeqCst); } }";
+        let f = findings_for("crates/core/src/epoch.rs", tests_only);
+        assert!(f.iter().all(|f| f.rule != "atomic-ordering"));
+    }
+
+    #[test]
+    fn debug_assert_bodies_must_be_pure() {
+        let rmw = "fn f(c: &AtomicU64) { debug_assert!(c.fetch_add(1, Ordering::Acquire) > 0); }";
+        let f = findings_for("crates/core/src/query.rs", rmw);
+        assert_eq!(
+            f.iter()
+                .filter(|f| f.rule == "no-side-effect-debug-assert")
+                .count(),
+            1
+        );
+
+        let eq_form = "fn f(v: &mut Vec<u32>) { debug_assert_eq!(v.pop(), Some(1)); }";
+        let f = findings_for("crates/apps/src/reverse.rs", eq_form);
+        assert_eq!(
+            f.iter()
+                .filter(|f| f.rule == "no-side-effect-debug-assert")
+                .count(),
+            1
+        );
+
+        // Pure reads are fine, and mutations *outside* the macro are out of
+        // this rule's scope (field access without a call is fine too).
+        let benign = "fn f(v: &Vec<u32>, c: &AtomicU64) {\n    v.pop_hint();\n    \
+                      debug_assert!(v.len() > 0 && c.load(Ordering::Acquire) > 0);\n    \
+                      debug_assert!(self.set_point.is_some());\n}";
+        let f = findings_for("crates/core/src/query.rs", benign);
+        assert!(f.iter().all(|f| f.rule != "no-side-effect-debug-assert"));
     }
 
     #[test]
