@@ -11,7 +11,7 @@
 //! `(parameter interval, result)` steps with exact rational arithmetic — no
 //! epsilon sampling, no floating-point point location.
 
-use skyline_core::diagram::{CellDiagram, MergedDiagram, Polyomino};
+use skyline_core::diagram::{CellDiagram, MergedDiagram, PolyominoRef};
 use skyline_core::dynamic::SubcellDiagram;
 use skyline_core::geometry::{Coord, Point, PointId};
 use skyline_core::parallel::{self, ParallelConfig};
@@ -260,7 +260,11 @@ pub fn trace_route(diagram: &CellDiagram, waypoints: &[Point]) -> Vec<(usize, Tr
 
 /// The safe zone of a query: the polyomino within which its quadrant/global
 /// result cannot change.
-pub fn safe_zone<'d>(diagram: &CellDiagram, merged: &'d MergedDiagram, q: Point) -> &'d Polyomino {
+pub fn safe_zone<'d>(
+    diagram: &CellDiagram,
+    merged: &'d MergedDiagram,
+    q: Point,
+) -> PolyominoRef<'d> {
     let cell = diagram.grid().cell_of(q);
     let linear = diagram.grid().linear_index(cell);
     merged.polyomino_of_cell(linear)
@@ -274,7 +278,7 @@ pub fn dynamic_safe_zone<'d>(
     diagram: &SubcellDiagram,
     merged: &'d MergedDiagram,
     q: Point,
-) -> &'d Polyomino {
+) -> PolyominoRef<'d> {
     let sc = diagram.grid().subcell_of(q);
     let linear = diagram.grid().linear_index(sc);
     merged.polyomino_of_cell(linear)
@@ -465,7 +469,7 @@ mod tests {
         let zone = safe_zone(&d, &merged, q);
         assert!(zone.cells.contains(&d.grid().cell_of(q)));
         // Every cell of the zone shares the query's result.
-        for &cell in &zone.cells {
+        for &cell in zone.cells {
             assert_eq!(d.result(cell), d.query(q));
         }
     }
@@ -479,7 +483,7 @@ mod tests {
         for q in [Point::new(3, 3), Point::new(-2, 8), Point::new(9, 1)] {
             let zone = dynamic_safe_zone(&d, &merged, q);
             assert!(zone.is_connected());
-            for &sc in &zone.cells {
+            for &sc in zone.cells {
                 assert_eq!(d.result(sc), d.query(q), "subcell {sc:?} of zone at {q}");
             }
         }

@@ -86,11 +86,71 @@ fn healthy_smoke_gate_exits_0_and_reports_slo_coverage() {
 }
 
 #[test]
+fn gate_floor_exempts_subfloor_records_from_both_guards() {
+    // A regression ratio far below 1 makes every parallel row a violation —
+    // unless the floor exempts it. With the floor above every smoke-profile
+    // runtime, the run must pass even under the absurd ratio, proving the
+    // flake-proofing path (PR 7's dynamic/subset n=10 noise) works.
+    let out = run(&[
+        "e11",
+        "--profile",
+        "smoke",
+        "--gate",
+        "--gate-ratio",
+        "0.0001",
+        "--gate-floor-ms",
+        "1000000",
+        "--efficiency-ratio",
+        "0",
+    ]);
+    let err = stderr(&out);
+    assert_eq!(out.status.code(), Some(0), "stderr: {err}");
+    assert!(
+        err.contains("floor 1000000 ms"),
+        "floor missing from gate summary: {err}"
+    );
+    assert!(
+        err.contains("efficiency thresholds met"),
+        "efficiency gate summary missing: {err}"
+    );
+}
+
+#[test]
+fn efficiency_gate_reports_every_unmet_threshold() {
+    // An unreachable efficiency threshold with the floor disabled must fail
+    // the run and name the t4/t1 ratio for each checked configuration.
+    let out = run(&[
+        "e11",
+        "--profile",
+        "smoke",
+        "--gate",
+        "--gate-ratio",
+        "1000000",
+        "--gate-floor-ms",
+        "0",
+        "--efficiency-ratio",
+        "1000000",
+    ]);
+    let err = stderr(&out);
+    assert_eq!(out.status.code(), Some(1), "stderr: {err}");
+    assert!(
+        err.contains("efficiency:") && err.contains("t4/t1 speedup"),
+        "efficiency violations missing: {err}"
+    );
+    // Fires for more than one configuration — the gate reports all of them.
+    let fired = err.matches("efficiency:").count();
+    assert!(fired >= 2, "expected >= 2 efficiency violations: {err}");
+}
+
+#[test]
 fn malformed_gate_flags_exit_2() {
     for args in [
         &["--gate-ratio"][..],
         &["--gate-ratio", "fast"][..],
         &["--slo-scale", "-1"][..],
+        &["--gate-floor-ms"][..],
+        &["--gate-floor-ms", "tall"][..],
+        &["--efficiency-ratio", "-2"][..],
     ] {
         let out = run(args);
         assert_eq!(out.status.code(), Some(2), "args = {args:?}");

@@ -6,9 +6,14 @@
 //! results the comparison is a `u32` equality; connected components are
 //! extracted with a union–find over the grid's 4-adjacency, and a flood-fill
 //! alternative is kept for the E8d merging ablation.
+//!
+//! Component collection is a two-pass counting build: one labelling pass
+//! assigns dense polyomino ids and per-polyomino cell counts, then a scatter
+//! pass places every cell directly into the [`MergedDiagram`] CSR arena — no
+//! per-polyomino `Vec` ever exists.
 
 use crate::diagram::cell_diagram::CellDiagram;
-use crate::diagram::polyomino::{MergedDiagram, Polyomino};
+use crate::diagram::polyomino::MergedDiagram;
 use crate::geometry::conv::{narrow, widen};
 
 /// Union–find over linear cell indices.
@@ -147,32 +152,58 @@ fn collect_components(
     )
 }
 
+/// Two-pass counting build of the polyomino CSR arena.
+///
+/// Pass 1 walks cells row-major, assigning each new component the next dense
+/// polyomino id and counting its cells. The counts then prefix-sum into the
+/// `ends` table, and pass 2 scatters every cell index into its polyomino's
+/// slot of the flat cell array via a per-polyomino write cursor. Row-major
+/// visit order makes both the polyomino order and the within-polyomino cell
+/// order row-major, matching the old per-`Vec` push order exactly.
 fn collect_components_grid(
     cells: &[crate::result_set::ResultId],
     index_of: impl Fn(usize) -> (u32, u32),
     mut component_of: impl FnMut(usize) -> u32,
 ) -> MergedDiagram {
     let mut poly_index: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
-    let mut polyominoes: Vec<Polyomino> = Vec::new();
+    let mut results: Vec<crate::result_set::ResultId> = Vec::new();
+    let mut counts: Vec<u32> = Vec::new();
     let mut cell_to_polyomino = vec![0u32; cells.len()];
 
-    for idx in 0..cells.len() {
+    for (idx, &result) in cells.iter().enumerate() {
         let rep = component_of(idx);
         let poly = *poly_index.entry(rep).or_insert_with(|| {
-            polyominoes.push(Polyomino {
-                result: cells[idx],
-                cells: Vec::new(),
-            });
-            narrow(polyominoes.len() - 1)
+            results.push(result);
+            counts.push(0);
+            narrow(results.len() - 1)
         });
-        polyominoes[widen(poly)].cells.push(index_of(idx));
+        counts[widen(poly)] += 1;
         cell_to_polyomino[idx] = poly;
     }
 
-    MergedDiagram {
-        polyominoes,
-        cell_to_polyomino,
+    // counts -> exclusive end offsets, in place.
+    let mut ends = counts;
+    let mut running = 0u32;
+    for e in ends.iter_mut() {
+        running += *e;
+        *e = running;
     }
+
+    // Scatter cells into the arena; `cursor[p]` is polyomino p's next slot.
+    let mut cursor: Vec<u32> = Vec::with_capacity(ends.len());
+    let mut start = 0u32;
+    for &e in &ends {
+        cursor.push(start);
+        start = e;
+    }
+    let mut cells_flat = vec![(0u32, 0u32); cells.len()];
+    for (idx, &poly) in cell_to_polyomino.iter().enumerate() {
+        let slot = widen(cursor[widen(poly)]);
+        cells_flat[slot] = index_of(idx);
+        cursor[widen(poly)] += 1;
+    }
+
+    MergedDiagram::from_csr(results, ends, cells_flat, cell_to_polyomino)
 }
 
 #[cfg(test)]
@@ -206,15 +237,13 @@ mod tests {
         // e-region (right column + top row, connected around the corner).
         assert_eq!(merged.len(), 4);
         let l_shape = merged
-            .polyominoes
             .iter()
             .find(|p| p.area() == 3 && d.results().get(p.result) == [PointId(0)])
             .expect("L-shaped polyomino");
         assert!(l_shape.is_connected());
-        assert_eq!(l_shape.cells, vec![(0, 0), (1, 0), (0, 1)]);
+        assert_eq!(l_shape.cells, [(0, 0), (1, 0), (0, 1)]);
         // The two b-cells are diagonal, hence distinct polyominoes.
         let b_polys: Vec<_> = merged
-            .polyominoes
             .iter()
             .filter(|p| d.results().get(p.result) == [PointId(1)])
             .collect();
@@ -227,16 +256,15 @@ mod tests {
         let d = fixture();
         let a = merge(&d);
         let b = merge_flood_fill(&d);
-        assert_eq!(a.polyominoes, b.polyominoes);
-        assert_eq!(a.cell_to_polyomino, b.cell_to_polyomino);
+        assert_eq!(a, b);
     }
 
     #[test]
     fn cell_to_polyomino_is_consistent() {
         let d = fixture();
         let merged = merge(&d);
-        for (idx, &p) in merged.cell_to_polyomino.iter().enumerate() {
-            let poly = &merged.polyominoes[p as usize];
+        for (idx, &p) in merged.cell_to_polyomino().iter().enumerate() {
+            let poly = merged.polyomino(widen(p));
             assert!(poly.cells.contains(&d.grid().cell_from_linear(idx)));
             assert_eq!(poly.result, d.cell_results()[idx]);
             assert_eq!(merged.polyomino_of_cell(idx).result, d.cell_results()[idx]);
@@ -248,21 +276,21 @@ mod tests {
         let ds = Dataset::from_coords([(0, 0), (6, 10), (12, 4)]).unwrap();
         let d = crate::dynamic::DynamicEngine::Scanning.build(&ds);
         let merged = merge_subcells(&d);
-        let total: usize = merged.polyominoes.iter().map(Polyomino::area).sum();
+        let total: usize = merged.iter().map(|p| p.area()).sum();
         assert_eq!(total, d.grid().subcell_count());
         assert!(merged.len() > 1);
         assert!(merged.len() <= d.grid().subcell_count());
-        for poly in &merged.polyominoes {
+        for poly in merged.iter() {
             assert!(poly.is_connected());
-            for &sc in &poly.cells {
+            for &sc in poly.cells {
                 assert_eq!(d.result_id(sc), poly.result);
             }
         }
         // Maximality across subcell boundaries.
         let width = d.grid().mx() as usize + 1;
-        for (idx, &p) in merged.cell_to_polyomino.iter().enumerate() {
+        for (idx, &p) in merged.cell_to_polyomino().iter().enumerate() {
             if idx % width + 1 < width {
-                let right = merged.cell_to_polyomino[idx + 1];
+                let right = merged.cell_to_polyomino()[idx + 1];
                 if p != right {
                     assert_ne!(d.cell_results()[idx], d.cell_results()[idx + 1]);
                 }
@@ -274,9 +302,9 @@ mod tests {
     fn every_polyomino_is_connected_and_cells_partition() {
         let d = fixture();
         let merged = merge(&d);
-        let total: usize = merged.polyominoes.iter().map(Polyomino::area).sum();
+        let total: usize = merged.iter().map(|p| p.area()).sum();
         assert_eq!(total, d.grid().cell_count());
-        for p in &merged.polyominoes {
+        for p in merged.iter() {
             assert!(p.is_connected());
         }
     }
@@ -290,20 +318,19 @@ mod tests {
         let merged = merge(&d);
         assert_eq!(merged.len(), 2);
         let occupied = merged
-            .polyominoes
             .iter()
             .find(|p| d.results().get(p.result) == [PointId(0)])
             .expect("the point's own region exists");
-        assert_eq!(occupied.cells, vec![(0, 0)]);
+        assert_eq!(occupied.cells, [(0, 0)]);
         crate::invariants::validate_merged_cells(&d, &merged).unwrap_or_else(|v| panic!("{v}"));
-        assert_eq!(merged.polyominoes, merge_flood_fill(&d).polyominoes);
+        assert_eq!(merged, merge_flood_fill(&d));
 
         // The dynamic diagram of a single point is everywhere {p0}: one
         // polyomino covering all four subcells.
         let sd = crate::dynamic::DynamicEngine::Scanning.build(&ds);
         let smerged = merge_subcells(&sd);
         assert_eq!(smerged.len(), 1);
-        assert_eq!(smerged.polyominoes[0].area(), sd.grid().subcell_count());
+        assert_eq!(smerged.polyomino(0).area(), sd.grid().subcell_count());
         crate::invariants::validate_merged_subcells(&sd, &smerged)
             .unwrap_or_else(|v| panic!("{v}"));
     }
@@ -329,7 +356,7 @@ mod tests {
         let smerged = merge_subcells(&sd);
         assert_eq!(smerged.len(), 1);
         assert_eq!(
-            sd.results().get(smerged.polyominoes[0].result),
+            sd.results().get(smerged.polyomino(0).result),
             all.as_slice()
         );
         crate::invariants::validate_merged_subcells(&sd, &smerged)

@@ -13,4 +13,4 @@ pub use cell_diagram::CellDiagram;
 // so existing `diagram::DiagramStats` imports keep working.
 pub use crate::analysis::DiagramStats;
 pub use diff::{diff, DiagramDiff};
-pub use polyomino::{LabelledPolyomino, MergedDiagram, Polyomino};
+pub use polyomino::{LabelledPolyomino, MergedDiagram, PolyominoRef};

@@ -1,19 +1,25 @@
 //! Skyline polyominoes (Definition 4): maximal connected unions of cells
 //! sharing one skyline result.
+//!
+//! Storage is a struct-of-arrays CSR arena: one flat `CellIndex` array with
+//! per-polyomino end offsets, plus a parallel result-id array. Polyominoes
+//! are *views* ([`PolyominoRef`]) borrowing slices out of the arena — there
+//! is no per-polyomino heap allocation, so merging `O(n²)` cells touches
+//! three flat arrays instead of chasing one `Vec` per region.
 
 use crate::geometry::{CellIndex, PointId};
 use crate::result_set::ResultId;
 
-/// One skyline polyomino of a merged diagram.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Polyomino {
+/// A view of one skyline polyomino borrowed from a [`MergedDiagram`] arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PolyominoRef<'a> {
     /// The interned skyline result shared by every query point inside.
     pub result: ResultId,
     /// The member cells, sorted row-major (by `(j, i)`).
-    pub cells: Vec<CellIndex>,
+    pub cells: &'a [CellIndex],
 }
 
-impl Polyomino {
+impl PolyominoRef<'_> {
     /// Number of member cells — the polyomino's area in cell units.
     #[inline]
     pub fn area(&self) -> usize {
@@ -57,48 +63,102 @@ impl Polyomino {
 }
 
 /// A fully merged skyline diagram: the polyomino partition of the plane plus
-/// a cell → polyomino index for point location.
-#[derive(Clone, Debug)]
+/// a cell → polyomino index for point location, stored as flat CSR arrays.
+#[derive(Clone, Debug, PartialEq, Eq)]
 #[must_use]
 pub struct MergedDiagram {
-    /// All polyominoes.
-    pub polyominoes: Vec<Polyomino>,
+    /// Per-polyomino interned result, indexed by polyomino id.
+    results: Vec<ResultId>,
+    /// Exclusive end offsets into `cells_flat`; polyomino `k` owns
+    /// `cells_flat[ends[k - 1]..ends[k]]` (with `ends[-1] = 0`).
+    ends: Vec<u32>,
+    /// All member cells, grouped by polyomino, row-major within each group.
+    cells_flat: Vec<CellIndex>,
     /// For each cell (row-major, same layout as the source
-    /// [`CellDiagram`](crate::diagram::CellDiagram)): index into
-    /// `polyominoes`.
-    pub cell_to_polyomino: Vec<u32>,
+    /// [`CellDiagram`](crate::diagram::CellDiagram)): polyomino id.
+    cell_to_polyomino: Vec<u32>,
 }
 
 impl MergedDiagram {
+    /// Assembles a merged diagram from its CSR arrays. `ends` must be
+    /// non-decreasing, cover `cells_flat` exactly, and pair one result per
+    /// polyomino; `cell_to_polyomino` entries must be valid ids.
+    pub fn from_csr(
+        results: Vec<ResultId>,
+        ends: Vec<u32>,
+        cells_flat: Vec<CellIndex>,
+        cell_to_polyomino: Vec<u32>,
+    ) -> Self {
+        debug_assert_eq!(results.len(), ends.len());
+        debug_assert!(ends.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert_eq!(
+            ends.last().map_or(0, |&e| crate::geometry::conv::widen(e)),
+            cells_flat.len()
+        );
+        debug_assert!(cell_to_polyomino
+            .iter()
+            .all(|&p| crate::geometry::conv::widen(p) < results.len()));
+        MergedDiagram {
+            results,
+            ends,
+            cells_flat,
+            cell_to_polyomino,
+        }
+    }
+
     /// Number of polyominoes — the diagram's complexity measure reported in
     /// the E5 statistics.
     #[inline]
     pub fn len(&self) -> usize {
-        self.polyominoes.len()
+        self.results.len()
     }
 
     /// True iff there are no polyominoes (never, for a valid diagram).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.polyominoes.is_empty()
+        self.results.is_empty()
+    }
+
+    /// The polyomino with the given dense id.
+    #[inline]
+    pub fn polyomino(&self, id: usize) -> PolyominoRef<'_> {
+        let start = if id == 0 {
+            0
+        } else {
+            crate::geometry::conv::widen(self.ends[id - 1])
+        };
+        let end = crate::geometry::conv::widen(self.ends[id]);
+        PolyominoRef {
+            result: self.results[id],
+            cells: &self.cells_flat[start..end],
+        }
+    }
+
+    /// All polyominoes in dense-id order (first row-major cell order).
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = PolyominoRef<'_>> + '_ {
+        (0..self.len()).map(|id| self.polyomino(id))
     }
 
     /// The polyomino containing a cell.
     #[inline]
-    pub fn polyomino_of_cell(&self, linear_cell: usize) -> &Polyomino {
-        &self.polyominoes[self.polyomino_id_of_cell(linear_cell)]
+    pub fn polyomino_of_cell(&self, linear_cell: usize) -> PolyominoRef<'_> {
+        self.polyomino(self.polyomino_id_of_cell(linear_cell))
     }
 
-    /// The index (into [`MergedDiagram::polyominoes`]) of the polyomino
-    /// containing a cell.
+    /// The index (dense in `0..len()`) of the polyomino containing a cell.
     ///
     /// This is the coarsest exact cache key for quadrant lookups: every
     /// query point anywhere in the polyomino has the identical result, so
     /// caching by polyomino id shares one entry across all of its cells.
-    /// Ids are dense in `0..len()`.
     #[inline]
     pub fn polyomino_id_of_cell(&self, linear_cell: usize) -> usize {
         crate::geometry::conv::widen(self.cell_to_polyomino[linear_cell])
+    }
+
+    /// The raw cell → polyomino-id map (row-major, source-diagram layout).
+    #[inline]
+    pub fn cell_to_polyomino(&self) -> &[u32] {
+        &self.cell_to_polyomino
     }
 
     /// All polyominoes whose result contains the given point — the
@@ -109,19 +169,18 @@ impl MergedDiagram {
         &'a self,
         p: crate::geometry::PointId,
         resolve: impl Fn(crate::result_set::ResultId) -> &'a [crate::geometry::PointId] + 'a,
-    ) -> impl Iterator<Item = &'a Polyomino> + 'a {
-        self.polyominoes
-            .iter()
+    ) -> impl Iterator<Item = PolyominoRef<'a>> + 'a {
+        self.iter()
             .filter(move |poly| resolve(poly.result).binary_search(&p).is_ok())
     }
 }
 
 /// A labelled result set for display: pairs the polyomino with the actual
 /// skyline point ids (resolved through the diagram's interner).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LabelledPolyomino<'a> {
     /// The polyomino geometry.
-    pub polyomino: &'a Polyomino,
+    pub polyomino: PolyominoRef<'a>,
     /// The shared skyline result.
     pub skyline: &'a [PointId],
 }
@@ -132,9 +191,10 @@ mod tests {
 
     #[test]
     fn area_and_bbox() {
-        let p = Polyomino {
+        let cells = [(1, 1), (2, 1), (2, 2)];
+        let p = PolyominoRef {
             result: ResultId(1),
-            cells: vec![(1, 1), (2, 1), (2, 2)],
+            cells: &cells,
         };
         assert_eq!(p.area(), 3);
         assert_eq!(p.bounding_box(), (1, 1, 2, 2));
@@ -143,26 +203,43 @@ mod tests {
 
     #[test]
     fn disconnected_detected() {
-        let p = Polyomino {
+        let p = PolyominoRef {
             result: ResultId(1),
-            cells: vec![(0, 0), (2, 2)],
+            cells: &[(0, 0), (2, 2)],
         };
         assert!(!p.is_connected());
         // Diagonal adjacency does not count as connected.
-        let q = Polyomino {
+        let q = PolyominoRef {
             result: ResultId(1),
-            cells: vec![(0, 0), (1, 1)],
+            cells: &[(0, 0), (1, 1)],
         };
         assert!(!q.is_connected());
     }
 
     #[test]
     fn empty_polyomino_is_not_connected() {
-        let p = Polyomino {
+        let p = PolyominoRef {
             result: ResultId(0),
-            cells: vec![],
+            cells: &[],
         };
         assert!(!p.is_connected());
+    }
+
+    #[test]
+    fn csr_accessors_slice_the_arena() {
+        let d = MergedDiagram::from_csr(
+            vec![ResultId(3), ResultId(0)],
+            vec![2, 3],
+            vec![(0, 0), (1, 0), (0, 1)],
+            vec![0, 0, 1],
+        );
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.polyomino(0).cells, [(0, 0), (1, 0)]);
+        assert_eq!(d.polyomino(1).cells, [(0, 1)]);
+        assert_eq!(d.polyomino(1).result, ResultId(0));
+        assert_eq!(d.polyomino_of_cell(2), d.polyomino(1));
+        assert_eq!(d.iter().count(), 2);
+        assert_eq!(d.iter().map(|p| p.area()).sum::<usize>(), 3);
     }
 
     #[test]

@@ -7,6 +7,13 @@
 //! four axis reflections of the dataset and unions the per-cell results,
 //! so every quadrant engine doubles as a global engine.
 //!
+//! The union phase re-encodes each per-quadrant interner as a flat bitset
+//! arena once (`global.encode` span) and then takes every cell union
+//! word-parallel — `union4_words` is one `OR` pass
+//! per 64 points, independent of the skyline sizes — against a
+//! [`BitsetInterner`] that converts to the sorted-id
+//! representation id-for-id at the end.
+//!
 //! # Parallel engine
 //!
 //! The four reflected quadrant builds are independent (the per-orthant
@@ -14,16 +21,18 @@
 //! phase is then row-banded: each row worker walks its cells, reuses the
 //! previous cell's union whenever the 4-tuple of per-quadrant result ids is
 //! unchanged (unions only change where a grid line carries a point), and
-//! hands back collapsed [`ResultRuns`]. The sequential stitch interns the
-//! runs in row-major order, which both dedups storage and keeps the output
-//! identical for every thread count. `threads = 0` runs the historical
-//! per-reflection accumulation loop as the deterministic reference path.
+//! hands back collapsed [`BitRuns`]. The sequential
+//! stitch interns the runs in row-major order, which both dedups storage
+//! and keeps the output identical for every thread count. `threads = 0`
+//! runs a full-grid accumulation loop as the deterministic reference path.
 
 use crate::diagram::CellDiagram;
-use crate::geometry::{CellGrid, Dataset, PointId};
+use crate::geometry::{CellGrid, Dataset};
 use crate::parallel::{self, ParallelConfig};
 use crate::quadrant::QuadrantEngine;
-use crate::result_set::{union_sorted, ResultId, ResultInterner, ResultRuns};
+use crate::result_set::{
+    encode_results, union4_words, words_for, BitRuns, BitsetInterner, ResultId,
+};
 
 /// Reflections: `(flip_x, flip_y)` selects the quadrant being reduced to
 /// the first: Q1 = (false, false), Q2 = (true, false), Q3 = (true, true),
@@ -79,59 +88,82 @@ fn reflect(dataset: &Dataset, flip_x: bool, flip_y: bool) -> Dataset {
     .expect("reflection preserves dataset validity and coordinate bounds")
 }
 
-/// The deterministic sequential reference: one full-grid accumulation pass
-/// per reflection.
+/// The four per-quadrant diagrams re-encoded as bitset arenas (one block per
+/// interned result, id-for-id), ready for word-parallel cell unions.
+fn encode_quadrants(quadrants: &[CellDiagram], words: usize) -> Vec<Vec<u64>> {
+    let _encode = crate::span!("global.encode", quadrants.len() as u64);
+    quadrants
+        .iter()
+        .map(|q| encode_results(q.results(), words))
+        .collect()
+}
+
+/// The per-quadrant result block for cell `(i, j)` of the original grid.
+#[inline]
+fn quadrant_block<'a>(
+    quadrants: &[CellDiagram],
+    arenas: &'a [Vec<u64>],
+    grid: &CellGrid,
+    words: usize,
+    q: usize,
+    i: u32,
+    j: u32,
+) -> (&'a [u64], ResultId) {
+    let (flip_x, flip_y) = REFLECTIONS[q];
+    let ri = if flip_x { grid.nx() - i } else { i };
+    let rj = if flip_y { grid.ny() - j } else { j };
+    let rid = quadrants[q].result_id((ri, rj));
+    let start = rid.0 as usize * words;
+    (&arenas[q][start..start + words], rid)
+}
+
+/// The deterministic sequential reference: four sequential quadrant builds,
+/// then one word-parallel union pass over the full grid.
 fn build_sequential(dataset: &Dataset, engine: QuadrantEngine) -> CellDiagram {
     let grid = CellGrid::new(dataset);
+    let words = words_for(dataset.len());
     let width = grid.nx() as usize + 1;
     let height = grid.ny() as usize + 1;
 
-    let mut results = ResultInterner::new();
-    let mut union_acc: Vec<Vec<PointId>> = vec![Vec::new(); width * height];
-    let mut scratch = Vec::new();
+    let quadrants: Vec<CellDiagram> = REFLECTIONS
+        .iter()
+        .map(|&(flip_x, flip_y)| {
+            engine.build_with(
+                &reflect(dataset, flip_x, flip_y),
+                &ParallelConfig::sequential(),
+            )
+        })
+        .collect();
+    let arenas = encode_quadrants(&quadrants, words);
 
-    for (flip_x, flip_y) in REFLECTIONS {
-        let quadrant_diagram = engine.build_with(
-            &reflect(dataset, flip_x, flip_y),
-            &ParallelConfig::sequential(),
-        );
-
-        for j in 0..height as u32 {
-            for i in 0..width as u32 {
-                // Cell (i, j) of the original grid corresponds to the
-                // reflected cell with flipped slab indices.
-                let ri = if flip_x { grid.nx() - i } else { i };
-                let rj = if flip_y { grid.ny() - j } else { j };
-                let part = quadrant_diagram.result((ri, rj));
-                if part.is_empty() {
-                    continue;
-                }
-                let acc = &mut union_acc[j as usize * width + i as usize];
-                union_sorted(acc, part, &mut scratch);
-                std::mem::swap(acc, &mut scratch);
-            }
+    let _union = crate::span!("global.union", (width * height) as u64);
+    let mut bits = BitsetInterner::new(words);
+    let mut scratch = vec![0u64; words];
+    let mut cells = Vec::with_capacity(width * height);
+    for j in 0..height as u32 {
+        for i in 0..width as u32 {
+            let blocks: [&[u64]; 4] = std::array::from_fn(|q| {
+                quadrant_block(&quadrants, &arenas, &grid, words, q, i, j).0
+            });
+            union4_words(blocks[0], blocks[1], blocks[2], blocks[3], &mut scratch);
+            cells.push(ResultId(bits.intern_words(&scratch)));
         }
     }
-
-    let cells = union_acc
-        .into_iter()
-        .map(|ids| results.intern_sorted(ids))
-        .collect();
-    CellDiagram::from_parts(grid, results, cells)
+    CellDiagram::from_parts(grid, bits.to_result_interner(), cells)
 }
 
-/// The parallel engine: per-orthant fan-out, then row-banded 4-way unions
-/// memoized over unchanged result-id tuples.
+/// The parallel engine: per-orthant fan-out, then row-banded word-parallel
+/// 4-way unions memoized over unchanged result-id tuples.
 fn build_parallel(dataset: &Dataset, engine: QuadrantEngine, cfg: &ParallelConfig) -> CellDiagram {
     let grid = CellGrid::new(dataset);
+    let words = words_for(dataset.len());
     let width = grid.nx() as usize + 1;
     let height = grid.ny() as usize + 1;
 
     // Per-orthant fan-out; each orthant build keeps the caller's parallel
     // configuration so the engines' restructured parallel formulations (e.g.
     // the scanning engine's independent-row algorithm) apply inside the
-    // workers too. The worker cap in `crate::parallel` keeps the nested
-    // regions from oversubscribing the machine.
+    // workers too.
     let quadrants: Vec<CellDiagram> = {
         let _fanout = crate::span!("global.fanout", 4);
         parallel::map(cfg, &REFLECTIONS, |&(flip_x, flip_y)| {
@@ -139,20 +171,21 @@ fn build_parallel(dataset: &Dataset, engine: QuadrantEngine, cfg: &ParallelConfi
             engine.build_with(&reflect(dataset, flip_x, flip_y), cfg)
         })
     };
+    let arenas = encode_quadrants(&quadrants, words);
 
-    let rows: Vec<ResultRuns> = {
+    let rows: Vec<BitRuns> = {
         let _union = crate::span!("global.union", height as u64);
         parallel::map_indexed(cfg, height, |j| {
             let j = j as u32;
-            let mut runs = ResultRuns::new();
+            let mut runs = BitRuns::new(words);
             let mut prev_tuple: Option<[ResultId; 4]> = None;
-            let (mut ab, mut cd, mut out) = (Vec::new(), Vec::new(), Vec::new());
+            let mut out = vec![0u64; words];
             for i in 0..width as u32 {
+                let mut blocks: [&[u64]; 4] = [&[]; 4];
                 let tuple: [ResultId; 4] = std::array::from_fn(|q| {
-                    let (flip_x, flip_y) = REFLECTIONS[q];
-                    let ri = if flip_x { grid.nx() - i } else { i };
-                    let rj = if flip_y { grid.ny() - j } else { j };
-                    quadrants[q].result_id((ri, rj))
+                    let (block, rid) = quadrant_block(&quadrants, &arenas, &grid, words, q, i, j);
+                    blocks[q] = block;
+                    rid
                 });
                 if prev_tuple == Some(tuple) {
                     crate::counter!("global.union.memo_hit").add(1);
@@ -161,30 +194,20 @@ fn build_parallel(dataset: &Dataset, engine: QuadrantEngine, cfg: &ParallelConfi
                 }
                 crate::counter!("global.union.memo_miss").add(1);
                 prev_tuple = Some(tuple);
-                union_sorted(
-                    quadrants[0].results().get(tuple[0]),
-                    quadrants[1].results().get(tuple[1]),
-                    &mut ab,
-                );
-                union_sorted(
-                    quadrants[2].results().get(tuple[2]),
-                    quadrants[3].results().get(tuple[3]),
-                    &mut cd,
-                );
-                union_sorted(&ab, &cd, &mut out);
-                runs.push(&out);
+                union4_words(blocks[0], blocks[1], blocks[2], blocks[3], &mut out);
+                runs.push_words(&out);
             }
             runs
         })
     };
 
     let _intern = crate::span!("global.intern", rows.len() as u64);
-    let mut results = ResultInterner::new();
+    let mut bits = BitsetInterner::new(words);
     let mut cells = Vec::with_capacity(width * height);
     for row in &rows {
-        row.intern_into(&mut results, &mut cells);
+        row.intern_into(&mut bits, &mut cells);
     }
-    CellDiagram::from_parts(grid, results, cells)
+    CellDiagram::from_parts(grid, bits.to_result_interner(), cells)
 }
 
 #[cfg(test)]
@@ -264,6 +287,25 @@ mod tests {
                     "threads = {threads}, seed = {seed}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn word_boundary_sizes_agree_across_engines() {
+        // 63/64/65 points straddle the bitset block boundary; the global
+        // union must agree with the baseline on both sides of it.
+        for n in [63, 64, 65] {
+            let ds = crate::test_data::lcg_dataset(n, 300, 21);
+            let reference = build(&ds, QuadrantEngine::Baseline);
+            assert!(
+                build_with(
+                    &ds,
+                    QuadrantEngine::Scanning,
+                    &ParallelConfig::with_threads(4)
+                )
+                .same_results(&reference),
+                "n = {n}"
+            );
         }
     }
 }

@@ -21,7 +21,7 @@
 //! ```
 
 use crate::diagram::merge::merge;
-use crate::diagram::{CellDiagram, MergedDiagram, Polyomino};
+use crate::diagram::{CellDiagram, MergedDiagram, PolyominoRef};
 use crate::dynamic::{DynamicEngine, SubcellDiagram};
 use crate::geometry::{Dataset, Point, PointId};
 use crate::parallel::ParallelConfig;
@@ -182,7 +182,7 @@ impl SkylineIndex {
 
     /// The skyline polyomino containing `q`: the region where `q` can move
     /// without its quadrant result changing.
-    pub fn safe_zone(&self, q: Point) -> &Polyomino {
+    pub fn safe_zone(&self, q: Point) -> PolyominoRef<'_> {
         let cell = self.quadrant.grid().cell_of(q);
         self.merged
             .polyomino_of_cell(self.quadrant.grid().linear_index(cell))
@@ -264,7 +264,7 @@ mod tests {
         let index = SkylineIndex::new(&ds);
         let q = Point::new(14, 81);
         let zone = index.safe_zone(q);
-        for &cell in &zone.cells {
+        for &cell in zone.cells {
             assert_eq!(index.quadrant_diagram().result(cell), index.quadrant(q));
         }
         assert!(index.polyominoes().len() > 1);

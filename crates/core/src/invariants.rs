@@ -33,7 +33,7 @@
 use std::collections::HashSet;
 use std::fmt;
 
-use crate::diagram::{CellDiagram, MergedDiagram, Polyomino};
+use crate::diagram::{CellDiagram, MergedDiagram};
 use crate::dynamic::SubcellDiagram;
 use crate::geometry::{Coord, Dataset, Point, PointId, MAX_COORD};
 use crate::query;
@@ -495,12 +495,12 @@ fn validate_partition<'a>(
     resolve: impl Fn(ResultId) -> &'a [PointId],
 ) -> CheckResult {
     let total = cell_results.len();
-    if merged.cell_to_polyomino.len() != total {
+    if merged.cell_to_polyomino().len() != total {
         return violated(
             "polyomino-partition",
             format!(
                 "cell_to_polyomino has {} entries for {total} cells",
-                merged.cell_to_polyomino.len()
+                merged.cell_to_polyomino().len()
             ),
         );
     }
@@ -508,11 +508,11 @@ fn validate_partition<'a>(
     // Coverage + disjointness: every cell appears in exactly one polyomino,
     // and the reverse index agrees with the membership lists.
     let mut owner: Vec<Option<usize>> = vec![None; total];
-    for (pi, poly) in merged.polyominoes.iter().enumerate() {
+    for (pi, poly) in merged.iter().enumerate() {
         if poly.cells.is_empty() {
             return violated("polyomino-partition", format!("polyomino {pi} is empty"));
         }
-        for &(i, j) in &poly.cells {
+        for &(i, j) in poly.cells {
             let idx = crate::geometry::conv::widen(j) * width + crate::geometry::conv::widen(i);
             if crate::geometry::conv::widen(i) >= width || idx >= total {
                 return violated(
@@ -527,12 +527,12 @@ fn validate_partition<'a>(
                 );
             }
             owner[idx] = Some(pi);
-            if crate::geometry::conv::widen(merged.cell_to_polyomino[idx]) != pi {
+            if crate::geometry::conv::widen(merged.cell_to_polyomino()[idx]) != pi {
                 return violated(
                     "polyomino-partition",
                     format!(
                         "cell ({i}, {j}) is listed in polyomino {pi} but indexed to {}",
-                        merged.cell_to_polyomino[idx]
+                        merged.cell_to_polyomino()[idx]
                     ),
                 );
             }
@@ -562,7 +562,7 @@ fn validate_partition<'a>(
     // Maximality (Definition 4): 4-adjacent cells with equal results must
     // share a polyomino — otherwise the partition is finer than maximal.
     let split = |a: usize, b: usize| {
-        merged.cell_to_polyomino[a] != merged.cell_to_polyomino[b]
+        merged.cell_to_polyomino()[a] != merged.cell_to_polyomino()[b]
             && resolve(cell_results[a]) == resolve(cell_results[b])
     };
     for idx in 0..total {
@@ -590,7 +590,7 @@ fn validate_partition<'a>(
 /// quick assertions in tests and reports).
 #[must_use]
 pub fn total_area(merged: &MergedDiagram) -> usize {
-    merged.polyominoes.iter().map(Polyomino::area).sum()
+    merged.iter().map(|p| p.area()).sum()
 }
 
 #[cfg(test)]
@@ -684,24 +684,33 @@ mod tests {
             .expect("two in-range points form a valid dataset");
         let d = QuadrantEngine::Sweeping.build(&ds);
         let m = merge(&d);
-        // Split the first polyomino with more than one cell into two.
-        let mut broken = m.clone();
-        let Some(pi) = broken.polyominoes.iter().position(|p| p.area() > 1) else {
+        // Split the first polyomino with more than one cell into two by
+        // rebuilding the CSR arena with the last cell carved off.
+        let mut polys: Vec<(ResultId, Vec<crate::geometry::CellIndex>)> =
+            m.iter().map(|p| (p.result, p.cells.to_vec())).collect();
+        let Some(pi) = polys.iter().position(|(_, cells)| cells.len() > 1) else {
             panic!("fixture must contain a multi-cell polyomino");
         };
-        let moved = broken.polyominoes[pi]
-            .cells
+        let moved = polys[pi]
+            .1
             .pop()
             .expect("multi-cell polyomino has a last cell");
-        let result = broken.polyominoes[pi].result;
-        broken.polyominoes.push(Polyomino {
-            result,
-            cells: vec![moved],
-        });
+        let result = polys[pi].0;
+        polys.push((result, vec![moved]));
+        let mut cell_to_polyomino = m.cell_to_polyomino().to_vec();
         let width = crate::geometry::conv::widen(d.grid().nx()) + 1;
         let idx =
             crate::geometry::conv::widen(moved.1) * width + crate::geometry::conv::widen(moved.0);
-        broken.cell_to_polyomino[idx] = crate::geometry::conv::narrow(broken.polyominoes.len() - 1);
+        cell_to_polyomino[idx] = crate::geometry::conv::narrow(polys.len() - 1);
+        let mut results = Vec::new();
+        let mut ends = Vec::new();
+        let mut cells_flat = Vec::new();
+        for (r, cells) in polys {
+            results.push(r);
+            cells_flat.extend(cells);
+            ends.push(crate::geometry::conv::narrow(cells_flat.len()));
+        }
+        let broken = MergedDiagram::from_csr(results, ends, cells_flat, cell_to_polyomino);
         let err =
             validate_merged_cells(&d, &broken).expect_err("split polyomino must fail validation");
         assert!(

@@ -197,7 +197,6 @@ mod tests {
             // (beyond all points); the literal walks cover the rest.
             let nonempty = swept
                 .merged
-                .polyominoes
                 .iter()
                 .filter(|p| !swept.cell_diagram.results().get(p.result).is_empty())
                 .count();
@@ -226,7 +225,6 @@ mod tests {
             for vp in &literal {
                 let poly = swept
                     .merged
-                    .polyominoes
                     .iter()
                     .find(|poly| {
                         let (_, _, max_i, max_j) = poly.bounding_box();
@@ -236,7 +234,7 @@ mod tests {
                             && grid.y_lines()[max_j as usize] == vp.corner.y
                     })
                     .unwrap_or_else(|| panic!("no swept polyomino for {}", vp.corner));
-                let loops = boundary_loops(grid, &poly.cells, clip);
+                let loops = boundary_loops(grid, poly.cells, clip);
                 assert_eq!(loops.len(), 1, "polyominoes have no holes");
                 let mut a = vp.vertices.clone();
                 let mut b = loops[0].clone();
@@ -304,11 +302,11 @@ mod tests {
             y_max: grid.y_lines()[grid.ny() as usize - 1] + 1,
         };
         let mut swept_total = 0i64;
-        for poly in &merged.polyominoes {
+        for poly in merged.iter() {
             if swept.cell_diagram.results().get(poly.result).is_empty() {
                 continue;
             }
-            for walk in boundary_loops(grid, &poly.cells, clip) {
+            for walk in boundary_loops(grid, poly.cells, clip) {
                 swept_total += signed_area_doubled(&walk);
             }
         }

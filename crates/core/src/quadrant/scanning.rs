@@ -13,6 +13,13 @@
 //! skyline is exactly the point(s) at that corner (such a point dominates
 //! the whole quadrant).
 //!
+//! Results are carried as u64-block bitsets
+//! ([`BitsetInterner`]), so one recurrence step is
+//! three bitwise operations per 64 points
+//! ([`scanning_combine_words`]) plus one block hash,
+//! independent of the skyline sizes; the arena converts to the sorted-id
+//! representation once, id-for-id, at the end of the build.
+//!
 //! # Correctness beyond the paper's statement
 //!
 //! Writing `K` for the points exactly at the corner `(xs[i], ys[j])`, `R`
@@ -32,7 +39,7 @@
 //! identity implicitly assumes this configuration away (its proof notes the
 //! upper-right range `D` must be empty when range `A` is nonempty, but `D`
 //! can be nonempty when `A`, `B`, `C` are all empty). Clamping multiplicity
-//! at zero — [`scanning_combine`] keeps
+//! at zero — `scanning_combine` keeps
 //! an id iff `[right] + [up] - [diag] >= 1` — drops exactly those points and
 //! makes the recurrence exact for every input, ties included. The
 //! `counterexample_to_unclamped_identity` test below pins the 3-point input
@@ -41,7 +48,7 @@
 use crate::diagram::CellDiagram;
 use crate::geometry::{CellGrid, Coord, Dataset, PointId};
 use crate::parallel::{self, ParallelConfig};
-use crate::result_set::{scanning_combine, ResultInterner};
+use crate::result_set::{scanning_combine_words, words_for, BitsetInterner};
 
 /// Builds the quadrant skyline diagram with the scanning recurrence, using
 /// the process-wide parallel configuration (`SKYLINE_THREADS`).
@@ -56,11 +63,11 @@ pub fn build(dataset: &Dataset) -> CellDiagram {
 /// so the parallel path replaces it with an equivalent independent-row
 /// formulation: `Sky(C_{i,j})` is the staircase of minima over the points
 /// with `xrank >= i` and `yrank >= j`, so each row band sweeps the shared
-/// descending-x point order once, inserting qualifying points into a
-/// staircase and snapshotting it at each x-rank that contributed (the
-/// result only changes across such boundaries). Workers return raw
-/// boundary snapshots; interning happens on the caller in row-major order,
-/// keeping the output identical to the sequential recurrence.
+/// descending-x point order once, maintaining the staircase as a bitset and
+/// snapshotting its block at each x-rank that contributed (the result only
+/// changes across such boundaries). Workers return raw boundary blocks;
+/// interning happens on the caller in row-major order, keeping the output
+/// identical to the sequential recurrence.
 pub fn build_with(dataset: &Dataset, cfg: &ParallelConfig) -> CellDiagram {
     if cfg.is_sequential() {
         build_sequential(dataset)
@@ -69,48 +76,62 @@ pub fn build_with(dataset: &Dataset, cfg: &ParallelConfig) -> CellDiagram {
     }
 }
 
-/// The deterministic sequential reference: the paper's clamped recurrence.
+/// The deterministic sequential reference: the paper's clamped recurrence,
+/// word-parallel over the bitset arena.
 fn build_sequential(dataset: &Dataset) -> CellDiagram {
     let _scan = crate::span!("scanning.recurrence", dataset.len() as u64);
     let grid = CellGrid::new(dataset);
-    let mut results = ResultInterner::new();
+    let words = words_for(dataset.len());
+    let mut bits = BitsetInterner::new(words);
     let width = grid.nx() as usize + 1;
     let height = grid.ny() as usize + 1;
-    let mut cells = vec![results.empty(); width * height];
-    let mut scratch: Vec<PointId> = Vec::new();
+    // Bitset ids double as cell results until the final id-for-id
+    // conversion; the empty set is id 0 on both sides.
+    let mut cells = vec![0u32; width * height];
+    let mut scratch = vec![0u64; words];
 
     // Top row (j = ny) and right column (i = nx) stay empty: their first
     // quadrants contain no points. Scan the rest top-down, right-to-left.
     for j in (0..height - 1).rev() {
         for i in (0..width - 1).rev() {
             let corner = grid.points_at_corner(i as u32, j as u32);
-            let rid = if !corner.is_empty() {
+            let id = if !corner.is_empty() {
                 // A corner point dominates its entire open quadrant; only
                 // exact duplicates at the corner survive alongside it.
-                results.intern_unsorted(corner.to_vec())
+                bits.intern_ids(corner.iter().copied())
             } else {
                 let right = cells[j * width + i + 1];
                 let up = cells[(j + 1) * width + i];
                 let diag = cells[(j + 1) * width + i + 1];
-                scanning_combine(
-                    results.get(right),
-                    results.get(up),
-                    results.get(diag),
+                scanning_combine_words(
+                    bits.get_words(right),
+                    bits.get_words(up),
+                    bits.get_words(diag),
                     &mut scratch,
                 );
-                results.intern_sorted(std::mem::take(&mut scratch))
+                bits.intern_words(&scratch)
             };
-            cells[j * width + i] = rid;
+            cells[j * width + i] = id;
         }
     }
 
+    let results = bits.to_result_interner();
+    let cells = cells.into_iter().map(crate::result_set::ResultId).collect();
     CellDiagram::from_parts(grid, results, cells)
+}
+
+/// One row band's boundary snapshots, struct-of-arrays: `xranks[k]` pairs
+/// with the `k`-th `words`-stride block of `blocks`.
+struct RowSnapshots {
+    xranks: Vec<u32>,
+    blocks: Vec<u64>,
 }
 
 /// The parallel engine: independent row bands over a shared descending-x
 /// sort, stitched in row-major order.
 fn build_parallel(dataset: &Dataset, cfg: &ParallelConfig) -> CellDiagram {
     let grid = CellGrid::new(dataset);
+    let words = words_for(dataset.len());
     let width = grid.nx() as usize + 1;
     let height = grid.ny() as usize + 1;
 
@@ -124,47 +145,67 @@ fn build_parallel(dataset: &Dataset, cfg: &ParallelConfig) -> CellDiagram {
     });
 
     // The top row (j = ny) has an empty first quadrant; every other row is
-    // an independent band.
+    // an independent band. Rows with a low `j` admit more points into the
+    // staircase, which is the cost model for the band split.
     crate::counter!("scanning.rows").add((height - 1) as u64);
-    let rows: Vec<Vec<(u32, Vec<PointId>)>> = {
+    let rows: Vec<RowSnapshots> = {
         let _scan = crate::span!("scanning.rows", (height - 1) as u64);
-        parallel::map_indexed(cfg, height - 1, |j| {
-            scan_row(dataset, &grid, &by_x_desc, j as u32)
-        })
+        parallel::map_indexed_weighted(
+            cfg,
+            height - 1,
+            |j| (height - j) as u64,
+            |j| scan_row(dataset, &grid, &by_x_desc, j as u32, words),
+        )
     };
 
     let _stitch = crate::span!("scanning.stitch");
-    let mut results = ResultInterner::new();
-    let empty = results.empty();
-    let mut cells = vec![empty; width * height];
-    for (j, boundaries) in rows.iter().enumerate() {
+    let mut bits = BitsetInterner::new(words);
+    let mut cells = vec![bits.empty(); width * height];
+    for (j, row) in rows.iter().enumerate() {
         // Boundaries come back in descending x-rank order; replay them
         // ascending. Cells up to the first boundary share its snapshot,
         // cells past the last boundary have empty quadrants.
         let mut next = 0usize;
-        for (v, snapshot) in boundaries.iter().rev() {
-            let rid = results.intern_unsorted(snapshot.clone());
-            for cell in &mut cells[j * width + next..=j * width + *v as usize] {
-                *cell = rid;
+        for (k, &v) in row.xranks.iter().enumerate().rev() {
+            let block = &row.blocks[k * words..(k + 1) * words];
+            let id = bits.intern_words(block);
+            for cell in &mut cells[j * width + next..=j * width + v as usize] {
+                *cell = id;
             }
-            next = *v as usize + 1;
+            next = v as usize + 1;
         }
     }
+    let results = bits.to_result_interner();
+    let cells = cells.into_iter().map(crate::result_set::ResultId).collect();
     CellDiagram::from_parts(grid, results, cells)
 }
 
 /// One row band: sweep the shared descending-x order, keep the staircase of
-/// minima over points with `yrank >= j`, and snapshot it after each x-rank
-/// group that inserted at least one point. Cell `(i, j)` takes the snapshot
-/// of the smallest recorded x-rank `>= i`.
+/// minima over points with `yrank >= j` (mirrored as a bitset block), and
+/// snapshot the block after each x-rank group that inserted at least one
+/// point. Cell `(i, j)` takes the snapshot of the smallest recorded x-rank
+/// `>= i`.
 fn scan_row(
     dataset: &Dataset,
     grid: &CellGrid,
     by_x_desc: &[PointId],
     j: u32,
-) -> Vec<(u32, Vec<PointId>)> {
+    words: usize,
+) -> RowSnapshots {
     let mut stack: Vec<(Coord, PointId)> = Vec::new();
-    let mut out = Vec::new();
+    let mut live = vec![0u64; words];
+    let mut out = RowSnapshots {
+        xranks: Vec::new(),
+        blocks: Vec::new(),
+    };
+    let set_bit = |block: &mut [u64], id: PointId, on: bool| {
+        let bit = id.0 as usize;
+        if on {
+            block[bit / 64] |= 1u64 << (bit % 64);
+        } else {
+            block[bit / 64] &= !(1u64 << (bit % 64));
+        }
+    };
     let mut pt = 0usize;
     while pt < by_x_desc.len() {
         let v = grid.xrank(by_x_desc[pt]);
@@ -182,15 +223,18 @@ fn scan_row(
                 let tp = dataset.point(tid);
                 if ty > p.y || (ty == p.y && tp.x > p.x) {
                     stack.pop();
+                    set_bit(&mut live, tid, false);
                 } else {
                     break;
                 }
             }
             stack.push((p.y, id));
+            set_bit(&mut live, id, true);
             changed = true;
         }
         if changed {
-            out.push((v, stack.iter().map(|&(_, id)| id).collect()));
+            out.xranks.push(v);
+            out.blocks.extend_from_slice(&live);
         }
     }
     out
@@ -268,6 +312,20 @@ mod tests {
             assert!(
                 build_with(&ds, &ParallelConfig::with_threads(3)).same_results(&reference),
                 "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn word_boundary_sizes_match_baseline() {
+        // 63/64/65 points straddle the one-word/two-word block boundary.
+        for n in [63, 64, 65] {
+            let ds = crate::test_data::lcg_dataset(n, 500, 77);
+            let reference = baseline::build(&ds);
+            assert!(build(&ds).same_results(&reference), "n = {n}");
+            assert!(
+                build_with(&ds, &ParallelConfig::with_threads(4)).same_results(&reference),
+                "n = {n} parallel"
             );
         }
     }

@@ -246,17 +246,8 @@ mod tests {
         let merged_baseline = merge(&baseline::build(&ds));
         assert_eq!(swept.merged.len(), merged_baseline.len());
         // Same cell partition: components must contain identical cell sets.
-        let mut a: Vec<_> = swept
-            .merged
-            .polyominoes
-            .iter()
-            .map(|p| p.cells.clone())
-            .collect();
-        let mut b: Vec<_> = merged_baseline
-            .polyominoes
-            .iter()
-            .map(|p| p.cells.clone())
-            .collect();
+        let mut a: Vec<_> = swept.merged.iter().map(|p| p.cells.to_vec()).collect();
+        let mut b: Vec<_> = merged_baseline.iter().map(|p| p.cells.to_vec()).collect();
         a.sort();
         b.sort();
         assert_eq!(a, b);

@@ -102,7 +102,7 @@ mod tests {
         let merged = skyline_core::diagram::merge::merge(&diagram);
         let region_of = |q: Point| {
             let cell = diagram.grid().cell_of(q);
-            merged.cell_to_polyomino[diagram.grid().linear_index(cell)]
+            merged.cell_to_polyomino()[diagram.grid().linear_index(cell)]
         };
         let changes = |qs: &[Point]| {
             qs.windows(2)

@@ -28,7 +28,7 @@
 use skyline_core::sync::Arc;
 
 use skyline_apps::continuous::{self, TraversalStep};
-use skyline_core::diagram::Polyomino;
+use skyline_core::diagram::PolyominoRef;
 use skyline_core::geometry::{Dataset, Point, PointId};
 use skyline_core::index::SkylineIndex;
 use skyline_core::maintained::Handle;
@@ -195,7 +195,7 @@ impl Snapshot {
 
     /// The skyline polyomino containing `q` — the region where `q` can move
     /// without its quadrant result changing. `None` for the empty snapshot.
-    pub fn safe_zone(&self, q: Point) -> Option<&Polyomino> {
+    pub fn safe_zone(&self, q: Point) -> Option<PolyominoRef<'_>> {
         self.body.as_ref().map(|b| b.index.safe_zone(q))
     }
 

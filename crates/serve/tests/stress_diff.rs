@@ -135,7 +135,7 @@ fn check_safe_zone(snap: &Snapshot, q: Point) {
         "safe zone must contain the query's own cell"
     );
     let expected = diagram.query(q);
-    for &c in &zone.cells {
+    for &c in zone.cells {
         assert_eq!(
             diagram.result(c),
             expected,

@@ -32,8 +32,8 @@ pub fn render_outlined_diagram(
     let py = |y: i64| (y1 - y as f64) * scale;
 
     let mut overlay = String::new();
-    for poly in &merged.polyominoes {
-        for walk in boundary_loops(grid, &poly.cells, clip) {
+    for poly in merged.iter() {
+        for walk in boundary_loops(grid, poly.cells, clip) {
             let mut d = String::new();
             for (k, v) in walk.iter().enumerate() {
                 let cmd = if k == 0 { 'M' } else { 'L' };

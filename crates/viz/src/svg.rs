@@ -231,7 +231,7 @@ pub fn render_merged_diagram(
 
     let width = diagram.grid().nx() as usize + 1;
     let height = diagram.grid().ny() as usize + 1;
-    let poly = &merged.cell_to_polyomino;
+    let poly = merged.cell_to_polyomino();
     let mut overlay = String::new();
     for j in 0..height {
         for i in 0..width {

@@ -32,6 +32,24 @@ const READ_PATH_SCOPE: &[&str] = &[
     "crates/serve/src/snapshot.rs",
 ];
 
+/// Arena-backed storage modules: cells, results, and polyominoes live in
+/// flat arenas (CSR `cells_flat`/`ends` slices, stride-`words` u64 bitset
+/// blocks). A nested `Vec<Vec<…>>` or a `Box`/`Rc` here reintroduces the
+/// per-cell heap allocation the arena layout exists to eliminate, and the
+/// regression is invisible in review (the code still works — it's just
+/// O(cells) allocations slower). Deliberately allowlist-free: the arenas
+/// *are* the escape hatch. `diagram/boundary.rs` is out of scope by
+/// construction — its loop walks are per-polyomino output geometry with
+/// genuinely jagged shape, not cell storage.
+const ARENA_SCOPE: &[&str] = &[
+    "crates/core/src/result_set.rs",
+    "crates/core/src/diagram/cell_diagram.rs",
+    "crates/core/src/diagram/diff.rs",
+    "crates/core/src/diagram/merge.rs",
+    "crates/core/src/diagram/mod.rs",
+    "crates/core/src/diagram/polyomino.rs",
+];
+
 /// Numeric primitive names, for spotting `as <numeric>` casts.
 const NUMERIC_TYPES: &[&str] = &[
     "i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize", "f32",
@@ -146,6 +164,9 @@ pub fn run_all(path: &str, src: &str, raw: &[Tok]) -> Vec<Finding> {
     if in_scope(path, EXACT_SCOPE) {
         no_as_cast(toks, &mut findings);
         no_float(toks, &mut findings);
+    }
+    if in_scope(path, ARENA_SCOPE) {
+        no_per_cell_alloc(toks, &mut findings);
     }
     if in_scope(path, LIB_SCOPE) {
         no_unwrap(toks, &mut findings);
@@ -423,6 +444,43 @@ fn no_ad_hoc_timing(toks: &[Tok], findings: &mut Vec<Finding>) {
                 message: "raw `Instant` timing outside the telemetry layer".to_owned(),
                 hint: "measure through skyline_core::telemetry (span!, now_ns/ms_since) so \
                        timings land in traces and compile out with the feature",
+            });
+        }
+    }
+}
+
+/// `no-per-cell-alloc`: the arena-backed storage modules ([`ARENA_SCOPE`])
+/// keep cells, result sets, and polyominoes in flat arenas — CSR slices
+/// indexed by prefix-summed `ends`, and fixed-stride u64 bitset blocks. A
+/// nested `Vec<Vec<…>>` type means one heap allocation per cell/polyomino
+/// again; `Box`/`Rc` mean pointer-chased storage the word-parallel kernels
+/// cannot slice. Both are flagged wherever they appear in scope — there is
+/// no allowlist, because the arena types themselves are the sanctioned way
+/// to express every shape these modules need.
+fn no_per_cell_alloc(toks: &[Tok], findings: &mut Vec<Finding>) {
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        if tok.text == "Box" || tok.text == "Rc" {
+            findings.push(Finding {
+                rule: "no-per-cell-alloc",
+                line: tok.line,
+                message: format!("pointer-indirect `{}` in arena-backed storage", tok.text),
+                hint: "store through the flat arenas (CSR cells_flat/ends, bitset blocks); \
+                       pointer indirection defeats the contiguous layout",
+            });
+        }
+        if tok.text == "Vec"
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('<'))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("Vec"))
+        {
+            findings.push(Finding {
+                rule: "no-per-cell-alloc",
+                line: tok.line,
+                message: "nested `Vec<Vec<…>>` in arena-backed storage".to_owned(),
+                hint: "one allocation per element is the layout this module exists to \
+                       avoid; flatten into a CSR arena (data + prefix-summed ends)",
             });
         }
     }
@@ -749,6 +807,51 @@ mod tests {
         let f = findings_for("crates/core/src/diagram/merge.rs", "let x = n as f64;");
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "no-as-cast");
+    }
+
+    #[test]
+    fn per_cell_alloc_fires_only_in_arena_scope() {
+        let nested = "pub struct D { polyominoes: Vec<Vec<CellIndex>> }";
+        let f = findings_for("crates/core/src/diagram/polyomino.rs", nested);
+        assert_eq!(
+            f.iter().filter(|f| f.rule == "no-per-cell-alloc").count(),
+            1
+        );
+
+        let boxed = "fn f() { let b: Box<[u64]> = block; let r = Rc::new(cells); }";
+        let f = findings_for("crates/core/src/result_set.rs", boxed);
+        assert_eq!(
+            f.iter().filter(|f| f.rule == "no-per-cell-alloc").count(),
+            2
+        );
+
+        // The flat arena layout itself is the sanctioned shape — single-level
+        // vectors of words, cells, and prefix-summed ends never fire.
+        let flat = "pub struct A { words: Vec<u64>, cells_flat: Vec<CellIndex>, \
+                    ends: Vec<u32>, results: Vec<ResultId> }";
+        let f = findings_for("crates/core/src/diagram/merge.rs", flat);
+        assert!(f.iter().all(|f| f.rule != "no-per-cell-alloc"));
+
+        // ClipBox is a whole different identifier, not a `Box` hit.
+        let decoy = "pub fn clip(b: ClipBox) -> Vec<CellIndex> { vec![] }";
+        let f = findings_for("crates/core/src/diagram/cell_diagram.rs", decoy);
+        assert!(f.iter().all(|f| f.rule != "no-per-cell-alloc"));
+
+        // boundary.rs returns genuinely jagged outline walks; out of scope.
+        let walks = "pub fn boundary_loops() -> Vec<Vec<Point>> { vec![] }";
+        let f = findings_for("crates/core/src/diagram/boundary.rs", walks);
+        assert!(f.iter().all(|f| f.rule != "no-per-cell-alloc"));
+
+        // Other crates/modules keep their nested vectors (dominance lists,
+        // rank buckets); the rule is about the arena modules only.
+        let f = findings_for("crates/core/src/skyband.rs", nested);
+        assert!(f.iter().all(|f| f.rule != "no-per-cell-alloc"));
+
+        // Test modules are stripped before linting.
+        let tests_only =
+            "#[cfg(test)]\nmod tests { fn t() { let v: Vec<Vec<u32>> = Vec::new(); } }";
+        let f = findings_for("crates/core/src/diagram/merge.rs", tests_only);
+        assert!(f.iter().all(|f| f.rule != "no-per-cell-alloc"));
     }
 
     #[test]

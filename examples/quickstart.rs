@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    counterpart): each is a maximal region with one constant result.
     let merged = merge(&diagram);
     println!("{} polyominoes:", merged.len());
-    for poly in merged.polyominoes.iter().take(5) {
+    for poly in merged.iter().take(5) {
         println!(
             "  result {:?} covers {} cells, bbox {:?}",
             diagram.results().get(poly.result),

@@ -82,7 +82,7 @@ fn safe_zones_are_sound_and_maximal() {
     for _ in 0..50 {
         let q = Point::new(rng.gen_range(-5..205), rng.gen_range(-5..205));
         let zone = safe_zone(&d, &merged, q);
-        for &cell in &zone.cells {
+        for &cell in zone.cells {
             assert_eq!(d.result(cell), d.query(q));
         }
         assert!(zone.is_connected());

@@ -103,13 +103,8 @@ fn sweeping_polyominoes_equal_merged_cell_diagrams() {
         let ds = spec.build_2d();
         let swept = skyline_core::quadrant::sweeping::build(&ds);
         let merged = merge(&QuadrantEngine::Baseline.build(&ds));
-        let mut a: Vec<_> = swept
-            .merged
-            .polyominoes
-            .iter()
-            .map(|p| p.cells.clone())
-            .collect();
-        let mut b: Vec<_> = merged.polyominoes.iter().map(|p| p.cells.clone()).collect();
+        let mut a: Vec<_> = swept.merged.iter().map(|p| p.cells.to_vec()).collect();
+        let mut b: Vec<_> = merged.iter().map(|p| p.cells.to_vec()).collect();
         a.sort();
         b.sort();
         assert_eq!(a, b, "polyomino partitions differ on {spec:?}");

@@ -107,12 +107,12 @@ proptest! {
         let d = QuadrantEngine::Baseline.build(&ds);
         let merged = merge(&d);
         // Partition.
-        let total: usize = merged.polyominoes.iter().map(|p| p.area()).sum();
+        let total: usize = merged.iter().map(|p| p.area()).sum();
         prop_assert_eq!(total, d.grid().cell_count());
-        for poly in &merged.polyominoes {
+        for poly in merged.iter() {
             // Connected, and every member cell shares the result.
             prop_assert!(poly.is_connected());
-            for &cell in &poly.cells {
+            for &cell in poly.cells {
                 prop_assert_eq!(d.result_id(cell), poly.result);
             }
         }
@@ -123,12 +123,12 @@ proptest! {
             for i in 0..width {
                 let idx = j * width + i;
                 if i + 1 < width
-                    && merged.cell_to_polyomino[idx] != merged.cell_to_polyomino[idx + 1]
+                    && merged.cell_to_polyomino()[idx] != merged.cell_to_polyomino()[idx + 1]
                 {
                     prop_assert_ne!(d.cell_results()[idx], d.cell_results()[idx + 1]);
                 }
                 if j + 1 < height
-                    && merged.cell_to_polyomino[idx] != merged.cell_to_polyomino[idx + width]
+                    && merged.cell_to_polyomino()[idx] != merged.cell_to_polyomino()[idx + width]
                 {
                     prop_assert_ne!(d.cell_results()[idx], d.cell_results()[idx + width]);
                 }
@@ -136,7 +136,7 @@ proptest! {
         }
         // Both merge implementations agree.
         let ff = merge_flood_fill(&d);
-        prop_assert_eq!(merged.polyominoes, ff.polyominoes);
+        prop_assert_eq!(merged, ff);
     }
 
     #[test]
@@ -257,7 +257,6 @@ proptest! {
         let swept = skyline_core::quadrant::sweeping::build(&ds);
         let nonempty = swept
             .merged
-            .polyominoes
             .iter()
             .filter(|p| !swept.cell_diagram.results().get(p.result).is_empty())
             .count();
@@ -270,7 +269,6 @@ proptest! {
         // Exactly one empty region (beyond everything), always connected.
         let empties = swept
             .merged
-            .polyominoes
             .iter()
             .filter(|p| swept.cell_diagram.results().get(p.result).is_empty())
             .count();

@@ -94,8 +94,8 @@ proptest! {
         let grid = d.grid();
         let clip = ClipBox::around(grid);
         let mut total = 0i64;
-        for poly in &merged.polyominoes {
-            for walk in boundary_loops(grid, &poly.cells, clip) {
+        for poly in merged.iter() {
+            for walk in boundary_loops(grid, poly.cells, clip) {
                 total += signed_area_doubled(&walk);
             }
         }
@@ -128,8 +128,8 @@ fn boundary_loops_of_all_hotel_polyominoes_are_closed_staircases() {
     let merged = merge(&d);
     let grid = d.grid();
     let clip = ClipBox::around(grid);
-    for poly in &merged.polyominoes {
-        let loops = boundary_loops(grid, &poly.cells, clip);
+    for poly in merged.iter() {
+        let loops = boundary_loops(grid, poly.cells, clip);
         assert!(!loops.is_empty());
         for walk in &loops {
             assert!(walk.len() >= 4, "a rectilinear loop needs >= 4 vertices");
