@@ -1,5 +1,5 @@
 //! Regenerates every table/figure of the reconstructed evaluation (DESIGN.md
-//! experiments E1–E13) and prints them as Markdown. Run with:
+//! experiments E1–E14) and prints them as Markdown. Run with:
 //!
 //! ```text
 //! cargo run -p skyline-bench --release --bin experiments             # all
@@ -8,6 +8,8 @@
 //!     e11 --profile smoke --json BENCH_PR3.json --gate              # CI gate
 //! cargo run -p skyline-bench --release --bin experiments -- \
 //!     e13 --profile smoke --json BENCH_PR6.json --gate              # SLO gate
+//! cargo run -p skyline-bench --release --bin experiments -- \
+//!     e14 --profile smoke --json BENCH_PR9.json --gate              # cold start
 //! ```
 
 use rand::rngs::StdRng;
@@ -30,9 +32,9 @@ use skyline_data::Distribution;
 const USAGE: &str = "\
 Usage: experiments [EXPERIMENT...] [--profile smoke|full] [--json PATH] [--gate]
 
-  EXPERIMENT       any of e1..e13 (default: run all experiments)
-  --profile NAME   dataset sizes for e11/e12/e13: 'full' (default) or 'smoke'
-                   (CI-sized)
+  EXPERIMENT       any of e1..e14 (default: run all experiments)
+  --profile NAME   dataset sizes for e11/e12/e13/e14: 'full' (default) or
+                   'smoke' (CI-sized)
   --json PATH      write the machine-readable bench records collected this run
                    (the BENCH_PR3.json schema) to PATH
   --gate           check every guard armed by the selected experiments and
@@ -40,7 +42,8 @@ Usage: experiments [EXPERIMENT...] [--profile smoke|full] [--json PATH] [--gate]
                    regression guard (e11/e12/e13), the telemetry overhead
                    guard (--telemetry), and the E13 open-loop SLO bounds
                    (lanes = 0 rows vs the committed per-family p99/p999
-                   budgets)
+                   budgets), and the E14 cold-start floor (container load
+                   must beat rebuild-from-points by 10x at n >= 400)
   --gate-ratio X   override the parallel regression ratio (default 1.25);
                    mainly a testing aid for the gate pipeline itself
   --gate-floor-ms X  absolute-time floor for the regression and efficiency
@@ -89,6 +92,12 @@ const EFFICIENCY_NARROW: f64 = 0.8;
 const TELEMETRY_OVERHEAD_RATIO: f64 = 1.05;
 const TELEMETRY_OVERHEAD_SLACK_MS: f64 = 0.5;
 
+/// Required speedup of a container load over a rebuild-from-points of the
+/// same index at `n >= 400` (`e14 --gate`): the zero-copy load path's whole
+/// reason to exist is to skip diagram construction, so it must beat the
+/// construction it skips by an order of magnitude.
+const COLD_START_RATIO: f64 = 10.0;
+
 /// Dataset sizes for the E11 sweep: `Full` reproduces the committed
 /// `BENCH_PR3.json`; `Smoke` is small enough for a per-push CI job.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -111,8 +120,8 @@ struct Options {
     telemetry: bool,
 }
 
-const EXPERIMENT_NAMES: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+const EXPERIMENT_NAMES: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
 ];
 
 impl Options {
@@ -230,6 +239,9 @@ fn main() {
     if want("e13") {
         records.extend(e13_open_loop(opts.profile, opts.telemetry));
     }
+    if want("e14") {
+        records.extend(e14_cold_start(opts.profile));
+    }
     let overhead_violations = if opts.telemetry && (want("e11") || want("e12") || want("e13")) {
         telemetry_overhead(opts.profile)
     } else {
@@ -247,14 +259,19 @@ fn main() {
         }
     }
     if opts.gate {
-        match gate_regressions(&records, opts.gate_ratio, opts.gate_floor_ms) {
-            Ok(checked) => {
-                eprintln!(
-                    "gate: {checked} parallel configurations within {}x of sequential (floor {} ms)",
-                    opts.gate_ratio, opts.gate_floor_ms
-                );
+        // The parallel-regression guard only makes sense when an experiment
+        // that produces threads > 0 records ran: an e14-only invocation
+        // collects exclusively sequential cold-start rows.
+        if want("e11") || want("e12") || want("e13") {
+            match gate_regressions(&records, opts.gate_ratio, opts.gate_floor_ms) {
+                Ok(checked) => {
+                    eprintln!(
+                        "gate: {checked} parallel configurations within {}x of sequential (floor {} ms)",
+                        opts.gate_ratio, opts.gate_floor_ms
+                    );
+                }
+                Err(violations) => failures.extend(violations),
             }
-            Err(violations) => failures.extend(violations),
         }
         if want("e11") {
             match gate_efficiency(&records, opts.efficiency_ratio, opts.gate_floor_ms) {
@@ -274,6 +291,16 @@ fn main() {
             match gate_slos(&records, opts.slo_scale) {
                 Ok(checked) => {
                     eprintln!("gate: {checked} open-loop SLO bounds honored on lanes = 0 rows");
+                }
+                Err(violations) => failures.extend(violations),
+            }
+        }
+        if want("e14") {
+            match gate_cold_start(&records, opts.gate_floor_ms) {
+                Ok(checked) => {
+                    eprintln!(
+                        "gate: {checked} cold-start configurations load >= {COLD_START_RATIO}x faster than rebuild"
+                    );
                 }
                 Err(violations) => failures.extend(violations),
             }
@@ -568,6 +595,139 @@ fn gate_slos(records: &[BenchRecord], scale: f64) -> Result<usize, Vec<String>> 
 /// is bit-identical across lane counts by construction. Records use
 /// `threads` for the lane count and embed interpolated per-family
 /// percentiles (µs) as metrics, which [`gate_slos`] checks.
+/// E14 — cold-start latency: building the full index from raw points versus
+/// loading the snapshot container ([`skyline_core::container`]) written by
+/// that same build. Both paths end in an identical, query-ready
+/// [`skyline_core::index::SkylineIndex`]; the container rows measure the
+/// bounds-checked, checksum-validated decode that `skydiag load` and
+/// [`skyline_serve::SkylineServer::from_container`] run on startup. All
+/// rows are sequential (`threads = 0`): the decode path is single-threaded
+/// by design. The `container.bytes` metric records the file size per
+/// configuration (deterministic, so committed artifacts stay byte-stable).
+fn e14_cold_start(profile: Profile) -> Vec<BenchRecord> {
+    use skyline_core::container;
+    use skyline_core::index::SkylineIndex;
+    use skyline_core::maintained::Handle;
+
+    // Quadrant+global sweep sizes, the small dynamic-diagram size (the
+    // O(n^4) subcell grid keeps it tiny), and repetitions per measurement.
+    let (sizes, dynamic_n, reps): (Vec<usize>, usize, usize) = match profile {
+        Profile::Smoke => (vec![200, 400], 30, 2),
+        Profile::Full => (vec![400, 800], 60, 3),
+    };
+    println!(
+        "## E14 — cold start: rebuild from points vs container load ({} profile)\n",
+        match profile {
+            Profile::Smoke => "smoke",
+            Profile::Full => "full",
+        }
+    );
+    println!("| configuration | n | rebuild | load | speedup | container size |");
+    println!("|---|---|---|---|---|---|");
+
+    let mut records = Vec::new();
+    let mut run_case = |family: &str, n: usize, with_dynamic: bool| {
+        let ds = sweep_dataset(n, Distribution::Independent);
+        let build = || {
+            SkylineIndex::builder()
+                .with_global(true)
+                .with_dynamic(with_dynamic)
+                .build(&ds)
+        };
+        let index = build();
+        let handles: Vec<Handle> = (0..ds.len() as u64).map(Handle).collect();
+        let bytes = container::encode_index(&index, &handles);
+        let rebuild = time_stats(reps, build);
+        let load = time_stats(reps, || {
+            container::decode_index(&bytes).expect("fresh container bytes must decode")
+        });
+        println!(
+            "| {family} | {n} | {} | {} | {:.1}x | {} B |",
+            fmt_ms(rebuild.min_ms),
+            fmt_ms(load.min_ms),
+            rebuild.min_ms / load.min_ms,
+            bytes.len(),
+        );
+        for (leg, stats) in [("rebuild", &rebuild), ("load", &load)] {
+            records.push(BenchRecord {
+                experiment: "e14".to_string(),
+                algorithm: format!("{family}/{leg}"),
+                n,
+                s: 10 * n as i64,
+                d: 2,
+                distribution: Distribution::Independent.name().to_string(),
+                threads: 0,
+                reps,
+                min_ms: stats.min_ms,
+                median_ms: stats.median_ms,
+                metrics: vec![("container.bytes".to_string(), bytes.len() as u64)],
+            });
+        }
+    };
+    for &n in &sizes {
+        run_case("coldstart", n, false);
+    }
+    run_case("coldstart-dynamic", dynamic_n, true);
+    println!();
+    records
+}
+
+/// The E14 cold-start guard: for every `n >= 400` configuration with both
+/// legs recorded, the container load must be at least [`COLD_START_RATIO`]
+/// times faster than the rebuild. Pairs whose rebuild ran under `floor_ms`
+/// are exempt (a sub-floor rebuild means the ratio measures scheduler noise,
+/// not the decode path — see [`GATE_FLOOR_MS`]). Returns the number of
+/// pairs checked, or the violation list.
+fn gate_cold_start(records: &[BenchRecord], floor_ms: f64) -> Result<usize, Vec<String>> {
+    let mut pairs: std::collections::HashMap<(String, usize), (Option<f64>, Option<f64>)> =
+        std::collections::HashMap::new();
+    for r in records.iter().filter(|r| r.experiment == "e14") {
+        if let Some(family) = r.algorithm.strip_suffix("/rebuild") {
+            pairs.entry((family.to_string(), r.n)).or_default().0 = Some(r.min_ms);
+        } else if let Some(family) = r.algorithm.strip_suffix("/load") {
+            pairs.entry((family.to_string(), r.n)).or_default().1 = Some(r.min_ms);
+        }
+    }
+
+    let mut violations = Vec::new();
+    let mut checked = 0usize;
+    let mut keys: Vec<_> = pairs.keys().cloned().collect();
+    keys.sort();
+    for k in keys {
+        let (family, n) = &k;
+        if *n < 400 {
+            continue;
+        }
+        let (Some(rebuild), Some(load)) = pairs[&k] else {
+            violations.push(format!(
+                "cold start: {family} n={n} is missing a rebuild or load record"
+            ));
+            continue;
+        };
+        if rebuild < floor_ms {
+            continue;
+        }
+        checked += 1;
+        if rebuild / load < COLD_START_RATIO {
+            violations.push(format!(
+                "cold start: {family} n={n}: load {} vs rebuild {} ({:.1}x < required {COLD_START_RATIO}x)",
+                fmt_ms(load),
+                fmt_ms(rebuild),
+                rebuild / load,
+            ));
+        }
+    }
+    if checked == 0 && violations.is_empty() {
+        violations
+            .push("no cold-start pairs at n >= 400 collected — run e14 with --gate".to_string());
+    }
+    if violations.is_empty() {
+        Ok(checked)
+    } else {
+        Err(violations)
+    }
+}
+
 fn e13_open_loop(profile: Profile, capture_telemetry: bool) -> Vec<BenchRecord> {
     use skyline_serve::{run_open_loop, OpenLoopSpec, ServerOptions, SkylineServer};
 

@@ -215,6 +215,19 @@ fn check_quadrant(spec: &DatasetSpec, ds: &Dataset) {
         Ok(decoded) if decoded.same_results(&reference) => {}
         _ => fail("serialize-roundtrip", spec),
     }
+    // Snapshot-container roundtrip: save → load must reproduce the quadrant
+    // diagram and handle table exactly before the invariant checks below.
+    let index = skyline_core::index::SkylineIndex::new(ds);
+    let handles: Vec<skyline_core::maintained::Handle> = (0..ds.len() as u64)
+        .map(skyline_core::maintained::Handle)
+        .collect();
+    let container = skyline_core::container::encode_index(&index, &handles);
+    match skyline_core::container::decode_index(&container) {
+        Ok(loaded)
+            if loaded.handles == handles
+                && loaded.index.quadrant_diagram().same_results(&reference) => {}
+        _ => fail("container-roundtrip", spec),
+    }
     // The swept diagram's polyomino merge must be a valid maximal partition.
     let swept = skyline_core::quadrant::sweeping::build(ds);
     if let Err(v) = invariants::validate_merged_cells(&swept.cell_diagram, &swept.merged) {

@@ -23,6 +23,8 @@ pub enum CliError {
     Csv(csv::CsvError),
     /// Diagram decode problems.
     Decode(serialize::DecodeError),
+    /// Snapshot container problems.
+    Container(skyline_core::container::Error),
     /// Anything else, with a message.
     Other(String),
 }
@@ -34,6 +36,7 @@ impl std::fmt::Display for CliError {
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Csv(e) => write!(f, "csv error: {e}"),
             CliError::Decode(e) => write!(f, "decode error: {e}"),
+            CliError::Container(e) => write!(f, "container error: {e}"),
             CliError::Other(msg) => write!(f, "{msg}"),
         }
     }
@@ -60,6 +63,12 @@ impl From<csv::CsvError> for CliError {
 impl From<serialize::DecodeError> for CliError {
     fn from(e: serialize::DecodeError) -> Self {
         CliError::Decode(e)
+    }
+}
+
+impl From<skyline_core::container::Error> for CliError {
+    fn from(e: skyline_core::container::Error) -> Self {
+        CliError::Container(e)
     }
 }
 
@@ -801,6 +810,111 @@ pub fn cmd_top(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `skydiag save <out.skd> [--data data.csv|hotel | --n N --dist D --domain S
+/// --seed K] [--engine ...] [--global 0|1] [--dynamic 0|1]`
+///
+/// Builds a [`skyline_core::index::SkylineIndex`] over the dataset and
+/// writes it as a versioned snapshot container
+/// ([`skyline_core::container`]): a later `skydiag load` (or
+/// [`skyline_serve::SkylineServer::from_container`]) cold-starts from the
+/// file without rebuilding any diagram.
+pub fn cmd_save(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let out_path = args
+        .positional(0, "output container path (out.skd)")?
+        .to_string();
+    let engine = parse_engine(args.get_or("engine", "sweeping"))?;
+    let with_global = args.get_usize("global", 1)? != 0;
+    let with_dynamic = args.get_usize("dynamic", 0)? != 0;
+    let dataset = trace_dataset(args, 200)?;
+    args.reject_unknown()?;
+
+    let index = skyline_core::index::SkylineIndex::builder()
+        .engine(engine)
+        .with_global(with_global)
+        .with_dynamic(with_dynamic)
+        .build(&dataset);
+    let handles: Vec<skyline_core::maintained::Handle> = (0..dataset.len() as u64)
+        .map(skyline_core::maintained::Handle)
+        .collect();
+    let bytes = skyline_core::container::encode_index(&index, &handles);
+    std::fs::write(&out_path, &bytes)?;
+    writeln!(
+        out,
+        "wrote {} to {} (container v{}.{})",
+        human_bytes(bytes.len()),
+        out_path,
+        skyline_core::container::MAJOR_VERSION,
+        skyline_core::container::MINOR_VERSION,
+    )?;
+    for s in skyline_core::container::sections(&bytes)? {
+        writeln!(
+            out,
+            "  section {:>2}  {:<24} {:>9} bytes @ {}",
+            s.id, s.name, s.length, s.offset
+        )?;
+    }
+    Ok(())
+}
+
+/// `skydiag load <in.skd> [--at X,Y] [--cache SLOTS]`
+///
+/// Cold-starts a [`skyline_serve::SkylineServer`] from a snapshot container
+/// written by `skydiag save` — every section is checksum-validated and
+/// bounds-checked, then the diagrams are adopted without rebuilding. With
+/// `--at` the loaded server also answers the three query families at that
+/// point.
+pub fn cmd_load(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use skyline_core::telemetry;
+
+    let path = args.positional(0, "input container path (in.skd)")?;
+    let at = args.get("at").map(str::to_string);
+    let cache_slots = args.get_usize("cache", 4096)?;
+    let bytes = std::fs::read(path)?;
+    args.reject_unknown()?;
+
+    let options = skyline_serve::ServerOptions {
+        cache_slots,
+        ..skyline_serve::ServerOptions::default()
+    };
+    let start_ns = telemetry::now_ns();
+    let (server, _handles) = skyline_serve::SkylineServer::from_container(&bytes, options)?;
+    let cold_ms = telemetry::ms_since(start_ns);
+
+    let mut reader = server.reader();
+    let snap = reader.snapshot();
+    let (has_global, has_dynamic) = snap.index().map_or((false, false), |ix| {
+        (
+            ix.global_diagram().is_some(),
+            ix.dynamic_diagram().is_some(),
+        )
+    });
+    writeln!(
+        out,
+        "cold-started epoch {} from {} ({}) in {cold_ms:.2} ms",
+        snap.epoch(),
+        path,
+        human_bytes(bytes.len()),
+    )?;
+    writeln!(
+        out,
+        "points: {}  diagrams: quadrant{}{}",
+        snap.len(),
+        if has_global { " + global" } else { "" },
+        if has_dynamic { " + dynamic" } else { "" },
+    )?;
+    if let Some(at) = at {
+        let q = parse_point(&at)?;
+        let show = |ids: &[skyline_core::maintained::Handle]| {
+            let names: Vec<String> = ids.iter().map(|h| format!("h{}", h.0)).collect();
+            format!("{{{}}}", names.join(", "))
+        };
+        writeln!(out, "quadrant at {q}: {}", show(&snap.quadrant(q)))?;
+        writeln!(out, "global   at {q}: {}", show(&snap.global(q)))?;
+        writeln!(out, "dynamic  at {q}: {}", show(&snap.dynamic(q)))?;
+    }
+    Ok(())
+}
+
 fn human_bytes(n: usize) -> String {
     if n >= 1 << 20 {
         format!("{:.1} MiB", n as f64 / (1 << 20) as f64)
@@ -843,6 +957,12 @@ USAGE:
                  [--global 0|1] [--engine ...]
                  (interval-sampled serving monitor: per-tick metric deltas
                  with histogram-bucket sparklines)
+  skydiag save   <out.skd> [--n N | --data data.csv|hotel] [--dist ...] [--domain S]
+                 [--seed K] [--engine ...] [--global 0|1] [--dynamic 0|1]
+                 (build an index and write it as a versioned snapshot container)
+  skydiag load   <in.skd> [--at X,Y] [--cache SLOTS]
+                 (cold-start a server from a container — checksum-validated,
+                 no diagram rebuild; --at also answers all three families)
 
 Input CSV: one `x,y` integer row per point; `#` comments allowed.
 The literal input 'hotel' loads the paper's 11-hotel running example.
@@ -878,6 +998,44 @@ mod tests {
         let text = run(cmd_gen, &["--n", "25", "--dist", "anti", "--seed", "3"]).unwrap();
         let ds = csv::parse_dataset_2d(&text).unwrap();
         assert_eq!(ds.len(), 25);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("skydiag-test-container");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hotel.skd");
+        let path_str = path.to_str().unwrap();
+
+        let msg = run(cmd_save, &[path_str, "--data", "hotel", "--global", "1"]).unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+        assert!(msg.contains("section"), "{msg}");
+
+        let answer = run(cmd_load, &[path_str, "--at", "12,81"]).unwrap();
+        assert!(answer.contains("cold-started epoch 1"), "{answer}");
+        // Handles are 0-based over the hotel dataset: the paper's {p8, p10}
+        // loads as {h7, h9}.
+        assert!(answer.contains("{h7, h9}"), "{answer}");
+    }
+
+    #[test]
+    fn load_rejects_corrupt_containers_with_a_typed_error() {
+        let dir = std::env::temp_dir().join("skydiag-test-container-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.skd");
+        let path_str = path.to_str().unwrap();
+
+        run(cmd_save, &[path_str, "--data", "hotel"]).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let err = run(cmd_load, &[path_str]).unwrap_err();
+        assert!(
+            matches!(err, CliError::Container(_)),
+            "expected a container error, got: {err}"
+        );
     }
 
     #[test]

@@ -1,0 +1,1025 @@
+//! Versioned binary snapshot container: the on-disk form of a
+//! [`SkylineIndex`] (ROADMAP item 1, in the spirit of the versatiles tile
+//! containers).
+//!
+//! `serialize.rs` round-trips single diagrams through a parse-heavy
+//! encoding; a server restart therefore pays a full `O(n²)` rebuild. This
+//! module instead persists the PR 8 arena layouts *verbatim* — the CSR
+//! flat-ids/ends interner arrays, the CSR polyomino arenas, the row-major
+//! cell→result arrays, and the grid/bisector line metadata — so a load is a
+//! bounds-checked, checksum-validated copy of flat `u64`/`u32` arrays
+//! straight into [`ResultInterner`]/[`MergedDiagram`] (via
+//! [`ResultInterner::from_csr`] and [`MergedDiagram::from_csr`]) with no
+//! per-element re-interning or re-merging. The bitset word blocks of
+//! `result_set::BitsetInterner` are a build-time acceleration structure:
+//! every finished diagram converges on the sorted-id CSR representation
+//! (`to_result_interner`), which is what the container stores; loaded
+//! interners can be re-expanded to word blocks with
+//! `result_set::encode_results` when a word-parallel pass needs them.
+//!
+//! # Layout
+//!
+//! All integers are little-endian. The file is one fixed header, one
+//! section directory, one header checksum, then the section payloads
+//! back-to-back:
+//!
+//! ```text
+//! offset 0   magic               b"SKDC"                      4 bytes
+//!        4   major version       u16                          2 bytes
+//!        6   minor version       u16                          2 bytes
+//!        8   flags               u32 (bit0 global, bit1       4 bytes
+//!                                     dynamic, bit2 handles)
+//!       12   section count  c    u32                          4 bytes
+//!       16   directory           c × 32-byte entries:
+//!                                  id       u32
+//!                                  reserved u32 (must be 0)
+//!                                  offset   u64 (absolute)
+//!                                  length   u64
+//!                                  checksum u64 (word-wise FNV-1a 64
+//!                                               of the payload)
+//! 16 + 32c   header checksum     u64 (word-wise FNV-1a 64 of bytes
+//!                                     [0, 16 + 32c))
+//! 24 + 32c   payloads            contiguous, in directory order
+//! ```
+//!
+//! Sections, in required id order (5–11 present per the flags):
+//!
+//! | id | content |
+//! |----|---------|
+//! | 1  | dataset: `u64 n`, then `n × (i64 x, i64 y)` |
+//! | 2  | quadrant interner: `u64 sets`, `u64 total_ids`, `sets × u32` ends, `total_ids × u32` flat ids |
+//! | 3  | quadrant cells: `u64 count`, `count × u32` result ids (row-major) |
+//! | 4  | polyomino CSR: `u64 polys`, `u64 cells_total`, `polys × u32` results, `polys × u32` ends, `cells_total × (u32, u32)` member cells, `u64 map_len`, `map_len × u32` cell→polyomino |
+//! | 5  | global interner (layout of 2) |
+//! | 6  | global cells (layout of 3) |
+//! | 7  | dynamic x bisector lines: `u64 count`, `count × i64` doubled coords |
+//! | 8  | dynamic y bisector lines (layout of 7) |
+//! | 9  | dynamic interner (layout of 2) |
+//! | 10 | dynamic cells (layout of 3, over subcells) |
+//! | 11 | handles: `u64 count`, `count × u64` |
+//!
+//! The cell grid is *not* stored: [`CellGrid::new`] rebuilds it from the
+//! decoded dataset in `O(n log n)`, which also cross-validates the stored
+//! cell arrays against an independently derived cell count.
+//!
+//! # Validation order
+//!
+//! [`decode_index`] validates strictly outside-in; every failure is a typed
+//! [`Error`], never a panic or an out-of-bounds access:
+//!
+//! 1. length ≥ header, magic ([`Error::BadMagic`]), major version
+//!    ([`Error::BadVersion`] — checked *before* any checksum so an old
+//!    reader reports a new major as a version error, not corruption);
+//! 2. header checksum over header + directory
+//!    ([`Error::HeaderChecksumMismatch`]) — this covers the minor version,
+//!    the flags, the section count, and every directory entry *including
+//!    the per-section checksums*, so any single-bit flip anywhere in the
+//!    file is caught by exactly one of the two checksum layers;
+//! 3. directory shape: reserved words zero, ids strictly increasing,
+//!    offsets exactly contiguous from the payload start (overlapping or
+//!    gapped extents are structurally impossible to accept), extents
+//!    overflow-checked, total length exact ([`Error::Truncated`] /
+//!    [`Error::TrailingBytes`]);
+//! 4. per-section payload checksums ([`Error::SectionChecksumMismatch`]);
+//! 5. flags known and the section id list exactly the one the flags
+//!    promise;
+//! 6. semantic validation while copying out: dataset bounds
+//!    ([`crate::geometry::MAX_COORD`]), interner CSR laws
+//!    ([`ResultInterner::from_csr`]), result ids within the interner, cell
+//!    counts against the rebuilt grid, polyomino CSR partition exactness,
+//!    bisector lines strictly increasing and bounded, handle uniqueness —
+//!    all reported as [`Error::Invalid`].
+//!
+//! # Forward compatibility
+//!
+//! The **major** version gates structure: a reader rejects any file whose
+//! major differs from [`MAJOR_VERSION`] with [`Error::BadVersion`] before
+//! reading anything else. The **minor** version is informational — minors
+//! may only add flag bits and section ids, and since this reader rejects
+//! unknown flags and unexpected section lists, a file *using* such an
+//! addition is still rejected (as [`Error::Invalid`]) rather than
+//! mis-read. The golden-fixture test pins both: today's bytes must load
+//! forever under major 1, and a major-2 header must fail with a version
+//! error.
+
+use crate::diagram::{CellDiagram, MergedDiagram};
+use crate::dynamic::SubcellDiagram;
+use crate::geometry::{CellGrid, CellIndex, Coord, Dataset, Point, PointId, MAX_COORD};
+use crate::index::SkylineIndex;
+use crate::maintained::Handle;
+use crate::result_set::{ResultId, ResultInterner};
+
+/// FNV-1a 64 folded a *word* at a time: the input is split into 8-byte
+/// little-endian words (the trailing partial word zero-padded) and each
+/// word is XOR-folded then multiplied, exactly like byte-wise FNV-1a with
+/// an eighth of the steps. XOR and odd multiplication are both bijections
+/// on `u64`, so any single-bit flip in the input still changes the digest
+/// — the property the corruption suite enforces exhaustively — while the
+/// whole-file validation pass runs at memory speed instead of a byte per
+/// step. Zero-padding the tail is safe because every checksummed region's
+/// length is fixed independently (the header length by the section count,
+/// each payload length by the directory), so two regions of different
+/// lengths are never compared through this digest alone.
+fn fnv64(data: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut words = data.chunks_exact(8);
+    for w in &mut words {
+        h ^= u64::from_le_bytes(w.try_into().expect("chunks_exact(8) yields 8-byte slices"));
+        h = h.wrapping_mul(PRIME);
+    }
+    let rem = words.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h ^= u64::from_le_bytes(tail);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Container magic bytes ("SKyline Diagram Container").
+pub const MAGIC: [u8; 4] = *b"SKDC";
+/// Major format version; readers reject any other major outright.
+pub const MAJOR_VERSION: u16 = 1;
+/// Minor format version; informational (see the module docs).
+pub const MINOR_VERSION: u16 = 0;
+
+const HEADER_LEN: usize = 16;
+const DIR_ENTRY_LEN: usize = 32;
+
+const FLAG_GLOBAL: u32 = 1;
+const FLAG_DYNAMIC: u32 = 1 << 1;
+const FLAG_HANDLES: u32 = 1 << 2;
+const KNOWN_FLAGS: u32 = FLAG_GLOBAL | FLAG_DYNAMIC | FLAG_HANDLES;
+
+const SEC_DATASET: u32 = 1;
+const SEC_QUAD_RESULTS: u32 = 2;
+const SEC_QUAD_CELLS: u32 = 3;
+const SEC_MERGED: u32 = 4;
+const SEC_GLOBAL_RESULTS: u32 = 5;
+const SEC_GLOBAL_CELLS: u32 = 6;
+const SEC_DYN_XLINES: u32 = 7;
+const SEC_DYN_YLINES: u32 = 8;
+const SEC_DYN_RESULTS: u32 = 9;
+const SEC_DYN_CELLS: u32 = 10;
+const SEC_HANDLES: u32 = 11;
+
+/// Typed decoding failures. Corrupt or adversarial input maps to exactly
+/// one of these; the decoder never panics and never reads out of bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Wrong magic bytes: not a skyline snapshot container.
+    BadMagic,
+    /// Unsupported major format version.
+    BadVersion(u16),
+    /// The checksum over header + directory did not match.
+    HeaderChecksumMismatch,
+    /// A section payload's checksum did not match (carries the section id).
+    SectionChecksumMismatch(u32),
+    /// The buffer ended before the declared structure was complete.
+    Truncated,
+    /// Bytes remain after the last declared section.
+    TrailingBytes(usize),
+    /// A structural or semantic invariant failed (message describes which).
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::BadMagic => write!(f, "not a skyline snapshot container"),
+            Error::BadVersion(v) => write!(f, "unsupported container major version {v}"),
+            Error::HeaderChecksumMismatch => write!(f, "header/directory checksum mismatch"),
+            Error::SectionChecksumMismatch(id) => {
+                write!(f, "checksum mismatch in section {id}")
+            }
+            Error::Truncated => write!(f, "truncated container"),
+            Error::TrailingBytes(n) => write!(f, "{n} trailing bytes after the last section"),
+            Error::Invalid(what) => write!(f, "invalid container: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A decoded container: the index plus the serve-layer handle table (empty
+/// when the container was written without one).
+#[derive(Debug, Clone)]
+pub struct LoadedSnapshot {
+    /// The reassembled index, answering queries immediately.
+    pub index: SkylineIndex,
+    /// Per-point serve handles, parallel to the dataset (or empty).
+    pub handles: Vec<Handle>,
+}
+
+/// One directory row, as reported by [`sections`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Section id (see the module-level table).
+    pub id: u32,
+    /// Human-readable section name.
+    pub name: &'static str,
+    /// Absolute payload offset in the container.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub length: u64,
+}
+
+fn section_name(id: u32) -> &'static str {
+    match id {
+        SEC_DATASET => "dataset",
+        SEC_QUAD_RESULTS => "quadrant-results",
+        SEC_QUAD_CELLS => "quadrant-cells",
+        SEC_MERGED => "polyominoes",
+        SEC_GLOBAL_RESULTS => "global-results",
+        SEC_GLOBAL_CELLS => "global-cells",
+        SEC_DYN_XLINES => "dynamic-xlines",
+        SEC_DYN_YLINES => "dynamic-ylines",
+        SEC_DYN_RESULTS => "dynamic-results",
+        SEC_DYN_CELLS => "dynamic-cells",
+        SEC_HANDLES => "handles",
+        _ => "unknown",
+    }
+}
+
+// ---------------------------------------------------------------- encoding
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_dataset(ds: &Dataset) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 16 * ds.len());
+    put_u64(&mut out, ds.len() as u64);
+    for p in ds.points() {
+        put_i64(&mut out, p.x);
+        put_i64(&mut out, p.y);
+    }
+    out
+}
+
+fn encode_interner(results: &ResultInterner) -> Vec<u8> {
+    let ends = results.ends();
+    let flat = results.flat_ids();
+    let mut out = Vec::with_capacity(16 + 4 * (ends.len() + flat.len()));
+    put_u64(&mut out, ends.len() as u64);
+    put_u64(&mut out, flat.len() as u64);
+    for &e in ends {
+        put_u32(&mut out, e);
+    }
+    for &id in flat {
+        put_u32(&mut out, id.0);
+    }
+    out
+}
+
+fn encode_cells(cells: &[ResultId]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 4 * cells.len());
+    put_u64(&mut out, cells.len() as u64);
+    for &rid in cells {
+        put_u32(&mut out, rid.0);
+    }
+    out
+}
+
+fn encode_merged(merged: &MergedDiagram) -> Vec<u8> {
+    let results = merged.polyomino_results();
+    let ends = merged.polyomino_ends();
+    let cells = merged.cells_flat();
+    let map = merged.cell_to_polyomino();
+    let mut out =
+        Vec::with_capacity(24 + 4 * (results.len() + ends.len() + map.len()) + 8 * cells.len());
+    put_u64(&mut out, results.len() as u64);
+    put_u64(&mut out, cells.len() as u64);
+    for &rid in results {
+        put_u32(&mut out, rid.0);
+    }
+    for &e in ends {
+        put_u32(&mut out, e);
+    }
+    for &(i, j) in cells {
+        put_u32(&mut out, i);
+        put_u32(&mut out, j);
+    }
+    put_u64(&mut out, map.len() as u64);
+    for &p in map {
+        put_u32(&mut out, p);
+    }
+    out
+}
+
+fn encode_lines(lines: &[Coord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 8 * lines.len());
+    put_u64(&mut out, lines.len() as u64);
+    for &v in lines {
+        put_i64(&mut out, v);
+    }
+    out
+}
+
+fn encode_handles(handles: &[Handle]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 8 * handles.len());
+    put_u64(&mut out, handles.len() as u64);
+    for &h in handles {
+        put_u64(&mut out, h.0);
+    }
+    out
+}
+
+fn assemble(flags: u32, sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
+    let dir_end = HEADER_LEN + DIR_ENTRY_LEN * sections.len();
+    let payload_total: usize = sections.iter().map(|(_, body)| body.len()).sum();
+    let mut out = Vec::with_capacity(dir_end + 8 + payload_total);
+    out.extend_from_slice(&MAGIC);
+    put_u16(&mut out, MAJOR_VERSION);
+    put_u16(&mut out, MINOR_VERSION);
+    put_u32(&mut out, flags);
+    put_u32(&mut out, sections.len() as u32);
+    let mut offset = (dir_end + 8) as u64;
+    for (id, body) in sections {
+        put_u32(&mut out, *id);
+        put_u32(&mut out, 0);
+        put_u64(&mut out, offset);
+        put_u64(&mut out, body.len() as u64);
+        put_u64(&mut out, fnv64(body));
+        offset += body.len() as u64;
+    }
+    let header_sum = fnv64(&out[..dir_end]);
+    put_u64(&mut out, header_sum);
+    for (_, body) in sections {
+        out.extend_from_slice(body);
+    }
+    out
+}
+
+/// Serializes an index (and, optionally, its serve handle table) into a
+/// container. Pass an empty `handles` slice to omit the handles section;
+/// a non-empty slice must pair one handle per dataset point, in `PointId`
+/// order.
+pub fn encode_index(index: &SkylineIndex, handles: &[Handle]) -> Vec<u8> {
+    let _span = crate::span!("container.encode", index.dataset().len() as u64);
+    crate::counter!("container.encodes").add(1);
+    debug_assert!(
+        handles.is_empty() || handles.len() == index.dataset().len(),
+        "a non-empty handle table pairs one handle per point"
+    );
+    let quadrant = index.quadrant_diagram();
+    let mut flags = 0u32;
+    let mut sections: Vec<(u32, Vec<u8>)> = vec![
+        (SEC_DATASET, encode_dataset(index.dataset())),
+        (SEC_QUAD_RESULTS, encode_interner(quadrant.results())),
+        (SEC_QUAD_CELLS, encode_cells(quadrant.cell_results())),
+        (SEC_MERGED, encode_merged(index.polyominoes())),
+    ];
+    if let Some(global) = index.global_diagram() {
+        flags |= FLAG_GLOBAL;
+        sections.push((SEC_GLOBAL_RESULTS, encode_interner(global.results())));
+        sections.push((SEC_GLOBAL_CELLS, encode_cells(global.cell_results())));
+    }
+    if let Some(dynamic) = index.dynamic_diagram() {
+        flags |= FLAG_DYNAMIC;
+        sections.push((SEC_DYN_XLINES, encode_lines(dynamic.grid().x_lines())));
+        sections.push((SEC_DYN_YLINES, encode_lines(dynamic.grid().y_lines())));
+        sections.push((SEC_DYN_RESULTS, encode_interner(dynamic.results())));
+        sections.push((SEC_DYN_CELLS, encode_cells(dynamic.cell_results())));
+    }
+    if !handles.is_empty() {
+        flags |= FLAG_HANDLES;
+        sections.push((SEC_HANDLES, encode_handles(handles)));
+    }
+    assemble(flags, &sections)
+}
+
+// ---------------------------------------------------------------- decoding
+
+/// Bounds-checked little-endian reader over one section payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(Error::Invalid("section extent overflows the address space"))?;
+        if end > self.buf.len() {
+            return Err(Error::Invalid(
+                "section payload shorter than its encoded counts",
+            ));
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, Error> {
+        let bytes: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .expect("take(4) returns exactly four bytes");
+        Ok(u32::from_le_bytes(bytes))
+    }
+
+    fn u64(&mut self) -> Result<u64, Error> {
+        let bytes: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .expect("take(8) returns exactly eight bytes");
+        Ok(u64::from_le_bytes(bytes))
+    }
+
+    fn i64(&mut self) -> Result<i64, Error> {
+        let bytes: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .expect("take(8) returns exactly eight bytes");
+        Ok(i64::from_le_bytes(bytes))
+    }
+
+    /// Reads a `u64` element count and rejects it unless `count *
+    /// elem_size` fits in the bytes that remain — so corrupt counts can
+    /// never drive an oversized allocation or an overflowing extent.
+    fn count(&mut self, elem_size: usize) -> Result<usize, Error> {
+        let raw = self.u64()?;
+        let remaining = (self.buf.len() - self.pos) as u64;
+        if elem_size == 0 || raw > remaining / elem_size as u64 {
+            return Err(Error::Invalid("element count exceeds section length"));
+        }
+        Ok(raw as usize)
+    }
+
+    fn finish(self) -> Result<(), Error> {
+        if self.pos != self.buf.len() {
+            return Err(Error::Invalid(
+                "section payload longer than its encoded counts",
+            ));
+        }
+        Ok(())
+    }
+}
+
+struct DirEntry {
+    id: u32,
+    offset: u64,
+    length: u64,
+}
+
+/// Validates steps 1–4 of the decode order (see the module docs) and
+/// returns the flags plus the directory with per-section payload ranges.
+fn validate_envelope(bytes: &[u8]) -> Result<(u32, Vec<DirEntry>), Error> {
+    if bytes.len() < HEADER_LEN {
+        return Err(Error::Truncated);
+    }
+    if bytes[..4] != MAGIC {
+        return Err(Error::BadMagic);
+    }
+    let word = |at: usize| -> u32 {
+        let b: [u8; 4] = bytes[at..at + 4]
+            .try_into()
+            .expect("header offsets are in bounds after the length check");
+        u32::from_le_bytes(b)
+    };
+    let major = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if major != MAJOR_VERSION {
+        return Err(Error::BadVersion(major));
+    }
+    let flags = word(8);
+    let count = word(12) as usize;
+    let dir_end = count
+        .checked_mul(DIR_ENTRY_LEN)
+        .and_then(|n| n.checked_add(HEADER_LEN))
+        .ok_or(Error::Truncated)?;
+    let payload_start = dir_end.checked_add(8).ok_or(Error::Truncated)?;
+    if bytes.len() < payload_start {
+        return Err(Error::Truncated);
+    }
+    let stored_sum = u64::from_le_bytes(
+        bytes[dir_end..payload_start]
+            .try_into()
+            .expect("the header checksum word is in bounds after the length check"),
+    );
+    if fnv64(&bytes[..dir_end]) != stored_sum {
+        return Err(Error::HeaderChecksumMismatch);
+    }
+    let mut dir = Vec::with_capacity(count);
+    let mut expected_offset = payload_start as u64;
+    for k in 0..count {
+        let at = HEADER_LEN + k * DIR_ENTRY_LEN;
+        let mut c = Cursor::new(&bytes[at..at + DIR_ENTRY_LEN]);
+        let id = c.u32().expect("directory entries are 32 bytes");
+        let reserved = c.u32().expect("directory entries are 32 bytes");
+        let offset = c.u64().expect("directory entries are 32 bytes");
+        let length = c.u64().expect("directory entries are 32 bytes");
+        if reserved != 0 {
+            return Err(Error::Invalid("reserved directory bytes must be zero"));
+        }
+        if let Some(&DirEntry { id: prev, .. }) = dir.last() {
+            if id <= prev {
+                return Err(Error::Invalid("section ids must be strictly increasing"));
+            }
+        }
+        if offset != expected_offset {
+            return Err(Error::Invalid(
+                "section offsets must be contiguous (no gaps or overlaps)",
+            ));
+        }
+        expected_offset = offset
+            .checked_add(length)
+            .ok_or(Error::Invalid("section extent overflows the address space"))?;
+        dir.push(DirEntry { id, offset, length });
+    }
+    let total = expected_offset;
+    if (bytes.len() as u64) < total {
+        return Err(Error::Truncated);
+    }
+    if (bytes.len() as u64) > total {
+        return Err(Error::TrailingBytes(bytes.len() - total as usize));
+    }
+    for (k, entry) in dir.iter().enumerate() {
+        let at = HEADER_LEN + k * DIR_ENTRY_LEN + 24;
+        let stored = u64::from_le_bytes(
+            bytes[at..at + 8]
+                .try_into()
+                .expect("directory checksum words are in bounds"),
+        );
+        let body = &bytes[entry.offset as usize..(entry.offset + entry.length) as usize];
+        if fnv64(body) != stored {
+            return Err(Error::SectionChecksumMismatch(entry.id));
+        }
+    }
+    Ok((flags, dir))
+}
+
+/// Lists the sections of a container after envelope validation (header,
+/// version, both checksum layers, directory shape) — the `skydiag`
+/// inspection path. Does **not** perform the semantic validation of
+/// [`decode_index`].
+pub fn sections(bytes: &[u8]) -> Result<Vec<SectionInfo>, Error> {
+    let (_, dir) = validate_envelope(bytes)?;
+    Ok(dir
+        .iter()
+        .map(|e| SectionInfo {
+            id: e.id,
+            name: section_name(e.id),
+            offset: e.offset,
+            length: e.length,
+        })
+        .collect())
+}
+
+fn decode_dataset(buf: &[u8]) -> Result<Dataset, Error> {
+    let mut c = Cursor::new(buf);
+    let n = c.count(16)?;
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x = c.i64()?;
+        let y = c.i64()?;
+        points.push(Point::new(x, y));
+    }
+    c.finish()?;
+    Dataset::new(points)
+        .map_err(|_| Error::Invalid("dataset rejected: empty or coordinate overflow"))
+}
+
+fn decode_interner(buf: &[u8], n_points: usize) -> Result<ResultInterner, Error> {
+    let mut c = Cursor::new(buf);
+    let sets = c.count(4)?;
+    let total = c.u64()?;
+    let mut ends = Vec::with_capacity(sets);
+    for _ in 0..sets {
+        ends.push(c.u32()?);
+    }
+    let remaining = (buf.len() - c.pos) as u64;
+    if total > remaining / 4 {
+        return Err(Error::Invalid("element count exceeds section length"));
+    }
+    let total = total as usize;
+    let mut flat = Vec::with_capacity(total);
+    for _ in 0..total {
+        let id = c.u32()?;
+        if id as usize >= n_points {
+            return Err(Error::Invalid("result id exceeds the dataset size"));
+        }
+        flat.push(PointId(id));
+    }
+    c.finish()?;
+    // The read-only constructor: full structural validation, but no intern
+    // lookup table — a loaded interner is never interned into, and skipping
+    // the table rebuild keeps the cold-start E14 gate an order of magnitude
+    // ahead of a rebuild.
+    ResultInterner::from_csr_readonly(flat, ends).map_err(Error::Invalid)
+}
+
+fn decode_cells(buf: &[u8], expected: usize, interner_len: usize) -> Result<Vec<ResultId>, Error> {
+    let mut c = Cursor::new(buf);
+    let count = c.count(4)?;
+    if count != expected {
+        return Err(Error::Invalid(
+            "cell count does not match the rebuilt grid shape",
+        ));
+    }
+    let mut cells = Vec::with_capacity(count);
+    for _ in 0..count {
+        let rid = c.u32()?;
+        if rid as usize >= interner_len {
+            return Err(Error::Invalid("cell references an uninterned result id"));
+        }
+        cells.push(ResultId(rid));
+    }
+    c.finish()?;
+    Ok(cells)
+}
+
+fn decode_merged(buf: &[u8], quadrant: &CellDiagram) -> Result<MergedDiagram, Error> {
+    let grid = quadrant.grid();
+    let cell_count = grid.cell_count();
+    let (nx, ny) = (grid.x_lines().len() as u32, grid.y_lines().len() as u32);
+    let mut c = Cursor::new(buf);
+    let polys = c.count(4)?;
+    if polys == 0 {
+        return Err(Error::Invalid("a diagram has at least one polyomino"));
+    }
+    let cells_total = c.u64()?;
+    if cells_total as usize != cell_count {
+        return Err(Error::Invalid(
+            "polyomino cells must partition the grid exactly",
+        ));
+    }
+    let mut results = Vec::with_capacity(polys);
+    for _ in 0..polys {
+        let rid = c.u32()?;
+        if rid as usize >= quadrant.results().len() {
+            return Err(Error::Invalid(
+                "polyomino references an uninterned result id",
+            ));
+        }
+        results.push(ResultId(rid));
+    }
+    let mut ends = Vec::with_capacity(polys);
+    let mut prev = 0u32;
+    for k in 0..polys {
+        let e = c.u32()?;
+        // Strictly increasing with ends[0] >= 1: no empty polyominoes.
+        let increasing = if k == 0 { e >= 1 } else { e > prev };
+        if !increasing {
+            return Err(Error::Invalid(
+                "polyomino end offsets must be strictly increasing",
+            ));
+        }
+        ends.push(e);
+        prev = e;
+    }
+    if ends.last().copied() != Some(cells_total as u32) {
+        return Err(Error::Invalid(
+            "polyomino end offsets must cover the cell arena exactly",
+        ));
+    }
+    let cells_total = cells_total as usize;
+    let mut cells_flat: Vec<CellIndex> = Vec::with_capacity(cells_total);
+    for _ in 0..cells_total {
+        let i = c.u32()?;
+        let j = c.u32()?;
+        if i > nx || j > ny {
+            return Err(Error::Invalid("polyomino member cell outside the grid"));
+        }
+        cells_flat.push((i, j));
+    }
+    let map_len = c.count(4)?;
+    if map_len != cell_count {
+        return Err(Error::Invalid(
+            "cell-to-polyomino map must cover every cell",
+        ));
+    }
+    let mut map = Vec::with_capacity(map_len);
+    for _ in 0..map_len {
+        let p = c.u32()?;
+        if p as usize >= polys {
+            return Err(Error::Invalid(
+                "cell-to-polyomino map references a missing polyomino",
+            ));
+        }
+        map.push(p);
+    }
+    c.finish()?;
+    // Partition exactness: polyomino k must own exactly the cells the
+    // inverse map assigns to it — one O(cells) pass closes the loop.
+    let mut start = 0usize;
+    for (k, &end) in ends.iter().enumerate() {
+        for &cell in &cells_flat[start..end as usize] {
+            if map[grid.linear_index(cell)] as usize != k {
+                return Err(Error::Invalid(
+                    "polyomino membership disagrees with the cell-to-polyomino map",
+                ));
+            }
+        }
+        start = end as usize;
+    }
+    Ok(MergedDiagram::from_csr(results, ends, cells_flat, map))
+}
+
+fn decode_lines(buf: &[u8]) -> Result<Vec<Coord>, Error> {
+    let mut c = Cursor::new(buf);
+    let count = c.count(8)?;
+    let mut lines = Vec::with_capacity(count);
+    for _ in 0..count {
+        let v = c.i64()?;
+        if v.abs() > 2 * MAX_COORD {
+            return Err(Error::Invalid("bisector line outside the doubled domain"));
+        }
+        if lines.last().is_some_and(|&prev| v <= prev) {
+            return Err(Error::Invalid("bisector lines must be strictly increasing"));
+        }
+        lines.push(v);
+    }
+    c.finish()?;
+    Ok(lines)
+}
+
+fn decode_handles(buf: &[u8], n_points: usize) -> Result<Vec<Handle>, Error> {
+    let mut c = Cursor::new(buf);
+    let count = c.count(8)?;
+    if count != n_points {
+        return Err(Error::Invalid("handle count must match the dataset size"));
+    }
+    let mut handles = Vec::with_capacity(count);
+    for _ in 0..count {
+        handles.push(Handle(c.u64()?));
+    }
+    c.finish()?;
+    let mut sorted = handles.clone();
+    sorted.sort_unstable();
+    if sorted.windows(2).any(|w| w[0] == w[1]) {
+        return Err(Error::Invalid("handles must be unique"));
+    }
+    Ok(handles)
+}
+
+/// Decodes a container produced by [`encode_index`], revalidating every
+/// layer (see the module docs for the exact order). On success the
+/// returned index answers queries immediately — no diagram is rebuilt,
+/// only the `O(n log n)` cell grid is re-derived from the dataset.
+pub fn decode_index(bytes: &[u8]) -> Result<LoadedSnapshot, Error> {
+    let _span = crate::span!("container.decode", bytes.len() as u64);
+    crate::counter!("container.decodes").add(1);
+    let (flags, dir) = validate_envelope(bytes)?;
+    if flags & !KNOWN_FLAGS != 0 {
+        return Err(Error::Invalid("unknown flag bits set"));
+    }
+    let mut expected = vec![SEC_DATASET, SEC_QUAD_RESULTS, SEC_QUAD_CELLS, SEC_MERGED];
+    if flags & FLAG_GLOBAL != 0 {
+        expected.extend([SEC_GLOBAL_RESULTS, SEC_GLOBAL_CELLS]);
+    }
+    if flags & FLAG_DYNAMIC != 0 {
+        expected.extend([
+            SEC_DYN_XLINES,
+            SEC_DYN_YLINES,
+            SEC_DYN_RESULTS,
+            SEC_DYN_CELLS,
+        ]);
+    }
+    if flags & FLAG_HANDLES != 0 {
+        expected.push(SEC_HANDLES);
+    }
+    let actual: Vec<u32> = dir.iter().map(|e| e.id).collect();
+    if actual != expected {
+        return Err(Error::Invalid(
+            "section list does not match the header flags",
+        ));
+    }
+    let payload = |id: u32| -> &[u8] {
+        dir.iter()
+            .find(|e| e.id == id)
+            .map(|e| &bytes[e.offset as usize..(e.offset + e.length) as usize])
+            .expect("section presence was validated against the flags")
+    };
+
+    let dataset = decode_dataset(payload(SEC_DATASET))?;
+    let n = dataset.len();
+    let grid = CellGrid::new(&dataset);
+
+    let quad_results = decode_interner(payload(SEC_QUAD_RESULTS), n)?;
+    let quad_cells = decode_cells(
+        payload(SEC_QUAD_CELLS),
+        grid.cell_count(),
+        quad_results.len(),
+    )?;
+    let quadrant = CellDiagram::from_parts(grid.clone(), quad_results, quad_cells);
+    let merged = decode_merged(payload(SEC_MERGED), &quadrant)?;
+
+    let global = if flags & FLAG_GLOBAL != 0 {
+        let results = decode_interner(payload(SEC_GLOBAL_RESULTS), n)?;
+        let cells = decode_cells(payload(SEC_GLOBAL_CELLS), grid.cell_count(), results.len())?;
+        Some(CellDiagram::from_parts(grid, results, cells))
+    } else {
+        None
+    };
+
+    let dynamic = if flags & FLAG_DYNAMIC != 0 {
+        let xlines = decode_lines(payload(SEC_DYN_XLINES))?;
+        let ylines = decode_lines(payload(SEC_DYN_YLINES))?;
+        let results = decode_interner(payload(SEC_DYN_RESULTS), n)?;
+        let subcells = (xlines.len() + 1)
+            .checked_mul(ylines.len() + 1)
+            .ok_or(Error::Invalid("subcell count overflows the address space"))?;
+        let cells = decode_cells(payload(SEC_DYN_CELLS), subcells, results.len())?;
+        Some(SubcellDiagram::from_lines(xlines, ylines, results, cells))
+    } else {
+        None
+    };
+
+    let handles = if flags & FLAG_HANDLES != 0 {
+        decode_handles(payload(SEC_HANDLES), n)?
+    } else {
+        Vec::new()
+    };
+
+    let index = SkylineIndex::from_loaded_parts(dataset, quadrant, merged, global, dynamic);
+    Ok(LoadedSnapshot { index, handles })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hotel_index(global: bool, dynamic: bool) -> SkylineIndex {
+        let ds = crate::test_data::hotel_dataset();
+        SkylineIndex::builder()
+            .with_global(global)
+            .with_dynamic(dynamic)
+            .build(&ds)
+    }
+
+    fn handles_for(index: &SkylineIndex) -> Vec<Handle> {
+        (0..index.dataset().len() as u64).map(Handle).collect()
+    }
+
+    #[test]
+    fn roundtrip_quadrant_only() {
+        let index = hotel_index(false, false);
+        let bytes = encode_index(&index, &[]);
+        let loaded = decode_index(&bytes).unwrap();
+        assert!(loaded
+            .index
+            .quadrant_diagram()
+            .same_results(index.quadrant_diagram()));
+        assert_eq!(loaded.index.polyominoes().len(), index.polyominoes().len());
+        assert!(loaded.index.global_diagram().is_none());
+        assert!(loaded.index.dynamic_diagram().is_none());
+        assert!(loaded.handles.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_full() {
+        let index = hotel_index(true, true);
+        let handles = handles_for(&index);
+        let bytes = encode_index(&index, &handles);
+        let loaded = decode_index(&bytes).unwrap();
+        assert!(loaded
+            .index
+            .quadrant_diagram()
+            .same_results(index.quadrant_diagram()));
+        assert!(loaded
+            .index
+            .global_diagram()
+            .unwrap()
+            .same_results(index.global_diagram().unwrap()));
+        assert!(loaded
+            .index
+            .dynamic_diagram()
+            .unwrap()
+            .same_results(index.dynamic_diagram().unwrap()));
+        assert_eq!(loaded.handles, handles);
+        // Loaded safe zones answer identically too.
+        let q = crate::geometry::Point::new(14, 81);
+        assert_eq!(loaded.index.safe_zone(q).cells, index.safe_zone(q).cells);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let index = hotel_index(true, true);
+        let handles = handles_for(&index);
+        assert_eq!(
+            encode_index(&index, &handles),
+            encode_index(&index, &handles)
+        );
+    }
+
+    #[test]
+    fn sections_lists_the_directory() {
+        let index = hotel_index(true, false);
+        let bytes = encode_index(&index, &handles_for(&index));
+        let dir = sections(&bytes).unwrap();
+        let ids: Vec<u32> = dir.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5, 6, 11]);
+        assert_eq!(dir[0].name, "dataset");
+        let total: u64 = dir.iter().map(|s| s.length).sum();
+        assert_eq!(dir[0].offset, (HEADER_LEN + 7 * DIR_ENTRY_LEN + 8) as u64);
+        assert_eq!(dir[0].offset + total, bytes.len() as u64);
+    }
+
+    #[test]
+    fn typed_rejections() {
+        let index = hotel_index(false, false);
+        let bytes = encode_index(&index, &[]);
+
+        assert!(matches!(decode_index(&bytes[..8]), Err(Error::Truncated)));
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode_index(&bad), Err(Error::BadMagic)));
+
+        let mut bumped = bytes.clone();
+        bumped[4] = 2; // major = 2
+        assert!(matches!(decode_index(&bumped), Err(Error::BadVersion(2))));
+
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 1;
+        assert!(matches!(
+            decode_index(&flipped),
+            Err(Error::SectionChecksumMismatch(_))
+        ));
+
+        let mut header_flip = bytes.clone();
+        header_flip[9] ^= 0x80; // flags byte: covered by the header checksum
+        assert!(matches!(
+            decode_index(&header_flip),
+            Err(Error::HeaderChecksumMismatch)
+        ));
+
+        let mut junk = bytes.clone();
+        junk.extend_from_slice(&[0xAB; 3]);
+        assert!(matches!(decode_index(&junk), Err(Error::TrailingBytes(3))));
+
+        assert!(decode_index(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn error_display_is_stable() {
+        assert_eq!(
+            Error::BadMagic.to_string(),
+            "not a skyline snapshot container"
+        );
+        assert_eq!(
+            Error::BadVersion(7).to_string(),
+            "unsupported container major version 7"
+        );
+        assert_eq!(
+            Error::SectionChecksumMismatch(3).to_string(),
+            "checksum mismatch in section 3"
+        );
+        assert_eq!(
+            Error::TrailingBytes(2).to_string(),
+            "2 trailing bytes after the last section"
+        );
+        assert!(Error::Invalid("x")
+            .to_string()
+            .contains("invalid container"));
+        // The error type integrates with std error handling.
+        let boxed: Box<dyn std::error::Error> = Box::new(Error::Truncated);
+        assert!(!boxed.to_string().is_empty());
+    }
+
+    #[test]
+    fn degenerate_datasets_roundtrip() {
+        for coords in [
+            vec![(5, 5)],                         // n = 1
+            vec![(3, 3), (3, 3), (3, 3)],         // duplicates
+            vec![(1, 7), (2, 7), (3, 7), (4, 7)], // collinear
+        ] {
+            let ds = Dataset::from_coords(coords).unwrap();
+            let index = SkylineIndex::builder()
+                .with_global(true)
+                .with_dynamic(true)
+                .build(&ds);
+            let loaded = decode_index(&encode_index(&index, &[])).unwrap();
+            assert!(loaded
+                .index
+                .quadrant_diagram()
+                .same_results(index.quadrant_diagram()));
+            assert!(loaded
+                .index
+                .dynamic_diagram()
+                .unwrap()
+                .same_results(index.dynamic_diagram().unwrap()));
+        }
+    }
+}

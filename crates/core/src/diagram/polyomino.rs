@@ -161,6 +161,25 @@ impl MergedDiagram {
         &self.cell_to_polyomino
     }
 
+    /// Per-polyomino interned results — the CSR arena written verbatim into
+    /// snapshot containers (`crate::container`).
+    #[inline]
+    pub fn polyomino_results(&self) -> &[ResultId] {
+        &self.results
+    }
+
+    /// Exclusive per-polyomino end offsets into [`cells_flat`](Self::cells_flat).
+    #[inline]
+    pub fn polyomino_ends(&self) -> &[u32] {
+        &self.ends
+    }
+
+    /// The flat member-cell arena, grouped by polyomino.
+    #[inline]
+    pub fn cells_flat(&self) -> &[CellIndex] {
+        &self.cells_flat
+    }
+
     /// All polyominoes whose result contains the given point — the
     /// *influence region* of `p`: the set of query locations for which `p`
     /// is a skyline answer. Resolution goes through the owning diagram's

@@ -145,6 +145,26 @@ impl SkylineIndex {
         SkylineIndexBuilder::default()
     }
 
+    /// Reassembles an index from parts decoded out of a snapshot container
+    /// (`crate::container`). No diagram construction happens here — the
+    /// container decoder has already bounds-checked and cross-validated
+    /// every part against `dataset`.
+    pub(crate) fn from_loaded_parts(
+        dataset: Dataset,
+        quadrant: CellDiagram,
+        merged: MergedDiagram,
+        global: Option<CellDiagram>,
+        dynamic: Option<SubcellDiagram>,
+    ) -> Self {
+        SkylineIndex {
+            dataset,
+            quadrant,
+            merged,
+            global,
+            dynamic,
+        }
+    }
+
     /// Builds with defaults: quadrant diagram + polyominoes only.
     pub fn new(dataset: &Dataset) -> Self {
         SkylineIndexBuilder::default().build(dataset)

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod container;
 pub mod diagram;
 pub mod dominance;
 pub mod dsg;

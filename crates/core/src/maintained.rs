@@ -62,6 +62,41 @@ impl MaintainedIndex {
         }
     }
 
+    /// Restores an index from a decoded snapshot (`crate::container`): the
+    /// live point set and its handle assignment are adopted verbatim, so
+    /// handles stay stable across a save/load cycle. Handles must be
+    /// unique; fresh handles continue after the largest restored one. The
+    /// diagram is *not* built here — cold-start callers publish the decoded
+    /// diagram directly and let the first mutation pay the rebuild.
+    pub fn restore(
+        engine: QuadrantEngine,
+        points: impl IntoIterator<Item = (Handle, Point)>,
+    ) -> Result<Self, &'static str> {
+        let points: Vec<(Handle, Point)> = points.into_iter().collect();
+        let mut seen: Vec<Handle> = points.iter().map(|&(h, _)| h).collect();
+        seen.sort_unstable();
+        if seen.windows(2).any(|w| w[0] == w[1]) {
+            return Err("restored handles must be unique");
+        }
+        let next_handle = match seen.last() {
+            Some(h) => {
+                h.0.checked_add(1)
+                    .ok_or("restored handle space is exhausted")?
+            }
+            None => 0,
+        };
+        Ok(MaintainedIndex {
+            engine,
+            points,
+            next_handle,
+            built: None,
+            pending_inserts: Vec::new(),
+            pending_removes: std::collections::HashSet::new(),
+            dirt: 0,
+            rebuild_threshold: 32,
+        })
+    }
+
     /// Number of live points.
     pub fn len(&self) -> usize {
         self.points.len()

@@ -181,6 +181,97 @@ impl ResultInterner {
     pub fn total_ids(&self) -> usize {
         self.flat.len()
     }
+
+    /// The CSR end-offset array: result `k` occupies
+    /// `flat_ids()[ends()[k-1]..ends()[k]]` (with `ends[-1] = 0`). Written
+    /// verbatim into snapshot containers (`crate::container`).
+    #[inline]
+    pub fn ends(&self) -> &[u32] {
+        &self.ends
+    }
+
+    /// The flat arena of concatenated result ids, in interning order.
+    #[inline]
+    pub fn flat_ids(&self) -> &[PointId] {
+        &self.flat
+    }
+
+    /// Reassembles an interner directly from its CSR arrays — the zero-copy
+    /// load path of `crate::container`: the arrays are *moved* into place
+    /// after one validation scan, with no per-result re-interning.
+    ///
+    /// Validates everything [`intern_slice`](Self::intern_slice) guarantees
+    /// by construction: the empty result first (id 0), non-decreasing end
+    /// offsets covering `flat` exactly, every run strictly sorted, and no
+    /// two runs equal. The lookup table is rebuilt so subsequent interning
+    /// against the loaded arena stays deduplicating.
+    pub fn from_csr(flat: Vec<PointId>, ends: Vec<u32>) -> Result<Self, &'static str> {
+        Self::validate_csr(&flat, &ends)?;
+        let mut lookup: HashMap<u64, Vec<ResultId>> = HashMap::with_capacity(ends.len());
+        let mut start = 0usize;
+        for (k, &end) in ends.iter().enumerate() {
+            let run = &flat[start..end as usize];
+            let rid = ResultId(k as u32);
+            let bucket = lookup.entry(fnv1a(run)).or_default();
+            for &prev in bucket.iter() {
+                let pk = prev.0 as usize;
+                let ps = if pk == 0 { 0 } else { ends[pk - 1] as usize };
+                if &flat[ps..ends[pk] as usize] == run {
+                    return Err("duplicate result set in arena");
+                }
+            }
+            bucket.push(rid);
+            start = end as usize;
+        }
+        Ok(ResultInterner { flat, ends, lookup })
+    }
+
+    /// Adopts checksum-validated CSR arrays *without* rebuilding the intern
+    /// lookup table: the same structural validation as [`Self::from_csr`]
+    /// (CSR laws, strict per-run sortedness) but no duplicate-set scan and
+    /// an empty lookup. The snapshot-container decoder is the only caller —
+    /// a loaded interner is read-only (server mutations rebuild diagrams
+    /// into fresh interners via [`Self::intern_slice`]), so the lookup is
+    /// never consulted, and skipping its reconstruction is most of what
+    /// makes a cold start an order of magnitude faster than a rebuild
+    /// (experiment E14).
+    pub(crate) fn from_csr_readonly(
+        flat: Vec<PointId>,
+        ends: Vec<u32>,
+    ) -> Result<Self, &'static str> {
+        Self::validate_csr(&flat, &ends)?;
+        Ok(ResultInterner {
+            flat,
+            ends,
+            lookup: HashMap::new(),
+        })
+    }
+
+    /// The structural CSR laws shared by [`Self::from_csr`] and
+    /// [`Self::from_csr_readonly`]; duplicate detection is separate because
+    /// only the deduplicating constructor needs the hash buckets.
+    fn validate_csr(flat: &[PointId], ends: &[u32]) -> Result<(), &'static str> {
+        if ends.first() != Some(&0) {
+            return Err("the empty result must be interned first (ends[0] == 0)");
+        }
+        if u32::try_from(flat.len()).is_err() {
+            return Err("id arena exceeds the u32 offset range");
+        }
+        if ends.windows(2).any(|w| w[0] > w[1]) {
+            return Err("end offsets must be non-decreasing");
+        }
+        if ends.last().map(|&e| e as usize) != Some(flat.len()) {
+            return Err("end offsets must cover the id arena exactly");
+        }
+        let mut start = 0usize;
+        for &end in ends {
+            if flat[start..end as usize].windows(2).any(|w| w[0] >= w[1]) {
+                return Err("each result run must be strictly sorted");
+            }
+            start = end as usize;
+        }
+        Ok(())
+    }
 }
 
 /// The clamped multiset expression of the paper's Theorem 1:

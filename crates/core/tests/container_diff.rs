@@ -1,0 +1,257 @@
+//! Differential suite for the snapshot container: save → load → answer must
+//! be *bit-identical* to the freshly built index — same quadrant, global,
+//! and dynamic diagrams, same polyomino decomposition, same workload
+//! checksum over a deterministic probe grid — and the container bytes
+//! themselves must be identical across `SKYLINE_THREADS` settings (CI runs
+//! this file under the {0, 1, 4} matrix; the thread-sweep test below also
+//! pins the three configurations explicitly in-process via
+//! [`ParallelConfig::with_threads`]). Degenerate datasets — duplicate
+//! coordinates, collinear points, `n = 1` — are covered both directly and
+//! via proptest.
+
+use proptest::prelude::*;
+
+use skyline_core::container::{decode_index, encode_index};
+use skyline_core::dynamic::DynamicEngine;
+use skyline_core::geometry::{Dataset, Point};
+use skyline_core::index::SkylineIndex;
+use skyline_core::maintained::Handle;
+use skyline_core::parallel::ParallelConfig;
+use skyline_core::quadrant::QuadrantEngine;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn mix(h: &mut u64, v: u64) {
+    *h ^= v;
+    *h = h.wrapping_mul(FNV_PRIME);
+}
+
+/// Folds every query family's answers at a deterministic lattice of probe
+/// points (including off-domain and on-grid-line positions) into one
+/// checksum. Two indexes answering any probe differently — in content *or*
+/// order — produce different checksums.
+fn workload_checksum(index: &SkylineIndex) -> u64 {
+    let mut h = FNV_OFFSET;
+    for gx in 0..24i64 {
+        for gy in 0..24i64 {
+            let q = Point::new(gx * 23 - 10, gy * 23 - 10);
+            for id in index.quadrant(q) {
+                mix(&mut h, 1 + id.0 as u64);
+            }
+            mix(&mut h, u64::MAX);
+            for id in index.global(q) {
+                mix(&mut h, 1 + id.0 as u64);
+            }
+            mix(&mut h, u64::MAX - 1);
+            for id in index.dynamic(q) {
+                mix(&mut h, 1 + id.0 as u64);
+            }
+            mix(&mut h, u64::MAX - 2);
+            let zone = index.safe_zone(q);
+            mix(&mut h, zone.result.0 as u64);
+            for &(i, j) in zone.cells {
+                mix(&mut h, ((i as u64) << 32) | j as u64);
+            }
+        }
+    }
+    h
+}
+
+/// Non-contiguous handle table, so adoption (not regeneration) is tested.
+fn handles_for(ds: &Dataset) -> Vec<Handle> {
+    (0..ds.len() as u64).map(|i| Handle(i * 3 + 7)).collect()
+}
+
+/// The full differential: build fresh → save → load, then assert the loaded
+/// index is indistinguishable from the fresh one. Returns the container
+/// bytes so callers can compare encodings across configurations.
+fn assert_save_load_is_identity(index: &SkylineIndex) -> Vec<u8> {
+    let handles = handles_for(index.dataset());
+    let bytes = encode_index(index, &handles);
+    let loaded = decode_index(&bytes).expect("fresh container bytes must decode");
+
+    assert_eq!(
+        loaded.handles, handles,
+        "handle table must round-trip verbatim"
+    );
+    assert_eq!(
+        encode_index(&loaded.index, &loaded.handles),
+        bytes,
+        "save → load → save must be bit-identical"
+    );
+
+    let (fresh, cold) = (index, &loaded.index);
+    assert_eq!(
+        fresh.quadrant_diagram().grid().x_lines(),
+        cold.quadrant_diagram().grid().x_lines()
+    );
+    assert_eq!(
+        fresh.quadrant_diagram().grid().y_lines(),
+        cold.quadrant_diagram().grid().y_lines()
+    );
+    assert!(cold
+        .quadrant_diagram()
+        .same_results(fresh.quadrant_diagram()));
+    assert_eq!(
+        cold.polyominoes().polyomino_results(),
+        fresh.polyominoes().polyomino_results()
+    );
+    assert_eq!(
+        cold.polyominoes().polyomino_ends(),
+        fresh.polyominoes().polyomino_ends()
+    );
+    assert_eq!(
+        cold.polyominoes().cells_flat(),
+        fresh.polyominoes().cells_flat()
+    );
+    match (fresh.global_diagram(), cold.global_diagram()) {
+        (None, None) => {}
+        (Some(a), Some(b)) => assert!(b.same_results(a), "global diagrams diverged"),
+        _ => panic!("global diagram presence changed across save/load"),
+    }
+    match (fresh.dynamic_diagram(), cold.dynamic_diagram()) {
+        (None, None) => {}
+        (Some(a), Some(b)) => assert!(b.same_results(a), "dynamic diagrams diverged"),
+        _ => panic!("dynamic diagram presence changed across save/load"),
+    }
+    assert_eq!(
+        workload_checksum(fresh),
+        workload_checksum(cold),
+        "workload checksums diverged between fresh build and container load"
+    );
+    bytes
+}
+
+/// A mixed dataset: skyline staircase, interior dominated points, and
+/// coordinate ties on both axes.
+fn mixed_dataset() -> Dataset {
+    Dataset::from_coords([
+        (1, 90),
+        (10, 70),
+        (25, 40),
+        (40, 25),
+        (70, 10),
+        (90, 1),
+        (50, 50),
+        (50, 70),
+        (70, 50),
+        (10, 40),
+        (25, 90),
+    ])
+    .expect("mixed dataset coordinates are valid")
+}
+
+#[test]
+fn threads_zero_one_four_produce_one_identical_container() {
+    let ds = mixed_dataset();
+    let encodings: Vec<Vec<u8>> = [0usize, 1, 4]
+        .into_iter()
+        .map(|threads| {
+            let index = SkylineIndex::builder()
+                .with_global(true)
+                .with_dynamic(true)
+                .build_with(&ds, &ParallelConfig::with_threads(threads));
+            assert_save_load_is_identity(&index)
+        })
+        .collect();
+    assert_eq!(
+        encodings[0], encodings[1],
+        "threads=0 vs threads=1 encodings differ"
+    );
+    assert_eq!(
+        encodings[0], encodings[2],
+        "threads=0 vs threads=4 encodings differ"
+    );
+}
+
+#[test]
+fn degenerate_datasets_survive_save_load() {
+    let cases: Vec<Vec<(i64, i64)>> = vec![
+        vec![(5, 5)],                         // n = 1
+        vec![(5, 1), (5, 3), (5, 7)],         // duplicate x coordinate
+        vec![(1, 4), (3, 4), (9, 4)],         // duplicate y coordinate
+        vec![(1, 1), (2, 2), (3, 3), (4, 4)], // collinear diagonal
+        vec![(0, 0), (0, 9), (9, 0), (9, 9)], // corners incl. origin
+    ];
+    for coords in cases {
+        let ds = Dataset::from_coords(coords.clone())
+            .expect("degenerate coordinates are still valid datasets");
+        let index = SkylineIndex::builder()
+            .with_global(true)
+            .with_dynamic(true)
+            .build(&ds);
+        assert_save_load_is_identity(&index);
+    }
+}
+
+#[test]
+fn quadrant_only_and_global_only_flag_subsets_round_trip() {
+    let ds = mixed_dataset();
+    let quadrant_only = SkylineIndex::new(&ds);
+    assert_save_load_is_identity(&quadrant_only);
+    let with_global = SkylineIndex::builder().with_global(true).build(&ds);
+    assert_save_load_is_identity(&with_global);
+}
+
+/// Distinct-pair dataset from raw proptest coordinates (as in
+/// `serialize_prop.rs`).
+fn dataset_from(pairs: Vec<(i64, i64)>) -> Option<Dataset> {
+    let mut seen = std::collections::HashSet::new();
+    let coords: Vec<(i64, i64)> = pairs.into_iter().filter(|p| seen.insert(*p)).collect();
+    if coords.is_empty() {
+        None
+    } else {
+        Dataset::from_coords(coords).ok()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random datasets and engines: the loaded index answers every probe
+    /// exactly like the fresh one, and the whole-workload checksum matches.
+    #[test]
+    fn random_datasets_round_trip(
+        pairs in prop::collection::vec((0i64..500, 0i64..500), 1..48),
+        engine_pick in 0usize..8,
+        probes in prop::collection::vec((-10i64..520, -10i64..520), 8),
+    ) {
+        let Some(ds) = dataset_from(pairs) else { return Ok(()) };
+        let engine = QuadrantEngine::ALL[engine_pick % QuadrantEngine::ALL.len()];
+        let index = SkylineIndex::builder()
+            .engine(engine)
+            .with_global(true)
+            .build(&ds);
+        let bytes = assert_save_load_is_identity(&index);
+        let loaded = decode_index(&bytes).expect("bytes just round-tripped");
+        for (x, y) in probes {
+            let q = Point::new(x, y);
+            prop_assert_eq!(loaded.index.quadrant(q), index.quadrant(q), "quadrant at {}", q);
+            prop_assert_eq!(loaded.index.global(q), index.global(q), "global at {}", q);
+        }
+    }
+
+    /// Small random datasets with the dynamic diagram and both dynamic
+    /// engines included.
+    #[test]
+    fn random_dynamic_datasets_round_trip(
+        pairs in prop::collection::vec((0i64..80, 0i64..80), 1..9),
+        scanning in 0usize..2,
+        probes in prop::collection::vec((-4i64..90, -4i64..90), 6),
+    ) {
+        let Some(ds) = dataset_from(pairs) else { return Ok(()) };
+        let engine = if scanning == 0 { DynamicEngine::Scanning } else { DynamicEngine::Subset };
+        let index = SkylineIndex::builder()
+            .dynamic_engine(engine)
+            .with_global(true)
+            .with_dynamic(true)
+            .build(&ds);
+        let bytes = assert_save_load_is_identity(&index);
+        let loaded = decode_index(&bytes).expect("bytes just round-tripped");
+        for (x, y) in probes {
+            let q = Point::new(x, y);
+            prop_assert_eq!(loaded.index.dynamic(q), index.dynamic(q), "dynamic at {}", q);
+        }
+    }
+}

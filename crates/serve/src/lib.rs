@@ -20,6 +20,11 @@
 //!   schedule, measuring latency from *scheduled* arrival — the
 //!   coordinated-omission-safe view of the tail — into per-family log2
 //!   histograms, while folding the identical checksum.
+//! * Snapshots persist: [`Snapshot::to_container`] dumps a published epoch
+//!   into a versioned snapshot container ([`skyline_core::container`]) and
+//!   [`SkylineServer::from_container`] cold-starts a server from those
+//!   bytes without rebuilding any diagram (`skydiag save` / `skydiag
+//!   load`, experiment E14).
 //!
 //! ```
 //! use skyline_core::geometry::{Dataset, Point};

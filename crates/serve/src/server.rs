@@ -142,6 +142,54 @@ impl SkylineServer {
         (server, handles)
     }
 
+    /// Cold-starts a server from a snapshot container
+    /// ([`skyline_core::container`]), published once as epoch 1 **without
+    /// rebuilding any diagram** — the decoded index is published as-is, so
+    /// start-up cost is the container's validated copy instead of the
+    /// `O(n²)` construction (experiment E14 measures the gap). The maintained
+    /// index adopts the container's handle table (or dataset-ordered handles
+    /// `0..n` when the container carries none), so later inserts/removes and
+    /// the rebuilds they trigger behave exactly as on a warm server. The
+    /// returned handles are in dataset order.
+    pub fn from_container(
+        bytes: &[u8],
+        options: ServerOptions,
+    ) -> Result<(Self, Vec<Handle>), skyline_core::container::Error> {
+        let _cold = skyline_core::span!("serve.cold_start", bytes.len() as u64);
+        let loaded = skyline_core::container::decode_index(bytes)?;
+        let handles = if loaded.handles.is_empty() {
+            (0..loaded.index.dataset().len() as u64)
+                .map(Handle)
+                .collect()
+        } else {
+            loaded.handles
+        };
+        let pairs: Vec<(Handle, Point)> = handles
+            .iter()
+            .copied()
+            .zip(loaded.index.dataset().points().iter().copied())
+            .collect();
+        let mut maintained = MaintainedIndex::restore(options.engine, pairs)
+            .map_err(skyline_core::container::Error::Invalid)?;
+        maintained.rebuild_threshold = usize::MAX;
+        let server = SkylineServer {
+            options,
+            writer: Mutex::new(Writer {
+                maintained,
+                publisher: EpochPublisher::new(Snapshot::empty(0)),
+                dirty: 0,
+                refresh_calls: 0,
+            }),
+        };
+        {
+            let mut w = server.lock_writer();
+            let snapshot = Snapshot::new(1, loaded.index, handles.clone(), options.cache_slots);
+            let published = w.publisher.publish(snapshot);
+            debug_assert_eq!(published, 1);
+        }
+        Ok((server, handles))
+    }
+
     fn lock_writer(&self) -> std::sync::MutexGuard<'_, Writer> {
         self.writer
             .lock()
@@ -442,6 +490,41 @@ mod tests {
         assert_eq!(server.refresh(), 1, "third refresh: hook spent");
         // The stall never touches data: answers are those of epoch 1.
         assert!(!server.latest().quadrant(Point::new(1, 1)).is_empty());
+    }
+
+    #[test]
+    fn cold_start_from_container_matches_the_warm_server() {
+        let (warm, handles) =
+            SkylineServer::with_dataset(&small_dataset(), ServerOptions::default());
+        let bytes = warm
+            .latest()
+            .to_container()
+            .expect("a populated snapshot serializes");
+        let (cold, cold_handles) =
+            SkylineServer::from_container(&bytes, ServerOptions::default()).unwrap();
+        assert_eq!(cold.epoch(), 1);
+        assert_eq!(cold_handles, handles);
+        let q = Point::new(1, 1);
+        assert_eq!(cold.latest().quadrant(q), warm.latest().quadrant(q));
+        // Mutations after a cold start behave exactly like a warm server:
+        // fresh handles continue past the restored ones, and the rebuild
+        // triggered by the next publication sees the restored points.
+        let h = cold.insert(Point::new(2, 2));
+        assert!(h > *cold_handles.last().unwrap());
+        cold.refresh();
+        assert_eq!(cold.latest().quadrant(q).as_ref(), &[h]);
+        assert!(cold.remove(h));
+        cold.refresh();
+        assert_eq!(cold.latest().quadrant(q), warm.latest().quadrant(q));
+    }
+
+    #[test]
+    fn cold_start_rejects_corrupt_bytes() {
+        let (warm, _) = SkylineServer::with_dataset(&small_dataset(), ServerOptions::default());
+        let mut bytes = warm.latest().to_container().unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        assert!(SkylineServer::from_container(&bytes, ServerOptions::default()).is_err());
     }
 
     #[test]

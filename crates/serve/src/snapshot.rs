@@ -209,6 +209,18 @@ impl Snapshot {
         })
     }
 
+    /// Serializes this epoch into a snapshot container
+    /// ([`skyline_core::container`]): the bytes cold-start a server via
+    /// [`SkylineServer::from_container`](crate::SkylineServer::from_container)
+    /// without rebuilding any diagram, and round-trip the handle table so
+    /// answers stay in the same stable handle space. `None` for the empty
+    /// snapshot (there is nothing to persist).
+    pub fn to_container(&self) -> Option<Vec<u8>> {
+        self.body
+            .as_ref()
+            .map(|b| skyline_core::container::encode_index(&b.index, &b.handles))
+    }
+
     /// Aggregated hit/miss counters over this snapshot's caches. All zero
     /// when caching is disabled (fallback-path answers bypass the caches
     /// and are not counted).

@@ -42,6 +42,7 @@ const READ_PATH_SCOPE: &[&str] = &[
 /// construction — its loop walks are per-polyomino output geometry with
 /// genuinely jagged shape, not cell storage.
 const ARENA_SCOPE: &[&str] = &[
+    "crates/core/src/container.rs",
     "crates/core/src/result_set.rs",
     "crates/core/src/diagram/cell_diagram.rs",
     "crates/core/src/diagram/diff.rs",
