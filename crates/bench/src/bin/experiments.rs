@@ -1,5 +1,5 @@
 //! Regenerates every table/figure of the reconstructed evaluation (DESIGN.md
-//! experiments E1–E14) and prints them as Markdown. Run with:
+//! experiments E1–E15) and prints them as Markdown. Run with:
 //!
 //! ```text
 //! cargo run -p skyline-bench --release --bin experiments             # all
@@ -10,6 +10,8 @@
 //!     e13 --profile smoke --json BENCH_PR6.json --gate              # SLO gate
 //! cargo run -p skyline-bench --release --bin experiments -- \
 //!     e14 --profile smoke --json BENCH_PR9.json --gate              # cold start
+//! cargo run -p skyline-bench --release --bin experiments -- \
+//!     e15 --profile smoke --json BENCH_PR10.json --gate             # memory
 //! ```
 
 use rand::rngs::StdRng;
@@ -32,7 +34,7 @@ use skyline_data::Distribution;
 const USAGE: &str = "\
 Usage: experiments [EXPERIMENT...] [--profile smoke|full] [--json PATH] [--gate]
 
-  EXPERIMENT       any of e1..e14 (default: run all experiments)
+  EXPERIMENT       any of e1..e15 (default: run all experiments)
   --profile NAME   dataset sizes for e11/e12/e13/e14: 'full' (default) or
                    'smoke' (CI-sized)
   --json PATH      write the machine-readable bench records collected this run
@@ -42,8 +44,10 @@ Usage: experiments [EXPERIMENT...] [--profile smoke|full] [--json PATH] [--gate]
                    regression guard (e11/e12/e13), the telemetry overhead
                    guard (--telemetry), and the E13 open-loop SLO bounds
                    (lanes = 0 rows vs the committed per-family p99/p999
-                   budgets), and the E14 cold-start floor (container load
-                   must beat rebuild-from-points by 10x at n >= 400)
+                   budgets), the E14 cold-start floor (container load
+                   must beat rebuild-from-points by 10x at n >= 400), and the
+                   E15 memory guards (t=4 peak bytes within 1.25x of t=0,
+                   retained bytes-per-cell under the absolute budget)
   --gate-ratio X   override the parallel regression ratio (default 1.25);
                    mainly a testing aid for the gate pipeline itself
   --gate-floor-ms X  absolute-time floor for the regression and efficiency
@@ -98,6 +102,36 @@ const TELEMETRY_OVERHEAD_SLACK_MS: f64 = 0.5;
 /// construction it skips by an order of magnitude.
 const COLD_START_RATIO: f64 = 10.0;
 
+/// Allowed growth of a t=4 build's peak-bytes delta over the t=0 build of
+/// the same E15 configuration (same host, same invocation): parallel
+/// workers hold per-band scratch, but the arena outputs dominate, so the
+/// working-set peak must stay near sequential.
+const MEM_PEAK_RATIO: f64 = 1.25;
+
+/// The global family's own peak bound: its *parallel formulation* is a
+/// different algorithm, not the sequential one fanned out — every row's
+/// 4-way union materializes as run-length `BitRuns` before the
+/// sequential interning pass, an inherent `O(cells)` staging buffer the
+/// streaming sequential path never holds. Measured 1.28x at n = 800
+/// (1.15x at n = 400); the bound leaves regression headroom above that
+/// without letting a second staging copy slip in.
+const MEM_PEAK_RATIO_GLOBAL: f64 = 1.6;
+
+/// Peak-comparison floor for the E15 guard: pairs whose peak deltas are
+/// both under this many bytes measure allocator noise (thread-spawn
+/// scratch, registry nodes), not the diagram working set.
+const MEM_PEAK_FLOOR_BYTES: u64 = 1 << 20;
+
+/// Absolute E15 budget on retained arena bytes per diagram cell
+/// (`heap_bytes() / cells`). The measured worst case is the global
+/// diagram at ~90 B/cell (n = 800; the global interner rides on top of
+/// the shared cell table); quadrant sits near 33 and dynamic subcells
+/// under 12. The
+/// budget sits well above so real regressions (a nested `Vec` per cell,
+/// an un-shrunk scratch buffer) trip it while allocator rounding does
+/// not.
+const MEM_BYTES_PER_CELL_BUDGET: f64 = 128.0;
+
 /// Dataset sizes for the E11 sweep: `Full` reproduces the committed
 /// `BENCH_PR3.json`; `Smoke` is small enough for a per-push CI job.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -120,8 +154,8 @@ struct Options {
     telemetry: bool,
 }
 
-const EXPERIMENT_NAMES: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+const EXPERIMENT_NAMES: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 impl Options {
@@ -242,6 +276,9 @@ fn main() {
     if want("e14") {
         records.extend(e14_cold_start(opts.profile));
     }
+    if want("e15") {
+        records.extend(e15_memory(opts.profile));
+    }
     let overhead_violations = if opts.telemetry && (want("e11") || want("e12") || want("e13")) {
         telemetry_overhead(opts.profile)
     } else {
@@ -291,6 +328,17 @@ fn main() {
             match gate_slos(&records, opts.slo_scale) {
                 Ok(checked) => {
                     eprintln!("gate: {checked} open-loop SLO bounds honored on lanes = 0 rows");
+                }
+                Err(violations) => failures.extend(violations),
+            }
+        }
+        if want("e15") {
+            match gate_memory(&records) {
+                Ok(checked) => {
+                    eprintln!(
+                        "gate: {checked} memory bounds honored (peak within {MEM_PEAK_RATIO}x, \
+                         {MEM_PEAK_RATIO_GLOBAL}x global; <= {MEM_BYTES_PER_CELL_BUDGET} B/cell)"
+                    );
                 }
                 Err(violations) => failures.extend(violations),
             }
@@ -407,7 +455,13 @@ fn gate_regressions(
 
     let mut violations = Vec::new();
     let mut checked = 0usize;
-    for r in records.iter().filter(|r| r.threads > 0) {
+    // E15 rows carry a threads column too, but they time exactly one build
+    // per configuration (bytes are the measurand); their t=4 vs t=0
+    // comparison belongs to `gate_memory`, not the timing guard.
+    for r in records
+        .iter()
+        .filter(|r| r.threads > 0 && r.experiment != "e15")
+    {
         let Some(&seq_ms) = sequential.get(&key(r)) else {
             violations.push(format!(
                 "{} {} n={} threads={} has no sequential baseline record",
@@ -602,8 +656,9 @@ fn gate_slos(records: &[BenchRecord], scale: f64) -> Result<usize, Vec<String>> 
 /// bounds-checked, checksum-validated decode that `skydiag load` and
 /// [`skyline_serve::SkylineServer::from_container`] run on startup. All
 /// rows are sequential (`threads = 0`): the decode path is single-threaded
-/// by design. The `container.bytes` metric records the file size per
-/// configuration (deterministic, so committed artifacts stay byte-stable).
+/// by design. The `mem.container.bytes` metric records the file size per
+/// configuration (deterministic, so committed artifacts stay byte-stable;
+/// the pre-PR10 `container.bytes` spelling rides along as a compat alias).
 fn e14_cold_start(profile: Profile) -> Vec<BenchRecord> {
     use skyline_core::container;
     use skyline_core::index::SkylineIndex;
@@ -660,7 +715,13 @@ fn e14_cold_start(profile: Profile) -> Vec<BenchRecord> {
                 reps,
                 min_ms: stats.min_ms,
                 median_ms: stats.median_ms,
-                metrics: vec![("container.bytes".to_string(), bytes.len() as u64)],
+                metrics: vec![
+                    // Canonical key on the memory-observatory naming
+                    // scheme, plus the pre-PR10 spelling as a compat
+                    // alias so existing gate configs keep resolving.
+                    ("mem.container.bytes".to_string(), bytes.len() as u64),
+                    ("container.bytes".to_string(), bytes.len() as u64),
+                ],
             });
         }
     };
@@ -720,6 +781,288 @@ fn gate_cold_start(records: &[BenchRecord], floor_ms: f64) -> Result<usize, Vec<
     if checked == 0 && violations.is_empty() {
         violations
             .push("no cold-start pairs at n >= 400 collected — run e14 with --gate".to_string());
+    }
+    if violations.is_empty() {
+        Ok(checked)
+    } else {
+        Err(violations)
+    }
+}
+
+/// E15 — memory scaling: peak working set, allocation churn, and retained
+/// arena bytes per cell across the three diagram families at threads
+/// {0, 4}, plus the per-snapshot serve footprint under the E12-style
+/// workload. Byte metrics come from the `mem-telemetry` counting
+/// allocator (all zeros when it is compiled out — the table says so) and
+/// the `heap_bytes()` arena accessors; they ride in the same bench-record
+/// JSON schema as the timing experiments (committed as `BENCH_PR10.json`).
+///
+/// Metric keys per build row: `mem.peak_bytes` (peak-minus-baseline delta
+/// across the build, the peak-RSS proxy), `mem.alloc_bytes`/`mem.allocs`
+/// (allocation churn), `mem.heap_bytes` (retained arena estimate),
+/// `mem.cells`, `mem.bytes_per_cell`, and the non-zero per-phase
+/// `mem.phase.*.alloc_bytes` attribution. Snapshot rows add
+/// `mem.snapshot_bytes`.
+fn e15_memory(profile: Profile) -> Vec<BenchRecord> {
+    use skyline_core::telemetry::mem;
+    use skyline_serve::{QueryMix, ServerOptions, SkylineServer, WorkloadSpec};
+
+    let (sizes, dynamic_n): (Vec<usize>, usize) = match profile {
+        Profile::Smoke => (vec![100, 200], 10),
+        Profile::Full => (vec![400, 800], 40),
+    };
+    println!(
+        "## E15 — memory scaling ({} profile, counting allocator {})\n",
+        match profile {
+            Profile::Smoke => "smoke",
+            Profile::Full => "full",
+        },
+        if mem::enabled() {
+            "on"
+        } else {
+            "off (all byte columns read zero)"
+        },
+    );
+    println!("| family | n | threads | peak bytes | alloc churn | retained | cells | B/cell |");
+    println!("|---|---|---|---|---|---|---|---|");
+
+    let mut records = Vec::new();
+
+    // One timed build per configuration: bytes are the measurand here, and
+    // repeating the build would fold the first run's freed scratch into
+    // the next run's peak baseline. `reset_metrics` re-seats the peak at
+    // the current live level, so `peak - live_before` is the build's own
+    // high-water contribution (the peak-RSS proxy).
+    let mut run_build =
+        |family: &str,
+         n: usize,
+         threads: usize,
+         build: &dyn Fn(&Dataset, &ParallelConfig) -> (usize, usize)| {
+            let ds = sweep_dataset(n, Distribution::Independent);
+            let cfg = ParallelConfig::with_threads(threads).cap_to_hardware();
+            telemetry::reset_metrics();
+            let before = mem::stats();
+            let start_ns = telemetry::now_ns();
+            let (heap_bytes, cells) = build(&ds, &cfg);
+            let elapsed_ms = telemetry::ms_since(start_ns);
+            let after = mem::stats();
+            let peak_delta = after.peak_bytes.saturating_sub(before.live_bytes);
+            let bytes_per_cell = heap_bytes as u64 / cells.max(1) as u64;
+            println!(
+            "| {family} | {n} | {threads} | {peak_delta} | {} | {heap_bytes} | {cells} | {bytes_per_cell} |",
+            after.alloc_bytes,
+        );
+            let mut metrics = vec![
+                ("mem.peak_bytes".to_string(), peak_delta),
+                ("mem.alloc_bytes".to_string(), after.alloc_bytes),
+                ("mem.allocs".to_string(), after.allocs),
+                ("mem.heap_bytes".to_string(), heap_bytes as u64),
+                ("mem.cells".to_string(), cells as u64),
+                ("mem.bytes_per_cell".to_string(), bytes_per_cell),
+            ];
+            for (i, row) in mem::phase_stats().into_iter().enumerate() {
+                if row.alloc_bytes > 0 {
+                    metrics.push((mem::PHASE_METRIC_NAMES[i].0.to_string(), row.alloc_bytes));
+                }
+            }
+            records.push(BenchRecord {
+                experiment: "e15".to_string(),
+                algorithm: family.to_string(),
+                n,
+                s: 10 * n as i64,
+                d: 2,
+                distribution: Distribution::Independent.name().to_string(),
+                threads,
+                reps: 1,
+                min_ms: elapsed_ms,
+                median_ms: elapsed_ms,
+                metrics,
+            });
+        };
+
+    for &threads in &[0usize, 4] {
+        for &n in &sizes {
+            run_build("quadrant/sweeping", n, threads, &|ds, cfg| {
+                let d = QuadrantEngine::Sweeping.build_with(ds, cfg);
+                (d.heap_bytes(), d.grid().cell_count())
+            });
+            // The default sweeping engine on both quadrant legs: the
+            // scanning engine's band-parallel variant snapshots its row
+            // frontier per band, which inflates t>0 peaks by ~1.3x on
+            // purpose (band independence) and would trip a guard meant
+            // for *regressions* (see EXPERIMENTS.md E15).
+            run_build("global/sweeping", n, threads, &|ds, cfg| {
+                let d = global::build_with(ds, QuadrantEngine::Sweeping, cfg);
+                (d.heap_bytes(), d.grid().cell_count())
+            });
+        }
+        run_build("dynamic/scanning", dynamic_n, threads, &|ds, cfg| {
+            let d = DynamicEngine::Scanning.build_with(ds, cfg);
+            (d.heap_bytes(), d.grid().subcell_count())
+        });
+    }
+
+    // Per-snapshot footprint under the E12 workload shape: one sequential
+    // server, the standard query/update mix, then the published snapshot's
+    // retained bytes (index arenas + handle table + filled caches) — the
+    // number serve-side retention budgeting multiplies by snapshot count.
+    let (serve_n, queries_total, rounds, updates) = match profile {
+        Profile::Smoke => (200usize, 2_000usize, 4usize, 4usize),
+        Profile::Full => (400, 8_000, 8, 8),
+    };
+    let ds = sweep_dataset(serve_n, Distribution::Independent);
+    for (family, cache_slots) in [
+        ("serve/snapshot-cached", 4096usize),
+        ("serve/snapshot-uncached", 0),
+    ] {
+        telemetry::reset_metrics();
+        let before = mem::stats();
+        let start_ns = telemetry::now_ns();
+        let options = ServerOptions {
+            with_global: true,
+            cache_slots,
+            parallel: ParallelConfig::sequential(),
+            ..ServerOptions::default()
+        };
+        let (server, handles) = SkylineServer::with_dataset(&ds, options);
+        let spec = WorkloadSpec {
+            readers: 0,
+            rounds,
+            queries_per_reader: queries_total / rounds,
+            updates_per_round: updates,
+            domain: 10 * serve_n as i64,
+            seed: skyline_bench::BASE_SEED,
+            mix: QueryMix::default(),
+        };
+        let report = skyline_serve::workload::run(&server, &spec, &handles);
+        let elapsed_ms = telemetry::ms_since(start_ns);
+        let after = mem::stats();
+        let snapshot_bytes = server.reader().snapshot().heap_bytes();
+        let peak_delta = after.peak_bytes.saturating_sub(before.live_bytes);
+        println!(
+            "| {family} | {serve_n} | 0 | {peak_delta} | {} | {snapshot_bytes} | - | - |",
+            after.alloc_bytes,
+        );
+        let mut metrics = vec![
+            ("mem.peak_bytes".to_string(), peak_delta),
+            ("mem.alloc_bytes".to_string(), after.alloc_bytes),
+            ("mem.allocs".to_string(), after.allocs),
+            ("mem.snapshot_bytes".to_string(), snapshot_bytes as u64),
+            ("workload.checksum".to_string(), report.checksum),
+        ];
+        for (i, row) in mem::phase_stats().into_iter().enumerate() {
+            if row.alloc_bytes > 0 {
+                metrics.push((mem::PHASE_METRIC_NAMES[i].0.to_string(), row.alloc_bytes));
+            }
+        }
+        records.push(BenchRecord {
+            experiment: "e15".to_string(),
+            algorithm: family.to_string(),
+            n: serve_n,
+            s: 10 * serve_n as i64,
+            d: 2,
+            distribution: Distribution::Independent.name().to_string(),
+            threads: 0,
+            reps: 1,
+            min_ms: elapsed_ms,
+            median_ms: elapsed_ms,
+            metrics,
+        });
+    }
+    println!();
+    records
+}
+
+/// The E15 memory guard, armed only when the counting allocator is
+/// compiled in (a `--no-default-features` run reports zero bytes — gating
+/// on that would always pass vacuously, so it skips loudly instead):
+///
+/// * **Peak regression** — every t=4 build row's `mem.peak_bytes` delta
+///   stays within [`MEM_PEAK_RATIO`] of the t=0 row of the same
+///   configuration ([`MEM_PEAK_RATIO_GLOBAL`] for the global family,
+///   whose parallel formulation stages per-row unions by design),
+///   same-host/same-invocation like the timing guard. Pairs with both
+///   peaks under [`MEM_PEAK_FLOOR_BYTES`] are exempt.
+/// * **Absolute budget** — every build row's retained
+///   `mem.heap_bytes / mem.cells` stays under
+///   [`MEM_BYTES_PER_CELL_BUDGET`].
+fn gate_memory(records: &[BenchRecord]) -> Result<usize, Vec<String>> {
+    use skyline_core::telemetry::mem;
+    if !mem::enabled() {
+        eprintln!("gate: memory guards skipped (mem-telemetry compiled out)");
+        return Ok(0);
+    }
+    let metric = |r: &BenchRecord, key: &str| {
+        r.metrics
+            .iter()
+            .find(|(name, _)| name == key)
+            .map(|&(_, value)| value)
+    };
+    let build_rows: Vec<&BenchRecord> = records
+        .iter()
+        .filter(|r| r.experiment == "e15" && !r.algorithm.starts_with("serve/"))
+        .collect();
+
+    let mut violations = Vec::new();
+    let mut checked = 0usize;
+
+    let sequential: std::collections::HashMap<(String, usize), u64> = build_rows
+        .iter()
+        .filter(|r| r.threads == 0)
+        .filter_map(|r| metric(r, "mem.peak_bytes").map(|p| ((r.algorithm.clone(), r.n), p)))
+        .collect();
+    for r in build_rows.iter().filter(|r| r.threads > 0) {
+        let Some(par_peak) = metric(r, "mem.peak_bytes") else {
+            continue;
+        };
+        let Some(&seq_peak) = sequential.get(&(r.algorithm.clone(), r.n)) else {
+            violations.push(format!(
+                "e15 {} n={} threads={} has no sequential peak baseline",
+                r.algorithm, r.n, r.threads
+            ));
+            continue;
+        };
+        if par_peak < MEM_PEAK_FLOOR_BYTES && seq_peak < MEM_PEAK_FLOOR_BYTES {
+            continue;
+        }
+        checked += 1;
+        let bound = if r.algorithm.starts_with("global/") {
+            MEM_PEAK_RATIO_GLOBAL
+        } else {
+            MEM_PEAK_RATIO
+        };
+        if par_peak as f64 > bound * seq_peak as f64 {
+            violations.push(format!(
+                "e15 {} n={} threads={}: peak {par_peak} B vs sequential {seq_peak} B \
+                 ({:.2}x > {bound}x)",
+                r.algorithm,
+                r.n,
+                r.threads,
+                par_peak as f64 / seq_peak as f64
+            ));
+        }
+    }
+
+    for r in &build_rows {
+        let (Some(heap), Some(cells)) = (metric(r, "mem.heap_bytes"), metric(r, "mem.cells"))
+        else {
+            continue;
+        };
+        if cells == 0 {
+            continue;
+        }
+        checked += 1;
+        let per_cell = heap as f64 / cells as f64;
+        if per_cell > MEM_BYTES_PER_CELL_BUDGET {
+            violations.push(format!(
+                "e15 {} n={} threads={}: {per_cell:.1} B/cell > budget {MEM_BYTES_PER_CELL_BUDGET}",
+                r.algorithm, r.n, r.threads
+            ));
+        }
+    }
+
+    if checked == 0 && violations.is_empty() {
+        violations.push("no e15 memory records collected — run e15 with --gate".to_string());
     }
     if violations.is_empty() {
         Ok(checked)

@@ -19,6 +19,10 @@
 //! The verdict names the dominant bound (`band-imbalance`,
 //! `stitch-stall`, `single-worker`, or `balanced`) so CI can assert on
 //! it and so the ROADMAP item 4 rearchitecture has a baseline to beat.
+//! When the memory-observatory counters ride along
+//! ([`diagnose_with_mem`]), a build whose transient allocations dwarf its
+//! retained arenas is re-labelled `alloc-churn`: the time is going to the
+//! allocator, not to imbalanced compute.
 //!
 //! Like [`crate::json::validate_chrome_trace`], the parser is
 //! line-oriented and only accepts the exact shape this workspace emits —
@@ -138,8 +142,16 @@ pub struct TraceDiagnosis {
     pub chunk_imbalance: f64,
     /// Depth-0 spans aggregated by name, sorted by total time descending.
     pub phases: Vec<PhaseStat>,
+    /// Total bytes allocated over the build, from the counting allocator
+    /// (0 when no memory counters were supplied or `mem-telemetry` is
+    /// compiled out).
+    pub alloc_bytes: u64,
+    /// Retained arena bytes of the build artifacts (`heap_bytes()`).
+    pub arena_bytes: u64,
+    /// `alloc_bytes / arena_bytes` (0.0 when either side is unknown).
+    pub churn_ratio: f64,
     /// Stable verdict token: `"single-worker"`, `"band-imbalance"`,
-    /// `"stitch-stall"`, `"balanced"`, or `"empty"`.
+    /// `"stitch-stall"`, `"alloc-churn"`, `"balanced"`, or `"empty"`.
     pub verdict: &'static str,
     /// Human-readable explanation of the verdict.
     pub detail: String,
@@ -153,6 +165,11 @@ const BUSY_SPREAD_THRESHOLD: f64 = 0.20;
 const CHUNK_IMBALANCE_THRESHOLD: f64 = 1.5;
 /// Stitch share of wall clock above which the merge is the bound.
 const STITCH_THRESHOLD: f64 = 0.15;
+/// Transient-allocation multiple of retained arena bytes above which a
+/// build is declared churn-bound by [`diagnose_with_mem`]: several times
+/// more bytes pass through the allocator than the diagram keeps, so the
+/// wall clock is going to malloc/free traffic rather than arena growth.
+pub const CHURN_RATIO: f64 = 4.0;
 
 /// Analyzes parsed events into a [`TraceDiagnosis`].
 pub fn diagnose(events: &[ParsedEvent]) -> TraceDiagnosis {
@@ -164,6 +181,9 @@ pub fn diagnose(events: &[ParsedEvent]) -> TraceDiagnosis {
         worker_chunks: Vec::new(),
         chunk_imbalance: 1.0,
         phases: Vec::new(),
+        alloc_bytes: 0,
+        arena_bytes: 0,
+        churn_ratio: 0.0,
         verdict: "empty",
         detail: "trace contains no complete events".to_string(),
     };
@@ -287,6 +307,40 @@ pub fn diagnose_trace(trace: &str) -> Result<TraceDiagnosis, String> {
     Ok(diagnose(&parse_chrome_trace(trace)?))
 }
 
+/// [`diagnose`], joined with the memory-observatory counters:
+/// `alloc_bytes` is the build's total allocated bytes (the counting
+/// allocator's `mem.alloc_bytes`, transient and retained alike) and
+/// `arena_bytes` the retained `heap_bytes()` of the artifacts. When the
+/// build allocates at least [`CHURN_RATIO`] times what it keeps and the
+/// trace shows no parallel bound (the timing verdict is `balanced` or
+/// `single-worker`), the verdict becomes `alloc-churn` — fixing band
+/// splits will not help a build that is paying the allocator. A
+/// `band-imbalance` or `stitch-stall` verdict is never overridden; the
+/// churn numbers still land in the report fields.
+pub fn diagnose_with_mem(
+    events: &[ParsedEvent],
+    alloc_bytes: u64,
+    arena_bytes: u64,
+) -> TraceDiagnosis {
+    let mut d = diagnose(events);
+    d.alloc_bytes = alloc_bytes;
+    d.arena_bytes = arena_bytes;
+    if arena_bytes > 0 {
+        d.churn_ratio = alloc_bytes as f64 / arena_bytes as f64;
+    }
+    let timing_bound = matches!(d.verdict, "band-imbalance" | "stitch-stall" | "empty");
+    if d.churn_ratio >= CHURN_RATIO && !timing_bound {
+        d.verdict = "alloc-churn";
+        d.detail = format!(
+            "transient allocations dominate: {:.1}x more bytes allocated \
+             ({alloc_bytes} B) than the arenas retain ({arena_bytes} B); \
+             the build is allocator-bound, not compute-imbalanced",
+            d.churn_ratio
+        );
+    }
+    d
+}
+
 fn fraction(v: f64) -> String {
     format!("{:.4}", v)
 }
@@ -309,6 +363,13 @@ pub fn render_diagnosis_json(d: &TraceDiagnosis) -> String {
         d.stitch_us,
         fraction(d.stitch_fraction),
         fraction(d.chunk_imbalance)
+    );
+    let _ = write!(
+        out,
+        "  \"alloc_bytes\": {},\n  \"arena_bytes\": {},\n  \"churn_ratio\": {},\n",
+        d.alloc_bytes,
+        d.arena_bytes,
+        fraction(d.churn_ratio)
     );
     out.push_str("  \"threads\": [");
     for (k, t) in d.threads.iter().enumerate() {
@@ -354,6 +415,13 @@ pub fn render_diagnosis_table(d: &TraceDiagnosis) -> String {
         d.stitch_fraction * 100.0,
         d.chunk_imbalance
     );
+    if d.arena_bytes > 0 {
+        let _ = writeln!(
+            out,
+            "alloc {} B | arena {} B | churn {:.2}x",
+            d.alloc_bytes, d.arena_bytes, d.churn_ratio
+        );
+    }
     let _ = writeln!(
         out,
         "{:>6} {:>12} {:>8} {:>8}",
@@ -484,6 +552,37 @@ mod tests {
         let table = render_diagnosis_table(&d);
         assert!(table.contains("verdict: balanced"));
         assert!(table.contains("pool.worker"));
+    }
+
+    #[test]
+    fn churn_overrides_balanced_but_not_imbalance() {
+        let balanced = vec![
+            span("pool.worker", 1, 0, 0, 900, Some(4)),
+            span("pool.worker", 2, 0, 0, 880, Some(4)),
+        ];
+        let parsed = parse_chrome_trace(&render_chrome_trace(&balanced, "u")).unwrap();
+        // 10x more allocated than retained: churn-bound.
+        let d = diagnose_with_mem(&parsed, 10_000_000, 1_000_000);
+        assert_eq!(d.verdict, "alloc-churn");
+        assert!((d.churn_ratio - 10.0).abs() < 1e-9);
+        assert!(render_diagnosis_json(&d).contains("\"verdict\": \"alloc-churn\""));
+        assert!(render_diagnosis_table(&d).contains("churn 10.00x"));
+        // Under the ratio: the timing verdict stands, counters still land.
+        let d = diagnose_with_mem(&parsed, 2_000_000, 1_000_000);
+        assert_eq!(d.verdict, "balanced");
+        assert_eq!(d.alloc_bytes, 2_000_000);
+        // An imbalance-bound trace keeps its verdict even under churn.
+        let skewed = vec![
+            span("pool.worker", 1, 0, 0, 900, Some(8)),
+            span("pool.worker", 2, 0, 0, 300, Some(2)),
+        ];
+        let parsed = parse_chrome_trace(&render_chrome_trace(&skewed, "u")).unwrap();
+        let d = diagnose_with_mem(&parsed, 10_000_000, 1_000_000);
+        assert_eq!(d.verdict, "band-imbalance");
+        assert!((d.churn_ratio - 10.0).abs() < 1e-9);
+        // Unknown arena bytes: no ratio, no override.
+        let d = diagnose_with_mem(&parsed, 10_000_000, 0);
+        assert_eq!(d.churn_ratio, 0.0);
     }
 
     #[test]

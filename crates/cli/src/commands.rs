@@ -288,12 +288,28 @@ pub fn cmd_report(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 /// The trace-diagnosis arm of [`cmd_report`]: prints the human table and
 /// either writes the JSON verdict to `--json PATH` or appends it to the
 /// output stream, so both CI and a terminal get a machine-checkable
-/// verdict without extra flags.
+/// verdict without extra flags. With `--mem metrics.json` (the snapshot
+/// `skydiag trace ... --metrics` writes), the allocator counters join the
+/// diagnosis: `mem.alloc_bytes` against `mem.arena.index_bytes` drives
+/// the `alloc-churn` verdict.
 fn cmd_report_trace(trace: &str, args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let json_path = args.get("json").map(str::to_string);
+    let mem_path = args.get("mem").map(str::to_string);
     args.reject_unknown()?;
-    let diagnosis = skyline_bench::diag::diagnose_trace(trace)
-        .map_err(|e| CliError::Other(format!("trace diagnosis failed: {e}")))?;
+    let diagnosis = match mem_path {
+        Some(path) => {
+            let metrics = std::fs::read_to_string(&path)?;
+            let events = skyline_bench::diag::parse_chrome_trace(trace)
+                .map_err(|e| CliError::Other(format!("trace diagnosis failed: {e}")))?;
+            skyline_bench::diag::diagnose_with_mem(
+                &events,
+                metrics_counter(&metrics, "mem.alloc_bytes"),
+                metrics_counter(&metrics, "mem.arena.index_bytes"),
+            )
+        }
+        None => skyline_bench::diag::diagnose_trace(trace)
+            .map_err(|e| CliError::Other(format!("trace diagnosis failed: {e}")))?,
+    };
     out.write_all(skyline_bench::diag::render_diagnosis_table(&diagnosis).as_bytes())?;
     let json = skyline_bench::diag::render_diagnosis_json(&diagnosis);
     match json_path {
@@ -438,16 +454,12 @@ fn cmd_trace_build(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 
     skyline_core::telemetry::reset_metrics();
     skyline_core::telemetry::start_recording();
-    match kind.as_str() {
-        "quadrant" => {
-            let _ = engine.build_with(&dataset, &cfg);
-        }
-        "global" => {
-            let _ = skyline_core::global::build_with(&dataset, engine, &cfg);
-        }
-        "dynamic" => {
-            let _ = DynamicEngine::Scanning.build_with(&dataset, &cfg);
-        }
+    let arena_bytes = match kind.as_str() {
+        "quadrant" => engine.build_with(&dataset, &cfg).heap_bytes(),
+        "global" => skyline_core::global::build_with(&dataset, engine, &cfg).heap_bytes(),
+        "dynamic" => DynamicEngine::Scanning
+            .build_with(&dataset, &cfg)
+            .heap_bytes(),
         other => {
             // Close the session before failing so a bad kind never leaks a
             // recording generation into the caller's process.
@@ -456,7 +468,11 @@ fn cmd_trace_build(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 "unknown kind {other:?}; expected quadrant, global or dynamic"
             )));
         }
-    }
+    };
+    // Lands the retained arena size in the metrics snapshot so a later
+    // `skydiag report <trace> --mem <metrics>` can compute the
+    // transient-vs-retained churn ratio against `mem.alloc_bytes`.
+    skyline_core::counter!("mem.arena.index_bytes").add(arena_bytes as u64);
     writeln!(
         out,
         "traced {kind} build: n={} engine={}",
@@ -671,6 +687,23 @@ pub fn cmd_serve_bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError>
     Ok(())
 }
 
+/// Value of a named counter in a rendered metrics-snapshot JSON file
+/// ([`skyline_bench::json::render_metrics_snapshot`] output; 0 when
+/// absent). Line-oriented like the trace parser — counters render as
+/// `"name": value` entries.
+fn metrics_counter(json: &str, name: &str) -> u64 {
+    let pat = format!("\"{name}\": ");
+    json.find(&pat)
+        .and_then(|at| {
+            let digits: String = json[at + pat.len()..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            digits.parse().ok()
+        })
+        .unwrap_or(0)
+}
+
 /// Value of a named counter in a metrics snapshot (0 when absent — the
 /// telemetry-off build has an empty registry).
 fn counter_value(snap: &skyline_core::telemetry::MetricsSnapshot, name: &str) -> u64 {
@@ -741,6 +774,7 @@ pub fn cmd_top(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     )?;
 
     let mut prev = telemetry::metrics_snapshot();
+    let mut prev_mem = telemetry::mem::stats();
     let origin_ns = telemetry::now_ns();
     for tick in 0..ticks {
         telemetry::spin_until(origin_ns + tick as u64 * interval_ms * 1_000_000);
@@ -759,6 +793,7 @@ pub fn cmd_top(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         let report = skyline_serve::workload::run(&server, &spec, &handles);
         let wall_ms = telemetry::ms_since(tick_start).max(1e-6);
         let snap = telemetry::metrics_snapshot();
+        let mem_now = telemetry::mem::stats();
 
         let hits =
             counter_value(&snap, "serve.cache.hit") - counter_value(&prev, "serve.cache.hit");
@@ -771,12 +806,17 @@ pub fn cmd_top(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         };
         writeln!(
             out,
-            "tick {}/{ticks}: {} queries in {wall_ms:.1} ms ({:.0} q/s) | epochs {} | cache {hit_cell}",
+            "tick {}/{ticks}: {} queries in {wall_ms:.1} ms ({:.0} q/s) | epochs {} | cache {hit_cell} \
+             | live {} | peak {} | +{} allocs",
             tick + 1,
             report.queries,
             report.queries as f64 * 1_000.0 / wall_ms,
             report.epochs_published,
+            human_bytes(mem_now.live_bytes as usize),
+            human_bytes(mem_now.peak_bytes as usize),
+            mem_now.allocs.saturating_sub(prev_mem.allocs),
         )?;
+        prev_mem = mem_now;
         for h in &snap.histograms {
             let before = histogram_buckets(&prev, h.name);
             let after = histogram_buckets(&snap, h.name);
@@ -915,6 +955,202 @@ pub fn cmd_load(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `skydiag mem <build|serve-bench>` — the memory-observatory report:
+/// runs the workload under the counting allocator and prints where the
+/// bytes went. Both modes print the allocator totals (allocated / freed /
+/// peak) and the per-phase attribution table; `build` adds the retained
+/// arena breakdown of the built index plus the container section sizes a
+/// `skydiag save` of it would write, `serve-bench` adds the published
+/// snapshot's retained footprint.
+pub fn cmd_mem(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let mode = args.positional(0, "mem mode (build|serve-bench)")?;
+    match mode {
+        "build" => cmd_mem_build(args, out),
+        "serve-bench" => cmd_mem_serve_bench(args, out),
+        other => Err(CliError::Other(format!(
+            "unknown mem mode {other:?}; expected build or serve-bench"
+        ))),
+    }
+}
+
+/// Allocator totals and per-phase attribution, shared by both `mem`
+/// modes. `before` is the stats reading taken right after
+/// `reset_metrics`, so deltas are the workload's own.
+fn write_mem_tables(
+    before: skyline_core::telemetry::mem::MemStats,
+    after: skyline_core::telemetry::mem::MemStats,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    use skyline_core::telemetry::mem;
+    if !mem::enabled() {
+        writeln!(
+            out,
+            "allocator:   counters read zero (built without the `mem-telemetry` feature)"
+        )?;
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "allocator:   {} allocated across {} allocations, {} freed",
+        human_bytes(after.alloc_bytes as usize),
+        after.allocs,
+        human_bytes(after.dealloc_bytes as usize),
+    )?;
+    writeln!(
+        out,
+        "working set: {} retained (live delta), {} peak over baseline",
+        human_bytes(after.live_bytes.saturating_sub(before.live_bytes) as usize),
+        human_bytes(after.peak_bytes.saturating_sub(before.live_bytes) as usize),
+    )?;
+    writeln!(
+        out,
+        "{:<18} {:>12} {:>12} {:>10}",
+        "phase", "alloc", "freed", "allocs"
+    )?;
+    for row in mem::phase_stats() {
+        if row.alloc_bytes == 0 && row.dealloc_bytes == 0 {
+            continue;
+        }
+        writeln!(
+            out,
+            "{:<18} {:>12} {:>12} {:>10}",
+            row.phase.name(),
+            human_bytes(row.alloc_bytes as usize),
+            human_bytes(row.dealloc_bytes as usize),
+            row.allocs,
+        )?;
+    }
+    Ok(())
+}
+
+/// `skydiag mem build [--n N | --data ...] [--dist ...] [--domain S]
+/// [--seed K] [--engine ...] [--global 0|1] [--dynamic 0|1] [--threads T]`
+fn cmd_mem_build(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use skyline_core::telemetry;
+
+    let engine = parse_engine(args.get_or("engine", "sweeping"))?;
+    let with_global = args.get_usize("global", 1)? != 0;
+    let with_dynamic = args.get_usize("dynamic", 0)? != 0;
+    let cfg = trace_parallel_config(args)?;
+    // The dynamic diagram is O(n^4) subcells; keep its default dataset small.
+    let dataset = trace_dataset(args, if with_dynamic { 40 } else { 400 })?;
+    args.reject_unknown()?;
+
+    telemetry::reset_metrics();
+    let before = telemetry::mem::stats();
+    let start_ns = telemetry::now_ns();
+    let index = skyline_core::index::SkylineIndex::builder()
+        .engine(engine)
+        .with_global(with_global)
+        .with_dynamic(with_dynamic)
+        .build_with(&dataset, &cfg);
+    let build_ms = telemetry::ms_since(start_ns);
+    let after = telemetry::mem::stats();
+
+    writeln!(
+        out,
+        "mem build: n={} engine={} global={with_global} dynamic={with_dynamic} ({build_ms:.1} ms)",
+        dataset.len(),
+        engine.name(),
+    )?;
+    write_mem_tables(before, after, out)?;
+
+    writeln!(out, "retained arenas:")?;
+    let mut arena =
+        |name: &str, bytes: usize| writeln!(out, "  {:<24} {:>12}", name, human_bytes(bytes));
+    arena("dataset", index.dataset().heap_bytes())?;
+    arena("quadrant diagram", index.quadrant_diagram().heap_bytes())?;
+    arena("merged polyominoes", index.polyominoes().heap_bytes())?;
+    if let Some(global) = index.global_diagram() {
+        arena("global diagram", global.heap_bytes())?;
+    }
+    if let Some(dynamic) = index.dynamic_diagram() {
+        arena("dynamic diagram", dynamic.heap_bytes())?;
+    }
+    arena("total", index.heap_bytes())?;
+
+    let bytes = skyline_core::container::encode_index(&index, &[]);
+    writeln!(
+        out,
+        "container:   {} total (what `skydiag save` would write)",
+        human_bytes(bytes.len())
+    )?;
+    for sec in skyline_core::container::sections(&bytes)? {
+        writeln!(
+            out,
+            "  section {:>2}  {:<24} {:>9} bytes",
+            sec.id, sec.name, sec.length
+        )?;
+    }
+    Ok(())
+}
+
+/// `skydiag mem serve-bench [--n N | --data ...] [--readers R] [--rounds K]
+/// [--queries Q] [--updates U] [--seed S] [--cache SLOTS] [--global 0|1]
+/// [--engine ...]`
+fn cmd_mem_serve_bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    use skyline_core::telemetry;
+
+    let engine = parse_engine(args.get_or("engine", "sweeping"))?;
+    let readers = args.get_usize("readers", 2)?;
+    let rounds = args.get_usize("rounds", 3)?;
+    let queries = args.get_usize("queries", 50)?;
+    let updates = args.get_usize("updates", 8)?;
+    let seed = args.get_i64("seed", 1)? as u64;
+    let cache_slots = args.get_usize("cache", 4096)?;
+    let with_global = args.get_usize("global", 1)? != 0;
+    let dataset = trace_dataset(args, 200)?;
+    args.reject_unknown()?;
+
+    let domain = dataset
+        .points()
+        .iter()
+        .flat_map(|p| [p.x, p.y])
+        .max()
+        .unwrap_or(1000)
+        .max(1);
+    let options = skyline_serve::ServerOptions {
+        engine,
+        with_global,
+        cache_slots,
+        ..skyline_serve::ServerOptions::default()
+    };
+    let spec = skyline_serve::WorkloadSpec {
+        readers,
+        rounds,
+        queries_per_reader: queries,
+        updates_per_round: updates,
+        domain,
+        seed,
+        mix: skyline_serve::QueryMix::default(),
+    };
+
+    telemetry::reset_metrics();
+    let before = telemetry::mem::stats();
+    let start_ns = telemetry::now_ns();
+    let (server, handles) = skyline_serve::SkylineServer::with_dataset(&dataset, options);
+    let report = skyline_serve::workload::run(&server, &spec, &handles);
+    let elapsed_ms = telemetry::ms_since(start_ns);
+    let after = telemetry::mem::stats();
+
+    writeln!(
+        out,
+        "mem serve-bench: n={} readers={readers} rounds={rounds} queries/reader/round={queries} \
+         updates/round={updates} ({elapsed_ms:.1} ms, {} queries, checksum {:#018x})",
+        dataset.len(),
+        report.queries,
+        report.checksum,
+    )?;
+    write_mem_tables(before, after, out)?;
+    writeln!(
+        out,
+        "snapshot:    {} retained by the published epoch (index arenas, \
+         handle table, filled caches)",
+        human_bytes(server.reader().snapshot().heap_bytes()),
+    )?;
+    Ok(())
+}
+
 fn human_bytes(n: usize) -> String {
     if n >= 1 << 20 {
         format!("{:.1} MiB", n as f64 / (1 << 20) as f64)
@@ -947,16 +1183,27 @@ USAGE:
                  (--stall wedges the NTH refresh for MS ms; --anomaly arms the
                  latency trigger and writes the flight-recorder dump it freezes)
   skydiag report <data.csv|hotel> --out report.html [--engine ...] [--title T]
-  skydiag report <trace.json> [--json verdict.json]
+  skydiag report <trace.json> [--json verdict.json] [--mem metrics.json]
                  (Chrome-trace input is auto-detected; prints a per-thread
-                 busy/stall diagnosis table plus a machine-readable verdict)
+                 busy/stall diagnosis table plus a machine-readable verdict;
+                 --mem joins the allocator counters and can re-label the
+                 verdict alloc-churn when transient allocations dominate)
   skydiag serve-bench <data.csv|hotel> [--readers R] [--rounds K] [--queries Q]
                  [--updates U] [--seed S] [--cache SLOTS] [--global 0|1] [--engine ...]
   skydiag top    [--ticks T] [--interval-ms MS] [--n N | --data ...] [--readers R]
                  [--queries Q] [--updates U] [--seed S] [--cache SLOTS]
                  [--global 0|1] [--engine ...]
-                 (interval-sampled serving monitor: per-tick metric deltas
-                 with histogram-bucket sparklines)
+                 (interval-sampled serving monitor: per-tick metric deltas,
+                 live/peak heap bytes and allocation counts from the counting
+                 allocator, with histogram-bucket sparklines — the
+                 mem.alloc_size row is the allocation-size distribution)
+  skydiag mem    build [--n N | --data ...] [--dist ...] [--domain S] [--seed K]
+                 [--engine ...] [--global 0|1] [--dynamic 0|1] [--threads T]
+  skydiag mem    serve-bench [--n N | --data ...] [--readers R] [--rounds K]
+                 [--queries Q] [--updates U] [--seed S] [--cache SLOTS]
+                 [--global 0|1] [--engine ...]
+                 (memory observatory: allocator totals, per-phase allocation
+                 attribution, retained arena breakdown, container sections)
   skydiag save   <out.skd> [--n N | --data data.csv|hotel] [--dist ...] [--domain S]
                  [--seed K] [--engine ...] [--global 0|1] [--dynamic 0|1]
                  (build an index and write it as a versioned snapshot container)
@@ -1296,6 +1543,27 @@ mod tests {
         for key in ["\"verdict\"", "\"wall_us\"", "\"chunk_imbalance\""] {
             assert!(verdict.contains(key), "missing {key} in {verdict}");
         }
+
+        // `--mem` joins the allocator counters from the metrics snapshot
+        // written next to the trace: the verdict JSON gains the churn
+        // fields (real readings only when `mem-telemetry` is compiled in).
+        let text = run(
+            cmd_report,
+            &[
+                trace_path.to_str().unwrap(),
+                "--mem",
+                metrics_path.to_str().unwrap(),
+            ],
+        )
+        .unwrap();
+        assert!(text.contains("\"alloc_bytes\""), "{text}");
+        assert!(text.contains("\"churn_ratio\""), "{text}");
+        if skyline_core::telemetry::mem::enabled() {
+            let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+            assert!(metrics.contains("\"mem.arena.index_bytes\""), "{metrics}");
+            assert!(metrics.contains("\"mem.alloc_bytes\""), "{metrics}");
+            assert!(!text.contains("\"arena_bytes\": 0,"), "{text}");
+        }
     }
 
     #[test]
@@ -1319,10 +1587,59 @@ mod tests {
         assert!(text.contains("tick 1/2:"), "{text}");
         assert!(text.contains("tick 2/2:"), "{text}");
         assert!(text.contains("queries in"), "{text}");
+        // The allocator columns are always printed; with `mem-telemetry`
+        // compiled in they carry real readings and the allocation-size
+        // histogram earns a sparkline row.
+        assert!(text.contains("| live "), "{text}");
+        assert!(text.contains("| peak "), "{text}");
+        assert!(text.contains("allocs"), "{text}");
+        if skyline_core::telemetry::mem::enabled() {
+            assert!(text.contains("mem.alloc_size"), "{text}");
+        }
         // Each tick issues updates, so the rebuild-latency histogram must
         // move and earn a sparkline row (telemetry builds only).
         #[cfg(feature = "telemetry")]
         assert!(text.contains("serve.rebuild_us"), "{text}");
+    }
+
+    #[test]
+    fn mem_build_reports_phases_arenas_and_container_sections() {
+        let text = run(cmd_mem, &["build", "--n", "60", "--global", "1"]).unwrap();
+        assert!(text.contains("mem build: n=60"), "{text}");
+        assert!(text.contains("retained arenas:"), "{text}");
+        assert!(text.contains("quadrant diagram"), "{text}");
+        assert!(text.contains("global diagram"), "{text}");
+        assert!(text.contains("container:"), "{text}");
+        assert!(text.contains("section"), "{text}");
+        if skyline_core::telemetry::mem::enabled() {
+            // The build must charge the quadrant- and global-build phases.
+            assert!(text.contains("quadrant_build"), "{text}");
+            assert!(text.contains("global_build"), "{text}");
+        } else {
+            assert!(text.contains("counters read zero"), "{text}");
+        }
+    }
+
+    #[test]
+    fn mem_serve_bench_reports_snapshot_footprint() {
+        let text = run(
+            cmd_mem,
+            &[
+                "serve-bench",
+                "--n",
+                "50",
+                "--readers",
+                "1",
+                "--rounds",
+                "1",
+                "--queries",
+                "10",
+            ],
+        )
+        .unwrap();
+        assert!(text.contains("mem serve-bench: n=50"), "{text}");
+        assert!(text.contains("snapshot:"), "{text}");
+        assert!(run(cmd_mem, &["warp"]).is_err());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use std::process::ExitCode;
 
 use args::Args;
 use commands::{
-    cmd_ascii, cmd_build, cmd_gen, cmd_load, cmd_query, cmd_render, cmd_report, cmd_save,
+    cmd_ascii, cmd_build, cmd_gen, cmd_load, cmd_mem, cmd_query, cmd_render, cmd_report, cmd_save,
     cmd_serve_bench, cmd_stats, cmd_top, cmd_trace, USAGE,
 };
 
@@ -36,6 +36,7 @@ fn main() -> ExitCode {
                 "report" => cmd_report(&args, &mut stdout),
                 "serve-bench" => cmd_serve_bench(&args, &mut stdout),
                 "top" => cmd_top(&args, &mut stdout),
+                "mem" => cmd_mem(&args, &mut stdout),
                 "save" => cmd_save(&args, &mut stdout),
                 "load" => cmd_load(&args, &mut stdout),
                 "help" | "--help" | "-h" => {

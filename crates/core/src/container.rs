@@ -371,6 +371,7 @@ fn assemble(flags: u32, sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
 /// order.
 pub fn encode_index(index: &SkylineIndex, handles: &[Handle]) -> Vec<u8> {
     let _span = crate::span!("container.encode", index.dataset().len() as u64);
+    let _mem = crate::telemetry::mem::phase(crate::telemetry::mem::MemPhase::ContainerEncode);
     crate::counter!("container.encodes").add(1);
     debug_assert!(
         handles.is_empty() || handles.len() == index.dataset().len(),
@@ -400,7 +401,9 @@ pub fn encode_index(index: &SkylineIndex, handles: &[Handle]) -> Vec<u8> {
         flags |= FLAG_HANDLES;
         sections.push((SEC_HANDLES, encode_handles(handles)));
     }
-    assemble(flags, &sections)
+    let out = assemble(flags, &sections);
+    crate::counter!("mem.container.bytes").add(out.len() as u64);
+    out
 }
 
 // ---------------------------------------------------------------- decoding
@@ -779,6 +782,7 @@ fn decode_handles(buf: &[u8], n_points: usize) -> Result<Vec<Handle>, Error> {
 /// only the `O(n log n)` cell grid is re-derived from the dataset.
 pub fn decode_index(bytes: &[u8]) -> Result<LoadedSnapshot, Error> {
     let _span = crate::span!("container.decode", bytes.len() as u64);
+    let _mem = crate::telemetry::mem::phase(crate::telemetry::mem::MemPhase::ContainerDecode);
     crate::counter!("container.decodes").add(1);
     let (flags, dir) = validate_envelope(bytes)?;
     if flags & !KNOWN_FLAGS != 0 {

@@ -19,6 +19,14 @@ pub struct CellDiagram {
 }
 
 impl CellDiagram {
+    /// Heap bytes owned by the diagram: grid, result arena, and the
+    /// per-cell result-id table.
+    pub fn heap_bytes(&self) -> usize {
+        self.grid.heap_bytes()
+            + self.results.heap_bytes()
+            + crate::telemetry::mem::vec_heap_bytes(&self.cells)
+    }
+
     /// Assembles a diagram from its parts. Internal to the crate: engines
     /// construct diagrams, users query them.
     pub(crate) fn from_parts(

@@ -80,6 +80,15 @@ pub struct MergedDiagram {
 }
 
 impl MergedDiagram {
+    /// Heap bytes owned by the partition's four CSR arrays.
+    pub fn heap_bytes(&self) -> usize {
+        use crate::telemetry::mem::vec_heap_bytes;
+        vec_heap_bytes(&self.results)
+            + vec_heap_bytes(&self.ends)
+            + vec_heap_bytes(&self.cells_flat)
+            + vec_heap_bytes(&self.cell_to_polyomino)
+    }
+
     /// Assembles a merged diagram from its CSR arrays. `ends` must be
     /// non-decreasing, cover `cells_flat` exactly, and pair one result per
     /// polyomino; `cell_to_polyomino` entries must be valid ids.

@@ -32,6 +32,14 @@ pub struct SubcellDiagram {
 }
 
 impl SubcellDiagram {
+    /// Heap bytes owned by the diagram: subcell grid, result arena, and
+    /// the per-subcell result-id table.
+    pub fn heap_bytes(&self) -> usize {
+        self.grid.heap_bytes()
+            + self.results.heap_bytes()
+            + crate::telemetry::mem::vec_heap_bytes(&self.cells)
+    }
+
     /// Reassembles a diagram from raw parts (deserialization path).
     pub(crate) fn from_lines(
         xlines: Vec<Coord>,
@@ -187,6 +195,7 @@ impl DynamicEngine {
             DynamicEngine::Scanning => "dynamic.build.scanning",
         };
         let _build = crate::span!(span_name, dataset.len() as u64);
+        let _mem = crate::telemetry::mem::phase(crate::telemetry::mem::MemPhase::DynamicBuild);
         crate::counter!("dynamic.builds").add(1);
         let diagram = match self {
             DynamicEngine::Baseline => baseline::build_with(dataset, cfg),

@@ -78,6 +78,26 @@ fn build_axis(
 }
 
 impl SubcellGrid {
+    /// Heap bytes owned by the grid: the line tables plus the contributor
+    /// lists (spine vectors and every per-line buffer).
+    pub fn heap_bytes(&self) -> usize {
+        use crate::telemetry::mem::vec_heap_bytes;
+        vec_heap_bytes(&self.xlines)
+            + vec_heap_bytes(&self.ylines)
+            + vec_heap_bytes(&self.x_contributors)
+            + vec_heap_bytes(&self.y_contributors)
+            + self
+                .x_contributors
+                .iter()
+                .map(vec_heap_bytes)
+                .sum::<usize>()
+            + self
+                .y_contributors
+                .iter()
+                .map(vec_heap_bytes)
+                .sum::<usize>()
+    }
+
     /// Reassembles a grid from raw line positions (deserialization path).
     /// Contributor lists are left empty: a decoded grid supports point
     /// location and queries, but cannot seed the incremental scanning

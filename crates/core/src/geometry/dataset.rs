@@ -16,6 +16,11 @@ pub struct Dataset {
 }
 
 impl Dataset {
+    /// Heap bytes owned by the point buffer.
+    pub fn heap_bytes(&self) -> usize {
+        crate::telemetry::mem::vec_heap_bytes(&self.points)
+    }
+
     /// Builds a dataset from points.
     ///
     /// # Errors

@@ -55,6 +55,18 @@ fn sorted_distinct(mut values: Vec<Coord>) -> Vec<Coord> {
 }
 
 impl CellGrid {
+    /// Heap bytes owned by the grid: line tables, rank tables, and the
+    /// corner map (estimated) with its per-corner id vectors.
+    pub fn heap_bytes(&self) -> usize {
+        use crate::telemetry::mem::{map_heap_bytes, vec_heap_bytes};
+        vec_heap_bytes(&self.xs)
+            + vec_heap_bytes(&self.ys)
+            + vec_heap_bytes(&self.xrank)
+            + vec_heap_bytes(&self.yrank)
+            + map_heap_bytes(&self.at_corner)
+            + self.at_corner.values().map(vec_heap_bytes).sum::<usize>()
+    }
+
     /// Builds the grid for a dataset.
     pub fn new(dataset: &Dataset) -> Self {
         let xs = sorted_distinct(dataset.points().iter().map(|p| p.x).collect());

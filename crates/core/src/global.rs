@@ -51,6 +51,7 @@ pub fn build(dataset: &Dataset, engine: QuadrantEngine) -> CellDiagram {
 /// configurations produce identical diagrams (differentially tested).
 pub fn build_with(dataset: &Dataset, engine: QuadrantEngine, cfg: &ParallelConfig) -> CellDiagram {
     let _build = crate::span!("global.build", dataset.len() as u64);
+    let _mem = crate::telemetry::mem::phase(crate::telemetry::mem::MemPhase::GlobalBuild);
     crate::counter!("global.builds").add(1);
     let diagram = if cfg.is_sequential() {
         build_sequential(dataset, engine)

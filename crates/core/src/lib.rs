@@ -51,7 +51,10 @@
 //! stays exact. Quadrants are open: a point sharing an axis with the query
 //! belongs to no quadrant (see [`query`] for the full boundary discussion).
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the counting-allocator hook in telemetry/mem.rs
+// carries the workspace's one `#[allow(unsafe_code)]` (a GlobalAlloc impl
+// cannot be written without `unsafe`), which `forbid` would reject.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;

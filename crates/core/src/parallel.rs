@@ -296,6 +296,8 @@ where
             .map(|_| {
                 scope.spawn(|| {
                     let mut worker_span = crate::span!("pool.worker");
+                    let _mem =
+                        crate::telemetry::mem::phase(crate::telemetry::mem::MemPhase::PoolWorker);
                     let mut claimed: u64 = 0;
                     let mut local: Vec<(usize, Vec<R>)> = Vec::new();
                     loop {
@@ -330,6 +332,7 @@ where
     });
 
     let _stitch = crate::span!("pool.stitch", parts.len() as u64);
+    let _mem = crate::telemetry::mem::phase(crate::telemetry::mem::MemPhase::PoolStitch);
     parts.sort_unstable_by_key(|&(start, _)| start);
     debug_assert_eq!(parts.iter().map(|(_, v)| v.len()).sum::<usize>(), len);
     let mut out = Vec::with_capacity(len);

@@ -92,6 +92,7 @@ impl QuadrantEngine {
             QuadrantEngine::Sweeping => "quadrant.build.sweeping",
         };
         let _build = crate::span!(span_name, dataset.len() as u64);
+        let _mem = crate::telemetry::mem::phase(crate::telemetry::mem::MemPhase::QuadrantBuild);
         crate::counter!("quadrant.builds").add(1);
         let diagram = match self {
             QuadrantEngine::Baseline => baseline::build(dataset),

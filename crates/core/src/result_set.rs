@@ -168,6 +168,18 @@ impl ResultInterner {
         self.ends.len() <= 1
     }
 
+    /// Heap bytes owned by the arena: the flat id and offset buffers plus
+    /// the lookup table (estimated; see
+    /// [`crate::telemetry::mem::map_heap_bytes`]) and its per-hash
+    /// collision vectors.
+    pub fn heap_bytes(&self) -> usize {
+        use crate::telemetry::mem::{map_heap_bytes, vec_heap_bytes};
+        vec_heap_bytes(&self.flat)
+            + vec_heap_bytes(&self.ends)
+            + map_heap_bytes(&self.lookup)
+            + self.lookup.values().map(vec_heap_bytes).sum::<usize>()
+    }
+
     /// Iterates over `(id, result)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ResultId, &[PointId])> + '_ {
         (0..self.ends.len()).map(|k| {
@@ -482,6 +494,16 @@ impl BitsetInterner {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.len() <= 1
+    }
+
+    /// Heap bytes owned by the arena: the flat block buffer, the scratch
+    /// block, and the lookup table (estimated) with its collision vectors.
+    pub fn heap_bytes(&self) -> usize {
+        use crate::telemetry::mem::{map_heap_bytes, vec_heap_bytes};
+        vec_heap_bytes(&self.flat)
+            + vec_heap_bytes(&self.scratch)
+            + map_heap_bytes(&self.lookup)
+            + self.lookup.values().map(vec_heap_bytes).sum::<usize>()
     }
 
     /// The bitset block of an interned result.

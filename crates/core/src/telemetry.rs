@@ -55,6 +55,8 @@
 use crate::sync::OnceLock;
 use std::time::Instant;
 
+pub mod mem;
+
 /// Number of histogram buckets: bucket `i` counts values whose bit length
 /// is `i` (bucket 0 is exactly zero, bucket `i >= 1` covers
 /// `[2^(i-1), 2^i)`), so the top bucket index for `u64::MAX` is 64.
@@ -860,15 +862,14 @@ mod active {
 
 #[cfg(feature = "telemetry")]
 pub use active::{
-    anomaly_pending, install_panic_trigger, metrics_snapshot, recording, register_counter,
-    register_histogram, reset_metrics, set_flight_window_ms, set_latency_trigger, start_recording,
-    stop_recording, take_anomaly_dump, trigger_anomaly, Counter, CounterSite, Histogram,
-    HistogramSite, Span,
+    anomaly_pending, install_panic_trigger, recording, register_counter, register_histogram,
+    set_flight_window_ms, set_latency_trigger, start_recording, stop_recording, take_anomaly_dump,
+    trigger_anomaly, Counter, CounterSite, Histogram, HistogramSite, Span,
 };
 
 #[cfg(not(feature = "telemetry"))]
 mod noop {
-    use super::{AnomalyDump, MetricsSnapshot, SpanEvent};
+    use super::{AnomalyDump, SpanEvent};
 
     /// Zero-sized stand-in for both registry metric kinds when the
     /// `telemetry` feature is off; every method compiles to nothing.
@@ -941,14 +942,6 @@ mod noop {
         pub fn set_payload(&mut self, _payload: u64) {}
     }
 
-    /// Always the empty snapshot.
-    pub fn metrics_snapshot() -> MetricsSnapshot {
-        MetricsSnapshot::default()
-    }
-
-    /// No-op.
-    pub fn reset_metrics() {}
-
     /// No-op.
     pub fn start_recording() {}
 
@@ -987,10 +980,36 @@ mod noop {
 
 #[cfg(not(feature = "telemetry"))]
 pub use noop::{
-    anomaly_pending, install_panic_trigger, metrics_snapshot, recording, reset_metrics,
-    set_flight_window_ms, set_latency_trigger, start_recording, stop_recording, take_anomaly_dump,
-    trigger_anomaly, CounterSite, HistogramSite, Span,
+    anomaly_pending, install_panic_trigger, recording, set_flight_window_ms, set_latency_trigger,
+    start_recording, stop_recording, take_anomaly_dump, trigger_anomaly, CounterSite,
+    HistogramSite, Span,
 };
+
+/// Everything in the metrics registry plus the memory-observatory counters
+/// ([`mem`]'s `mem.*` keys and the `mem.alloc_size` histogram), sorted by
+/// name. The allocator hook never touches the registry — its counters live
+/// in static storage inside [`mem`] — so the merge happens here, on the
+/// snapshot path, where allocating is safe.
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    #[cfg(feature = "telemetry")]
+    let mut snap = active::metrics_snapshot();
+    #[cfg(not(feature = "telemetry"))]
+    let mut snap = MetricsSnapshot::default();
+    mem::append_metrics(&mut snap);
+    snap.counters.sort_by_key(|c| c.name);
+    snap.histograms.sort_by_key(|h| h.name);
+    snap
+}
+
+/// Zeroes every registered counter and histogram and the memory
+/// observatory's interval counters ([`mem::reset`]: totals, phase table,
+/// size histogram; peak re-seated at live). Benches call this between
+/// configurations so snapshots attribute work to the right run.
+pub fn reset_metrics() {
+    #[cfg(feature = "telemetry")]
+    active::reset_metrics();
+    mem::reset();
+}
 
 #[cfg(all(test, feature = "telemetry"))]
 mod tests {

@@ -70,6 +70,20 @@ pub struct ResultCache {
 }
 
 impl ResultCache {
+    /// Estimated heap bytes: the slot array plus every filled entry's
+    /// shared handle list (each counted once; reader clones share the
+    /// same buffer). The per-entry constant covers the `Arc` header.
+    pub fn heap_bytes(&self) -> usize {
+        let mut bytes = self.slots.len() * std::mem::size_of::<OnceLock<Entry>>();
+        for slot in self.slots.iter() {
+            if let Some((_, value)) = slot.get() {
+                bytes +=
+                    std::mem::size_of::<usize>() * 2 + value.len() * std::mem::size_of::<Handle>();
+            }
+        }
+        bytes
+    }
+
     /// A cache with at least `min_slots` slots (rounded up to a power of
     /// two, minimum 1).
     pub fn new(min_slots: usize) -> Self {
@@ -106,6 +120,8 @@ impl ResultCache {
         self.misses.add(1);
         skyline_core::counter!("serve.cache.miss").add(1);
         skyline_core::counter!("serve.cache.fill").add(1);
+        let _mem =
+            skyline_core::telemetry::mem::phase(skyline_core::telemetry::mem::MemPhase::CacheFill);
         let value = compute();
         // First write wins; a racing writer computed the identical value
         // for the identical key, so dropping ours changes nothing.

@@ -201,6 +201,9 @@ impl SkylineServer {
     fn publish(&self, w: &mut Writer) -> u64 {
         let rebuild_start = skyline_core::telemetry::now_ns();
         let _rebuild = skyline_core::span!("serve.rebuild", w.maintained.len() as u64);
+        let _mem = skyline_core::telemetry::mem::phase(
+            skyline_core::telemetry::mem::MemPhase::ServeRebuild,
+        );
         w.maintained.rebuild_with(&self.options.parallel);
         let next_epoch = w.publisher.epoch() + 1;
         let snapshot = match w.maintained.built() {

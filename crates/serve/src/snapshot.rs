@@ -103,6 +103,23 @@ impl Snapshot {
         self.epoch
     }
 
+    /// Estimated heap bytes owned by this snapshot: the index arenas, the
+    /// handle table, and the result caches (slot arrays plus filled
+    /// entries). The empty snapshot owns nothing. This is the
+    /// per-snapshot footprint `experiments e15` reports for retention
+    /// budgeting.
+    pub fn heap_bytes(&self) -> usize {
+        self.body.as_ref().map_or(0, |b| {
+            b.index.heap_bytes()
+                + skyline_core::telemetry::mem::vec_heap_bytes(&b.handles)
+                + [&b.quadrant_cache, &b.global_cache, &b.dynamic_cache]
+                    .into_iter()
+                    .flatten()
+                    .map(ResultCache::heap_bytes)
+                    .sum::<usize>()
+        })
+    }
+
     /// The epoch's dataset, or `None` for the empty snapshot. Differential
     /// checkers recompute answers from exactly this dataset.
     pub fn dataset(&self) -> Option<&Dataset> {

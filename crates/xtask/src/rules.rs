@@ -90,6 +90,14 @@ const RAW_SPAWN_EXEMPT: &[&str] = &[
 /// the primitives for their model-checked twins.
 const SYNC_FACADE: &[&str] = &["crates/core/src/sync"];
 
+/// The counting-allocator module: the one library file allowed to name
+/// `std::alloc` and `GlobalAlloc` (it *is* the allocator hook), and —
+/// like [`SYNC_FACADE`] — allowed raw `std::sync::atomic`: the facade's
+/// `--cfg skyline_sched` twins yield to an interleaving checker that
+/// itself allocates, which would recurse into the hook. `atomic-ordering`
+/// still applies there (every `Relaxed` carries its justification).
+const MEM_ALLOCATOR: &[&str] = &["crates/core/src/telemetry/mem.rs"];
+
 /// Method names whose call inside a `debug_assert!` body mutates the
 /// receiver: the assertion (and the side effect) vanish in release builds,
 /// so debug and release binaries diverge. `next` is deliberately absent —
@@ -179,8 +187,13 @@ pub fn run_all(path: &str, src: &str, raw: &[Tok]) -> Vec<Finding> {
             no_ad_hoc_timing(toks, &mut findings);
         }
         if !in_scope(path, SYNC_FACADE) {
-            no_raw_atomic(toks, &mut findings);
+            if !MEM_ALLOCATOR.contains(&path) {
+                no_raw_atomic(toks, &mut findings);
+            }
             atomic_ordering(toks, &lines, &mut findings);
+        }
+        if !MEM_ALLOCATOR.contains(&path) {
+            no_raw_alloc_count(toks, &mut findings);
         }
     }
     if in_scope(path, TIMING_TEST_SCOPE) {
@@ -244,6 +257,37 @@ fn no_raw_atomic(toks: &[Tok], findings: &mut Vec<Finding>) {
                     report(t.line, &t.text);
                 }
             }
+        }
+    }
+}
+
+/// `no-raw-alloc-count`: library code must not reach for `std::alloc` or
+/// implement/name `GlobalAlloc` outside [`MEM_ALLOCATOR`]. A second
+/// allocator hook would double-count (or silently bypass) the memory
+/// observatory's live/peak/phase accounting, and ad-hoc
+/// `std::alloc::alloc` calls produce bytes the `heap_bytes()` arithmetic
+/// can never see. Deliberately allowlist-free: the counting allocator is
+/// the escape hatch.
+fn no_raw_alloc_count(toks: &[Tok], findings: &mut Vec<Finding>) {
+    for win in toks.windows(4) {
+        let [s, c1, c2, a] = win else { continue };
+        if s.is_ident("std") && c1.is_punct(':') && c2.is_punct(':') && a.is_ident("alloc") {
+            findings.push(Finding {
+                rule: "no-raw-alloc-count",
+                line: a.line,
+                message: "raw `std::alloc` outside the counting allocator".to_owned(),
+                hint: "allocation instrumentation lives in crates/core/src/telemetry/mem.rs;                        use containers (or the mem accessors) instead of raw alloc calls",
+            });
+        }
+    }
+    for tok in toks {
+        if tok.is_ident("GlobalAlloc") {
+            findings.push(Finding {
+                rule: "no-raw-alloc-count",
+                line: tok.line,
+                message: "`GlobalAlloc` named outside the counting allocator".to_owned(),
+                hint: "the workspace installs exactly one allocator hook                        (crates/core/src/telemetry/mem.rs); a second one would bypass the                        memory observatory's accounting",
+            });
         }
     }
 }
@@ -1018,6 +1062,53 @@ pub fn f() {
         let tests_only = "#[cfg(test)]\nmod tests { use std::sync::atomic::AtomicUsize; }";
         let f = findings_for("crates/core/src/epoch.rs", tests_only);
         assert!(f.iter().all(|f| f.rule != "no-raw-atomic"));
+    }
+
+    #[test]
+    fn raw_alloc_count_fires_outside_the_counting_allocator() {
+        let use_form = "use std::alloc::{GlobalAlloc, Layout, System};";
+        let f = findings_for("crates/core/src/result_set.rs", use_form);
+        // `std::alloc` fires once; the `GlobalAlloc` ident fires once more.
+        assert_eq!(
+            f.iter().filter(|f| f.rule == "no-raw-alloc-count").count(),
+            2
+        );
+
+        let call_form = "fn f() { let p = unsafe { std::alloc::alloc(layout) }; }";
+        let f = findings_for("crates/serve/src/snapshot.rs", call_form);
+        assert_eq!(
+            f.iter().filter(|f| f.rule == "no-raw-alloc-count").count(),
+            1
+        );
+
+        let impl_form = "unsafe impl GlobalAlloc for Mine {}";
+        let f = findings_for("crates/core/src/epoch.rs", impl_form);
+        assert_eq!(
+            f.iter().filter(|f| f.rule == "no-raw-alloc-count").count(),
+            1
+        );
+
+        // The counting allocator itself is the one legal home — for raw
+        // alloc paths AND (like the sync facade) for raw atomics.
+        let hook = "use std::alloc::{GlobalAlloc, Layout, System};\n\
+                    use std::sync::atomic::{AtomicU64, Ordering};";
+        let exempt = findings_for("crates/core/src/telemetry/mem.rs", hook);
+        assert!(exempt.iter().all(|f| f.rule != "no-raw-alloc-count"));
+        assert!(exempt.iter().all(|f| f.rule != "no-raw-atomic"));
+
+        // Decoys: a local module named `alloc`, the word in a string, and
+        // vec allocation APIs must not trip the rule.
+        let benign = "mod alloc {}\nfn f() { let v: Vec<u8> = Vec::with_capacity(8); \
+                      let s = \"std::alloc\"; my::alloc::grab(); }";
+        let f = findings_for("crates/core/src/result_set.rs", benign);
+        assert!(f.iter().all(|f| f.rule != "no-raw-alloc-count"));
+
+        // Benches, binaries, and test modules are out of scope.
+        let bench = findings_for("crates/bench/src/lib.rs", use_form);
+        assert!(bench.iter().all(|f| f.rule != "no-raw-alloc-count"));
+        let tests_only = "#[cfg(test)]\nmod tests { use std::alloc::System; }";
+        let f = findings_for("crates/core/src/global.rs", tests_only);
+        assert!(f.iter().all(|f| f.rule != "no-raw-alloc-count"));
     }
 
     #[test]
